@@ -1,0 +1,25 @@
+# Common tasks for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments
+
+examples:
+	@for f in examples/*.py; do \
+		echo "=== $$f ==="; \
+		$(PYTHON) $$f || exit 1; \
+	done
+
+all: test bench

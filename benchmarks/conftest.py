@@ -1,0 +1,28 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark runs one experiment under pytest-benchmark and prints the
+rendered table/series with capture disabled, so the console output of
+``pytest benchmarks/ --benchmark-only`` *is* the reproduction of the
+paper's evaluation artifacts.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult to the real stdout."""
+    def _report(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+    return _report
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a heavy experiment exactly once under the benchmark clock."""
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return _run

@@ -1,0 +1,13 @@
+"""Ablation benchmark: reliability-floor cost (99% vs 99.99999%)."""
+
+import pytest
+
+from repro.experiments.ablations import run_reliability_floor
+
+
+def test_ablation_reliability_floor(run_once, report):
+    result = run_once(run_reliability_floor)
+    report(result)
+    by_floor = {row[0]: row[2] for row in result.data["rows"]}
+    # Paper Section 4.3.3: a 99.99999% floor costs ~3x devices.
+    assert by_floor[0.9999999] == pytest.approx(3.0, rel=0.3)

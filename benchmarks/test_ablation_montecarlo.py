@@ -1,0 +1,20 @@
+"""Ablation benchmark: Monte Carlo vs analytic access bounds."""
+
+import pytest
+
+from repro.experiments.ablations import run_montecarlo_validation
+
+
+def test_ablation_montecarlo(run_once, report):
+    result = run_once(run_montecarlo_validation)
+    report(result)
+    summary = result.data["summary"]
+    assert summary.mean == pytest.approx(result.data["expected"], rel=0.01)
+
+
+def test_replication_schedule(benchmark, report):
+    from repro.experiments.ablations import run_replication
+
+    result = benchmark(run_replication)
+    report(result)
+    assert result.data["plan"].m == 10

@@ -1,0 +1,12 @@
+"""Ablation benchmark: series vs parallel vs k-of-n for one target."""
+
+from repro.experiments.ablations import run_structures
+
+
+def test_ablation_structures(run_once, report):
+    result = run_once(run_structures)
+    report(result)
+    by_name = {row[0]: row[1] for row in result.data["rows"]}
+    assert (by_name["k=10%*n encoded"]
+            < by_name["1-of-n parallel"]
+            < by_name["series chain (alpha -> 1)"])

@@ -1,0 +1,13 @@
+"""Ablation benchmark: integer-grid resonance in the window solver."""
+
+from repro.experiments.ablations import run_window_modes
+
+
+def test_ablation_window_modes(run_once, report):
+    result = run_once(run_window_modes)
+    report(result)
+    ratios = {row[0]: row[3] for row in result.data["rows"]
+              if row[3] is not None}
+    # alpha=18 resonates badly under the integer window; alpha=14 not.
+    assert ratios[18] > 50
+    assert ratios[14] < 3

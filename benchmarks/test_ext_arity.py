@@ -1,0 +1,11 @@
+"""Extension benchmark: m-ary decision trees vs binary."""
+
+from repro.experiments.extensions import run_arity
+
+
+def test_ext_arity(benchmark, report):
+    result = benchmark(run_arity)
+    report(result)
+    rows = {r["arity"]: r for r in result.data["rows"]}
+    assert rows[16]["path_length"] < rows[2]["path_length"]
+    assert all(r["adversary"] < 1e-3 for r in result.data["rows"])

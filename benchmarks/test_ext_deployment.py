@@ -1,0 +1,13 @@
+"""Extension benchmark: trace-driven deployment replay."""
+
+from repro.experiments.deployment import run_deployment
+
+
+def test_ext_deployment(run_once, report):
+    result = run_once(run_deployment)
+    report(result)
+    replay = result.data["report"]
+    assert replay.survived
+    assert not replay.attacker_breached
+    assert replay.migrations >= 1
+    assert replay.owner_logins > 1000

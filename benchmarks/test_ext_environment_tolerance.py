@@ -1,0 +1,28 @@
+"""Extension benchmarks: temperature attacks, fab margins, availability."""
+
+from repro.experiments.extensions import (
+    run_availability,
+    run_temperature,
+    run_tolerance_margins,
+)
+
+
+def test_ext_temperature(benchmark, report):
+    result = benchmark(run_temperature)
+    report(result)
+    assert result.data["max_factor"] <= 1.0
+
+
+def test_ext_tolerance_margins(run_once, report):
+    result = run_once(run_tolerance_margins)
+    report(result)
+    assert result.data["good"].accepted
+    assert not result.data["drifted"].accepted
+
+
+def test_ext_availability(run_once, report):
+    result = run_once(run_availability)
+    report(result)
+    rows = {r[0]: r for r in result.data["rows"]}
+    assert rows[0][2] == 0.0          # no drain, no loss
+    assert rows[1000][2] > 0.9        # heavy drain destroys service life

@@ -1,0 +1,11 @@
+"""Extension benchmark: stiction (stuck-closed) threat analysis."""
+
+from repro.experiments.extensions import run_failure_modes
+
+
+def test_ext_failure_modes(run_once, report):
+    result = run_once(run_failure_modes)
+    report(result)
+    design = result.data["design"]
+    q_max = result.data["q_max"]
+    assert 0.0 < q_max < design.k / design.n

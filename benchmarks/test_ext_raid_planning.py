@@ -1,0 +1,13 @@
+"""Extension benchmark: adaptive raid planning vs tree height."""
+
+from repro.experiments.extensions import run_raid_planning
+
+
+def test_ext_raid_planning(run_once, report):
+    result = run_once(run_raid_planning)
+    report(result)
+    heights = dict(result.data["heights"])
+    # The required height grows with the attacker's budget...
+    assert heights[100_000] > heights[100]
+    # ...but only logarithmically (1000x budget, ~10 extra levels).
+    assert heights[100_000] - heights[100] <= 12

@@ -1,0 +1,14 @@
+"""Extension benchmark: rotating-subset banks vs the security window."""
+
+import pytest
+
+from repro.experiments.extensions import run_rotation
+
+
+def test_ext_rotation(run_once, report):
+    result = run_once(run_rotation)
+    report(result)
+    rows = {r["subset_size"]: r for r in result.data["rows"]}
+    # The window widens by exactly the lifetime factor.
+    assert (rows[6]["window_accesses"] / rows[60]["window_accesses"]
+            == pytest.approx(10.0, rel=0.05))

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 1 - the Weibull wearout model curves."""
+
+from repro.experiments.fig01_wearout_model import run
+
+
+def test_fig1_wearout_model(benchmark, report):
+    result = benchmark(run)
+    report(result)
+    curves = result.data["curves"]
+    assert set(curves) == {1, 6, 12}

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 3 (a/b/c) - degradation-window control techniques."""
+
+import pytest
+
+from repro.experiments.fig03_degradation_techniques import run
+
+
+def test_fig3_degradation_techniques(benchmark, report):
+    result = benchmark(run)
+    report(result)
+    # Paper anchors: Fig 3b's n=40 bank at ~98% / ~2.2%.
+    rows_b = {row[0]: row for row in result.data["fig3b"]}
+    assert rows_b[40][1] == pytest.approx(0.98, abs=0.005)
+    assert rows_b[40][2] == pytest.approx(0.022, abs=0.003)

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 4a - connection device counts without encoding."""
+
+from repro.experiments.fig04_connection import run_fig4a
+
+
+def test_fig4a_connection_no_encoding(run_once, report):
+    result = run_once(run_fig4a)
+    report(result)
+    curves = result.data["curves"]
+    beta8 = dict(curves[8])
+    # Exponential sensitivity: 2x alpha costs >> 2x devices.
+    assert beta8[20.0 if 20.0 in beta8 else 20] / beta8[10] > 100

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 4b - connection device counts with encoding."""
+
+from repro.experiments.fig04_connection import run_fig4b
+
+
+def test_fig4b_connection_encoding(run_once, report):
+    result = run_once(run_fig4b)
+    report(result)
+    curves = result.data["curves"]
+    beta8 = dict(curves[(0.10, 8)])
+    # Linear sensitivity to alpha and ~1e6-scale totals (paper: ~0.8e6).
+    assert beta8[20] / beta8[10] < 4
+    assert 1e5 < beta8[14] < 5e6

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 4d - passcode policies relax the upper bound."""
+
+from repro.experiments.fig04_connection import run_fig4d
+
+
+def test_fig4d_stronger_passcodes(run_once, report):
+    result = run_once(run_fig4d)
+    report(result)
+    row = result.data["results"][8]
+    assert row["beyond_1pct"] < row["baseline"]
+    assert row["beyond_2pct"] < row["beyond_1pct"]
+    # Paper: 675,250 -> 29,200 at beta=8 (a >10x reduction).
+    assert row["baseline"] / row["beyond_2pct"] > 10

@@ -1,0 +1,23 @@
+"""Benchmark: Figures 5a/5b - the targeting-system design space."""
+
+from repro.experiments.fig05_targeting import run_fig5a, run_fig5b
+
+
+def test_fig5a_targeting_no_encoding(run_once, report):
+    result = run_once(run_fig5a)
+    report(result)
+    curves = result.data["curves"]
+    best = dict(curves[16])[20]
+    worst = dict(curves[8])[14]
+    # Paper: best case ~8,855 (alpha=20, beta=16) vs worst 842,941
+    # (alpha=14, beta=8) - a multi-order-of-magnitude spread.
+    assert worst / best > 50
+
+
+def test_fig5b_targeting_with_encoding(run_once, report):
+    result = run_once(run_fig5b)
+    report(result)
+    curves = result.data["curves"]
+    total = dict(curves[(0.10, 8)])[10]
+    # Paper's comparable point: ~810 switches.
+    assert total < 5_000

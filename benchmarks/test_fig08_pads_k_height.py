@@ -1,0 +1,19 @@
+"""Benchmark: Figure 8 - pad success space over (k, height)."""
+
+import numpy as np
+
+from repro.experiments.fig08_09_pads import run_fig8
+
+
+def test_fig8_pads_k_height(run_once, report):
+    result = run_once(run_fig8)
+    report(result)
+    data = result.data
+    recv, adv = data["receiver"], data["adversary"]
+    assert np.all(recv >= adv - 1e-12)
+    # Paper: H >= 8 reduces the adversary to ~zero (at k >= 8).
+    h8 = data["heights"].index(8)
+    k8 = data["ks"].index(8)
+    assert adv[h8, k8:].max() < 1e-6
+    # And the receiver still has a success region there.
+    assert recv[h8, 0] > 0.99

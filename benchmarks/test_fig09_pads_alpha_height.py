@@ -1,0 +1,19 @@
+"""Benchmark: Figure 9 - pad success space over (alpha, height)."""
+
+import numpy as np
+
+from repro.experiments.fig08_09_pads import run_fig9
+
+
+def test_fig9_pads_alpha_height(run_once, report):
+    result = run_once(run_fig9)
+    report(result)
+    data = result.data
+    adv = np.asarray(data["adversary"])
+    heights = data["heights"]
+    # Looser wearout bounds help the adversary on short trees...
+    h2 = heights.index(2)
+    assert adv[h2, -1] > adv[h2, 0]
+    # ...but H >= 8 blocks the attack across the whole alpha range.
+    h8 = heights.index(8)
+    assert adv[h8, :].max() < 1e-3

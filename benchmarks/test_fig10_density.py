@@ -1,0 +1,14 @@
+"""Benchmark: Figure 10 - one-time-pad density on a 1 mm^2 chip."""
+
+import pytest
+
+from repro.experiments.fig10_density_costs import PAPER_DENSITY, run_fig10
+
+
+def test_fig10_density(benchmark, report):
+    result = benchmark(run_fig10)
+    report(result)
+    densities = result.data["densities"]
+    for height, paper_value in PAPER_DENSITY.items():
+        assert densities[height] == pytest.approx(paper_value, rel=0.30)
+    assert result.data["pads_h4_n128"] == pytest.approx(4687, rel=0.10)

@@ -1,0 +1,17 @@
+"""Benchmark: Section 4.1's brute-force success probability."""
+
+import pytest
+
+from repro.experiments.sec41_attack import run_attack_stats
+
+
+def test_sec41_attack_statistics(run_once, report):
+    result = run_once(run_attack_stats)
+    report(result)
+    rows = {r[0]: r for r in result.data["rows"]}
+    base = rows["no passcode policy"]
+    # The paper's headline: ~1% for the professional attacker.
+    assert 0.004 < base[1] < 0.012
+    assert base[2] == pytest.approx(base[1], abs=0.02)
+    # Passcode policies drive it to zero.
+    assert rows["reject top 1%"][1] == 0.0

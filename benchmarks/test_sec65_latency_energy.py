@@ -1,0 +1,13 @@
+"""Benchmark: Section 6.5.2 - pad retrieval latency and energy."""
+
+import pytest
+
+from repro.experiments.fig10_density_costs import run_sec65
+
+
+def test_sec65_latency_energy(benchmark, report):
+    result = benchmark(run_sec65)
+    report(result)
+    cost = result.data["cost"]
+    assert cost.total_latency_s == pytest.approx(8.512e-5, rel=1e-6)
+    assert cost.energy_j == pytest.approx(5.12e-18, rel=1e-6)

@@ -1,0 +1,88 @@
+"""Performance benchmarks for the computational substrates.
+
+Unlike the figure benchmarks (which time one reproduction run), these
+are classic pytest-benchmark microbenchmarks: they track the throughput
+of the building blocks the architectures lean on, so performance
+regressions in the substrate show up in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.codes.shamir import recover_secret, split_secret
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.crypto.aes import AES
+from repro.crypto.modes import seal, unseal
+from repro.sim.montecarlo import simulate_access_bounds
+
+SECRET = bytes(range(32))
+
+
+def test_perf_aes_block(benchmark):
+    cipher = AES(bytes(16))
+    block = bytes(16)
+    out = benchmark(cipher.encrypt_block, block)
+    assert len(out) == 16
+
+
+def test_perf_seal_unseal_4k(benchmark):
+    key, nonce = bytes(16), bytes(8)
+    blob = seal(key, nonce, bytes(4096))
+
+    def roundtrip():
+        return unseal(key, nonce, blob)
+
+    out = benchmark(roundtrip)
+    assert len(out) == 4096
+
+
+def test_perf_shamir_split_recover(benchmark):
+    rng = np.random.default_rng(0)
+
+    def roundtrip():
+        shares = split_secret(SECRET, 11, 105, rng)
+        return recover_secret(shares[:11], k=11)
+
+    assert benchmark(roundtrip) == SECRET
+
+
+def test_perf_rs_errata_decode(benchmark):
+    code = ReedSolomonCode(105, 11)
+    rng = np.random.default_rng(1)
+    message = [int(v) for v in rng.integers(0, 256, 11)]
+    received = code.encode(message)
+    for p in (3, 40, 77):
+        received[p] ^= 0x5A
+
+    result = benchmark(code.decode, received)
+    assert result == message
+
+
+def test_perf_weibull_reliability_vectorized(benchmark):
+    device = WeibullDistribution(alpha=14.0, beta=8.0)
+    xs = np.linspace(0, 40, 100_000)
+
+    out = benchmark(device.reliability, xs)
+    assert out.shape == xs.shape
+
+
+def test_perf_solver_encoded(benchmark):
+    device = WeibullDistribution(alpha=14.0, beta=8.0)
+
+    point = benchmark(solve_encoded_fractional, device, 91_250, 0.10,
+                      PAPER_CRITERIA)
+    assert point.total_devices > 0
+
+
+def test_perf_montecarlo_phone_design(benchmark):
+    device = WeibullDistribution(alpha=14.0, beta=8.0)
+    design = solve_encoded_fractional(device, 91_250, 0.10, PAPER_CRITERIA)
+    rng = np.random.default_rng(2)
+
+    def run():
+        return simulate_access_bounds(design, 5, rng)
+
+    bounds = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert bounds.shape == (5,)

@@ -1,0 +1,17 @@
+"""Benchmark: Table 1 - area cost of the limited-use connection."""
+
+from repro.experiments.fig04_connection import run_table1
+
+
+def test_table1_area_cost(run_once, report):
+    result = run_once(run_table1)
+    report(result)
+    rows = {(r["alpha"], r["beta"]): r for r in result.data["rows"]}
+    # Paper's pattern: the loose-bound high-variation cell (18.69, 10)
+    # is the most expensive without encoding and benefits most from it.
+    worst = rows[(18.69, 10)]
+    best = rows[(10.51, 16)]
+    assert (worst["area_without_encoding_mm2"]
+            > best["area_without_encoding_mm2"] * 100)
+    assert (worst["area_without_encoding_mm2"]
+            / worst["area_with_encoding_mm2"] > 100)

@@ -1,0 +1,62 @@
+"""Design-space exploration: pick devices and encoding for your budget.
+
+Walks the trade-offs of Section 4.3 on a reduced grid: wearout bound and
+consistency vs device count, encoding vs no encoding, area/energy costs,
+and how much a relaxed failure ceiling buys.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.connection.design_space import SMARTPHONE_ACCESS_BOUND
+from repro.core import (
+    PAPER_CRITERIA,
+    DegradationCriteria,
+    WeibullDistribution,
+    access_energy_j,
+    connection_area_mm2,
+    size_architecture,
+)
+from repro.core.degradation import solve_encoded_fractional
+from repro.errors import InfeasibleDesignError
+
+BOUND = SMARTPHONE_ACCESS_BOUND
+
+print(f"target: {BOUND:,} legitimate accesses (50/day x 5 years)\n")
+
+print("1) device quality vs architecture size (k = 10% encoding)")
+print(f"   {'alpha':>5} {'beta':>4} {'bank':>6} {'copies':>7} "
+      f"{'switches':>10} {'area mm^2':>10} {'energy/access':>13}")
+for alpha in (10, 14, 20):
+    for beta in (4, 8, 16):
+        try:
+            point = size_architecture(alpha, beta, BOUND, k_fraction=0.10,
+                                      criteria=PAPER_CRITERIA,
+                                      window="fractional")
+        except InfeasibleDesignError:
+            print(f"   {alpha:>5} {beta:>4}   infeasible")
+            continue
+        print(f"   {alpha:>5} {beta:>4} {point.n:>6} {point.copies:>7} "
+              f"{point.total_devices:>10,} "
+              f"{connection_area_mm2(point):>10.2e} "
+              f"{access_energy_j(point):>12.2e}J")
+
+print("\n2) encoding is what makes loose wearout bounds affordable")
+device = WeibullDistribution(alpha=14, beta=8)
+plain = size_architecture(14, 8, BOUND, k_fraction=None,
+                          criteria=PAPER_CRITERIA, window="fractional")
+encoded = size_architecture(14, 8, BOUND, k_fraction=0.10,
+                            criteria=PAPER_CRITERIA, window="fractional")
+ratio = plain.total_devices / encoded.total_devices
+print(f"   alpha=14 beta=8: unencoded {plain.total_devices:,} vs "
+      f"encoded {encoded.total_devices:,} switches ({ratio:,.0f}x)")
+
+print("\n3) how much a relaxed failure ceiling buys (alpha=14, beta=8)")
+for p_fail in (0.022, 0.05, 0.10):
+    criteria = DegradationCriteria(r_min=0.98, p_fail=p_fail)
+    point = solve_encoded_fractional(device, BOUND, 0.10, criteria)
+    print(f"   p_fail={p_fail:>5.1%}: {point.total_devices:>9,} switches, "
+          f"expected upper bound "
+          f"{point.expected_access_bound():,.0f}")
+
+print("\nrule of thumb: spend fabrication effort on beta (consistency), "
+      "spend architecture (encoding) to forgive alpha (lifetime).")

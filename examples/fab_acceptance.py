@@ -1,0 +1,86 @@
+"""The fab engineer's workflow: from lifetime data to a shippable lot.
+
+Ties together the reproduction's fabrication-side extensions:
+
+1. destructive lifetime testing of a device sample,
+2. lifetime-model selection (is Weibull even the right family?),
+3. architecture sizing with an engineered margin,
+4. bootstrap lot-acceptance against the design's tolerance bands,
+5. stiction certification (maximum stuck-closed fraction).
+
+Run:  python examples/fab_acceptance.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    DegradationCriteria,
+    PAPER_CRITERIA,
+    WeibullDistribution,
+    alpha_margin,
+    beta_margin,
+    evaluate_lot,
+    max_tolerable_stuck_closed,
+    select_lifetime_model,
+)
+from repro.core.degradation import solve_encoded_fractional
+
+rng = np.random.default_rng(2026)
+
+# --- 1. characterize the lot ---------------------------------------------
+true_process = WeibullDistribution(alpha=14.2, beta=7.8)  # what the fab
+sample = true_process.sample(size=4_000, rng=rng)          # actually makes
+print(f"tested {sample.size} devices to destruction: "
+      f"mean {sample.mean():.1f} cycles, std {sample.std():.1f}")
+
+# --- 2. which lifetime family fits? ---------------------------------------
+fits = select_lifetime_model(sample)
+best = fits[0]
+print("model selection (AIC):",
+      ", ".join(f"{f.family}={f.aic:.0f}" for f in fits))
+print(f"-> {best.family} wins; fitted "
+      f"alpha={best.model.alpha:.2f} beta={best.model.beta:.2f}\n")
+
+# --- 3. size the architecture with margin ---------------------------------
+SIZING = DegradationCriteria(r_min=0.999, p_fail=0.002)   # strict sizing
+design = solve_encoded_fractional(
+    WeibullDistribution(alpha=14.0, beta=8.0),  # the *spec* device
+    access_bound=91_250, k_fraction=0.10, criteria=SIZING)
+m_alpha = alpha_margin(design, PAPER_CRITERIA)  # certified field criteria
+m_beta = beta_margin(design, PAPER_CRITERIA)
+print(f"design: {design.k}-of-{design.n} x {design.copies} copies "
+      f"({design.total_devices:,} switches)")
+print(f"tolerance bands: alpha in [{m_alpha.low:.2f}, {m_alpha.high:.2f}]"
+      f", beta in [{m_beta.low:.2f}, {m_beta.high:.2f}]\n")
+
+# --- 4. accept or reject the lot -------------------------------------------
+decision = evaluate_lot(sample, design, rng, n_boot=120,
+                        certify_criteria=PAPER_CRITERIA)
+print(f"lot decision: {'ACCEPT' if decision.accepted else 'REJECT'}")
+print(f"  fitted alpha {decision.fitted_alpha:.2f} "
+      f"(95% CI {decision.alpha_interval[0]:.2f}.."
+      f"{decision.alpha_interval[1]:.2f})")
+print(f"  fitted beta  {decision.fitted_beta:.2f} "
+      f"(95% CI {decision.beta_interval[0]:.2f}.."
+      f"{decision.beta_interval[1]:.2f})")
+for reason in decision.reasons:
+    print(f"  - {reason}")
+
+# --- 5. stiction certification ---------------------------------------------
+q_max = max_tolerable_stuck_closed(design)
+print(f"\nstiction requirement: at most {q_max:.2%} of failures may be "
+      f"stuck-closed (k/n = {design.k / design.n:.1%}); beyond that, "
+      "copies can conduct forever and the attack ceiling breaks")
+
+# A lot that drifted long (often read as GOOD news in reliability work)
+# must be rejected here: over-built devices outlive the security window.
+drifted = WeibullDistribution(alpha=17.5, beta=8.0).sample(size=4_000,
+                                                           rng=rng)
+drifted_decision = evaluate_lot(drifted, design, rng, n_boot=120,
+                                certify_criteria=PAPER_CRITERIA)
+print(f"\ndrifted lot (alpha ~17.5): "
+      f"{'ACCEPT' if drifted_decision.accepted else 'REJECT'}")
+for reason in drifted_decision.reasons:
+    print(f"  - {reason}")
+print("\nlesson: for limited-use security, 'better' devices are defects "
+      "- lifetime must hit a window, not a floor")

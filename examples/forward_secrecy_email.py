@@ -1,0 +1,69 @@
+"""Forward-secret email with hardware-destroyed keys (paper Section 1).
+
+The paper's motivating example: forward secrecy needs a fresh key per
+message, and crucially needs old keys to be *gone* - software promises
+to delete keys can be subverted.  Here every email's key lives in a
+wearout pad; reading the email physically destroys the key, so seizing
+the mailbox later recovers nothing that was already read.
+
+Also demonstrates end-user provisioning (the paper's future-work item):
+the user programs a blank chip through its write-once antifuse fabric.
+
+Run:  python examples/forward_secrecy_email.py
+"""
+
+import numpy as np
+
+from repro import InsufficientSharesError, pads
+from repro.core import WeibullDistribution
+from repro.crypto.otp import xor_decrypt, xor_encrypt
+from repro.pads.provisioning import (
+    AlreadyProgrammedError,
+    BlankPadChip,
+    provision_blank_chip,
+)
+
+rng = np.random.default_rng(1999)
+device = WeibullDistribution(alpha=10, beta=1)
+
+# --- end-user provisioning ceremony -------------------------------------
+blank = BlankPadChip(n_pads=6, height=8, n_copies=64, k=4, device=device,
+                     key_bytes=96)
+chip, addresses = provision_blank_chip(blank, rng)
+print(f"provisioned a blank chip with {len(addresses)} one-time keys "
+      "(write-once antifuse programming)")
+try:
+    provision_blank_chip(blank, rng)
+except AlreadyProgrammedError:
+    print("re-provisioning physically rejected: the antifuses are blown\n")
+
+# --- the mail flow -------------------------------------------------------
+emails = [
+    b"Q3 numbers attached, don't forward",
+    b"offer letter draft for the new hire",
+    b"merger call moved to Thursday",
+]
+sender_keys = [chip.pads[a.pad_id].true_key for a in addresses]
+mailbox = []  # what sits on the mail server: ciphertext + pad address
+for text, key, address in zip(emails, sender_keys, addresses):
+    mailbox.append((address, xor_encrypt(key, text)))
+print(f"{len(mailbox)} emails sent, each under its own pad key")
+
+# The recipient reads the first two emails; each read consumes the pad.
+for address, ciphertext in mailbox[:2]:
+    key = chip.retrieve(address)
+    print(f"  read: {xor_decrypt(key, ciphertext)!r}")
+
+# --- the seizure ----------------------------------------------------------
+# Later, an adversary obtains EVERYTHING the recipient has: the mailbox
+# ciphertexts, the chip, and even the address book (worst case).
+print("\nadversary seizes mailbox + chip + address book:")
+for i, (address, ciphertext) in enumerate(mailbox):
+    try:
+        key = chip.retrieve(address)
+        print(f"  email {i}: COMPROMISED -> {xor_decrypt(key, ciphertext)!r}")
+    except InsufficientSharesError:
+        print(f"  email {i}: safe - its key hardware is already destroyed")
+
+print("\nforward secrecy held for every message that was already read: "
+      "the keys did not merely get deleted, they ceased to exist")

@@ -1,0 +1,59 @@
+"""A limited-use targeting system (Section 5).
+
+A command center issues encrypted directives; the launch station's
+command key lives behind a wearout architecture sized for exactly one
+mission (100 commands).  The demo shows: normal mission traffic, forged
+commands burning the budget without executing, and automatic
+decommissioning at the bound.
+
+Run:  python examples/targeting_system.py
+"""
+
+import numpy as np
+
+from repro import AuthenticationError, DeviceWornOutError, targeting
+
+rng = np.random.default_rng(1914)
+
+design = targeting.design_targeting_system(alpha=10, beta=8,
+                                           mission_bound=100,
+                                           k_fraction=0.10)
+print(f"mission design: {design.copies} copies of {design.k}-of-{design.n} "
+      f"banks = {design.total_devices} switches "
+      f"(paper's comparable point: ~810)")
+
+mission_key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+center = targeting.CommandCenter(mission_key)
+station = targeting.LaunchStation(design, mission_key, rng)
+
+# Normal mission: 80 legitimate strikes.
+for i in range(80):
+    directive = f"engage grid {i:03d}".encode()
+    assert station.execute(center.issue(directive)) == directive
+print(f"mission traffic: {station.executed} commands executed")
+
+# An intruder on the network replays garbage: authentication rejects it,
+# but the attempt still consumes the station's bounded key accesses -
+# probing can only shorten the mission, never extend it.
+forged = targeting.Command(sealed=bytes(64))
+rejected = 0
+for _ in range(10):
+    try:
+        station.execute(forged)
+    except AuthenticationError:
+        rejected += 1
+print(f"forged commands rejected: {rejected} "
+      f"(each still cost one hardware access)")
+
+# The mission budget runs out; the station decommissions itself.
+extra = 0
+try:
+    while True:
+        station.execute(center.issue(b"overreach"))
+        extra += 1
+except DeviceWornOutError:
+    pass
+print(f"{extra} further commands executed before wearout; "
+      f"decommissioned: {station.is_decommissioned}")
+print("the 101st-style overreach is physically impossible: total "
+      f"executed = {station.executed}")

@@ -1,0 +1,75 @@
+"""repro - limited-use security architectures from device wearout.
+
+A full reproduction of Deng, Feldman, Kurtz & Chong, "Lemonade from
+Lemons: Harnessing Device Wearout to Create Limited-Use Security
+Architectures" (ISCA 2017), as a Python library:
+
+- :mod:`repro.core` - Weibull wearout modelling, simulated NEMS devices,
+  structure reliability, the degradation-window solver, cost models;
+- :mod:`repro.gf`, :mod:`repro.codes`, :mod:`repro.crypto` - GF(256),
+  Shamir sharing, Reed-Solomon codes, AES, one-time pads (all from
+  scratch);
+- :mod:`repro.passwords` - real-world guessability model and attacker;
+- :mod:`repro.connection` - the limited-use smartphone connection;
+- :mod:`repro.targeting` - the limited-use targeting system;
+- :mod:`repro.pads` - one-time pads in wearout decision trees;
+- :mod:`repro.sim` - Monte Carlo validation harness;
+- :mod:`repro.experiments` - one module per paper figure/table.
+
+Quickstart::
+
+    import numpy as np
+    from repro import core, connection
+
+    design = core.size_architecture(alpha=14, beta=8, access_bound=91_250,
+                                    k_fraction=0.10,
+                                    criteria=core.PAPER_CRITERIA,
+                                    window="fractional")
+    rng = np.random.default_rng(0)
+    phone = connection.SecurePhone(design, "5512", b"my disk", rng)
+    assert phone.login("5512").success
+"""
+
+from repro import codes, connection, core, crypto, gf, pads, passwords, sim
+from repro import targeting
+from repro.errors import (
+    AuthenticationError,
+    CodingError,
+    ConfigurationError,
+    CryptoError,
+    DecodingFailure,
+    DesignSpaceError,
+    DeviceWornOutError,
+    InfeasibleDesignError,
+    InsufficientSharesError,
+    KeyConsumedError,
+    RegisterDestroyedError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthenticationError",
+    "CodingError",
+    "ConfigurationError",
+    "CryptoError",
+    "DecodingFailure",
+    "DesignSpaceError",
+    "DeviceWornOutError",
+    "InfeasibleDesignError",
+    "InsufficientSharesError",
+    "KeyConsumedError",
+    "RegisterDestroyedError",
+    "ReproError",
+    "__version__",
+    "codes",
+    "connection",
+    "core",
+    "crypto",
+    "gf",
+    "pads",
+    "passwords",
+    "sim",
+    "targeting",
+]

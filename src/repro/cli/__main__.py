@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.cli <subcommand> ...``."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,313 @@
+"""Command-line interface for the repro library.
+
+Subcommands mirror the workflows a user of the paper's system needs:
+
+- ``design``      size a limited-use architecture and report its costs
+- ``sweep``       total-device sweep over alpha for one (beta, k) setting
+- ``attack``      crack-probability analysis for a sized phone design
+- ``pads``        one-time-pad design-point analysis (Eqs. 9-15 + costs)
+- ``simulate``    Monte Carlo empirical access bounds for a design
+- ``experiments`` run registered paper artifacts (same as
+  ``python -m repro.experiments``)
+
+Run ``python -m repro.cli <subcommand> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.costs import (
+    access_energy_j,
+    access_latency_s,
+    connection_area_mm2,
+)
+from repro.core.degradation import (
+    DEFAULT_CRITERIA,
+    DegradationCriteria,
+    PAPER_CRITERIA,
+)
+from repro.core.sizing import size_architecture, sweep_alpha
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ReproError
+from repro.pads.analysis import (
+    adversary_success_probability,
+    receiver_success_probability,
+)
+from repro.pads.layout import pads_per_chip, retrieval_cost
+from repro.passwords.model import PasswordModel
+from repro.sim.montecarlo import simulate_access_bounds, summarize_bounds
+from repro.viz.ascii import line_chart
+
+__all__ = ["main", "build_parser"]
+
+
+def _criteria_from_args(args) -> DegradationCriteria:
+    if args.paper_criteria:
+        return PAPER_CRITERIA
+    if args.r_min is not None or args.p_fail is not None:
+        return DegradationCriteria(
+            r_min=args.r_min if args.r_min is not None else 0.99,
+            p_fail=args.p_fail if args.p_fail is not None else 0.01)
+    return DEFAULT_CRITERIA
+
+
+def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=float, required=True,
+                        help="device scale parameter (mean cycles)")
+    parser.add_argument("--beta", type=float, required=True,
+                        help="device shape parameter (consistency)")
+
+
+def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_device_arguments(parser)
+    parser.add_argument("--bound", type=int, default=91_250,
+                        help="legitimate access bound (default: 91,250)")
+    parser.add_argument("--k-fraction", type=float, default=None,
+                        help="encoding threshold fraction (omit = none)")
+    parser.add_argument("--window", choices=("integer", "fractional"),
+                        default="fractional")
+    parser.add_argument("--paper-criteria", action="store_true",
+                        help="use the 98%%/2.2%% calibrated criteria")
+    parser.add_argument("--r-min", type=float, default=None)
+    parser.add_argument("--p-fail", type=float, default=None)
+
+
+def _design_point(args):
+    return size_architecture(args.alpha, args.beta, args.bound,
+                             k_fraction=args.k_fraction,
+                             criteria=_criteria_from_args(args),
+                             window=args.window)
+
+
+def cmd_design(args) -> int:
+    point = _design_point(args)
+    if args.save:
+        from repro.core.serialize import dumps_design
+
+        with open(args.save, "w", encoding="utf-8") as handle:
+            handle.write(dumps_design(point) + "\n")
+        print(f"design saved to {args.save}")
+    print(f"device:      Weibull(alpha={args.alpha}, beta={args.beta})")
+    print(f"bank:        {point.k}-of-{point.n} switches")
+    print(f"copies:      {point.copies} (x {point.t} accesses each)")
+    print(f"total:       {point.total_devices:,} NEMS switches")
+    print(f"guaranteed:  {point.guaranteed_accesses:,} accesses "
+          f"(target {point.access_bound:,})")
+    print(f"coverage:    P[serves the full target] = "
+          f"{point.coverage_probability():.4f}")
+    print(f"expected to die by: {point.expected_access_bound():,.0f} "
+          f"accesses")
+    print(f"area:        {connection_area_mm2(point):.3e} mm^2")
+    print(f"energy:      {access_energy_j(point):.3e} J/access")
+    print(f"latency:     {access_latency_s(point) * 1e9:.0f} ns/access")
+    return 0
+
+
+def cmd_advise(args) -> int:
+    from repro.core.advisor import AdvisorConstraints, advise
+
+    constraints = AdvisorConstraints(
+        max_area_mm2=args.max_area_mm2,
+        max_energy_j_per_access=args.max_energy_j,
+        max_devices=args.max_devices)
+    candidates = advise(args.alpha, args.beta, args.bound,
+                        constraints=constraints,
+                        criteria=_criteria_from_args(args))
+    if not candidates:
+        print("no feasible design under these constraints; relax them "
+              "or procure devices with tighter wearout bounds")
+        return 1
+    print(f"{'option':<12} {'devices':>12} {'area mm^2':>11} "
+          f"{'energy/access':>14}")
+    for candidate in candidates:
+        print(f"{candidate.label:<12} "
+              f"{candidate.design.total_devices:>12,} "
+              f"{candidate.area_mm2:>11.3e} "
+              f"{candidate.energy_j:>13.3e}J")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    alphas = np.arange(args.alpha_min, args.alpha_max + 1e-9, args.step)
+    results = sweep_alpha(alphas, args.beta, args.bound,
+                          k_fraction=args.k_fraction,
+                          criteria=_criteria_from_args(args),
+                          window=args.window)
+    rows = [(r.alpha, float(r.total_devices))
+            for r in results if r.total_devices is not None]
+    for r in results:
+        total = "infeasible" if r.total_devices is None \
+            else f"{r.total_devices:,}"
+        print(f"alpha={r.alpha:g}: {total}")
+    if len(rows) >= 2:
+        label = (f"beta={args.beta}" if args.k_fraction is None
+                 else f"beta={args.beta} k={args.k_fraction:.0%}")
+        print(line_chart({label: rows}, log_y=args.log_y))
+    return 0
+
+
+def cmd_attack(args) -> int:
+    point = _design_point(args)
+    model = PasswordModel()
+    budget = point.guaranteed_accesses - args.legitimate_uses
+    p = float(model.cracked_fraction(max(budget, 0)))
+    print(f"hardware access budget left to the attacker: {max(budget, 0):,}")
+    print(f"P[professional brute force succeeds]: {p:.4%}")
+    for label, excluded in (("top 1% rejected", 0.01),
+                            ("top 2% rejected", 0.02)):
+        hardened = 0.0 if p <= excluded else (p - excluded) / (1 - excluded)
+        print(f"  with {label}: {hardened:.4%}")
+    print("against a bypassed software counter the same attacker "
+          "succeeds with probability 100%")
+    return 0
+
+
+def cmd_pads(args) -> int:
+    device = WeibullDistribution(alpha=args.alpha, beta=args.beta)
+    if args.design:
+        from repro.pads.design import design_pad
+
+        solved = design_pad(device, receiver_min=args.receiver_min,
+                            adversary_max=args.adversary_max)
+        print(f"solved pad geometry: H={solved.height}, "
+              f"n={solved.n_copies}, k={solved.k}")
+        print(f"  receiver success:   {solved.receiver_success:.6f}")
+        print(f"  Eq.15 adversary:    "
+              f"{solved.eq15_adversary_success:.3e}")
+        print(f"  same-path adversary: "
+              f"{solved.same_path_adversary_success:.3e}")
+        print(f"  pad area:           {solved.area_mm2:.3e} mm^2")
+        return 0
+    recv = receiver_success_probability(device, args.height, args.copies,
+                                        args.k)
+    adv = adversary_success_probability(device, args.height, args.copies,
+                                        args.k)
+    same_path = (2.0 ** -(args.height - 1)
+                 * recv)  # stronger same-path-per-trial adversary
+    cost = retrieval_cost(args.height, args.copies)
+    print(f"design: H={args.height}, n={args.copies}, k={args.k}, "
+          f"device Weibull({args.alpha}, {args.beta})")
+    print(f"P[receiver succeeds]:            {recv:.6f}")
+    print(f"P[Eq.15 adversary succeeds]:     {adv:.3e}")
+    print(f"P[same-path adversary, 1 trial]: {same_path:.3e}")
+    print(f"retrieval latency: {cost.total_latency_s * 1e3:.5f} ms, "
+          f"energy {cost.energy_j:.3e} J")
+    print(f"pads per mm^2: {pads_per_chip(args.height, args.copies):,}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    point = _design_point(args)
+    rng = np.random.default_rng(args.seed)
+    bounds = simulate_access_bounds(point, args.trials, rng)
+    summary = summarize_bounds(bounds)
+    print(f"simulated {summary.trials} fabricated instances:")
+    print(f"  mean bound: {summary.mean:,.1f} (std {summary.std:.1f})")
+    print(f"  min/p01/p50/p99/max: {summary.minimum:,} / "
+          f"{summary.p01:,.0f} / {summary.p50:,.0f} / "
+          f"{summary.p99:,.0f} / {summary.maximum:,}")
+    meets = float((bounds >= point.access_bound).mean())
+    print(f"  P[meets legitimate bound {point.access_bound:,}]: {meets:.3f}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        print(EXPERIMENTS[experiment_id]().render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Limited-use security architectures from device "
+                    "wearout (ISCA 2017 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_design = sub.add_parser("design", help="size one architecture")
+    _add_design_arguments(p_design)
+    p_design.add_argument("--save", metavar="FILE", default=None,
+                          help="write the design as JSON to FILE")
+    p_design.set_defaults(func=cmd_design)
+
+    p_advise = sub.add_parser(
+        "advise", help="search encodings under area/energy constraints")
+    _add_design_arguments(p_advise)
+    p_advise.add_argument("--max-area-mm2", type=float, default=None)
+    p_advise.add_argument("--max-energy-j", type=float, default=None)
+    p_advise.add_argument("--max-devices", type=int, default=None)
+    p_advise.set_defaults(func=cmd_advise)
+
+    p_sweep = sub.add_parser("sweep", help="device-count sweep over alpha")
+    p_sweep.add_argument("--alpha-min", type=float, default=10.0)
+    p_sweep.add_argument("--alpha-max", type=float, default=20.0)
+    p_sweep.add_argument("--step", type=float, default=1.0)
+    p_sweep.add_argument("--beta", type=float, required=True)
+    p_sweep.add_argument("--bound", type=int, default=91_250)
+    p_sweep.add_argument("--k-fraction", type=float, default=None)
+    p_sweep.add_argument("--window", choices=("integer", "fractional"),
+                         default="fractional")
+    p_sweep.add_argument("--paper-criteria", action="store_true")
+    p_sweep.add_argument("--r-min", type=float, default=None)
+    p_sweep.add_argument("--p-fail", type=float, default=None)
+    p_sweep.add_argument("--log-y", action="store_true")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_attack = sub.add_parser("attack",
+                              help="brute-force analysis of a design")
+    _add_design_arguments(p_attack)
+    p_attack.add_argument("--legitimate-uses", type=int, default=0)
+    p_attack.set_defaults(func=cmd_attack)
+
+    p_pads = sub.add_parser("pads", help="one-time-pad design analysis")
+    _add_device_arguments(p_pads)
+    p_pads.add_argument("--height", type=int, default=8)
+    p_pads.add_argument("--copies", type=int, default=128)
+    p_pads.add_argument("--k", type=int, default=8)
+    p_pads.add_argument("--design", action="store_true",
+                        help="solve for the cheapest (H, n, k) instead "
+                             "of analyzing the given one")
+    p_pads.add_argument("--receiver-min", type=float, default=0.999)
+    p_pads.add_argument("--adversary-max", type=float, default=1e-6)
+    p_pads.set_defaults(func=cmd_pads)
+
+    p_sim = sub.add_parser("simulate",
+                           help="Monte Carlo access bounds for a design")
+    _add_design_arguments(p_sim)
+    p_sim.add_argument("--trials", type=int, default=200)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_exp = sub.add_parser("experiments", help="run paper artifacts")
+    p_exp.add_argument("ids", nargs="*",
+                       help="experiment ids (default: all)")
+    p_exp.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Threshold secret sharing and error-correction codes."""
+
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.codes.shamir import Share, recover_secret, split_secret
+from repro.codes.shamir16 import Share16, recover_secret16, split_secret16
+from repro.codes.threshold import rs_recover_secret, rs_split_secret
+
+__all__ = [
+    "ReedSolomonCode",
+    "Share",
+    "Share16",
+    "recover_secret",
+    "recover_secret16",
+    "rs_recover_secret",
+    "rs_split_secret",
+    "split_secret",
+    "split_secret16",
+]

@@ -1,0 +1,249 @@
+"""Reed-Solomon codes over GF(256), with erasure and error decoding.
+
+The paper uses RS codes as "the error correction version of Shamir's
+secret-sharing scheme": the storage key is encoded into ``n`` symbols and
+spread across the devices of a parallel structure; any ``k`` surviving
+symbols (device failures are *erasures* - we know which switches died)
+recover the key.
+
+Implemented from scratch:
+
+- systematic encoding via the generator polynomial
+  ``g(x) = prod_{i=0}^{n-k-1} (x - alpha**i)``,
+- syndrome computation,
+- erasure-only decoding,
+- full errata decoding: Berlekamp-Massey on the erasure-adjusted
+  (Forney) syndromes, Chien search, and Forney's magnitude formula -
+  corrects ``e`` errors and ``f`` erasures whenever ``2e + f <= n - k``.
+
+Symbol layout is message-first: ``codeword[0:k]`` is the message,
+``codeword[k:n]`` the parity.  Internally the codeword polynomial stores
+the message in the high-degree coefficients, as is conventional.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError, DecodingFailure
+from repro.gf.field import GF256, GF_RS
+from repro.gf.poly import Poly
+
+__all__ = ["ReedSolomonCode"]
+
+
+class ReedSolomonCode:
+    """An (n, k) Reed-Solomon code over GF(256).
+
+    ``n`` is the codeword length (<= 255), ``k`` the message length.
+    """
+
+    def __init__(self, n: int, k: int, field: GF256 = GF_RS) -> None:
+        if not 1 <= k <= n <= 255:
+            raise ConfigurationError(
+                f"need 1 <= k <= n <= 255, got n={n}, k={k}")
+        self.n = n
+        self.k = k
+        self.field = field
+        self.generator_poly = self._build_generator()
+
+    @property
+    def parity(self) -> int:
+        """Number of parity symbols (n - k)."""
+        return self.n - self.k
+
+    def _build_generator(self) -> Poly:
+        g = Poly.one(self.field)
+        for i in range(self.parity):
+            g = g * Poly([self.field.exp(i), 1], self.field)
+        return g
+
+    # ------------------------------------------------------------------
+    # Layout mapping between stored symbols and polynomial degrees
+    # ------------------------------------------------------------------
+    def _degree_of_position(self, pos: int) -> int:
+        """Polynomial degree holding stored symbol ``pos``."""
+        if pos < self.k:  # message symbols occupy the high degrees
+            return self.parity + pos
+        return self.parity - 1 - (pos - self.k)
+
+    def _position_of_degree(self, degree: int) -> int:
+        if degree >= self.parity:
+            return degree - self.parity
+        return self.k + (self.parity - 1 - degree)
+
+    def _codeword_poly(self, symbols: Sequence[int]) -> Poly:
+        msg, par = list(symbols[:self.k]), list(symbols[self.k:])
+        return Poly(par[::-1] + msg, self.field)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, message: Sequence[int]) -> list[int]:
+        """Systematically encode ``k`` message symbols into ``n`` symbols."""
+        msg = [int(s) for s in message]
+        if len(msg) != self.k:
+            raise ConfigurationError(
+                f"message must have exactly k={self.k} symbols, "
+                f"got {len(msg)}")
+        if any(not 0 <= s <= 255 for s in msg):
+            raise ConfigurationError("symbols must be bytes (0..255)")
+        if self.parity == 0:
+            return msg
+        shifted = Poly(msg, self.field).shift(self.parity)
+        remainder = shifted % self.generator_poly
+        parity_low_first = list(remainder.coeffs)
+        parity_low_first += [0] * (self.parity - len(parity_low_first))
+        return msg + parity_low_first[::-1]
+
+    # ------------------------------------------------------------------
+    # Syndromes
+    # ------------------------------------------------------------------
+    def syndromes(self, symbols: Sequence[int]) -> list[int]:
+        """Evaluate the received word at alpha^0 .. alpha^(parity-1)."""
+        if len(symbols) != self.n:
+            raise ConfigurationError(
+                f"received word must have n={self.n} symbols")
+        poly = self._codeword_poly(symbols)
+        return [poly(self.field.exp(i)) for i in range(self.parity)]
+
+    def is_codeword(self, symbols: Sequence[int]) -> bool:
+        return all(s == 0 for s in self.syndromes(symbols))
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode_erasures(self, symbols: Sequence[int],
+                        erasure_positions: Sequence[int]) -> list[int]:
+        """Recover the message when only erasures occurred.
+
+        ``erasure_positions`` index the stored layout; the values at those
+        positions are ignored.  Succeeds whenever ``len(erasures) <= n-k``.
+        """
+        return self.decode(symbols, erasure_positions=erasure_positions,
+                           max_errors=0)
+
+    def decode(self, symbols: Sequence[int],
+               erasure_positions: Sequence[int] = (),
+               max_errors: int | None = None) -> list[int]:
+        """Full errata decode; returns the ``k`` message symbols.
+
+        Corrects ``e`` unknown errors plus ``f`` known erasures whenever
+        ``2e + f <= n - k``.  ``max_errors`` optionally tightens the error
+        budget (0 = erasures only).  Raises :class:`DecodingFailure` when
+        the errata exceed the radius or the corrected word is inconsistent.
+        """
+        received = [int(s) for s in symbols]
+        if len(received) != self.n:
+            raise ConfigurationError(
+                f"received word must have n={self.n} symbols")
+        erasures = sorted(set(int(p) for p in erasure_positions))
+        if any(not 0 <= p < self.n for p in erasures):
+            raise ConfigurationError("erasure positions out of range")
+        if len(erasures) > self.parity:
+            raise DecodingFailure(
+                f"{len(erasures)} erasures exceed correction capability "
+                f"{self.parity}")
+        for p in erasures:  # give erased symbols a defined received value
+            received[p] = 0
+
+        synd = self.syndromes(received)
+        if all(s == 0 for s in synd):
+            # The zero-filled word is already a codeword: either nothing was
+            # wrong, or the erased symbols genuinely were zero.
+            return received[:self.k]
+
+        field = self.field
+        erasure_degrees = [self._degree_of_position(p) for p in erasures]
+        # Erasure locator Gamma(x) = prod (1 - X_m x), X_m = alpha^degree.
+        gamma = Poly.one(field)
+        for d in erasure_degrees:
+            gamma = gamma * Poly([1, field.exp(d)], field)
+
+        # Forney syndromes: T = Gamma * S mod x^parity; entries f..parity-1
+        # form an error-only syndrome sequence for Berlekamp-Massey.
+        synd_poly = Poly(synd, field)
+        t_coeffs = list((gamma * synd_poly).coeffs)[:self.parity]
+        t_coeffs += [0] * (self.parity - len(t_coeffs))
+        fsynd = t_coeffs[len(erasures):]
+
+        error_budget = (self.parity - len(erasures)) // 2
+        if max_errors is not None:
+            error_budget = min(error_budget, max_errors)
+        error_locator = _berlekamp_massey(fsynd, field)
+        n_errors = error_locator.degree
+        if n_errors > error_budget:
+            raise DecodingFailure(
+                f"estimated {n_errors} errors exceeds budget {error_budget}")
+
+        error_degrees = self._chien_search(error_locator)
+        if len(error_degrees) != n_errors:
+            raise DecodingFailure("error locator does not split over GF(256)")
+
+        errata_locator = error_locator * gamma
+        errata_degrees = error_degrees + erasure_degrees
+        magnitudes = self._forney(synd_poly, errata_locator, errata_degrees)
+
+        corrected = list(received)
+        for degree, magnitude in zip(errata_degrees, magnitudes):
+            corrected[self._position_of_degree(degree)] ^= magnitude
+        if not self.is_codeword(corrected):
+            raise DecodingFailure("corrected word fails syndrome check")
+        return corrected[:self.k]
+
+    # ------------------------------------------------------------------
+    def _chien_search(self, locator: Poly) -> list[int]:
+        """Degrees d in [0, n) where locator(alpha^-d) == 0."""
+        field = self.field
+        return [
+            d for d in range(self.n)
+            if locator(field.pow(field.generator, -d)) == 0
+        ]
+
+    def _forney(self, synd_poly: Poly, errata_locator: Poly,
+                errata_degrees: list[int]) -> list[int]:
+        """Errata magnitudes via Forney's formula.
+
+        With syndromes starting at alpha^0 (b = 0), the magnitude at
+        location X_j = alpha^d is ``X_j * Omega(X_j^-1) / Lambda'(X_j^-1)``
+        where ``Omega = S * Lambda mod x^parity``.
+        """
+        field = self.field
+        product = synd_poly * errata_locator
+        omega = Poly(list(product.coeffs)[:self.parity], field)
+        deriv = errata_locator.derivative()
+        magnitudes = []
+        for d in errata_degrees:
+            x_inv = field.pow(field.generator, -d)
+            denom = deriv(x_inv)
+            if denom == 0:
+                raise DecodingFailure("Forney denominator is zero")
+            x_j = field.exp(d)
+            magnitudes.append(field.mul(x_j, field.div(omega(x_inv), denom)))
+        return magnitudes
+
+
+def _berlekamp_massey(syndromes: list[int], field: GF256) -> Poly:
+    """Minimal LFSR (error locator, lowest-degree-first) for a sequence."""
+    locator = [1]
+    prev = [1]
+    for i, s in enumerate(syndromes):
+        prev = [0] + prev  # prev *= x (lowest-degree-first storage)
+        delta = s
+        for j in range(1, len(locator)):
+            if locator[j] and i - j >= 0:
+                delta ^= field.mul(locator[j], syndromes[i - j])
+        if delta == 0:
+            continue
+        if len(prev) > len(locator):
+            new_locator = [field.mul(c, delta) for c in prev]
+            inv_delta = field.inverse(delta)
+            prev = [field.mul(c, inv_delta) for c in locator]
+            locator = new_locator
+        scaled = [field.mul(c, delta) for c in prev]
+        locator = [
+            (locator[j] if j < len(locator) else 0)
+            ^ (scaled[j] if j < len(scaled) else 0)
+            for j in range(max(len(locator), len(scaled)))
+        ]
+    return Poly(locator, field)

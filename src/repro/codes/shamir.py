@@ -1,0 +1,116 @@
+"""Shamir's (k, n) threshold secret sharing over GF(256) (Section 4.1.4).
+
+The secret is processed byte-wise: for each secret byte ``s`` a random
+polynomial ``q(x) = s + a1*x + ... + a_{k-1}*x^{k-1}`` is drawn and the
+share with index ``x`` receives ``q(x)``.  Any ``k`` shares recover the
+secret by Lagrange interpolation at 0; any ``k - 1`` shares are
+information-theoretically independent of it.
+
+Share indices run 1..n (0 would leak the secret directly; 255 share
+indices is the field-size ceiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InsufficientSharesError
+from repro.gf.field import GF256, GF_RS
+
+__all__ = ["Share", "split_secret", "recover_secret"]
+
+MAX_SHARES = 255
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the evaluation point ``index`` and the data."""
+
+    index: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.index <= MAX_SHARES:
+            raise ConfigurationError(
+                f"share index must be 1..{MAX_SHARES}, got {self.index}")
+
+
+def split_secret(secret: bytes, k: int, n: int,
+                 rng: np.random.Generator | None = None,
+                 field: GF256 = GF_RS) -> list[Share]:
+    """Split ``secret`` into ``n`` shares, any ``k`` of which recover it.
+
+    The random coefficients come from ``rng`` (a fresh generator when
+    omitted).  All byte positions share one coefficient matrix draw, so
+    splitting is vectorized over the secret length.
+    """
+    if not 1 <= k <= n <= MAX_SHARES:
+        raise ConfigurationError(
+            f"need 1 <= k <= n <= {MAX_SHARES}, got k={k}, n={n}")
+    if not secret:
+        raise ConfigurationError("secret must be non-empty")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    secret_arr = np.frombuffer(secret, dtype=np.uint8)
+    # coeffs[0] is the secret itself; rows 1..k-1 are uniform random.
+    coeffs = np.empty((k, secret_arr.size), dtype=np.uint8)
+    coeffs[0] = secret_arr
+    if k > 1:
+        coeffs[1:] = rng.integers(0, 256, size=(k - 1, secret_arr.size),
+                                  dtype=np.uint8)
+
+    shares = []
+    for x in range(1, n + 1):
+        # Horner evaluation of every byte's polynomial at the point x.
+        acc = np.zeros(secret_arr.size, dtype=np.uint8)
+        for row in coeffs[::-1]:
+            acc = field.mul_vec(acc, np.uint8(x)) ^ row
+        shares.append(Share(index=x, data=acc.tobytes()))
+    return shares
+
+
+def recover_secret(shares: list[Share], k: int | None = None,
+                   field: GF256 = GF_RS) -> bytes:
+    """Recover the secret from at least ``k`` shares.
+
+    ``k`` defaults to using every supplied share.  Supplying more than
+    ``k`` shares is fine (the first ``k`` distinct indices are used);
+    fewer raises :class:`InsufficientSharesError`.
+    """
+    if not shares:
+        raise InsufficientSharesError("no shares supplied")
+    distinct: dict[int, Share] = {}
+    for share in shares:
+        existing = distinct.get(share.index)
+        if existing is not None and existing.data != share.data:
+            raise ConfigurationError(
+                f"conflicting shares for index {share.index}")
+        distinct[share.index] = share
+    if k is None:
+        k = len(distinct)
+    if len(distinct) < k:
+        raise InsufficientSharesError(
+            f"need {k} distinct shares, got {len(distinct)}")
+    chosen = sorted(distinct.values(), key=lambda s: s.index)[:k]
+    lengths = {len(s.data) for s in chosen}
+    if len(lengths) != 1:
+        raise ConfigurationError("shares have inconsistent lengths")
+
+    # Lagrange basis at x = 0: L_i = prod_{j != i} x_j / (x_i ^ x_j).
+    xs = [s.index for s in chosen]
+    size = lengths.pop()
+    acc = np.zeros(size, dtype=np.uint8)
+    for i, share in enumerate(chosen):
+        num, den = 1, 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            num = field.mul(num, xj)
+            den = field.mul(den, xs[i] ^ xj)
+        weight = field.div(num, den)
+        data = np.frombuffer(share.data, dtype=np.uint8)
+        acc ^= field.mul_vec(data, np.uint8(weight))
+    return acc.tobytes()

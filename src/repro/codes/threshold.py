@@ -1,0 +1,103 @@
+"""Reed-Solomon-based (k, n) threshold sharing of byte-string secrets.
+
+The paper's architectures spread a secret over ``n`` wearout devices and
+require ``k`` survivors.  Device deaths are *erasures* (the architecture
+knows which switches failed), so an (n, k) RS code gives the same
+recover-from-any-k property as Shamir, plus genuine error correction when
+some surviving cells return corrupted data.
+
+Unlike Shamir, RS sharing is *not* information-theoretically hiding (it is
+systematic: shares 0..k-1 are the secret itself).  Use
+:mod:`repro.codes.shamir` when secrecy against partial capture matters and
+this module when the goal is erasure tolerance - Section 4.1.4 uses the
+schemes interchangeably for the degradation math, and so do the use-case
+modules, which default to Shamir.
+"""
+
+from __future__ import annotations
+
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.codes.shamir import Share
+from repro.errors import ConfigurationError, InsufficientSharesError
+from repro.gf.field import GF256, GF_RS
+
+__all__ = ["rs_split_secret", "rs_recover_secret"]
+
+
+def rs_split_secret(secret: bytes, k: int, n: int,
+                    field: GF256 = GF_RS) -> list[Share]:
+    """Encode ``secret`` into ``n`` erasure-tolerant shares (threshold k).
+
+    The secret is chunked column-wise into length-``k`` messages; share
+    ``i`` holds symbol ``i`` of every chunk's codeword.  Shares reuse the
+    :class:`~repro.codes.shamir.Share` container with 1-based indices.
+    """
+    if not 1 <= k <= n <= 255:
+        raise ConfigurationError(f"need 1 <= k <= n <= 255, got k={k} n={n}")
+    if not secret:
+        raise ConfigurationError("secret must be non-empty")
+    code = ReedSolomonCode(n, k, field)
+    # Zero-pad to whole chunks; recovery strips the pad (or trims to an
+    # explicit secret_len for secrets with trailing NULs).
+    n_chunks = -(-len(secret) // k)
+    padded = secret + b"\x00" * (n_chunks * k - len(secret))
+    columns = [bytearray() for _ in range(n)]
+    for c in range(n_chunks):
+        chunk = padded[c * k:(c + 1) * k]
+        codeword = code.encode(list(chunk))
+        for i, symbol in enumerate(codeword):
+            columns[i].append(symbol)
+    return [Share(index=i + 1, data=bytes(col))
+            for i, col in enumerate(columns)]
+
+
+def rs_recover_secret(shares: list[Share], k: int, n: int,
+                      secret_len: int | None = None,
+                      field: GF256 = GF_RS,
+                      correct_errors: bool = False) -> bytes:
+    """Recover the secret from any ``k`` (or more) of the ``n`` shares.
+
+    Missing shares are treated as erasures.  With ``correct_errors``,
+    *corrupted* shares (present but wrong - e.g. a decaying register
+    returning flipped bits) are also corrected, as long as
+    ``2 * errors + missing <= n - k``.  This is the practical advantage
+    of RS sharing over Shamir, whose recovery silently yields a wrong
+    secret when any contributing share is corrupt.
+
+    ``secret_len`` trims padding; when omitted, trailing NUL padding of
+    the final chunk is stripped.
+    """
+    if not 1 <= k <= n <= 255:
+        raise ConfigurationError(f"need 1 <= k <= n <= 255, got k={k} n={n}")
+    present: dict[int, bytes] = {}
+    for share in shares:
+        if not 1 <= share.index <= n:
+            raise ConfigurationError(
+                f"share index {share.index} outside 1..{n}")
+        present[share.index - 1] = share.data
+    if len(present) < k:
+        raise InsufficientSharesError(
+            f"need {k} shares, got {len(present)}")
+    lengths = {len(d) for d in present.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError("shares have inconsistent lengths")
+    n_chunks = lengths.pop()
+
+    code = ReedSolomonCode(n, k, field)
+    erasures = [i for i in range(n) if i not in present]
+    out = bytearray()
+    for c in range(n_chunks):
+        received = [present[i][c] if i in present else 0 for i in range(n)]
+        if correct_errors:
+            out.extend(code.decode(received, erasure_positions=erasures))
+        else:
+            out.extend(code.decode_erasures(received, erasures))
+    secret = bytes(out)
+    if secret_len is not None:
+        if secret_len > len(secret):
+            raise ConfigurationError(
+                f"secret_len {secret_len} exceeds recovered {len(secret)}")
+        secret = secret[:secret_len]
+    else:
+        secret = secret.rstrip(b"\x00") or b"\x00"
+    return secret

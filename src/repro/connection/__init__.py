@@ -1,0 +1,55 @@
+"""The limited-use connection use case (paper Section 4)."""
+
+from repro.connection.architecture import LimitedUseConnection
+from repro.connection.availability import (
+    DrainAnalysis,
+    drain_analysis,
+    simulate_drain_attack,
+)
+from repro.connection.attacks import (
+    HardwareAttackStats,
+    analytic_crack_probability,
+    simulate_hardware_attacks,
+    software_counter_attempts_needed,
+)
+from repro.connection.baselines import (
+    NANDImage,
+    PhoneWipedError,
+    SoftwareCounterPhone,
+)
+from repro.connection.design_space import (
+    SMARTPHONE_ACCESS_BOUND,
+    fig4a_unencoded_sweep,
+    fig4b_encoded_sweep,
+    fig4c_relaxed_criteria_sweep,
+    fig4d_stronger_passcodes,
+    table1_area_cost,
+)
+from repro.connection.keystore import BankKeyStore
+from repro.connection.multiuser import SharedPhone
+from repro.connection.phone import LoginResult, MWayPhone, SecurePhone
+
+__all__ = [
+    "BankKeyStore",
+    "DrainAnalysis",
+    "HardwareAttackStats",
+    "LimitedUseConnection",
+    "LoginResult",
+    "MWayPhone",
+    "NANDImage",
+    "PhoneWipedError",
+    "SMARTPHONE_ACCESS_BOUND",
+    "SecurePhone",
+    "SharedPhone",
+    "SoftwareCounterPhone",
+    "analytic_crack_probability",
+    "drain_analysis",
+    "fig4a_unencoded_sweep",
+    "fig4b_encoded_sweep",
+    "fig4c_relaxed_criteria_sweep",
+    "fig4d_stronger_passcodes",
+    "simulate_drain_attack",
+    "simulate_hardware_attacks",
+    "software_counter_attempts_needed",
+    "table1_area_cost",
+]

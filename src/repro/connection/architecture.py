@@ -1,0 +1,84 @@
+"""The limited-use connection: wearout-bounded access to a secret key.
+
+Hardware realization of Figure 2d: ``N`` serially-consumed copies, each a
+k-of-n parallel bank of NEMS switches with a Shamir share of the storage
+key behind every switch.  Every key read actuates the active bank; once
+all banks are exhausted the key is physically unrecoverable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.connection.keystore import BankKeyStore
+from repro.core.degradation import DesignPoint
+from repro.core.device import NEMSSwitch
+from repro.core.hardware import SimulatedBank
+from repro.core.variation import ProcessVariation
+from repro.errors import DeviceWornOutError
+
+__all__ = ["LimitedUseConnection"]
+
+
+class LimitedUseConnection:
+    """A fabricated limited-use connection guarding one secret.
+
+    Parameters
+    ----------
+    design:
+        The sized architecture (bank size, threshold, copy count, device
+        model) from the degradation solver.
+    secret:
+        The byte string to protect (e.g. a 16-byte storage key).
+    rng:
+        Generator used both for fabrication (lifetime sampling) and for
+        the per-bank Shamir splits.
+    variation:
+        Optional per-device process variation applied at fabrication.
+    """
+
+    def __init__(self, design: DesignPoint, secret: bytes,
+                 rng: np.random.Generator,
+                 variation: ProcessVariation | None = None) -> None:
+        self.design = design
+        self._banks: list[SimulatedBank] = []
+        self._stores: list[BankKeyStore] = []
+        for _ in range(design.copies):
+            switches = NEMSSwitch.fabricate_batch(
+                design.device, design.n, rng, variation)
+            self._banks.append(SimulatedBank(switches, design.k))
+            self._stores.append(BankKeyStore(secret, design.n, design.k, rng))
+        self._current = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_copy(self) -> int:
+        return self._current
+
+    @property
+    def is_exhausted(self) -> bool:
+        return self._current >= len(self._banks)
+
+    @property
+    def device_count(self) -> int:
+        return self.design.total_devices
+
+    def read_key(self) -> bytes:
+        """One physical access to the protected secret.
+
+        Actuates the active bank; recovers the secret from the shares
+        behind the switches that closed.  Falls over to the next copy when
+        the active bank dies, and raises :class:`DeviceWornOutError` once
+        every copy is exhausted - the phone is then permanently locked.
+        """
+        self.accesses += 1
+        while self._current < len(self._banks):
+            bank = self._banks[self._current]
+            closed = bank.access()
+            if len(closed) >= bank.k:
+                return self._stores[self._current].recover(closed)
+            self._current += 1
+        raise DeviceWornOutError(
+            f"limited-use connection exhausted after {self.accesses} "
+            f"accesses (bound {self.design.access_bound})")

@@ -1,0 +1,96 @@
+"""Software-counter baseline and its published bypasses (Section 4 intro).
+
+The motivating weakness: iOS-style retry limiting is a *software* policy
+(wipe after 10 failures, escalating delays).  Published attacks defeat the
+counter itself:
+
+- the MDSec power-cut attack races the counter update: cut power after the
+  validation result but before the counter increments;
+- NAND mirroring (Skorobogatov) restores the counter state from a backup
+  image every few attempts;
+- unauthenticated firmware updates can disable the guard logic entirely.
+
+:class:`SoftwareCounterPhone` implements the policy and the bypass hooks
+so experiments can show the contrast: bypassed software counters allow
+unlimited attempts, while the limited-use connection's bound is physical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.modes import derive_key, seal, unseal
+from repro.errors import AuthenticationError, ConfigurationError, ReproError
+
+__all__ = ["PhoneWipedError", "SoftwareCounterPhone", "NANDImage"]
+
+
+class PhoneWipedError(ReproError):
+    """The retry policy fired and the device erased its storage."""
+
+
+@dataclass
+class NANDImage:
+    """A snapshot of the phone's mutable counter state (mirroring attack)."""
+
+    failed_attempts: int
+
+
+class SoftwareCounterPhone:
+    """Passcode validation guarded only by a software retry counter."""
+
+    def __init__(self, passcode: str, storage_plaintext: bytes,
+                 rng: np.random.Generator, wipe_after: int = 10) -> None:
+        if wipe_after < 1:
+            raise ConfigurationError("wipe_after must be >= 1")
+        salt = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        self._salt = salt
+        self._sealed = seal(derive_key(passcode, salt), b"\x00" * 8,
+                            storage_plaintext)
+        self.wipe_after = wipe_after
+        self.failed_attempts = 0
+        self.wiped = False
+        self.total_attempts = 0
+
+    # ------------------------------------------------------------------
+    def login(self, passcode: str, power_cut_bypass: bool = False,
+              ) -> bytes | None:
+        """One login attempt under the software policy.
+
+        ``power_cut_bypass=True`` models the MDSec attack: the validation
+        result is observed but power is cut before the counter increments,
+        so failures are never recorded.  Returns the plaintext on success,
+        None on failure; raises :class:`PhoneWipedError` once wiped.
+        """
+        if self.wiped:
+            raise PhoneWipedError("storage was erased by the retry policy")
+        self.total_attempts += 1
+        try:
+            plaintext = unseal(derive_key(passcode, self._salt),
+                               b"\x00" * 8, self._sealed)
+        except AuthenticationError:
+            if not power_cut_bypass:
+                self.failed_attempts += 1
+                if self.failed_attempts >= self.wipe_after:
+                    self.wiped = True
+            return None
+        self.failed_attempts = 0
+        return plaintext
+
+    # ------------------------------------------------------------------
+    # NAND mirroring bypass
+    # ------------------------------------------------------------------
+    def snapshot_nand(self) -> NANDImage:
+        """Image the counter state (taken once, before attacking)."""
+        return NANDImage(failed_attempts=self.failed_attempts)
+
+    def restore_nand(self, image: NANDImage) -> None:
+        """Restore the counter from a backup image, un-wiping the policy.
+
+        Models Skorobogatov's iPhone 5c NAND mirroring: the guard state is
+        external and replayable, so the wipe threshold never accumulates.
+        """
+        self.failed_attempts = image.failed_attempts
+        self.wiped = False

@@ -1,0 +1,100 @@
+"""Binding secret shares to the switches of a parallel bank.
+
+Each copy of the limited-use connection holds an independent Shamir split
+of the protected secret: share ``i`` sits behind switch ``i``, so an
+access that closes fewer than ``k`` switches physically cannot recover
+the secret - the k-of-n semantics are cryptographic, not just counted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.shamir import Share, recover_secret, split_secret
+from repro.codes.shamir16 import (
+    MAX_SHARES16,
+    recover_secret16,
+    split_secret16,
+)
+from repro.codes.threshold import rs_recover_secret, rs_split_secret
+from repro.errors import ConfigurationError, InsufficientSharesError
+
+__all__ = ["BankKeyStore"]
+
+
+class BankKeyStore:
+    """The ``n`` shares of one parallel bank (threshold ``k``).
+
+    For the unencoded architecture (k = 1) every "share" is the secret
+    itself - any single live switch suffices, exactly as Figure 2c wires
+    it.
+
+    Encoded banks support two schemes:
+
+    - ``"shamir"`` (default) - information-theoretically hiding; shards
+      over GF(2^8) when n <= 255 and over GF(2^16) for the wide banks
+      high-variation devices need (beta = 4 designs reach n > 1000);
+    - ``"rs"`` - Reed-Solomon erasure coding (n <= 255): not hiding
+      against partial capture, but tolerant of *corrupted* shares - a
+      decaying register returning flipped bits is corrected as long as
+      ``2 * errors <= n - k - missing``, where Shamir would silently
+      reconstruct garbage.  Section 4.1.4 treats the schemes as
+      interchangeable; this makes the actual trade-off explicit.
+    """
+
+    def __init__(self, secret: bytes, n: int, k: int,
+                 rng: np.random.Generator, scheme: str = "shamir") -> None:
+        if not secret:
+            raise ConfigurationError("secret must be non-empty")
+        if not 1 <= k <= n:
+            raise ConfigurationError(f"need 1 <= k <= n, got k={k}, n={n}")
+        if scheme not in ("shamir", "rs"):
+            raise ConfigurationError(f"unknown scheme {scheme!r}")
+        self.n = n
+        self.k = k
+        self.scheme = scheme
+        self._secret_len = len(secret)
+        if k == 1:
+            self._shares = [secret] * n
+            self._mode = "replicas"
+        elif scheme == "rs":
+            if n > 255:
+                raise ConfigurationError(
+                    "RS banks support at most 255 shares")
+            self._shares = rs_split_secret(secret, k, n)
+            self._mode = "rs"
+        elif n <= 255:
+            self._shares = split_secret(secret, k, n, rng)
+            self._mode = "gf256"
+        elif n <= MAX_SHARES16:
+            self._shares = split_secret16(secret, k, n, rng)
+            self._mode = "gf65536"
+        else:
+            raise ConfigurationError(
+                f"banks beyond {MAX_SHARES16} shares are not supported")
+
+    def recover(self, live_indices: list[int]) -> bytes:
+        """Recover the secret from the switches that closed.
+
+        ``live_indices`` are 0-based switch positions.  Raises
+        :class:`InsufficientSharesError` below the threshold.  The RS
+        scheme uses *all* live shares and corrects corrupted ones within
+        the code's radius; Shamir uses the first k.
+        """
+        if len(live_indices) < self.k:
+            raise InsufficientSharesError(
+                f"only {len(live_indices)} live switches, need {self.k}")
+        if any(not 0 <= i < self.n for i in live_indices):
+            raise ConfigurationError("switch index out of range")
+        if self._mode == "replicas":
+            return self._shares[live_indices[0]]
+        if self._mode == "rs":
+            chosen = [self._shares[i] for i in live_indices]
+            return rs_recover_secret(chosen, self.k, self.n,
+                                     secret_len=self._secret_len,
+                                     correct_errors=True)
+        chosen = [self._shares[i] for i in live_indices[:self.k]]
+        if self._mode == "gf256":
+            return recover_secret(chosen, k=self.k)
+        return recover_secret16(chosen, k=self.k,
+                                secret_len=self._secret_len)

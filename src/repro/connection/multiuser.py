@@ -1,0 +1,118 @@
+"""Multi-user devices over one limited-use connection.
+
+Shared tablets and enterprise devices have several users with separate
+passcodes, all protected by one wearout budget.  The construction is
+standard key wrapping on top of the paper's architecture: a random
+storage key seals the disk; each user holds a *wrap* of that storage key
+under KDF(their passcode, hardware key).  Every login - any user, right
+or wrong - still costs exactly one hardware access, so the shared budget
+is the security parameter and per-user accounting is purely advisory.
+
+User management respects the wearout economics: enrolling a user costs
+one access (the hardware key must be read to build the wrap); revoking
+one is free (delete the wrap - the hardware is untouched).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.connection.architecture import LimitedUseConnection
+from repro.connection.phone import LoginResult
+from repro.core.degradation import DesignPoint
+from repro.core.variation import ProcessVariation
+from repro.crypto.modes import derive_key, seal, unseal
+from repro.errors import AuthenticationError, ConfigurationError
+
+__all__ = ["SharedPhone"]
+
+_STORAGE_NONCE = b"\x00" * 7 + b"\x01"
+_WRAP_NONCE = b"\x00" * 7 + b"\x02"
+
+
+class SharedPhone:
+    """A multi-user device guarded by one limited-use connection."""
+
+    def __init__(self, design: DesignPoint, owner: str, passcode: str,
+                 storage_plaintext: bytes, rng: np.random.Generator,
+                 variation: ProcessVariation | None = None) -> None:
+        if not owner or not passcode:
+            raise ConfigurationError("owner name and passcode required")
+        hardware_key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        storage_key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        self.connection = LimitedUseConnection(design, hardware_key, rng,
+                                               variation)
+        self._sealed_storage = seal(storage_key, _STORAGE_NONCE,
+                                    storage_plaintext)
+        self._wraps: dict[str, bytes] = {
+            owner: self._make_wrap(passcode, hardware_key, storage_key)
+        }
+        self.access_ledger: dict[str, int] = {owner: 0}
+
+    @staticmethod
+    def _make_wrap(passcode: str, hardware_key: bytes,
+                   storage_key: bytes) -> bytes:
+        user_key = derive_key(passcode, salt=hardware_key)
+        return seal(user_key, _WRAP_NONCE, storage_key)
+
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> list[str]:
+        return sorted(self._wraps)
+
+    def login(self, user: str, passcode: str) -> LoginResult:
+        """One login attempt; spends one shared hardware access."""
+        if user not in self._wraps:
+            raise ConfigurationError(f"unknown user {user!r}")
+        hardware_key = self.connection.read_key()
+        self.access_ledger[user] = self.access_ledger.get(user, 0) + 1
+        user_key = derive_key(passcode, salt=hardware_key)
+        try:
+            storage_key = unseal(user_key, _WRAP_NONCE, self._wraps[user])
+            plaintext = unseal(storage_key, _STORAGE_NONCE,
+                               self._sealed_storage)
+        except AuthenticationError:
+            return LoginResult(success=False)
+        return LoginResult(success=True, plaintext=plaintext)
+
+    def add_user(self, sponsor: str, sponsor_passcode: str,
+                 new_user: str, new_passcode: str) -> bool:
+        """Enroll a user, authorized by an existing user's passcode.
+
+        Costs one hardware access (the wrap needs the hardware key).
+        Returns False - with the access spent - if the sponsor's
+        passcode is wrong.
+        """
+        if sponsor not in self._wraps:
+            raise ConfigurationError(f"unknown sponsor {sponsor!r}")
+        if not new_user or not new_passcode:
+            raise ConfigurationError("new user name and passcode required")
+        if new_user in self._wraps:
+            raise ConfigurationError(f"user {new_user!r} already enrolled")
+        hardware_key = self.connection.read_key()
+        self.access_ledger[sponsor] = self.access_ledger.get(sponsor,
+                                                             0) + 1
+        sponsor_key = derive_key(sponsor_passcode, salt=hardware_key)
+        try:
+            storage_key = unseal(sponsor_key, _WRAP_NONCE,
+                                 self._wraps[sponsor])
+        except AuthenticationError:
+            return False
+        new_key = derive_key(new_passcode, salt=hardware_key)
+        self._wraps[new_user] = seal(new_key, _WRAP_NONCE, storage_key)
+        self.access_ledger.setdefault(new_user, 0)
+        return True
+
+    def remove_user(self, user: str) -> None:
+        """Revoke a user: delete the wrap; costs no hardware access.
+
+        The last user cannot be removed (the storage key would become
+        unreachable even with valid hardware).
+        """
+        if user not in self._wraps:
+            raise ConfigurationError(f"unknown user {user!r}")
+        if len(self._wraps) == 1:
+            raise ConfigurationError(
+                "cannot remove the last user; the storage would be "
+                "orphaned")
+        del self._wraps[user]

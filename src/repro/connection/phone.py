@@ -1,0 +1,168 @@
+"""End-to-end smartphone login flow over the limited-use connection.
+
+The storage-decryption chain follows Section 4: the disk is sealed under
+a key derived from *both* the user passcode and a hardware key that lives
+behind the limited-use connection.  Validating a passcode therefore
+requires one physical access - right or wrong - which is exactly the
+property that defeats offline brute force.
+
+:class:`MWayPhone` adds Section 4.1.5's module replication: M connections
+consumed serially, with a fresh passcode and storage re-encryption at
+every migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.connection.architecture import LimitedUseConnection
+from repro.core.degradation import DesignPoint
+from repro.core.variation import ProcessVariation
+from repro.crypto.modes import derive_key, seal, unseal
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    DeviceWornOutError,
+)
+
+__all__ = ["LoginResult", "SecurePhone", "MWayPhone"]
+
+_NONCE = b"\x00" * 8  # storage is re-sealed with a fresh key per epoch
+
+
+@dataclass(frozen=True)
+class LoginResult:
+    """Outcome of one login attempt."""
+
+    success: bool
+    plaintext: bytes | None = None
+
+
+class SecurePhone:
+    """A phone whose storage key is guarded by a limited-use connection."""
+
+    def __init__(self, design: DesignPoint, passcode: str,
+                 storage_plaintext: bytes, rng: np.random.Generator,
+                 variation: ProcessVariation | None = None) -> None:
+        if not passcode:
+            raise ConfigurationError("passcode must be non-empty")
+        self._rng = rng
+        # The hardware key never leaves the connection unencoded storage;
+        # the disk key binds passcode and hardware key together.
+        hardware_key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        self.connection = LimitedUseConnection(design, hardware_key, rng,
+                                               variation)
+        disk_key = derive_key(passcode, salt=hardware_key)
+        self._sealed_storage = seal(disk_key, _NONCE, storage_plaintext)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_bricked(self) -> bool:
+        """True once the connection has worn out: storage is gone forever."""
+        return self.connection.is_exhausted
+
+    @property
+    def login_attempts(self) -> int:
+        return self.connection.accesses
+
+    def login(self, passcode: str) -> LoginResult:
+        """Attempt to unlock the phone.
+
+        Every attempt - correct or not - traverses the hardware, spending
+        one of the connection's bounded accesses.  Raises
+        :class:`DeviceWornOutError` once the hardware is exhausted.
+        """
+        hardware_key = self.connection.read_key()  # may raise DeviceWornOut
+        disk_key = derive_key(passcode, salt=hardware_key)
+        try:
+            plaintext = unseal(disk_key, _NONCE, self._sealed_storage)
+        except AuthenticationError:
+            return LoginResult(success=False)
+        return LoginResult(success=True, plaintext=plaintext)
+
+    def change_passcode(self, old_passcode: str, new_passcode: str) -> bool:
+        """Re-seal storage under a new passcode (same hardware module).
+
+        Costs exactly one hardware access (the storage must be decrypted
+        to re-encrypt it); the hardware key itself never changes - only
+        an M-way migration retires it.  Returns False (with the access
+        spent) when the old passcode is wrong.
+        """
+        if not new_passcode:
+            raise ConfigurationError("new passcode must be non-empty")
+        hardware_key = self.connection.read_key()
+        old_key = derive_key(old_passcode, salt=hardware_key)
+        try:
+            plaintext = unseal(old_key, _NONCE, self._sealed_storage)
+        except AuthenticationError:
+            return False
+        new_key = derive_key(new_passcode, salt=hardware_key)
+        self._sealed_storage = seal(new_key, _NONCE, plaintext)
+        return True
+
+
+class MWayPhone:
+    """M serially-consumed phone modules (Section 4.1.5).
+
+    ``migrate`` moves to the next module: the storage plaintext is
+    recovered with the old passcode, the old module is retired, and the
+    storage is re-sealed under a new passcode bound to the next module's
+    hardware key.
+    """
+
+    def __init__(self, designs: list[DesignPoint], passcodes: list[str],
+                 storage_plaintext: bytes, rng: np.random.Generator,
+                 variation: ProcessVariation | None = None) -> None:
+        if not designs:
+            raise ConfigurationError("need at least one module design")
+        if len(passcodes) != len(designs):
+            raise ConfigurationError(
+                "need exactly one passcode per module (a migration "
+                "requires a fresh passcode)")
+        if len(set(passcodes)) != len(passcodes):
+            raise ConfigurationError("module passcodes must all differ")
+        self._designs = designs
+        self._passcodes = passcodes
+        self._rng = rng
+        self._variation = variation
+        self._module_index = 0
+        self.migrations = 0
+        self._active = SecurePhone(designs[0], passcodes[0],
+                                   storage_plaintext, rng, variation)
+
+    @property
+    def m(self) -> int:
+        return len(self._designs)
+
+    @property
+    def active_module(self) -> int:
+        return self._module_index
+
+    @property
+    def is_bricked(self) -> bool:
+        return (self._module_index == self.m - 1
+                and self._active.is_bricked)
+
+    def login(self, passcode: str) -> LoginResult:
+        """Login against the active module."""
+        return self._active.login(passcode)
+
+    def migrate(self) -> None:
+        """Retire the active module and move to the next one.
+
+        Decrypts storage with the active module's passcode (one access),
+        then re-provisions on the next module under its passcode.
+        """
+        if self._module_index >= self.m - 1:
+            raise DeviceWornOutError("no modules left to migrate to")
+        result = self._active.login(self._passcodes[self._module_index])
+        if not result.success:  # pragma: no cover - internal consistency
+            raise AuthenticationError("stored passcode failed at migration")
+        self._module_index += 1
+        self.migrations += 1
+        self._active = SecurePhone(
+            self._designs[self._module_index],
+            self._passcodes[self._module_index],
+            result.plaintext, self._rng, self._variation)

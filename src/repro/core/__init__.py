@@ -1,0 +1,178 @@
+"""Core wearout modelling and architectural sizing.
+
+Public surface re-exported here: the Weibull model, device simulations,
+structure reliability, the degradation-window solver, and cost models.
+"""
+
+from repro.core.acceptance import (
+    LotDecision,
+    bootstrap_weibull_fit,
+    evaluate_lot,
+)
+from repro.core.advisor import (
+    AdvisorConstraints,
+    DesignCandidate,
+    advise,
+    pareto_frontier,
+)
+from repro.core.costs import (
+    access_energy_j,
+    access_latency_s,
+    connection_area_mm2,
+    switch_array_area_nm2,
+)
+from repro.core.failure_modes import (
+    FailureMode,
+    MixedModeSwitch,
+    ceiling_violation_probability,
+    effective_reliability,
+    max_tolerable_stuck_closed,
+    simulate_stuck_closed_inflation,
+)
+from repro.core.rotation import (
+    RotatingBank,
+    rotating_effective_device,
+    rotation_window_analysis,
+)
+from repro.core.sensitivity import (
+    ParameterMargin,
+    alpha_margin,
+    beta_margin,
+    scaling_elasticity,
+)
+from repro.core.serialize import (
+    design_from_dict,
+    design_to_dict,
+    dumps_design,
+    loads_design,
+)
+from repro.core.uncertainty import SizingUncertainty, design_size_uncertainty
+from repro.core.degradation import (
+    DEFAULT_CRITERIA,
+    PAPER_CRITERIA,
+    DegradationCriteria,
+    DesignPoint,
+    max_reliable_accesses,
+    solve_encoded,
+    solve_encoded_fractional,
+    solve_structure,
+    solve_unencoded,
+    solve_unencoded_fractional,
+)
+from repro.core.device import (
+    NEMS_CHARACTERISTICS,
+    NEMSCharacteristics,
+    NEMSSwitch,
+    ReadDestructiveRegister,
+)
+from repro.core.environment import (
+    SiCTemperatureModel,
+    apply_environment,
+    environmental_attack_gain,
+)
+from repro.core.fitting import fit_median_rank, fit_mle
+from repro.core.models import (
+    GammaLifetime,
+    LognormalLifetime,
+    ModelFit,
+    fit_lifetime_model,
+    select_lifetime_model,
+)
+from repro.core.hardware import SerialCopies, SimulatedBank, build_serial_copies
+from repro.core.replication import ReplicationPlan, plan_replication
+from repro.core.sizing import SweepResult, size_architecture, sweep_alpha
+from repro.core.structures import (
+    KOutOfNStructure,
+    ParallelStructure,
+    SeriesStructure,
+    k_of_n_reliability,
+    parallel_reliability,
+    series_reliability,
+)
+from repro.core.variation import (
+    LognormalVariation,
+    NoVariation,
+    ProcessVariation,
+    SLACK_ELASTICITY,
+    SLACK_GEOMETRIC,
+    SLACK_RESISTANCE,
+)
+from repro.core.weibull import WeibullDistribution
+
+__all__ = [
+    "AdvisorConstraints",
+    "DEFAULT_CRITERIA",
+    "DegradationCriteria",
+    "DesignCandidate",
+    "DesignPoint",
+    "FailureMode",
+    "GammaLifetime",
+    "KOutOfNStructure",
+    "LognormalLifetime",
+    "LognormalVariation",
+    "LotDecision",
+    "MixedModeSwitch",
+    "ModelFit",
+    "NEMSCharacteristics",
+    "NEMSSwitch",
+    "NEMS_CHARACTERISTICS",
+    "NoVariation",
+    "PAPER_CRITERIA",
+    "ParallelStructure",
+    "ParameterMargin",
+    "ProcessVariation",
+    "ReadDestructiveRegister",
+    "ReplicationPlan",
+    "RotatingBank",
+    "SLACK_ELASTICITY",
+    "SLACK_GEOMETRIC",
+    "SLACK_RESISTANCE",
+    "SerialCopies",
+    "SeriesStructure",
+    "SiCTemperatureModel",
+    "SimulatedBank",
+    "SizingUncertainty",
+    "SweepResult",
+    "WeibullDistribution",
+    "access_energy_j",
+    "access_latency_s",
+    "advise",
+    "alpha_margin",
+    "apply_environment",
+    "beta_margin",
+    "bootstrap_weibull_fit",
+    "build_serial_copies",
+    "ceiling_violation_probability",
+    "connection_area_mm2",
+    "design_from_dict",
+    "design_size_uncertainty",
+    "design_to_dict",
+    "dumps_design",
+    "effective_reliability",
+    "environmental_attack_gain",
+    "evaluate_lot",
+    "fit_lifetime_model",
+    "fit_median_rank",
+    "fit_mle",
+    "k_of_n_reliability",
+    "loads_design",
+    "max_reliable_accesses",
+    "max_tolerable_stuck_closed",
+    "parallel_reliability",
+    "pareto_frontier",
+    "plan_replication",
+    "rotating_effective_device",
+    "rotation_window_analysis",
+    "scaling_elasticity",
+    "select_lifetime_model",
+    "series_reliability",
+    "simulate_stuck_closed_inflation",
+    "size_architecture",
+    "solve_encoded",
+    "solve_encoded_fractional",
+    "solve_structure",
+    "solve_unencoded",
+    "solve_unencoded_fractional",
+    "sweep_alpha",
+    "switch_array_area_nm2",
+]

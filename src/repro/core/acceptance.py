@@ -1,0 +1,125 @@
+"""Lot acceptance testing: should this fabricated batch ship?
+
+Bridges fabrication and architecture: given destructive lifetime tests
+on a sample from a device lot and the design the lot is meant to serve,
+decide accept/reject with statistical confidence.
+
+Procedure:
+
+1. fit a Weibull to the sample (MLE),
+2. bootstrap the fit to get confidence intervals on (alpha, beta),
+3. compare the intervals against the design's parameter margins
+   (:mod:`repro.core.sensitivity`): accept only when the whole
+   confidence region sits inside the margins.
+
+This is the operational answer to the paper's Section 7 question of
+"balanc[ing] the fabrication cost of more consistent devices with the
+area cost of architectural techniques": the margins tell the fab exactly
+what it must certify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.degradation import DesignPoint
+from repro.core.fitting import fit_mle
+from repro.core.sensitivity import ParameterMargin, alpha_margin, beta_margin
+from repro.errors import ConfigurationError
+
+__all__ = ["LotDecision", "bootstrap_weibull_fit", "evaluate_lot"]
+
+
+@dataclass(frozen=True)
+class LotDecision:
+    """Outcome of a lot acceptance test."""
+
+    accepted: bool
+    fitted_alpha: float
+    fitted_beta: float
+    alpha_interval: tuple[float, float]
+    beta_interval: tuple[float, float]
+    alpha_margin: ParameterMargin
+    beta_margin: ParameterMargin
+    reasons: tuple[str, ...]
+
+
+def bootstrap_weibull_fit(lifetimes, n_boot: int,
+                          rng: np.random.Generator,
+                          confidence: float = 0.95,
+                          ) -> tuple[tuple[float, float],
+                                     tuple[float, float]]:
+    """Percentile-bootstrap confidence intervals for (alpha, beta)."""
+    data = np.asarray(lifetimes, dtype=float).ravel()
+    if data.size < 10:
+        raise ConfigurationError(
+            "need at least 10 lifetimes for a bootstrap")
+    if not 0.5 < confidence < 1.0:
+        raise ConfigurationError("confidence must lie in (0.5, 1)")
+    if n_boot < 10:
+        raise ConfigurationError("n_boot must be >= 10")
+    alphas = np.empty(n_boot)
+    betas = np.empty(n_boot)
+    for i in range(n_boot):
+        resample = rng.choice(data, size=data.size, replace=True)
+        fit = fit_mle(resample)
+        alphas[i] = fit.alpha
+        betas[i] = fit.beta
+    tail = (1.0 - confidence) / 2.0 * 100.0
+    return (
+        (float(np.percentile(alphas, tail)),
+         float(np.percentile(alphas, 100.0 - tail))),
+        (float(np.percentile(betas, tail)),
+         float(np.percentile(betas, 100.0 - tail))),
+    )
+
+
+def evaluate_lot(lifetimes, design: DesignPoint,
+                 rng: np.random.Generator, n_boot: int = 200,
+                 confidence: float = 0.95,
+                 certify_criteria=None) -> LotDecision:
+    """Accept or reject a device lot for a given architecture.
+
+    The lot ships only if the bootstrap confidence region for its
+    (alpha, beta) lies entirely inside the design's tolerance margins.
+    ``reasons`` lists every violated condition (empty on accept).
+
+    ``certify_criteria`` are the (looser) field criteria the margins are
+    computed against; size the design with stricter criteria than these
+    or the margins collapse to a point (cost-minimal designs have no
+    slack against their own criteria).
+    """
+    fit = fit_mle(np.asarray(lifetimes, dtype=float).ravel())
+    alpha_ci, beta_ci = bootstrap_weibull_fit(lifetimes, n_boot, rng,
+                                              confidence)
+    margin_a = alpha_margin(design, certify_criteria)
+    margin_b = beta_margin(design, certify_criteria)
+    reasons = []
+    if alpha_ci[0] < margin_a.low:
+        reasons.append(
+            f"alpha may be as low as {alpha_ci[0]:.3g} < "
+            f"margin {margin_a.low:.3g} (owner lockout risk)")
+    if alpha_ci[1] > margin_a.high:
+        reasons.append(
+            f"alpha may be as high as {alpha_ci[1]:.3g} > "
+            f"margin {margin_a.high:.3g} (attack ceiling risk)")
+    if beta_ci[0] < margin_b.low:
+        reasons.append(
+            f"beta may be as low as {beta_ci[0]:.3g} < "
+            f"margin {margin_b.low:.3g} (window too wide)")
+    if beta_ci[1] > margin_b.high:
+        reasons.append(
+            f"beta may be as high as {beta_ci[1]:.3g} > "
+            f"margin {margin_b.high:.3g}")
+    return LotDecision(
+        accepted=not reasons,
+        fitted_alpha=fit.alpha,
+        fitted_beta=fit.beta,
+        alpha_interval=alpha_ci,
+        beta_interval=beta_ci,
+        alpha_margin=margin_a,
+        beta_margin=margin_b,
+        reasons=tuple(reasons),
+    )

@@ -1,0 +1,117 @@
+"""Design advisor: constrained search over the whole engineering space.
+
+Section 4.3 explores parameters one axis at a time; deployments need the
+joint answer: *given my access bound, my device lot, and my area/energy
+budget, which architecture should I build?*  The advisor searches over
+encoding fractions (and no encoding) under explicit constraints and
+returns candidates ranked by device count, plus the Pareto frontier of
+(devices, energy/access) trade-offs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import access_energy_j, connection_area_mm2
+from repro.core.degradation import (
+    DEFAULT_CRITERIA,
+    DegradationCriteria,
+    DesignPoint,
+    solve_structure,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, InfeasibleDesignError
+
+__all__ = ["DesignCandidate", "AdvisorConstraints", "advise",
+           "pareto_frontier"]
+
+DEFAULT_K_FRACTIONS = (None, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50)
+
+
+@dataclass(frozen=True)
+class AdvisorConstraints:
+    """Deployment constraints the advisor must respect."""
+
+    max_area_mm2: float | None = None
+    max_energy_j_per_access: float | None = None
+    max_devices: int | None = None
+
+    def admits(self, candidate: "DesignCandidate") -> bool:
+        if (self.max_area_mm2 is not None
+                and candidate.area_mm2 > self.max_area_mm2):
+            return False
+        if (self.max_energy_j_per_access is not None
+                and candidate.energy_j > self.max_energy_j_per_access):
+            return False
+        if (self.max_devices is not None
+                and candidate.design.total_devices > self.max_devices):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One feasible architecture with its evaluated costs."""
+
+    k_fraction: float | None
+    design: DesignPoint
+    area_mm2: float
+    energy_j: float
+
+    @property
+    def label(self) -> str:
+        return ("unencoded" if self.k_fraction is None
+                else f"k={self.k_fraction:.0%}*n")
+
+
+def advise(alpha: float, beta: float, access_bound: int,
+           constraints: AdvisorConstraints | None = None,
+           criteria: DegradationCriteria = DEFAULT_CRITERIA,
+           k_fractions=DEFAULT_K_FRACTIONS,
+           secret_bits: int = 128) -> list[DesignCandidate]:
+    """All feasible candidates under the constraints, cheapest first.
+
+    Infeasible encoding fractions are skipped silently (the unencoded
+    option is usually infeasible by area at realistic bounds - that is
+    the paper's point).  An empty list means nothing satisfies the
+    constraints: relax them or buy better devices.
+    """
+    if access_bound < 1:
+        raise ConfigurationError("access_bound must be >= 1")
+    constraints = constraints or AdvisorConstraints()
+    device = WeibullDistribution(alpha=alpha, beta=beta)
+    candidates = []
+    for k_fraction in k_fractions:
+        try:
+            design = solve_structure(device, access_bound,
+                                     k_fraction=k_fraction,
+                                     criteria=criteria,
+                                     window="fractional")
+        except InfeasibleDesignError:
+            continue
+        candidate = DesignCandidate(
+            k_fraction=k_fraction,
+            design=design,
+            area_mm2=connection_area_mm2(design, secret_bits),
+            energy_j=access_energy_j(design),
+        )
+        if constraints.admits(candidate):
+            candidates.append(candidate)
+    return sorted(candidates, key=lambda c: c.design.total_devices)
+
+
+def pareto_frontier(candidates: list[DesignCandidate],
+                    ) -> list[DesignCandidate]:
+    """Candidates not dominated on (total devices, energy per access)."""
+    frontier = []
+    for candidate in candidates:
+        dominated = any(
+            other.design.total_devices <= candidate.design.total_devices
+            and other.energy_j <= candidate.energy_j
+            and (other.design.total_devices < candidate.design.total_devices
+                 or other.energy_j < candidate.energy_j)
+            for other in candidates
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda c: c.design.total_devices)

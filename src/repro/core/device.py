@@ -1,0 +1,189 @@
+"""Stateful simulations of the physical devices the paper builds on.
+
+Two device families appear in the architectures:
+
+- :class:`NEMSSwitch` - a nanoelectromechanical contact switch whose
+  lifetime (in actuation cycles) is drawn from a Weibull wearout model.
+  Every traversal of a security structure actuates its switches; once a
+  switch's accumulated cycles exceed its sampled lifetime it fails
+  permanently (open contact, no current path).
+- :class:`ReadDestructiveRegister` - a shift register holding a secret
+  string that is destroyed by the act of reading it.  The paper notes that
+  read-destruction alone is *not* sufficient security (it can be bypassed
+  by low-voltage reads or cloning), which is why registers sit behind NEMS
+  decision trees; :meth:`ReadDestructiveRegister.tamper_read` models that
+  bypass for attack experiments.
+
+Physical constants used throughout the cost models are collected in
+:data:`NEMS_CHARACTERISTICS` (values from Loh & Espinosa, as cited by the
+paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.variation import NoVariation, ProcessVariation
+from repro.core.weibull import WeibullDistribution
+from repro.errors import (
+    ConfigurationError,
+    DeviceWornOutError,
+    RegisterDestroyedError,
+)
+
+__all__ = [
+    "NEMSCharacteristics",
+    "NEMS_CHARACTERISTICS",
+    "NEMSSwitch",
+    "ReadDestructiveRegister",
+]
+
+_switch_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class NEMSCharacteristics:
+    """Physical constants of a NEMS contact switch used by cost models."""
+
+    contact_area_nm2: float = 100.0      # contact area per switch
+    pitch_nm: float = 1.0                # spacing between switches
+    switching_delay_s: float = 10e-9     # single actuation latency
+    switching_energy_j: float = 1e-20    # energy per actuation
+    register_cell_area_nm2: float = 50.0  # shift-register cell area
+    register_delay_per_bit_s: float = 20e-9  # serial readout per bit
+
+
+#: Default constants (paper Section 4.3 / 6.5).
+NEMS_CHARACTERISTICS = NEMSCharacteristics()
+
+
+class NEMSSwitch:
+    """A simulated NEMS contact switch with a finite sampled lifetime.
+
+    Parameters
+    ----------
+    lifetime_cycles:
+        Number of successful actuations before permanent failure.  The
+        switch serves ``floor(lifetime_cycles)`` actuations; the next one
+        fails.  Must be non-negative.
+
+    Notes
+    -----
+    The switch is intentionally simple and fast: structures above it
+    (parallel banks, decision trees) provide all architectural behaviour.
+    """
+
+    __slots__ = ("lifetime_cycles", "cycles_used", "switch_id")
+
+    def __init__(self, lifetime_cycles: float) -> None:
+        if not lifetime_cycles >= 0:
+            raise ConfigurationError(
+                f"lifetime_cycles must be >= 0, got {lifetime_cycles!r}")
+        self.lifetime_cycles = float(lifetime_cycles)
+        self.cycles_used = 0
+        self.switch_id = next(_switch_ids)
+
+    @classmethod
+    def from_model(cls, model: WeibullDistribution,
+                   rng: np.random.Generator,
+                   variation: ProcessVariation | None = None) -> "NEMSSwitch":
+        """Fabricate one switch whose lifetime is drawn from ``model``.
+
+        ``variation`` adds per-device parameter jitter before sampling.
+        """
+        if variation is None or isinstance(variation, NoVariation):
+            return cls(model.sample(rng=rng))
+        per_device = variation.perturb(model, 1, rng)[0]
+        return cls(per_device.sample(rng=rng))
+
+    @classmethod
+    def fabricate_batch(cls, model: WeibullDistribution, count: int,
+                        rng: np.random.Generator,
+                        variation: ProcessVariation | None = None,
+                        ) -> list["NEMSSwitch"]:
+        """Fabricate ``count`` switches efficiently (vectorized sampling)."""
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        variation = variation or NoVariation()
+        lifetimes = variation.sample_lifetimes(model, count, rng)
+        return [cls(lifetime) for lifetime in lifetimes]
+
+    # ------------------------------------------------------------------
+    @property
+    def is_failed(self) -> bool:
+        """True once the switch can no longer close."""
+        return self.cycles_used >= self.lifetime_cycles
+
+    @property
+    def remaining_cycles(self) -> int:
+        """Actuations left before failure (0 if already failed)."""
+        return max(0, int(self.lifetime_cycles) - self.cycles_used)
+
+    def actuate(self) -> bool:
+        """Attempt one switching cycle.
+
+        Returns True if the switch closed (the access can proceed through
+        it), False if it has worn out.  A failed switch stays failed; the
+        attempt is still counted so wear accounting stays consistent.
+        """
+        if self.is_failed:
+            return False
+        self.cycles_used += 1
+        return self.cycles_used <= self.lifetime_cycles
+
+    def actuate_or_raise(self) -> None:
+        """Like :meth:`actuate` but raises :class:`DeviceWornOutError`."""
+        if not self.actuate():
+            raise DeviceWornOutError(
+                f"NEMS switch #{self.switch_id} worn out after "
+                f"{int(self.lifetime_cycles)} cycles")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "FAILED" if self.is_failed else "ok"
+        return (f"NEMSSwitch(id={self.switch_id}, used={self.cycles_used}/"
+                f"{self.lifetime_cycles:.0f}, {state})")
+
+
+@dataclass
+class ReadDestructiveRegister:
+    """A shift register whose contents are destroyed by reading.
+
+    The secret is one-time programmed at fabrication; :meth:`read` returns
+    it exactly once.  :meth:`tamper_read` models the low-voltage bypass the
+    paper warns about - it exists so attack experiments can demonstrate why
+    bare read-destructive memory is insufficient without a NEMS network in
+    front of it.
+    """
+
+    contents: bytes
+    destroyed: bool = field(default=False, init=False)
+    tampered: bool = field(default=False, init=False)
+
+    def read(self) -> bytes:
+        """Destructive read: returns the secret and erases it."""
+        if self.destroyed:
+            raise RegisterDestroyedError(
+                "register already read; contents destroyed")
+        value = self.contents
+        self.contents = b"\x00" * len(value)
+        self.destroyed = True
+        return value
+
+    def tamper_read(self) -> bytes:
+        """Non-destructive read via the low-voltage bypass (attack model).
+
+        Leaves the register intact but marks it tampered so experiments can
+        audit which secrets leaked.
+        """
+        if self.destroyed:
+            raise RegisterDestroyedError(
+                "register already read; contents destroyed")
+        self.tampered = True
+        return self.contents
+
+    @property
+    def size_bits(self) -> int:
+        return 8 * len(self.contents)

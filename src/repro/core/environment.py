@@ -1,0 +1,110 @@
+"""Operating-environment effects on NEMS wearout (paper Section 2.1).
+
+The security argument needs wearout bounds an attacker cannot *extend*
+by manipulating the environment.  The paper's evidence for SiC NEMS:
+
+- room temperature (25 C) is the best case the attacker can get: the
+  paper assumes the 25 C lifetime as the device wearout bound;
+- extreme heat only accelerates failure (melting: >21e9 cycles at 25 C
+  vs >2e9 at 500 C for the SiC switches of Lee et al.);
+- extreme cold does not help either - fracture failures persist after
+  freezing.
+
+:class:`SiCTemperatureModel` encodes that as a lifetime multiplier that
+never exceeds 1, interpolated log-linearly between the two published
+operating points above 25 C.  :func:`apply_environment` scales a device
+model accordingly, and :func:`environmental_attack_gain` quantifies the
+(absence of) budget an attacker gains across a temperature range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SiCTemperatureModel",
+    "apply_environment",
+    "environmental_attack_gain",
+]
+
+ROOM_TEMPERATURE_C = 25.0
+
+
+@dataclass(frozen=True)
+class SiCTemperatureModel:
+    """Lifetime multiplier vs temperature for SiC NEMS switches.
+
+    Calibrated to the paper's cited data: factor 1.0 at 25 C and
+    ``hot_factor`` (default 2/21, from 21e9 -> 2e9 cycles) at
+    ``hot_temperature_c`` (default 500 C), log-linear in between and
+    continuing to decay above.  Below room temperature the factor is
+    held at ``cold_factor`` <= 1: freezing cannot extend life because
+    fracture failures remain.
+    """
+
+    hot_temperature_c: float = 500.0
+    hot_factor: float = 2.0 / 21.0
+    cold_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.hot_temperature_c <= ROOM_TEMPERATURE_C:
+            raise ConfigurationError(
+                "hot calibration point must be above room temperature")
+        if not 0.0 < self.hot_factor <= 1.0:
+            raise ConfigurationError("hot_factor must lie in (0, 1]")
+        if not 0.0 < self.cold_factor <= 1.0:
+            raise ConfigurationError(
+                "cold_factor must lie in (0, 1]: cooling never extends "
+                "lifetime")
+
+    def lifetime_factor(self, temperature_c: float) -> float:
+        """Multiplier on the mean lifetime at ``temperature_c`` (<= 1)."""
+        if not -273.15 <= temperature_c < 5000.0:
+            raise ConfigurationError(
+                f"implausible temperature {temperature_c!r} C")
+        if temperature_c <= ROOM_TEMPERATURE_C:
+            return self.cold_factor
+        slope = (math.log(self.hot_factor)
+                 / (self.hot_temperature_c - ROOM_TEMPERATURE_C))
+        return math.exp(slope * (temperature_c - ROOM_TEMPERATURE_C))
+
+
+def apply_environment(device: WeibullDistribution, temperature_c: float,
+                      model: SiCTemperatureModel | None = None,
+                      ) -> WeibullDistribution:
+    """The device's effective Weibull at an operating temperature.
+
+    Scales alpha by the (<= 1) lifetime factor; the shape is unchanged
+    (the paper treats temperature as accelerating the same failure
+    mechanisms, not re-shaping their dispersion).
+    """
+    model = model or SiCTemperatureModel()
+    return device.scaled(model.lifetime_factor(temperature_c))
+
+
+def environmental_attack_gain(device: WeibullDistribution,
+                              temperatures_c=np.linspace(-100, 600, 71),
+                              model: SiCTemperatureModel | None = None,
+                              ) -> dict:
+    """Best budget multiplier an attacker gets by picking a temperature.
+
+    Returns the max lifetime factor over the probed range and the
+    temperature achieving it.  For any valid :class:`SiCTemperatureModel`
+    this is <= 1 - the formal statement of "you cannot bake or freeze
+    your way to more guesses".
+    """
+    model = model or SiCTemperatureModel()
+    factors = [model.lifetime_factor(float(t)) for t in temperatures_c]
+    best = int(np.argmax(factors))
+    return {
+        "max_factor": factors[best],
+        "best_temperature_c": float(np.asarray(temperatures_c)[best]),
+        "room_temperature_mean": device.mean,
+        "best_attacker_mean": device.mean * factors[best],
+    }

@@ -1,0 +1,188 @@
+"""Failure-mode analysis: stuck-open vs stuck-closed wearout.
+
+Section 2.1 lists the physical failure mechanisms of NEMS switches:
+fracture and burnout leave a switch permanently *open* (the fail-secure
+mode every architecture in the paper assumes), but adhesion/stiction -
+e.g. the SiC nanowires of Feng et al. that "stuck to the electrode" -
+leave it permanently *closed*.  A stuck-closed switch keeps conducting,
+keeps serving its key share, and therefore EXTENDS the usable life of
+its bank: stiction erodes the security ceiling, not just reliability.
+
+This module quantifies that threat, which the paper does not analyze:
+
+- :class:`MixedModeSwitch` - a switch whose failure mode is sampled at
+  fabrication (stuck-closed with probability ``p_stuck_closed``);
+- :func:`effective_reliability` - the bank-level reliability when a
+  fraction of failures conduct forever;
+- :func:`ceiling_violation_probability` - P[a copy still works at its
+  supposed death access] under stiction;
+- :func:`max_tolerable_stuck_closed` - the largest stiction fraction a
+  design tolerates before its failure ceiling breaks - the acceptance
+  threshold a fab must certify.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.degradation import DesignPoint
+from repro.core.device import NEMSSwitch
+from repro.core.structures import k_of_n_reliability
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FailureMode",
+    "MixedModeSwitch",
+    "effective_reliability",
+    "ceiling_violation_probability",
+    "max_tolerable_stuck_closed",
+    "simulate_stuck_closed_inflation",
+]
+
+
+class FailureMode(enum.Enum):
+    """Terminal state of a worn-out switch."""
+
+    STUCK_OPEN = "stuck-open"      # fracture / burnout: fail-secure
+    STUCK_CLOSED = "stuck-closed"  # adhesion / stiction: fail-insecure
+
+
+class MixedModeSwitch(NEMSSwitch):
+    """A NEMS switch whose failure mode is fixed at fabrication.
+
+    Identical wear accounting to :class:`NEMSSwitch`; past its lifetime a
+    stuck-open switch never closes again while a stuck-closed one always
+    does.
+    """
+
+    __slots__ = ("failure_mode",)
+
+    def __init__(self, lifetime_cycles: float,
+                 failure_mode: FailureMode = FailureMode.STUCK_OPEN) -> None:
+        super().__init__(lifetime_cycles)
+        self.failure_mode = failure_mode
+
+    @classmethod
+    def fabricate_mixed_batch(cls, model: WeibullDistribution, count: int,
+                              p_stuck_closed: float,
+                              rng: np.random.Generator,
+                              ) -> list["MixedModeSwitch"]:
+        if not 0.0 <= p_stuck_closed <= 1.0:
+            raise ConfigurationError("p_stuck_closed must lie in [0, 1]")
+        lifetimes = np.atleast_1d(model.sample(size=count, rng=rng))
+        modes = rng.random(count) < p_stuck_closed
+        return [
+            cls(lifetime, FailureMode.STUCK_CLOSED if stuck
+                else FailureMode.STUCK_OPEN)
+            for lifetime, stuck in zip(lifetimes, modes)
+        ]
+
+    def actuate(self) -> bool:
+        self.cycles_used += 1
+        if self.cycles_used <= self.lifetime_cycles:
+            return True
+        return self.failure_mode is FailureMode.STUCK_CLOSED
+
+
+def effective_reliability(device: WeibullDistribution, x, n: int, k: int,
+                          p_stuck_closed: float):
+    """Bank reliability when stiction keeps dead switches conducting.
+
+    A switch conducts at access ``x`` if it survived (probability r) or
+    if it failed stuck-closed (probability (1 - r) * q), so the k-of-n
+    tail runs on ``r + (1 - r) * q``.
+    """
+    if not 0.0 <= p_stuck_closed <= 1.0:
+        raise ConfigurationError("p_stuck_closed must lie in [0, 1]")
+    r = device.reliability(x)
+    conducting = r + (1.0 - r) * p_stuck_closed
+    return k_of_n_reliability(conducting, n, k)
+
+
+def ceiling_violation_probability(design: DesignPoint,
+                                  p_stuck_closed: float) -> float:
+    """P[one copy still serves accesses at its supposed death point].
+
+    Evaluated deep past the design window (at ceiling + one window
+    width), where a clean design is dead with overwhelming probability:
+    anything left is pure stiction.  If this exceeds the design's
+    ``p_fail``, the architecture's security ceiling is broken - some
+    copies (and with many copies, almost surely *some* copy) outlive the
+    bound indefinitely, handing the attacker extra guesses.
+    """
+    ceiling = design.t + 2 if design.window_start is not None \
+        else design.t + 1
+    deep = ceiling + (design.t + 1)
+    return float(effective_reliability(design.device, float(deep),
+                                       design.n, design.k, p_stuck_closed))
+
+
+def max_tolerable_stuck_closed(design: DesignPoint,
+                               tolerance: float | None = None) -> float:
+    """Largest stiction fraction keeping the ceiling intact.
+
+    In the limit of long times only stuck-closed switches conduct, so
+    the copy survives forever iff Binom(n, q) >= k; the tolerable q is
+    where that probability reaches ``tolerance`` (default: the design's
+    own p_fail).  Solved by bisection; q >= k/n is always fatal.
+    """
+    tolerance = (design.criteria.p_fail if tolerance is None
+                 else float(tolerance))
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigurationError("tolerance must lie in (0, 1)")
+
+    def eternal_survival(q: float) -> float:
+        return float(k_of_n_reliability(q, design.n, design.k))
+
+    lo, hi = 0.0, design.k / design.n
+    if eternal_survival(hi) <= tolerance:  # pragma: no cover - k/n edge
+        return hi
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if eternal_survival(mid) <= tolerance:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def simulate_stuck_closed_inflation(design: DesignPoint,
+                                    p_stuck_closed: float, trials: int,
+                                    rng: np.random.Generator,
+                                    max_accesses: int | None = None,
+                                    ) -> np.ndarray:
+    """Empirical access bounds of a design fabricated with stiction.
+
+    Order-statistics fast path: a bank dies at the k-th largest budget
+    among its *mortal* (stuck-open) switches; if fewer than k switches
+    are mortal... it never dies, reported as ``max_accesses`` (which is
+    then required).
+    """
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    if not 0.0 <= p_stuck_closed <= 1.0:
+        raise ConfigurationError("p_stuck_closed must lie in [0, 1]")
+    n, k, copies = design.n, design.k, design.copies
+    totals = np.zeros(trials, dtype=np.float64)
+    immortal_any = np.zeros(trials, dtype=bool)
+    for t in range(trials):
+        lifetimes = np.floor(design.device.sample(size=(copies, n),
+                                                  rng=rng))
+        stuck = rng.random((copies, n)) < p_stuck_closed
+        lifetimes = np.where(stuck, np.inf, lifetimes)
+        part = np.sort(lifetimes, axis=1)[:, n - k]
+        if np.isinf(part).any():
+            immortal_any[t] = True
+            part = np.where(np.isinf(part),
+                            np.inf if max_accesses is None else max_accesses,
+                            part)
+        totals[t] = part.sum()
+    if max_accesses is None and immortal_any.any():
+        raise ConfigurationError(
+            "some instances never die under this stiction rate; pass "
+            "max_accesses to cap the experiment")
+    return np.minimum(totals, np.inf if max_accesses is None
+                      else max_accesses * copies)

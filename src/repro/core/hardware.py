@@ -1,0 +1,163 @@
+"""Stateful hardware simulation of the paper's switch arrangements.
+
+Where :mod:`repro.core.structures` computes closed-form reliability,
+this module *runs* the hardware: real :class:`~repro.core.device.NEMSSwitch`
+instances accumulate wear access by access, so Monte Carlo experiments can
+measure empirical access bounds and attack outcomes.
+
+Composition mirrors Figure 2(d):
+
+- :class:`SimulatedBank` - one parallel structure of ``n`` switches with a
+  recovery threshold ``k`` (k = 1 models the unencoded parallel bank).
+- :class:`SerialCopies` - ``N`` banks consumed in order; when the current
+  bank can no longer deliver ``k`` live paths the next one takes over, and
+  when the last is exhausted the architecture is permanently dead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.device import NEMSSwitch
+from repro.core.variation import ProcessVariation
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, DeviceWornOutError
+
+__all__ = ["SimulatedBank", "SerialCopies", "build_serial_copies"]
+
+
+class SimulatedBank:
+    """A k-out-of-n parallel bank of simulated switches.
+
+    Every access actuates *all* member switches (they are wired in
+    parallel, so a traversal stresses each of them); the access succeeds
+    when at least ``k`` switches close.
+    """
+
+    def __init__(self, switches: list[NEMSSwitch], k: int = 1) -> None:
+        if not switches:
+            raise ConfigurationError("bank needs at least one switch")
+        if not 1 <= k <= len(switches):
+            raise ConfigurationError(
+                f"need 1 <= k <= n, got k={k}, n={len(switches)}")
+        self.switches = list(switches)
+        self.k = k
+        self.accesses = 0
+        self._dead = False
+
+    @property
+    def n(self) -> int:
+        return len(self.switches)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(not s.is_failed for s in self.switches)
+
+    @property
+    def is_dead(self) -> bool:
+        """True once an access has failed; wear is monotonic so a bank that
+        failed to deliver ``k`` paths can never deliver them again."""
+        return self._dead
+
+    def access(self) -> list[int]:
+        """Actuate the bank once; return indices of switches that closed.
+
+        The access is counted whether or not it succeeds.  An access on a
+        dead bank returns an empty list without further wear (the bank is
+        electrically open).
+        """
+        if self._dead:
+            return []
+        self.accesses += 1
+        closed = [i for i, s in enumerate(self.switches) if s.actuate()]
+        if len(closed) < self.k:
+            self._dead = True
+        return closed
+
+    def access_succeeds(self) -> bool:
+        """Actuate once and report whether >= k paths closed."""
+        return len(self.access()) >= self.k
+
+
+class SerialCopies:
+    """``N`` banks used one after another (Fig. 2's "N copies" axis).
+
+    An access is served by the first bank (in order) that still works; a
+    bank that fails is abandoned for good.  Trying the next bank costs that
+    bank an actuation, exactly as a hardware fall-over would.
+    """
+
+    def __init__(self, banks: list[SimulatedBank]) -> None:
+        if not banks:
+            raise ConfigurationError("need at least one bank")
+        self.banks = list(banks)
+        self._current = 0
+        self.total_accesses = 0
+
+    @property
+    def current_index(self) -> int:
+        return self._current
+
+    @property
+    def is_exhausted(self) -> bool:
+        return self._current >= len(self.banks)
+
+    @property
+    def device_count(self) -> int:
+        return sum(b.n for b in self.banks)
+
+    def access(self) -> tuple[int, list[int]]:
+        """Serve one access.
+
+        Returns ``(bank_index, closed_switch_indices)`` for the bank that
+        served it.  Raises :class:`DeviceWornOutError` when every bank is
+        exhausted - the architecture has reached its physical usage bound.
+        """
+        self.total_accesses += 1
+        while self._current < len(self.banks):
+            bank = self.banks[self._current]
+            closed = bank.access()
+            if len(closed) >= bank.k:
+                return self._current, closed
+            self._current += 1
+        raise DeviceWornOutError(
+            f"all {len(self.banks)} banks exhausted after "
+            f"{self.total_accesses} total accesses")
+
+    def access_succeeds(self) -> bool:
+        """Serve one access, reporting success instead of raising."""
+        try:
+            self.access()
+        except DeviceWornOutError:
+            return False
+        return True
+
+    def count_successful_accesses(self, max_accesses: int | None = None) -> int:
+        """Drive the hardware to destruction; return the accesses served.
+
+        This measures the *empirical access bound* of one fabricated
+        instance.  ``max_accesses`` caps the experiment (returns the cap if
+        the hardware outlives it).
+        """
+        served = 0
+        while max_accesses is None or served < max_accesses:
+            if not self.access_succeeds():
+                return served
+            served += 1
+        return served
+
+
+def build_serial_copies(model: WeibullDistribution, n_copies: int,
+                        n_per_bank: int, k: int,
+                        rng: np.random.Generator,
+                        variation: ProcessVariation | None = None,
+                        ) -> SerialCopies:
+    """Fabricate a full N x (k-of-n) architecture from a device model."""
+    if n_copies < 1:
+        raise ConfigurationError("need at least one copy")
+    banks = [
+        SimulatedBank(
+            NEMSSwitch.fabricate_batch(model, n_per_bank, rng, variation), k)
+        for _ in range(n_copies)
+    ]
+    return SerialCopies(banks)

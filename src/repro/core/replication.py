@@ -1,0 +1,92 @@
+"""M-way replication of whole modules (paper Section 4.1.5).
+
+A single limited-use module supports a legitimate usage rate (e.g. 50
+logins/day for 5 years).  Replicating the entire architecture M times and
+consuming the modules serially multiplies the usable accesses by M, at the
+price of choosing a new password and re-encrypting storage at every module
+migration.  This module computes that schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReplicationPlan", "plan_replication"]
+
+DAYS_PER_YEAR = 365
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """A sized M-way replication schedule.
+
+    Attributes
+    ----------
+    m:
+        Replication factor (number of serially-consumed modules).
+    daily_usage:
+        Supported accesses per day across the device lifetime.
+    lifetime_days:
+        Total supported lifetime in days.
+    module_duration_days:
+        Days each module lasts before migration.
+    reencryptions:
+        Password changes / storage re-encryptions over the lifetime
+        (``m - 1``: one per migration, none for the first module).
+    module_access_bound:
+        Accesses each module must support (its LAB).
+    """
+
+    m: int
+    daily_usage: int
+    lifetime_days: int
+    module_duration_days: float
+    reencryptions: int
+    module_access_bound: int
+
+    @property
+    def total_access_bound(self) -> int:
+        """Accesses supported by the whole M-way system."""
+        return self.m * self.module_access_bound
+
+    @property
+    def module_duration_months(self) -> float:
+        return self.module_duration_days / (DAYS_PER_YEAR / 12.0)
+
+
+def plan_replication(target_daily_usage: int,
+                     base_daily_usage: int = 50,
+                     lifetime_years: float = 5.0) -> ReplicationPlan:
+    """Size the replication factor for a higher daily usage target.
+
+    The paper's example: raising usage from 50 to 500 logins/day needs
+    M = 10, implying a new password and re-encryption every ~6 months over
+    a 5-year phone lifetime.
+
+    Parameters
+    ----------
+    target_daily_usage:
+        Desired accesses per day.
+    base_daily_usage:
+        Accesses per day one module supports (paper default: 50).
+    lifetime_years:
+        Device service life.
+    """
+    if target_daily_usage < 1 or base_daily_usage < 1:
+        raise ConfigurationError("usage rates must be >= 1 per day")
+    if lifetime_years <= 0:
+        raise ConfigurationError("lifetime_years must be > 0")
+    m = math.ceil(target_daily_usage / base_daily_usage)
+    lifetime_days = int(round(lifetime_years * DAYS_PER_YEAR))
+    module_bound = base_daily_usage * lifetime_days
+    return ReplicationPlan(
+        m=m,
+        daily_usage=target_daily_usage,
+        lifetime_days=lifetime_days,
+        module_duration_days=lifetime_days / m,
+        reencryptions=m - 1,
+        module_access_bound=module_bound,
+    )

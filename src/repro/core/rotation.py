@@ -1,0 +1,123 @@
+"""Rotating-subset banks: the design alternative the paper implicitly
+rejects, quantified.
+
+The paper's k-of-n banks actuate *all* n switches on every access.  An
+energy-minded designer might instead actuate only a rotating subset of
+``s >= k`` switches per access (enough to decode, spreading wear).  That
+saves energy per access and multiplies the bank's lifetime by ~n/s - but
+each device's *effective* wear rate drops by the same factor, which
+scales the degradation window in accesses by n/s too.  A wider window is
+exactly what the security design cannot afford: this module provides the
+analysis (and a simulator) behind that trade-off, making explicit why
+Figure 2's structures wear everything in parallel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.device import NEMSSwitch
+from repro.core.structures import k_of_n_reliability
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RotatingBank",
+    "rotating_effective_device",
+    "rotation_window_analysis",
+]
+
+
+class RotatingBank:
+    """A k-of-n bank actuating a rotating subset of ``s`` switches.
+
+    Accesses walk the switch list round-robin in strides of ``s``; the
+    access succeeds when at least ``k`` of the selected switches close.
+    ``s = n`` reproduces the paper's all-parallel bank.
+    """
+
+    def __init__(self, switches: list[NEMSSwitch], k: int,
+                 subset_size: int | None = None) -> None:
+        if not switches:
+            raise ConfigurationError("bank needs at least one switch")
+        n = len(switches)
+        subset_size = n if subset_size is None else subset_size
+        if not 1 <= k <= subset_size <= n:
+            raise ConfigurationError(
+                f"need 1 <= k <= subset_size <= n, got k={k}, "
+                f"s={subset_size}, n={n}")
+        self.switches = list(switches)
+        self.k = k
+        self.subset_size = subset_size
+        self._cursor = 0
+        self.accesses = 0
+
+    @property
+    def n(self) -> int:
+        return len(self.switches)
+
+    def access(self) -> bool:
+        """Actuate the next subset; True when >= k switches closed."""
+        self.accesses += 1
+        n = self.n
+        closed = 0
+        for offset in range(self.subset_size):
+            if self.switches[(self._cursor + offset) % n].actuate():
+                closed += 1
+        self._cursor = (self._cursor + self.subset_size) % n
+        return closed >= self.k
+
+    def count_successful_accesses(self, max_accesses: int) -> int:
+        """Accesses served before the first failure (capped)."""
+        served = 0
+        while served < max_accesses and self.access():
+            served += 1
+        return served
+
+
+def rotating_effective_device(device: WeibullDistribution, n: int,
+                              subset_size: int) -> WeibullDistribution:
+    """Per-device model in units of *bank accesses* under rotation.
+
+    Each switch actuates on a fraction s/n of accesses, so its lifetime
+    in bank accesses stretches by n/s: same shape, scale multiplied.
+    """
+    if not 1 <= subset_size <= n:
+        raise ConfigurationError("need 1 <= subset_size <= n")
+    return device.scaled(n / subset_size)
+
+
+def rotation_window_analysis(device: WeibullDistribution, n: int, k: int,
+                             subset_sizes=None,
+                             r_high: float = 0.98,
+                             r_low: float = 0.022) -> list[dict]:
+    """Energy vs degradation-window trade-off across subset sizes.
+
+    Returns one row per subset size with the per-access energy factor
+    (s/n relative to all-parallel), the bank lifetime scale (n/s), and
+    the width of the r_high -> r_low degradation window in accesses.
+    The window widens by exactly the lifetime factor: rotation buys
+    energy and lifetime at the cost of the security window - a losing
+    trade for limited-use architectures.
+    """
+    if subset_sizes is None:
+        subset_sizes = sorted({k, max(k, n // 4), max(k, n // 2), n})
+    rows = []
+    for s in subset_sizes:
+        if not k <= s <= n:
+            raise ConfigurationError(
+                f"subset size {s} outside [k={k}, n={n}]")
+        effective = rotating_effective_device(device, n, s)
+        xs = np.linspace(1e-6, effective.alpha * 4.0, 40_000)
+        rel = k_of_n_reliability(effective.reliability(xs), n, k)
+        above = xs[rel >= r_high]
+        below = xs[rel <= r_low]
+        window = float(below.min() - above.max()) \
+            if above.size and below.size else float("nan")
+        rows.append({
+            "subset_size": s,
+            "energy_per_access_factor": s / n,
+            "lifetime_factor": n / s,
+            "window_accesses": window,
+        })
+    return rows

@@ -1,0 +1,170 @@
+"""Sensitivity of a fixed design to device-parameter error (Section 7).
+
+The paper's primary limitation: "device parameters must still fall within
+a specific range to make system use targets practical", and sensitivity
+to the shape parameter is *not* reduced by encoding.  This module makes
+those ranges concrete for a sized design:
+
+- :func:`alpha_margin` / :func:`beta_margin` - the interval of *true*
+  device parameters for which a fixed (n, k, t) architecture still meets
+  its criteria.  Outside it, either the reliability floor breaks (the
+  owner gets locked out early) or the failure ceiling breaks (the
+  attacker gets extra accesses);
+- :func:`scaling_elasticity` - d log(total devices) / d log(alpha),
+  quantifying the exponential-vs-linear headline of Figs. 4a/4b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.degradation import (
+    DegradationCriteria,
+    DesignPoint,
+    solve_structure,
+)
+from repro.core.structures import k_of_n_reliability
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, InfeasibleDesignError
+
+__all__ = ["ParameterMargin", "alpha_margin", "beta_margin",
+           "scaling_elasticity"]
+
+
+@dataclass(frozen=True)
+class ParameterMargin:
+    """Acceptable true-parameter interval for a fixed architecture.
+
+    ``low``/``high`` bound the parameter; ``design_value`` is what the
+    architecture was sized for.  ``relative_width`` is the fractional
+    tolerance a fab must hold.
+    """
+
+    design_value: float
+    low: float
+    high: float
+
+    @property
+    def relative_width(self) -> float:
+        return (self.high - self.low) / self.design_value
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def _design_meets_criteria(design: DesignPoint,
+                           device: WeibullDistribution,
+                           criteria: DegradationCriteria | None = None,
+                           ) -> bool:
+    """Does the fixed (n, k) bank meet the criteria window on ``device``?
+
+    Uses the design's own window convention: floor at t, ceiling at t+1
+    (integer) or t+2 (fractional windows guarantee death one access
+    later).  ``criteria`` overrides the design's own (certification
+    against looser criteria than the design was sized for is how real
+    margins are engineered - a cost-minimal design has zero margin
+    against its own criteria by construction).
+    """
+    criteria = criteria or design.criteria
+    floor_ok = float(k_of_n_reliability(
+        device.reliability(float(design.t)), design.n, design.k)
+    ) >= criteria.r_min
+    ceiling_at = design.t + (2 if design.window_start is not None else 1)
+    ceiling_ok = float(k_of_n_reliability(
+        device.reliability(float(ceiling_at)), design.n, design.k)
+    ) <= criteria.p_fail
+    return floor_ok and ceiling_ok
+
+
+def _bisect_edge(design: DesignPoint, make_device, lo: float, hi: float,
+                 criteria: DegradationCriteria | None) -> float:
+    """Boundary of the ok-region along one parameter direction.
+
+    ``lo`` must be inside the ok-region and ``hi`` outside (or at the
+    probe limit).
+    """
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if _design_meets_criteria(design, make_device(mid), criteria):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def alpha_margin(design: DesignPoint,
+                 criteria: DegradationCriteria | None = None,
+                 ) -> ParameterMargin:
+    """True-alpha interval for which the fixed design stays valid.
+
+    Too-small alpha breaks the reliability floor (devices die before the
+    guaranteed accesses); too-large alpha breaks the failure ceiling
+    (devices outlive the window).  Pass looser ``criteria`` than the
+    design was sized for to measure an engineered margin; against its
+    own criteria a cost-minimal design sits at the margin's edge.
+    """
+    nominal = design.device.alpha
+    beta = design.device.beta
+
+    def device(alpha: float) -> WeibullDistribution:
+        return WeibullDistribution(alpha=alpha, beta=beta)
+
+    if not _design_meets_criteria(design, design.device, criteria):
+        raise ConfigurationError(
+            "design does not meet the certification criteria at the "
+            "nominal device")
+    low = _bisect_edge(design, device, nominal, nominal * 1e-3, criteria)
+    high = _bisect_edge(design, device, nominal, nominal * 1e3, criteria)
+    return ParameterMargin(design_value=nominal, low=min(low, high),
+                           high=max(low, high))
+
+
+def beta_margin(design: DesignPoint,
+                criteria: DegradationCriteria | None = None,
+                ) -> ParameterMargin:
+    """True-beta interval for which the fixed design stays valid.
+
+    This is the margin the paper warns about: redundant encoding reduces
+    sensitivity to alpha but NOT to beta, so this interval stays narrow
+    even for encoded designs.
+    """
+    nominal = design.device.beta
+    alpha = design.device.alpha
+
+    def device(beta: float) -> WeibullDistribution:
+        return WeibullDistribution(alpha=alpha, beta=beta)
+
+    if not _design_meets_criteria(design, design.device, criteria):
+        raise ConfigurationError(
+            "design does not meet the certification criteria at the "
+            "nominal device")
+    low = _bisect_edge(design, device, nominal, nominal * 1e-2, criteria)
+    high = _bisect_edge(design, device, nominal, nominal * 1e2, criteria)
+    return ParameterMargin(design_value=nominal, low=min(low, high),
+                           high=max(low, high))
+
+
+def scaling_elasticity(beta: float, access_bound: int,
+                       k_fraction: float | None,
+                       criteria: DegradationCriteria,
+                       alpha: float = 14.0,
+                       rel_step: float = 0.25) -> float:
+    """d log(total devices) / d log(alpha) by central finite difference.
+
+    ~1 for encoded designs (linear scaling), >> 1 for unencoded ones
+    (exponential scaling) - the quantitative form of the paper's
+    "4 orders of magnitude" headline.
+    """
+    import math
+
+    def total(a: float) -> float:
+        device = WeibullDistribution(alpha=a, beta=beta)
+        try:
+            return float(solve_structure(
+                device, access_bound, k_fraction=k_fraction,
+                criteria=criteria, window="fractional").total_devices)
+        except InfeasibleDesignError:
+            return math.nan
+    lo, hi = alpha * (1 - rel_step), alpha * (1 + rel_step)
+    t_lo, t_hi = total(lo), total(hi)
+    return (math.log(t_hi) - math.log(t_lo)) / (math.log(hi) - math.log(lo))

@@ -1,0 +1,91 @@
+"""JSON (de)serialization of design artifacts.
+
+Designs are the unit of exchange between the solver, the fab (lot
+acceptance), and deployment tooling; this module round-trips them - and
+their criteria and device models - through plain JSON so the CLI can
+save and reload them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.degradation import DegradationCriteria, DesignPoint
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "design_to_dict",
+    "design_from_dict",
+    "dumps_design",
+    "loads_design",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def design_to_dict(design: DesignPoint) -> dict:
+    """A JSON-safe dict capturing every field of a design point."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "device": {"alpha": design.device.alpha,
+                   "beta": design.device.beta},
+        "n": design.n,
+        "k": design.k,
+        "t": design.t,
+        "copies": design.copies,
+        "access_bound": design.access_bound,
+        "criteria": {"r_min": design.criteria.r_min,
+                     "p_fail": design.criteria.p_fail},
+        "window_start": design.window_start,
+    }
+
+
+def design_from_dict(payload: dict) -> DesignPoint:
+    """Rebuild a design point; validates the schema and all invariants."""
+    try:
+        version = payload["schema_version"]
+        if version != _SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported design schema version {version!r}")
+        device = WeibullDistribution(alpha=float(payload["device"]["alpha"]),
+                                     beta=float(payload["device"]["beta"]))
+        criteria = DegradationCriteria(
+            r_min=float(payload["criteria"]["r_min"]),
+            p_fail=float(payload["criteria"]["p_fail"]))
+        window_start = payload.get("window_start")
+        design = DesignPoint(
+            device=device,
+            n=int(payload["n"]),
+            k=int(payload["k"]),
+            t=int(payload["t"]),
+            copies=int(payload["copies"]),
+            access_bound=int(payload["access_bound"]),
+            criteria=criteria,
+            window_start=None if window_start is None
+            else float(window_start),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"design payload missing field {exc}")
+    if not 1 <= design.k <= design.n:
+        raise ConfigurationError("invalid design: need 1 <= k <= n")
+    if design.t < 1 or design.copies < 1 or design.access_bound < 1:
+        raise ConfigurationError(
+            "invalid design: t, copies and access_bound must be >= 1")
+    return design
+
+
+def dumps_design(design: DesignPoint, indent: int | None = 2) -> str:
+    """Serialize a design to a JSON string."""
+    return json.dumps(design_to_dict(design), indent=indent)
+
+
+def loads_design(text: str) -> DesignPoint:
+    """Deserialize a design from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid design JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ConfigurationError("design JSON must be an object")
+    return design_from_dict(payload)

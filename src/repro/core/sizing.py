@@ -1,0 +1,78 @@
+"""High-level sizing helpers and design-space sweeps.
+
+Use-case modules (connection, targeting) express their figures as sweeps
+over device parameters; this module hosts the shared machinery so each
+figure is one declarative call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.degradation import (
+    DEFAULT_CRITERIA,
+    DegradationCriteria,
+    DesignPoint,
+    solve_structure,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import InfeasibleDesignError
+
+__all__ = ["SweepResult", "sweep_alpha", "size_architecture"]
+
+
+def size_architecture(alpha: float, beta: float, access_bound: int,
+                      k_fraction: float | None = None,
+                      criteria: DegradationCriteria = DEFAULT_CRITERIA,
+                      window: str = "integer") -> DesignPoint:
+    """Size one limited-use architecture for a device population.
+
+    Thin convenience over :func:`repro.core.degradation.solve_structure`
+    that builds the Weibull model from raw (alpha, beta).
+    """
+    device = WeibullDistribution(alpha=alpha, beta=beta)
+    return solve_structure(device, access_bound, k_fraction=k_fraction,
+                           criteria=criteria, window=window)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One row of a design-space sweep.
+
+    ``point`` is None when the design was infeasible at this parameter
+    combination (plotted as a gap, as the paper's log-scale figures do).
+    """
+
+    alpha: float
+    beta: float
+    k_fraction: float | None
+    point: DesignPoint | None
+
+    @property
+    def total_devices(self) -> int | None:
+        return None if self.point is None else self.point.total_devices
+
+
+def sweep_alpha(alphas: Iterable[float], beta: float, access_bound: int,
+                k_fraction: float | None = None,
+                criteria: DegradationCriteria = DEFAULT_CRITERIA,
+                window: str = "fractional") -> list[SweepResult]:
+    """Total device count as a function of the wearout bound ``alpha``.
+
+    This is the x-axis of Figures 4a/4b/5a/5b.  Infeasible points are
+    recorded rather than raised so a sweep never aborts mid-figure.
+    The fractional window is the default here because the figures plot
+    smooth trends; pass ``window="integer"`` for strict designs.
+    """
+    results = []
+    for alpha in alphas:
+        try:
+            point = size_architecture(alpha, beta, access_bound,
+                                      k_fraction=k_fraction,
+                                      criteria=criteria, window=window)
+        except InfeasibleDesignError:
+            point = None
+        results.append(SweepResult(alpha=alpha, beta=beta,
+                                   k_fraction=k_fraction, point=point))
+    return results

@@ -1,0 +1,110 @@
+"""Propagating characterization uncertainty into architecture sizing.
+
+Designs are sized from *fitted* (alpha, beta), but a finite lifetime
+sample leaves parameter uncertainty.  This module bootstraps that
+uncertainty through the solver to answer two deployment questions:
+
+- how much could the architecture cost once the parameters are pinned
+  down (the device-count distribution), and
+- how likely is the point-estimate design to be *wrong* for the true
+  process (the criteria-violation risk) - the quantitative form of
+  Section 7's "parameters must fall within a specific range".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.degradation import (
+    DEFAULT_CRITERIA,
+    DegradationCriteria,
+    solve_encoded_fractional,
+)
+from repro.core.fitting import fit_mle
+from repro.core.sensitivity import _design_meets_criteria
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, InfeasibleDesignError
+
+__all__ = ["SizingUncertainty", "design_size_uncertainty"]
+
+
+@dataclass(frozen=True)
+class SizingUncertainty:
+    """Bootstrap distribution of a design sized from sample data."""
+
+    point_devices: int
+    devices_p05: float
+    devices_p50: float
+    devices_p95: float
+    criteria_violation_risk: float
+    infeasible_fraction: float
+
+    @property
+    def cost_uncertainty_ratio(self) -> float:
+        """p95/p05 of the device count - the budget band to plan for."""
+        return self.devices_p95 / self.devices_p05
+
+
+def design_size_uncertainty(lifetimes, access_bound: int,
+                            k_fraction: float,
+                            rng: np.random.Generator,
+                            criteria: DegradationCriteria = DEFAULT_CRITERIA,
+                            n_boot: int = 100,
+                            certify_criteria: DegradationCriteria | None
+                            = None) -> SizingUncertainty:
+    """Bootstrap the lifetime sample through fitting and sizing.
+
+    For each resample: refit (alpha, beta), re-solve the architecture,
+    record its device count, and check whether the *point-estimate*
+    design still meets the certification criteria under the resampled
+    parameters.  ``criteria_violation_risk`` is the fraction of
+    resamples where it does not - the chance the design you would
+    actually build is wrong for the process that actually exists.
+
+    ``certify_criteria`` defaults to the sizing criteria.  Note that a
+    cost-minimal design sits exactly at its own criteria edge, so the
+    own-criteria risk of an on-spec process hovers near 50% regardless
+    of sample size; certify against looser field criteria (and size
+    against stricter ones) to measure an engineered margin - the same
+    derating rule as :mod:`repro.core.acceptance`.
+    """
+    data = np.asarray(lifetimes, dtype=float).ravel()
+    if data.size < 20:
+        raise ConfigurationError(
+            "need at least 20 lifetimes for sizing uncertainty")
+    if n_boot < 10:
+        raise ConfigurationError("n_boot must be >= 10")
+    point_fit = fit_mle(data)
+    point_design = solve_encoded_fractional(point_fit, access_bound,
+                                            k_fraction, criteria)
+    devices = []
+    violations = 0
+    infeasible = 0
+    for _ in range(n_boot):
+        resample = rng.choice(data, size=data.size, replace=True)
+        fit = fit_mle(resample)
+        device = WeibullDistribution(alpha=fit.alpha, beta=fit.beta)
+        if not _design_meets_criteria(point_design, device,
+                                      certify_criteria):
+            violations += 1
+        try:
+            design = solve_encoded_fractional(device, access_bound,
+                                              k_fraction, criteria)
+            devices.append(design.total_devices)
+        except InfeasibleDesignError:
+            infeasible += 1
+    if not devices:
+        raise ConfigurationError(
+            "every bootstrap resample was infeasible; the sample is not "
+            "usable for this design")
+    devices = np.asarray(devices, dtype=float)
+    return SizingUncertainty(
+        point_devices=point_design.total_devices,
+        devices_p05=float(np.percentile(devices, 5)),
+        devices_p50=float(np.percentile(devices, 50)),
+        devices_p95=float(np.percentile(devices, 95)),
+        criteria_violation_risk=violations / n_boot,
+        infeasible_fraction=infeasible / n_boot,
+    )

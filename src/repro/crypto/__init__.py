@@ -1,0 +1,28 @@
+"""From-scratch cryptographic substrate: AES, modes, one-time pads."""
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import (
+    cbc_mac,
+    ctr_decrypt,
+    ctr_encrypt,
+    ctr_keystream,
+    derive_key,
+    seal,
+    unseal,
+)
+from repro.crypto.otp import OneTimeKey, generate_pad, xor_decrypt, xor_encrypt
+
+__all__ = [
+    "AES",
+    "OneTimeKey",
+    "cbc_mac",
+    "ctr_decrypt",
+    "ctr_encrypt",
+    "ctr_keystream",
+    "derive_key",
+    "generate_pad",
+    "seal",
+    "unseal",
+    "xor_decrypt",
+    "xor_encrypt",
+]

@@ -1,0 +1,171 @@
+"""AES block cipher (FIPS-197) implemented from scratch.
+
+The limited-use connection protects a *storage decryption key*; to make
+the end-to-end phone simulation real, storage is actually encrypted.  This
+module implements AES-128/192/256 encryption and decryption with the
+textbook table-free construction: the S-box is generated from the GF(2^8)
+inverse plus the affine map, and MixColumns uses field multiplication from
+:mod:`repro.gf.field`.
+
+This is an educational implementation: correct (validated against the
+FIPS-197 and SP 800-38A vectors in the test suite) but neither
+constant-time nor hardened. Fine for simulation; do not reuse for
+production secrets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.gf.field import GF_AES
+
+__all__ = ["AES"]
+
+NB = 4  # columns in the state (32-bit words)
+
+_ROUNDS_BY_KEYLEN = {16: 10, 24: 12, 32: 14}
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """S-box = affine transform of the multiplicative inverse in GF(2^8)."""
+    sbox = [0] * 256
+    for a in range(256):
+        inv = GF_AES.inverse(a) if a else 0
+        res = inv
+        for shift in range(1, 5):
+            res ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[a] = res ^ 0x63
+    inv_sbox = [0] * 256
+    for a, s in enumerate(sbox):
+        inv_sbox[s] = a
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+for _ in range(13):
+    _RCON.append(GF_AES.mul(_RCON[-1], 0x02))
+
+
+class AES:
+    """AES with a 16-, 24-, or 32-byte key.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.encrypt_block(bytes(16)).hex()
+    '66e94bd4ef8a2c3b884cfa59ca342b2e'
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in _ROUNDS_BY_KEYLEN:
+            raise ConfigurationError(
+                f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self.rounds = _ROUNDS_BY_KEYLEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    # ------------------------------------------------------------------
+    # Key schedule
+    # ------------------------------------------------------------------
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        nk = len(key) // 4
+        words = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+        for i in range(nk, NB * (self.rounds + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]              # RotWord
+                temp = [SBOX[b] for b in temp]          # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]          # AES-256 extra Sub
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        # Group into per-round 4x4 states (column-major like the state).
+        return [sum(words[4 * r:4 * r + 4], []) for r in range(self.rounds + 1)]
+
+    # ------------------------------------------------------------------
+    # Round transformations (state is a 16-list, column-major)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: list[int]) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # state[c*4 + r] = byte at row r, column c.
+        for r in range(1, 4):
+            row = [state[c * 4 + r] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[c * 4 + r] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for r in range(1, 4):
+            row = [state[c * 4 + r] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[c * 4 + r] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        mul = GF_AES.mul
+        for c in range(4):
+            col = state[c * 4:c * 4 + 4]
+            state[c * 4 + 0] = mul(col[0], 2) ^ mul(col[1], 3) ^ col[2] ^ col[3]
+            state[c * 4 + 1] = col[0] ^ mul(col[1], 2) ^ mul(col[2], 3) ^ col[3]
+            state[c * 4 + 2] = col[0] ^ col[1] ^ mul(col[2], 2) ^ mul(col[3], 3)
+            state[c * 4 + 3] = mul(col[0], 3) ^ col[1] ^ col[2] ^ mul(col[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        mul = GF_AES.mul
+        for c in range(4):
+            col = state[c * 4:c * 4 + 4]
+            state[c * 4 + 0] = (mul(col[0], 14) ^ mul(col[1], 11)
+                                ^ mul(col[2], 13) ^ mul(col[3], 9))
+            state[c * 4 + 1] = (mul(col[0], 9) ^ mul(col[1], 14)
+                                ^ mul(col[2], 11) ^ mul(col[3], 13))
+            state[c * 4 + 2] = (mul(col[0], 13) ^ mul(col[1], 9)
+                                ^ mul(col[2], 14) ^ mul(col[3], 11))
+            state[c * 4 + 3] = (mul(col[0], 11) ^ mul(col[1], 13)
+                                ^ mul(col[2], 9) ^ mul(col[3], 14))
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ConfigurationError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self.rounds):
+            self._sub_bytes(state, SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state, SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ConfigurationError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for rnd in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,114 @@
+"""Cipher modes and helpers on top of the raw AES block cipher.
+
+Provides CTR-mode encryption for arbitrary-length storage, a CBC-MAC-style
+authentication tag (so a wrong storage key is *detected*, which the login
+flow needs to count failed passcode attempts), and a small PBKDF-like
+passcode-to-key derivation built from the block cipher itself - the
+simulation stack stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.crypto.aes import AES
+from repro.errors import AuthenticationError, ConfigurationError
+
+__all__ = [
+    "ctr_keystream",
+    "ctr_encrypt",
+    "ctr_decrypt",
+    "cbc_mac",
+    "seal",
+    "unseal",
+    "derive_key",
+]
+
+
+def _counter_block(nonce: bytes, counter: int) -> bytes:
+    return nonce + counter.to_bytes(8, "big")
+
+
+def ctr_keystream(cipher: AES, nonce: bytes, length: int) -> bytes:
+    """CTR keystream: AES(nonce || counter) for counter = 0, 1, ..."""
+    if len(nonce) != 8:
+        raise ConfigurationError("CTR nonce must be 8 bytes")
+    blocks = []
+    for counter in range(-(-length // 16)):
+        blocks.append(cipher.encrypt_block(_counter_block(nonce, counter)))
+    return b"".join(blocks)[:length]
+
+
+def ctr_encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """CTR encryption (its own inverse; see :func:`ctr_decrypt`)."""
+    stream = ctr_keystream(AES(key), nonce, len(plaintext))
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+def ctr_decrypt(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    """CTR decryption: identical to encryption (keystream XOR)."""
+    return ctr_encrypt(key, nonce, ciphertext)
+
+
+def cbc_mac(key: bytes, message: bytes) -> bytes:
+    """CBC-MAC over the length-prefixed message (fixed-length-safe).
+
+    Prefixing the length closes the classic CBC-MAC extension weakness for
+    variable-length messages.
+    """
+    cipher = AES(key)
+    data = len(message).to_bytes(8, "big") + message
+    if len(data) % 16:
+        data += b"\x00" * (16 - len(data) % 16)
+    state = bytes(16)
+    for i in range(0, len(data), 16):
+        block = bytes(a ^ b for a, b in zip(state, data[i:i + 16]))
+        state = cipher.encrypt_block(block)
+    return state
+
+
+def seal(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """Encrypt-then-MAC: ciphertext || 16-byte tag."""
+    ciphertext = ctr_encrypt(key, nonce, plaintext)
+    tag = cbc_mac(key, nonce + ciphertext)
+    return ciphertext + tag
+
+
+def unseal(key: bytes, nonce: bytes, sealed: bytes) -> bytes:
+    """Verify the tag and decrypt; raises :class:`AuthenticationError`.
+
+    A failed unseal is what the phone reports as "wrong passcode".
+    """
+    if len(sealed) < 16:
+        raise ConfigurationError("sealed blob shorter than its tag")
+    ciphertext, tag = sealed[:-16], sealed[-16:]
+    expected = cbc_mac(key, nonce + ciphertext)
+    if not hmac.compare_digest(tag, expected):
+        raise AuthenticationError("tag mismatch: wrong key or tampered data")
+    return ctr_decrypt(key, nonce, ciphertext)
+
+
+def derive_key(passcode: str, salt: bytes, iterations: int = 64,
+               key_len: int = 16) -> bytes:
+    """Derive a storage-wrapping key from a passcode (Davies-Meyer chain).
+
+    Iterated compression of the passcode and salt through the block
+    cipher.  ``iterations`` is deliberately small: the paper's security
+    argument rests on the *hardware* access bound, not on slow hashing,
+    and experiments run millions of logins.
+    """
+    if key_len not in (16, 24, 32):
+        raise ConfigurationError("key_len must be a valid AES key size")
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    material = passcode.encode("utf-8") + salt
+    state = cbc_mac(bytes(16), material)
+    for _ in range(iterations - 1):
+        # Davies-Meyer: E_state(state) xor state.
+        state = bytes(a ^ b for a, b in
+                      zip(AES(state).encrypt_block(state), state))
+    out = state
+    while len(out) < key_len:
+        state = AES(state).encrypt_block(state)
+        out += state
+    return out[:key_len]

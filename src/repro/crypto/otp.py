@@ -1,0 +1,79 @@
+"""One-time-pad encryption with enforced key-destruction semantics.
+
+Section 6 builds hardware one-time pads; this module is the cryptographic
+half: XOR encryption with keys at least as long as the message, plus a
+:class:`OneTimeKey` wrapper that *software-enforces* the single-use rule
+the hardware physically enforces (so protocol code cannot accidentally
+reuse a pad, and tests can assert the rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, KeyConsumedError
+
+__all__ = ["xor_encrypt", "xor_decrypt", "OneTimeKey", "generate_pad"]
+
+
+def xor_encrypt(key: bytes, message: bytes) -> bytes:
+    """Vernam cipher: perfect secrecy when the key is uniform and unused.
+
+    The key must be at least as long as the message (extra key bytes are
+    ignored, never recycled).
+    """
+    if len(key) < len(message):
+        raise ConfigurationError(
+            f"one-time-pad key ({len(key)} bytes) shorter than message "
+            f"({len(message)} bytes)")
+    return bytes(m ^ k for m, k in zip(message, key))
+
+
+def xor_decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    """XOR is an involution; decryption == encryption."""
+    return xor_encrypt(key, ciphertext)
+
+
+def generate_pad(length: int, rng: np.random.Generator | None = None) -> bytes:
+    """A fresh uniformly random pad of ``length`` bytes."""
+    if length < 1:
+        raise ConfigurationError("pad length must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng()
+    return rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+
+
+@dataclass
+class OneTimeKey:
+    """A pad key that refuses to be used twice.
+
+    ``use()`` hands out the key material exactly once and zeroizes it;
+    further uses raise :class:`KeyConsumedError`.  Mirrors the hardware
+    rule that "the sender and receiver must destroy each key immediately
+    after each message encryption/decryption".
+    """
+
+    _material: bytes
+    consumed: bool = field(default=False, init=False)
+
+    @property
+    def length(self) -> int:
+        return len(self._material)
+
+    def use(self) -> bytes:
+        if self.consumed:
+            raise KeyConsumedError("one-time key already consumed")
+        material = self._material
+        self._material = b"\x00" * len(material)
+        self.consumed = True
+        return material
+
+    def encrypt(self, message: bytes) -> bytes:
+        """Consume the key to encrypt ``message``."""
+        return xor_encrypt(self.use(), message)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Consume the key to decrypt ``ciphertext``."""
+        return xor_decrypt(self.use(), ciphertext)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Subclasses distinguish the major failure domains:
+device wearout, coding/crypto, and design-space infeasibility.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DeviceWornOutError(ReproError):
+    """An operation traversed a wearout device that has already failed.
+
+    Raised by stateful hardware simulations (switches, structures,
+    decision trees) when an access cannot be served because the underlying
+    device has reached the end of its sampled lifetime.
+    """
+
+
+class RegisterDestroyedError(ReproError):
+    """A read-destructive register was read more than once."""
+
+
+class CodingError(ReproError):
+    """Base class for secret-sharing / error-correction failures."""
+
+
+class InsufficientSharesError(CodingError):
+    """Fewer than the threshold ``k`` shares were supplied for recovery."""
+
+
+class DecodingFailure(CodingError):
+    """A Reed-Solomon decode could not produce a valid codeword."""
+
+
+class CryptoError(ReproError):
+    """Base class for cipher-layer failures."""
+
+
+class KeyConsumedError(CryptoError):
+    """A one-time key was used for a second encryption or decryption."""
+
+
+class AuthenticationError(CryptoError):
+    """Ciphertext failed its integrity check (wrong key or tampering)."""
+
+
+class DesignSpaceError(ReproError):
+    """Base class for design-space solver failures."""
+
+
+class InfeasibleDesignError(DesignSpaceError):
+    """No architecture satisfies the requested degradation criteria.
+
+    Carries the search bounds that were exhausted so callers can report
+    actionable diagnostics (e.g. "increase max_devices or relax p_fail").
+    """
+
+    def __init__(self, message: str, *, alpha: float | None = None,
+                 beta: float | None = None) -> None:
+        super().__init__(message)
+        self.alpha = alpha
+        self.beta = beta
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied parameters (negative counts, k > n, ...)."""

@@ -1,0 +1,9 @@
+"""Reproduction of every table and figure in the paper's evaluation."""
+
+from repro.experiments.report import (
+    ExperimentResult,
+    format_series,
+    format_table,
+)
+
+__all__ = ["ExperimentResult", "format_series", "format_table"]

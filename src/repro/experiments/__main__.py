@@ -1,0 +1,58 @@
+"""Run every reproduced experiment and print the results.
+
+Usage::
+
+    python -m repro.experiments                     # all experiments
+    python -m repro.experiments fig4b fig8          # a subset by id
+    python -m repro.experiments -o report.txt       # also write to file
+    python -m repro.experiments --list              # available ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="also write the rendered results to FILE")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    chunks = []
+    for experiment_id in ids:
+        rendered = EXPERIMENTS[experiment_id]().render()
+        print(rendered)
+        print()
+        chunks.append(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+        print(f"wrote {len(chunks)} experiments to {args.output}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

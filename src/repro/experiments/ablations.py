@@ -1,0 +1,167 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+- structure choice: series vs 1-of-n parallel vs k-of-n encoding for the
+  same device and usage target;
+- reliability floor: the paper claims extending the floor from 99% to
+  99.99999% costs ~3x devices (Section 4.3.3);
+- Monte Carlo vs analytic: empirical access bounds of fabricated
+  instances against the solver's guaranteed window;
+- M-way replication schedule (Section 4.1.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.degradation import (
+    DegradationCriteria,
+    PAPER_CRITERIA,
+    solve_encoded,
+    solve_encoded_fractional,
+    solve_unencoded_fractional,
+)
+from repro.core.replication import plan_replication
+from repro.core.weibull import WeibullDistribution
+from repro.errors import InfeasibleDesignError
+from repro.experiments.report import ExperimentResult, format_table
+from repro.sim.montecarlo import simulate_access_bounds, summarize_bounds
+
+
+def run_structures(alpha: float = 14.0, beta: float = 8.0,
+                   access_bound: int = 10_000) -> ExperimentResult:
+    """Device cost of each architectural option for one target."""
+    device = WeibullDistribution(alpha=alpha, beta=beta)
+    rows = []
+    # Series chain: the scale reduction needed is alpha (to ~1 access),
+    # costing alpha**beta devices per copy - report the analytic count.
+    series_chain = int(round(alpha ** beta))
+    rows.append(["series chain (alpha -> 1)",
+                 float(series_chain) * access_bound, None, None])
+    plain = solve_unencoded_fractional(device, access_bound, PAPER_CRITERIA)
+    rows.append(["1-of-n parallel", float(plain.total_devices), plain.n,
+                 plain.t])
+    for k_fraction in (0.10, 0.20, 0.30):
+        point = solve_encoded_fractional(device, access_bound, k_fraction,
+                                         PAPER_CRITERIA)
+        rows.append([f"k={k_fraction:.0%}*n encoded",
+                     float(point.total_devices), point.n, point.t])
+    lines = [f"device cost per structure, alpha={alpha} beta={beta}, "
+             f"bound={access_bound}:"]
+    lines.extend(format_table(
+        ["structure", "total devices", "bank n", "accesses/copy"], rows))
+    lines.append("shape: series is astronomical, parallel is exponential "
+                 "in alpha, encoding is linear - and k beyond ~30% has "
+                 "diminishing returns")
+    return ExperimentResult("ablation-structures",
+                            "architectural options compared", lines,
+                            data={"rows": rows})
+
+
+def run_reliability_floor(alpha: float = 14.0, beta: float = 8.0,
+                          access_bound: int = 91_250,
+                          k_fraction: float = 0.10) -> ExperimentResult:
+    """Cost of pushing the per-copy reliability floor toward certainty."""
+    device = WeibullDistribution(alpha=alpha, beta=beta)
+    rows = []
+    base_total = None
+    for r_min in (0.98, 0.99, 0.999, 0.9999999):
+        criteria = DegradationCriteria(r_min=r_min, p_fail=0.022)
+        try:
+            point = solve_encoded_fractional(device, access_bound,
+                                             k_fraction, criteria)
+            total = float(point.total_devices)
+        except InfeasibleDesignError:
+            total = None
+        if base_total is None and total is not None:
+            base_total = total
+        rows.append([r_min, total,
+                     None if total is None else total / base_total])
+    lines = [f"reliability floor vs device cost, alpha={alpha} beta={beta} "
+             "(paper: 99.99999% floor costs ~3x):"]
+    lines.extend(format_table(["r_min", "total devices", "x baseline"],
+                              rows))
+    return ExperimentResult("ablation-floor", "reliability floor cost",
+                            lines, data={"rows": rows})
+
+
+def run_montecarlo_validation(alpha: float = 14.0, beta: float = 8.0,
+                              access_bound: int = 2_000,
+                              k_fraction: float = 0.10,
+                              trials: int = 400,
+                              seed: int = 7) -> ExperimentResult:
+    """Fabricated-instance access bounds vs the analytic guarantee."""
+    device = WeibullDistribution(alpha=alpha, beta=beta)
+    point = solve_encoded_fractional(device, access_bound, k_fraction,
+                                     PAPER_CRITERIA)
+    rng = np.random.default_rng(seed)
+    bounds = simulate_access_bounds(point, trials, rng)
+    summary = summarize_bounds(bounds)
+    expected = point.expected_access_bound()
+    lines = [
+        f"design: n={point.n} k={point.k} t={point.t} copies={point.copies} "
+        f"guaranteed>={point.guaranteed_accesses}",
+        f"simulated bounds over {trials} instances: mean={summary.mean:.1f} "
+        f"min={summary.minimum} p01={summary.p01:.0f} p50={summary.p50:.0f} "
+        f"p99={summary.p99:.0f} max={summary.maximum}",
+        f"analytic expected bound: {expected:.1f} "
+        f"(relative error {abs(expected - summary.mean) / summary.mean:.2%})",
+        f"P[instance meets the legitimate bound {access_bound}]: "
+        f"{float((bounds >= access_bound).mean()):.3f}",
+    ]
+    return ExperimentResult("ablation-montecarlo",
+                            "Monte Carlo vs analytic access bounds", lines,
+                            data={"summary": summary, "expected": expected,
+                                  "bounds": bounds, "design": point})
+
+
+def run_window_modes(access_bound: int = 91_250,
+                     k_fraction: float = 0.10,
+                     beta: float = 8.0) -> ExperimentResult:
+    """Integer vs fractional degradation windows across alpha.
+
+    The integer solver enforces the criteria exactly at accesses t and
+    t+1 and resonates at unlucky alphas (device counts spike by orders
+    of magnitude); the fractional solver trades one extra access of
+    window width for smooth feasibility.  This ablation is the evidence
+    behind DESIGN.md's window-mode calibration decision.
+    """
+    rows = []
+    for alpha in (10, 12, 14, 16, 18, 20):
+        device = WeibullDistribution(alpha=alpha, beta=beta)
+        try:
+            integer = float(solve_encoded(device, access_bound,
+                                          k_fraction,
+                                          PAPER_CRITERIA).total_devices)
+        except InfeasibleDesignError:
+            integer = None
+        fractional = float(solve_encoded_fractional(
+            device, access_bound, k_fraction,
+            PAPER_CRITERIA).total_devices)
+        ratio = None if integer is None else integer / fractional
+        rows.append([alpha, integer, fractional, ratio])
+    lines = [f"integer vs fractional windows, beta={beta}, "
+             f"k={k_fraction:.0%}*n:"]
+    lines.extend(format_table(
+        ["alpha", "integer window", "fractional window", "ratio"], rows))
+    lines.append("resonant alphas (ratio >> 1) are where the 1-access "
+                 "window cannot align with the integer grid; the "
+                 "fractional window's 2-access ceiling removes them")
+    return ExperimentResult("ablation-window",
+                            "integer-grid resonance in the solver", lines,
+                            data={"rows": rows})
+
+
+def run_replication() -> ExperimentResult:
+    """Section 4.1.5's M-way replication example."""
+    plan = plan_replication(target_daily_usage=500, base_daily_usage=50,
+                            lifetime_years=5)
+    lines = [
+        f"target 500 uses/day from 50/day modules: M={plan.m}",
+        f"module duration: {plan.module_duration_months:.1f} months "
+        "(paper: ~6 months)",
+        f"re-encryptions over the lifetime: {plan.reencryptions}",
+        f"total access bound: {plan.total_access_bound} "
+        f"({plan.m} x {plan.module_access_bound})",
+    ]
+    return ExperimentResult("sec4.1.5", "M-way module replication", lines,
+                            data={"plan": plan})

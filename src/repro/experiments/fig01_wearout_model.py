@@ -1,0 +1,48 @@
+"""Figure 1: the Weibull wearout model at beta = 1, 6, 12.
+
+Reproduces the PDF / reliability curves (alpha = 1e6 cycles, matching the
+MEMS lifetime scale of the red beta = 12 reference) and reports the
+characteristic quantities a reader checks against the plot: the mode, the
+reliability at alpha, and the 99%-to-1% degradation window width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.weibull import WeibullDistribution
+from repro.experiments.report import ExperimentResult, format_table
+
+EXPERIMENT_ID = "fig1"
+TITLE = "Weibull wearout model (PDF + reliability, beta = 1/6/12)"
+
+ALPHA = 1.0e6
+BETAS = (1, 6, 12)
+
+
+def run() -> ExperimentResult:
+    xs = np.linspace(0.0, 2.0e6, 201)
+    curves = {}
+    rows = []
+    for beta in BETAS:
+        dist = WeibullDistribution(alpha=ALPHA, beta=beta)
+        curves[beta] = {
+            "x": xs,
+            "pdf": dist.pdf(xs),
+            "reliability": dist.reliability(xs),
+        }
+        rows.append([
+            beta,
+            dist.mode,
+            float(dist.reliability(ALPHA)),
+            dist.degradation_window(),
+            dist.mean,
+        ])
+    lines = format_table(
+        ["beta", "mode (cycles)", "R(alpha)", "99%->1% window", "MTTF"],
+        rows)
+    lines.append(
+        "paper: larger beta = sharper PDF peak and tighter degradation "
+        "window; R(alpha) = 1/e for every beta")
+    return ExperimentResult(EXPERIMENT_ID, TITLE, lines,
+                            data={"curves": curves})

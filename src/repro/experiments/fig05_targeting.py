@@ -1,0 +1,31 @@
+"""Figures 5a/5b: the limited-use targeting system design space."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, format_series
+from repro.targeting.design_space import (
+    fig5a_unencoded_sweep,
+    fig5b_encoded_sweep,
+)
+
+
+def run_fig5a() -> ExperimentResult:
+    curves = fig5a_unencoded_sweep()
+    lines = ["total NEMS switches vs alpha, mission bound 100, no encoding "
+             "(paper: 8,855 best case at alpha=20 beta=16; 842,941 worst "
+             "at alpha=14 beta=8):"]
+    for beta, rows in sorted(curves.items()):
+        lines.append(format_series(f"beta={beta}", rows))
+    return ExperimentResult("fig5a", "targeting system without encoding",
+                            lines, data={"curves": curves})
+
+
+def run_fig5b() -> ExperimentResult:
+    curves = fig5b_encoded_sweep()
+    lines = ["with encoding (paper: down to ~810 switches at k=10%*n, "
+             "alpha=10, beta=8; stair-stepped from the small copy count):"]
+    for (k_fraction, beta), rows in sorted(curves.items()):
+        lines.append(
+            format_series(f"k={k_fraction:.0%}*n beta={beta}", rows))
+    return ExperimentResult("fig5b", "targeting system with encoding",
+                            lines, data={"curves": curves})

@@ -1,0 +1,83 @@
+"""Figures 8 and 9: one-time-pad success space (receiver vs adversary)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.weibull import WeibullDistribution
+from repro.experiments.report import ExperimentResult, format_table
+from repro.pads.analysis import success_grid
+from repro.viz.ascii import heatmap
+
+N_COPIES = 128
+
+
+def run_fig8(alpha: float = 10.0, beta: float = 1.0,
+             heights=tuple(range(1, 17)) + (24, 32, 48, 64, 96, 128),
+             ks=(1, 2, 4, 8, 16, 32, 64, 96, 128)) -> ExperimentResult:
+    """Success probability over (k, H) at alpha=10, beta=1, n=128.
+
+    The paper's claims: the success space is the intersection of high
+    receiver success (low k, low H) and zero adversary success; H >= 8
+    alone drives the adversary to ~0 even at k close to 1.
+    """
+    device = WeibullDistribution(alpha=alpha, beta=beta)
+    recv, adv = success_grid(lambda h, k: device, heights, ks, N_COPIES)
+    lines = [f"receiver success, alpha={alpha} beta={beta} n={N_COPIES} "
+             "(rows H, cols k):"]
+    header = ["H\\k"] + [str(k) for k in ks]
+    lines.extend(format_table(
+        header, [[h] + [round(v, 3) for v in row]
+                 for h, row in zip(heights, recv)]))
+    lines.append("adversary success (same grid):")
+    lines.extend(format_table(
+        header, [[h] + [round(v, 6) for v in row]
+                 for h, row in zip(heights, adv)]))
+    h8 = list(heights).index(8)
+    k8 = list(ks).index(8)
+    lines.append(
+        f"paper check: at H=8 the adversary is ~0 for k >= 8 (max "
+        f"{adv[h8, k8:].max():.2e}); only the k=1 corner retains "
+        f"{adv[h8, 0]:.2f}, consistent with Eq. 15 itself")
+    lines.append(heatmap(recv, list(heights), list(ks),
+                         title="receiver success (rows H, cols k)"))
+    lines.append(heatmap(adv, list(heights), list(ks),
+                         title="adversary success (rows H, cols k)"))
+    return ExperimentResult(
+        "fig8", "pad success space over (k, height)", lines,
+        data={"heights": list(heights), "ks": list(ks),
+              "receiver": recv, "adversary": adv})
+
+
+def run_fig9(beta: float = 1.0, k: int = 8,
+             alphas=(1, 2, 5, 10, 20, 40, 60, 80),
+             heights=tuple(range(1, 17)) + (24, 32, 64, 128),
+             ) -> ExperimentResult:
+    """Success probability over (alpha, H) at k=8, n=128.
+
+    Paper: higher alpha helps both parties; for H <= 7 taller trees
+    compensate for loose wearout bounds, and H >= 8 blocks the adversary
+    outright.
+    """
+    recv = np.zeros((len(heights), len(alphas)))
+    adv = np.zeros((len(heights), len(alphas)))
+    for j, alpha in enumerate(alphas):
+        device = WeibullDistribution(alpha=alpha, beta=beta)
+        r_col, a_col = success_grid(lambda h, kk: device, heights, [k],
+                                    N_COPIES)
+        recv[:, j] = r_col[:, 0]
+        adv[:, j] = a_col[:, 0]
+    header = ["H\\alpha"] + [str(a) for a in alphas]
+    lines = [f"receiver success, beta={beta} k={k} n={N_COPIES} "
+             "(rows H, cols alpha):"]
+    lines.extend(format_table(
+        header, [[h] + [round(v, 3) for v in row]
+                 for h, row in zip(heights, recv)]))
+    lines.append("adversary success (same grid):")
+    lines.extend(format_table(
+        header, [[h] + [round(v, 6) for v in row]
+                 for h, row in zip(heights, adv)]))
+    return ExperimentResult(
+        "fig9", "pad success space over (alpha, height)", lines,
+        data={"heights": list(heights), "alphas": list(alphas),
+              "receiver": recv, "adversary": adv})

@@ -1,0 +1,41 @@
+"""Figure 10 and Section 6.5.2: pad density, latency, and energy."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, format_table
+from repro.pads.layout import pads_per_chip, retrieval_cost, trees_per_mm2
+
+#: Paper's Figure 10 bar labels (trees per 1 mm^2 by height).
+PAPER_DENSITY = {2: 5e6, 3: 2e6, 4: 6e5, 5: 2e5, 6: 1e5,
+                 7: 4e4, 8: 2e4, 9: 9e3, 10: 4e3, 11: 2e3}
+
+
+def run_fig10() -> ExperimentResult:
+    rows = []
+    densities = {}
+    for height in range(2, 12):
+        density = trees_per_mm2(height)
+        densities[height] = density
+        rows.append([height, density, PAPER_DENSITY[height]])
+    lines = ["decision trees per 1 mm^2 chip:"]
+    lines.extend(format_table(["height", "measured", "paper"], rows))
+    pads = pads_per_chip(height=4, n_copies=128)
+    lines.append(f"pads per chip at H=4, n=128: {pads} (paper ~4,687)")
+    return ExperimentResult("fig10", "one-time-pad density", lines,
+                            data={"densities": densities,
+                                  "pads_h4_n128": pads})
+
+
+def run_sec65() -> ExperimentResult:
+    cost = retrieval_cost(height=4, n_copies=128)
+    lines = [
+        f"traversal latency: {cost.traversal_latency_s * 1e3:.5f} ms "
+        "(paper 0.00512 ms)",
+        f"readout latency:   {cost.readout_latency_s * 1e3:.5f} ms "
+        "(paper 0.08 ms)",
+        f"total latency:     {cost.total_latency_s * 1e3:.5f} ms "
+        "(paper 0.08512 ms)",
+        f"switching energy:  {cost.energy_j:.3e} J (paper 5.12e-18 J)",
+    ]
+    return ExperimentResult("sec6.5.2", "pad retrieval latency and energy",
+                            lines, data={"cost": cost})

@@ -1,0 +1,61 @@
+"""Index of every reproduced experiment: id -> run callable.
+
+``python -m repro.experiments`` runs them all; the benchmark suite runs
+each under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import ablations, extensions
+from repro.experiments.fig01_wearout_model import run as run_fig1
+from repro.experiments.fig03_degradation_techniques import run as run_fig3
+from repro.experiments.fig04_connection import (
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_fig4d,
+    run_table1,
+)
+from repro.experiments.fig05_targeting import run_fig5a, run_fig5b
+from repro.experiments.fig08_09_pads import run_fig8, run_fig9
+from repro.experiments.fig10_density_costs import run_fig10, run_sec65
+from repro.experiments.deployment import run_deployment
+from repro.experiments.report import ExperimentResult
+from repro.experiments.sec41_attack import run_attack_stats
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": run_fig1,
+    "fig3": run_fig3,
+    "fig4a": run_fig4a,
+    "fig4b": run_fig4b,
+    "fig4c": run_fig4c,
+    "fig4d": run_fig4d,
+    "table1": run_table1,
+    "fig5a": run_fig5a,
+    "fig5b": run_fig5b,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "sec6.5.2": run_sec65,
+    "ablation-structures": ablations.run_structures,
+    "ablation-floor": ablations.run_reliability_floor,
+    "ablation-montecarlo": ablations.run_montecarlo_validation,
+    "ablation-window": ablations.run_window_modes,
+    "sec4.1.5": ablations.run_replication,
+    "sec4.1-attack": run_attack_stats,
+    "ext-failure-modes": extensions.run_failure_modes,
+    "ext-temperature": extensions.run_temperature,
+    "ext-tolerance": extensions.run_tolerance_margins,
+    "ext-availability": extensions.run_availability,
+    "ext-rotation": extensions.run_rotation,
+    "ext-arity": extensions.run_arity,
+    "ext-deployment": run_deployment,
+    "ext-raid-planning": extensions.run_raid_planning,
+}
+
+
+def run_all() -> list[ExperimentResult]:
+    """Execute every experiment in registry order."""
+    return [run() for run in EXPERIMENTS.values()]

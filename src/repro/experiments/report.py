@@ -1,0 +1,70 @@
+"""Shared result container and text rendering for experiments.
+
+Every experiment module exposes ``run() -> ExperimentResult``; benchmarks
+execute ``run`` under pytest-benchmark and print the rendered rows, so the
+console output of ``pytest benchmarks/`` is the reproduction of the
+paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one figure/table reproduction.
+
+    ``lines`` is the human-readable rendering (one string per output row);
+    ``data`` keeps the raw numbers for programmatic checks in tests.
+    """
+
+    experiment_id: str
+    title: str
+    lines: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n".join([header, *self.lines])
+
+
+def format_table(headers: list[str], rows: list[list]) -> list[str]:
+    """Fixed-width text table; numbers get compact formatting."""
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return out
+
+
+def format_series(label: str, points: list[tuple]) -> str:
+    """One curve as 'label: x->y, x->y, ...' with compact numbers."""
+    def fmt(v) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.3g}"
+        return str(v)
+
+    body = ", ".join(f"{fmt(x)}->{fmt(y)}" for x, y in points)
+    return f"{label}: {body}"

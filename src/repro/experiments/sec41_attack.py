@@ -1,0 +1,55 @@
+"""Section 4.1's security headline, measured end to end.
+
+The paper's claim: with the access bound matched to 91,250 legitimate
+uses and 8-character multi-class passwords, "an adversary has a
+negligible chance of successful brute-force attack before the hardware
+wears out".  This experiment measures that chance - analytically and by
+Monte Carlo over fabricated devices - and contrasts it with the
+bypassed-software-counter baseline where the same attacker always wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.connection.attacks import (
+    analytic_crack_probability,
+    simulate_hardware_attacks,
+)
+from repro.connection.design_space import SMARTPHONE_ACCESS_BOUND
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.experiments.report import ExperimentResult, format_table
+from repro.passwords.model import PasswordModel
+
+
+def run_attack_stats(trials: int = 400, seed: int = 2017,
+                     ) -> ExperimentResult:
+    device = WeibullDistribution(alpha=14.0, beta=8.0)
+    design = solve_encoded_fractional(device, SMARTPHONE_ACCESS_BOUND,
+                                      0.10, PAPER_CRITERIA)
+    model = PasswordModel()
+    rng = np.random.default_rng(seed)
+    rows = []
+    for label, excluded in (("no passcode policy", 0.0),
+                            ("reject top 1%", 0.01),
+                            ("reject top 2%", 0.02)):
+        analytic = analytic_crack_probability(
+            design, model, min_fraction_excluded=excluded)
+        stats = simulate_hardware_attacks(
+            design, trials=trials, rng=rng, model=model,
+            min_fraction_excluded=excluded)
+        rows.append([label, analytic, stats.crack_probability])
+    lines = [
+        f"design: {design.total_devices:,} switches, bound "
+        f"{design.guaranteed_accesses:,} accesses; attacker guesses in "
+        "popularity order (Ur et al. calibration):",
+    ]
+    lines.extend(format_table(
+        ["policy", "P[crack] analytic", "P[crack] simulated"], rows))
+    lines.append("baseline contrast: against a bypassed software counter "
+                 "the same attacker succeeds with probability 1.0 "
+                 "(unlimited attempts)")
+    return ExperimentResult(
+        "sec4.1-attack", "brute-force success against the hardware bound",
+        lines, data={"rows": rows, "design": design})

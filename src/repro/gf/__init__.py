@@ -1,0 +1,8 @@
+"""Finite-field arithmetic: GF(2^8) and polynomials over it."""
+
+from repro.gf.field import GF256, GF_AES, GF_RS
+from repro.gf.field16 import GF65536, gf65536
+from repro.gf.poly import Poly, lagrange_interpolate
+
+__all__ = ["GF256", "GF65536", "GF_AES", "GF_RS", "Poly", "gf65536",
+           "lagrange_interpolate"]

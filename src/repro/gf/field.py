@@ -1,0 +1,160 @@
+"""GF(2^8) arithmetic built from scratch.
+
+The field is constructed over the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D, the conventional choice for
+Reed-Solomon codes) with generator 2.  Multiplication and division run on
+precomputed log/exp tables; all operations also come in vectorized numpy
+flavours for bulk encoding.
+
+A secondary table set over the AES polynomial 0x11B is exposed for the
+AES implementation in :mod:`repro.crypto.aes`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GF256", "GF_RS", "GF_AES"]
+
+FIELD_SIZE = 256
+ORDER = FIELD_SIZE - 1  # multiplicative group order
+
+
+class GF256:
+    """The finite field GF(2^8) for a given primitive polynomial.
+
+    Elements are integers 0..255.  Addition is XOR; multiplication uses
+    log/exp tables generated once at construction.
+
+    Parameters
+    ----------
+    primitive_poly:
+        The reduction polynomial as a 9-bit integer (e.g. 0x11D).
+    generator:
+        A primitive element; its powers must enumerate all 255 nonzero
+        elements (verified at construction).
+    """
+
+    def __init__(self, primitive_poly: int = 0x11D, generator: int = 2) -> None:
+        if not 0x100 <= primitive_poly <= 0x1FF:
+            raise ConfigurationError(
+                "primitive polynomial must be degree 8 (0x100..0x1FF)")
+        self.primitive_poly = primitive_poly
+        self.generator = generator
+        self._exp = np.zeros(2 * ORDER, dtype=np.uint8)
+        self._log = np.zeros(FIELD_SIZE, dtype=np.int32)
+        x = 1
+        for i in range(ORDER):
+            self._exp[i] = x
+            self._log[x] = i
+            x = self._mul_slow(x, generator)
+            if x == 1 and i < ORDER - 1:
+                # The powers cycled early: the generator's order divides
+                # 255 properly, so it cannot enumerate the whole group.
+                raise ConfigurationError(
+                    f"{generator} is not a primitive element mod "
+                    f"{primitive_poly:#x} (order {i + 1})")
+        if x != 1:
+            raise ConfigurationError(
+                f"{primitive_poly:#x} is not a valid reduction polynomial")
+        # Duplicate the exp table so exp[(la + lb)] needs no modulo.
+        self._exp[ORDER:] = self._exp[:ORDER]
+        self._log[0] = -1  # log of zero is undefined; sentinel for safety
+
+    def _mul_slow(self, a: int, b: int) -> int:
+        """Carry-less multiply with reduction; used only to build tables."""
+        result = 0
+        while b:
+            if b & 1:
+                result ^= a
+            a <<= 1
+            if a & 0x100:
+                a ^= self.primitive_poly
+            b >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Scalar operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (== subtraction): bitwise XOR."""
+        return a ^ b
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[int(self._log[a]) + int(self._log[b])])
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return int(self._exp[int(self._log[a]) - int(self._log[b]) + ORDER])
+
+    def inverse(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return int(self._exp[ORDER - int(self._log[a])])
+
+    def pow(self, a: int, e: int) -> int:
+        """a**e with integer exponent (negative exponents allowed, a != 0)."""
+        if a == 0:
+            if e < 0:
+                raise ZeroDivisionError("0 ** negative in GF(256)")
+            return 0 if e else 1
+        return int(self._exp[(int(self._log[a]) * e) % ORDER])
+
+    def exp(self, i: int) -> int:
+        """generator ** i."""
+        return int(self._exp[i % ORDER])
+
+    def log(self, a: int) -> int:
+        """Discrete log base the generator; a must be nonzero."""
+        if a == 0:
+            raise ZeroDivisionError("log of zero in GF(256)")
+        return int(self._log[a])
+
+    # ------------------------------------------------------------------
+    # Vectorized operations on uint8 arrays
+    # ------------------------------------------------------------------
+    def mul_vec(self, a, b) -> np.ndarray:
+        """Element-wise product of two arrays (or array and scalar)."""
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        a, b = np.broadcast_arrays(a, b)
+        out = np.zeros(a.shape, dtype=np.uint8)
+        nz = (a != 0) & (b != 0)
+        out[nz] = self._exp[self._log[a[nz]] + self._log[b[nz]]]
+        return out
+
+    def div_vec(self, a, b) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        if np.any(b == 0):
+            raise ZeroDivisionError("division by zero in GF(256)")
+        a, b = np.broadcast_arrays(a, b)
+        out = np.zeros(a.shape, dtype=np.uint8)
+        nz = a != 0
+        out[nz] = self._exp[self._log[a[nz]] - self._log[b[nz]] + ORDER]
+        return out
+
+    def elements(self) -> range:
+        """All field elements, 0..255."""
+        return range(FIELD_SIZE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GF256(primitive_poly={self.primitive_poly:#x})"
+
+
+#: Field used by Shamir sharing and Reed-Solomon codes.
+GF_RS = GF256(primitive_poly=0x11D, generator=2)
+
+#: Field matching AES's MixColumns / S-box algebra (generator 3, since 2 is
+#: not primitive modulo the AES polynomial).
+GF_AES = GF256(primitive_poly=0x11B, generator=3)

@@ -1,0 +1,114 @@
+"""GF(2^16) arithmetic for threshold schemes with more than 255 shares.
+
+High-process-variation designs (beta = 4) need parallel banks of a
+thousand-plus switches; Shamir over GF(2^8) caps at 255 shares, so those
+banks shard their secret over GF(2^16) instead (up to 65,535 shares).
+
+Construction mirrors :class:`repro.gf.field.GF256`: log/exp tables over
+the primitive polynomial ``x^16 + x^12 + x^3 + x + 1`` (0x1100B) with
+generator 2.  Table construction costs ~65k carry-less multiplies, so the
+standard field is built lazily and cached via :func:`gf65536`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GF65536", "gf65536"]
+
+FIELD_SIZE = 1 << 16
+ORDER = FIELD_SIZE - 1
+
+
+class GF65536:
+    """The finite field GF(2^16); elements are integers 0..65535."""
+
+    def __init__(self, primitive_poly: int = 0x1100B,
+                 generator: int = 2) -> None:
+        if not FIELD_SIZE <= primitive_poly < (FIELD_SIZE << 1):
+            raise ConfigurationError(
+                "primitive polynomial must be degree 16")
+        self.primitive_poly = primitive_poly
+        self.generator = generator
+        self._exp = np.zeros(2 * ORDER, dtype=np.uint16)
+        self._log = np.zeros(FIELD_SIZE, dtype=np.int32)
+        x = 1
+        for i in range(ORDER):
+            self._exp[i] = x
+            self._log[x] = i
+            x = self._mul_slow(x, generator)
+            if x == 1 and i < ORDER - 1:
+                raise ConfigurationError(
+                    f"{generator} is not primitive mod "
+                    f"{primitive_poly:#x} (order {i + 1})")
+        if x != 1:
+            raise ConfigurationError(
+                f"{primitive_poly:#x} is not a valid reduction polynomial")
+        self._exp[ORDER:] = self._exp[:ORDER]
+        self._log[0] = -1
+
+    def _mul_slow(self, a: int, b: int) -> int:
+        result = 0
+        while b:
+            if b & 1:
+                result ^= a
+            a <<= 1
+            if a & FIELD_SIZE:
+                a ^= self.primitive_poly
+            b >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        return a ^ b
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[int(self._log[a]) + int(self._log[b])])
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^16)")
+        if a == 0:
+            return 0
+        return int(self._exp[int(self._log[a]) - int(self._log[b]) + ORDER])
+
+    def inverse(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^16)")
+        return int(self._exp[ORDER - int(self._log[a])])
+
+    def pow(self, a: int, e: int) -> int:
+        if a == 0:
+            if e < 0:
+                raise ZeroDivisionError("0 ** negative in GF(2^16)")
+            return 0 if e else 1
+        return int(self._exp[(int(self._log[a]) * e) % ORDER])
+
+    # ------------------------------------------------------------------
+    def mul_vec(self, a, b) -> np.ndarray:
+        """Element-wise product of uint16 arrays (or array and scalar)."""
+        a = np.asarray(a, dtype=np.uint16)
+        b = np.asarray(b, dtype=np.uint16)
+        a, b = np.broadcast_arrays(a, b)
+        out = np.zeros(a.shape, dtype=np.uint16)
+        nz = (a != 0) & (b != 0)
+        out[nz] = self._exp[self._log[a[nz]] + self._log[b[nz]]]
+        return out
+
+
+_STANDARD: GF65536 | None = None
+
+
+def gf65536() -> GF65536:
+    """The lazily-built standard GF(2^16) instance (shared, immutable)."""
+    global _STANDARD
+    if _STANDARD is None:
+        _STANDARD = GF65536()
+    return _STANDARD

@@ -1,0 +1,194 @@
+"""Polynomials over GF(256).
+
+Coefficients are stored lowest-degree first in a ``Poly`` value object.
+Provides the arithmetic Shamir sharing and Reed-Solomon decoding need:
+add/mul/divmod, evaluation (scalar and vectorized Horner), formal
+derivative, and Lagrange interpolation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gf.field import GF256, GF_RS
+
+__all__ = ["Poly", "lagrange_interpolate"]
+
+
+class Poly:
+    """An immutable polynomial over GF(256), lowest-degree coefficient first."""
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, coeffs: Sequence[int], field: GF256 = GF_RS) -> None:
+        trimmed = list(coeffs)
+        while trimmed and trimmed[-1] == 0:
+            trimmed.pop()
+        if any(not 0 <= c <= 255 for c in trimmed):
+            raise ConfigurationError("coefficients must be bytes (0..255)")
+        self.field = field
+        self.coeffs = tuple(int(c) for c in trimmed)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, field: GF256 = GF_RS) -> "Poly":
+        return cls((), field)
+
+    @classmethod
+    def one(cls, field: GF256 = GF_RS) -> "Poly":
+        return cls((1,), field)
+
+    @classmethod
+    def monomial(cls, degree: int, coeff: int = 1,
+                 field: GF256 = GF_RS) -> "Poly":
+        if degree < 0:
+            raise ConfigurationError("degree must be >= 0")
+        return cls([0] * degree + [coeff], field)
+
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; -1 for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Poly) and self.coeffs == other.coeffs
+                and self.field is other.field)
+
+    def __hash__(self) -> int:
+        return hash((id(self.field), self.coeffs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Poly({list(self.coeffs)})"
+
+    def _check_field(self, other: "Poly") -> None:
+        if self.field is not other.field:
+            raise ConfigurationError("polynomials from different fields")
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Poly") -> "Poly":
+        self._check_field(other)
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for i, c in enumerate(b):
+            out[i] ^= c
+        return Poly(out, self.field)
+
+    __sub__ = __add__  # characteristic 2: subtraction is addition
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        self._check_field(other)
+        if self.is_zero or other.is_zero:
+            return Poly.zero(self.field)
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        mul = self.field.mul
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                if b:
+                    out[i + j] ^= mul(a, b)
+        return Poly(out, self.field)
+
+    def scale(self, c: int) -> "Poly":
+        """Multiply every coefficient by the scalar ``c``."""
+        mul = self.field.mul
+        return Poly([mul(a, c) for a in self.coeffs], self.field)
+
+    def shift(self, k: int) -> "Poly":
+        """Multiply by x**k."""
+        if k < 0:
+            raise ConfigurationError("shift must be >= 0")
+        if self.is_zero:
+            return self
+        return Poly((0,) * k + self.coeffs, self.field)
+
+    def __divmod__(self, divisor: "Poly") -> tuple["Poly", "Poly"]:
+        self._check_field(divisor)
+        if divisor.is_zero:
+            raise ZeroDivisionError("polynomial division by zero")
+        rem = list(self.coeffs)
+        dlen = len(divisor.coeffs)
+        if len(rem) < dlen:
+            return Poly.zero(self.field), self
+        quot = [0] * (len(rem) - dlen + 1)
+        inv_lead = self.field.inverse(divisor.coeffs[-1])
+        mul = self.field.mul
+        for i in range(len(quot) - 1, -1, -1):
+            coeff = mul(rem[i + dlen - 1], inv_lead)
+            quot[i] = coeff
+            if coeff:
+                for j, d in enumerate(divisor.coeffs):
+                    rem[i + j] ^= mul(coeff, d)
+        return Poly(quot, self.field), Poly(rem[:dlen - 1], self.field)
+
+    def __floordiv__(self, divisor: "Poly") -> "Poly":
+        return divmod(self, divisor)[0]
+
+    def __mod__(self, divisor: "Poly") -> "Poly":
+        return divmod(self, divisor)[1]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, x: int) -> int:
+        """Evaluate at a single point by Horner's rule."""
+        result = 0
+        mul = self.field.mul
+        for c in reversed(self.coeffs):
+            result = mul(result, x) ^ c
+        return result
+
+    def eval_many(self, xs) -> np.ndarray:
+        """Vectorized Horner evaluation at many points."""
+        xs = np.asarray(xs, dtype=np.uint8)
+        result = np.zeros(xs.shape, dtype=np.uint8)
+        for c in reversed(self.coeffs):
+            result = self.field.mul_vec(result, xs) ^ np.uint8(c)
+        return result
+
+    def derivative(self) -> "Poly":
+        """Formal derivative.
+
+        In characteristic 2 the derivative of ``c * x**i`` is ``c *
+        x**(i-1)`` when ``i`` is odd and 0 when even (``i * c`` means adding
+        ``c`` to itself ``i`` times).
+        """
+        return Poly([self.coeffs[i] if i % 2 else 0
+                     for i in range(1, len(self.coeffs))], self.field)
+
+
+def lagrange_interpolate(points: Sequence[tuple[int, int]],
+                         x0: int = 0, field: GF256 = GF_RS) -> int:
+    """Evaluate at ``x0`` the unique polynomial through ``points``.
+
+    ``points`` are (x, y) pairs with distinct x.  Used by Shamir recovery,
+    where ``x0 = 0`` yields the secret directly without materializing the
+    polynomial.
+    """
+    xs = [p[0] for p in points]
+    if len(set(xs)) != len(xs):
+        raise ConfigurationError("interpolation points must have distinct x")
+    if not points:
+        raise ConfigurationError("need at least one point")
+    acc = 0
+    for i, (xi, yi) in enumerate(points):
+        num, den = 1, 1
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            num = field.mul(num, x0 ^ xj)
+            den = field.mul(den, xi ^ xj)
+        acc ^= field.mul(yi, field.div(num, den))
+    return acc

@@ -1,0 +1,89 @@
+"""One-time pads in wearout decision trees (paper Section 6)."""
+
+from repro.pads.analysis import (
+    adversary_success_probability,
+    path_success_probability,
+    receiver_success_probability,
+    success_grid,
+)
+from repro.pads.arity import (
+    MaryTreeDesign,
+    compare_arities,
+    mary_adversary_success,
+    mary_path_success,
+    mary_receiver_success,
+)
+from repro.pads.chip import (
+    BITS_PER_LEVEL,
+    OneTimePad,
+    OneTimePadChip,
+    PadAddress,
+)
+from repro.pads.decision_tree import HardwareDecisionTree, path_bits_to_leaf
+from repro.pads.design import PadDesign, design_pad
+from repro.pads.layout import (
+    RetrievalCost,
+    pads_per_chip,
+    retrieval_cost,
+    tree_area_nm2,
+    trees_per_mm2,
+)
+from repro.pads.protocol import (
+    EvilMaidAttacker,
+    PadMessage,
+    PadReceiver,
+    PadSender,
+)
+from repro.pads.raid_planning import (
+    RaidPlan,
+    defender_min_height,
+    leak_probability,
+    optimal_raid_plan,
+    per_trial_success,
+)
+from repro.pads.provisioning import (
+    AlreadyProgrammedError,
+    AntifuseCell,
+    BlankPadChip,
+    OneTimeProgrammer,
+    provision_blank_chip,
+)
+
+__all__ = [
+    "AlreadyProgrammedError",
+    "AntifuseCell",
+    "BITS_PER_LEVEL",
+    "BlankPadChip",
+    "EvilMaidAttacker",
+    "HardwareDecisionTree",
+    "MaryTreeDesign",
+    "OneTimePad",
+    "OneTimePadChip",
+    "OneTimeProgrammer",
+    "PadAddress",
+    "PadDesign",
+    "PadMessage",
+    "PadReceiver",
+    "PadSender",
+    "RaidPlan",
+    "RetrievalCost",
+    "adversary_success_probability",
+    "compare_arities",
+    "defender_min_height",
+    "design_pad",
+    "leak_probability",
+    "mary_adversary_success",
+    "mary_path_success",
+    "mary_receiver_success",
+    "optimal_raid_plan",
+    "pads_per_chip",
+    "path_bits_to_leaf",
+    "path_success_probability",
+    "per_trial_success",
+    "provision_blank_chip",
+    "receiver_success_probability",
+    "retrieval_cost",
+    "success_grid",
+    "tree_area_nm2",
+    "trees_per_mm2",
+]

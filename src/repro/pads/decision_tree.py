@@ -1,0 +1,118 @@
+"""Hardware decision trees built from NEMS switches (Section 6.2).
+
+Geometry (consistent with Figure 7 and Eqs. 9/11): a tree of height ``H``
+has ``H`` switch levels and ``2**(H-1)`` leaves; a traversal actuates one
+switch per level, so a path crosses ``H`` switches and there are
+``2**(H-1)`` distinct paths.  Level ``1`` is a single entry switch;
+levels ``2..H`` branch left/right on the path bits.  Leaves are
+read-destructive shift registers holding the candidate random keys.
+
+A traversal wears every switch it touches whether or not it reaches the
+leaf - which is why adversarial path-guessing destroys the tree quickly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.device import NEMSSwitch, ReadDestructiveRegister
+from repro.core.variation import ProcessVariation
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, RegisterDestroyedError
+
+__all__ = ["path_bits_to_leaf", "HardwareDecisionTree"]
+
+
+def path_bits_to_leaf(path: str) -> int:
+    """Map a branch-bit string ('0' left, '1' right) to a leaf index."""
+    if path == "":
+        return 0
+    if any(c not in "01" for c in path):
+        raise ConfigurationError("path must be a string of 0s and 1s")
+    return int(path, 2)
+
+
+class HardwareDecisionTree:
+    """One fabricated decision tree with keys in its leaves.
+
+    Parameters
+    ----------
+    height:
+        Number of switch levels ``H`` (so ``2**(H-1)`` leaves).  A path is
+        described by ``H - 1`` branch bits.
+    leaf_contents:
+        The byte string for each leaf, length ``2**(H-1)``.  One leaf is
+        the real (share of the) key; the rest are decoys drawn from the
+        same distribution so a captured tree reveals nothing about which
+        path is right.
+    """
+
+    def __init__(self, height: int, leaf_contents: list[bytes],
+                 device: WeibullDistribution, rng: np.random.Generator,
+                 variation: ProcessVariation | None = None) -> None:
+        if height < 1:
+            raise ConfigurationError("tree height must be >= 1")
+        leaves = 2 ** (height - 1)
+        if len(leaf_contents) != leaves:
+            raise ConfigurationError(
+                f"height {height} needs {leaves} leaves, got "
+                f"{len(leaf_contents)}")
+        self.height = height
+        # Level i (1-based) has 1 switch at i=1 and 2**(i-1) at i>1; we
+        # index switches within each level by the path prefix.
+        switch_count = 1 + sum(2 ** (i - 1) for i in range(2, height + 1))
+        all_switches = NEMSSwitch.fabricate_batch(device, switch_count, rng,
+                                                  variation)
+        self._levels: list[list[NEMSSwitch]] = []
+        cursor = 0
+        for level in range(1, height + 1):
+            width = 1 if level == 1 else 2 ** (level - 1)
+            self._levels.append(all_switches[cursor:cursor + width])
+            cursor += width
+        self._registers = [ReadDestructiveRegister(c) for c in leaf_contents]
+        self.traversals = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_leaves(self) -> int:
+        return 2 ** (self.height - 1)
+
+    @property
+    def n_paths(self) -> int:
+        return self.n_leaves
+
+    @property
+    def switch_count(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    def path_switches(self, path: str) -> list[NEMSSwitch]:
+        """The H switches a traversal of ``path`` actuates."""
+        if len(path) != self.height - 1:
+            raise ConfigurationError(
+                f"path must have {self.height - 1} bits for height "
+                f"{self.height}")
+        leaf = path_bits_to_leaf(path)
+        switches = [self._levels[0][0]]
+        for level in range(2, self.height + 1):
+            # The switch at level i is selected by the first i-1 path bits.
+            prefix = leaf >> (self.height - level)
+            switches.append(self._levels[level - 1][prefix])
+        return switches
+
+    def traverse(self, path: str) -> bytes | None:
+        """Attempt one traversal; returns the leaf contents or None.
+
+        All ``H`` switches along the path must close; every switch touched
+        is worn by the attempt (including on failed traversals).  Reading
+        the leaf destroys it, so a second successful traversal of the same
+        path returns None as well.
+        """
+        self.traversals += 1
+        switches = self.path_switches(path)
+        closed = [s.actuate() for s in switches]
+        if not all(closed):
+            return None
+        try:
+            return self._registers[path_bits_to_leaf(path)].read()
+        except RegisterDestroyedError:
+            return None

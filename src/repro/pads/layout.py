@@ -1,0 +1,99 @@
+"""Physical layout, density, latency and energy of pad chips (Section 6.5).
+
+Constants and formulas exactly as the paper evaluates them:
+
+- H-tree layout: a height-``H`` decision tree occupies on the order of
+  its ``2**(H-1)`` leaves (Brent & Kung), 100 nm^2 per NEMS switch;
+- each leaf's shift register stores ~1000*H bits at 50 nm^2 per cell;
+- retrieval latency: serial traversal of all ``n`` copies (10 ns per
+  switch, ``H`` switches each) plus one register readout at 20 ns/bit;
+- retrieval energy: ``n * H`` switch actuations at 1e-20 J each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import NM2_PER_MM2
+from repro.core.device import NEMS_CHARACTERISTICS, NEMSCharacteristics
+from repro.errors import ConfigurationError
+from repro.pads.chip import BITS_PER_LEVEL
+
+__all__ = [
+    "tree_area_nm2",
+    "trees_per_mm2",
+    "pads_per_chip",
+    "RetrievalCost",
+    "retrieval_cost",
+]
+
+
+def tree_area_nm2(height: int,
+                  bits_per_level: int = BITS_PER_LEVEL,
+                  chars: NEMSCharacteristics = NEMS_CHARACTERISTICS,
+                  ) -> float:
+    """Area of one decision tree: switch H-tree plus leaf registers."""
+    if height < 1:
+        raise ConfigurationError("tree height must be >= 1")
+    leaves = 2 ** (height - 1)
+    switch_area = chars.contact_area_nm2 * leaves
+    register_area = (leaves * bits_per_level * height
+                     * chars.register_cell_area_nm2)
+    return switch_area + register_area
+
+
+def trees_per_mm2(height: int,
+                  bits_per_level: int = BITS_PER_LEVEL,
+                  chars: NEMSCharacteristics = NEMS_CHARACTERISTICS,
+                  ) -> int:
+    """Decision-tree density on a 1 mm^2 chip (Fig. 10)."""
+    return int(NM2_PER_MM2 // tree_area_nm2(height, bits_per_level, chars))
+
+
+def pads_per_chip(height: int, n_copies: int,
+                  chip_area_mm2: float = 1.0,
+                  bits_per_level: int = BITS_PER_LEVEL,
+                  chars: NEMSCharacteristics = NEMS_CHARACTERISTICS,
+                  ) -> int:
+    """Complete pads (n tree copies each) fitting on the chip.
+
+    Paper example: H = 4, n = 128 gives ~4,687 pads per mm^2.
+    """
+    if n_copies < 1:
+        raise ConfigurationError("n_copies must be >= 1")
+    if chip_area_mm2 <= 0:
+        raise ConfigurationError("chip_area_mm2 must be > 0")
+    total_trees = int(chip_area_mm2 * NM2_PER_MM2
+                      // tree_area_nm2(height, bits_per_level, chars))
+    return total_trees // n_copies
+
+
+@dataclass(frozen=True)
+class RetrievalCost:
+    """Latency and energy of retrieving one pad key."""
+
+    traversal_latency_s: float
+    readout_latency_s: float
+    energy_j: float
+
+    @property
+    def total_latency_s(self) -> float:
+        return self.traversal_latency_s + self.readout_latency_s
+
+
+def retrieval_cost(height: int, n_copies: int,
+                   bits_per_level: int = BITS_PER_LEVEL,
+                   chars: NEMSCharacteristics = NEMS_CHARACTERISTICS,
+                   ) -> RetrievalCost:
+    """Worst-case key retrieval cost (Section 6.5.2).
+
+    Paper example (H = 4, n = 128): 0.00512 ms traversal + 0.08 ms readout
+    = 0.08512 ms total, 5.12e-18 J of switching energy.
+    """
+    if height < 1 or n_copies < 1:
+        raise ConfigurationError("height and n_copies must be >= 1")
+    traversal = chars.switching_delay_s * height * n_copies
+    readout = chars.register_delay_per_bit_s * bits_per_level * height
+    energy = chars.switching_energy_j * height * n_copies
+    return RetrievalCost(traversal_latency_s=traversal,
+                         readout_latency_s=readout, energy_j=energy)

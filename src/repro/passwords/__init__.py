@@ -1,0 +1,8 @@
+"""Password guessability modelling and brute-force attacker simulation."""
+
+from repro.passwords.attacker import AttackOutcome, BruteForceAttacker
+from repro.passwords.curves import PiecewiseGuessCurve
+from repro.passwords.model import PasswordModel, UR_ANCHORS
+
+__all__ = ["AttackOutcome", "BruteForceAttacker", "PasswordModel",
+           "PiecewiseGuessCurve", "UR_ANCHORS"]

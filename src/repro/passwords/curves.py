@@ -1,0 +1,96 @@
+"""Arbitrary guessability curves from published anchor tables.
+
+:class:`~repro.passwords.model.PasswordModel` hard-codes the head+tail
+shape calibrated to Ur et al.'s two quoted statistics.  Real studies
+publish whole guess-number curves; this module accepts any monotone
+(guesses, cracked-fraction) table and interpolates it log-linearly in
+the guess count, giving the same API surface as ``PasswordModel`` so
+attack analyses can swap in measured data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PiecewiseGuessCurve"]
+
+
+class PiecewiseGuessCurve:
+    """A guessability curve through published (guesses, fraction) points.
+
+    Interpolation is linear in log10(guesses); below the first anchor the
+    fraction ramps linearly from zero.  Above the last anchor the curve
+    continues log-linearly to ``(exhaustion_guesses, 1.0)`` - an implicit
+    final anchor modelling exhaustive search of the whole password space
+    (default 1e14, ~the size of an 8-character full-charset space).
+    """
+
+    def __init__(self, anchors, exhaustion_guesses: float = 1e14) -> None:
+        points = sorted((int(g), float(f)) for g, f in anchors)
+        if len(points) < 2:
+            raise ConfigurationError("need at least two anchors")
+        guesses = [g for g, _ in points]
+        fractions = [f for _, f in points]
+        if guesses[0] < 1:
+            raise ConfigurationError("guess counts must be >= 1")
+        if len(set(guesses)) != len(guesses):
+            raise ConfigurationError("duplicate guess counts in anchors")
+        if any(not 0.0 <= f <= 1.0 for f in fractions):
+            raise ConfigurationError("fractions must lie in [0, 1]")
+        if any(b < a for a, b in zip(fractions, fractions[1:])):
+            raise ConfigurationError("fractions must be non-decreasing")
+        if fractions[-1] < 1.0:
+            if exhaustion_guesses <= guesses[-1]:
+                raise ConfigurationError(
+                    "exhaustion_guesses must exceed the last anchor")
+            guesses.append(int(exhaustion_guesses))
+            fractions.append(1.0)
+        self._log_g = np.log10(np.asarray(guesses, dtype=float))
+        self._fractions = np.asarray(fractions, dtype=float)
+
+    def cracked_fraction(self, guesses):
+        """Fraction of victims cracked within ``guesses`` attempts."""
+        guesses = np.asarray(guesses, dtype=float)
+        out = np.zeros(guesses.shape if guesses.ndim else (1,))
+        g = np.atleast_1d(guesses)
+        with np.errstate(divide="ignore"):
+            log_g = np.where(g >= 1, np.log10(np.maximum(g, 1.0)), -np.inf)
+        # Region below the first anchor: linear ramp from (0 guesses, 0).
+        first_g, first_f = 10 ** self._log_g[0], self._fractions[0]
+        below = g < first_g
+        out = np.where(below, np.clip(g, 0, None) / first_g * first_f, 0.0)
+        interp = np.interp(log_g, self._log_g, self._fractions)
+        out = np.where(~below, interp, out)
+        out = np.clip(out, 0.0, 1.0)
+        return out if guesses.ndim else float(out[0])
+
+    def guesses_for_fraction(self, fraction: float) -> int:
+        """Smallest guess count reaching ``fraction`` cracked."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must lie in [0, 1]")
+        if fraction <= 0.0:
+            return 0
+        lo, hi = 1, 1
+        while self.cracked_fraction(hi) < fraction:
+            lo, hi = hi, hi * 4
+            if hi > 10 ** 15:
+                raise ConfigurationError(
+                    f"curve never reaches fraction {fraction}")
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.cracked_fraction(mid) >= fraction:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def sample_rank(self, rng: np.random.Generator,
+                    min_fraction_excluded: float = 0.0) -> int:
+        """Sample a victim rank by inverting the curve at a uniform draw."""
+        if not 0.0 <= min_fraction_excluded < 1.0:
+            raise ConfigurationError(
+                "min_fraction_excluded must lie in [0, 1)")
+        u = rng.uniform(min_fraction_excluded, 1.0)
+        return max(1, self.guesses_for_fraction(u))

@@ -1,0 +1,50 @@
+"""Monte Carlo simulation harness and RNG plumbing."""
+
+from repro.sim.montecarlo import (
+    AccessBoundSummary,
+    simulate_access_bounds,
+    simulate_access_bounds_hardware,
+    summarize_bounds,
+)
+from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.timeline import (
+    ServiceLifeSummary,
+    UsageProfile,
+    required_safety_factor,
+    simulate_service_life,
+)
+from repro.sim.traces import (
+    EventKind,
+    ReplayReport,
+    TraceEvent,
+    generate_trace,
+    replay_trace,
+)
+from repro.sim.validation import (
+    FitVerdict,
+    chi_square_binned,
+    ks_test,
+    validate_model,
+)
+
+__all__ = [
+    "AccessBoundSummary",
+    "EventKind",
+    "FitVerdict",
+    "ReplayReport",
+    "ServiceLifeSummary",
+    "TraceEvent",
+    "UsageProfile",
+    "chi_square_binned",
+    "generate_trace",
+    "ks_test",
+    "make_rng",
+    "replay_trace",
+    "required_safety_factor",
+    "simulate_access_bounds",
+    "simulate_access_bounds_hardware",
+    "simulate_service_life",
+    "spawn_rngs",
+    "summarize_bounds",
+    "validate_model",
+]

@@ -1,0 +1,22 @@
+"""Reproducible random-number plumbing.
+
+Experiments spawn independent generator streams from one root seed so
+results are reproducible and parallel-safe regardless of evaluation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """A fresh generator; seeded when ``seed`` is given."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """``count`` independent generators derived from one root seed."""
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,141 @@
+"""Calendar-time usage simulation: does the budget survive real usage?
+
+The paper sizes the smartphone bound as ``50/day * 365 * 5`` - a *max*
+daily usage.  Real usage is stochastic: on Poisson(50) days the total
+over 5 years concentrates near 91,250 and roughly half of all devices
+would exceed the budget before year 5.  This module simulates the
+deployment question the paper's sizing skips: given a usage-rate
+distribution, what fraction of devices reach their service-life target,
+and what safety factor on the access bound do you need?
+
+- :class:`UsageProfile` - daily access counts (Poisson around a mean,
+  with optional weekend scaling and heavy-use days);
+- :func:`simulate_service_life` - days until the budget runs out, over
+  many simulated owners;
+- :func:`required_safety_factor` - the bound multiplier (via M-way
+  replication, Section 4.1.5) for a target service-life percentile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "UsageProfile",
+    "ServiceLifeSummary",
+    "simulate_service_life",
+    "required_safety_factor",
+]
+
+DAYS_PER_YEAR = 365
+
+
+@dataclass(frozen=True)
+class UsageProfile:
+    """A stochastic daily usage model.
+
+    ``mean_daily`` - Poisson mean for weekday accesses;
+    ``weekend_factor`` - multiplier applied on 2 of every 7 days;
+    ``heavy_day_probability``/``heavy_day_factor`` - occasional travel
+    or lockout-recovery days with multiplied usage.
+    """
+
+    mean_daily: float = 50.0
+    weekend_factor: float = 1.0
+    heavy_day_probability: float = 0.0
+    heavy_day_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.mean_daily <= 0:
+            raise ConfigurationError("mean_daily must be > 0")
+        if self.weekend_factor <= 0 or self.heavy_day_factor <= 0:
+            raise ConfigurationError("usage factors must be > 0")
+        if not 0.0 <= self.heavy_day_probability < 1.0:
+            raise ConfigurationError(
+                "heavy_day_probability must lie in [0, 1)")
+
+    def sample_days(self, n_days: int,
+                    rng: np.random.Generator) -> np.ndarray:
+        """Daily access counts for ``n_days`` consecutive days."""
+        if n_days < 1:
+            raise ConfigurationError("n_days must be >= 1")
+        day_index = np.arange(n_days)
+        means = np.full(n_days, float(self.mean_daily))
+        means[day_index % 7 >= 5] *= self.weekend_factor
+        if self.heavy_day_probability > 0:
+            heavy = rng.random(n_days) < self.heavy_day_probability
+            means[heavy] *= self.heavy_day_factor
+        return rng.poisson(means)
+
+
+@dataclass(frozen=True)
+class ServiceLifeSummary:
+    """Distribution of days-until-budget-exhaustion over many owners."""
+
+    target_days: int
+    mean_days: float
+    p05_days: float
+    p50_days: float
+    fraction_reaching_target: float
+
+
+def simulate_service_life(access_budget: int, profile: UsageProfile,
+                          target_years: float, trials: int,
+                          rng: np.random.Generator) -> ServiceLifeSummary:
+    """How long the budget lasts under stochastic usage.
+
+    Each trial draws one owner's daily usage until the budget is spent
+    (or the horizon of 2x the target passes).
+    """
+    if access_budget < 1:
+        raise ConfigurationError("access_budget must be >= 1")
+    if target_years <= 0:
+        raise ConfigurationError("target_years must be > 0")
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    target_days = int(round(target_years * DAYS_PER_YEAR))
+    horizon = 2 * target_days
+    lifetimes = np.empty(trials)
+    for i in range(trials):
+        daily = profile.sample_days(horizon, rng)
+        cumulative = np.cumsum(daily)
+        exhausted = np.searchsorted(cumulative, access_budget,
+                                    side="left")
+        lifetimes[i] = min(exhausted + 1, horizon)
+    return ServiceLifeSummary(
+        target_days=target_days,
+        mean_days=float(lifetimes.mean()),
+        p05_days=float(np.percentile(lifetimes, 5)),
+        p50_days=float(np.percentile(lifetimes, 50)),
+        fraction_reaching_target=float((lifetimes >= target_days).mean()),
+    )
+
+
+def required_safety_factor(profile: UsageProfile, target_years: float,
+                           base_budget: int, rng: np.random.Generator,
+                           confidence: float = 0.99,
+                           trials: int = 300,
+                           max_factor: int = 8) -> int:
+    """Smallest integer budget multiplier reaching the service target.
+
+    The multiplier maps directly onto Section 4.1.5's M-way replication:
+    M modules give M times the accesses at the cost of M - 1 password
+    rotations.  Returns the smallest M whose simulated fraction of owners
+    reaching the target meets ``confidence``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must lie in (0, 1)")
+    if max_factor < 1:
+        raise ConfigurationError("max_factor must be >= 1")
+    for factor in range(1, max_factor + 1):
+        summary = simulate_service_life(base_budget * factor, profile,
+                                        target_years, trials, rng)
+        if summary.fraction_reaching_target >= confidence:
+            return factor
+    raise ConfigurationError(
+        f"no factor <= {max_factor} reaches {confidence:.0%} confidence; "
+        "the usage profile overwhelms this budget")

@@ -1,0 +1,154 @@
+"""Trace-driven replay: a phone's whole service life, event by event.
+
+Generates multi-year usage traces (owner logins, typos, an occasional
+thief burst) and replays them against an :class:`MWayPhone`, migrating
+modules automatically as they near exhaustion.  This is the integration
+driver that ties the wearout hardware, the login flow, module
+replication, and the usage statistics into one measured story:
+
+    trace = generate_trace(...)
+    report = replay_trace(phone_factory, trace)
+
+The replay reports what a deployment actually cares about: days of
+service delivered, logins served, migrations performed, and how the
+device ended (served its full life, worn out early, or survived).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.connection.phone import MWayPhone
+from repro.core.degradation import DesignPoint
+from repro.errors import ConfigurationError, DeviceWornOutError
+from repro.sim.timeline import UsageProfile
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "generate_trace",
+    "ReplayReport",
+    "replay_trace",
+]
+
+
+class EventKind(enum.Enum):
+    """One login attempt's provenance in a usage trace."""
+
+    OWNER_LOGIN = "owner"          # correct passcode
+    OWNER_TYPO = "typo"            # owner, wrong passcode
+    ATTACKER_GUESS = "attacker"    # thief burst, wrong passcode
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single attempt: the day it happens and what kind it is."""
+
+    day: int
+    kind: EventKind
+
+
+def generate_trace(profile: UsageProfile, n_days: int,
+                   rng: np.random.Generator,
+                   typo_rate: float = 0.03,
+                   attacker_burst_day: int | None = None,
+                   attacker_burst_size: int = 0) -> list[TraceEvent]:
+    """A chronological attempt trace for one device.
+
+    Daily owner logins follow ``profile``; each is independently a typo
+    with ``typo_rate`` (typos cost an extra attempt - the retry follows
+    immediately).  An optional attacker burst injects wrong-passcode
+    attempts on one day (the stolen-afternoon scenario).
+    """
+    if n_days < 1:
+        raise ConfigurationError("n_days must be >= 1")
+    if not 0.0 <= typo_rate < 1.0:
+        raise ConfigurationError("typo_rate must lie in [0, 1)")
+    if attacker_burst_size < 0:
+        raise ConfigurationError("attacker_burst_size must be >= 0")
+    events: list[TraceEvent] = []
+    daily = profile.sample_days(n_days, rng)
+    for day, count in enumerate(daily):
+        for _ in range(int(count)):
+            if rng.random() < typo_rate:
+                events.append(TraceEvent(day, EventKind.OWNER_TYPO))
+            events.append(TraceEvent(day, EventKind.OWNER_LOGIN))
+        if day == attacker_burst_day:
+            events.extend(TraceEvent(day, EventKind.ATTACKER_GUESS)
+                          for _ in range(attacker_burst_size))
+    return events
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one trace against a phone."""
+
+    days_served: int = 0
+    owner_logins: int = 0
+    owner_typos: int = 0
+    attacker_attempts: int = 0
+    migrations: int = 0
+    died_on_day: int | None = None
+    attacker_breached: bool = field(default=False)
+
+    @property
+    def survived(self) -> bool:
+        return self.died_on_day is None
+
+
+def replay_trace(designs: list[DesignPoint], passcodes: list[str],
+                 storage: bytes, trace: list[TraceEvent],
+                 rng: np.random.Generator,
+                 migrate_below_fraction: float = 0.05) -> ReplayReport:
+    """Replay a trace on an M-way phone with automatic migration.
+
+    The deployment migrates to the next module proactively when the
+    active module's *expected* remaining accesses fall below
+    ``migrate_below_fraction`` of its bound (a real system would count
+    accesses in software - an advisory counter, unlike the baseline's
+    load-bearing one: wrong counts here cost availability, never
+    confidentiality).
+    """
+    if not 0.0 <= migrate_below_fraction < 1.0:
+        raise ConfigurationError(
+            "migrate_below_fraction must lie in [0, 1)")
+    phone = MWayPhone(designs, passcodes, storage, rng)
+    report = ReplayReport()
+    module_budget = designs[0].guaranteed_accesses
+    used_on_module = 0
+    module_index = 0
+    for event in trace:
+        # Proactive migration near the advisory budget's edge.
+        remaining = module_budget - used_on_module
+        if (remaining <= module_budget * migrate_below_fraction
+                and module_index < phone.m - 1):
+            try:
+                phone.migrate()
+            except DeviceWornOutError:
+                report.died_on_day = event.day
+                break
+            report.migrations += 1
+            module_index += 1
+            module_budget = designs[module_index].guaranteed_accesses
+            used_on_module = 0
+        passcode = passcodes[module_index]
+        try:
+            if event.kind is EventKind.OWNER_LOGIN:
+                result = phone.login(passcode)
+                report.owner_logins += result.success
+            elif event.kind is EventKind.OWNER_TYPO:
+                phone.login(passcode + "-typo")
+                report.owner_typos += 1
+            else:
+                result = phone.login("0000-thief")
+                report.attacker_attempts += 1
+                report.attacker_breached |= result.success
+        except DeviceWornOutError:
+            report.died_on_day = event.day
+            break
+        used_on_module += 1
+        report.days_served = event.day + 1
+    return report

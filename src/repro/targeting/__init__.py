@@ -1,0 +1,23 @@
+"""The limited-use targeting system use case (paper Section 5)."""
+
+from repro.targeting.design_space import (
+    fig5a_unencoded_sweep,
+    fig5b_encoded_sweep,
+)
+from repro.targeting.system import (
+    Command,
+    CommandCenter,
+    DEFAULT_MISSION_BOUND,
+    LaunchStation,
+    design_targeting_system,
+)
+
+__all__ = [
+    "Command",
+    "CommandCenter",
+    "DEFAULT_MISSION_BOUND",
+    "LaunchStation",
+    "design_targeting_system",
+    "fig5a_unencoded_sweep",
+    "fig5b_encoded_sweep",
+]

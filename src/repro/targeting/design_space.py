@@ -1,0 +1,68 @@
+"""Design-space sweeps behind Figures 5a and 5b.
+
+Same axes as the connection figures with a mission-sized access bound
+(100): the small target collapses the device counts by orders of
+magnitude and makes the curves visibly stair-stepped (few copies, so one
+extra copy is a big relative jump - the paper notes the same).
+"""
+
+from __future__ import annotations
+
+from repro.core.degradation import (
+    DegradationCriteria,
+    PAPER_CRITERIA,
+    solve_encoded_fractional,
+    solve_unencoded_fractional,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import InfeasibleDesignError
+from repro.targeting.system import DEFAULT_MISSION_BOUND
+
+__all__ = ["fig5a_unencoded_sweep", "fig5b_encoded_sweep"]
+
+_DEFAULT_ALPHAS = tuple(range(10, 21))
+
+
+def fig5a_unencoded_sweep(alphas=_DEFAULT_ALPHAS,
+                          betas=(8, 10, 12, 14, 16),
+                          mission_bound: int = DEFAULT_MISSION_BOUND,
+                          criteria: DegradationCriteria = PAPER_CRITERIA,
+                          ) -> dict[int, list[tuple[float, float | None]]]:
+    """Total switches vs alpha, no encoding (Fig. 5a, log-scale)."""
+    curves: dict[int, list[tuple[float, float | None]]] = {}
+    for beta in betas:
+        rows = []
+        for alpha in alphas:
+            device = WeibullDistribution(alpha=alpha, beta=beta)
+            try:
+                point = solve_unencoded_fractional(device, mission_bound,
+                                                   criteria)
+                rows.append((alpha, float(point.total_devices)))
+            except InfeasibleDesignError:
+                rows.append((alpha, None))
+        curves[beta] = rows
+    return curves
+
+
+def fig5b_encoded_sweep(alphas=_DEFAULT_ALPHAS,
+                        k_fractions=(0.10, 0.20, 0.30),
+                        betas=(4, 8),
+                        mission_bound: int = DEFAULT_MISSION_BOUND,
+                        criteria: DegradationCriteria = PAPER_CRITERIA,
+                        ) -> dict[tuple[float, int],
+                                  list[tuple[float, float | None]]]:
+    """Total switches vs alpha with encoding (Fig. 5b)."""
+    curves: dict[tuple[float, int], list[tuple[float, float | None]]] = {}
+    for k_fraction in k_fractions:
+        for beta in betas:
+            rows = []
+            for alpha in alphas:
+                device = WeibullDistribution(alpha=alpha, beta=beta)
+                try:
+                    point = solve_encoded_fractional(
+                        device, mission_bound, k_fraction, criteria)
+                    rows.append((alpha, float(point.total_devices)))
+                except InfeasibleDesignError:
+                    rows.append((alpha, None))
+            curves[(k_fraction, beta)] = rows
+    return curves

@@ -1,0 +1,105 @@
+"""Limited-use targeting system (paper Section 5).
+
+A launching station receives encrypted targeting commands; every decrypt
+reads the command key through a limited-use connection sized for the
+mission's expected usage (e.g. 100 commands).  The physical bound both
+caps excessive use beyond the mission and blocks brute-force attacks on
+the command encryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.connection.architecture import LimitedUseConnection
+from repro.core.degradation import (
+    DEFAULT_CRITERIA,
+    DegradationCriteria,
+    DesignPoint,
+    solve_structure,
+)
+from repro.core.variation import ProcessVariation
+from repro.core.weibull import WeibullDistribution
+from repro.crypto.modes import seal, unseal
+from repro.errors import AuthenticationError, ConfigurationError
+
+__all__ = ["Command", "CommandCenter", "LaunchStation",
+           "design_targeting_system"]
+
+#: Paper's example mission budget.
+DEFAULT_MISSION_BOUND = 100
+
+_NONCE = b"\x00" * 8
+
+
+def design_targeting_system(alpha: float, beta: float,
+                            mission_bound: int = DEFAULT_MISSION_BOUND,
+                            k_fraction: float | None = 0.10,
+                            criteria: DegradationCriteria = DEFAULT_CRITERIA,
+                            window: str = "fractional") -> DesignPoint:
+    """Size the limited-use architecture for a mission budget.
+
+    Identical machinery to the connection use case with a much smaller
+    access bound; the strict default criteria reflect Section 5's
+    requirement that not even one unintended command execute.
+    """
+    device = WeibullDistribution(alpha=alpha, beta=beta)
+    return solve_structure(device, mission_bound, k_fraction=k_fraction,
+                           criteria=criteria, window=window)
+
+
+@dataclass(frozen=True)
+class Command:
+    """An encrypted targeting command as transmitted on the wire."""
+
+    sealed: bytes
+
+
+class CommandCenter:
+    """Issues encrypted commands under the shared mission key."""
+
+    def __init__(self, mission_key: bytes) -> None:
+        if len(mission_key) not in (16, 24, 32):
+            raise ConfigurationError("mission key must be an AES key")
+        self._key = mission_key
+        self.issued = 0
+
+    def issue(self, directive: bytes) -> Command:
+        self.issued += 1
+        return Command(sealed=seal(self._key, _NONCE, directive))
+
+
+class LaunchStation:
+    """Executes commands; every decrypt traverses the wearout architecture."""
+
+    def __init__(self, design: DesignPoint, mission_key: bytes,
+                 rng: np.random.Generator,
+                 variation: ProcessVariation | None = None) -> None:
+        self.connection = LimitedUseConnection(design, mission_key, rng,
+                                               variation)
+        self.executed = 0
+        self.rejected = 0
+
+    @property
+    def is_decommissioned(self) -> bool:
+        """True once the key hardware has worn out - end of mission."""
+        return self.connection.is_exhausted
+
+    def execute(self, command: Command) -> bytes:
+        """Decrypt and execute one command.
+
+        Raises :class:`~repro.errors.DeviceWornOutError` past the mission
+        bound and :class:`AuthenticationError` for forged commands (which
+        still consume an access - an attacker probing the station burns
+        its budget, never extends it).
+        """
+        key = self.connection.read_key()
+        try:
+            directive = unseal(key, _NONCE, command.sealed)
+        except AuthenticationError:
+            self.rejected += 1
+            raise
+        self.executed += 1
+        return directive

@@ -1,0 +1,5 @@
+"""Dependency-free terminal visualization (ASCII charts and heatmaps)."""
+
+from repro.viz.ascii import heatmap, line_chart
+
+__all__ = ["heatmap", "line_chart"]

@@ -1,0 +1,122 @@
+"""Terminal plotting: line charts and heatmaps as plain text.
+
+The benchmark harness prints every figure it reproduces; these renderers
+make the *shape* of each figure visible in the console (exponential vs
+linear growth, success-space regions) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart", "heatmap"]
+
+#: Shade ramp for heatmaps, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.2e}"
+    return f"{value:.4g}"
+
+
+def line_chart(curves: dict[str, list[tuple[float, float | None]]],
+               width: int = 64, height: int = 16,
+               log_y: bool = False, title: str = "") -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    ``curves`` maps a label to its points; None y-values are gaps.
+    Each curve is drawn with its own marker character; a legend follows.
+    ``log_y`` plots log10(y), which is how the paper draws Fig. 4a/5a.
+    """
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart needs width >= 16 and height >= 4")
+    points = [
+        (x, y) for rows in curves.values() for x, y in rows if y is not None
+    ]
+    if not points:
+        raise ConfigurationError("no plottable points")
+    if log_y and any(y <= 0 for _, y in points):
+        raise ConfigurationError("log_y requires positive y values")
+
+    def transform(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    xs = [x for x, _ in points]
+    ys = [transform(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*@#%&"
+    legend = []
+    for index, (label, rows) in enumerate(curves.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {label}")
+        for x, y in rows:
+            if y is None:
+                continue
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    top = _format_value(10 ** y_hi if log_y else y_hi)
+    bottom = _format_value(10 ** y_lo if log_y else y_lo)
+    label_width = max(len(top), len(bottom))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else bottom if i == height - 1 else ""
+        lines.append(f"{prefix:>{label_width}} |" + "".join(row))
+    x_axis = f"{'':>{label_width}} +" + "-" * width
+    lines.append(x_axis)
+    lines.append(f"{'':>{label_width}}  "
+                 f"{_format_value(x_lo)}"
+                 f"{_format_value(x_hi):>{width - len(_format_value(x_lo))}}")
+    lines.append(f"{'':>{label_width}}  " + "   ".join(legend)
+                 + ("   (log y)" if log_y else ""))
+    return "\n".join(lines)
+
+
+def heatmap(values, row_labels, col_labels, title: str = "",
+            max_value: float = 1.0) -> str:
+    """Render a matrix as a shaded ASCII heatmap (used for Figs. 8/9).
+
+    ``values[i][j]`` in [0, max_value] maps onto a 10-step shade ramp;
+    row/column labels are printed along the axes.
+    """
+    rows = [list(row) for row in values]
+    if not rows or not rows[0]:
+        raise ConfigurationError("heatmap needs a non-empty matrix")
+    if len(rows) != len(row_labels) or len(rows[0]) != len(col_labels):
+        raise ConfigurationError("labels must match the matrix shape")
+    if max_value <= 0:
+        raise ConfigurationError("max_value must be > 0")
+
+    def shade(value: float) -> str:
+        clamped = min(max(value / max_value, 0.0), 1.0)
+        return _SHADES[min(int(clamped * (len(_SHADES) - 1) + 0.5),
+                           len(_SHADES) - 1)]
+
+    label_width = max(len(str(lab)) for lab in row_labels)
+    cell = max(len(str(lab)) for lab in col_labels) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + "".join(
+        f"{str(lab):>{cell}}" for lab in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, rows):
+        body = "".join(f"{shade(v) * 2:>{cell}}" for v in row)
+        lines.append(f"{str(label):>{label_width}} {body}")
+    lines.append(f"scale: '{_SHADES[0]}'=0 ... '{_SHADES[-1]}'="
+                 f"{_format_value(max_value)}")
+    return "\n".join(lines)

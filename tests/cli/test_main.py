@@ -1,0 +1,172 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_requires_device(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design"])
+
+
+class TestDesign:
+    def test_design_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "design", "--alpha", "14", "--beta", "8",
+            "--bound", "1000", "--k-fraction", "0.1", "--paper-criteria")
+        assert code == 0
+        assert "NEMS switches" in out
+        assert "guaranteed:" in out
+        assert "mm^2" in out
+
+    def test_design_unencoded(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "design", "--alpha", "14", "--beta", "12",
+            "--bound", "500", "--paper-criteria")
+        assert code == 0
+        assert "1-of-" in out
+
+    def test_infeasible_reports_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "design", "--alpha", "10", "--beta", "0.5",
+            "--bound", "100", "--window", "integer")
+        assert code == 1
+        assert "error:" in err
+
+    def test_custom_criteria(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "design", "--alpha", "14", "--beta", "8",
+            "--bound", "500", "--k-fraction", "0.1",
+            "--r-min", "0.95", "--p-fail", "0.05")
+        assert code == 0
+
+
+class TestSweep:
+    def test_sweep_prints_chart(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--beta", "8", "--bound", "1000",
+            "--alpha-min", "10", "--alpha-max", "14", "--step", "2",
+            "--k-fraction", "0.1", "--paper-criteria")
+        assert code == 0
+        assert "alpha=10:" in out
+        assert "alpha=14:" in out
+        assert "beta=8" in out  # legend of the chart
+
+    def test_sweep_log_scale(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--beta", "12", "--bound", "1000",
+            "--alpha-min", "10", "--alpha-max", "12", "--step", "2",
+            "--paper-criteria", "--log-y")
+        assert code == 0
+        assert "(log y)" in out
+
+
+class TestAttack:
+    def test_attack_probabilities(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "attack", "--alpha", "14", "--beta", "8",
+            "--k-fraction", "0.1", "--paper-criteria")
+        assert code == 0
+        assert "P[professional brute force succeeds]" in out
+        assert "100%" in out  # the software-counter contrast
+
+    def test_attack_with_consumed_budget(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "attack", "--alpha", "14", "--beta", "8",
+            "--k-fraction", "0.1", "--paper-criteria",
+            "--legitimate-uses", "91250")
+        assert code == 0
+        assert "0.0000%" in out
+
+
+class TestPads:
+    def test_pads_analysis(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "pads", "--alpha", "10", "--beta", "1",
+            "--height", "8", "--copies", "128", "--k", "8")
+        assert code == 0
+        assert "P[receiver succeeds]" in out
+        assert "same-path adversary" in out
+        assert "pads per mm^2" in out
+
+    def test_pads_design_mode(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "pads", "--alpha", "10", "--beta", "1", "--design",
+            "--receiver-min", "0.99", "--adversary-max", "1e-3")
+        assert code == 0
+        assert "solved pad geometry" in out
+        assert "same-path adversary" in out
+
+    def test_pads_design_infeasible(self, capsys):
+        code, _, err = run_cli(
+            capsys, "pads", "--alpha", "0.5", "--beta", "8", "--design")
+        assert code == 1
+        assert "error:" in err
+
+
+class TestSimulate:
+    def test_simulate_summary(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--alpha", "10", "--beta", "8",
+            "--bound", "200", "--k-fraction", "0.1", "--paper-criteria",
+            "--trials", "50", "--seed", "3")
+        assert code == 0
+        assert "simulated 50 fabricated instances" in out
+        assert "P[meets legitimate bound" in out
+
+
+class TestAdvise:
+    def test_advise_lists_candidates(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "advise", "--alpha", "14", "--beta", "8",
+            "--bound", "2000", "--paper-criteria")
+        assert code == 0
+        assert "k=" in out
+        assert "devices" in out
+
+    def test_advise_impossible_constraints(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "advise", "--alpha", "14", "--beta", "8",
+            "--bound", "2000", "--paper-criteria",
+            "--max-devices", "1")
+        assert code == 1
+        assert "no feasible design" in out
+
+
+class TestDesignSave:
+    def test_save_roundtrips(self, capsys, tmp_path):
+        target = tmp_path / "design.json"
+        code, out, _ = run_cli(
+            capsys, "design", "--alpha", "14", "--beta", "8",
+            "--bound", "500", "--k-fraction", "0.1", "--paper-criteria",
+            "--save", str(target))
+        assert code == 0
+        assert "design saved" in out
+        from repro.core.serialize import loads_design
+
+        design = loads_design(target.read_text())
+        assert design.access_bound == 500
+
+
+class TestExperiments:
+    def test_run_single_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "experiments", "sec6.5.2")
+        assert code == 0
+        assert "0.08512" in out
+
+    def test_unknown_id(self, capsys):
+        code, _, err = run_cli(capsys, "experiments", "fig99")
+        assert code == 2
+        assert "unknown" in err

@@ -1,0 +1,91 @@
+"""Tests for wide Shamir sharing over GF(2^16)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.shamir16 import (
+    MAX_SHARES16,
+    Share16,
+    recover_secret16,
+    split_secret16,
+)
+from repro.errors import ConfigurationError, InsufficientSharesError
+
+SECRET = b"a storage key!!!"
+
+
+class TestShare16:
+    def test_index_bounds(self):
+        Share16(index=1, data=b"ab")
+        Share16(index=MAX_SHARES16, data=b"ab")
+        with pytest.raises(ConfigurationError):
+            Share16(index=0, data=b"ab")
+        with pytest.raises(ConfigurationError):
+            Share16(index=MAX_SHARES16 + 1, data=b"ab")
+
+    def test_even_length_enforced(self):
+        with pytest.raises(ConfigurationError):
+            Share16(index=1, data=b"abc")
+
+
+class TestRoundtrip:
+    def test_basic(self, rng):
+        shares = split_secret16(SECRET, 3, 8, rng)
+        assert recover_secret16(shares[:3], k=3,
+                                secret_len=len(SECRET)) == SECRET
+
+    def test_more_than_255_shares(self, rng):
+        """The whole point of the GF(2^16) variant."""
+        shares = split_secret16(SECRET, 40, 400, rng)
+        chosen = [shares[i] for i in rng.choice(400, 40, replace=False)]
+        assert recover_secret16(chosen, k=40,
+                                secret_len=len(SECRET)) == SECRET
+
+    def test_odd_length_secret_padded_and_stripped(self, rng):
+        secret = b"odd"
+        shares = split_secret16(secret, 2, 4, rng)
+        assert recover_secret16(shares[:2], k=2,
+                                secret_len=len(secret)) == secret
+
+    def test_below_threshold_raises(self, rng):
+        shares = split_secret16(SECRET, 5, 9, rng)
+        with pytest.raises(InsufficientSharesError):
+            recover_secret16(shares[:4], k=5)
+
+    def test_k1_replicates(self, rng):
+        shares = split_secret16(SECRET, 1, 3, rng)
+        assert all(recover_secret16([s], k=1, secret_len=len(SECRET))
+                   == SECRET for s in shares)
+
+    def test_conflicting_duplicates_rejected(self, rng):
+        shares = split_secret16(SECRET, 2, 3, rng)
+        fake = Share16(index=shares[0].index,
+                       data=b"\x00" * len(shares[0].data))
+        with pytest.raises(ConfigurationError):
+            recover_secret16([shares[0], fake, shares[1]], k=2)
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            split_secret16(SECRET, 0, 5, rng)
+        with pytest.raises(ConfigurationError):
+            split_secret16(b"", 2, 5, rng)
+        with pytest.raises(InsufficientSharesError):
+            recover_secret16([])
+
+
+class TestWideBankKeyStore:
+    def test_keystore_uses_gf65536_for_wide_banks(self, rng):
+        from repro.connection.keystore import BankKeyStore
+
+        store = BankKeyStore(SECRET, n=400, k=30, rng=rng)
+        live = list(range(100, 130))
+        assert store.recover(live) == SECRET
+        with pytest.raises(InsufficientSharesError):
+            store.recover(live[:29])
+
+    def test_keystore_mode_boundaries(self, rng):
+        from repro.connection.keystore import BankKeyStore
+
+        assert BankKeyStore(SECRET, 255, 2, rng)._mode == "gf256"
+        assert BankKeyStore(SECRET, 256, 2, rng)._mode == "gf65536"
+        assert BankKeyStore(SECRET, 1000, 1, rng)._mode == "replicas"

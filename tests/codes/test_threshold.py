@@ -1,0 +1,117 @@
+"""Tests for RS-based threshold sharing of byte strings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.threshold import rs_recover_secret, rs_split_secret
+from repro.errors import ConfigurationError, InsufficientSharesError
+
+SECRET = b"storage decryption key material!"
+
+
+class TestSplit:
+    def test_share_count(self):
+        shares = rs_split_secret(SECRET, 4, 10)
+        assert len(shares) == 10
+        assert [s.index for s in shares] == list(range(1, 11))
+
+    def test_share_size_is_chunk_count(self):
+        shares = rs_split_secret(SECRET, 4, 10)
+        expected_chunks = -(-len(SECRET) // 4)
+        assert all(len(s.data) == expected_chunks for s in shares)
+
+    def test_systematic_head_shares_contain_secret_chunks(self):
+        # RS sharing is NOT hiding: share i < k literally holds byte
+        # column i of the chunked secret.  Verified here so the docstring
+        # warning stays true.
+        shares = rs_split_secret(SECRET, 4, 10)
+        column0 = bytes(SECRET[c * 4] for c in range(len(shares[0].data)))
+        assert shares[0].data == column0
+
+    @pytest.mark.parametrize("k,n", [(0, 5), (6, 5), (1, 300)])
+    def test_invalid_parameters(self, k, n):
+        with pytest.raises(ConfigurationError):
+            rs_split_secret(SECRET, k, n)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rs_split_secret(b"", 2, 3)
+
+
+class TestRecover:
+    def test_all_shares(self):
+        shares = rs_split_secret(SECRET, 4, 10)
+        assert rs_recover_secret(shares, 4, 10,
+                                 secret_len=len(SECRET)) == SECRET
+
+    def test_any_k_shares(self, rng):
+        shares = rs_split_secret(SECRET, 4, 10)
+        for _ in range(10):
+            chosen = [shares[i]
+                      for i in rng.choice(10, size=4, replace=False)]
+            assert rs_recover_secret(chosen, 4, 10,
+                                     secret_len=len(SECRET)) == SECRET
+
+    def test_too_few_raises(self):
+        shares = rs_split_secret(SECRET, 5, 9)
+        with pytest.raises(InsufficientSharesError):
+            rs_recover_secret(shares[:4], 5, 9)
+
+    def test_padding_stripped_without_length(self):
+        shares = rs_split_secret(b"abc", 2, 5)
+        assert rs_recover_secret(shares, 2, 5) == b"abc"
+
+    def test_trailing_nul_needs_explicit_length(self):
+        secret = b"ends in nuls\x00\x00"
+        shares = rs_split_secret(secret, 3, 7)
+        assert rs_recover_secret(shares, 3, 7,
+                                 secret_len=len(secret)) == secret
+
+    def test_secret_len_validation(self):
+        shares = rs_split_secret(b"abc", 2, 5)
+        with pytest.raises(ConfigurationError):
+            rs_recover_secret(shares, 2, 5, secret_len=1000)
+
+    def test_out_of_range_index_rejected(self):
+        shares = rs_split_secret(SECRET, 2, 3)
+        with pytest.raises(ConfigurationError):
+            rs_recover_secret(shares, 2, 2)
+
+    def test_error_correction_fixes_corrupt_share(self):
+        shares = rs_split_secret(SECRET, 4, 12)
+        from repro.codes.shamir import Share
+
+        corrupted = list(shares)
+        corrupted[5] = Share(index=shares[5].index,
+                             data=bytes(b ^ 0x55 for b in shares[5].data))
+        out = rs_recover_secret(corrupted, 4, 12,
+                                secret_len=len(SECRET),
+                                correct_errors=True)
+        assert out == SECRET
+
+    def test_without_error_correction_corruption_propagates(self):
+        from repro.codes.shamir import Share
+        from repro.errors import DecodingFailure
+
+        shares = rs_split_secret(SECRET, 4, 12)
+        corrupted = list(shares)
+        corrupted[5] = Share(index=shares[5].index,
+                             data=bytes(b ^ 0x55 for b in shares[5].data))
+        try:
+            out = rs_recover_secret(corrupted, 4, 12,
+                                    secret_len=len(SECRET))
+        except DecodingFailure:
+            return  # detected - also acceptable
+        assert out != SECRET
+
+    @given(secret=st.binary(min_size=1, max_size=40), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, secret, data):
+        n = data.draw(st.integers(2, 12))
+        k = data.draw(st.integers(1, n))
+        shares = rs_split_secret(secret, k, n)
+        chosen = data.draw(st.permutations(shares))[:k]
+        out = rs_recover_secret(list(chosen), k, n, secret_len=len(secret))
+        assert out == secret

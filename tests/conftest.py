@@ -1,0 +1,10 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded generator, fresh per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,67 @@
+"""Tests for brute-force attack statistics against the hardware bound."""
+
+import pytest
+
+from repro.connection.attacks import (
+    analytic_crack_probability,
+    simulate_hardware_attacks,
+    software_counter_attempts_needed,
+)
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.passwords.model import PasswordModel
+
+
+@pytest.fixture(scope="module")
+def phone_design():
+    device = WeibullDistribution(alpha=14.0, beta=8.0)
+    return solve_encoded_fractional(device, 91_250, 0.10, PAPER_CRITERIA)
+
+
+class TestAnalytic:
+    def test_paper_headline_about_one_percent(self, phone_design):
+        """~91k hardware attempts crack just under 1% of passcodes."""
+        p = analytic_crack_probability(phone_design)
+        assert 0.005 < p < 0.011
+
+    def test_legitimate_use_shrinks_attacker_budget(self, phone_design):
+        fresh = analytic_crack_probability(phone_design)
+        used = analytic_crack_probability(phone_design,
+                                          legitimate_uses=50_000)
+        assert used < fresh
+
+    def test_exclusion_policy_can_zero_out(self, phone_design):
+        p = analytic_crack_probability(phone_design,
+                                       min_fraction_excluded=0.01)
+        assert p == 0.0
+
+    def test_budget_never_negative(self, phone_design):
+        p = analytic_crack_probability(phone_design,
+                                       legitimate_uses=10 ** 9)
+        assert p == 0.0
+
+
+class TestSimulated:
+    def test_simulation_matches_analytic(self, phone_design, rng):
+        stats = simulate_hardware_attacks(phone_design, trials=600,
+                                          rng=rng)
+        analytic = analytic_crack_probability(phone_design)
+        assert stats.crack_probability == pytest.approx(analytic, abs=0.02)
+        assert stats.trials == 600
+
+    def test_mean_budget_near_expected_bound(self, phone_design, rng):
+        stats = simulate_hardware_attacks(phone_design, trials=100, rng=rng)
+        assert stats.mean_hardware_budget == pytest.approx(
+            phone_design.expected_access_bound(), rel=0.02)
+
+    def test_rejects_zero_trials(self, phone_design, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_hardware_attacks(phone_design, 0, rng)
+
+
+class TestSoftwareContrast:
+    def test_bypassed_software_always_succeeds_eventually(self, rng):
+        model = PasswordModel()
+        attempts = software_counter_attempts_needed(model, rng)
+        assert 1 <= attempts <= model.vocabulary_size

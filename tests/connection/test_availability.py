@@ -1,0 +1,65 @@
+"""Tests for the availability / drain-attack analysis."""
+
+import pytest
+
+from repro.connection.availability import drain_analysis, simulate_drain_attack
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def design():
+    device = WeibullDistribution(alpha=10.0, beta=8.0)
+    return solve_encoded_fractional(device, 200, 0.10, PAPER_CRITERIA)
+
+
+class TestClosedForm:
+    def test_no_drain_is_full_service(self, design):
+        result = drain_analysis(design, owner_rate_per_day=50.0)
+        assert result.service_loss_fraction == pytest.approx(0.0)
+        assert result.attacker_accesses_wasted == 0.0
+
+    def test_equal_drain_halves_service(self, design):
+        result = drain_analysis(design, owner_rate_per_day=50.0,
+                                drain_rate_per_day=50.0)
+        assert result.service_loss_fraction == pytest.approx(0.5)
+        assert result.owner_accesses_served == pytest.approx(
+            design.guaranteed_accesses / 2)
+
+    def test_heavy_drain_dominates(self, design):
+        result = drain_analysis(design, owner_rate_per_day=50.0,
+                                drain_rate_per_day=450.0)
+        assert result.service_loss_fraction == pytest.approx(0.9)
+
+    def test_validation(self, design):
+        with pytest.raises(ConfigurationError):
+            drain_analysis(design, owner_rate_per_day=0.0)
+        with pytest.raises(ConfigurationError):
+            drain_analysis(design, drain_rate_per_day=-1.0)
+
+
+class TestSimulated:
+    def test_confidentiality_holds_while_availability_degrades(self, design,
+                                                               rng):
+        result = simulate_drain_attack(design, "pass", rng,
+                                       owner_per_cycle=1,
+                                       attacker_per_cycle=1)
+        # Attacker burned about half the budget...
+        assert result.attacker_accesses_wasted == pytest.approx(
+            result.owner_accesses_served, rel=0.05)
+        # ...the owner still got >= half the accesses, and (asserted
+        # inside the simulation) no attacker attempt ever succeeded.
+        assert result.owner_accesses_served >= design.access_bound / 2 - 2
+
+    def test_matches_closed_form_split(self, design, rng):
+        sim = simulate_drain_attack(design, "pass", rng,
+                                    owner_per_cycle=1,
+                                    attacker_per_cycle=3)
+        frac = sim.attacker_accesses_wasted / (
+            sim.owner_accesses_served + sim.attacker_accesses_wasted)
+        assert frac == pytest.approx(0.75, abs=0.02)
+
+    def test_validation(self, design, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_drain_attack(design, "pass", rng, owner_per_cycle=0)

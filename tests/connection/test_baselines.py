@@ -1,0 +1,68 @@
+"""Tests for the software-counter baseline and its bypasses."""
+
+import pytest
+
+from repro.connection.baselines import PhoneWipedError, SoftwareCounterPhone
+from repro.errors import ConfigurationError
+
+STORAGE = b"baseline disk"
+
+
+class TestPolicy:
+    def test_correct_passcode_returns_plaintext(self, rng):
+        phone = SoftwareCounterPhone("1234", STORAGE, rng)
+        assert phone.login("1234") == STORAGE
+
+    def test_success_resets_counter(self, rng):
+        phone = SoftwareCounterPhone("1234", STORAGE, rng, wipe_after=3)
+        phone.login("0000")
+        phone.login("1234")
+        assert phone.failed_attempts == 0
+
+    def test_wipes_after_threshold(self, rng):
+        phone = SoftwareCounterPhone("1234", STORAGE, rng, wipe_after=3)
+        for i in range(3):
+            phone.login(f"bad{i}")
+        assert phone.wiped
+        with pytest.raises(PhoneWipedError):
+            phone.login("1234")
+
+    def test_wipe_after_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            SoftwareCounterPhone("1234", STORAGE, rng, wipe_after=0)
+
+
+class TestBypasses:
+    def test_power_cut_bypass_gives_unlimited_attempts(self, rng):
+        """The MDSec attack: failures are observed but never recorded."""
+        phone = SoftwareCounterPhone("0099", STORAGE, rng, wipe_after=10)
+        for i in range(99):
+            assert phone.login(f"{i:04d}", power_cut_bypass=True) is None
+        assert phone.failed_attempts == 0
+        assert phone.login("0099", power_cut_bypass=True) == STORAGE
+
+    def test_nand_restore_unwipes(self, rng):
+        """Skorobogatov's NAND mirroring: replay the counter state."""
+        phone = SoftwareCounterPhone("7777", STORAGE, rng, wipe_after=3)
+        image = phone.snapshot_nand()
+        for i in range(3):
+            phone.login(f"bad{i}")
+        assert phone.wiped
+        phone.restore_nand(image)
+        assert not phone.wiped
+        assert phone.login("7777") == STORAGE
+
+    def test_bypassed_attack_always_terminates(self, rng):
+        """The contrast with the hardware design: the baseline attacker's
+        attempt count is bounded only by the passcode space."""
+        phone = SoftwareCounterPhone("0042", STORAGE, rng, wipe_after=10)
+        image = phone.snapshot_nand()
+        attempts = 0
+        while True:
+            attempts += 1
+            if phone.login(f"{attempts:04d}",
+                           power_cut_bypass=(attempts % 2 == 0)) is not None:
+                break
+            phone.restore_nand(image)
+        assert attempts == 42
+        assert phone.total_attempts == 42

@@ -1,0 +1,107 @@
+"""Tests for the Fig. 4 / Table 1 design-space sweeps (reduced grids)."""
+
+import pytest
+
+from repro.connection.design_space import (
+    SMARTPHONE_ACCESS_BOUND,
+    fig4a_unencoded_sweep,
+    fig4b_encoded_sweep,
+    fig4c_relaxed_criteria_sweep,
+    fig4d_stronger_passcodes,
+    table1_area_cost,
+)
+
+ALPHAS = (10, 14, 20)
+
+
+class TestFig4a:
+    def test_exponential_growth_in_alpha(self):
+        curves = fig4a_unencoded_sweep(alphas=ALPHAS, betas=(8,))
+        totals = [t for _, t in curves[8]]
+        assert totals[0] < totals[1] < totals[2]
+        assert totals[2] / totals[0] > 100  # orders of magnitude
+
+    def test_higher_beta_cheaper(self):
+        curves = fig4a_unencoded_sweep(alphas=(14,), betas=(8, 16))
+        assert curves[16][0][1] < curves[8][0][1]
+
+    def test_lab_default(self):
+        assert SMARTPHONE_ACCESS_BOUND == 91_250
+
+
+class TestFig4b:
+    def test_linear_scaling_in_alpha(self):
+        curves = fig4b_encoded_sweep(alphas=ALPHAS, k_fractions=(0.10,),
+                                     betas=(8,))
+        totals = [t for _, t in curves[(0.10, 8)]]
+        assert totals[0] < totals[1] < totals[2]
+        assert totals[2] / totals[0] < 4  # linear, not exponential
+
+    def test_four_orders_below_unencoded(self):
+        plain = fig4a_unencoded_sweep(alphas=(14,), betas=(8,))[8][0][1]
+        encoded = fig4b_encoded_sweep(alphas=(14,), k_fractions=(0.10,),
+                                      betas=(8,))[(0.10, 8)][0][1]
+        assert plain / encoded > 100
+
+    def test_beta4_feasible_with_encoding(self):
+        """Encoding tolerates high process variation (beta = 4)."""
+        curves = fig4b_encoded_sweep(alphas=(14,), k_fractions=(0.10,),
+                                     betas=(4,))
+        assert curves[(0.10, 4)][0][1] is not None
+
+    def test_diminishing_returns_beyond_30_percent(self):
+        curves = fig4b_encoded_sweep(alphas=(14,),
+                                     k_fractions=(0.10, 0.30), betas=(8,))
+        t10 = curves[(0.10, 8)][0][1]
+        t30 = curves[(0.30, 8)][0][1]
+        assert abs(t30 - t10) / t10 < 0.25  # negligible change
+
+
+class TestFig4c:
+    def test_relaxed_ceiling_cuts_devices(self):
+        curves = fig4c_relaxed_criteria_sweep(alphas=(14,),
+                                              p_values=(0.01, 0.10))
+        strict = curves[0.01][0]["total_devices"]
+        loose = curves[0.10][0]["total_devices"]
+        assert 0.4 < loose / strict < 0.85  # paper: ~40% reduction
+
+    def test_upper_bound_moves_little(self):
+        curves = fig4c_relaxed_criteria_sweep(alphas=(14,),
+                                              p_values=(0.01, 0.10))
+        strict = curves[0.01][0]["expected_upper_bound"]
+        loose = curves[0.10][0]["expected_upper_bound"]
+        assert abs(loose - strict) / SMARTPHONE_ACCESS_BOUND < 0.10
+
+
+class TestFig4d:
+    def test_relaxed_targets_monotone_cheaper(self):
+        results = fig4d_stronger_passcodes(betas=(8,), alphas=(10, 14, 20))
+        row = results[8]
+        assert row["beyond_1pct"] < row["baseline"]
+        assert row["beyond_2pct"] < row["beyond_1pct"]
+
+    def test_drastic_reduction_like_paper(self):
+        results = fig4d_stronger_passcodes(betas=(8,), alphas=(10, 14, 20))
+        row = results[8]
+        assert row["baseline"] / row["beyond_2pct"] > 10
+
+
+class TestTable1:
+    def test_rows_for_all_design_points(self):
+        rows = table1_area_cost(design_points=((10.51, 16), (18.69, 10)))
+        assert len(rows) == 2
+        assert all(r["area_with_encoding_mm2"] is not None for r in rows)
+
+    def test_encoding_shrinks_area(self):
+        rows = table1_area_cost(design_points=((18.69, 10),))
+        row = rows[0]
+        assert (row["area_with_encoding_mm2"]
+                < row["area_without_encoding_mm2"] / 10)
+
+    def test_worst_cell_benefits_most(self):
+        """Paper Table 1's pattern: the loose-bound high-variation device
+        (18.69, 10) gains the largest factor from encoding."""
+        rows = table1_area_cost(design_points=((10.51, 16), (18.69, 10)))
+        gains = [r["area_without_encoding_mm2"] / r["area_with_encoding_mm2"]
+                 for r in rows]
+        assert gains[1] > gains[0]

@@ -1,0 +1,94 @@
+"""Tests for binding shares to bank switches."""
+
+import pytest
+
+from repro.connection.keystore import BankKeyStore
+from repro.errors import ConfigurationError, InsufficientSharesError
+
+SECRET = b"sixteen byte key"
+
+
+class TestUnencoded:
+    def test_any_single_switch_recovers(self, rng):
+        store = BankKeyStore(SECRET, n=5, k=1, rng=rng)
+        for i in range(5):
+            assert store.recover([i]) == SECRET
+
+    def test_supports_large_banks(self, rng):
+        # Unencoded banks can exceed 255 devices (plain replicas).
+        store = BankKeyStore(SECRET, n=1000, k=1, rng=rng)
+        assert store.recover([999]) == SECRET
+
+
+class TestEncoded:
+    def test_threshold_recovery(self, rng):
+        store = BankKeyStore(SECRET, n=10, k=4, rng=rng)
+        assert store.recover([1, 3, 5, 7]) == SECRET
+        assert store.recover(list(range(10))) == SECRET
+
+    def test_below_threshold_raises(self, rng):
+        store = BankKeyStore(SECRET, n=10, k=4, rng=rng)
+        with pytest.raises(InsufficientSharesError):
+            store.recover([0, 1, 2])
+
+    def test_wide_encoded_banks_use_gf65536(self, rng):
+        store = BankKeyStore(SECRET, n=300, k=30, rng=rng)
+        assert store.recover(list(range(200, 230))) == SECRET
+
+    def test_index_validation(self, rng):
+        store = BankKeyStore(SECRET, n=5, k=2, rng=rng)
+        with pytest.raises(ConfigurationError):
+            store.recover([0, 7])
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ConfigurationError):
+            BankKeyStore(SECRET, n=5, k=6, rng=rng)
+        with pytest.raises(ConfigurationError):
+            BankKeyStore(b"", n=5, k=2, rng=rng)
+        with pytest.raises(ConfigurationError):
+            BankKeyStore(SECRET, n=5, k=2, rng=rng, scheme="xor")
+
+
+class TestRSScheme:
+    def test_threshold_recovery(self, rng):
+        store = BankKeyStore(SECRET, n=12, k=4, rng=rng, scheme="rs")
+        assert store.recover([0, 3, 7, 11]) == SECRET
+
+    def test_corrupted_share_corrected(self, rng):
+        """Fault injection: a decaying register flips bits.  RS corrects
+        it (2e <= n - k - f); Shamir would return garbage."""
+        from repro.codes.shamir import Share
+
+        store = BankKeyStore(SECRET, n=12, k=4, rng=rng, scheme="rs")
+        bad = store._shares[2]
+        store._shares[2] = Share(index=bad.index,
+                                 data=bytes(b ^ 0xFF for b in bad.data))
+        # All 12 live: 1 error, 0 erasures, capacity (12-4)/2 = 4.
+        assert store.recover(list(range(12))) == SECRET
+
+    def test_shamir_returns_garbage_on_corruption(self, rng):
+        from repro.codes.shamir import Share
+
+        store = BankKeyStore(SECRET, n=12, k=4, rng=rng, scheme="shamir")
+        bad = store._shares[2]
+        store._shares[2] = Share(index=bad.index,
+                                 data=bytes(b ^ 0xFF for b in bad.data))
+        recovered = store.recover([0, 1, 2, 3])  # includes the bad share
+        assert recovered != SECRET  # silent corruption - the RS motivation
+
+    def test_corruption_beyond_radius_detected(self, rng):
+        from repro.codes.shamir import Share
+        from repro.errors import DecodingFailure
+
+        store = BankKeyStore(SECRET, n=6, k=4, rng=rng, scheme="rs")
+        for i in (0, 1, 2):  # 3 errors > (6-4)/2 = 1
+            bad = store._shares[i]
+            store._shares[i] = Share(index=bad.index,
+                                     data=bytes(b ^ 0xA5
+                                                for b in bad.data))
+        with pytest.raises(DecodingFailure):
+            store.recover(list(range(6)))
+
+    def test_rs_capped_at_255(self, rng):
+        with pytest.raises(ConfigurationError):
+            BankKeyStore(SECRET, n=300, k=30, rng=rng, scheme="rs")

@@ -1,0 +1,100 @@
+"""Tests for the multi-user shared device."""
+
+import pytest
+
+from repro.connection.multiuser import SharedPhone
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, DeviceWornOutError
+
+STORAGE = b"shared workspace files"
+
+
+def design(bound=120):
+    device = WeibullDistribution(alpha=10.0, beta=8.0)
+    return solve_encoded_fractional(device, bound, 0.10, PAPER_CRITERIA)
+
+
+@pytest.fixture
+def phone(rng):
+    return SharedPhone(design(), "alice", "alice-pass", STORAGE, rng)
+
+
+class TestLogin:
+    def test_owner_logs_in(self, phone):
+        result = phone.login("alice", "alice-pass")
+        assert result.success and result.plaintext == STORAGE
+
+    def test_wrong_passcode_fails_and_costs(self, phone):
+        before = phone.connection.accesses
+        assert not phone.login("alice", "wrong").success
+        assert phone.connection.accesses == before + 1
+
+    def test_unknown_user_rejected_without_cost(self, phone):
+        before = phone.connection.accesses
+        with pytest.raises(ConfigurationError):
+            phone.login("mallory", "x")
+        assert phone.connection.accesses == before
+
+    def test_ledger_counts_per_user(self, phone):
+        phone.login("alice", "alice-pass")
+        phone.login("alice", "whoops")
+        assert phone.access_ledger["alice"] == 2
+
+
+class TestUserManagement:
+    def test_add_user_and_login(self, phone):
+        assert phone.add_user("alice", "alice-pass", "bob", "bob-pass")
+        assert "bob" in phone.users
+        result = phone.login("bob", "bob-pass")
+        assert result.success and result.plaintext == STORAGE
+
+    def test_add_user_costs_one_access(self, phone):
+        before = phone.connection.accesses
+        phone.add_user("alice", "alice-pass", "bob", "bob-pass")
+        assert phone.connection.accesses == before + 1
+
+    def test_wrong_sponsor_passcode_fails_but_costs(self, phone):
+        before = phone.connection.accesses
+        assert not phone.add_user("alice", "wrong", "bob", "bob-pass")
+        assert "bob" not in phone.users
+        assert phone.connection.accesses == before + 1
+
+    def test_duplicate_user_rejected(self, phone):
+        phone.add_user("alice", "alice-pass", "bob", "bob-pass")
+        with pytest.raises(ConfigurationError):
+            phone.add_user("alice", "alice-pass", "bob", "other")
+
+    def test_remove_user_is_free_and_effective(self, phone):
+        phone.add_user("alice", "alice-pass", "bob", "bob-pass")
+        before = phone.connection.accesses
+        phone.remove_user("bob")
+        assert phone.connection.accesses == before
+        with pytest.raises(ConfigurationError):
+            phone.login("bob", "bob-pass")
+
+    def test_cannot_remove_last_user(self, phone):
+        with pytest.raises(ConfigurationError):
+            phone.remove_user("alice")
+
+    def test_revoked_user_cannot_be_sponsor(self, phone):
+        phone.add_user("alice", "alice-pass", "bob", "bob-pass")
+        phone.remove_user("bob")
+        with pytest.raises(ConfigurationError):
+            phone.add_user("bob", "bob-pass", "carol", "carol-pass")
+
+
+class TestSharedBudget:
+    def test_budget_shared_across_users(self, rng):
+        phone = SharedPhone(design(60), "alice", "a-pass", STORAGE, rng)
+        phone.add_user("alice", "a-pass", "bob", "b-pass")
+        spent = 0
+        with pytest.raises(DeviceWornOutError):
+            while True:
+                user = "alice" if spent % 2 == 0 else "bob"
+                passcode = "a-pass" if user == "alice" else "b-pass"
+                assert phone.login(user, passcode).success
+                spent += 1
+        assert spent >= 59  # add_user consumed one access of the budget
+        assert phone.access_ledger["alice"] > 0
+        assert phone.access_ledger["bob"] > 0

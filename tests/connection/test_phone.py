@@ -1,0 +1,107 @@
+"""Tests for the secure phone login flow and M-way replication."""
+
+import pytest
+
+from repro.connection.phone import MWayPhone, SecurePhone
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, DeviceWornOutError
+
+STORAGE = b"contacts, photos, messages"
+
+
+def small_design(bound=60):
+    device = WeibullDistribution(alpha=10.0, beta=8.0)
+    return solve_encoded_fractional(device, bound, 0.10, PAPER_CRITERIA)
+
+
+class TestSecurePhone:
+    def test_correct_passcode_decrypts(self, rng):
+        phone = SecurePhone(small_design(), "1234", STORAGE, rng)
+        result = phone.login("1234")
+        assert result.success
+        assert result.plaintext == STORAGE
+
+    def test_wrong_passcode_fails_but_counts(self, rng):
+        phone = SecurePhone(small_design(), "1234", STORAGE, rng)
+        result = phone.login("0000")
+        assert not result.success
+        assert result.plaintext is None
+        assert phone.login_attempts == 1
+
+    def test_every_attempt_spends_hardware(self, rng):
+        phone = SecurePhone(small_design(), "1234", STORAGE, rng)
+        for i in range(10):
+            phone.login(f"{i:04d}")
+        assert phone.connection.accesses == 10
+
+    def test_bricks_at_the_bound(self, rng):
+        design = small_design(bound=40)
+        phone = SecurePhone(design, "1234", STORAGE, rng)
+        with pytest.raises(DeviceWornOutError):
+            for _ in range(10 ** 6):
+                phone.login("9999")
+        assert phone.is_bricked
+        with pytest.raises(DeviceWornOutError):
+            phone.login("1234")  # even the right passcode is too late
+
+    def test_empty_passcode_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            SecurePhone(small_design(), "", STORAGE, rng)
+
+    def test_change_passcode_rotates_credentials(self, rng):
+        phone = SecurePhone(small_design(), "old-code", STORAGE, rng)
+        assert phone.change_passcode("old-code", "new-code")
+        assert phone.login("new-code").success
+        assert not phone.login("old-code").success
+
+    def test_change_passcode_wrong_old_fails_but_costs(self, rng):
+        phone = SecurePhone(small_design(), "old-code", STORAGE, rng)
+        before = phone.connection.accesses
+        assert not phone.change_passcode("wrong", "new-code")
+        assert phone.connection.accesses == before + 1
+        assert phone.login("old-code").success  # unchanged
+
+    def test_change_passcode_validates_new(self, rng):
+        phone = SecurePhone(small_design(), "old-code", STORAGE, rng)
+        with pytest.raises(ConfigurationError):
+            phone.change_passcode("old-code", "")
+
+
+class TestMWayPhone:
+    def test_requires_matching_passcodes(self, rng):
+        with pytest.raises(ConfigurationError):
+            MWayPhone([small_design()] * 2, ["only-one"], STORAGE, rng)
+
+    def test_requires_distinct_passcodes(self, rng):
+        with pytest.raises(ConfigurationError):
+            MWayPhone([small_design()] * 2, ["same", "same"], STORAGE, rng)
+
+    def test_migration_preserves_storage(self, rng):
+        phone = MWayPhone([small_design(), small_design()],
+                          ["first", "second"], STORAGE, rng)
+        assert phone.login("first").success
+        phone.migrate()
+        assert phone.active_module == 1
+        result = phone.login("second")
+        assert result.success and result.plaintext == STORAGE
+
+    def test_old_passcode_dead_after_migration(self, rng):
+        phone = MWayPhone([small_design(), small_design()],
+                          ["first", "second"], STORAGE, rng)
+        phone.migrate()
+        assert not phone.login("first").success
+
+    def test_cannot_migrate_past_last_module(self, rng):
+        phone = MWayPhone([small_design()], ["only"], STORAGE, rng)
+        with pytest.raises(DeviceWornOutError):
+            phone.migrate()
+
+    def test_m_property_and_migration_count(self, rng):
+        designs = [small_design()] * 3
+        phone = MWayPhone(designs, ["a", "b", "c"], STORAGE, rng)
+        assert phone.m == 3
+        phone.migrate()
+        phone.migrate()
+        assert phone.migrations == 2
+        assert not phone.is_bricked

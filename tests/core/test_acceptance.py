@@ -1,0 +1,98 @@
+"""Tests for lot acceptance testing.
+
+Acceptance needs an *engineered margin*: the design is sized against
+stricter criteria than it is certified against (a cost-minimal design
+has zero slack against its own criteria by construction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.acceptance import bootstrap_weibull_fit, evaluate_lot
+from repro.core.degradation import (
+    DegradationCriteria,
+    PAPER_CRITERIA,
+    solve_encoded_fractional,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+DEVICE = WeibullDistribution(alpha=14.0, beta=8.0)
+SIZING_CRITERIA = DegradationCriteria(r_min=0.999, p_fail=0.002)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return solve_encoded_fractional(DEVICE, 1_000, 0.10, SIZING_CRITERIA)
+
+
+def decide(data, design, rng, n_boot=60):
+    return evaluate_lot(data, design, rng, n_boot=n_boot,
+                        certify_criteria=PAPER_CRITERIA)
+
+
+class TestBootstrap:
+    def test_intervals_cover_truth(self, rng):
+        data = DEVICE.sample(size=2_000, rng=rng)
+        alpha_ci, beta_ci = bootstrap_weibull_fit(data, 100, rng)
+        assert alpha_ci[0] < 14.0 < alpha_ci[1]
+        assert beta_ci[0] < 8.0 < beta_ci[1]
+
+    def test_intervals_shrink_with_sample_size(self, rng):
+        small = DEVICE.sample(size=100, rng=rng)
+        large = DEVICE.sample(size=5_000, rng=rng)
+        a_small, _ = bootstrap_weibull_fit(small, 80, rng)
+        a_large, _ = bootstrap_weibull_fit(large, 80, rng)
+        assert (a_large[1] - a_large[0]) < (a_small[1] - a_small[0])
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            bootstrap_weibull_fit([1.0] * 5, 100, rng)
+        data = DEVICE.sample(size=50, rng=rng)
+        with pytest.raises(ConfigurationError):
+            bootstrap_weibull_fit(data, 5, rng)
+        with pytest.raises(ConfigurationError):
+            bootstrap_weibull_fit(data, 100, rng, confidence=0.4)
+
+
+class TestEvaluateLot:
+    def test_on_spec_lot_accepted(self, design, rng):
+        data = DEVICE.sample(size=5_000, rng=rng)
+        decision = decide(data, design, rng)
+        assert decision.accepted
+        assert decision.reasons == ()
+        assert decision.fitted_alpha == pytest.approx(14.0, rel=0.05)
+
+    def test_short_lived_lot_rejected(self, design, rng):
+        bad = WeibullDistribution(alpha=9.0, beta=8.0)  # 35% short
+        data = bad.sample(size=3_000, rng=rng)
+        decision = decide(data, design, rng)
+        assert not decision.accepted
+        assert any("owner lockout" in r for r in decision.reasons)
+
+    def test_long_lived_lot_rejected_for_security(self, design, rng):
+        """Over-built devices are a SECURITY defect here: they outlive
+        the ceiling and hand the attacker extra accesses."""
+        bad = WeibullDistribution(alpha=20.0, beta=8.0)
+        data = bad.sample(size=3_000, rng=rng)
+        decision = decide(data, design, rng)
+        assert not decision.accepted
+        assert any("attack ceiling" in r for r in decision.reasons)
+
+    def test_sloppy_lot_rejected_on_beta(self, design, rng):
+        bad = WeibullDistribution(alpha=14.0, beta=3.0)
+        data = bad.sample(size=3_000, rng=rng)
+        decision = decide(data, design, rng)
+        assert not decision.accepted
+        assert any("beta" in r for r in decision.reasons)
+
+    def test_cost_minimal_design_has_no_margin(self, rng):
+        """Against its own criteria the margin collapses - the library
+        surfaces this instead of silently accepting risky lots."""
+        minimal = solve_encoded_fractional(DEVICE, 1_000, 0.10,
+                                           PAPER_CRITERIA)
+        data = DEVICE.sample(size=3_000, rng=rng)
+        decision = evaluate_lot(data, minimal, rng, n_boot=60)
+        # With zero engineered slack, even an on-spec lot's sampling
+        # uncertainty pokes outside the margins.
+        assert not decision.accepted

@@ -1,0 +1,86 @@
+"""Tests for the constrained design advisor."""
+
+import pytest
+
+from repro.core.advisor import (
+    AdvisorConstraints,
+    advise,
+    pareto_frontier,
+)
+from repro.core.degradation import PAPER_CRITERIA
+from repro.errors import ConfigurationError
+
+BOUND = 5_000
+
+
+class TestAdvise:
+    def test_candidates_sorted_by_devices(self):
+        candidates = advise(14, 8, BOUND, criteria=PAPER_CRITERIA)
+        totals = [c.design.total_devices for c in candidates]
+        assert totals == sorted(totals)
+        assert len(candidates) >= 3
+
+    def test_encoded_beats_unencoded(self):
+        candidates = advise(14, 8, BOUND, criteria=PAPER_CRITERIA)
+        best = candidates[0]
+        assert best.k_fraction is not None
+        unencoded = [c for c in candidates if c.k_fraction is None]
+        if unencoded:  # unencoded may be feasible but never cheapest
+            assert (unencoded[0].design.total_devices
+                    > best.design.total_devices)
+
+    def test_area_constraint_filters(self):
+        unconstrained = advise(14, 8, BOUND, criteria=PAPER_CRITERIA)
+        tight = AdvisorConstraints(
+            max_area_mm2=unconstrained[0].area_mm2 * 1.01)
+        constrained = advise(14, 8, BOUND, constraints=tight,
+                             criteria=PAPER_CRITERIA)
+        assert constrained
+        assert all(c.area_mm2 <= tight.max_area_mm2 for c in constrained)
+        assert len(constrained) < len(unconstrained)
+
+    def test_energy_constraint_filters(self):
+        unconstrained = advise(14, 8, BOUND, criteria=PAPER_CRITERIA)
+        lowest_energy = min(c.energy_j for c in unconstrained)
+        constrained = advise(
+            14, 8, BOUND,
+            constraints=AdvisorConstraints(
+                max_energy_j_per_access=lowest_energy * 1.01),
+            criteria=PAPER_CRITERIA)
+        assert constrained
+        assert all(c.energy_j <= lowest_energy * 1.01 for c in constrained)
+
+    def test_impossible_constraints_empty(self):
+        impossible = AdvisorConstraints(max_devices=1)
+        assert advise(14, 8, BOUND, constraints=impossible,
+                      criteria=PAPER_CRITERIA) == []
+
+    def test_labels(self):
+        candidates = advise(14, 8, BOUND, criteria=PAPER_CRITERIA)
+        labels = {c.label for c in candidates}
+        assert any(label.startswith("k=") for label in labels)
+
+    def test_bound_validated(self):
+        with pytest.raises(ConfigurationError):
+            advise(14, 8, 0)
+
+
+class TestPareto:
+    def test_frontier_subset_and_nondominated(self):
+        candidates = advise(14, 8, BOUND, criteria=PAPER_CRITERIA)
+        frontier = pareto_frontier(candidates)
+        assert frontier
+        assert set(id(c) for c in frontier) <= set(id(c)
+                                                   for c in candidates)
+        for a in frontier:
+            for b in candidates:
+                strictly_better = (
+                    b.design.total_devices <= a.design.total_devices
+                    and b.energy_j <= a.energy_j
+                    and (b.design.total_devices < a.design.total_devices
+                         or b.energy_j < a.energy_j))
+                assert not strictly_better
+
+    def test_single_candidate_is_its_own_frontier(self):
+        candidates = advise(14, 8, BOUND, criteria=PAPER_CRITERIA)[:1]
+        assert pareto_frontier(candidates) == candidates

@@ -1,0 +1,75 @@
+"""Tests for area / energy / latency cost models."""
+
+import pytest
+
+from repro.core.costs import (
+    NM2_PER_MM2,
+    access_energy_j,
+    access_latency_s,
+    connection_area_mm2,
+    switch_array_area_nm2,
+)
+from repro.core.degradation import (
+    PAPER_CRITERIA,
+    solve_encoded,
+)
+from repro.core.device import NEMSCharacteristics
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def paper_design():
+    """The paper's reference encoded design (alpha=14, beta=8, k=10%)."""
+    return solve_encoded(WeibullDistribution(14.0, 8.0), 91_250, 0.10,
+                         PAPER_CRITERIA)
+
+
+class TestSwitchArrayArea:
+    def test_scales_linearly(self):
+        assert switch_array_area_nm2(200) == 2 * switch_array_area_nm2(100)
+
+    def test_footprint_is_contact_plus_pitch(self):
+        assert switch_array_area_nm2(1) == pytest.approx(101.0)
+
+    def test_custom_characteristics(self):
+        chars = NEMSCharacteristics(contact_area_nm2=400.0, pitch_nm=2.0)
+        assert switch_array_area_nm2(10, chars) == pytest.approx(4040.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            switch_array_area_nm2(-1)
+
+
+class TestConnectionArea:
+    def test_reference_design_area_order(self, paper_design):
+        """Paper Table 1 puts encoded designs at ~1e-4 mm^2; ours lands in
+        the same decade."""
+        area = connection_area_mm2(paper_design)
+        assert 1e-5 < area < 1e-3
+
+    def test_area_dominated_by_switches(self, paper_design):
+        area_nm2 = connection_area_mm2(paper_design) * NM2_PER_MM2
+        switches_nm2 = switch_array_area_nm2(paper_design.total_devices)
+        assert switches_nm2 / area_nm2 > 0.9
+
+    def test_share_storage_contributes(self, paper_design):
+        small = connection_area_mm2(paper_design, secret_bits=128)
+        large = connection_area_mm2(paper_design, secret_bits=4096)
+        assert large > small
+
+    def test_rejects_bad_secret_bits(self, paper_design):
+        with pytest.raises(ConfigurationError):
+            connection_area_mm2(paper_design, secret_bits=0)
+
+
+class TestEnergyAndLatency:
+    def test_paper_energy_anchor(self, paper_design):
+        """Paper Section 4.3.2: a ~141-switch bank costs ~1.41e-18 J per
+        access; energy must equal n * 1e-20 J exactly."""
+        assert access_energy_j(paper_design) == pytest.approx(
+            paper_design.n * 1e-20)
+        assert 5e-19 < access_energy_j(paper_design) < 5e-18
+
+    def test_latency_is_single_switch_delay(self, paper_design):
+        assert access_latency_s(paper_design) == pytest.approx(10e-9)

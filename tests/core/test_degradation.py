@@ -1,0 +1,261 @@
+"""Tests for the degradation-window solver - the paper's core machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degradation import (
+    DEFAULT_CRITERIA,
+    DegradationCriteria,
+    PAPER_CRITERIA,
+    max_reliable_accesses,
+    solve_encoded,
+    solve_encoded_fractional,
+    solve_structure,
+    solve_unencoded,
+    solve_unencoded_fractional,
+    solve_with_upper_bound,
+)
+from repro.core.structures import k_of_n_reliability
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, InfeasibleDesignError
+
+DEVICE = WeibullDistribution(alpha=14.0, beta=8.0)
+LAB = 91_250
+
+
+class TestCriteria:
+    def test_defaults_match_paper_text(self):
+        assert DEFAULT_CRITERIA.r_min == 0.99
+        assert DEFAULT_CRITERIA.p_fail == 0.01
+
+    def test_paper_criteria_match_fig3b_working_point(self):
+        assert PAPER_CRITERIA.r_min == 0.98
+        assert PAPER_CRITERIA.p_fail == 0.022
+
+    @pytest.mark.parametrize("r_min,p_fail", [
+        (0.5, 0.6), (1.0, 0.01), (0.99, 0.0), (0.99, 0.99),
+    ])
+    def test_invalid_criteria_rejected(self, r_min, p_fail):
+        with pytest.raises(ConfigurationError):
+            DegradationCriteria(r_min=r_min, p_fail=p_fail)
+
+
+class TestMaxReliableAccesses:
+    def test_fig3b_reference_bank(self):
+        """The paper's n=40 bank at alpha=9.3, beta=12 serves 10 accesses:
+        its quoted working point is 97.9% at the 10th access and 2.2% at
+        the 11th, so criteria at those exact levels accept it."""
+        device = WeibullDistribution(alpha=9.3, beta=12.0)
+        criteria = DegradationCriteria(r_min=0.978, p_fail=0.022)
+        assert max_reliable_accesses(device, 40, 1, criteria) == 10
+
+    def test_none_when_never_reliable(self):
+        device = WeibullDistribution(alpha=0.5, beta=8.0)
+        assert max_reliable_accesses(device, 1, 1) is None
+
+    def test_none_when_window_too_wide(self):
+        # beta = 1 single device: reliability decays far too gradually.
+        device = WeibullDistribution(alpha=100.0, beta=1.0)
+        assert max_reliable_accesses(device, 1, 1) is None
+
+
+class TestSolveUnencoded:
+    def test_satisfies_its_own_criteria(self):
+        point = solve_unencoded(DEVICE, LAB, PAPER_CRITERIA)
+        r_t = point.structure_reliability(point.t)
+        r_next = point.structure_reliability(point.t + 1)
+        assert r_t >= PAPER_CRITERIA.r_min
+        assert r_next <= PAPER_CRITERIA.p_fail
+
+    def test_covers_the_access_bound(self):
+        point = solve_unencoded(DEVICE, LAB, PAPER_CRITERIA)
+        assert point.guaranteed_accesses >= LAB
+        assert point.k == 1
+
+    def test_paper_scale_anchor(self):
+        """alpha=14, beta=8 without encoding needs billions of switches
+        (paper quotes ~4e9; exact joint constraints give the same order)."""
+        point = solve_unencoded(DEVICE, LAB, PAPER_CRITERIA)
+        assert point.total_devices > 1e8
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ConfigurationError):
+            solve_unencoded(DEVICE, 0)
+
+    def test_infeasible_raises(self):
+        # Huge variation (beta tiny): no 1-of-n bank has a 1-access window.
+        device = WeibullDistribution(alpha=10.0, beta=0.5)
+        with pytest.raises(InfeasibleDesignError):
+            solve_unencoded(device, 100)
+
+
+class TestSolveEncoded:
+    def test_satisfies_its_own_criteria(self):
+        point = solve_encoded(DEVICE, LAB, 0.10, PAPER_CRITERIA)
+        assert point.structure_reliability(point.t) >= PAPER_CRITERIA.r_min
+        assert (point.structure_reliability(point.t + 1)
+                <= PAPER_CRITERIA.p_fail)
+
+    def test_paper_fig4b_anchor(self):
+        """beta=8, k=10%: the paper quotes 675,250 switches; the exact
+        integer-window solver lands within 1%."""
+        point = solve_encoded(DEVICE, LAB, 0.10, PAPER_CRITERIA)
+        assert point.total_devices == pytest.approx(675_250, rel=0.01)
+
+    def test_expected_upper_bound_near_paper(self):
+        """Paper: empirical upper bound 91,326 at p=1%-ish criteria."""
+        point = solve_encoded(DEVICE, LAB, 0.10, PAPER_CRITERIA)
+        assert point.expected_access_bound() == pytest.approx(91_326,
+                                                              rel=0.005)
+
+    def test_k_matches_fraction(self):
+        point = solve_encoded(DEVICE, LAB, 0.10, PAPER_CRITERIA)
+        assert point.k == -(-point.n // 10)  # ceil(0.1 n)
+
+    def test_orders_of_magnitude_below_unencoded(self):
+        plain = solve_unencoded(DEVICE, LAB, PAPER_CRITERIA)
+        encoded = solve_encoded(DEVICE, LAB, 0.10, PAPER_CRITERIA)
+        assert plain.total_devices / encoded.total_devices > 1e3
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            solve_encoded(DEVICE, LAB, 0.0)
+        with pytest.raises(ConfigurationError):
+            solve_encoded(DEVICE, LAB, 1.5)
+
+
+class TestFractionalSolvers:
+    def test_feasible_at_resonant_alpha(self):
+        """alpha=18, beta=8, k=10% resonates under the integer window
+        (hundreds of millions of devices); the fractional window fixes it."""
+        device = WeibullDistribution(alpha=18.0, beta=8.0)
+        strict = solve_encoded(device, LAB, 0.10, PAPER_CRITERIA)
+        relaxed = solve_encoded_fractional(device, LAB, 0.10, PAPER_CRITERIA)
+        assert relaxed.total_devices < strict.total_devices / 50
+
+    def test_window_semantics(self):
+        point = solve_encoded_fractional(DEVICE, LAB, 0.10, PAPER_CRITERIA)
+        s = point.window_start
+        assert s is not None
+        assert point.t == int(s)
+        assert point.structure_reliability(s) >= PAPER_CRITERIA.r_min - 1e-6
+        assert (point.structure_reliability(s + 1.0)
+                <= PAPER_CRITERIA.p_fail + 1e-6)
+
+    def test_linear_scaling_in_alpha(self):
+        """The headline claim: encoding turns exponential scaling into
+        roughly linear scaling with the wearout bound."""
+        totals = []
+        for alpha in (10, 14, 20):
+            device = WeibullDistribution(alpha=alpha, beta=8.0)
+            totals.append(solve_encoded_fractional(
+                device, LAB, 0.10, PAPER_CRITERIA).total_devices)
+        # Doubling alpha should cost ~2x devices (allow slack), never 10x.
+        assert totals[2] / totals[0] < 4.0
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_exponential_scaling_without_encoding(self):
+        totals = []
+        for alpha in (10, 14, 18):
+            device = WeibullDistribution(alpha=alpha, beta=8.0)
+            totals.append(solve_unencoded_fractional(
+                device, LAB, PAPER_CRITERIA).total_devices)
+        assert totals[2] / totals[0] > 50.0
+
+    def test_unencoded_fractional_covers_bound(self):
+        point = solve_unencoded_fractional(DEVICE, LAB, PAPER_CRITERIA)
+        assert point.guaranteed_accesses >= LAB
+
+    @given(alpha=st.floats(8.0, 25.0), beta=st.sampled_from([4, 8, 12, 16]),
+           k_fraction=st.sampled_from([0.1, 0.2, 0.3]))
+    @settings(max_examples=25, deadline=None)
+    def test_fractional_always_feasible_and_valid(self, alpha, beta,
+                                                  k_fraction):
+        """Feasibility across the whole explored space, with the returned
+        design actually meeting its constraints."""
+        device = WeibullDistribution(alpha=alpha, beta=beta)
+        point = solve_encoded_fractional(device, 5_000, k_fraction,
+                                         PAPER_CRITERIA)
+        assert point.guaranteed_accesses >= 5_000
+        rel = k_of_n_reliability(
+            device.reliability(point.window_start), point.n, point.k)
+        assert rel >= PAPER_CRITERIA.r_min - 1e-6
+
+
+class TestSolveWithUpperBound:
+    def test_wider_ceiling_is_cheaper(self):
+        tight = solve_encoded_fractional(DEVICE, LAB, 0.10, PAPER_CRITERIA)
+        loose = solve_with_upper_bound(DEVICE, LAB, 200_000, 0.10,
+                                       PAPER_CRITERIA)
+        assert loose.total_devices < tight.total_devices / 2
+
+    def test_monotone_in_upper_bound(self):
+        t100 = solve_with_upper_bound(DEVICE, LAB, 100_000, 0.10,
+                                      PAPER_CRITERIA)
+        t200 = solve_with_upper_bound(DEVICE, LAB, 200_000, 0.10,
+                                      PAPER_CRITERIA)
+        assert t200.total_devices <= t100.total_devices
+
+    def test_system_ceiling_respected(self):
+        point = solve_with_upper_bound(DEVICE, LAB, 100_000, 0.10,
+                                       PAPER_CRITERIA)
+        # Per copy: almost surely dead by t * UB / LAB accesses.
+        ceiling = point.t * 100_000 / LAB
+        assert (point.structure_reliability(ceiling)
+                <= PAPER_CRITERIA.p_fail + 1e-6)
+        assert point.copies * ceiling <= 100_000 * 1.02
+
+    def test_rejects_non_relaxing_bound(self):
+        with pytest.raises(ConfigurationError):
+            solve_with_upper_bound(DEVICE, LAB, LAB, 0.10)
+
+
+class TestSolveStructureDispatch:
+    def test_dispatches_unencoded(self):
+        point = solve_structure(DEVICE, 1000, criteria=PAPER_CRITERIA)
+        assert point.k == 1
+
+    def test_dispatches_encoded(self):
+        point = solve_structure(DEVICE, 1000, k_fraction=0.2,
+                                criteria=PAPER_CRITERIA)
+        assert point.k > 1
+
+    def test_dispatches_fractional(self):
+        point = solve_structure(DEVICE, 1000, k_fraction=0.2,
+                                criteria=PAPER_CRITERIA, window="fractional")
+        assert point.window_start is not None
+
+    def test_rejects_unknown_window(self):
+        with pytest.raises(ConfigurationError):
+            solve_structure(DEVICE, 1000, window="bogus")
+
+
+class TestDesignPoint:
+    def test_total_devices(self):
+        point = solve_encoded_fractional(DEVICE, 1000, 0.10, PAPER_CRITERIA)
+        assert point.total_devices == point.n * point.copies
+
+    def test_copies_cover_bound(self):
+        point = solve_encoded_fractional(DEVICE, 1000, 0.10, PAPER_CRITERIA)
+        assert point.copies == -(-1000 // point.t)
+
+    def test_expected_bound_at_least_guaranteed(self):
+        point = solve_encoded_fractional(DEVICE, 1000, 0.10, PAPER_CRITERIA)
+        assert point.expected_access_bound() >= point.guaranteed_accesses
+
+    def test_coverage_probability_matches_simulation(self, rng):
+        from repro.sim.montecarlo import simulate_access_bounds
+
+        point = solve_encoded_fractional(DEVICE, 1000, 0.10, PAPER_CRITERIA)
+        predicted = point.coverage_probability()
+        bounds = simulate_access_bounds(point, 1500, rng)
+        empirical = float((bounds >= point.access_bound).mean())
+        assert empirical == pytest.approx(predicted, abs=0.05)
+
+    def test_coverage_monotone_in_target(self):
+        point = solve_encoded_fractional(DEVICE, 1000, 0.10, PAPER_CRITERIA)
+        low = point.coverage_probability(target=point.access_bound - 50)
+        high = point.coverage_probability(target=point.access_bound + 50)
+        assert low >= point.coverage_probability() >= high
+        assert point.coverage_probability(target=1) == pytest.approx(1.0)

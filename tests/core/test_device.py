@@ -1,0 +1,123 @@
+"""Tests for simulated NEMS switches and read-destructive registers."""
+
+import pytest
+
+from repro.core.device import (
+    NEMS_CHARACTERISTICS,
+    NEMSSwitch,
+    ReadDestructiveRegister,
+)
+from repro.core.variation import LognormalVariation
+from repro.core.weibull import WeibullDistribution
+from repro.errors import (
+    ConfigurationError,
+    DeviceWornOutError,
+    RegisterDestroyedError,
+)
+
+
+class TestNEMSSwitch:
+    def test_serves_exactly_floor_lifetime_actuations(self):
+        switch = NEMSSwitch(lifetime_cycles=3.7)
+        assert [switch.actuate() for _ in range(5)] == [
+            True, True, True, False, False]
+
+    def test_zero_lifetime_never_closes(self):
+        switch = NEMSSwitch(lifetime_cycles=0.0)
+        assert switch.is_failed
+        assert not switch.actuate()
+
+    def test_negative_lifetime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NEMSSwitch(lifetime_cycles=-1.0)
+
+    def test_remaining_cycles(self):
+        switch = NEMSSwitch(lifetime_cycles=5.0)
+        assert switch.remaining_cycles == 5
+        switch.actuate()
+        assert switch.remaining_cycles == 4
+
+    def test_failed_switch_stays_failed(self):
+        switch = NEMSSwitch(lifetime_cycles=1.0)
+        assert switch.actuate()
+        assert not switch.actuate()
+        assert not switch.actuate()
+        assert switch.is_failed
+
+    def test_actuate_or_raise(self):
+        switch = NEMSSwitch(lifetime_cycles=1.0)
+        switch.actuate_or_raise()
+        with pytest.raises(DeviceWornOutError):
+            switch.actuate_or_raise()
+
+    def test_from_model_samples_lifetime(self, rng):
+        model = WeibullDistribution(alpha=10.0, beta=8.0)
+        switch = NEMSSwitch.from_model(model, rng)
+        assert 0 <= switch.lifetime_cycles < 100
+
+    def test_from_model_with_variation(self, rng):
+        model = WeibullDistribution(alpha=10.0, beta=8.0)
+        switch = NEMSSwitch.from_model(
+            model, rng, LognormalVariation(sigma_alpha=0.2))
+        assert switch.lifetime_cycles > 0
+
+    def test_fabricate_batch_statistics(self, rng):
+        model = WeibullDistribution(alpha=10.0, beta=8.0)
+        batch = NEMSSwitch.fabricate_batch(model, 5_000, rng)
+        assert len(batch) == 5_000
+        mean = sum(s.lifetime_cycles for s in batch) / len(batch)
+        assert mean == pytest.approx(model.mean, rel=0.05)
+
+    def test_fabricate_batch_rejects_negative_count(self, rng):
+        model = WeibullDistribution(alpha=10.0, beta=8.0)
+        with pytest.raises(ConfigurationError):
+            NEMSSwitch.fabricate_batch(model, -1, rng)
+
+    def test_switch_ids_unique(self):
+        a, b = NEMSSwitch(1.0), NEMSSwitch(1.0)
+        assert a.switch_id != b.switch_id
+
+
+class TestReadDestructiveRegister:
+    def test_single_read_returns_contents(self):
+        reg = ReadDestructiveRegister(b"secret")
+        assert reg.read() == b"secret"
+        assert reg.destroyed
+
+    def test_second_read_raises(self):
+        reg = ReadDestructiveRegister(b"secret")
+        reg.read()
+        with pytest.raises(RegisterDestroyedError):
+            reg.read()
+
+    def test_contents_zeroized_after_read(self):
+        reg = ReadDestructiveRegister(b"secret")
+        reg.read()
+        assert reg.contents == b"\x00" * 6
+
+    def test_tamper_read_bypasses_destruction(self):
+        """The low-voltage attack the paper warns about: read-destruction
+        alone is not a security boundary."""
+        reg = ReadDestructiveRegister(b"secret")
+        assert reg.tamper_read() == b"secret"
+        assert reg.tamper_read() == b"secret"
+        assert not reg.destroyed
+        assert reg.tampered
+        assert reg.read() == b"secret"  # legitimate read still works once
+
+    def test_tamper_read_after_destruction_fails(self):
+        reg = ReadDestructiveRegister(b"secret")
+        reg.read()
+        with pytest.raises(RegisterDestroyedError):
+            reg.tamper_read()
+
+    def test_size_bits(self):
+        assert ReadDestructiveRegister(b"abcd").size_bits == 32
+
+
+class TestCharacteristics:
+    def test_paper_constants(self):
+        assert NEMS_CHARACTERISTICS.contact_area_nm2 == 100.0
+        assert NEMS_CHARACTERISTICS.switching_delay_s == pytest.approx(10e-9)
+        assert NEMS_CHARACTERISTICS.switching_energy_j == pytest.approx(1e-20)
+        assert NEMS_CHARACTERISTICS.register_cell_area_nm2 == 50.0

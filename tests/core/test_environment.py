@@ -1,0 +1,83 @@
+"""Tests for the operating-environment (temperature) model."""
+
+import numpy as np
+import pytest
+
+from repro.core.environment import (
+    ROOM_TEMPERATURE_C,
+    SiCTemperatureModel,
+    apply_environment,
+    environmental_attack_gain,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+DEVICE = WeibullDistribution(alpha=20.0, beta=8.0)
+
+
+class TestLifetimeFactor:
+    def test_room_temperature_is_unity(self):
+        assert SiCTemperatureModel().lifetime_factor(25.0) == 1.0
+
+    def test_hot_calibration_point(self):
+        model = SiCTemperatureModel()
+        assert model.lifetime_factor(500.0) == pytest.approx(2.0 / 21.0)
+
+    def test_monotone_decreasing_above_room(self):
+        model = SiCTemperatureModel()
+        temps = np.linspace(25, 700, 30)
+        factors = [model.lifetime_factor(t) for t in temps]
+        assert all(a >= b for a, b in zip(factors, factors[1:]))
+
+    def test_cold_never_extends(self):
+        model = SiCTemperatureModel()
+        for t in (-200, -40, 0, 24):
+            assert model.lifetime_factor(t) <= 1.0
+
+    def test_factor_never_exceeds_one(self):
+        model = SiCTemperatureModel()
+        for t in np.linspace(-250, 1000, 50):
+            assert model.lifetime_factor(float(t)) <= 1.0
+
+    def test_implausible_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SiCTemperatureModel().lifetime_factor(-300.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"hot_temperature_c": 20.0},
+        {"hot_factor": 0.0},
+        {"hot_factor": 1.5},
+        {"cold_factor": 1.2},
+    ])
+    def test_invalid_calibration(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SiCTemperatureModel(**kwargs)
+
+
+class TestApplyEnvironment:
+    def test_room_temperature_identity(self):
+        scaled = apply_environment(DEVICE, ROOM_TEMPERATURE_C)
+        assert scaled.alpha == DEVICE.alpha
+
+    def test_heat_shrinks_alpha_keeps_beta(self):
+        scaled = apply_environment(DEVICE, 400.0)
+        assert scaled.alpha < DEVICE.alpha
+        assert scaled.beta == DEVICE.beta
+
+    def test_security_invariant_heat_only_hurts_attacker(self):
+        """Baking the chip can only destroy it faster - the secret's
+        confidentiality bound cannot be extended."""
+        hot = apply_environment(DEVICE, 500.0)
+        assert hot.mean < DEVICE.mean
+
+
+class TestAttackGain:
+    def test_no_temperature_gains_budget(self):
+        result = environmental_attack_gain(DEVICE)
+        assert result["max_factor"] <= 1.0
+        assert result["best_attacker_mean"] <= result[
+            "room_temperature_mean"]
+
+    def test_best_strategy_is_room_temperature(self):
+        result = environmental_attack_gain(DEVICE)
+        assert result["best_temperature_c"] <= ROOM_TEMPERATURE_C + 15

@@ -1,0 +1,65 @@
+"""Tests for Weibull parameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_median_rank, fit_mle
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("fit", [fit_mle, fit_median_rank])
+class TestRecovery:
+    @pytest.mark.parametrize("alpha,beta", [
+        (10.0, 8.0), (2.6e6, 12.94), (100.0, 1.0), (20.0, 4.0),
+    ])
+    def test_recovers_true_parameters(self, fit, alpha, beta, rng):
+        true = WeibullDistribution(alpha=alpha, beta=beta)
+        data = true.sample(size=20_000, rng=rng)
+        fitted = fit(data)
+        assert fitted.alpha == pytest.approx(alpha, rel=0.05)
+        assert fitted.beta == pytest.approx(beta, rel=0.08)
+
+    def test_rejects_tiny_samples(self, fit):
+        with pytest.raises(ConfigurationError):
+            fit([1.0])
+
+    def test_rejects_nonpositive_lifetimes(self, fit):
+        with pytest.raises(ConfigurationError):
+            fit([1.0, -2.0, 3.0])
+        with pytest.raises(ConfigurationError):
+            fit([1.0, 0.0])
+
+    def test_rejects_nonfinite(self, fit):
+        with pytest.raises(ConfigurationError):
+            fit([1.0, float("nan")])
+
+    def test_degenerate_sample_yields_sharp_fit(self, fit):
+        fitted = fit([5.0] * 10)
+        assert fitted.alpha == pytest.approx(5.0)
+        assert fitted.beta >= 100
+
+
+class TestEstimatorQuality:
+    def test_mle_beats_rank_regression_on_small_samples(self, rng):
+        """MLE should be at least comparable in shape accuracy."""
+        true = WeibullDistribution(alpha=10.0, beta=8.0)
+        errors_mle, errors_rank = [], []
+        for _ in range(30):
+            data = true.sample(size=100, rng=rng)
+            errors_mle.append(abs(fit_mle(data).beta - 8.0))
+            errors_rank.append(abs(fit_median_rank(data).beta - 8.0))
+        assert np.median(errors_mle) <= np.median(errors_rank) * 1.5
+
+    def test_fit_accepts_arrays_and_lists(self, rng):
+        true = WeibullDistribution(alpha=10.0, beta=3.0)
+        data = true.sample(size=500, rng=rng)
+        assert fit_mle(list(data)).alpha == pytest.approx(
+            fit_mle(data).alpha)
+
+    def test_fit_is_scale_equivariant(self, rng):
+        data = WeibullDistribution(7.0, 5.0).sample(size=5000, rng=rng)
+        base = fit_mle(data)
+        scaled = fit_mle(data * 100.0)
+        assert scaled.alpha == pytest.approx(base.alpha * 100.0, rel=1e-6)
+        assert scaled.beta == pytest.approx(base.beta, rel=1e-6)

@@ -1,0 +1,110 @@
+"""Tests for alternative lifetime models and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    GammaLifetime,
+    LognormalLifetime,
+    fit_lifetime_model,
+    select_lifetime_model,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+
+class TestLognormal:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LognormalLifetime(mu=0.0, sigma=0.0)
+
+    def test_reliability_complements_cdf(self):
+        model = LognormalLifetime(mu=2.0, sigma=0.5)
+        x = np.linspace(0.5, 30, 20)
+        np.testing.assert_allclose(model.reliability(x),
+                                   1 - model._dist.cdf(x))
+
+    def test_quantile_inverts(self):
+        model = LognormalLifetime(mu=2.0, sigma=0.5)
+        assert model.reliability(model.quantile(0.3)) == pytest.approx(0.7)
+
+    def test_sampling_matches_moments(self, rng):
+        model = LognormalLifetime(mu=2.0, sigma=0.3)
+        samples = model.sample(size=100_000, rng=rng)
+        assert samples.mean() == pytest.approx(model.mean, rel=0.02)
+
+    def test_weibull_equivalent_matches_quantiles(self):
+        model = LognormalLifetime(mu=2.0, sigma=0.4)
+        weib = model.weibull_equivalent()
+        for q in (0.1, 0.9):
+            assert weib.quantile(q) == pytest.approx(model.quantile(q),
+                                                     rel=1e-6)
+
+
+class TestGamma:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GammaLifetime(k=0.0, theta=1.0)
+
+    def test_mean(self):
+        assert GammaLifetime(k=3.0, theta=2.0).mean == pytest.approx(6.0)
+
+    def test_sampling(self, rng):
+        model = GammaLifetime(k=5.0, theta=2.0)
+        samples = model.sample(size=50_000, rng=rng)
+        assert samples.mean() == pytest.approx(10.0, rel=0.03)
+
+    def test_weibull_equivalent(self):
+        model = GammaLifetime(k=8.0, theta=1.5)
+        weib = model.weibull_equivalent()
+        assert weib.quantile(0.1) == pytest.approx(model.quantile(0.1),
+                                                   rel=1e-6)
+
+
+class TestFitting:
+    def test_fit_each_family(self, rng):
+        data = WeibullDistribution(10.0, 4.0).sample(size=3000, rng=rng)
+        assert fit_lifetime_model(data, "weibull").alpha == pytest.approx(
+            10.0, rel=0.05)
+        lognorm = fit_lifetime_model(data, "lognormal")
+        assert lognorm.mean == pytest.approx(data.mean(), rel=0.05)
+        gamma = fit_lifetime_model(data, "gamma")
+        assert gamma.mean == pytest.approx(data.mean(), rel=0.05)
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            fit_lifetime_model([1, 2, 3], "cauchy")
+
+    def test_data_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_lifetime_model([1.0, -1.0, 2.0], "weibull")
+        with pytest.raises(ConfigurationError):
+            fit_lifetime_model([1.0], "gamma")
+
+
+class TestSelection:
+    def test_weibull_data_selects_weibull(self, rng):
+        data = WeibullDistribution(10.0, 8.0).sample(size=6000, rng=rng)
+        fits = select_lifetime_model(data)
+        assert fits[0].family == "weibull"
+
+    def test_lognormal_data_selects_lognormal(self, rng):
+        data = LognormalLifetime(mu=2.0, sigma=0.9).sample(size=6000,
+                                                           rng=rng)
+        fits = select_lifetime_model(data)
+        assert fits[0].family == "lognormal"
+
+    def test_fits_sorted_by_aic(self, rng):
+        data = WeibullDistribution(10.0, 4.0).sample(size=500, rng=rng)
+        fits = select_lifetime_model(data)
+        aics = [f.aic for f in fits]
+        assert aics == sorted(aics)
+        assert {f.family for f in fits} == {"weibull", "lognormal", "gamma"}
+
+    def test_bic_penalizes_like_aic_for_equal_params(self, rng):
+        data = WeibullDistribution(10.0, 4.0).sample(size=500, rng=rng)
+        fits = select_lifetime_model(data)
+        # All families have 2 parameters: AIC and BIC orderings agree.
+        by_aic = [f.family for f in fits]
+        by_bic = [f.family for f in sorted(fits, key=lambda f: f.bic)]
+        assert by_aic == by_bic

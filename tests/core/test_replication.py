@@ -1,0 +1,44 @@
+"""Tests for M-way module replication scheduling."""
+
+import pytest
+
+from repro.core.replication import plan_replication
+from repro.errors import ConfigurationError
+
+
+class TestPlanReplication:
+    def test_paper_example(self):
+        """50 -> 500 uses/day needs M=10 and ~6-month migrations."""
+        plan = plan_replication(target_daily_usage=500)
+        assert plan.m == 10
+        assert plan.module_duration_months == pytest.approx(6.0, rel=0.01)
+        assert plan.reencryptions == 9
+
+    def test_no_replication_needed(self):
+        plan = plan_replication(target_daily_usage=50)
+        assert plan.m == 1
+        assert plan.reencryptions == 0
+
+    def test_rounds_up(self):
+        assert plan_replication(target_daily_usage=51).m == 2
+
+    def test_module_access_bound(self):
+        plan = plan_replication(target_daily_usage=500,
+                                base_daily_usage=50, lifetime_years=5)
+        assert plan.module_access_bound == 50 * 1825
+        assert plan.total_access_bound == 10 * 91_250
+
+    def test_custom_lifetime(self):
+        plan = plan_replication(target_daily_usage=100,
+                                base_daily_usage=50, lifetime_years=2)
+        assert plan.lifetime_days == 730
+        assert plan.module_duration_days == pytest.approx(365.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"target_daily_usage": 0},
+        {"target_daily_usage": 100, "base_daily_usage": 0},
+        {"target_daily_usage": 100, "lifetime_years": 0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            plan_replication(**kwargs)

@@ -1,0 +1,102 @@
+"""Tests for rotating-subset banks and the all-parallel justification."""
+
+import math
+
+import pytest
+
+from repro.core.device import NEMSSwitch
+from repro.core.rotation import (
+    RotatingBank,
+    rotating_effective_device,
+    rotation_window_analysis,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+DEVICE = WeibullDistribution(alpha=20.0, beta=12.0)
+
+
+def switches(lifetimes):
+    return [NEMSSwitch(v) for v in lifetimes]
+
+
+class TestRotatingBank:
+    def test_full_subset_matches_parallel_semantics(self):
+        bank = RotatingBank(switches([3, 3, 3]), k=1, subset_size=3)
+        served = bank.count_successful_accesses(max_accesses=100)
+        assert served == 3
+
+    def test_rotation_extends_bank_life(self):
+        # 4 switches of 2 cycles each, k=1, subset 1: each access wears
+        # one switch -> 8 total successful accesses instead of 2.
+        bank = RotatingBank(switches([2, 2, 2, 2]), k=1, subset_size=1)
+        assert bank.count_successful_accesses(max_accesses=100) == 8
+
+    def test_subset_cursor_rotates(self):
+        bank = RotatingBank(switches([10] * 4), k=1, subset_size=2)
+        bank.access()
+        worn = [s.cycles_used for s in bank.switches]
+        assert worn == [1, 1, 0, 0]
+        bank.access()
+        worn = [s.cycles_used for s in bank.switches]
+        assert worn == [1, 1, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RotatingBank([], k=1)
+        with pytest.raises(ConfigurationError):
+            RotatingBank(switches([1, 2]), k=2, subset_size=1)
+        with pytest.raises(ConfigurationError):
+            RotatingBank(switches([1, 2]), k=1, subset_size=3)
+
+
+class TestEffectiveDevice:
+    def test_full_subset_is_identity(self):
+        assert rotating_effective_device(DEVICE, 10, 10).alpha == \
+            DEVICE.alpha
+
+    def test_scale_stretches_by_n_over_s(self):
+        effective = rotating_effective_device(DEVICE, 10, 2)
+        assert effective.alpha == pytest.approx(DEVICE.alpha * 5)
+        assert effective.beta == DEVICE.beta
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rotating_effective_device(DEVICE, 10, 0)
+
+
+class TestWindowAnalysis:
+    def test_window_scales_with_lifetime_factor(self):
+        rows = rotation_window_analysis(DEVICE, n=60, k=6,
+                                        subset_sizes=(6, 30, 60))
+        by_s = {row["subset_size"]: row for row in rows}
+        # The security window widens by exactly n/s.
+        ratio = (by_s[6]["window_accesses"]
+                 / by_s[60]["window_accesses"])
+        assert ratio == pytest.approx(60 / 6, rel=0.02)
+
+    def test_energy_and_lifetime_factors(self):
+        rows = rotation_window_analysis(DEVICE, n=60, k=6,
+                                        subset_sizes=(6, 60))
+        by_s = {row["subset_size"]: row for row in rows}
+        assert by_s[6]["energy_per_access_factor"] == pytest.approx(0.1)
+        assert by_s[6]["lifetime_factor"] == pytest.approx(10.0)
+        assert by_s[60]["lifetime_factor"] == 1.0
+
+    def test_default_subsets_include_extremes(self):
+        rows = rotation_window_analysis(DEVICE, n=60, k=6)
+        sizes = [row["subset_size"] for row in rows]
+        assert 6 in sizes and 60 in sizes
+
+    def test_subset_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            rotation_window_analysis(DEVICE, n=60, k=6, subset_sizes=(3,))
+
+    def test_losing_trade_conclusion(self):
+        """The paper's implicit choice: all-parallel has the tightest
+        window; every rotation setting is strictly worse for security."""
+        rows = rotation_window_analysis(DEVICE, n=60, k=6,
+                                        subset_sizes=(6, 15, 30, 60))
+        windows = [row["window_accesses"] for row in rows]
+        assert all(not math.isnan(w) for w in windows)
+        assert windows == sorted(windows, reverse=True)

@@ -1,0 +1,83 @@
+"""Tests for design-margin sensitivity analysis."""
+
+import pytest
+
+from repro.core.degradation import (
+    PAPER_CRITERIA,
+    solve_encoded_fractional,
+    solve_unencoded_fractional,
+)
+from repro.core.sensitivity import (
+    alpha_margin,
+    beta_margin,
+    scaling_elasticity,
+)
+from repro.core.weibull import WeibullDistribution
+
+DEVICE = WeibullDistribution(alpha=14.0, beta=8.0)
+
+
+@pytest.fixture(scope="module")
+def encoded_design():
+    return solve_encoded_fractional(DEVICE, 2_000, 0.10, PAPER_CRITERIA)
+
+
+class TestAlphaMargin:
+    def test_contains_nominal(self, encoded_design):
+        margin = alpha_margin(encoded_design)
+        assert margin.contains(14.0)
+        assert margin.low < 14.0 < margin.high
+
+    def test_margin_edges_actually_fail(self, encoded_design):
+        from repro.core.sensitivity import _design_meets_criteria
+
+        margin = alpha_margin(encoded_design)
+        too_low = WeibullDistribution(margin.low * 0.9, 8.0)
+        too_high = WeibullDistribution(margin.high * 1.1, 8.0)
+        assert not _design_meets_criteria(encoded_design, too_low)
+        assert not _design_meets_criteria(encoded_design, too_high)
+
+    def test_relative_width_is_tight(self, encoded_design):
+        """The paper's point: use targets demand a specific parameter
+        range - the tolerance is a few percent, not a factor."""
+        margin = alpha_margin(encoded_design)
+        assert margin.relative_width < 0.5
+
+
+class TestBetaMargin:
+    def test_contains_nominal(self, encoded_design):
+        margin = beta_margin(encoded_design)
+        assert margin.contains(8.0)
+
+    def test_beta_sensitivity_not_reduced_by_encoding(self):
+        """Section 7: encoding reduces alpha sensitivity, not beta
+        sensitivity - the relative beta margin stays narrow for both
+        architectures."""
+        encoded = solve_encoded_fractional(DEVICE, 2_000, 0.10,
+                                           PAPER_CRITERIA)
+        plain = solve_unencoded_fractional(DEVICE, 2_000, PAPER_CRITERIA)
+        m_encoded = beta_margin(encoded)
+        m_plain = beta_margin(plain)
+        assert m_encoded.relative_width < 2.0
+        assert m_plain.relative_width < 2.0
+
+
+class TestElasticity:
+    def test_encoded_is_roughly_linear(self):
+        e = scaling_elasticity(beta=8.0, access_bound=20_000,
+                               k_fraction=0.10, criteria=PAPER_CRITERIA)
+        assert 0.3 < e < 3.0
+
+    def test_unencoded_is_strongly_superlinear(self):
+        e = scaling_elasticity(beta=8.0, access_bound=20_000,
+                               k_fraction=None, criteria=PAPER_CRITERIA)
+        assert e > 5.0
+
+    def test_encoding_reduces_elasticity(self):
+        e_plain = scaling_elasticity(beta=8.0, access_bound=20_000,
+                                     k_fraction=None,
+                                     criteria=PAPER_CRITERIA)
+        e_enc = scaling_elasticity(beta=8.0, access_bound=20_000,
+                                   k_fraction=0.10,
+                                   criteria=PAPER_CRITERIA)
+        assert e_enc < e_plain / 3

@@ -1,0 +1,83 @@
+"""Tests for design JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.degradation import (
+    PAPER_CRITERIA,
+    solve_encoded,
+    solve_encoded_fractional,
+)
+from repro.core.serialize import (
+    design_from_dict,
+    design_to_dict,
+    dumps_design,
+    loads_design,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+DEVICE = WeibullDistribution(alpha=14.0, beta=8.0)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return solve_encoded_fractional(DEVICE, 1_000, 0.10, PAPER_CRITERIA)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, design):
+        assert design_from_dict(design_to_dict(design)) == design
+
+    def test_json_roundtrip(self, design):
+        assert loads_design(dumps_design(design)) == design
+
+    def test_integer_window_roundtrip(self):
+        design = solve_encoded(DEVICE, 500, 0.10, PAPER_CRITERIA)
+        restored = loads_design(dumps_design(design))
+        assert restored == design
+        assert restored.window_start is None
+
+    def test_json_is_plain_types(self, design):
+        payload = json.loads(dumps_design(design))
+        assert payload["n"] == design.n
+        assert payload["criteria"]["r_min"] == PAPER_CRITERIA.r_min
+
+
+class TestValidation:
+    def test_missing_field(self, design):
+        payload = design_to_dict(design)
+        del payload["copies"]
+        with pytest.raises(ConfigurationError):
+            design_from_dict(payload)
+
+    def test_wrong_schema_version(self, design):
+        payload = design_to_dict(design)
+        payload["schema_version"] = 99
+        with pytest.raises(ConfigurationError):
+            design_from_dict(payload)
+
+    def test_invalid_k(self, design):
+        payload = design_to_dict(design)
+        payload["k"] = payload["n"] + 1
+        with pytest.raises(ConfigurationError):
+            design_from_dict(payload)
+
+    def test_invalid_counts(self, design):
+        payload = design_to_dict(design)
+        payload["copies"] = 0
+        with pytest.raises(ConfigurationError):
+            design_from_dict(payload)
+
+    def test_malformed_json(self):
+        with pytest.raises(ConfigurationError):
+            loads_design("{not json")
+        with pytest.raises(ConfigurationError):
+            loads_design("[1, 2, 3]")
+
+    def test_invalid_device_parameters(self, design):
+        payload = design_to_dict(design)
+        payload["device"]["alpha"] = -1.0
+        with pytest.raises(ConfigurationError):
+            design_from_dict(payload)

@@ -1,0 +1,47 @@
+"""Tests for the sizing convenience layer and sweeps."""
+
+import pytest
+
+from repro.core.degradation import PAPER_CRITERIA
+from repro.core.sizing import size_architecture, sweep_alpha
+from repro.errors import ConfigurationError
+
+
+class TestSizeArchitecture:
+    def test_returns_solver_design(self):
+        point = size_architecture(14, 8, 1000, k_fraction=0.1,
+                                  criteria=PAPER_CRITERIA,
+                                  window="fractional")
+        assert point.guaranteed_accesses >= 1000
+        assert point.device.alpha == 14
+
+    def test_unencoded_default(self):
+        point = size_architecture(14, 12, 1000, criteria=PAPER_CRITERIA,
+                                  window="fractional")
+        assert point.k == 1
+
+    def test_propagates_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            size_architecture(14, 8, 1000, window="nope")
+
+
+class TestSweepAlpha:
+    def test_rows_cover_all_alphas(self):
+        results = sweep_alpha([10, 12, 14], beta=8, access_bound=1000,
+                              k_fraction=0.1, criteria=PAPER_CRITERIA)
+        assert [r.alpha for r in results] == [10, 12, 14]
+        assert all(r.beta == 8 for r in results)
+
+    def test_infeasible_points_are_gaps_not_errors(self):
+        # beta = 0.5 without encoding is infeasible everywhere.
+        results = sweep_alpha([10.0], beta=0.5, access_bound=1000,
+                              k_fraction=None, criteria=PAPER_CRITERIA)
+        assert results[0].point is None
+        assert results[0].total_devices is None
+
+    def test_totals_accessible(self):
+        results = sweep_alpha([10, 20], beta=8, access_bound=1000,
+                              k_fraction=0.1, criteria=PAPER_CRITERIA)
+        totals = [r.total_devices for r in results]
+        assert all(t is not None and t > 0 for t in totals)
+        assert totals[0] < totals[1]  # linear growth with alpha

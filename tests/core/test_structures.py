@@ -1,0 +1,151 @@
+"""Tests for analytic structure reliability (series / parallel / k-of-n)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.structures import (
+    KOutOfNStructure,
+    ParallelStructure,
+    SeriesStructure,
+    k_of_n_reliability,
+    parallel_reliability,
+    series_reliability,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+DEVICE = WeibullDistribution(alpha=9.3, beta=12.0)
+
+
+class TestSeries:
+    def test_one_device_is_identity(self):
+        assert series_reliability(0.7, 1) == pytest.approx(0.7)
+
+    def test_matches_power(self):
+        assert series_reliability(0.9, 5) == pytest.approx(0.9 ** 5)
+
+    def test_weakens_with_length(self):
+        rels = [series_reliability(0.9, n) for n in (1, 2, 10, 100)]
+        assert all(a > b for a, b in zip(rels, rels[1:]))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            series_reliability(0.9, 0)
+
+    def test_equivalent_device(self):
+        structure = SeriesStructure(DEVICE, 7)
+        xs = np.linspace(0.5, 15, 10)
+        np.testing.assert_allclose(
+            structure.equivalent_device().reliability(xs),
+            structure.reliability(xs), rtol=1e-10)
+
+    def test_scale_reduction_is_exponential_in_beta(self):
+        # The paper's point: halving the scale needs 2**beta devices.
+        assert SeriesStructure.devices_for_scale_reduction(2, 12) == 4096
+        assert SeriesStructure.devices_for_scale_reduction(2, 8) == 256
+
+    def test_device_count(self):
+        assert SeriesStructure(DEVICE, 7).device_count == 7
+
+
+class TestParallel:
+    def test_one_device_is_identity(self):
+        assert parallel_reliability(0.3, 1) == pytest.approx(0.3)
+
+    def test_matches_complement_power(self):
+        assert parallel_reliability(0.3, 4) == pytest.approx(
+            1 - 0.7 ** 4)
+
+    def test_strengthens_with_width(self):
+        rels = [parallel_reliability(0.3, n) for n in (1, 2, 10, 100)]
+        assert all(a < b for a, b in zip(rels, rels[1:]))
+
+    def test_handles_astronomical_n(self):
+        # 4 billion devices with tiny per-device reliability: the
+        # no-encoding regime of Fig. 4a must not underflow.
+        r = parallel_reliability(1e-9, 4_000_000_000)
+        assert r == pytest.approx(1 - np.exp(-4.0), rel=1e-6)
+
+    def test_paper_fig3b_anchor(self):
+        """n = 40, alpha = 9.3, beta = 12: ~98% at the 10th access,
+        ~2.2% at the 11th (quoted in Section 4.1.3)."""
+        structure = ParallelStructure(DEVICE, 40)
+        assert float(structure.reliability(10.0)) == pytest.approx(
+            0.98, abs=0.005)
+        assert float(structure.reliability(11.0)) == pytest.approx(
+            0.022, abs=0.003)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            parallel_reliability(0.5, 0)
+
+
+class TestKOutOfN:
+    def test_k1_equals_parallel(self):
+        for r in (0.1, 0.5, 0.9):
+            assert k_of_n_reliability(r, 10, 1) == pytest.approx(
+                parallel_reliability(r, 10))
+
+    def test_kn_equals_series(self):
+        for r in (0.1, 0.5, 0.9):
+            assert k_of_n_reliability(r, 10, 10) == pytest.approx(
+                series_reliability(r, 10))
+
+    def test_matches_binomial_tail(self):
+        assert k_of_n_reliability(0.6, 20, 7) == pytest.approx(
+            stats.binom.sf(6, 20, 0.6))
+
+    def test_monotone_decreasing_in_k(self):
+        rels = [k_of_n_reliability(0.5, 30, k) for k in range(1, 31)]
+        assert all(a >= b for a, b in zip(rels, rels[1:]))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            k_of_n_reliability(0.5, 10, 0)
+        with pytest.raises(ConfigurationError):
+            k_of_n_reliability(0.5, 10, 11)
+
+    def test_structure_object(self):
+        structure = KOutOfNStructure(DEVICE, 60, 30)
+        assert structure.device_count == 60
+        assert structure.redundancy_fraction == pytest.approx(0.5)
+        x = 9.0
+        assert float(structure.reliability(x)) == pytest.approx(
+            float(k_of_n_reliability(DEVICE.reliability(x), 60, 30)))
+
+    def test_paper_fig3c_window_tightens_then_stretches(self):
+        """k-of-60 at alpha=20 beta=12: the 99%->1% window shrinks from
+        k=1 to mid-range k, then stretches as k -> n (Fig. 3c)."""
+        device = WeibullDistribution(alpha=20.0, beta=12.0)
+        xs = np.linspace(0.1, 40.0, 4000)
+
+        def window(k: int) -> float:
+            rel = k_of_n_reliability(device.reliability(xs), 60, k)
+            above = xs[rel >= 0.99]
+            below = xs[rel <= 0.01]
+            return float(below.min() - above.max())
+
+        w1, w20, w60 = window(1), window(20), window(60)
+        assert w20 < w1
+        assert w60 > w20
+
+    @given(r=st.floats(0.01, 0.99), n=st.integers(1, 60),
+           data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_and_monotone_property(self, r, n, data):
+        k = data.draw(st.integers(1, n))
+        rel = k_of_n_reliability(r, n, k)
+        assert 0.0 <= rel <= 1.0
+        if k > 1:
+            assert rel <= k_of_n_reliability(r, n, k - 1) + 1e-12
+
+
+class TestStructureOrdering:
+    @given(r=st.floats(0.05, 0.95), n=st.integers(2, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_series_below_single_below_parallel(self, r, n):
+        assert (series_reliability(r, n) <= r + 1e-12
+                <= parallel_reliability(r, n) + 1e-12)

@@ -1,0 +1,68 @@
+"""Tests for sizing-uncertainty propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import DegradationCriteria, PAPER_CRITERIA
+from repro.core.uncertainty import design_size_uncertainty
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+TRUE = WeibullDistribution(alpha=14.0, beta=8.0)
+STRICT = DegradationCriteria(r_min=0.999, p_fail=0.002)
+
+
+class TestDesignSizeUncertainty:
+    def test_percentiles_ordered_and_feasible(self, rng):
+        data = TRUE.sample(size=5_000, rng=rng)
+        result = design_size_uncertainty(data, 2_000, 0.10, rng,
+                                         criteria=PAPER_CRITERIA,
+                                         n_boot=30)
+        assert result.devices_p05 <= result.devices_p50 \
+            <= result.devices_p95
+        assert result.cost_uncertainty_ratio < 1.5
+        assert result.infeasible_fraction == 0.0
+
+    def test_small_sample_widens_cost_band(self):
+        rng = np.random.default_rng(5)
+        small = TRUE.sample(size=60, rng=rng)
+        large = TRUE.sample(size=5_000, rng=rng)
+        r_small = design_size_uncertainty(small, 2_000, 0.10,
+                                          np.random.default_rng(6),
+                                          criteria=PAPER_CRITERIA,
+                                          n_boot=30)
+        r_large = design_size_uncertainty(large, 2_000, 0.10,
+                                          np.random.default_rng(6),
+                                          criteria=PAPER_CRITERIA,
+                                          n_boot=30)
+        assert (r_small.cost_uncertainty_ratio
+                > r_large.cost_uncertainty_ratio)
+
+    def test_minimal_design_risky_derated_design_safe(self):
+        """The derating story in one assertion pair: sized-at-the-edge
+        designs carry real violation risk under sampling noise; sizing
+        strict and certifying loose removes it."""
+        rng = np.random.default_rng(7)
+        data = TRUE.sample(size=5_000, rng=rng)
+        minimal = design_size_uncertainty(
+            data, 2_000, 0.10, np.random.default_rng(8),
+            criteria=PAPER_CRITERIA, n_boot=40)
+        derated = design_size_uncertainty(
+            data, 2_000, 0.10, np.random.default_rng(8),
+            criteria=STRICT, certify_criteria=PAPER_CRITERIA, n_boot=40)
+        assert minimal.criteria_violation_risk > 0.1
+        assert derated.criteria_violation_risk < 0.05
+
+    def test_point_devices_reported(self, rng):
+        data = TRUE.sample(size=1_000, rng=rng)
+        result = design_size_uncertainty(data, 2_000, 0.10, rng,
+                                         criteria=PAPER_CRITERIA,
+                                         n_boot=20)
+        assert result.point_devices > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            design_size_uncertainty([1.0] * 10, 1_000, 0.10, rng)
+        data = TRUE.sample(size=100, rng=rng)
+        with pytest.raises(ConfigurationError):
+            design_size_uncertainty(data, 1_000, 0.10, rng, n_boot=5)

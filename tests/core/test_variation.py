@@ -1,0 +1,85 @@
+"""Tests for process-variation models."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_mle
+from repro.core.variation import (
+    LognormalVariation,
+    NoVariation,
+    SLACK_ELASTICITY,
+    SLACK_GEOMETRIC,
+    SLACK_RESISTANCE,
+    effective_population_beta,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+NOMINAL = WeibullDistribution(alpha=10.0, beta=8.0)
+
+
+class TestNoVariation:
+    def test_perturb_returns_nominal(self, rng):
+        models = NoVariation().perturb(NOMINAL, 5, rng)
+        assert all(m == NOMINAL for m in models)
+
+    def test_sample_lifetimes_matches_distribution(self, rng):
+        lifetimes = NoVariation().sample_lifetimes(NOMINAL, 50_000, rng)
+        fitted = fit_mle(lifetimes)
+        assert fitted.alpha == pytest.approx(10.0, rel=0.03)
+        assert fitted.beta == pytest.approx(8.0, rel=0.08)
+
+    def test_sample_lifetimes_shape(self, rng):
+        assert NoVariation().sample_lifetimes(NOMINAL, 7, rng).shape == (7,)
+
+
+class TestLognormalVariation:
+    def test_rejects_negative_sigmas(self):
+        with pytest.raises(ConfigurationError):
+            LognormalVariation(sigma_alpha=-0.1)
+        with pytest.raises(ConfigurationError):
+            LognormalVariation(sigma_beta=-0.1)
+
+    def test_zero_sigma_is_no_variation(self, rng):
+        models = LognormalVariation(0.0, 0.0).perturb(NOMINAL, 4, rng)
+        assert all(m.alpha == NOMINAL.alpha and m.beta == NOMINAL.beta
+                   for m in models)
+
+    def test_jitter_preserves_median_parameters(self, rng):
+        variation = LognormalVariation(sigma_alpha=0.2, sigma_beta=0.1)
+        models = variation.perturb(NOMINAL, 20_000, rng)
+        alphas = np.array([m.alpha for m in models])
+        betas = np.array([m.beta for m in models])
+        assert np.median(alphas) == pytest.approx(10.0, rel=0.02)
+        assert np.median(betas) == pytest.approx(8.0, rel=0.02)
+
+    def test_variation_widens_lifetime_spread(self, rng):
+        plain = NoVariation().sample_lifetimes(NOMINAL, 30_000, rng)
+        varied = LognormalVariation(sigma_alpha=0.3).sample_lifetimes(
+            NOMINAL, 30_000, rng)
+        assert varied.std() > plain.std() * 1.3
+
+    def test_variation_lowers_population_beta(self):
+        """The paper's claim: process variation shows up as lower beta."""
+        eff = effective_population_beta(
+            NOMINAL, LognormalVariation(sigma_alpha=0.15), n_devices=8_000)
+        assert eff < 8.0 * 0.8
+
+    def test_no_variation_keeps_population_beta(self):
+        eff = effective_population_beta(NOMINAL, NoVariation(),
+                                        n_devices=8_000)
+        assert eff == pytest.approx(8.0, rel=0.1)
+
+
+class TestSlackReferencePoints:
+    def test_values_from_paper(self):
+        assert SLACK_GEOMETRIC.alpha == pytest.approx(2.6e6)
+        assert SLACK_GEOMETRIC.beta == pytest.approx(12.94)
+        assert SLACK_ELASTICITY.beta == pytest.approx(7.2)
+        assert SLACK_RESISTANCE.beta == pytest.approx(8.58)
+
+    def test_geometric_variation_is_tightest(self):
+        # More variation sources -> lower beta -> wider relative window.
+        rel = [m.degradation_window() / m.alpha
+               for m in (SLACK_GEOMETRIC, SLACK_ELASTICITY)]
+        assert rel[0] < rel[1]

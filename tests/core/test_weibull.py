@@ -1,0 +1,231 @@
+"""Tests for the two-parameter Weibull wearout model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+ALPHAS = st.floats(min_value=0.01, max_value=1e7, allow_nan=False)
+BETAS = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_valid_parameters(self):
+        w = WeibullDistribution(alpha=10.0, beta=2.0)
+        assert w.alpha == 10.0
+        assert w.beta == 2.0
+
+    @pytest.mark.parametrize("alpha,beta", [
+        (0.0, 1.0), (-1.0, 1.0), (1.0, 0.0), (1.0, -2.0),
+        (math.inf, 1.0), (1.0, math.nan),
+    ])
+    def test_invalid_parameters_rejected(self, alpha, beta):
+        with pytest.raises(ConfigurationError):
+            WeibullDistribution(alpha=alpha, beta=beta)
+
+    def test_frozen(self):
+        w = WeibullDistribution(alpha=1.0, beta=1.0)
+        with pytest.raises(AttributeError):
+            w.alpha = 2.0
+
+
+class TestDistributionFunctions:
+    def test_reliability_at_zero_is_one(self):
+        w = WeibullDistribution(alpha=10.0, beta=12.0)
+        assert w.reliability(0.0) == 1.0
+
+    def test_reliability_at_alpha_is_inverse_e(self):
+        # R(alpha) = 1/e for every shape: the defining scale property.
+        for beta in (0.5, 1.0, 6.0, 12.0):
+            w = WeibullDistribution(alpha=123.0, beta=beta)
+            assert w.reliability(123.0) == pytest.approx(math.exp(-1))
+
+    def test_cdf_reliability_complementary(self):
+        w = WeibullDistribution(alpha=5.0, beta=3.0)
+        xs = np.linspace(0, 20, 50)
+        np.testing.assert_allclose(w.cdf(xs) + w.reliability(xs), 1.0,
+                                   atol=1e-12)
+
+    def test_beta_one_is_exponential(self):
+        w = WeibullDistribution(alpha=10.0, beta=1.0)
+        xs = np.linspace(0.1, 40, 25)
+        np.testing.assert_allclose(w.reliability(xs), np.exp(-xs / 10.0))
+
+    def test_pdf_integrates_to_one(self):
+        w = WeibullDistribution(alpha=7.0, beta=4.0)
+        xs = np.linspace(0, 30, 30_001)
+        integral = np.trapezoid(w.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_matches_cdf_derivative(self):
+        w = WeibullDistribution(alpha=7.0, beta=4.0)
+        x, h = 6.0, 1e-6
+        numeric = (w.cdf(x + h) - w.cdf(x - h)) / (2 * h)
+        assert w.pdf(x) == pytest.approx(numeric, rel=1e-5)
+
+    def test_pdf_at_zero_by_shape(self):
+        assert WeibullDistribution(1.0, 2.0).pdf(0.0) == 0.0
+        assert WeibullDistribution(4.0, 1.0).pdf(0.0) == pytest.approx(0.25)
+
+    def test_log_reliability_exact_under_underflow(self):
+        w = WeibullDistribution(alpha=1.0, beta=8.0)
+        # R(100) underflows to 0 but its log is exactly -(100**8).
+        assert w.reliability(100.0) == 0.0
+        assert w.log_reliability(100.0) == -(100.0 ** 8)
+
+    def test_hazard_monotonicity_by_shape(self):
+        xs = np.linspace(0.5, 20, 40)
+        increasing = WeibullDistribution(10.0, 3.0).hazard(xs)
+        assert np.all(np.diff(increasing) > 0)
+        constant = WeibullDistribution(10.0, 1.0).hazard(xs)
+        np.testing.assert_allclose(constant, 0.1)
+
+    def test_quantile_inverts_cdf(self):
+        w = WeibullDistribution(alpha=9.3, beta=12.0)
+        for q in (0.001, 0.25, 0.5, 0.9, 0.999):
+            assert w.cdf(w.quantile(q)) == pytest.approx(q, rel=1e-9)
+
+    def test_quantile_rejects_out_of_range(self):
+        w = WeibullDistribution(alpha=1.0, beta=1.0)
+        with pytest.raises(ConfigurationError):
+            w.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            w.quantile(-0.1)
+
+    @given(alpha=ALPHAS, beta=BETAS)
+    @settings(max_examples=60, deadline=None)
+    def test_reliability_decreasing_property(self, alpha, beta):
+        w = WeibullDistribution(alpha=alpha, beta=beta)
+        xs = np.linspace(0, 4 * alpha, 64)
+        rel = w.reliability(xs)
+        assert np.all(np.diff(rel) <= 1e-12)
+        assert np.all((rel >= 0) & (rel <= 1))
+
+    @given(alpha=ALPHAS, beta=BETAS, q=st.floats(0.001, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_roundtrip_property(self, alpha, beta, q):
+        w = WeibullDistribution(alpha=alpha, beta=beta)
+        assert w.cdf(w.quantile(q)) == pytest.approx(q, rel=1e-6)
+
+
+class TestMoments:
+    def test_mean_beta_one(self):
+        assert WeibullDistribution(10.0, 1.0).mean == pytest.approx(10.0)
+
+    def test_mean_approaches_alpha_for_large_beta(self):
+        assert WeibullDistribution(10.0, 50.0).mean == pytest.approx(
+            10.0, rel=0.02)
+
+    def test_median_below_mean_for_small_beta(self):
+        w = WeibullDistribution(10.0, 1.0)
+        assert w.median < w.mean
+
+    def test_mode_zero_for_beta_le_one(self):
+        assert WeibullDistribution(10.0, 1.0).mode == 0.0
+        assert WeibullDistribution(10.0, 0.5).mode == 0.0
+
+    def test_mode_positive_for_beta_above_one(self):
+        w = WeibullDistribution(10.0, 12.0)
+        assert 0 < w.mode < w.alpha
+
+    def test_variance_against_sampling(self, rng):
+        w = WeibullDistribution(alpha=10.0, beta=3.0)
+        samples = w.sample(size=200_000, rng=rng)
+        assert samples.var() == pytest.approx(w.variance, rel=0.05)
+        assert samples.mean() == pytest.approx(w.mean, rel=0.02)
+        assert w.std == pytest.approx(math.sqrt(w.variance))
+
+
+class TestSampling:
+    def test_scalar_sample(self, rng):
+        value = WeibullDistribution(10.0, 2.0).sample(rng=rng)
+        assert isinstance(value, float)
+        assert value > 0
+
+    def test_shaped_sample(self, rng):
+        out = WeibullDistribution(10.0, 2.0).sample(size=(3, 4), rng=rng)
+        assert out.shape == (3, 4)
+
+    def test_sample_distribution_matches_cdf(self, rng):
+        w = WeibullDistribution(alpha=9.3, beta=12.0)
+        samples = w.sample(size=100_000, rng=rng)
+        for x in (7.0, 9.0, 10.0, 11.0):
+            assert (samples <= x).mean() == pytest.approx(w.cdf(x),
+                                                          abs=0.01)
+
+    def test_reproducible_with_seed(self):
+        w = WeibullDistribution(5.0, 2.0)
+        a = w.sample(size=10, rng=np.random.default_rng(1))
+        b = w.sample(size=10, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestConditionalReliability:
+    def test_age_zero_is_unconditional(self):
+        w = WeibullDistribution(10.0, 8.0)
+        xs = np.linspace(0, 15, 10)
+        np.testing.assert_allclose(w.conditional_reliability(xs, 0.0),
+                                   w.reliability(xs))
+
+    def test_wearout_devices_degrade_with_age(self):
+        w = WeibullDistribution(10.0, 8.0)
+        fresh = w.conditional_reliability(2.0, age=0.0)
+        aged = w.conditional_reliability(2.0, age=8.0)
+        assert aged < fresh
+
+    def test_exponential_is_memoryless(self):
+        w = WeibullDistribution(10.0, 1.0)
+        assert w.conditional_reliability(3.0, age=0.0) == pytest.approx(
+            w.conditional_reliability(3.0, age=50.0))
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeibullDistribution(10.0, 8.0).conditional_reliability(1.0, -1)
+
+    def test_mean_residual_life_decreases_for_wearout(self):
+        w = WeibullDistribution(10.0, 8.0)
+        assert w.mean_residual_life(8.0) < w.mean_residual_life(0.0)
+        assert w.mean_residual_life(0.0) == pytest.approx(w.mean, rel=0.01)
+
+    def test_mean_residual_life_constant_for_exponential(self):
+        w = WeibullDistribution(10.0, 1.0)
+        assert w.mean_residual_life(20.0) == pytest.approx(
+            w.mean_residual_life(0.0), rel=0.02)
+
+
+class TestArchitecturalHelpers:
+    def test_degradation_window_shrinks_with_beta(self):
+        w1 = WeibullDistribution(1e6, 1.0)
+        w12 = WeibullDistribution(1e6, 12.0)
+        assert w12.degradation_window() < w1.degradation_window()
+
+    def test_degradation_window_scales_with_alpha(self):
+        w = WeibullDistribution(10.0, 8.0)
+        assert w.scaled(2.0).degradation_window() == pytest.approx(
+            2 * w.degradation_window())
+
+    def test_degradation_window_validates_bounds(self):
+        w = WeibullDistribution(10.0, 8.0)
+        with pytest.raises(ConfigurationError):
+            w.degradation_window(r_high=0.01, r_low=0.99)
+
+    def test_series_equivalent_matches_power(self):
+        w = WeibullDistribution(10.0, 8.0)
+        eq = w.series_equivalent(5)
+        xs = np.linspace(0.1, 15, 20)
+        np.testing.assert_allclose(eq.reliability(xs),
+                                   w.reliability(xs) ** 5, rtol=1e-10)
+
+    def test_series_equivalent_needs_positive_n(self):
+        with pytest.raises(ConfigurationError):
+            WeibullDistribution(10.0, 8.0).series_equivalent(0)
+
+    def test_scaled_preserves_shape(self):
+        w = WeibullDistribution(10.0, 8.0).scaled(0.17)
+        assert w.alpha == pytest.approx(1.7)
+        assert w.beta == 8.0

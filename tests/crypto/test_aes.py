@@ -1,0 +1,95 @@
+"""AES validated against FIPS-197 / SP 800-38A vectors plus properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+from repro.errors import ConfigurationError
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestFIPS197Vectors:
+    def test_aes128_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = "69c4e0d86a7b0430d8cdb78070b4c55a"
+        assert AES(key).encrypt_block(PLAINTEXT).hex() == expected
+
+    def test_aes192_appendix_c2(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617")
+        expected = "dda97ca4864cdfe06eaf70a0ec0d7191"
+        assert AES(key).encrypt_block(PLAINTEXT).hex() == expected
+
+    def test_aes256_appendix_c3(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f"
+                            "101112131415161718191a1b1c1d1e1f")
+        expected = "8ea2b7ca516745bfeafc49904b496089"
+        assert AES(key).encrypt_block(PLAINTEXT).hex() == expected
+
+    def test_sp800_38a_ecb_block(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = "3ad77bb40d7a3660a89ecaf32466ef97"
+        assert AES(key).encrypt_block(pt).hex() == expected
+
+    def test_all_zero_key_and_block(self):
+        expected = "66e94bd4ef8a2c3b884cfa59ca342b2e"
+        assert AES(bytes(16)).encrypt_block(bytes(16)).hex() == expected
+
+
+class TestSBox:
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox(self):
+        assert all(INV_SBOX[SBOX[a]] == a for a in range(256))
+
+    def test_no_fixed_points(self):
+        assert all(SBOX[a] != a for a in range(256))
+
+
+class TestBlockOps:
+    def test_decrypt_inverts_encrypt_all_key_sizes(self):
+        for size in (16, 24, 32):
+            cipher = AES(bytes(range(size)))
+            ct = cipher.encrypt_block(PLAINTEXT)
+            assert cipher.decrypt_block(ct) == PLAINTEXT
+
+    def test_invalid_key_length(self):
+        with pytest.raises(ConfigurationError):
+            AES(b"short")
+
+    def test_invalid_block_length(self):
+        cipher = AES(bytes(16))
+        with pytest.raises(ConfigurationError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ConfigurationError):
+            cipher.decrypt_block(b"short")
+
+    def test_round_counts(self):
+        assert AES(bytes(16)).rounds == 10
+        assert AES(bytes(24)).rounds == 12
+        assert AES(bytes(32)).rounds == 14
+
+    def test_avalanche(self):
+        cipher = AES(bytes(16))
+        a = cipher.encrypt_block(bytes(16))
+        flipped = bytes([1] + [0] * 15)
+        b = cipher.encrypt_block(flipped)
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing > 40  # ~half of 128 bits should flip
+
+    @given(key=st.binary(min_size=16, max_size=16),
+           block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

@@ -1,0 +1,129 @@
+"""Tests for CTR mode, CBC-MAC sealing, and the passcode KDF."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import (
+    cbc_mac,
+    ctr_decrypt,
+    ctr_encrypt,
+    ctr_keystream,
+    derive_key,
+    seal,
+    unseal,
+)
+from repro.errors import AuthenticationError, ConfigurationError
+
+KEY = bytes(range(16))
+NONCE = b"\x01" * 8
+
+
+class TestCTR:
+    def test_roundtrip(self):
+        msg = b"a message that spans multiple AES blocks easily" * 3
+        assert ctr_decrypt(KEY, NONCE, ctr_encrypt(KEY, NONCE, msg)) == msg
+
+    def test_empty_message(self):
+        assert ctr_encrypt(KEY, NONCE, b"") == b""
+
+    def test_keystream_matches_block_cipher(self):
+        stream = ctr_keystream(AES(KEY), NONCE, 32)
+        block0 = AES(KEY).encrypt_block(NONCE + (0).to_bytes(8, "big"))
+        block1 = AES(KEY).encrypt_block(NONCE + (1).to_bytes(8, "big"))
+        assert stream == block0 + block1
+
+    def test_keystream_truncates(self):
+        assert len(ctr_keystream(AES(KEY), NONCE, 5)) == 5
+
+    def test_different_nonce_different_stream(self):
+        a = ctr_encrypt(KEY, b"\x01" * 8, b"same message")
+        b = ctr_encrypt(KEY, b"\x02" * 8, b"same message")
+        assert a != b
+
+    def test_nonce_length_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ctr_encrypt(KEY, b"short", b"msg")
+
+    @given(msg=st.binary(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, msg):
+        assert ctr_decrypt(KEY, NONCE, ctr_encrypt(KEY, NONCE, msg)) == msg
+
+
+class TestCBCMAC:
+    def test_deterministic(self):
+        assert cbc_mac(KEY, b"hello") == cbc_mac(KEY, b"hello")
+
+    def test_sensitive_to_message(self):
+        assert cbc_mac(KEY, b"hello") != cbc_mac(KEY, b"hellp")
+
+    def test_sensitive_to_key(self):
+        assert cbc_mac(KEY, b"hello") != cbc_mac(bytes(16), b"hello")
+
+    def test_length_prefix_blocks_extension_shapes(self):
+        # m and m || 0x00 pad to the same block content without the
+        # length prefix; with it they must differ.
+        assert cbc_mac(KEY, b"A" * 15) != cbc_mac(KEY, b"A" * 15 + b"\x00")
+
+    def test_tag_length(self):
+        assert len(cbc_mac(KEY, b"x")) == 16
+
+
+class TestSealUnseal:
+    def test_roundtrip(self):
+        blob = seal(KEY, NONCE, b"disk contents")
+        assert unseal(KEY, NONCE, blob) == b"disk contents"
+
+    def test_wrong_key_fails_authentication(self):
+        blob = seal(KEY, NONCE, b"disk contents")
+        with pytest.raises(AuthenticationError):
+            unseal(bytes(16), NONCE, blob)
+
+    def test_tampered_ciphertext_fails(self):
+        blob = bytearray(seal(KEY, NONCE, b"disk contents"))
+        blob[0] ^= 1
+        with pytest.raises(AuthenticationError):
+            unseal(KEY, NONCE, bytes(blob))
+
+    def test_tampered_tag_fails(self):
+        blob = bytearray(seal(KEY, NONCE, b"disk contents"))
+        blob[-1] ^= 1
+        with pytest.raises(AuthenticationError):
+            unseal(KEY, NONCE, bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unseal(KEY, NONCE, b"short")
+
+    def test_blob_layout(self):
+        blob = seal(KEY, NONCE, b"xyz")
+        assert len(blob) == 3 + 16
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        assert derive_key("pass", b"salt") == derive_key("pass", b"salt")
+
+    def test_passcode_sensitivity(self):
+        assert derive_key("pass", b"salt") != derive_key("pasS", b"salt")
+
+    def test_salt_sensitivity(self):
+        assert derive_key("pass", b"salt1") != derive_key("pass", b"salt2")
+
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_key_lengths(self, key_len):
+        assert len(derive_key("pass", b"salt", key_len=key_len)) == key_len
+
+    def test_invalid_key_len(self):
+        with pytest.raises(ConfigurationError):
+            derive_key("pass", b"salt", key_len=20)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            derive_key("pass", b"salt", iterations=0)
+
+    def test_iterations_change_output(self):
+        assert (derive_key("pass", b"salt", iterations=2)
+                != derive_key("pass", b"salt", iterations=3))

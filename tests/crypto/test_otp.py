@@ -1,0 +1,85 @@
+"""Tests for one-time-pad encryption and single-use key semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.otp import OneTimeKey, generate_pad, xor_decrypt, xor_encrypt
+from repro.errors import ConfigurationError, KeyConsumedError
+
+
+class TestXor:
+    def test_roundtrip(self):
+        key = b"\x01\x02\x03\x04\x05"
+        assert xor_decrypt(key, xor_encrypt(key, b"hello")) == b"hello"
+
+    def test_longer_key_ok_never_recycled(self):
+        key = bytes(range(10))
+        ct = xor_encrypt(key, b"abc")
+        assert len(ct) == 3
+        assert ct == bytes(c ^ k for c, k in zip(b"abc", key))
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            xor_encrypt(b"ab", b"abc")
+
+    def test_perfect_secrecy_shape(self, rng):
+        """Same plaintext, fresh keys -> ciphertext bytes ~uniform."""
+        counts = np.zeros(256, dtype=int)
+        for _ in range(4000):
+            ct = xor_encrypt(generate_pad(1, rng), b"\x41")
+            counts[ct[0]] += 1
+        assert counts.max() < 4000 * 0.02
+
+    @given(msg=st.binary(max_size=64), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, msg, data):
+        key = data.draw(st.binary(min_size=len(msg), max_size=len(msg) + 8))
+        assert xor_decrypt(key, xor_encrypt(key, msg)) == msg
+
+
+class TestGeneratePad:
+    def test_length(self, rng):
+        assert len(generate_pad(100, rng)) == 100
+
+    def test_rejects_non_positive(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_pad(0, rng)
+
+    def test_reproducible_with_seed(self):
+        a = generate_pad(32, np.random.default_rng(5))
+        b = generate_pad(32, np.random.default_rng(5))
+        assert a == b
+
+
+class TestOneTimeKey:
+    def test_single_use(self):
+        key = OneTimeKey(b"\x10" * 8)
+        assert key.use() == b"\x10" * 8
+        with pytest.raises(KeyConsumedError):
+            key.use()
+
+    def test_zeroized_after_use(self):
+        key = OneTimeKey(b"\xff" * 4)
+        key.use()
+        assert key.consumed
+        assert key._material == b"\x00" * 4
+
+    def test_encrypt_consumes(self):
+        key = OneTimeKey(b"\x01" * 5)
+        ct = key.encrypt(b"hello")
+        assert ct == xor_encrypt(b"\x01" * 5, b"hello")
+        with pytest.raises(KeyConsumedError):
+            key.encrypt(b"again")
+
+    def test_decrypt_consumes(self):
+        material = b"\x07" * 5
+        ct = xor_encrypt(material, b"hello")
+        key = OneTimeKey(material)
+        assert key.decrypt(ct) == b"hello"
+        with pytest.raises(KeyConsumedError):
+            key.decrypt(ct)
+
+    def test_length_property(self):
+        assert OneTimeKey(b"abc").length == 3

@@ -1,0 +1,136 @@
+"""Tests that every registered experiment runs and matches paper anchors.
+
+These are correctness checks on the experiment *data* (the benchmarks
+re-run the same callables for timing and printing).  Heavy sweeps use
+reduced grids here; full grids run in the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.fig01_wearout_model import run as run_fig1
+from repro.experiments.fig03_degradation_techniques import run as run_fig3
+from repro.experiments.fig08_09_pads import run_fig8, run_fig9
+from repro.experiments.fig10_density_costs import run_fig10, run_sec65
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import ExperimentResult, format_series, format_table
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        lines = format_table(["a", "bb"], [[1, 2.5], [None, 1e9]])
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        assert "1.000e+09" in lines[3] or "1e+09" in lines[3]
+
+    def test_format_series(self):
+        line = format_series("beta=8", [(10, 1e6), (12, None)])
+        assert line.startswith("beta=8:")
+        assert "12->-" in line
+
+    def test_render(self):
+        result = ExperimentResult("x", "t", ["row"])
+        assert result.render() == "== x: t ==\nrow"
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"fig1", "fig3", "fig4a", "fig4b", "fig4c", "fig4d",
+                    "table1", "fig5a", "fig5b", "fig8", "fig9", "fig10",
+                    "sec6.5.2"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_ablations_registered(self):
+        assert {"ablation-structures", "ablation-floor",
+                "ablation-montecarlo", "sec4.1.5"} <= set(EXPERIMENTS)
+
+
+class TestFig1:
+    def test_curves_and_anchor(self):
+        result = run_fig1()
+        curves = result.data["curves"]
+        assert set(curves) == {1, 6, 12}
+        # Sharper shape -> taller PDF peak.
+        assert curves[12]["pdf"].max() > curves[6]["pdf"].max()
+        assert result.lines
+
+
+class TestFig3:
+    def test_anchors(self):
+        data = run_fig3().data
+        assert data["fig3a"]["R(1)"] > 0.99
+        assert data["fig3a"]["R(2)"] < 0.01
+        rows_b = {row[0]: row for row in data["fig3b"]}
+        assert rows_b[40][1] == pytest.approx(0.98, abs=0.005)
+        assert rows_b[40][2] == pytest.approx(0.022, abs=0.003)
+
+
+class TestPadsGrids:
+    def test_fig8_success_space_structure(self):
+        data = run_fig8(heights=(2, 8), ks=(1, 8, 64)).data
+        recv, adv = data["receiver"], data["adversary"]
+        # Receiver beats adversary everywhere; H=8 kills the adversary
+        # at k >= 8.
+        assert np.all(recv >= adv - 1e-12)
+        h8 = data["heights"].index(8)
+        k8 = data["ks"].index(8)
+        assert adv[h8, k8] < 1e-6
+
+    def test_fig9_height_compensates_alpha(self):
+        data = run_fig9(alphas=(10, 40), heights=(2, 8)).data
+        adv = data["adversary"]
+        # Looser wearout (higher alpha) helps the adversary at low H...
+        assert adv[0, 1] > adv[0, 0]
+        # ...but H = 8 blocks it regardless.
+        assert np.all(adv[1, :] < 1e-4)
+
+
+class TestDensityCosts:
+    def test_fig10_within_paper_labels(self):
+        result = run_fig10()
+        for height, measured in result.data["densities"].items():
+            assert measured > 0
+        assert result.data["pads_h4_n128"] == pytest.approx(4687, rel=0.1)
+
+    def test_sec65_cost(self):
+        cost = run_sec65().data["cost"]
+        assert cost.total_latency_s == pytest.approx(8.512e-5)
+
+
+class TestAblations:
+    def test_structures_ordering(self):
+        rows = ablations.run_structures(access_bound=2_000).data["rows"]
+        by_name = {row[0]: row[1] for row in rows}
+        assert (by_name["k=10%*n encoded"]
+                < by_name["1-of-n parallel"]
+                < by_name["series chain (alpha -> 1)"])
+
+    def test_floor_cost_multiplier_matches_paper(self):
+        rows = ablations.run_reliability_floor().data["rows"]
+        by_floor = {row[0]: row[2] for row in rows}
+        # Paper: 99.99999% floor costs ~3x the baseline.
+        assert by_floor[0.9999999] == pytest.approx(3.0, rel=0.3)
+
+    def test_montecarlo_agreement(self):
+        result = ablations.run_montecarlo_validation(access_bound=500,
+                                                     trials=150)
+        summary = result.data["summary"]
+        expected = result.data["expected"]
+        assert summary.mean == pytest.approx(expected, rel=0.01)
+        design = result.data["design"]
+        assert (result.data["bounds"] >= design.access_bound).mean() > 0.95
+
+    def test_replication_plan(self):
+        plan = ablations.run_replication().data["plan"]
+        assert plan.m == 10
+
+    def test_window_modes_smaller_bound(self):
+        result = ablations.run_window_modes(access_bound=5_000)
+        rows = result.data["rows"]
+        assert len(rows) == 6
+        # The fractional window is never worse than the integer one.
+        for _, integer, fractional, ratio in rows:
+            if integer is not None:
+                assert fractional <= integer
+                assert ratio >= 1.0

@@ -1,0 +1,66 @@
+"""Tests for the extension experiments (beyond the paper's evaluation)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_availability,
+    run_failure_modes,
+    run_temperature,
+    run_tolerance_margins,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        assert {"ext-failure-modes", "ext-temperature", "ext-tolerance",
+                "ext-availability", "ext-rotation", "ext-arity",
+                "ext-deployment"} <= set(EXPERIMENTS)
+
+
+class TestFailureModes:
+    def test_ceiling_violation_grows_with_stiction(self):
+        result = run_failure_modes()
+        probs = [row[1] for row in result.data["rows"]]
+        assert probs[0] < 1e-9
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_tolerable_fraction_below_k_over_n(self):
+        result = run_failure_modes()
+        design = result.data["design"]
+        assert result.data["q_max"] < design.k / design.n
+
+
+class TestTemperature:
+    def test_no_gain_anywhere(self):
+        result = run_temperature()
+        assert result.data["max_factor"] <= 1.0
+        assert (result.data["best_attacker_mean"]
+                <= result.data["room_temperature_mean"])
+
+
+class TestTolerance:
+    def test_acceptance_outcomes(self):
+        result = run_tolerance_margins()
+        assert result.data["good"].accepted
+        assert not result.data["drifted"].accepted
+        assert result.data["alpha_margin"].relative_width > 0.02
+
+
+class TestAvailability:
+    def test_loss_monotone_in_drain(self):
+        result = run_availability()
+        losses = [row[2] for row in result.data["rows"]]
+        assert losses == sorted(losses)
+        assert losses[0] == pytest.approx(0.0)
+
+
+class TestDeployment:
+    def test_replay_holds_both_promises(self):
+        from repro.experiments.deployment import run_deployment
+
+        result = run_deployment()
+        replay = result.data["report"]
+        assert replay.survived
+        assert not replay.attacker_breached
+        assert replay.owner_logins > 0

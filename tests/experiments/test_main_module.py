@@ -1,0 +1,26 @@
+"""Tests for the ``python -m repro.experiments`` entry point."""
+
+from repro.experiments.__main__ import main
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4b" in out and "ext-rotation" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["sec6.5.2"]) == 0
+        out = capsys.readouterr().out
+        assert "0.08512" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "report.txt"
+        assert main(["sec6.5.2", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "0.08512" in text
+        assert "wrote 1 experiments" in capsys.readouterr().err

@@ -1,0 +1,185 @@
+"""One table-driven module asserting every EXPERIMENTS.md claim.
+
+Each row of the comparison table in EXPERIMENTS.md has a test here, so
+the document cannot silently drift from what the code produces.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import (
+    PAPER_CRITERIA,
+    solve_encoded,
+    solve_encoded_fractional,
+    solve_unencoded_fractional,
+    solve_with_upper_bound,
+)
+from repro.core.replication import plan_replication
+from repro.core.structures import (
+    SeriesStructure,
+    k_of_n_reliability,
+    parallel_reliability,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.pads.analysis import (
+    adversary_success_probability,
+    receiver_success_probability,
+)
+from repro.pads.layout import pads_per_chip, retrieval_cost, trees_per_mm2
+
+LAB = 91_250
+
+
+class TestFig1Anchors:
+    @pytest.mark.parametrize("beta,window", [
+        (1, 4.595e6), (6, 8.253e5), (12, 4.541e5),
+    ])
+    def test_window_widths(self, beta, window):
+        w = WeibullDistribution(1e6, beta)
+        assert w.degradation_window() == pytest.approx(window, rel=0.01)
+
+    def test_r_alpha_is_inverse_e(self):
+        for beta in (1, 6, 12):
+            assert WeibullDistribution(1e6, beta).reliability(1e6) == \
+                pytest.approx(math.exp(-1))
+
+
+class TestFig3Anchors:
+    def test_3a(self):
+        w = WeibullDistribution(1.7, 12)
+        assert w.reliability(1) == pytest.approx(0.9983, abs=0.0005)
+        assert w.reliability(2) == pytest.approx(0.0009, abs=0.0005)
+
+    def test_3b(self):
+        w = WeibullDistribution(9.3, 12)
+        assert float(parallel_reliability(w.reliability(10), 40)) == \
+            pytest.approx(0.9787, abs=0.001)
+        assert float(parallel_reliability(w.reliability(11), 40)) == \
+            pytest.approx(0.0219, abs=0.001)
+
+    def test_series_chain(self):
+        assert SeriesStructure.devices_for_scale_reduction(2, 12) == 4096
+
+
+class TestFig4Anchors:
+    def test_4a_exponential(self):
+        totals = [
+            solve_unencoded_fractional(WeibullDistribution(a, 8), LAB,
+                                       PAPER_CRITERIA).total_devices
+            for a in (10, 14, 20)
+        ]
+        assert totals[0] == pytest.approx(1.32e7, rel=0.05)
+        assert totals[1] == pytest.approx(4.26e8, rel=0.05)
+        assert totals[2] == pytest.approx(1.32e11, rel=0.05)
+
+    def test_4b_paper_quote_675250(self):
+        point = solve_encoded(WeibullDistribution(14, 8), LAB, 0.10,
+                              PAPER_CRITERIA)
+        assert point.total_devices == 675_324  # paper: 675,250
+
+    def test_4b_linear_range(self):
+        lo = solve_encoded_fractional(WeibullDistribution(10, 8), LAB,
+                                      0.10, PAPER_CRITERIA).total_devices
+        hi = solve_encoded_fractional(WeibullDistribution(20, 8), LAB,
+                                      0.10, PAPER_CRITERIA).total_devices
+        assert lo == pytest.approx(4.84e5, rel=0.05)
+        assert hi == pytest.approx(9.39e5, rel=0.05)
+
+    def test_4c_upper_bound_quote_91326(self):
+        point = solve_encoded(WeibullDistribution(14, 8), LAB, 0.10,
+                              PAPER_CRITERIA)
+        assert point.expected_access_bound() == pytest.approx(
+            91_326, rel=0.002)  # paper: 91,326
+
+    def test_4d_monotone_drops(self):
+        device = WeibullDistribution(14, 8)
+        baseline = solve_encoded_fractional(device, LAB, 0.10,
+                                            PAPER_CRITERIA).total_devices
+        at_100k = solve_with_upper_bound(device, LAB, 100_000, 0.10,
+                                         PAPER_CRITERIA).total_devices
+        at_200k = solve_with_upper_bound(device, LAB, 200_000, 0.10,
+                                         PAPER_CRITERIA).total_devices
+        assert at_200k < at_100k < baseline
+        assert baseline / at_200k > 10
+
+
+class TestFig5Anchors:
+    def test_targeting_encoded_order(self):
+        point = solve_encoded_fractional(WeibullDistribution(10, 8), 100,
+                                         0.10, PAPER_CRITERIA)
+        # Paper's comparable point: ~810 switches.
+        assert point.total_devices == pytest.approx(530, rel=0.1)
+
+
+class TestFig8And9Anchors:
+    def test_h8_kills_adversary(self):
+        device = WeibullDistribution(10, 1)
+        for k in (8, 16, 64):
+            assert adversary_success_probability(device, 8, 128, k) < 1e-6
+
+    def test_receiver_space_at_h8(self):
+        device = WeibullDistribution(10, 1)
+        assert receiver_success_probability(device, 8, 128, 8) > 0.999
+
+
+class TestFig10Anchors:
+    PAPER = {2: 5e6, 3: 2e6, 4: 6e5, 5: 2e5, 6: 1e5,
+             7: 4e4, 8: 2e4, 9: 9e3, 10: 4e3, 11: 2e3}
+
+    def test_every_bar(self):
+        for height, paper in self.PAPER.items():
+            assert trees_per_mm2(height) == pytest.approx(paper, rel=0.30)
+
+    def test_pads_per_chip(self):
+        assert pads_per_chip(4, 128) == pytest.approx(4687, rel=0.10)
+
+
+class TestSection65Anchors:
+    def test_latency_and_energy(self):
+        cost = retrieval_cost(4, 128)
+        assert cost.traversal_latency_s == pytest.approx(5.12e-6)
+        assert cost.total_latency_s == pytest.approx(8.512e-5)
+        assert cost.energy_j == pytest.approx(5.12e-18)
+
+
+class TestSection415Anchor:
+    def test_replication_schedule(self):
+        plan = plan_replication(500)
+        assert plan.m == 10
+        assert plan.module_duration_months == pytest.approx(6.0, rel=0.01)
+
+
+class TestFindings:
+    def test_same_path_dominates_eq15_at_h8(self):
+        """Finding 1: same-path evil maid beats Eq. 15 in the secure
+        regime (H=8, n=16, k=2: 0.78% vs 0.14%)."""
+        device = WeibullDistribution(10, 1)
+        eq15 = adversary_success_probability(device, 8, 16, 2)
+        same_path = (2.0 ** -7
+                     * receiver_success_probability(device, 8, 16, 2))
+        assert same_path > 3 * eq15
+        assert same_path == pytest.approx(0.0078, rel=0.05)
+        assert eq15 == pytest.approx(0.0014, rel=0.1)
+
+    def test_integer_window_resonance(self):
+        """Finding 2: alpha=18, beta=8, k=10% resonates (integer window)
+        while alpha=14 does not."""
+        resonant = solve_encoded(WeibullDistribution(18, 8), LAB, 0.10,
+                                 PAPER_CRITERIA)
+        smooth = solve_encoded(WeibullDistribution(14, 8), LAB, 0.10,
+                               PAPER_CRITERIA)
+        assert resonant.total_devices > 50 * smooth.total_devices
+
+    def test_stated_criteria_infeasible_for_fig3b_bank(self):
+        """Finding 3: the paper's stated 99%/1% criteria reject its own
+        Fig. 3b working point."""
+        from repro.core.degradation import (
+            DEFAULT_CRITERIA,
+            max_reliable_accesses,
+        )
+
+        device = WeibullDistribution(9.3, 12)
+        assert max_reliable_accesses(device, 40, 1, DEFAULT_CRITERIA) \
+            is None

@@ -1,0 +1,142 @@
+"""Tests for GF(2^8) arithmetic, including hypothesis field axioms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gf.field import GF256, GF_AES, GF_RS
+
+BYTES = st.integers(0, 255)
+NONZERO = st.integers(1, 255)
+
+
+class TestConstruction:
+    def test_standard_fields_build(self):
+        assert GF_RS.primitive_poly == 0x11D
+        assert GF_AES.primitive_poly == 0x11B
+
+    def test_rejects_wrong_degree(self):
+        with pytest.raises(ConfigurationError):
+            GF256(primitive_poly=0xFF)
+
+    def test_rejects_non_primitive_generator(self):
+        # 2 is not primitive modulo the AES polynomial 0x11B.
+        with pytest.raises(ConfigurationError):
+            GF256(primitive_poly=0x11B, generator=2)
+
+    def test_exp_log_roundtrip(self):
+        for a in range(1, 256):
+            assert GF_RS.exp(GF_RS.log(a)) == a
+
+
+class TestScalarOps:
+    def test_known_products(self):
+        # 2 * 2 = 4; x^7 * x = x^8 = poly reduction.
+        assert GF_RS.mul(2, 2) == 4
+        assert GF_RS.mul(0x80, 2) == 0x11D ^ 0x100
+
+    def test_mul_by_zero(self):
+        assert GF_RS.mul(0, 77) == 0
+        assert GF_RS.mul(77, 0) == 0
+
+    def test_mul_by_one_identity(self):
+        for a in (0, 1, 7, 255):
+            assert GF_RS.mul(a, 1) == a
+
+    def test_div_inverts_mul(self):
+        for a, b in [(5, 9), (200, 3), (255, 254)]:
+            assert GF_RS.div(GF_RS.mul(a, b), b) == a
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF_RS.div(5, 0)
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert GF_RS.mul(a, GF_RS.inverse(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF_RS.inverse(0)
+
+    def test_pow(self):
+        assert GF_RS.pow(2, 0) == 1
+        assert GF_RS.pow(2, 1) == 2
+        assert GF_RS.pow(2, 8) == 0x11D ^ 0x100
+        assert GF_RS.pow(0, 5) == 0
+        assert GF_RS.pow(0, 0) == 1
+
+    def test_pow_negative_exponent(self):
+        for a in (1, 2, 77):
+            assert GF_RS.mul(GF_RS.pow(a, -1), a) == 1
+
+    def test_pow_zero_negative_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF_RS.pow(0, -1)
+
+    def test_log_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF_RS.log(0)
+
+
+class TestFieldAxioms:
+    @given(a=BYTES, b=BYTES)
+    @settings(max_examples=200)
+    def test_mul_commutative(self, a, b):
+        assert GF_RS.mul(a, b) == GF_RS.mul(b, a)
+
+    @given(a=BYTES, b=BYTES, c=BYTES)
+    @settings(max_examples=200)
+    def test_mul_associative(self, a, b, c):
+        assert GF_RS.mul(GF_RS.mul(a, b), c) == GF_RS.mul(a, GF_RS.mul(b, c))
+
+    @given(a=BYTES, b=BYTES, c=BYTES)
+    @settings(max_examples=200)
+    def test_distributive(self, a, b, c):
+        assert GF_RS.mul(a, b ^ c) == GF_RS.mul(a, b) ^ GF_RS.mul(a, c)
+
+    @given(a=BYTES)
+    @settings(max_examples=100)
+    def test_additive_self_inverse(self, a):
+        assert GF_RS.add(a, a) == 0
+
+    @given(a=NONZERO, b=NONZERO)
+    @settings(max_examples=200)
+    def test_division_consistent(self, a, b):
+        assert GF_RS.mul(GF_RS.div(a, b), b) == a
+
+    @given(a=NONZERO)
+    @settings(max_examples=100)
+    def test_fermat_little_theorem(self, a):
+        assert GF_RS.pow(a, 255) == 1
+
+
+class TestVectorOps:
+    def test_mul_vec_matches_scalar(self, rng):
+        a = rng.integers(0, 256, 500, dtype=np.uint8)
+        b = rng.integers(0, 256, 500, dtype=np.uint8)
+        out = GF_RS.mul_vec(a, b)
+        for i in range(0, 500, 37):
+            assert out[i] == GF_RS.mul(int(a[i]), int(b[i]))
+
+    def test_mul_vec_broadcasts_scalar(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        out = GF_RS.mul_vec(a, np.uint8(2))
+        assert list(out) == [GF_RS.mul(v, 2) for v in (1, 2, 3)]
+
+    def test_div_vec_matches_scalar(self, rng):
+        a = rng.integers(0, 256, 200, dtype=np.uint8)
+        b = rng.integers(1, 256, 200, dtype=np.uint8)
+        out = GF_RS.div_vec(a, b)
+        for i in range(0, 200, 17):
+            assert out[i] == GF_RS.div(int(a[i]), int(b[i]))
+
+    def test_div_vec_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF_RS.div_vec(np.array([1], dtype=np.uint8),
+                          np.array([0], dtype=np.uint8))
+
+    def test_elements(self):
+        assert len(list(GF_RS.elements())) == 256

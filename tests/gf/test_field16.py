@@ -1,0 +1,89 @@
+"""Tests for GF(2^16), including hypothesis field axioms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gf.field16 import GF65536, gf65536
+
+WORDS = st.integers(0, 65535)
+NONZERO = st.integers(1, 65535)
+
+
+@pytest.fixture(scope="module")
+def field():
+    return gf65536()
+
+
+class TestConstruction:
+    def test_singleton_cached(self):
+        assert gf65536() is gf65536()
+
+    def test_rejects_wrong_degree(self):
+        with pytest.raises(ConfigurationError):
+            GF65536(primitive_poly=0x11D)
+
+    def test_generator_and_poly(self, field):
+        assert field.generator == 2
+        assert field.primitive_poly == 0x1100B
+
+
+class TestScalarOps:
+    def test_mul_identities(self, field):
+        assert field.mul(0, 12345) == 0
+        assert field.mul(1, 12345) == 12345
+        assert field.mul(2, 2) == 4
+
+    def test_reduction(self, field):
+        # x^15 * x = x^16 reduces by the primitive polynomial.
+        assert field.mul(0x8000, 2) == 0x1100B ^ 0x10000
+
+    def test_inverse_spot_checks(self, field):
+        for a in (1, 2, 255, 256, 40_000, 65_535):
+            assert field.mul(a, field.inverse(a)) == 1
+
+    def test_div_inverts_mul(self, field):
+        assert field.div(field.mul(777, 555), 555) == 777
+
+    def test_zero_division(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            field.inverse(0)
+
+    def test_pow(self, field):
+        assert field.pow(2, 0) == 1
+        assert field.pow(2, 16) == 0x1100B ^ 0x10000
+        assert field.pow(0, 3) == 0
+        assert field.mul(field.pow(3, -1), 3) == 1
+
+
+class TestFieldAxioms:
+    @given(a=WORDS, b=WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, a, b):
+        field = gf65536()
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(a=WORDS, b=WORDS, c=WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_distributive(self, a, b, c):
+        field = gf65536()
+        assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+
+    @given(a=NONZERO)
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_property(self, a):
+        field = gf65536()
+        assert field.mul(a, field.inverse(a)) == 1
+
+
+class TestVectorOps:
+    def test_mul_vec_matches_scalar(self, field, rng):
+        a = rng.integers(0, 1 << 16, 300, dtype=np.uint32).astype(np.uint16)
+        b = rng.integers(0, 1 << 16, 300, dtype=np.uint32).astype(np.uint16)
+        out = field.mul_vec(a, b)
+        for i in range(0, 300, 29):
+            assert out[i] == field.mul(int(a[i]), int(b[i]))

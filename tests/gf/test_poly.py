@@ -1,0 +1,168 @@
+"""Tests for polynomials over GF(256)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gf.field import GF_AES, GF_RS
+from repro.gf.poly import Poly, lagrange_interpolate
+
+COEFFS = st.lists(st.integers(0, 255), min_size=0, max_size=8)
+
+
+class TestConstruction:
+    def test_trailing_zeros_trimmed(self):
+        assert Poly([1, 2, 0, 0]).coeffs == (1, 2)
+
+    def test_zero_polynomial(self):
+        assert Poly([]).is_zero
+        assert Poly([0, 0]).is_zero
+        assert Poly.zero().degree == -1
+
+    def test_one_and_monomial(self):
+        assert Poly.one().coeffs == (1,)
+        assert Poly.monomial(3, 5).coeffs == (0, 0, 0, 5)
+
+    def test_monomial_rejects_negative_degree(self):
+        with pytest.raises(ConfigurationError):
+            Poly.monomial(-1)
+
+    def test_rejects_out_of_range_coeffs(self):
+        with pytest.raises(ConfigurationError):
+            Poly([300])
+
+    def test_equality_includes_field(self):
+        assert Poly([1, 2], GF_RS) != Poly([1, 2], GF_AES)
+        assert Poly([1, 2]) == Poly([1, 2])
+
+    def test_cross_field_arithmetic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Poly([1], GF_RS) + Poly([1], GF_AES)
+
+
+class TestArithmetic:
+    def test_addition_is_xor(self):
+        assert (Poly([1, 2]) + Poly([3, 2])).coeffs == (2,)
+
+    def test_addition_identity(self):
+        p = Poly([5, 6, 7])
+        assert p + Poly.zero() == p
+
+    def test_multiplication_known(self):
+        # (1 + x)(1 + x) = 1 + x^2 in characteristic 2.
+        assert (Poly([1, 1]) * Poly([1, 1])).coeffs == (1, 0, 1)
+
+    def test_multiplication_by_zero(self):
+        assert (Poly([1, 2]) * Poly.zero()).is_zero
+
+    def test_scale(self):
+        p = Poly([1, 2]).scale(3)
+        assert p.coeffs == (3, 6)
+
+    def test_shift(self):
+        assert Poly([1, 2]).shift(2).coeffs == (0, 0, 1, 2)
+        with pytest.raises(ConfigurationError):
+            Poly([1]).shift(-1)
+
+    def test_divmod_roundtrip(self):
+        a = Poly([5, 3, 1, 7, 2])
+        b = Poly([1, 1, 3])
+        q, r = divmod(a, b)
+        assert q * b + r == a
+        assert r.degree < b.degree
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            divmod(Poly([1]), Poly.zero())
+
+    def test_floordiv_and_mod(self):
+        a, b = Poly([5, 3, 1, 7, 2]), Poly([1, 1, 3])
+        q, r = divmod(a, b)
+        assert a // b == q
+        assert a % b == r
+
+    @given(a=COEFFS, b=COEFFS)
+    @settings(max_examples=80)
+    def test_mul_commutative(self, a, b):
+        assert Poly(a) * Poly(b) == Poly(b) * Poly(a)
+
+    @given(a=COEFFS, b=COEFFS)
+    @settings(max_examples=80)
+    def test_divmod_invariant(self, a, b):
+        pb = Poly(b)
+        if pb.is_zero:
+            return
+        pa = Poly(a)
+        q, r = divmod(pa, pb)
+        assert q * pb + r == pa
+
+    @given(a=COEFFS, b=COEFFS, x=st.integers(0, 255))
+    @settings(max_examples=80)
+    def test_evaluation_homomorphism(self, a, b, x):
+        pa, pb = Poly(a), Poly(b)
+        assert (pa * pb)(x) == GF_RS.mul(pa(x), pb(x))
+        assert (pa + pb)(x) == pa(x) ^ pb(x)
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert Poly([7])(100) == 7
+
+    def test_known_polynomial(self):
+        # p(x) = 1 + 2x at x = 3: 1 ^ mul(2,3) = 1 ^ 6 = 7.
+        assert Poly([1, 2])(3) == 7
+
+    def test_eval_many_matches_scalar(self):
+        p = Poly([9, 4, 7, 1])
+        xs = list(range(0, 256, 15))
+        out = p.eval_many(xs)
+        assert [int(v) for v in out] == [p(x) for x in xs]
+
+    def test_zero_poly_evaluates_zero(self):
+        assert Poly.zero()(5) == 0
+
+
+class TestDerivative:
+    def test_even_terms_vanish(self):
+        # d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2.
+        p = Poly([10, 20, 30, 40])
+        assert p.derivative().coeffs == (20, 0, 40)
+
+    def test_constant_derivative_zero(self):
+        assert Poly([5]).derivative().is_zero
+
+    def test_derivative_of_product_rule_spot(self):
+        # (fg)' = f'g + fg' must hold in any ring.
+        f, g = Poly([3, 1, 4]), Poly([1, 5])
+        lhs = (f * g).derivative()
+        rhs = f.derivative() * g + f * g.derivative()
+        assert lhs == rhs
+
+
+class TestLagrange:
+    def test_recovers_constant_term(self):
+        p = Poly([42, 17, 93])
+        points = [(x, p(x)) for x in (1, 2, 3)]
+        assert lagrange_interpolate(points, x0=0) == 42
+
+    def test_evaluates_at_arbitrary_point(self):
+        p = Poly([7, 1])
+        points = [(x, p(x)) for x in (1, 2)]
+        assert lagrange_interpolate(points, x0=9) == p(9)
+
+    def test_rejects_duplicate_x(self):
+        with pytest.raises(ConfigurationError):
+            lagrange_interpolate([(1, 2), (1, 3)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            lagrange_interpolate([])
+
+    @given(coeffs=st.lists(st.integers(0, 255), min_size=1, max_size=6))
+    @settings(max_examples=60)
+    def test_interpolation_roundtrip_property(self, coeffs):
+        p = Poly(coeffs)
+        k = max(len(p.coeffs), 1)
+        points = [(x, p(x)) for x in range(1, k + 1)]
+        assert lagrange_interpolate(points, x0=0) == p(0)

@@ -1,0 +1,125 @@
+"""Cross-module integration tests: the three use cases end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AuthenticationError,
+    DeviceWornOutError,
+    InsufficientSharesError,
+    KeyConsumedError,
+)
+from repro.connection.phone import MWayPhone, SecurePhone
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.sizing import size_architecture
+from repro.core.variation import LognormalVariation
+from repro.core.weibull import WeibullDistribution
+from repro.pads.chip import OneTimePadChip
+from repro.pads.protocol import EvilMaidAttacker, PadReceiver, PadSender
+from repro.targeting.system import (
+    CommandCenter,
+    LaunchStation,
+    design_targeting_system,
+)
+
+
+class TestSmartphoneLifecycle:
+    def test_five_year_life_in_miniature(self, rng):
+        """Provision, use through the bound, survive wrong guesses in
+        between, die at the end - the full Section 4 story scaled down."""
+        design = size_architecture(12, 8, 120, k_fraction=0.10,
+                                   criteria=PAPER_CRITERIA,
+                                   window="fractional")
+        phone = SecurePhone(design, "horse-staple", b"the disk", rng)
+        successes = wrong = 0
+        try:
+            while True:
+                if (successes + wrong) % 7 == 3:
+                    assert not phone.login("guess").success
+                    wrong += 1
+                else:
+                    assert phone.login("horse-staple").success
+                    successes += 1
+        except DeviceWornOutError:
+            pass
+        assert successes + wrong >= 120
+        assert phone.is_bricked
+
+    def test_mway_lifecycle_with_variation(self, rng):
+        variation = LognormalVariation(sigma_alpha=0.05)
+        designs = [size_architecture(12, 8, 40, k_fraction=0.10,
+                                     criteria=PAPER_CRITERIA,
+                                     window="fractional")] * 2
+        phone = MWayPhone(designs, ["one", "two"], b"payload", rng,
+                          variation=variation)
+        for _ in range(20):
+            assert phone.login("one").success
+        phone.migrate()
+        for _ in range(20):
+            assert phone.login("two").success
+        assert phone.login("two").plaintext == b"payload"
+
+
+class TestTargetingMission:
+    def test_mission_with_interference(self, rng):
+        design = design_targeting_system(alpha=10, beta=8,
+                                         mission_bound=30)
+        key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        center = CommandCenter(key)
+        station = LaunchStation(design, key, rng)
+        executed = 0
+        try:
+            for i in range(10 ** 5):
+                if i % 5 == 4:  # intruder probes burn budget
+                    with pytest.raises(AuthenticationError):
+                        station.execute(
+                            type(center.issue(b""))(sealed=bytes(40)))
+                else:
+                    station.execute(center.issue(b"go"))
+                    executed += 1
+        except DeviceWornOutError:
+            pass
+        assert station.is_decommissioned
+        # Probes + commands together bounded by the hardware.
+        assert executed + station.rejected <= design.copies * (design.t + 2)
+
+
+class TestPadExchange:
+    def test_full_exchange_then_raid(self, rng):
+        device = WeibullDistribution(alpha=10.0, beta=1.0)
+        chip = OneTimePadChip(n_pads=5, height=8, n_copies=64, k=4,
+                              device=device, rng=rng, key_bytes=48)
+        sender, receiver = PadSender(chip), PadReceiver(chip)
+        transcripts = [b"msg one", b"second message", b"third"]
+        for text in transcripts:
+            assert receiver.receive(sender.send(text)) == text
+        # Pads are one-time: re-receiving the last message fails because
+        # the registers are destroyed.
+        replay = sender.send(b"fourth")
+        assert receiver.receive(replay) == b"fourth"
+        with pytest.raises(InsufficientSharesError):
+            receiver.receive(replay)
+        # The evil maid gets the final pad but (overwhelmingly) no keys.
+        maid = EvilMaidAttacker(np.random.default_rng(9))
+        leaked, _ = maid.raid(chip, trials_per_pad=1)
+        assert leaked == 0
+        # And the sender is out of pads afterward.
+        sender.send(b"last one")
+        with pytest.raises(KeyConsumedError):
+            sender.send(b"no more")
+
+
+class TestAnalyticSimulationCoherence:
+    def test_design_guarantees_hold_under_simulation(self, rng):
+        """Every architecture layer agrees: solver guarantee <= simulated
+        bound <= solver ceiling."""
+        from repro.sim.montecarlo import simulate_access_bounds
+
+        device = WeibullDistribution(alpha=14.0, beta=8.0)
+        design = solve_encoded_fractional(device, 1_000, 0.10,
+                                          PAPER_CRITERIA)
+        bounds = simulate_access_bounds(design, 500, rng)
+        # The legitimate bound is covered essentially always (the design
+        # over-provisions: copies * t >= access_bound with per-copy slack).
+        assert (bounds >= design.access_bound).mean() > 0.99
+        assert (bounds <= design.copies * (design.t + 2)).all()

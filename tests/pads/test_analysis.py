@@ -1,0 +1,111 @@
+"""Tests for the closed-form pad success probabilities (Eqs. 9-15)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.pads.analysis import (
+    adversary_success_probability,
+    path_success_probability,
+    receiver_success_probability,
+    success_grid,
+)
+
+DEVICE = WeibullDistribution(alpha=10.0, beta=1.0)
+
+
+class TestPathSuccess:
+    def test_equation_nine(self):
+        # S1 = exp(-(1/alpha)^beta * H)
+        for h in (1, 4, 8):
+            expected = math.exp(-((1 / 10.0) ** 1.0) * h)
+            assert path_success_probability(DEVICE, h) == pytest.approx(
+                expected)
+
+    def test_decreases_with_height(self):
+        vals = [path_success_probability(DEVICE, h) for h in (1, 4, 16, 64)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_increases_with_alpha(self):
+        low = path_success_probability(WeibullDistribution(2, 1), 8)
+        high = path_success_probability(WeibullDistribution(50, 1), 8)
+        assert high > low
+
+    def test_height_validated(self):
+        with pytest.raises(ConfigurationError):
+            path_success_probability(DEVICE, 0)
+
+
+class TestReceiverSuccess:
+    def test_equation_ten_binomial_tail(self):
+        s1 = path_success_probability(DEVICE, 4)
+        # k = n: all copies must succeed -> s1 ** n.
+        assert receiver_success_probability(DEVICE, 4, 8, 8) == \
+            pytest.approx(s1 ** 8)
+
+    def test_redundancy_helps_receiver(self):
+        strict = receiver_success_probability(DEVICE, 8, 128, 64)
+        loose = receiver_success_probability(DEVICE, 8, 128, 8)
+        assert loose > strict
+
+    def test_paper_reference_point(self):
+        """At alpha=10, beta=1, n=128, H=8, k=8 the receiver is ~certain."""
+        assert receiver_success_probability(DEVICE, 8, 128, 8) > 0.999
+
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            receiver_success_probability(DEVICE, 4, 8, 9)
+
+
+class TestAdversarySuccess:
+    def test_height_blocks_adversary(self):
+        """Paper: H >= 8 drives the adversary to ~zero at k >= 8."""
+        assert adversary_success_probability(DEVICE, 8, 128, 8) < 1e-6
+
+    def test_short_trees_are_weak(self):
+        weak = adversary_success_probability(DEVICE, 2, 128, 8)
+        assert weak > 0.5
+
+    def test_adversary_never_beats_receiver(self):
+        for h in (2, 4, 8, 16):
+            for k in (1, 8, 32):
+                adv = adversary_success_probability(DEVICE, h, 128, k)
+                recv = receiver_success_probability(DEVICE, h, 128, k)
+                assert adv <= recv + 1e-12
+
+    def test_height_one_single_path(self):
+        """H = 1 has one path (2^0): guessing is trivially right, so the
+        adversary equals the receiver."""
+        adv = adversary_success_probability(DEVICE, 1, 16, 4)
+        recv = receiver_success_probability(DEVICE, 1, 16, 4)
+        assert adv == pytest.approx(recv)
+
+    def test_lower_redundancy_hurts_adversary_more(self):
+        high_red = adversary_success_probability(DEVICE, 4, 128, 4)
+        low_red = adversary_success_probability(DEVICE, 4, 128, 32)
+        assert low_red < high_red
+
+    @given(h=st.integers(1, 12), n=st.integers(1, 64), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_probability_bounds_property(self, h, n, data):
+        k = data.draw(st.integers(1, n))
+        adv = adversary_success_probability(DEVICE, h, n, k)
+        recv = receiver_success_probability(DEVICE, h, n, k)
+        assert 0.0 <= adv <= 1.0 + 1e-12
+        assert 0.0 <= recv <= 1.0 + 1e-12
+        assert adv <= recv + 1e-9
+
+
+class TestSuccessGrid:
+    def test_grid_shape_and_content(self):
+        recv, adv = success_grid(lambda h, k: DEVICE, [2, 8], [1, 8, 16],
+                                 32)
+        assert recv.shape == adv.shape == (2, 3)
+        assert recv[0, 0] == pytest.approx(
+            receiver_success_probability(DEVICE, 2, 32, 1))
+        assert adv[1, 2] == pytest.approx(
+            adversary_success_probability(DEVICE, 8, 32, 16))

@@ -1,0 +1,109 @@
+"""Tests for m-ary decision-tree analysis."""
+
+import pytest
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.pads.analysis import (
+    adversary_success_probability,
+    receiver_success_probability,
+)
+from repro.pads.arity import (
+    MaryTreeDesign,
+    compare_arities,
+    mary_adversary_success,
+    mary_path_success,
+    mary_receiver_success,
+)
+
+DEVICE = WeibullDistribution(alpha=10.0, beta=1.0)
+
+
+class TestGeometry:
+    def test_binary_matches_paper_geometry(self):
+        # 128 paths binary: 7 branch levels, path length 8 = the paper's
+        # H = 8 tree.
+        design = MaryTreeDesign(arity=2, n_paths=128)
+        assert design.paths == 128
+        assert design.path_length == 8
+
+    def test_higher_arity_shortens_paths(self):
+        binary = MaryTreeDesign(2, 4096)
+        hex16 = MaryTreeDesign(16, 4096)
+        assert binary.path_length == 13
+        assert hex16.path_length == 4
+        assert binary.paths == hex16.paths == 4096
+
+    def test_paths_rounded_up_to_power(self):
+        design = MaryTreeDesign(4, 100)
+        assert design.paths == 256
+
+    def test_single_path_tree(self):
+        design = MaryTreeDesign(2, 1)
+        assert design.paths == 1
+        assert design.path_length == 1
+        assert design.switch_count == 1
+
+    def test_switch_count_binary(self):
+        # Binary, 4 paths: entry + (1 + 2) internal nodes * 2 switches.
+        design = MaryTreeDesign(2, 4)
+        assert design.switch_count == 1 + 3 * 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MaryTreeDesign(1, 8)
+        with pytest.raises(ConfigurationError):
+            MaryTreeDesign(2, 0)
+
+
+class TestSuccessProbabilities:
+    def test_binary_matches_base_analysis(self):
+        """Arity-2 trees must agree with the paper's Eqs. 9-15 code."""
+        design = MaryTreeDesign(2, 128)  # == height-8 binary tree
+        assert mary_receiver_success(DEVICE, design, 128, 8) == \
+            pytest.approx(receiver_success_probability(DEVICE, 8, 128, 8))
+        assert mary_adversary_success(DEVICE, design, 128, 8) == \
+            pytest.approx(adversary_success_probability(DEVICE, 8, 128, 8))
+
+    def test_higher_arity_helps_receiver(self):
+        binary = MaryTreeDesign(2, 128)
+        oct8 = MaryTreeDesign(8, 512)  # still >= 128 paths
+        assert (mary_path_success(DEVICE, oct8)
+                > mary_path_success(DEVICE, binary))
+
+    def test_adversary_still_blocked_at_fixed_paths(self):
+        for arity in (2, 4, 16):
+            design = MaryTreeDesign(arity, 128)
+            adv = mary_adversary_success(DEVICE, design, 128, 8)
+            assert adv < 1e-4
+
+    def test_k_validation(self):
+        design = MaryTreeDesign(2, 8)
+        with pytest.raises(ConfigurationError):
+            mary_receiver_success(DEVICE, design, 8, 9)
+
+
+class TestComparison:
+    def test_dominance_pattern(self):
+        """At a fixed search space, higher arity improves receiver
+        success and latency while the adversary stays negligible - the
+        extension's takeaway."""
+        rows = compare_arities(DEVICE, n_paths=128, n=128, k=8)
+        by_arity = {r["arity"]: r for r in rows}
+        assert by_arity[16]["receiver"] >= by_arity[2]["receiver"]
+        assert (mary_path_success(DEVICE, MaryTreeDesign(16, 128))
+                > mary_path_success(DEVICE, MaryTreeDesign(2, 128)))
+        assert (by_arity[16]["traversal_latency_s"]
+                < by_arity[2]["traversal_latency_s"])
+        assert all(r["adversary"] < 1e-3 for r in rows)
+
+    def test_register_area_shrinks_with_arity(self):
+        rows = compare_arities(DEVICE, n_paths=128, n=128, k=8)
+        by_arity = {r["arity"]: r for r in rows}
+        # Key length ~ path length, so shorter paths mean smaller leaves.
+        assert (by_arity[16]["register_area_nm2"]
+                < by_arity[2]["register_area_nm2"])
+
+    def test_paths_never_below_target(self):
+        rows = compare_arities(DEVICE, n_paths=100, n=64, k=4)
+        assert all(r["paths"] >= 100 for r in rows)

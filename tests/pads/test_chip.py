@@ -1,0 +1,109 @@
+"""Tests for one-time pads and pad chips."""
+
+import pytest
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, InsufficientSharesError
+from repro.pads.chip import OneTimePad, OneTimePadChip, PadAddress
+
+DEVICE = WeibullDistribution(alpha=10.0, beta=1.0)
+RELIABLE = WeibullDistribution(alpha=1000.0, beta=8.0)
+
+
+class TestOneTimePad:
+    def test_retrieve_with_right_path(self, rng):
+        pad = OneTimePad(height=4, n_copies=16, k=3, device=RELIABLE,
+                         rng=rng, key_bytes=32)
+        assert pad.retrieve(pad.path) == pad.true_key
+
+    def test_retrieve_wrong_path_gives_garbage_or_fails(self, rng):
+        pad = OneTimePad(height=4, n_copies=16, k=3, device=RELIABLE,
+                         rng=rng, key_bytes=32)
+        wrong = "000" if pad.path != "000" else "001"
+        try:
+            value = pad.retrieve(wrong)
+        except InsufficientSharesError:
+            return
+        assert value != pad.true_key
+
+    def test_key_length_default_scales_with_height(self, rng):
+        pad = OneTimePad(height=4, n_copies=4, k=1, device=RELIABLE,
+                         rng=rng)
+        assert len(pad.true_key) == (1000 * 4) // 8
+
+    def test_second_retrieval_fails_registers_destroyed(self, rng):
+        pad = OneTimePad(height=4, n_copies=8, k=2, device=RELIABLE,
+                         rng=rng, key_bytes=16)
+        pad.retrieve(pad.path)
+        with pytest.raises(InsufficientSharesError):
+            pad.retrieve(pad.path)
+
+    def test_fragile_device_fails_retrieval(self, rng):
+        dead = WeibullDistribution(alpha=0.5, beta=8.0)
+        pad = OneTimePad(height=4, n_copies=8, k=2, device=dead, rng=rng,
+                         key_bytes=16)
+        with pytest.raises(InsufficientSharesError):
+            pad.retrieve(pad.path)
+
+    def test_k1_single_copy_suffices(self, rng):
+        pad = OneTimePad(height=3, n_copies=6, k=1, device=RELIABLE,
+                         rng=rng, key_bytes=16)
+        assert pad.retrieve(pad.path) == pad.true_key
+
+    def test_switch_count(self, rng):
+        pad = OneTimePad(height=3, n_copies=4, k=1, device=RELIABLE,
+                         rng=rng, key_bytes=8)
+        assert pad.switch_count == 4 * (2 ** 3 - 1)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ConfigurationError):
+            OneTimePad(height=3, n_copies=4, k=5, device=RELIABLE, rng=rng)
+
+
+class TestOneTimePadChip:
+    def test_addresses_match_pads(self, rng):
+        chip = OneTimePadChip(n_pads=5, height=3, n_copies=4, k=1,
+                              device=RELIABLE, rng=rng, key_bytes=8)
+        addresses = chip.addresses()
+        assert [a.pad_id for a in addresses] == list(range(5))
+        for address, pad in zip(addresses, chip.pads):
+            assert address.path == pad.path
+
+    def test_retrieve_by_address(self, rng):
+        chip = OneTimePadChip(n_pads=3, height=4, n_copies=8, k=2,
+                              device=RELIABLE, rng=rng, key_bytes=16)
+        address = chip.addresses()[1]
+        assert chip.retrieve(address) == chip.pads[1].true_key
+
+    def test_unknown_pad_rejected(self, rng):
+        chip = OneTimePadChip(n_pads=2, height=3, n_copies=4, k=1,
+                              device=RELIABLE, rng=rng, key_bytes=8)
+        with pytest.raises(ConfigurationError):
+            chip.retrieve(PadAddress(pad_id=9, path="00"))
+
+    def test_needs_at_least_one_pad(self, rng):
+        with pytest.raises(ConfigurationError):
+            OneTimePadChip(n_pads=0, height=3, n_copies=4, k=1,
+                           device=RELIABLE, rng=rng)
+
+    def test_switch_count_aggregates(self, rng):
+        chip = OneTimePadChip(n_pads=3, height=3, n_copies=4, k=1,
+                              device=RELIABLE, rng=rng, key_bytes=8)
+        assert chip.switch_count == 3 * 4 * 7
+
+    def test_empirical_receiver_success_matches_analysis(self, rng):
+        """Monte Carlo over fabricated pads vs Eq. 10."""
+        from repro.pads.analysis import receiver_success_probability
+
+        successes = 0
+        trials = 150
+        for _ in range(trials):
+            pad = OneTimePad(height=4, n_copies=16, k=2, device=DEVICE,
+                             rng=rng, key_bytes=8)
+            try:
+                if pad.retrieve(pad.path) == pad.true_key:
+                    successes += 1
+            except InsufficientSharesError:
+                pass
+        predicted = receiver_success_probability(DEVICE, 4, 16, 2)
+        assert successes / trials == pytest.approx(predicted, abs=0.08)

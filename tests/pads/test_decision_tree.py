@@ -1,0 +1,107 @@
+"""Tests for the hardware decision tree."""
+
+import pytest
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.pads.decision_tree import HardwareDecisionTree, path_bits_to_leaf
+
+RELIABLE = WeibullDistribution(alpha=1000.0, beta=8.0)
+FRAGILE = WeibullDistribution(alpha=0.5, beta=8.0)  # dies on first use
+
+
+def make_tree(height, device, rng, marker=b"X"):
+    leaves = 2 ** (height - 1)
+    contents = [bytes([i]) + marker for i in range(leaves)]
+    return HardwareDecisionTree(height, contents, device, rng), contents
+
+
+class TestPathMapping:
+    def test_empty_path(self):
+        assert path_bits_to_leaf("") == 0
+
+    def test_binary_interpretation(self):
+        assert path_bits_to_leaf("010") == 2
+        assert path_bits_to_leaf("111") == 7
+
+    def test_invalid_characters(self):
+        with pytest.raises(ConfigurationError):
+            path_bits_to_leaf("01x")
+
+
+class TestGeometry:
+    def test_switch_count_is_2h_minus_1(self, rng):
+        for height in (1, 2, 3, 5):
+            tree, _ = make_tree(height, RELIABLE, rng)
+            assert tree.switch_count == 2 ** height - 1
+
+    def test_leaves_and_paths(self, rng):
+        tree, _ = make_tree(4, RELIABLE, rng)
+        assert tree.n_leaves == 8
+        assert tree.n_paths == 8
+
+    def test_path_has_h_switches(self, rng):
+        tree, _ = make_tree(4, RELIABLE, rng)
+        assert len(tree.path_switches("010")) == 4
+
+    def test_distinct_paths_share_prefix_switches(self, rng):
+        tree, _ = make_tree(3, RELIABLE, rng)
+        a = tree.path_switches("00")
+        b = tree.path_switches("01")
+        c = tree.path_switches("11")
+        assert a[0] is b[0] is c[0]      # shared root
+        assert a[1] is b[1]              # shared level-2 switch (prefix 0)
+        assert a[1] is not c[1]
+
+    def test_leaf_count_must_match(self, rng):
+        with pytest.raises(ConfigurationError):
+            HardwareDecisionTree(3, [b"a"] * 3, RELIABLE, rng)
+
+    def test_path_length_validated(self, rng):
+        tree, _ = make_tree(3, RELIABLE, rng)
+        with pytest.raises(ConfigurationError):
+            tree.traverse("0")
+
+
+class TestTraversal:
+    def test_right_path_reads_right_leaf(self, rng):
+        tree, contents = make_tree(4, RELIABLE, rng)
+        assert tree.traverse("101") == contents[5]
+
+    def test_leaf_read_is_destructive(self, rng):
+        tree, contents = make_tree(3, RELIABLE, rng)
+        assert tree.traverse("10") == contents[2]
+        assert tree.traverse("10") is None  # register destroyed
+
+    def test_other_leaves_still_readable(self, rng):
+        tree, contents = make_tree(3, RELIABLE, rng)
+        tree.traverse("10")
+        assert tree.traverse("01") == contents[1]
+
+    def test_fragile_tree_fails_traversal(self, rng):
+        tree, _ = make_tree(4, FRAGILE, rng)
+        assert tree.traverse("000") is None
+
+    def test_failed_traversal_still_wears_switches(self, rng):
+        tree, _ = make_tree(3, FRAGILE, rng)
+        tree.traverse("00")
+        assert all(s.cycles_used >= 1 for s in tree.path_switches("00"))
+
+    def test_traversals_counted(self, rng):
+        tree, _ = make_tree(3, RELIABLE, rng)
+        tree.traverse("00")
+        tree.traverse("11")
+        assert tree.traversals == 2
+
+    def test_wearout_eventually_blocks_path(self, rng):
+        # Repeated traversals of the same path must kill it.
+        short_lived = WeibullDistribution(alpha=5.0, beta=8.0)
+        tree, _ = make_tree(2, short_lived, rng)
+        results = [tree.traverse("0") for _ in range(30)]
+        assert results[-1] is None
+        # once dead, stays dead
+        assert tree.traverse("0") is None
+
+    def test_height_one_tree(self, rng):
+        tree = HardwareDecisionTree(1, [b"only"], RELIABLE, rng)
+        assert tree.traverse("") == b"only"

@@ -1,0 +1,71 @@
+"""Tests for the pad geometry solver."""
+
+import pytest
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, InfeasibleDesignError
+from repro.pads.design import design_pad
+from repro.pads.layout import tree_area_nm2
+
+DEVICE = WeibullDistribution(alpha=10.0, beta=1.0)
+
+
+class TestDesignPad:
+    def test_meets_both_targets(self):
+        design = design_pad(DEVICE, receiver_min=0.999,
+                            adversary_max=1e-4)
+        assert design.receiver_success >= 0.999
+        assert design.eq15_adversary_success <= 1e-4
+        assert design.same_path_adversary_success <= 1e-4
+
+    def test_same_path_constraint_forces_height(self):
+        """The same-path adversary is bounded only by 2^-(H-1), so an
+        adversary_max of 1e-4 needs H >= 15 regardless of k - taller
+        than anything the paper's Eq. 15-only analysis would pick."""
+        design = design_pad(DEVICE, receiver_min=0.99,
+                            adversary_max=1e-4)
+        assert design.height >= 15
+
+    def test_stricter_security_costs_area(self):
+        loose = design_pad(DEVICE, receiver_min=0.99, adversary_max=1e-3)
+        strict = design_pad(DEVICE, receiver_min=0.99, adversary_max=1e-6)
+        assert strict.area_nm2 > loose.area_nm2
+        assert strict.height > loose.height
+
+    def test_area_model_consistent(self):
+        design = design_pad(DEVICE, receiver_min=0.99, adversary_max=1e-3)
+        assert design.area_nm2 == pytest.approx(
+            design.n_copies * tree_area_nm2(design.height))
+
+    def test_k_respects_receiver_floor(self):
+        from repro.pads.analysis import receiver_success_probability
+
+        design = design_pad(DEVICE, receiver_min=0.999,
+                            adversary_max=1e-4)
+        # k is maximal: one more component share would break the floor
+        # (or k is already n).
+        if design.k < design.n_copies:
+            worse = receiver_success_probability(
+                DEVICE, design.height, design.n_copies, design.k + 1)
+            assert worse < 0.999
+
+    def test_infeasible_targets_raise(self):
+        fragile = WeibullDistribution(alpha=0.5, beta=8.0)
+        with pytest.raises(InfeasibleDesignError):
+            design_pad(fragile, receiver_min=0.999, adversary_max=1e-6,
+                       max_height=10)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            design_pad(DEVICE, receiver_min=1.5)
+        with pytest.raises(ConfigurationError):
+            design_pad(DEVICE, adversary_max=0.0)
+        with pytest.raises(ConfigurationError):
+            design_pad(DEVICE, max_height=0)
+
+    def test_better_devices_shrink_designs(self):
+        cheap = design_pad(WeibullDistribution(50.0, 1.0),
+                           receiver_min=0.999, adversary_max=1e-4)
+        fragile = design_pad(WeibullDistribution(5.0, 1.0),
+                             receiver_min=0.999, adversary_max=1e-4)
+        assert cheap.n_copies <= fragile.n_copies

@@ -1,0 +1,69 @@
+"""Tests for pad layout, density, latency and energy models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pads.layout import (
+    pads_per_chip,
+    retrieval_cost,
+    tree_area_nm2,
+    trees_per_mm2,
+)
+
+
+class TestTreeArea:
+    def test_doubles_per_level(self):
+        # Leaves double with height; register area dominates and scales
+        # as leaves * height.
+        a4, a5 = tree_area_nm2(4), tree_area_nm2(5)
+        assert 2.0 < a5 / a4 < 2.6
+
+    def test_height_validated(self):
+        with pytest.raises(ConfigurationError):
+            tree_area_nm2(0)
+
+
+class TestDensity:
+    @pytest.mark.parametrize("height,paper", [
+        (2, 5e6), (3, 2e6), (4, 6e5), (5, 2e5), (6, 1e5),
+        (7, 4e4), (8, 2e4), (9, 9e3), (10, 4e3), (11, 2e3),
+    ])
+    def test_fig10_bars_within_a_factor(self, height, paper):
+        """Every Fig. 10 bar within 30% of the paper's label."""
+        measured = trees_per_mm2(height)
+        assert measured == pytest.approx(paper, rel=0.30)
+
+    def test_pads_per_chip_paper_example(self):
+        """H = 4, n = 128 -> ~4,687 pads on 1 mm^2."""
+        assert pads_per_chip(4, 128) == pytest.approx(4687, rel=0.10)
+
+    def test_pads_scale_with_chip_area(self):
+        assert pads_per_chip(4, 128, chip_area_mm2=2.0) == pytest.approx(
+            2 * pads_per_chip(4, 128), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pads_per_chip(4, 0)
+        with pytest.raises(ConfigurationError):
+            pads_per_chip(4, 128, chip_area_mm2=0)
+
+
+class TestRetrievalCost:
+    def test_paper_section_652_numbers(self):
+        cost = retrieval_cost(height=4, n_copies=128)
+        assert cost.traversal_latency_s == pytest.approx(5.12e-6)
+        assert cost.readout_latency_s == pytest.approx(8.0e-5)
+        assert cost.total_latency_s == pytest.approx(8.512e-5)
+        assert cost.energy_j == pytest.approx(5.12e-18)
+
+    def test_scales_with_copies(self):
+        a = retrieval_cost(4, 64)
+        b = retrieval_cost(4, 128)
+        assert b.traversal_latency_s == pytest.approx(
+            2 * a.traversal_latency_s)
+        assert b.energy_j == pytest.approx(2 * a.energy_j)
+        assert b.readout_latency_s == a.readout_latency_s  # one readout
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            retrieval_cost(0, 128)

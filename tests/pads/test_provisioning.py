@@ -1,0 +1,94 @@
+"""Tests for end-user one-time programming of pad chips."""
+
+import pytest
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.pads.provisioning import (
+    AlreadyProgrammedError,
+    AntifuseCell,
+    BlankPadChip,
+    OneTimeProgrammer,
+    provision_blank_chip,
+)
+
+RELIABLE = WeibullDistribution(alpha=1000.0, beta=8.0)
+
+
+class TestAntifuseCell:
+    def test_programs_once(self):
+        cell = AntifuseCell()
+        cell.program(1)
+        assert cell.value == 1
+        with pytest.raises(AlreadyProgrammedError):
+            cell.program(0)
+
+    def test_zero_is_also_a_program(self):
+        cell = AntifuseCell()
+        cell.program(0)
+        with pytest.raises(AlreadyProgrammedError):
+            cell.program(0)
+
+    def test_bit_validation(self):
+        with pytest.raises(ConfigurationError):
+            AntifuseCell().program(2)
+
+
+class TestOneTimeProgrammer:
+    def test_burn_and_read_back(self):
+        programmer = OneTimeProgrammer(capacity_bytes=8)
+        programmer.burn(0, b"\xA5\x3C")
+        assert programmer.read(0, 2) == b"\xA5\x3C"
+
+    def test_unburned_reads_zero(self):
+        programmer = OneTimeProgrammer(capacity_bytes=4)
+        assert programmer.read(0, 4) == b"\x00" * 4
+
+    def test_double_burn_rejected(self):
+        programmer = OneTimeProgrammer(capacity_bytes=4)
+        programmer.burn(1, b"\xFF")
+        with pytest.raises(AlreadyProgrammedError):
+            programmer.burn(1, b"\x00")
+
+    def test_disjoint_regions_ok(self):
+        programmer = OneTimeProgrammer(capacity_bytes=4)
+        programmer.burn(0, b"\x01")
+        programmer.burn(2, b"\x02")
+        assert programmer.read(0, 4) == b"\x01\x00\x02\x00"
+
+    def test_capacity_enforced(self):
+        programmer = OneTimeProgrammer(capacity_bytes=2)
+        with pytest.raises(ConfigurationError):
+            programmer.burn(1, b"\x00\x01")
+        with pytest.raises(ConfigurationError):
+            OneTimeProgrammer(capacity_bytes=0)
+
+
+class TestProvisioningCeremony:
+    def test_blank_chip_becomes_usable(self, rng):
+        blank = BlankPadChip(n_pads=3, height=4, n_copies=8, k=2,
+                             device=RELIABLE, key_bytes=16)
+        chip, addresses = provision_blank_chip(blank, rng)
+        assert len(addresses) == 3
+        address = addresses[0]
+        assert chip.retrieve(address) == chip.pads[0].true_key
+
+    def test_second_provisioning_physically_rejected(self, rng):
+        blank = BlankPadChip(n_pads=2, height=3, n_copies=4, k=1,
+                             device=RELIABLE, key_bytes=8)
+        provision_blank_chip(blank, rng)
+        with pytest.raises(AlreadyProgrammedError):
+            provision_blank_chip(blank, rng)
+
+    def test_paths_burned_into_antifuses(self, rng):
+        blank = BlankPadChip(n_pads=2, height=4, n_copies=4, k=1,
+                             device=RELIABLE, key_bytes=8)
+        chip, addresses = provision_blank_chip(blank, rng)
+        for i, address in enumerate(addresses):
+            stored = chip.programmer.read(i, 1)[0]
+            assert stored == int(address.path, 2)
+
+    def test_blank_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlankPadChip(n_pads=0, height=3, n_copies=4, k=1,
+                         device=RELIABLE)

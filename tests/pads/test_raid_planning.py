@@ -1,0 +1,130 @@
+"""Tests for adaptive raid planning and the defender's height rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.pads.raid_planning import (
+    defender_min_height,
+    leak_probability,
+    optimal_raid_plan,
+    per_trial_success,
+)
+
+DEVICE = WeibullDistribution(alpha=10.0, beta=8.0)
+
+
+class TestPerTrialSuccess:
+    def test_decreases_with_wear(self):
+        probs = [per_trial_success(DEVICE, 8, 32, 4, j)
+                 for j in (1, 5, 9, 12, 20)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+        assert probs[-1] < probs[0] / 100  # worn pads are worthless
+
+    def test_halves_per_level(self):
+        p8 = per_trial_success(DEVICE, 8, 32, 4, 1)
+        p9 = per_trial_success(DEVICE, 9, 32, 4, 1)
+        # One more level: half the guess probability, slightly lower
+        # traversal success.
+        assert p9 < p8 / 2 * 1.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            per_trial_success(DEVICE, 0, 8, 2, 1)
+        with pytest.raises(ConfigurationError):
+            per_trial_success(DEVICE, 4, 8, 9, 1)
+
+
+class TestLeakProbability:
+    def test_zero_trials_zero_leak(self):
+        assert leak_probability(DEVICE, 8, 32, 4, 0) == 0.0
+
+    def test_concave_increasing(self):
+        vals = [leak_probability(DEVICE, 8, 32, 4, m)
+                for m in range(1, 16)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+        # Diminishing returns: each marginal trial gains no more than
+        # the one before it.
+        gains = [b - a for a, b in zip(vals, vals[1:])]
+        assert all(g2 <= g1 + 1e-12 for g1, g2 in zip(gains, gains[1:]))
+
+    def test_saturates_at_wearout(self):
+        knee = leak_probability(DEVICE, 8, 32, 4, 12)
+        far = leak_probability(DEVICE, 8, 32, 4, 500)
+        assert far == pytest.approx(knee, rel=0.01)
+
+    def test_matches_simulation(self):
+        """The closed form tracks a direct Monte Carlo of planned raids."""
+        from repro.pads.chip import OneTimePad
+
+        height, n, k, trials = 4, 16, 2, 5
+        wins = 0
+        runs = 400
+        for i in range(runs):
+            pad = OneTimePad(height, n, k, DEVICE,
+                             np.random.default_rng(i), key_bytes=4)
+            rng = np.random.default_rng(10_000 + i)
+            for _ in range(trials):
+                guess = "".join(str(b) for b in rng.integers(0, 2,
+                                                             height - 1))
+                try:
+                    if pad.retrieve(guess) == pad.true_key:
+                        wins += 1
+                        break
+                except Exception:
+                    continue
+        predicted = leak_probability(DEVICE, height, n, k, trials)
+        assert wins / runs == pytest.approx(predicted, abs=0.05)
+
+
+class TestOptimalPlan:
+    def test_spreads_across_pads(self):
+        plan = optimal_raid_plan(DEVICE, 8, 32, 4, total_trials=100,
+                                 n_pads=100)
+        # One trial per pad beats ten on ten: concavity.
+        assert plan.trials_per_pad == 1
+        assert plan.pads_attacked == 100
+
+    def test_caps_depth_at_wearout(self):
+        plan = optimal_raid_plan(DEVICE, 8, 32, 4, total_trials=10_000,
+                                 n_pads=3)
+        assert plan.trials_per_pad <= DEVICE.mean * 2
+        assert plan.pads_attacked == 3
+
+    def test_zero_budget(self):
+        plan = optimal_raid_plan(DEVICE, 8, 32, 4, 0, 10)
+        assert plan.expected_leaks == 0.0
+
+    def test_more_budget_never_worse(self):
+        small = optimal_raid_plan(DEVICE, 8, 32, 4, 50, 20)
+        large = optimal_raid_plan(DEVICE, 8, 32, 4, 200, 20)
+        assert large.expected_leaks >= small.expected_leaks
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_raid_plan(DEVICE, 8, 32, 4, -1, 10)
+
+
+class TestDefenderRule:
+    def test_height_bounds_optimal_raid(self):
+        height = defender_min_height(DEVICE, 32, 4, total_trials=1_000,
+                                     n_pads=100,
+                                     max_expected_leaks=0.01)
+        plan = optimal_raid_plan(DEVICE, height, 32, 4, 1_000, 100)
+        assert plan.expected_leaks <= 0.01
+        if height > 1:
+            weaker = optimal_raid_plan(DEVICE, height - 1, 32, 4, 1_000,
+                                       100)
+            assert weaker.expected_leaks > 0.01
+
+    def test_height_grows_logarithmically_with_budget(self):
+        h_small = defender_min_height(DEVICE, 32, 4, 100, 100, 0.01)
+        h_large = defender_min_height(DEVICE, 32, 4, 10_000, 10_000, 0.01)
+        # 100x the budget costs ~log2(100) ~ 7 extra levels, not 100x.
+        assert 4 <= h_large - h_small <= 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            defender_min_height(DEVICE, 32, 4, 100, 10,
+                                max_expected_leaks=0.0)

@@ -1,0 +1,63 @@
+"""Tests for the brute-force attacker simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.passwords.attacker import BruteForceAttacker
+from repro.passwords.model import PasswordModel
+
+
+class TestAttack:
+    def test_outcome_fields(self, rng):
+        attacker = BruteForceAttacker(rng=rng)
+        outcome = attacker.attack(access_budget=10 ** 7)
+        assert outcome.cracked
+        assert outcome.attempts == outcome.victim_rank
+
+    def test_zero_budget_never_cracks(self, rng):
+        attacker = BruteForceAttacker(rng=rng)
+        outcome = attacker.attack(access_budget=0)
+        assert not outcome.cracked
+        assert outcome.attempts == 0
+
+    def test_failed_attack_spends_full_budget(self, rng):
+        attacker = BruteForceAttacker(rng=rng)
+        # Budget of 1 essentially never matches the victim's rank.
+        outcomes = [attacker.attack(access_budget=1) for _ in range(50)]
+        failed = [o for o in outcomes if not o.cracked]
+        assert all(o.attempts == 1 for o in failed)
+
+    def test_negative_budget_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            BruteForceAttacker(rng=rng).attack(-1)
+
+
+class TestSuccessProbability:
+    def test_analytic_matches_model(self, rng):
+        model = PasswordModel()
+        attacker = BruteForceAttacker(model, rng)
+        assert attacker.success_probability(100_000) == pytest.approx(0.01,
+                                                                      rel=0.01)
+
+    def test_exclusion_reduces_success(self, rng):
+        attacker = BruteForceAttacker(rng=rng)
+        base = attacker.success_probability(150_000)
+        hardened = attacker.success_probability(
+            150_000, min_fraction_excluded=0.01)
+        assert hardened < base
+
+    def test_exclusion_can_zero_out(self, rng):
+        attacker = BruteForceAttacker(rng=rng)
+        # Budget below the excluded head: attack cannot succeed at all.
+        assert attacker.success_probability(
+            91_250, min_fraction_excluded=0.01) == 0.0
+
+    def test_empirical_matches_analytic(self, rng):
+        attacker = BruteForceAttacker(rng=rng)
+        analytic = attacker.success_probability(200_000)
+        empirical = attacker.empirical_success_rate(200_000, trials=8000)
+        assert empirical == pytest.approx(analytic, abs=0.006)
+
+    def test_empirical_rejects_no_trials(self, rng):
+        with pytest.raises(ConfigurationError):
+            BruteForceAttacker(rng=rng).empirical_success_rate(10, 0)

@@ -1,0 +1,98 @@
+"""Tests for piecewise guessability curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.passwords.curves import PiecewiseGuessCurve
+from repro.passwords.model import UR_ANCHORS
+
+UR_CURVE = PiecewiseGuessCurve(UR_ANCHORS)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("anchors", [
+        [(100, 0.1)],                      # too few
+        [(0, 0.1), (10, 0.2)],             # guesses < 1
+        [(10, 0.2), (10, 0.3)],            # duplicate x
+        [(10, 0.5), (100, 0.2)],           # decreasing fraction
+        [(10, -0.1), (100, 0.2)],          # fraction out of range
+    ])
+    def test_invalid_anchors(self, anchors):
+        with pytest.raises(ConfigurationError):
+            PiecewiseGuessCurve(anchors)
+
+    def test_unsorted_anchors_accepted(self):
+        curve = PiecewiseGuessCurve([(1000, 0.2), (10, 0.01)])
+        assert curve.cracked_fraction(10) == pytest.approx(0.01)
+
+
+class TestInterpolation:
+    def test_passes_through_anchors(self):
+        for guesses, fraction in UR_ANCHORS:
+            assert UR_CURVE.cracked_fraction(guesses) == pytest.approx(
+                fraction)
+
+    def test_log_linear_between_anchors(self):
+        mid = 10 ** ((np.log10(100_000) + np.log10(200_000)) / 2)
+        assert UR_CURVE.cracked_fraction(mid) == pytest.approx(0.015,
+                                                               rel=0.01)
+
+    def test_ramp_below_first_anchor(self):
+        assert UR_CURVE.cracked_fraction(50_000) == pytest.approx(0.005)
+        assert UR_CURVE.cracked_fraction(0) == 0.0
+
+    def test_exhaustion_anchor_reaches_one(self):
+        assert UR_CURVE.cracked_fraction(10 ** 14) == 1.0
+        assert UR_CURVE.cracked_fraction(10 ** 15) == 1.0
+        # Between the last published anchor and exhaustion the curve
+        # keeps climbing log-linearly.
+        assert 0.02 < UR_CURVE.cracked_fraction(10 ** 9) < 1.0
+
+    def test_exhaustion_must_exceed_last_anchor(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseGuessCurve(UR_ANCHORS, exhaustion_guesses=100)
+
+    def test_monotone(self):
+        gs = np.unique(np.logspace(0, 9, 300).astype(int))
+        vals = UR_CURVE.cracked_fraction(gs)
+        assert np.all(np.diff(vals) >= -1e-12)
+
+    def test_vector_and_scalar_agree(self):
+        assert UR_CURVE.cracked_fraction(
+            np.array([123_456]))[0] == pytest.approx(
+                UR_CURVE.cracked_fraction(123_456))
+
+
+class TestInversion:
+    def test_guesses_for_fraction_inverts(self):
+        g = UR_CURVE.guesses_for_fraction(0.015)
+        assert UR_CURVE.cracked_fraction(g) >= 0.015
+        assert UR_CURVE.cracked_fraction(g - 1) < 0.015
+
+    def test_zero_fraction(self):
+        assert UR_CURVE.guesses_for_fraction(0.0) == 0
+
+    def test_flat_region_resolved_by_exhaustion_anchor(self):
+        flat = PiecewiseGuessCurve([(10, 0.1), (100, 0.1)])
+        g = flat.guesses_for_fraction(0.5)
+        assert 100 < g <= 10 ** 14
+        assert flat.cracked_fraction(g) >= 0.5
+
+    def test_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            UR_CURVE.guesses_for_fraction(2.0)
+
+
+class TestSampling:
+    def test_sampled_ranks_follow_curve(self, rng):
+        ranks = np.array([UR_CURVE.sample_rank(rng) for _ in range(4000)])
+        for g in (100_000, 1_000_000):
+            assert (ranks <= g).mean() == pytest.approx(
+                UR_CURVE.cracked_fraction(g), abs=0.02)
+
+    def test_exclusion(self, rng):
+        floor = UR_CURVE.guesses_for_fraction(0.01)
+        ranks = [UR_CURVE.sample_rank(rng, min_fraction_excluded=0.01)
+                 for _ in range(200)]
+        assert min(ranks) >= floor - 1

@@ -1,0 +1,100 @@
+"""Tests for the password guessability model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.passwords.model import PasswordModel, UR_ANCHORS
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PasswordModel()
+
+
+class TestCalibration:
+    def test_ur_anchors_reproduced(self, model):
+        """The model must pass through the paper's quoted statistics."""
+        for guesses, fraction in UR_ANCHORS:
+            assert model.cracked_fraction(guesses) == pytest.approx(
+                fraction, rel=0.01)
+
+    def test_lab_crack_fraction_below_one_percent(self, model):
+        """'Only a few very popular passwords can be guessed within
+        91,250 attempts' - under 1%."""
+        assert model.cracked_fraction(91_250) < 0.01
+
+    def test_guesses_for_fraction_inverts(self, model):
+        assert model.guesses_for_fraction(0.01) == pytest.approx(
+            100_000, rel=0.01)
+        assert model.guesses_for_fraction(0.02) == pytest.approx(
+            200_000, rel=0.01)
+
+    def test_head_contains_popular_passwords(self, model):
+        # The first few guesses already crack a visible sliver.
+        assert model.cracked_fraction(10) > 1e-6
+        assert model.cracked_fraction(1) > 0
+
+
+class TestCurveShape:
+    def test_monotone_nondecreasing(self, model):
+        gs = np.unique(np.logspace(0, 7, 200).astype(int))
+        fractions = model.cracked_fraction(gs)
+        assert np.all(np.diff(fractions) >= -1e-15)
+
+    def test_zero_guesses_zero_fraction(self, model):
+        assert model.cracked_fraction(0) == 0.0
+
+    def test_saturates_at_one(self, model):
+        assert model.cracked_fraction(10 ** 9) == 1.0
+
+    def test_vocabulary_size_consistent(self, model):
+        v = model.vocabulary_size
+        assert model.cracked_fraction(v) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fraction_bounds_validated(self, model):
+        with pytest.raises(ConfigurationError):
+            model.guesses_for_fraction(1.5)
+        assert model.guesses_for_fraction(0.0) == 0
+
+    @given(g=st.integers(1, 10 ** 8))
+    @settings(max_examples=50, deadline=None)
+    def test_fraction_in_unit_interval(self, g):
+        model = PasswordModel()
+        assert 0.0 <= model.cracked_fraction(g) <= 1.0
+
+
+class TestSampling:
+    def test_rank_distribution_matches_curve(self, model, rng):
+        ranks = np.array([model.sample_rank(rng) for _ in range(20_000)])
+        for g in (100_000, 200_000, 1_000_000):
+            empirical = (ranks <= g).mean()
+            assert empirical == pytest.approx(model.cracked_fraction(g),
+                                              abs=0.005)
+
+    def test_exclusion_shifts_ranks_up(self, model, rng):
+        floor = model.guesses_for_fraction(0.01)
+        ranks = [model.sample_rank(rng, min_fraction_excluded=0.01)
+                 for _ in range(500)]
+        assert min(ranks) >= floor * 0.99
+
+    def test_exclusion_validated(self, model, rng):
+        with pytest.raises(ConfigurationError):
+            model.sample_rank(rng, min_fraction_excluded=1.0)
+
+    def test_guesses_to_crack_alias(self, model):
+        a = model.guesses_to_crack(np.random.default_rng(3))
+        b = model.sample_rank(np.random.default_rng(3))
+        assert a == b
+
+
+class TestConstructionValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"head_mass": 1.0}, {"head_mass": -0.1},
+        {"head_size": 0}, {"tail_rate": 0.0}, {"tail_rate": 1.0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PasswordModel(**kwargs)

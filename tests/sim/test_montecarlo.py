@@ -1,0 +1,98 @@
+"""Tests for the Monte Carlo harness, including fast-vs-exact agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.sim.montecarlo import (
+    simulate_access_bounds,
+    simulate_access_bounds_hardware,
+    summarize_bounds,
+)
+from repro.sim.rng import make_rng, spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def small_design():
+    device = WeibullDistribution(alpha=10.0, beta=8.0)
+    return solve_encoded_fractional(device, 100, 0.10, PAPER_CRITERIA)
+
+
+class TestRngHelpers:
+    def test_make_rng_seeded_reproducible(self):
+        assert (make_rng(7).integers(0, 100, 5).tolist()
+                == make_rng(7).integers(0, 100, 5).tolist())
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(3, 4)
+        assert len(rngs) == 4
+        draws = [r.integers(0, 10 ** 9) for r in rngs]
+        assert len(set(draws)) == 4
+
+    def test_spawn_reproducible(self):
+        a = [r.integers(0, 10 ** 9) for r in spawn_rngs(5, 3)]
+        b = [r.integers(0, 10 ** 9) for r in spawn_rngs(5, 3)]
+        assert a == b
+
+
+class TestFastPath:
+    def test_bounds_cover_guarantee(self, small_design, rng):
+        bounds = simulate_access_bounds(small_design, 300, rng)
+        frac_ok = (bounds >= small_design.guaranteed_accesses).mean()
+        assert frac_ok > 0.95
+
+    def test_chunking_invariant(self, small_design):
+        a = simulate_access_bounds(small_design, 50,
+                                   np.random.default_rng(1),
+                                   max_copies_per_chunk=10 ** 9)
+        b = simulate_access_bounds(small_design, 50,
+                                   np.random.default_rng(1),
+                                   max_copies_per_chunk=small_design.copies
+                                   * small_design.n)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero_trials(self, small_design, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_access_bounds(small_design, 0, rng)
+
+    def test_mean_matches_expected_bound(self, small_design, rng):
+        bounds = simulate_access_bounds(small_design, 2000, rng)
+        assert bounds.mean() == pytest.approx(
+            small_design.expected_access_bound(), rel=0.01)
+
+
+class TestHardwarePathAgreement:
+    def test_fast_and_exact_paths_agree(self, small_design):
+        """The order-statistics shortcut must match driving real switches."""
+        fast = simulate_access_bounds(small_design, 150,
+                                      np.random.default_rng(2))
+        slow = simulate_access_bounds_hardware(small_design, 60,
+                                               np.random.default_rng(3))
+        assert fast.mean() == pytest.approx(slow.mean(), rel=0.01)
+        assert abs(fast.std() - slow.std()) < max(fast.std(), 2.0)
+
+    def test_hardware_path_max_accesses(self, small_design, rng):
+        bounds = simulate_access_bounds_hardware(small_design, 3, rng,
+                                                 max_accesses=10)
+        assert np.all(bounds == 10)
+
+    def test_rejects_zero_trials(self, small_design, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_access_bounds_hardware(small_design, 0, rng)
+
+
+class TestSummary:
+    def test_summary_fields(self, small_design, rng):
+        bounds = simulate_access_bounds(small_design, 500, rng)
+        summary = summarize_bounds(bounds)
+        assert summary.trials == 500
+        assert summary.minimum <= summary.p01 <= summary.p50
+        assert summary.p50 <= summary.p99 <= summary.maximum
+        assert summary.meets_lower_bound(summary.minimum)
+        assert not summary.meets_lower_bound(summary.maximum + 1)
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize_bounds(np.array([]))

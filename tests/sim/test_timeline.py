@@ -1,0 +1,109 @@
+"""Tests for calendar-time usage simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.timeline import (
+    UsageProfile,
+    required_safety_factor,
+    simulate_service_life,
+)
+
+
+class TestUsageProfile:
+    def test_mean_daily(self, rng):
+        profile = UsageProfile(mean_daily=50.0)
+        days = profile.sample_days(20_000, rng)
+        assert days.mean() == pytest.approx(50.0, rel=0.02)
+
+    def test_weekend_factor(self, rng):
+        profile = UsageProfile(mean_daily=50.0, weekend_factor=2.0)
+        days = profile.sample_days(70_000, rng)
+        weekdays = days[np.arange(70_000) % 7 < 5]
+        weekends = days[np.arange(70_000) % 7 >= 5]
+        assert weekends.mean() / weekdays.mean() == pytest.approx(2.0,
+                                                                  rel=0.05)
+
+    def test_heavy_days_raise_mean(self, rng):
+        base = UsageProfile(mean_daily=50.0)
+        heavy = UsageProfile(mean_daily=50.0, heavy_day_probability=0.1,
+                             heavy_day_factor=5.0)
+        assert (heavy.sample_days(20_000, rng).mean()
+                > base.sample_days(20_000, rng).mean() * 1.2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mean_daily": 0.0}, {"weekend_factor": 0.0},
+        {"heavy_day_probability": 1.0}, {"heavy_day_factor": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            UsageProfile(**kwargs)
+
+    def test_sample_days_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            UsageProfile().sample_days(0, rng)
+
+
+class TestServiceLife:
+    def test_paper_sizing_fails_half_the_time_under_poisson(self, rng):
+        """The paper's exact bound (50/day * 5 years) is a *mean* under
+        Poisson usage: ~half of owners run out before year five."""
+        summary = simulate_service_life(
+            access_budget=91_250, profile=UsageProfile(mean_daily=50.0),
+            target_years=5.0, trials=200, rng=rng)
+        assert 0.25 < summary.fraction_reaching_target < 0.75
+
+    def test_oversized_budget_always_reaches_target(self, rng):
+        summary = simulate_service_life(
+            access_budget=2 * 91_250, profile=UsageProfile(mean_daily=50.0),
+            target_years=5.0, trials=100, rng=rng)
+        assert summary.fraction_reaching_target == 1.0
+
+    def test_light_usage_extends_life(self, rng):
+        light = simulate_service_life(10_000, UsageProfile(mean_daily=10),
+                                      1.0, 100, rng)
+        heavy = simulate_service_life(10_000, UsageProfile(mean_daily=100),
+                                      1.0, 100, rng)
+        assert light.mean_days > heavy.mean_days * 5
+
+    def test_percentiles_ordered(self, rng):
+        summary = simulate_service_life(5_000, UsageProfile(mean_daily=50),
+                                        1.0, 150, rng)
+        assert summary.p05_days <= summary.p50_days <= 2 * 365
+
+    def test_validation(self, rng):
+        profile = UsageProfile()
+        with pytest.raises(ConfigurationError):
+            simulate_service_life(0, profile, 1.0, 10, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_service_life(100, profile, 0.0, 10, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_service_life(100, profile, 1.0, 0, rng)
+
+
+class TestSafetyFactor:
+    def test_poisson_usage_needs_replication(self, rng):
+        """Exact-mean sizing needs M >= 2 for 99% service confidence -
+        a deployment insight the paper's deterministic sizing misses."""
+        factor = required_safety_factor(
+            UsageProfile(mean_daily=50.0), target_years=5.0,
+            base_budget=91_250, rng=rng, confidence=0.99, trials=60)
+        assert factor == 2
+
+    def test_generous_budget_needs_no_replication(self, rng):
+        factor = required_safety_factor(
+            UsageProfile(mean_daily=20.0), target_years=5.0,
+            base_budget=91_250, rng=rng, confidence=0.99, trials=40)
+        assert factor == 1
+
+    def test_overwhelming_usage_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            required_safety_factor(
+                UsageProfile(mean_daily=5000.0), target_years=5.0,
+                base_budget=91_250, rng=rng, max_factor=2, trials=20)
+
+    def test_confidence_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            required_safety_factor(UsageProfile(), 1.0, 1000, rng,
+                                   confidence=1.5)

@@ -1,0 +1,96 @@
+"""Tests for trace generation and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.sim.timeline import UsageProfile
+from repro.sim.traces import (
+    EventKind,
+    generate_trace,
+    replay_trace,
+)
+
+DEVICE = WeibullDistribution(alpha=10.0, beta=8.0)
+PROFILE = UsageProfile(mean_daily=10.0)
+
+
+def design(bound):
+    return solve_encoded_fractional(DEVICE, bound, 0.10, PAPER_CRITERIA)
+
+
+class TestGenerateTrace:
+    def test_chronological_and_sized(self, rng):
+        trace = generate_trace(PROFILE, 30, rng)
+        days = [e.day for e in trace]
+        assert days == sorted(days)
+        owner = sum(e.kind is EventKind.OWNER_LOGIN for e in trace)
+        assert owner == pytest.approx(300, rel=0.25)
+
+    def test_typo_rate(self, rng):
+        trace = generate_trace(PROFILE, 200, rng, typo_rate=0.2)
+        logins = sum(e.kind is EventKind.OWNER_LOGIN for e in trace)
+        typos = sum(e.kind is EventKind.OWNER_TYPO for e in trace)
+        assert typos / logins == pytest.approx(0.2, abs=0.04)
+
+    def test_attacker_burst(self, rng):
+        trace = generate_trace(PROFILE, 10, rng, attacker_burst_day=5,
+                               attacker_burst_size=40)
+        burst = [e for e in trace if e.kind is EventKind.ATTACKER_GUESS]
+        assert len(burst) == 40
+        assert all(e.day == 5 for e in burst)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_trace(PROFILE, 0, rng)
+        with pytest.raises(ConfigurationError):
+            generate_trace(PROFILE, 5, rng, typo_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            generate_trace(PROFILE, 5, rng, attacker_burst_size=-1)
+
+
+class TestReplay:
+    def test_quiet_life_survives(self, rng):
+        trace = generate_trace(PROFILE, 20, rng, typo_rate=0.0)
+        report = replay_trace([design(400)], ["pc-0"], b"data", trace, rng)
+        assert report.survived
+        assert report.owner_logins == len(trace)
+        assert report.migrations == 0
+        assert not report.attacker_breached
+
+    def test_migration_extends_service(self, rng):
+        trace = generate_trace(PROFILE, 60, rng, typo_rate=0.0)
+        # One 300-access module dies mid-trace (~600 logins)...
+        single = replay_trace([design(300)], ["pc-0"], b"data", trace,
+                              np.random.default_rng(1))
+        assert not single.survived
+        # ...two modules with auto-migration survive it.
+        double = replay_trace([design(300)] * 2, ["pc-0", "pc-1"],
+                              b"data", trace, np.random.default_rng(1))
+        assert double.survived
+        assert double.migrations == 1
+        assert double.owner_logins == len(trace)
+
+    def test_attacker_burst_burns_budget_without_breach(self, rng):
+        trace = generate_trace(PROFILE, 30, rng, typo_rate=0.0,
+                               attacker_burst_day=3,
+                               attacker_burst_size=100)
+        report = replay_trace([design(350)], ["pc-0"], b"data", trace,
+                              rng)
+        assert report.attacker_attempts > 0
+        assert not report.attacker_breached
+        # The burst consumed budget the owner would have used.
+        assert not report.survived or report.owner_logins < len(trace)
+
+    def test_typos_count_against_budget(self, rng):
+        trace = generate_trace(PROFILE, 25, rng, typo_rate=0.3)
+        report = replay_trace([design(400)], ["pc-0"], b"data", trace,
+                              rng)
+        assert report.owner_typos > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            replay_trace([design(100)], ["x"], b"d", [], rng,
+                         migrate_below_fraction=1.0)

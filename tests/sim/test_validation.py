@@ -1,0 +1,93 @@
+"""Tests for statistical goodness-of-fit validation."""
+
+import pytest
+
+from repro.core.fitting import fit_mle
+from repro.core.models import LognormalLifetime, fit_lifetime_model
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.sim.validation import (
+    chi_square_binned,
+    ks_test,
+    validate_model,
+)
+
+TRUE = WeibullDistribution(alpha=14.0, beta=8.0)
+
+
+class TestKS:
+    def test_true_model_accepted(self, rng):
+        data = TRUE.sample(size=2000, rng=rng)
+        _, pvalue = ks_test(data, TRUE)
+        assert pvalue > 0.01
+
+    def test_wrong_scale_rejected(self, rng):
+        data = TRUE.sample(size=2000, rng=rng)
+        wrong = WeibullDistribution(alpha=10.0, beta=8.0)
+        _, pvalue = ks_test(data, wrong)
+        assert pvalue < 1e-6
+
+    def test_accepts_models_with_reliability_only(self, rng):
+        data = TRUE.sample(size=500, rng=rng)
+
+        class OnlyReliability:
+            def reliability(self, x):
+                return TRUE.reliability(x)
+
+        _, pvalue = ks_test(data, OnlyReliability())
+        assert pvalue > 0.01
+
+    def test_sample_validation(self):
+        with pytest.raises(ConfigurationError):
+            ks_test([1.0] * 4, TRUE)
+        with pytest.raises(ConfigurationError):
+            ks_test([1.0] * 10 + [-1.0], TRUE)
+
+
+class TestChiSquare:
+    def test_true_model_accepted(self, rng):
+        data = TRUE.sample(size=3000, rng=rng)
+        _, pvalue = chi_square_binned(data, TRUE)
+        assert pvalue > 0.01
+
+    def test_wrong_shape_rejected(self, rng):
+        data = TRUE.sample(size=3000, rng=rng)
+        wrong = WeibullDistribution(alpha=14.0, beta=3.0)
+        _, pvalue = chi_square_binned(data, wrong)
+        assert pvalue < 1e-6
+
+    def test_bin_requirements(self, rng):
+        data = TRUE.sample(size=30, rng=rng)
+        with pytest.raises(ConfigurationError):
+            chi_square_binned(data, TRUE, n_bins=10)
+        with pytest.raises(ConfigurationError):
+            chi_square_binned(TRUE.sample(size=100, rng=rng), TRUE,
+                              n_bins=2)
+
+
+class TestValidateModel:
+    def test_fitted_weibull_passes(self, rng):
+        data = TRUE.sample(size=3000, rng=rng)
+        verdict = validate_model(data, fit_mle(data))
+        assert verdict.acceptable
+
+    def test_wrong_family_flagged(self, rng):
+        """Weibull data force-fitted as lognormal gets caught - the
+        Section 7 scenario these tools exist for."""
+        data = WeibullDistribution(alpha=14.0, beta=12.0).sample(
+            size=8000, rng=rng)
+        lognorm = fit_lifetime_model(data, "lognormal")
+        verdict = validate_model(data, lognorm)
+        assert not verdict.acceptable
+
+    def test_lognormal_data_with_lognormal_fit_passes(self, rng):
+        truth = LognormalLifetime(mu=2.6, sigma=0.15)
+        data = truth.sample(size=3000, rng=rng)
+        verdict = validate_model(data, fit_lifetime_model(data,
+                                                          "lognormal"))
+        assert verdict.acceptable
+
+    def test_significance_validated(self, rng):
+        data = TRUE.sample(size=500, rng=rng)
+        with pytest.raises(ConfigurationError):
+            validate_model(data, TRUE, significance=0.9)

@@ -1,0 +1,92 @@
+"""Tests for the limited-use targeting system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    DeviceWornOutError,
+)
+from repro.targeting.design_space import (
+    fig5a_unencoded_sweep,
+    fig5b_encoded_sweep,
+)
+from repro.targeting.system import (
+    Command,
+    CommandCenter,
+    LaunchStation,
+    design_targeting_system,
+)
+
+
+@pytest.fixture
+def mission(rng):
+    design = design_targeting_system(alpha=10, beta=8, mission_bound=50)
+    key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+    return CommandCenter(key), LaunchStation(design, key, rng), design
+
+
+class TestDesign:
+    def test_covers_mission_bound(self):
+        design = design_targeting_system(alpha=10, beta=8)
+        assert design.guaranteed_accesses >= 100
+
+    def test_orders_of_magnitude_below_connection(self):
+        """Fig. 5's point: a 100-use budget needs ~1000x fewer switches
+        than the 91,250-use connection."""
+        mission = design_targeting_system(alpha=14, beta=8)
+        from repro.core.degradation import (
+            PAPER_CRITERIA,
+            solve_encoded_fractional,
+        )
+        from repro.core.weibull import WeibullDistribution
+        phone = solve_encoded_fractional(
+            WeibullDistribution(14.0, 8.0), 91_250, 0.10, PAPER_CRITERIA)
+        assert phone.total_devices / mission.total_devices > 100
+
+
+class TestCommandFlow:
+    def test_issue_and_execute(self, mission):
+        center, station, _ = mission
+        directive = b"engage target 7"
+        assert station.execute(center.issue(directive)) == directive
+        assert station.executed == 1
+
+    def test_forged_command_rejected_but_costs_access(self, mission):
+        center, station, _ = mission
+        before = station.connection.accesses
+        with pytest.raises(AuthenticationError):
+            station.execute(Command(sealed=bytes(48)))
+        assert station.rejected == 1
+        assert station.connection.accesses == before + 1
+
+    def test_mission_bound_enforced(self, mission):
+        center, station, design = mission
+        executed = 0
+        with pytest.raises(DeviceWornOutError):
+            for i in range(10 ** 6):
+                station.execute(center.issue(f"cmd {i}".encode()))
+                executed += 1
+        assert design.access_bound <= executed
+        assert executed <= design.copies * (design.t + 2)
+        assert station.is_decommissioned
+
+    def test_center_requires_aes_key(self):
+        with pytest.raises(ConfigurationError):
+            CommandCenter(b"short")
+
+
+class TestDesignSpace:
+    def test_fig5a_shape(self):
+        curves = fig5a_unencoded_sweep(alphas=(10, 20), betas=(8, 16))
+        assert curves[16][0][1] < curves[8][0][1]  # consistency pays
+        # Small bound -> small counts relative to Fig. 4a.
+        assert curves[16][0][1] < 1e6
+
+    def test_fig5b_small_designs(self):
+        curves = fig5b_encoded_sweep(alphas=(10,), k_fractions=(0.10,),
+                                     betas=(8,))
+        total = curves[(0.10, 8)][0][1]
+        assert total is not None
+        assert total < 5_000  # paper's comparable point: ~810

@@ -1,0 +1,95 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz.ascii import heatmap, line_chart
+
+
+class TestLineChart:
+    def test_basic_structure(self):
+        out = line_chart({"a": [(0, 0.0), (1, 1.0), (2, 2.0)]},
+                         width=20, height=6, title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert any("o" in line for line in lines)
+        assert "o = a" in lines[-1]
+
+    def test_extremes_on_correct_rows(self):
+        out = line_chart({"a": [(0, 0.0), (10, 5.0)]}, width=20, height=6)
+        lines = out.splitlines()
+        assert "o" in lines[0]       # max on the top row
+        assert "o" in lines[5]       # min on the bottom row
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart({"a": [(0, 1.0)], "b": [(1, 2.0)]},
+                         width=20, height=6)
+        assert "o = a" in out
+        assert "x = b" in out
+
+    def test_gaps_skipped(self):
+        out = line_chart({"a": [(0, 1.0), (1, None), (2, 3.0)]},
+                         width=20, height=6)
+        assert "o" in out
+
+    def test_log_scale_labels(self):
+        out = line_chart({"a": [(0, 10.0), (1, 1e6)]}, width=20, height=6,
+                         log_y=True)
+        assert "1.00e+06" in out
+        assert "(log y)" in out
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [(0, 0.0)]}, log_y=True)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [(0, None)]})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [(0, 1.0)]}, width=5, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        out = line_chart({"a": [(0, 5.0), (1, 5.0)]}, width=20, height=6)
+        assert "o" in out
+
+
+class TestHeatmap:
+    def test_shape_and_labels(self):
+        out = heatmap([[0.0, 1.0], [0.5, 0.25]], ["r1", "r2"], ["c1", "c2"])
+        lines = out.splitlines()
+        assert "c1" in lines[0] and "c2" in lines[0]
+        assert lines[1].startswith("r1")
+        assert lines[2].startswith("r2")
+
+    def test_shading_monotone(self):
+        out = heatmap([[0.0, 0.5, 1.0]], ["r"], ["a", "b", "c"])
+        row = out.splitlines()[1]
+        assert " " in row and "@" in row
+
+    def test_clamps_out_of_range(self):
+        out = heatmap([[-1.0, 2.0]], ["r"], ["a", "b"])
+        row = out.splitlines()[1]
+        assert "@" in row
+
+    def test_custom_max_value(self):
+        out = heatmap([[50.0]], ["r"], ["a"], max_value=100.0)
+        assert "=" in out.splitlines()[1] or "+" in out.splitlines()[1]
+
+    def test_label_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            heatmap([[1.0]], ["r1", "r2"], ["c1"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            heatmap([], [], [])
+
+    def test_invalid_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            heatmap([[1.0]], ["r"], ["c"], max_value=0)
+
+    def test_title_and_scale_line(self):
+        out = heatmap([[0.3]], ["r"], ["c"], title="grid")
+        assert out.splitlines()[0] == "grid"
+        assert out.splitlines()[-1].startswith("scale:")
