@@ -7,7 +7,6 @@ regressions in the substrate show up in CI.
 """
 
 import numpy as np
-import pytest
 
 from repro.codes.reed_solomon import ReedSolomonCode
 from repro.codes.shamir import recover_secret, split_secret

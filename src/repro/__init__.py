@@ -13,7 +13,8 @@ Architectures" (ISCA 2017), as a Python library:
 - :mod:`repro.connection` - the limited-use smartphone connection;
 - :mod:`repro.targeting` - the limited-use targeting system;
 - :mod:`repro.pads` - one-time pads in wearout decision trees;
-- :mod:`repro.sim` - Monte Carlo validation harness;
+- :mod:`repro.sim` - Monte Carlo validation harness (checkpointed);
+- :mod:`repro.faults` - fault injection and resilience campaigns;
 - :mod:`repro.experiments` - one module per paper figure/table.
 
 Quickstart::
@@ -30,8 +31,8 @@ Quickstart::
     assert phone.login("5512").success
 """
 
-from repro import codes, connection, core, crypto, gf, pads, passwords, sim
-from repro import targeting
+from repro import codes, connection, core, crypto, faults, gf, pads
+from repro import passwords, sim, targeting
 from repro.errors import (
     AuthenticationError,
     CodingError,
@@ -67,6 +68,7 @@ __all__ = [
     "connection",
     "core",
     "crypto",
+    "faults",
     "gf",
     "pads",
     "passwords",

@@ -7,6 +7,8 @@ Subcommands mirror the workflows a user of the paper's system needs:
 - ``attack``      crack-probability analysis for a sized phone design
 - ``pads``        one-time-pad design-point analysis (Eqs. 9-15 + costs)
 - ``simulate``    Monte Carlo empirical access bounds for a design
+- ``faults``      checkpointed fault-injection campaign (ceiling
+  violations, availability, retry/quarantine behaviour)
 - ``experiments`` run registered paper artifacts (same as
   ``python -m repro.experiments``)
 
@@ -40,6 +42,7 @@ from repro.pads.analysis import (
 from repro.pads.layout import pads_per_chip, retrieval_cost
 from repro.passwords.model import PasswordModel
 from repro.sim.montecarlo import simulate_access_bounds, summarize_bounds
+from repro.sim.rng import make_rng, set_default_seed
 from repro.viz.ascii import line_chart
 
 __all__ = ["main", "build_parser"]
@@ -202,7 +205,7 @@ def cmd_pads(args) -> int:
 
 def cmd_simulate(args) -> int:
     point = _design_point(args)
-    rng = np.random.default_rng(args.seed)
+    rng = make_rng(args.seed)
     bounds = simulate_access_bounds(point, args.trials, rng)
     summary = summarize_bounds(bounds)
     print(f"simulated {summary.trials} fabricated instances:")
@@ -213,6 +216,40 @@ def cmd_simulate(args) -> int:
     meets = float((bounds >= point.access_bound).mean())
     print(f"  P[meets legitimate bound {point.access_bound:,}]: {meets:.3f}")
     return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.faults.campaign import FaultCampaignConfig, run_fault_campaign
+
+    point = _design_point(args)
+    set_default_seed(args.seed)
+    config = FaultCampaignConfig(
+        misfire_rate=args.misfire_rate,
+        premature_stuck_open_rate=args.premature_rate,
+        stuck_closed_probability=args.stuck_closed,
+        corruption_rate=args.corruption_rate,
+        timeout_rate=args.timeout_rate,
+        temperature_c=args.temperature,
+        rs_fallback=not args.no_rs_fallback,
+        max_attempts=args.max_attempts,
+        quarantine_after=args.quarantine_after,
+        max_accesses=args.max_accesses,
+    )
+    if args.checkpoint:
+        from repro.sim.checkpoint import load_checkpoint
+
+        resumed = load_checkpoint(args.checkpoint)
+        if resumed is not None:
+            print(f"resuming from {args.checkpoint} "
+                  f"({resumed['completed']}/{args.trials} trials done)")
+    report = run_fault_campaign(point, config, trials=args.trials,
+                                seed=args.seed,
+                                checkpoint_path=args.checkpoint,
+                                checkpoint_every=args.checkpoint_every)
+    print(f"design: {point.k}-of-{point.n} x {point.copies} copies, "
+          f"device Weibull({args.alpha}, {args.beta})")
+    print(report.render())
+    return 1 if report.violation_rate > 0 else 0
 
 
 def cmd_experiments(args) -> int:
@@ -290,6 +327,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--trials", type=int, default=200)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_faults = sub.add_parser(
+        "faults", help="checkpointed fault-injection campaign")
+    _add_design_arguments(p_faults)
+    p_faults.add_argument("--trials", type=int, default=20)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--checkpoint", metavar="FILE", default=None,
+                          help="checkpoint file: created/updated during "
+                               "the run, resumed from when present")
+    p_faults.add_argument("--checkpoint-every", type=int, default=10,
+                          help="trials between checkpoint writes")
+    p_faults.add_argument("--misfire-rate", type=float, default=0.0,
+                          help="P[transient misfire] per actuation")
+    p_faults.add_argument("--premature-rate", type=float, default=0.0,
+                          help="P[premature permanent fracture] per "
+                               "actuation")
+    p_faults.add_argument("--stuck-closed", type=float, default=0.0,
+                          help="P[a worn-out switch sticks closed]")
+    p_faults.add_argument("--corruption-rate", type=float, default=0.0,
+                          help="P[bit-flipped share] per readout")
+    p_faults.add_argument("--timeout-rate", type=float, default=0.0,
+                          help="P[readout timeout] per readout")
+    p_faults.add_argument("--temperature", type=float, default=25.0,
+                          help="operating temperature in C (drift "
+                               "accelerates wear above 25)")
+    p_faults.add_argument("--no-rs-fallback", action="store_true",
+                          help="disable the Reed-Solomon degradation "
+                               "path (pure Shamir)")
+    p_faults.add_argument("--max-attempts", type=int, default=4)
+    p_faults.add_argument("--quarantine-after", type=int, default=3)
+    p_faults.add_argument("--max-accesses", type=int, default=None,
+                          help="per-trial access cap (default: a little "
+                               "past the security ceiling)")
+    p_faults.set_defaults(func=cmd_faults)
 
     p_exp = sub.add_parser("experiments", help="run paper artifacts")
     p_exp.add_argument("ids", nargs="*",

@@ -52,7 +52,9 @@ def split_secret(secret: bytes, k: int, n: int,
     if not secret:
         raise ConfigurationError("secret must be non-empty")
     if rng is None:
-        rng = np.random.default_rng()
+        from repro.sim.rng import make_rng
+
+        rng = make_rng()
 
     secret_arr = np.frombuffer(secret, dtype=np.uint8)
     # coeffs[0] is the secret itself; rows 1..k-1 are uniform random.

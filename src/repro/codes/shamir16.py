@@ -51,7 +51,9 @@ def split_secret16(secret: bytes, k: int, n: int,
     if not secret:
         raise ConfigurationError("secret must be non-empty")
     if rng is None:
-        rng = np.random.default_rng()
+        from repro.sim.rng import make_rng
+
+        rng = make_rng()
     field = field or gf65536()
 
     symbols = _to_symbols(secret)

@@ -27,10 +27,18 @@ from repro.connection.design_space import (
 )
 from repro.connection.keystore import BankKeyStore
 from repro.connection.multiuser import SharedPhone
+from repro.connection.resilient import (
+    AccessStats,
+    CopyHealth,
+    ResilientAccessController,
+    RetryPolicy,
+)
 from repro.connection.phone import LoginResult, MWayPhone, SecurePhone
 
 __all__ = [
+    "AccessStats",
     "BankKeyStore",
+    "CopyHealth",
     "DrainAnalysis",
     "HardwareAttackStats",
     "LimitedUseConnection",
@@ -38,6 +46,8 @@ __all__ = [
     "MWayPhone",
     "NANDImage",
     "PhoneWipedError",
+    "ResilientAccessController",
+    "RetryPolicy",
     "SMARTPHONE_ACCESS_BOUND",
     "SecurePhone",
     "SharedPhone",

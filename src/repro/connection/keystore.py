@@ -13,11 +13,16 @@ import numpy as np
 from repro.codes.shamir import Share, recover_secret, split_secret
 from repro.codes.shamir16 import (
     MAX_SHARES16,
+    Share16,
     recover_secret16,
     split_secret16,
 )
 from repro.codes.threshold import rs_recover_secret, rs_split_secret
-from repro.errors import ConfigurationError, InsufficientSharesError
+from repro.errors import (
+    ConfigurationError,
+    DecodingFailure,
+    InsufficientSharesError,
+)
 
 __all__ = ["BankKeyStore"]
 
@@ -40,10 +45,16 @@ class BankKeyStore:
       ``2 * errors <= n - k - missing``, where Shamir would silently
       reconstruct garbage.  Section 4.1.4 treats the schemes as
       interchangeable; this makes the actual trade-off explicit.
+
+    ``bank_id`` tags errors with the copy this store belongs to, and
+    ``fault_hook`` (a :class:`repro.faults.FaultModel`) is consulted on
+    every share readout so fault campaigns can corrupt or time out the
+    register path; with no hook attached readout is a plain list index.
     """
 
     def __init__(self, secret: bytes, n: int, k: int,
-                 rng: np.random.Generator, scheme: str = "shamir") -> None:
+                 rng: np.random.Generator, scheme: str = "shamir",
+                 bank_id: int = 0, fault_hook=None) -> None:
         if not secret:
             raise ConfigurationError("secret must be non-empty")
         if not 1 <= k <= n:
@@ -53,6 +64,8 @@ class BankKeyStore:
         self.n = n
         self.k = k
         self.scheme = scheme
+        self.bank_id = bank_id
+        self.fault_hook = fault_hook
         self._secret_len = len(secret)
         if k == 1:
             self._shares = [secret] * n
@@ -73,28 +86,65 @@ class BankKeyStore:
             raise ConfigurationError(
                 f"banks beyond {MAX_SHARES16} shares are not supported")
 
+    def _read_share_data(self, index: int) -> bytes | None:
+        """One register readout, through the fault hook when attached.
+
+        Returns None when an injected timeout loses the share for this
+        attempt (the caller treats it as missing, not corrupt).
+        """
+        data = (self._shares[index] if self._mode == "replicas"
+                else self._shares[index].data)
+        if self.fault_hook is None:
+            return data
+        return self.fault_hook.on_share_readout(self.bank_id, index, data)
+
     def recover(self, live_indices: list[int]) -> bytes:
         """Recover the secret from the switches that closed.
 
         ``live_indices`` are 0-based switch positions.  Raises
-        :class:`InsufficientSharesError` below the threshold.  The RS
-        scheme uses *all* live shares and corrects corrupted ones within
-        the code's radius; Shamir uses the first k.
+        :class:`InsufficientSharesError` (with structured context: shares
+        supplied vs threshold, bank id, timeout count) below the
+        threshold.  The RS scheme uses *all* live shares and corrects
+        corrupted ones within the code's radius; Shamir uses the first k.
         """
         if len(live_indices) < self.k:
             raise InsufficientSharesError(
-                f"only {len(live_indices)} live switches, need {self.k}")
+                f"bank {self.bank_id}: only {len(live_indices)} live "
+                f"switches, need k={self.k}",
+                supplied=len(live_indices), required=self.k,
+                bank_id=self.bank_id)
         if any(not 0 <= i < self.n for i in live_indices):
             raise ConfigurationError("switch index out of range")
+
+        readouts = [(i, self._read_share_data(i)) for i in live_indices]
+        timeouts = sum(1 for _, data in readouts if data is None)
+        live = [(i, data) for i, data in readouts if data is not None]
+        if len(live) < self.k:
+            raise InsufficientSharesError(
+                f"bank {self.bank_id}: {len(readouts)} switches closed but "
+                f"{timeouts} share readouts timed out, leaving {len(live)} "
+                f"< k={self.k}",
+                supplied=len(live), required=self.k, bank_id=self.bank_id,
+                timeouts=timeouts)
+
         if self._mode == "replicas":
-            return self._shares[live_indices[0]]
+            return live[0][1]
         if self._mode == "rs":
-            chosen = [self._shares[i] for i in live_indices]
-            return rs_recover_secret(chosen, self.k, self.n,
-                                     secret_len=self._secret_len,
-                                     correct_errors=True)
-        chosen = [self._shares[i] for i in live_indices[:self.k]]
+            chosen = [Share(index=i + 1, data=data) for i, data in live]
+            try:
+                return rs_recover_secret(chosen, self.k, self.n,
+                                         secret_len=self._secret_len,
+                                         correct_errors=True)
+            except DecodingFailure as exc:
+                raise DecodingFailure(
+                    f"bank {self.bank_id}: {len(live)} live shares exceed "
+                    f"the RS({self.n}, {self.k}) correction radius: {exc}",
+                    bank_id=self.bank_id, n=self.n, k=self.k) from exc
         if self._mode == "gf256":
+            chosen = [Share(index=i + 1, data=data)
+                      for i, data in live[:self.k]]
             return recover_secret(chosen, k=self.k)
-        return recover_secret16(chosen, k=self.k,
+        chosen16 = [Share16(index=i + 1, data=data)
+                    for i, data in live[:self.k]]
+        return recover_secret16(chosen16, k=self.k,
                                 secret_len=self._secret_len)

@@ -134,6 +134,21 @@ class NEMSSwitch:
         self.cycles_used += 1
         return self.cycles_used <= self.lifetime_cycles
 
+    def force_fail(self) -> None:
+        """Kill the switch permanently (fault injection: premature
+        fracture).  Wear accounting is preserved; the sampled lifetime is
+        truncated to the cycles already served so ``is_failed`` holds from
+        now on."""
+        self.lifetime_cycles = float(min(self.lifetime_cycles,
+                                         self.cycles_used))
+
+    def add_wear(self, cycles: int) -> None:
+        """Add ``cycles`` of wear without serving an access (fault
+        injection: environmental acceleration)."""
+        if cycles < 0:
+            raise ConfigurationError("extra wear must be >= 0")
+        self.cycles_used += int(cycles)
+
     def actuate_or_raise(self) -> None:
         """Like :meth:`actuate` but raises :class:`DeviceWornOutError`."""
         if not self.actuate():

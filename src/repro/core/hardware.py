@@ -34,7 +34,8 @@ class SimulatedBank:
     when at least ``k`` switches close.
     """
 
-    def __init__(self, switches: list[NEMSSwitch], k: int = 1) -> None:
+    def __init__(self, switches: list[NEMSSwitch], k: int = 1,
+                 fault_hook=None) -> None:
         if not switches:
             raise ConfigurationError("bank needs at least one switch")
         if not 1 <= k <= len(switches):
@@ -44,6 +45,7 @@ class SimulatedBank:
         self.k = k
         self.accesses = 0
         self._dead = False
+        self._fault_hook = fault_hook
 
     @property
     def n(self) -> int:
@@ -65,14 +67,33 @@ class SimulatedBank:
         The access is counted whether or not it succeeds.  An access on a
         dead bank returns an empty list without further wear (the bank is
         electrically open).
+
+        With a fault hook attached the returned indices are the *observed*
+        closures after injection.  The dead-latch then keys on the
+        physical closures, not the observed ones: a transient misfire must
+        not permanently condemn a healthy bank, and a stuck-closed switch
+        keeps a physically-dead bank serving (the ceiling violation fault
+        campaigns exist to measure).
         """
         if self._dead:
             return []
         self.accesses += 1
-        closed = [i for i, s in enumerate(self.switches) if s.actuate()]
-        if len(closed) < self.k:
+        if self._fault_hook is None:
+            closed = [i for i, s in enumerate(self.switches) if s.actuate()]
+            if len(closed) < self.k:
+                self._dead = True
+            return closed
+        hook = self._fault_hook.on_switch_actuate
+        physical = 0
+        observed: list[int] = []
+        for i, switch in enumerate(self.switches):
+            raw = switch.actuate()
+            physical += raw
+            if hook(switch, raw):
+                observed.append(i)
+        if physical < self.k and len(observed) < self.k:
             self._dead = True
-        return closed
+        return observed
 
     def access_succeeds(self) -> bool:
         """Actuate once and report whether >= k paths closed."""
@@ -151,13 +172,18 @@ def build_serial_copies(model: WeibullDistribution, n_copies: int,
                         n_per_bank: int, k: int,
                         rng: np.random.Generator,
                         variation: ProcessVariation | None = None,
-                        ) -> SerialCopies:
-    """Fabricate a full N x (k-of-n) architecture from a device model."""
+                        fault_hook=None) -> SerialCopies:
+    """Fabricate a full N x (k-of-n) architecture from a device model.
+
+    ``fault_hook`` (a :class:`repro.faults.FaultModel`) is attached to
+    every bank; fabrication draws are unaffected by its presence.
+    """
     if n_copies < 1:
         raise ConfigurationError("need at least one copy")
     banks = [
         SimulatedBank(
-            NEMSSwitch.fabricate_batch(model, n_per_bank, rng, variation), k)
+            NEMSSwitch.fabricate_batch(model, n_per_bank, rng, variation), k,
+            fault_hook=fault_hook)
         for _ in range(n_copies)
     ]
     return SerialCopies(banks)

@@ -64,7 +64,9 @@ class LognormalLifetime:
 
     def sample(self, size=None, rng: np.random.Generator | None = None):
         if rng is None:
-            rng = np.random.default_rng()
+            from repro.sim.rng import make_rng
+
+            rng = make_rng()
         out = rng.lognormal(self.mu, self.sigma, size=size)
         return float(out) if size is None else out
 
@@ -114,7 +116,9 @@ class GammaLifetime:
 
     def sample(self, size=None, rng: np.random.Generator | None = None):
         if rng is None:
-            rng = np.random.default_rng()
+            from repro.sim.rng import make_rng
+
+            rng = make_rng()
         out = rng.gamma(self.k, self.theta, size=size)
         return float(out) if size is None else out
 

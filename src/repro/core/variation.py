@@ -124,6 +124,8 @@ def effective_population_beta(nominal: WeibullDistribution,
     from repro.core.fitting import fit_mle
 
     if rng is None:
-        rng = np.random.default_rng(0)
+        from repro.sim.rng import make_rng
+
+        rng = make_rng(0)
     lifetimes = variation.sample_lifetimes(nominal, n_devices, rng)
     return fit_mle(lifetimes).beta

@@ -197,7 +197,9 @@ class WeibullDistribution:
             when omitted (non-reproducible - pass one for experiments).
         """
         if rng is None:
-            rng = np.random.default_rng()
+            from repro.sim.rng import make_rng
+
+            rng = make_rng()
         u = rng.random(size=size)
         out = self.alpha * np.power(-np.log1p(-u), 1.0 / self.beta)
         if size is None:

@@ -41,7 +41,9 @@ def generate_pad(length: int, rng: np.random.Generator | None = None) -> bytes:
     if length < 1:
         raise ConfigurationError("pad length must be >= 1")
     if rng is None:
-        rng = np.random.default_rng()
+        from repro.sim.rng import make_rng
+
+        rng = make_rng()
     return rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
 
 

@@ -30,11 +30,40 @@ class CodingError(ReproError):
 
 
 class InsufficientSharesError(CodingError):
-    """Fewer than the threshold ``k`` shares were supplied for recovery."""
+    """Fewer than the threshold ``k`` shares were supplied for recovery.
+
+    Carries structured context so resilient access layers can report and
+    route around the failure: ``supplied`` live shares vs the ``required``
+    threshold k, the ``bank_id`` of the copy that failed, and how many
+    shares were lost to readout ``timeouts`` (as opposed to dead
+    switches).  All context fields are optional; raisers that predate the
+    enrichment still work.
+    """
+
+    def __init__(self, message: str, *, supplied: int | None = None,
+                 required: int | None = None, bank_id: int | None = None,
+                 timeouts: int | None = None) -> None:
+        super().__init__(message)
+        self.supplied = supplied
+        self.required = required
+        self.bank_id = bank_id
+        self.timeouts = timeouts
 
 
 class DecodingFailure(CodingError):
-    """A Reed-Solomon decode could not produce a valid codeword."""
+    """A Reed-Solomon decode could not produce a valid codeword.
+
+    ``bank_id`` identifies the copy whose shares failed to decode and
+    ``n`` / ``k`` its code parameters (correction radius
+    ``(n - k - missing) // 2``), when the raiser knows them.
+    """
+
+    def __init__(self, message: str, *, bank_id: int | None = None,
+                 n: int | None = None, k: int | None = None) -> None:
+        super().__init__(message)
+        self.bank_id = bank_id
+        self.n = n
+        self.k = k
 
 
 class CryptoError(ReproError):

@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.degradation import (
     DegradationCriteria,
@@ -25,6 +24,7 @@ from repro.core.weibull import WeibullDistribution
 from repro.errors import InfeasibleDesignError
 from repro.experiments.report import ExperimentResult, format_table
 from repro.sim.montecarlo import simulate_access_bounds, summarize_bounds
+from repro.sim.rng import make_rng
 
 
 def run_structures(alpha: float = 14.0, beta: float = 8.0,
@@ -93,7 +93,7 @@ def run_montecarlo_validation(alpha: float = 14.0, beta: float = 8.0,
     device = WeibullDistribution(alpha=alpha, beta=beta)
     point = solve_encoded_fractional(device, access_bound, k_fraction,
                                      PAPER_CRITERIA)
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     bounds = simulate_access_bounds(point, trials, rng)
     summary = summarize_bounds(bounds)
     expected = point.expected_access_bound()

@@ -11,11 +11,11 @@ gets nothing.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
 from repro.core.weibull import WeibullDistribution
 from repro.experiments.report import ExperimentResult
+from repro.sim.rng import make_rng
 from repro.sim.timeline import UsageProfile
 from repro.sim.traces import generate_trace, replay_trace
 
@@ -27,7 +27,7 @@ MODULE_BOUND = 1_100
 
 
 def run_deployment(seed: int = 77) -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     device = WeibullDistribution(alpha=14.0, beta=8.0)
     module = solve_encoded_fractional(device, MODULE_BOUND, 0.10,
                                       PAPER_CRITERIA)
@@ -48,7 +48,7 @@ def run_deployment(seed: int = 77) -> ExperimentResult:
         f"attacker attempts:      {report.attacker_attempts} "
         f"(breached: {report.attacker_breached})",
         f"module migrations:      {report.migrations}",
-        f"service outcome:        "
+        "service outcome:        "
         + ("survived the full period"
            if report.survived else f"died on day {report.died_on_day}"),
     ]

@@ -10,7 +10,6 @@ Each probes a question the paper raises but does not quantify:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.connection.availability import drain_analysis
 from repro.core.acceptance import evaluate_lot
@@ -30,6 +29,7 @@ from repro.pads.raid_planning import defender_min_height, optimal_raid_plan
 from repro.core.sensitivity import alpha_margin, beta_margin
 from repro.core.weibull import WeibullDistribution
 from repro.experiments.report import ExperimentResult, format_table
+from repro.sim.rng import make_rng
 
 DEVICE = WeibullDistribution(alpha=14.0, beta=8.0)
 
@@ -156,7 +156,7 @@ def run_tolerance_margins() -> ExperimentResult:
         ["beta", m_beta.low, m_beta.design_value, m_beta.high,
          m_beta.relative_width],
     ]
-    rng = np.random.default_rng(11)
+    rng = make_rng(11)
     good = evaluate_lot(DEVICE.sample(size=4_000, rng=rng), derated, rng,
                         n_boot=60, certify_criteria=PAPER_CRITERIA)
     drifted = evaluate_lot(

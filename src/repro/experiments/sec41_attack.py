@@ -10,7 +10,6 @@ bypassed-software-counter baseline where the same attacker always wins.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.connection.attacks import (
     analytic_crack_probability,
@@ -21,6 +20,7 @@ from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
 from repro.core.weibull import WeibullDistribution
 from repro.experiments.report import ExperimentResult, format_table
 from repro.passwords.model import PasswordModel
+from repro.sim.rng import make_rng
 
 
 def run_attack_stats(trials: int = 400, seed: int = 2017,
@@ -29,7 +29,7 @@ def run_attack_stats(trials: int = 400, seed: int = 2017,
     design = solve_encoded_fractional(device, SMARTPHONE_ACCESS_BOUND,
                                       0.10, PAPER_CRITERIA)
     model = PasswordModel()
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     rows = []
     for label, excluded in (("no passcode policy", 0.0),
                             ("reject top 1%", 0.01),

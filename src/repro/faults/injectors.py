@@ -1,0 +1,286 @@
+"""Pluggable fault injectors for the stateful hardware simulation.
+
+Section 2.1 of the paper lists the physical failure mechanisms of NEMS
+switches - fracture and burnout (fail-secure, permanently open) but also
+adhesion/stiction (fail-insecure, permanently closed) - and the wearout
+model itself is only as good as the fab's characterization.
+:mod:`repro.core.failure_modes` analyzes those deviations statically;
+this module *injects* them into live hardware so experiments can observe
+whether an architecture degrades gracefully (availability loss) or
+breaks its security ceiling (extra accesses past the design bound).
+
+Design: hardware objects (:class:`~repro.core.hardware.SimulatedBank`,
+:class:`~repro.pads.decision_tree.HardwareDecisionTree`,
+:class:`~repro.connection.keystore.BankKeyStore`) accept an optional
+``fault_hook`` - a :class:`FaultModel` aggregating any number of
+:class:`FaultInjector` instances.  With no hook attached the hot paths
+run exactly as before (a single ``is None`` branch), so fault support
+costs nothing when disabled.
+
+Two injection sites cover every fault in the taxonomy:
+
+- ``on_switch_actuate(switch, closed)`` - consulted after each physical
+  actuation; may suppress a closure (misfire), permanently kill the
+  switch (premature stuck-open), force a worn-out switch to keep
+  conducting (stuck-closed conversion), or add hidden wear
+  (temperature drift);
+- ``on_share_readout(bank_id, index, data)`` - consulted when a share /
+  leaf register is read; may corrupt the bytes (bit flips) or return
+  None (readout timeout: the share is missing this attempt).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.device import NEMSSwitch
+from repro.core.environment import SiCTemperatureModel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FaultInjector",
+    "FaultModel",
+    "TransientMisfire",
+    "PrematureStuckOpen",
+    "StuckClosedConversion",
+    "ShareCorruption",
+    "ReadoutTimeout",
+    "TemperatureDrift",
+]
+
+
+def _check_rate(rate: float, name: str) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {rate!r}")
+    return float(rate)
+
+
+class FaultInjector:
+    """Base class / protocol for one fault mechanism.
+
+    Subclasses override one (or both) site methods and bump
+    ``self.injections`` whenever they actually perturb an outcome, so
+    campaigns can report how much fault pressure was applied.  The
+    ``rng`` argument is the :class:`FaultModel`'s dedicated generator -
+    injectors must not create their own, so fault draws never perturb
+    fabrication streams.
+    """
+
+    #: Short identifier used in stats dictionaries.
+    name = "fault"
+
+    def __init__(self) -> None:
+        self.injections = 0
+
+    def on_switch_actuate(self, switch: NEMSSwitch, closed: bool,
+                          rng: np.random.Generator) -> bool:
+        """Observe/modify the outcome of one switch actuation."""
+        return closed
+
+    def on_share_readout(self, bank_id: int, index: int, data: bytes,
+                         rng: np.random.Generator) -> bytes | None:
+        """Observe/modify one share readout (None = timeout)."""
+        return data
+
+
+class TransientMisfire(FaultInjector):
+    """A closing switch fails to make contact *this once* (fail-secure).
+
+    Models contact bounce / charge trapping: the switch is healthy and
+    will likely close next actuation, but the current access sees it
+    open.  Transient misfires can only reduce closures, so they can only
+    shrink the empirical access bound - but they create exactly the
+    retryable failures a resilient access layer must absorb.
+    """
+
+    name = "misfire"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        self.rate = _check_rate(rate, "misfire rate")
+
+    def on_switch_actuate(self, switch, closed, rng):
+        if closed and self.rate and rng.random() < self.rate:
+            self.injections += 1
+            return False
+        return closed
+
+
+class PrematureStuckOpen(FaultInjector):
+    """A switch fractures early, permanently, with per-actuation hazard.
+
+    Models infant-mortality fracture the Weibull fit missed: each
+    actuation carries an extra ``rate`` probability of immediate
+    permanent failure regardless of remaining sampled lifetime.
+    Fail-secure - it only steals budget.
+    """
+
+    name = "premature-stuck-open"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        self.rate = _check_rate(rate, "premature stuck-open rate")
+
+    def on_switch_actuate(self, switch, closed, rng):
+        if not switch.is_failed and self.rate and rng.random() < self.rate:
+            switch.force_fail()
+            self.injections += 1
+            return False
+        return closed
+
+
+class StuckClosedConversion(FaultInjector):
+    """A worn-out switch sticks shut instead of open (fail-insecure).
+
+    Models adhesion/stiction (Section 2.1's SiC nanowires that "stuck to
+    the electrode").  Whether a given switch fails stuck-closed is decided
+    once, at its death, with probability ``probability``; a converted
+    switch conducts forever.  This is the one injected fault that can
+    *raise* an architecture's empirical access bound past its security
+    ceiling - the threat :mod:`repro.core.failure_modes` quantifies.
+    """
+
+    name = "stuck-closed"
+
+    def __init__(self, probability: float) -> None:
+        super().__init__()
+        self.probability = _check_rate(probability, "stuck-closed probability")
+        self._converted: dict[int, bool] = {}
+
+    def on_switch_actuate(self, switch, closed, rng):
+        if closed or not switch.is_failed:
+            return closed
+        sticky = self._converted.get(switch.switch_id)
+        if sticky is None:
+            sticky = bool(self.probability) and rng.random() < self.probability
+            self._converted[switch.switch_id] = sticky
+            if sticky:
+                self.injections += 1
+        return True if sticky else closed
+
+
+class ShareCorruption(FaultInjector):
+    """A readout returns bit-flipped data (decaying register cells).
+
+    Each share readout is corrupted independently with probability
+    ``rate``; a corruption flips ``flips`` random bit(s) of the payload.
+    Shamir recovery silently reconstructs garbage from a corrupted
+    share; the RS degradation path corrects it within the code's radius.
+    """
+
+    name = "corruption"
+
+    def __init__(self, rate: float, flips: int = 1) -> None:
+        super().__init__()
+        self.rate = _check_rate(rate, "corruption rate")
+        if flips < 1:
+            raise ConfigurationError("flips must be >= 1")
+        self.flips = int(flips)
+
+    def on_share_readout(self, bank_id, index, data, rng):
+        if not data or not self.rate or rng.random() >= self.rate:
+            return data
+        self.injections += 1
+        corrupted = bytearray(data)
+        for _ in range(self.flips):
+            pos = int(rng.integers(0, len(corrupted)))
+            corrupted[pos] ^= 1 << int(rng.integers(0, 8))
+        return bytes(corrupted)
+
+
+class ReadoutTimeout(FaultInjector):
+    """A share readout times out: the share is missing this attempt.
+
+    Fail-secure and transient - the next attempt may succeed.  Missing
+    shares are erasures to the RS path and simply absent to Shamir.
+    """
+
+    name = "timeout"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        self.rate = _check_rate(rate, "timeout rate")
+
+    def on_share_readout(self, bank_id, index, data, rng):
+        if self.rate and rng.random() < self.rate:
+            self.injections += 1
+            return None
+        return data
+
+
+class TemperatureDrift(FaultInjector):
+    """Environmental heating accelerates wear (paper Section 2.1).
+
+    Uses :class:`~repro.core.environment.SiCTemperatureModel`: at
+    ``temperature_c`` the mean lifetime scales by a factor <= 1, which
+    this injector realizes as ``1/factor - 1`` *extra* wear cycles per
+    actuation (fractional parts applied stochastically).  Because the
+    factor never exceeds 1, drift can only consume budget faster - the
+    paper's "you cannot bake your way to more guesses" argument, now
+    checkable against live hardware.
+    """
+
+    name = "temperature-drift"
+
+    def __init__(self, temperature_c: float,
+                 model: SiCTemperatureModel | None = None) -> None:
+        super().__init__()
+        model = model or SiCTemperatureModel()
+        self.temperature_c = float(temperature_c)
+        factor = model.lifetime_factor(self.temperature_c)
+        self._extra_wear = 1.0 / factor - 1.0
+
+    def on_switch_actuate(self, switch, closed, rng):
+        if self._extra_wear <= 0.0 or switch.is_failed:
+            return closed
+        whole = int(self._extra_wear)
+        frac = self._extra_wear - whole
+        extra = whole + (1 if frac and rng.random() < frac else 0)
+        if extra:
+            switch.add_wear(extra)
+            self.injections += extra
+        return closed
+
+
+class FaultModel:
+    """An ordered pipeline of injectors plus a dedicated fault RNG.
+
+    The model owns its generator so fault draws are independent of
+    fabrication: two simulations fabricated from the same stream, one
+    with and one without a fault model, see identical switch lifetimes.
+    Attach an instance as the ``fault_hook`` of the stateful hardware.
+    """
+
+    def __init__(self, injectors, rng: np.random.Generator | None = None,
+                 seed: int | None = None) -> None:
+        self.injectors = list(injectors)
+        if rng is None:
+            from repro.sim.rng import make_rng
+
+            rng = make_rng(seed)
+        self.rng = rng
+
+    def on_switch_actuate(self, switch: NEMSSwitch, closed: bool) -> bool:
+        for injector in self.injectors:
+            closed = injector.on_switch_actuate(switch, closed, self.rng)
+        return closed
+
+    def on_share_readout(self, bank_id: int, index: int,
+                         data: bytes) -> bytes | None:
+        for injector in self.injectors:
+            data = injector.on_share_readout(bank_id, index, data, self.rng)
+            if data is None:
+                return None
+        return data
+
+    def injection_counts(self) -> dict[str, int]:
+        """Injections applied so far, keyed by injector name."""
+        counts: dict[str, int] = {}
+        for injector in self.injectors:
+            counts[injector.name] = (counts.get(injector.name, 0)
+                                     + injector.injections)
+        return counts
+
+    @property
+    def total_injections(self) -> int:
+        return sum(inj.injections for inj in self.injectors)

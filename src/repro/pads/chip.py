@@ -41,7 +41,7 @@ class OneTimePad:
     def __init__(self, height: int, n_copies: int, k: int,
                  device: WeibullDistribution, rng: np.random.Generator,
                  variation: ProcessVariation | None = None,
-                 key_bytes: int | None = None) -> None:
+                 key_bytes: int | None = None, fault_hook=None) -> None:
         if not 1 <= k <= n_copies <= 255:
             raise ConfigurationError(
                 f"need 1 <= k <= n <= 255, got k={k}, n={n_copies}")
@@ -68,7 +68,8 @@ class OneTimePad:
                 for leaf in range(leaves)
             ]
             self.copies.append(HardwareDecisionTree(
-                height, contents, device, rng, variation))
+                height, contents, device, rng, variation,
+                fault_hook=fault_hook))
         self._share_len = key_bytes
 
     @property
@@ -92,7 +93,7 @@ class OneTimePad:
         if len(recovered) < self.k:
             raise InsufficientSharesError(
                 f"only {len(recovered)} of the required {self.k} shares "
-                f"retrieved")
+                f"retrieved", supplied=len(recovered), required=self.k)
         if self.k == 1:
             return recovered[0].data
         return recover_secret(recovered[:self.k], k=self.k)
@@ -112,12 +113,12 @@ class OneTimePadChip:
     def __init__(self, n_pads: int, height: int, n_copies: int, k: int,
                  device: WeibullDistribution, rng: np.random.Generator,
                  variation: ProcessVariation | None = None,
-                 key_bytes: int | None = None) -> None:
+                 key_bytes: int | None = None, fault_hook=None) -> None:
         if n_pads < 1:
             raise ConfigurationError("need at least one pad")
         self.pads = [
             OneTimePad(height, n_copies, k, device, rng, variation,
-                       key_bytes)
+                       key_bytes, fault_hook=fault_hook)
             for _ in range(n_pads)
         ]
         self.device = device

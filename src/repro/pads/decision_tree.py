@@ -13,6 +13,8 @@ leaf - which is why adversarial path-guessing destroys the tree quickly.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.core.device import NEMSSwitch, ReadDestructiveRegister
@@ -21,6 +23,8 @@ from repro.core.weibull import WeibullDistribution
 from repro.errors import ConfigurationError, RegisterDestroyedError
 
 __all__ = ["path_bits_to_leaf", "HardwareDecisionTree"]
+
+_tree_ids = itertools.count()
 
 
 def path_bits_to_leaf(path: str) -> int:
@@ -49,7 +53,8 @@ class HardwareDecisionTree:
 
     def __init__(self, height: int, leaf_contents: list[bytes],
                  device: WeibullDistribution, rng: np.random.Generator,
-                 variation: ProcessVariation | None = None) -> None:
+                 variation: ProcessVariation | None = None,
+                 fault_hook=None) -> None:
         if height < 1:
             raise ConfigurationError("tree height must be >= 1")
         leaves = 2 ** (height - 1)
@@ -71,6 +76,8 @@ class HardwareDecisionTree:
             cursor += width
         self._registers = [ReadDestructiveRegister(c) for c in leaf_contents]
         self.traversals = 0
+        self.tree_id = next(_tree_ids)
+        self._fault_hook = fault_hook
 
     # ------------------------------------------------------------------
     @property
@@ -109,10 +116,18 @@ class HardwareDecisionTree:
         """
         self.traversals += 1
         switches = self.path_switches(path)
-        closed = [s.actuate() for s in switches]
+        if self._fault_hook is None:
+            closed = [s.actuate() for s in switches]
+        else:
+            hook = self._fault_hook.on_switch_actuate
+            closed = [hook(s, s.actuate()) for s in switches]
         if not all(closed):
             return None
         try:
-            return self._registers[path_bits_to_leaf(path)].read()
+            data = self._registers[path_bits_to_leaf(path)].read()
         except RegisterDestroyedError:
             return None
+        if self._fault_hook is not None:
+            data = self._fault_hook.on_share_readout(
+                self.tree_id, path_bits_to_leaf(path), data)
+        return data

@@ -22,7 +22,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.structures import k_of_n_reliability
 from repro.core.weibull import WeibullDistribution

@@ -36,8 +36,10 @@ class BruteForceAttacker:
 
     def __init__(self, model: PasswordModel | None = None,
                  rng: np.random.Generator | None = None) -> None:
+        from repro.sim.rng import make_rng
+
         self.model = model or PasswordModel()
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or make_rng()
 
     def attack(self, access_budget: int,
                min_fraction_excluded: float = 0.0) -> AttackOutcome:

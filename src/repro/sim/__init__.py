@@ -1,12 +1,25 @@
 """Monte Carlo simulation harness and RNG plumbing."""
 
+from repro.sim.checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+    validate_checkpoint,
+)
 from repro.sim.montecarlo import (
     AccessBoundSummary,
+    run_checkpointed_trials,
     simulate_access_bounds,
+    simulate_access_bounds_checkpointed,
     simulate_access_bounds_hardware,
     summarize_bounds,
 )
-from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.rng import (
+    get_default_seed,
+    make_rng,
+    set_default_seed,
+    spawn_rngs,
+    substream,
+)
 from repro.sim.timeline import (
     ServiceLifeSummary,
     UsageProfile,
@@ -37,14 +50,22 @@ __all__ = [
     "UsageProfile",
     "chi_square_binned",
     "generate_trace",
+    "get_default_seed",
     "ks_test",
+    "load_checkpoint",
     "make_rng",
     "replay_trace",
     "required_safety_factor",
+    "run_checkpointed_trials",
+    "save_checkpoint",
+    "set_default_seed",
     "simulate_access_bounds",
+    "simulate_access_bounds_checkpointed",
     "simulate_access_bounds_hardware",
     "simulate_service_life",
     "spawn_rngs",
+    "substream",
     "summarize_bounds",
+    "validate_checkpoint",
     "validate_model",
 ]

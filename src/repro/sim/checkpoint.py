@@ -1,0 +1,88 @@
+"""Atomic JSON checkpoints for long Monte Carlo campaigns.
+
+A checkpoint is one JSON object on disk:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "meta":      {"seed": 0, "trials": 1000, "...": "campaign identity"},
+      "completed": 412,
+      "results":   ["... one JSON-safe entry per finished trial ..."]
+    }
+
+``meta`` captures everything that determines the campaign's trajectory
+(seed, trial count, design, fault configuration); resuming validates it
+field-by-field so a checkpoint can never silently continue a *different*
+campaign.  Writes go through a temp file + ``os.replace`` so a kill at
+any instant leaves either the old or the new checkpoint, never a torn
+one - which, combined with per-trial RNG substreams
+(:func:`repro.sim.rng.substream`), makes a resumed campaign bit-identical
+to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ConfigurationError
+
+__all__ = ["save_checkpoint", "load_checkpoint", "validate_checkpoint"]
+
+SCHEMA_VERSION = 1
+
+
+def save_checkpoint(path: str, meta: dict, results: list) -> None:
+    """Atomically persist campaign progress to ``path``."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "meta": meta,
+        "completed": len(results),
+        "results": results,
+    }
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path: str) -> dict | None:
+    """Load a checkpoint; None when ``path`` does not exist."""
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"corrupt checkpoint {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) \
+            or payload.get("schema_version") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint schema in {path!r}")
+    results = payload.get("results")
+    if not isinstance(results, list) \
+            or payload.get("completed") != len(results):
+        raise ConfigurationError(
+            f"inconsistent checkpoint {path!r}: completed count does not "
+            f"match stored results")
+    return payload
+
+
+def validate_checkpoint(payload: dict, meta: dict, path: str) -> list:
+    """Check a loaded checkpoint belongs to this campaign; return results.
+
+    Raises :class:`ConfigurationError` naming the first mismatching meta
+    field, so a seed or design change cannot silently resume stale state.
+    """
+    stored = payload.get("meta", {})
+    for key, expected in meta.items():
+        if stored.get(key) != expected:
+            raise ConfigurationError(
+                f"checkpoint {path!r} belongs to a different campaign: "
+                f"meta[{key!r}] is {stored.get(key)!r}, expected "
+                f"{expected!r}; delete the file or match the parameters")
+    return payload["results"]

@@ -11,22 +11,41 @@ architecture (how many accesses a real instance serves before dying):
 - :func:`simulate_access_bounds_hardware` - drives the stateful
   :class:`~repro.core.hardware.SerialCopies` switch by switch; slow but
   assumption-free.  Tests cross-validate the two.
+
+Long campaigns are made interruption-safe by
+:func:`run_checkpointed_trials`: trial ``i`` always draws from the RNG
+substream keyed ``(seed, i)`` (:func:`repro.sim.rng.substream`) and
+finished trials are persisted via :mod:`repro.sim.checkpoint`, so a
+campaign killed at any point resumes bit-identically.
+:func:`simulate_access_bounds_checkpointed` applies this to the access
+bound measurement; :mod:`repro.faults.campaign` applies it to
+fault-injection campaigns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.core.degradation import DesignPoint
 from repro.core.hardware import build_serial_copies
+from repro.core.serialize import design_to_dict
 from repro.core.variation import NoVariation, ProcessVariation
 from repro.errors import ConfigurationError
+from repro.sim.checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+    validate_checkpoint,
+)
+from repro.sim.rng import substream
 
 __all__ = [
     "AccessBoundSummary",
+    "run_checkpointed_trials",
     "simulate_access_bounds",
+    "simulate_access_bounds_checkpointed",
     "simulate_access_bounds_hardware",
     "summarize_bounds",
 ]
@@ -97,6 +116,86 @@ def simulate_access_bounds(design: DesignPoint, trials: int,
         totals[done:done + batch] = bank_life.sum(axis=1)
         done += batch
     return totals
+
+
+def run_checkpointed_trials(trial_fn: Callable[[int, np.random.Generator],
+                                               object],
+                            trials: int, seed: int,
+                            checkpoint_path: str | None = None,
+                            checkpoint_every: int = 50,
+                            meta: dict | None = None) -> list:
+    """Run ``trials`` independent trials with checkpoint/resume.
+
+    ``trial_fn(index, rng)`` must return a JSON-safe result and draw all
+    its randomness from the supplied generator - the substream keyed
+    ``(seed, index)``.  Because the stream depends only on the trial
+    index, a campaign killed mid-run and resumed from its checkpoint
+    produces results bit-identical to an uninterrupted run.
+
+    ``meta`` extends the identity recorded in (and validated against)
+    the checkpoint; seed and trial count are always included.  A
+    checkpoint written by a different campaign raises
+    :class:`ConfigurationError` instead of resuming.
+    """
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    if checkpoint_every < 1:
+        raise ConfigurationError("checkpoint_every must be >= 1")
+    full_meta = {"seed": int(seed), "trials": int(trials)}
+    full_meta.update(meta or {})
+    results: list = []
+    if checkpoint_path is not None:
+        payload = load_checkpoint(checkpoint_path)
+        if payload is not None:
+            results = validate_checkpoint(payload, full_meta,
+                                          checkpoint_path)
+            if len(results) > trials:
+                raise ConfigurationError(
+                    f"checkpoint {checkpoint_path!r} holds "
+                    f"{len(results)} results for a {trials}-trial "
+                    f"campaign")
+    for index in range(len(results), trials):
+        results.append(trial_fn(index, substream(seed, index)))
+        if checkpoint_path is not None \
+                and (index + 1) % checkpoint_every == 0:
+            save_checkpoint(checkpoint_path, full_meta, results)
+    if checkpoint_path is not None:
+        save_checkpoint(checkpoint_path, full_meta, results)
+    return results
+
+
+def simulate_access_bounds_checkpointed(design: DesignPoint, trials: int,
+                                        seed: int,
+                                        checkpoint_path: str | None = None,
+                                        checkpoint_every: int = 50,
+                                        hardware: bool = False,
+                                        variation: ProcessVariation | None
+                                        = None,
+                                        max_accesses: int | None = None,
+                                        ) -> np.ndarray:
+    """Interruption-safe empirical access bounds (one substream per trial).
+
+    Unlike :func:`simulate_access_bounds` (which threads one generator
+    through vectorized batches), each trial here is fabricated from its
+    own ``(seed, index)`` substream, so the result vector is a pure
+    function of ``(design, trials, seed)`` - resumable and
+    order-independent.  ``hardware=True`` drives the stateful simulation
+    instead of the order-statistics fast path.
+    """
+    meta = {"design": design_to_dict(design),
+            "mode": "hardware" if hardware else "fast"}
+
+    def trial(index: int, rng: np.random.Generator) -> int:
+        if hardware:
+            instance = build_serial_copies(design.device, design.copies,
+                                           design.n, design.k, rng,
+                                           variation)
+            return int(instance.count_successful_accesses(max_accesses))
+        return int(simulate_access_bounds(design, 1, rng)[0])
+
+    bounds = run_checkpointed_trials(trial, trials, seed, checkpoint_path,
+                                     checkpoint_every, meta)
+    return np.asarray(bounds, dtype=np.int64)
 
 
 def simulate_access_bounds_hardware(design: DesignPoint, trials: int,

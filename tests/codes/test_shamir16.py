@@ -1,6 +1,5 @@
 """Tests for wide Shamir sharing over GF(2^16)."""
 
-import numpy as np
 import pytest
 
 from repro.codes.shamir16 import (

@@ -1,6 +1,5 @@
 """Tests for RS-based threshold sharing of byte strings."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the Fig. 4 / Table 1 design-space sweeps (reduced grids)."""
 
-import pytest
 
 from repro.connection.design_space import (
     SMARTPHONE_ACCESS_BOUND,

@@ -2,10 +2,22 @@
 
 import pytest
 
+from repro.codes.shamir import Share
 from repro.connection.keystore import BankKeyStore
-from repro.errors import ConfigurationError, InsufficientSharesError
+from repro.errors import (
+    ConfigurationError,
+    DecodingFailure,
+    InsufficientSharesError,
+)
+from repro.faults.injectors import FaultModel, ReadoutTimeout, ShareCorruption
 
 SECRET = b"sixteen byte key"
+
+
+def corrupt_share(store, index, mask=0xA5):
+    bad = store._shares[index]
+    store._shares[index] = Share(index=bad.index,
+                                 data=bytes(b ^ mask for b in bad.data))
 
 
 class TestUnencoded:
@@ -92,3 +104,84 @@ class TestRSScheme:
     def test_rs_capped_at_255(self, rng):
         with pytest.raises(ConfigurationError):
             BankKeyStore(SECRET, n=300, k=30, rng=rng, scheme="rs")
+
+
+class TestRSCorrectionBoundary:
+    """RS recovery succeeds iff ``2 * errors <= n - k - missing``."""
+
+    def test_recovers_exactly_up_to_the_radius(self, rng):
+        # n=12, k=4, 2 shares missing: radius (12 - 4 - 2) // 2 = 3.
+        live = list(range(10))  # indices 10, 11 never closed
+        for errors in range(4):
+            store = BankKeyStore(SECRET, n=12, k=4, rng=rng, scheme="rs")
+            for i in range(errors):
+                corrupt_share(store, i)
+            assert store.recover(live) == SECRET, f"{errors} errors"
+
+    def test_beyond_radius_raises_with_context(self, rng):
+        store = BankKeyStore(SECRET, n=12, k=4, rng=rng, scheme="rs",
+                             bank_id=7)
+        for i in range(4):  # 4 errors > radius 3 with 2 missing
+            corrupt_share(store, i)
+        with pytest.raises(DecodingFailure) as excinfo:
+            store.recover(list(range(10)))
+        assert excinfo.value.bank_id == 7
+        assert excinfo.value.n == 12
+        assert excinfo.value.k == 4
+
+    def test_erasures_and_errors_trade_off(self, rng):
+        # Same code, 4 missing: radius drops to (12 - 4 - 4) // 2 = 2.
+        live = list(range(8))
+        store = BankKeyStore(SECRET, n=12, k=4, rng=rng, scheme="rs")
+        corrupt_share(store, 0)
+        corrupt_share(store, 1)
+        assert store.recover(live) == SECRET
+        corrupt_share(store, 2)  # third error: outside the radius
+        with pytest.raises(DecodingFailure):
+            store.recover(live)
+
+
+class TestErrorContext:
+    def test_below_threshold_error_carries_context(self, rng):
+        store = BankKeyStore(SECRET, n=10, k=4, rng=rng, bank_id=3)
+        with pytest.raises(InsufficientSharesError) as excinfo:
+            store.recover([0, 5])
+        err = excinfo.value
+        assert err.supplied == 2
+        assert err.required == 4
+        assert err.bank_id == 3
+        assert err.timeouts is None  # switches, not readouts, were short
+
+    def test_timeout_starved_recovery_reports_timeouts(self, rng):
+        hook = FaultModel([ReadoutTimeout(1.0)], rng=rng)
+        store = BankKeyStore(SECRET, n=10, k=4, rng=rng, bank_id=1,
+                             fault_hook=hook)
+        with pytest.raises(InsufficientSharesError) as excinfo:
+            store.recover(list(range(10)))
+        err = excinfo.value
+        assert err.supplied == 0
+        assert err.required == 4
+        assert err.bank_id == 1
+        assert err.timeouts == 10
+
+
+class TestFaultHookReadout:
+    def test_hook_free_store_reads_shares_verbatim(self, rng):
+        store = BankKeyStore(SECRET, n=10, k=4, rng=rng)
+        assert store.fault_hook is None
+        assert store.recover(list(range(10))) == SECRET
+
+    def test_corrupting_hook_defeats_shamir_but_not_rs(self, rng):
+        corrupting = FaultModel([ShareCorruption(0.3)], rng=rng)
+        shamir = BankKeyStore(SECRET, n=12, k=4, rng=rng,
+                              fault_hook=corrupting)
+        rs = BankKeyStore(SECRET, n=12, k=4, rng=rng, scheme="rs",
+                          fault_hook=FaultModel([ShareCorruption(0.1)],
+                                                rng=rng))
+        # Shamir eventually reconstructs garbage without noticing.
+        results = {shamir.recover(list(range(12))) for _ in range(30)}
+        assert any(r != SECRET for r in results)
+        # RS corrects the same pressure (expected ~1.2 errors/read,
+        # radius (12 - 4) // 2 = 4).
+        for _ in range(30):
+            assert rs.recover(list(range(12))) == SECRET

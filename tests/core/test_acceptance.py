@@ -5,7 +5,6 @@ stricter criteria than it is certified against (a cost-minimal design
 has zero slack against its own criteria by construction).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.acceptance import bootstrap_weibull_fit, evaluate_lot

@@ -6,7 +6,6 @@ the document cannot silently drift from what the code produces.
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.degradation import (
@@ -19,7 +18,6 @@ from repro.core.degradation import (
 from repro.core.replication import plan_replication
 from repro.core.structures import (
     SeriesStructure,
-    k_of_n_reliability,
     parallel_reliability,
 )
 from repro.core.weibull import WeibullDistribution

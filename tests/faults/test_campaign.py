@@ -1,0 +1,135 @@
+"""Tests for checkpointed fault-injection campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.faults.campaign import (
+    FaultCampaignConfig,
+    FaultCampaignReport,
+    build_fault_model,
+    run_fault_campaign,
+    run_fault_trial,
+    security_ceiling,
+)
+from repro.sim.rng import substream
+
+
+@pytest.fixture(scope="module")
+def design():
+    device = WeibullDistribution(alpha=10.0, beta=8.0)
+    return solve_encoded_fractional(device, 40, 0.10, PAPER_CRITERIA)
+
+
+class TestConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultCampaignConfig(misfire_rate=2.0)
+        with pytest.raises(ConfigurationError):
+            FaultCampaignConfig(max_accesses=0)
+
+    def test_round_trips_through_dict(self):
+        config = FaultCampaignConfig(misfire_rate=0.1, timeout_rate=0.2,
+                                     temperature_c=100.0, max_accesses=50)
+        assert FaultCampaignConfig.from_dict(config.to_dict()) == config
+
+    def test_faultless_config_builds_no_model(self):
+        rng = np.random.default_rng(0)
+        assert build_fault_model(FaultCampaignConfig(), rng) is None
+        assert build_fault_model(
+            FaultCampaignConfig(misfire_rate=0.1), rng) is not None
+
+
+class TestTrial:
+    def test_faultless_trial_meets_design(self, design):
+        record = run_fault_trial(design, FaultCampaignConfig(),
+                                 substream(0, 0))
+        assert record["worn_out"]
+        assert not record["violated"]
+        assert record["served"] <= security_ceiling(design)
+        assert record["served"] >= design.access_bound * 0.9
+        assert record["injections"] == {}
+
+    def test_trial_is_a_pure_function_of_the_stream(self, design):
+        config = FaultCampaignConfig(misfire_rate=0.05,
+                                     corruption_rate=0.05)
+        a = run_fault_trial(design, config, substream(9, 4))
+        b = run_fault_trial(design, config, substream(9, 4))
+        assert a == b
+
+    def test_stuck_closed_violates_ceiling(self, design):
+        config = FaultCampaignConfig(stuck_closed_probability=1.0)
+        record = run_fault_trial(design, config, substream(1, 0))
+        assert record["violated"]
+        assert record["capped"] and not record["worn_out"]
+
+    def test_corruption_recovered_via_rs(self, design):
+        config = FaultCampaignConfig(corruption_rate=0.08)
+        record = run_fault_trial(design, config, substream(2, 0))
+        assert record["corruption_detected"] > 0
+        assert record["degraded_recoveries"] > 0
+        assert record["availability"] > 0.9
+
+    def test_no_rs_fallback_costs_availability(self, design):
+        heavy = FaultCampaignConfig(corruption_rate=0.3,
+                                    rs_fallback=False)
+        record = run_fault_trial(design, heavy, substream(3, 0))
+        assert record["coding_failures"] > 0
+        assert record["availability"] < 1.0
+
+
+class TestCampaign:
+    CONFIG = FaultCampaignConfig(misfire_rate=0.02, corruption_rate=0.05,
+                                 timeout_rate=0.02)
+
+    def test_straight_run_summary(self, design):
+        report = run_fault_campaign(design, self.CONFIG, trials=4, seed=5)
+        assert report.trials == 4
+        assert 0.0 < report.availability <= 1.0
+        assert report.violation_rate == 0.0
+        assert "availability" in report.render()
+
+    def test_interrupted_run_resumes_bit_identically(self, design,
+                                                     tmp_path):
+        path = str(tmp_path / "campaign.json")
+        uninterrupted = run_fault_campaign(design, self.CONFIG, trials=6,
+                                           seed=5)
+        # "Kill" the campaign after 3 trials by running a shorter one
+        # into the checkpoint, then resume to the full length.
+        run_fault_campaign(design, self.CONFIG, trials=3, seed=5,
+                           checkpoint_path=path, checkpoint_every=1)
+        import json
+
+        stored = json.load(open(path))
+        stored["meta"]["trials"] = 6  # what the killed campaign targeted
+        json.dump(stored, open(path, "w"))
+        resumed = run_fault_campaign(design, self.CONFIG, trials=6, seed=5,
+                                     checkpoint_path=path,
+                                     checkpoint_every=1)
+        assert resumed.records == uninterrupted.records
+        assert resumed == uninterrupted
+
+    def test_checkpoint_mismatch_refuses_resume(self, design, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        run_fault_campaign(design, self.CONFIG, trials=2, seed=5,
+                           checkpoint_path=path)
+        other = FaultCampaignConfig(misfire_rate=0.5)
+        with pytest.raises(ConfigurationError):
+            run_fault_campaign(design, other, trials=2, seed=5,
+                               checkpoint_path=path)
+        with pytest.raises(ConfigurationError):
+            run_fault_campaign(design, self.CONFIG, trials=2, seed=6,
+                               checkpoint_path=path)
+
+    def test_report_aggregates_records(self, design):
+        records = [run_fault_trial(design, self.CONFIG, substream(5, i))
+                   for i in range(3)]
+        report = FaultCampaignReport.from_records(records, self.CONFIG)
+        assert report.trials == 3
+        assert report.min_served <= report.mean_served <= report.max_served
+        total_calls = sum(r["calls"] for r in records)
+        total_success = sum(r["successes"] for r in records)
+        assert report.availability == pytest.approx(
+            total_success / total_calls)

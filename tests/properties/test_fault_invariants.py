@@ -1,0 +1,139 @@
+"""Property tests for the fault taxonomy's security direction.
+
+The security argument of the paper survives realistic faults only if the
+*direction* of every fault is right: fail-secure mechanisms (transient
+misfires, premature stuck-open fractures, share corruption, readout
+timeouts, temperature drift) may cost availability but can never grant
+extra accesses, while stuck-closed conversion is the single mechanism
+allowed to push the empirical access bound past the design ceiling.
+These properties pin that taxonomy against live hardware simulation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.hardware import build_serial_copies
+from repro.core.weibull import WeibullDistribution
+from repro.faults.campaign import (
+    FaultCampaignConfig,
+    run_fault_trial,
+    security_ceiling,
+)
+from repro.faults.injectors import (
+    FaultModel,
+    PrematureStuckOpen,
+    ShareCorruption,
+    StuckClosedConversion,
+    TemperatureDrift,
+    TransientMisfire,
+)
+from repro.sim.rng import substream
+
+DEVICE = WeibullDistribution(alpha=10.0, beta=8.0)
+DESIGN = solve_encoded_fractional(DEVICE, 40, 0.10, PAPER_CRITERIA)
+
+RATES = st.floats(0.0, 0.3)
+SEEDS = st.integers(0, 2 ** 16)
+
+
+def served_accesses(design, config, seed):
+    """Successful reads of one fabricated instance under ``config``."""
+    return run_fault_trial(design, config, substream(seed, 0))["served"]
+
+
+class TestFailSecureDirection:
+    @given(misfire=RATES, premature=st.floats(0.0, 0.05),
+           corruption=RATES, timeout=RATES, seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_fail_secure_faults_never_raise_the_bound(self, misfire,
+                                                      premature,
+                                                      corruption, timeout,
+                                                      seed):
+        """Any mix of fail-secure faults serves at most what the same
+        fabricated instance serves faultlessly (and never exceeds the
+        ceiling).  Fabrication draws are identical because the fault
+        stream is jumped off the trial stream, not consumed from it."""
+        baseline = served_accesses(DESIGN, FaultCampaignConfig(), seed)
+        faulty_config = FaultCampaignConfig(
+            misfire_rate=misfire,
+            premature_stuck_open_rate=premature,
+            corruption_rate=corruption,
+            timeout_rate=timeout,
+        )
+        faulty = served_accesses(DESIGN, faulty_config, seed)
+        assert faulty <= baseline
+        assert faulty <= security_ceiling(DESIGN)
+
+    @given(temperature=st.floats(25.0, 400.0), seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_heat_only_consumes_budget(self, temperature, seed):
+        baseline = served_accesses(DESIGN, FaultCampaignConfig(), seed)
+        hot = served_accesses(
+            DESIGN, FaultCampaignConfig(temperature_c=temperature), seed)
+        assert hot <= baseline
+
+    @given(seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_only_stuck_closed_breaks_the_ceiling(self, seed):
+        """Certain stiction conducts forever: the trial caps out above
+        the ceiling instead of wearing out below it."""
+        config = FaultCampaignConfig(stuck_closed_probability=1.0)
+        record = run_fault_trial(DESIGN, config, substream(seed, 0))
+        assert record["violated"]
+        assert record["served"] > security_ceiling(DESIGN)
+
+
+class TestBankLevelDirection:
+    """The same direction law, one layer down: raw serial-copies access
+    counts under a switch-site fault hook vs the identical fabrication
+    without one."""
+
+    CASES = [
+        lambda: TransientMisfire(0.2),
+        lambda: PrematureStuckOpen(0.02),
+        lambda: TemperatureDrift(250.0),
+    ]
+
+    @pytest.mark.parametrize("make_injector", CASES)
+    @given(seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_switch_site_fail_secure_faults(self, make_injector, seed):
+        plain = build_serial_copies(DEVICE, 3, 8, 2,
+                                    np.random.default_rng(seed))
+        hook = FaultModel([make_injector()],
+                          rng=np.random.default_rng(seed + 1))
+        faulty = build_serial_copies(DEVICE, 3, 8, 2,
+                                     np.random.default_rng(seed),
+                                     fault_hook=hook)
+        cap = 500
+        assert (faulty.count_successful_accesses(cap)
+                <= plain.count_successful_accesses(cap))
+
+    @given(seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_stuck_closed_may_only_add_accesses(self, seed):
+        plain = build_serial_copies(DEVICE, 3, 8, 2,
+                                    np.random.default_rng(seed))
+        hook = FaultModel([StuckClosedConversion(1.0)],
+                          rng=np.random.default_rng(seed + 1))
+        faulty = build_serial_copies(DEVICE, 3, 8, 2,
+                                     np.random.default_rng(seed),
+                                     fault_hook=hook)
+        cap = 500
+        assert (faulty.count_successful_accesses(cap)
+                >= plain.count_successful_accesses(cap))
+
+    def test_share_corruption_never_touches_switches(self):
+        """Readout-site faults are invisible to the physical layer."""
+        plain = build_serial_copies(DEVICE, 3, 8, 2,
+                                    np.random.default_rng(5))
+        hook = FaultModel([ShareCorruption(1.0)],
+                          rng=np.random.default_rng(6))
+        faulty = build_serial_copies(DEVICE, 3, 8, 2,
+                                     np.random.default_rng(5),
+                                     fault_hook=hook)
+        assert (faulty.count_successful_accesses(500)
+                == plain.count_successful_accesses(500))
