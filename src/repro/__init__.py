@@ -15,23 +15,23 @@ Architectures" (ISCA 2017), as a Python library:
 - :mod:`repro.pads` - one-time pads in wearout decision trees;
 - :mod:`repro.sim` - Monte Carlo validation harness (checkpointed);
 - :mod:`repro.faults` - fault injection and resilience campaigns;
+- :mod:`repro.obs` - metrics, span tracing and benchmark telemetry;
 - :mod:`repro.experiments` - one module per paper figure/table.
 
 Quickstart::
 
-    import numpy as np
     from repro import core, connection
+    from repro.sim.rng import make_rng
 
     design = core.size_architecture(alpha=14, beta=8, access_bound=91_250,
                                     k_fraction=0.10,
                                     criteria=core.PAPER_CRITERIA,
                                     window="fractional")
-    rng = np.random.default_rng(0)
-    phone = connection.SecurePhone(design, "5512", b"my disk", rng)
+    phone = connection.SecurePhone(design, "5512", b"my disk", make_rng(0))
     assert phone.login("5512").success
 """
 
-from repro import codes, connection, core, crypto, faults, gf, pads
+from repro import codes, connection, core, crypto, faults, gf, obs, pads
 from repro import passwords, sim, targeting
 from repro.errors import (
     AuthenticationError,
@@ -70,6 +70,7 @@ __all__ = [
     "crypto",
     "faults",
     "gf",
+    "obs",
     "pads",
     "passwords",
     "sim",

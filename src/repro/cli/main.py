@@ -11,6 +11,15 @@ Subcommands mirror the workflows a user of the paper's system needs:
   violations, availability, retry/quarantine behaviour)
 - ``experiments`` run registered paper artifacts (same as
   ``python -m repro.experiments``)
+- ``bench``       pinned perf workload suite -> ``BENCH_<date>.json``
+
+``simulate``, ``faults``, ``experiments`` and ``bench`` accept the
+observability flags ``--metrics-out`` (JSON metrics snapshot),
+``--trace-out`` (JSONL span trace) and ``--obs-summary`` (human-readable
+tables, to stdout or a file); see ``docs/observability.md``.
+
+Exit codes: 0 success, 1 error (or fault-campaign ceiling violations),
+2 usage / checkpoint-mismatch, 3 bench overhead regression.
 
 Run ``python -m repro.cli <subcommand> --help`` for per-command options.
 """
@@ -18,7 +27,10 @@ Run ``python -m repro.cli <subcommand> --help`` for per-command options.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
+import time
 
 import numpy as np
 
@@ -34,7 +46,8 @@ from repro.core.degradation import (
 )
 from repro.core.sizing import size_architecture, sweep_alpha
 from repro.core.weibull import WeibullDistribution
-from repro.errors import ReproError
+from repro.errors import CheckpointMismatchError, ReproError
+from repro.obs.recorder import OBS
 from repro.pads.analysis import (
     adversary_success_probability,
     receiver_success_probability,
@@ -46,6 +59,61 @@ from repro.sim.rng import make_rng, set_default_seed
 from repro.viz.ascii import line_chart
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write a JSON metrics snapshot to FILE")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="append JSONL span/event trace to FILE")
+    parser.add_argument("--obs-summary", metavar="FILE", nargs="?",
+                        const="-", default=None,
+                        help="print observability summary tables "
+                             "(or write them to FILE)")
+
+
+@contextlib.contextmanager
+def _obs_session(args):
+    """Enable the recorder for one command when any obs flag is set.
+
+    On exit (success or failure) the metrics snapshot / summary are
+    written as requested and the recorder is reset, so one CLI process
+    can never leak state into the next command (tests drive ``main``
+    repeatedly in-process).
+    """
+    wants = (args.metrics_out is not None or args.trace_out is not None
+             or args.obs_summary is not None)
+    if not wants:
+        yield False
+        return
+    from repro.obs.sinks import JsonlSink
+
+    sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
+    OBS.configure(sinks=sinks, enabled=True)
+    try:
+        yield True
+    finally:
+        try:
+            if args.metrics_out:
+                with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                    json.dump(OBS.metrics.snapshot(), handle, indent=2)
+                    handle.write("\n")
+            if args.obs_summary is not None:
+                text = OBS.summary()
+                if args.obs_summary == "-":
+                    print(text)
+                else:
+                    with open(args.obs_summary, "w",
+                              encoding="utf-8") as handle:
+                        handle.write(text + "\n")
+        finally:
+            OBS.reset()
+
+
+def _print_wall_clock(label: str, units: int, elapsed_s: float) -> None:
+    rate = units / elapsed_s if elapsed_s > 0 else float("inf")
+    print(f"  wall clock: {elapsed_s:.3f} s "
+          f"({rate:,.1f} {label}/s)")
 
 
 def _criteria_from_args(args) -> DegradationCriteria:
@@ -206,15 +274,21 @@ def cmd_pads(args) -> int:
 def cmd_simulate(args) -> int:
     point = _design_point(args)
     rng = make_rng(args.seed)
-    bounds = simulate_access_bounds(point, args.trials, rng)
-    summary = summarize_bounds(bounds)
-    print(f"simulated {summary.trials} fabricated instances:")
-    print(f"  mean bound: {summary.mean:,.1f} (std {summary.std:.1f})")
-    print(f"  min/p01/p50/p99/max: {summary.minimum:,} / "
-          f"{summary.p01:,.0f} / {summary.p50:,.0f} / "
-          f"{summary.p99:,.0f} / {summary.maximum:,}")
-    meets = float((bounds >= point.access_bound).mean())
-    print(f"  P[meets legitimate bound {point.access_bound:,}]: {meets:.3f}")
+    with _obs_session(args):
+        started = time.perf_counter()
+        with OBS.span("cli.simulate", trials=args.trials, seed=args.seed):
+            bounds = simulate_access_bounds(point, args.trials, rng)
+        elapsed = time.perf_counter() - started
+        summary = summarize_bounds(bounds)
+        print(f"simulated {summary.trials} fabricated instances:")
+        print(f"  mean bound: {summary.mean:,.1f} (std {summary.std:.1f})")
+        print(f"  min/p01/p50/p99/max: {summary.minimum:,} / "
+              f"{summary.p01:,.0f} / {summary.p50:,.0f} / "
+              f"{summary.p99:,.0f} / {summary.maximum:,}")
+        meets = float((bounds >= point.access_bound).mean())
+        print(f"  P[meets legitimate bound {point.access_bound:,}]: "
+              f"{meets:.3f}")
+        _print_wall_clock("trials", args.trials, elapsed)
     return 0
 
 
@@ -242,13 +316,19 @@ def cmd_faults(args) -> int:
         if resumed is not None:
             print(f"resuming from {args.checkpoint} "
                   f"({resumed['completed']}/{args.trials} trials done)")
-    report = run_fault_campaign(point, config, trials=args.trials,
-                                seed=args.seed,
-                                checkpoint_path=args.checkpoint,
-                                checkpoint_every=args.checkpoint_every)
-    print(f"design: {point.k}-of-{point.n} x {point.copies} copies, "
-          f"device Weibull({args.alpha}, {args.beta})")
-    print(report.render())
+    with _obs_session(args):
+        started = time.perf_counter()
+        with OBS.span("cli.faults", trials=args.trials, seed=args.seed):
+            report = run_fault_campaign(point, config, trials=args.trials,
+                                        seed=args.seed,
+                                        checkpoint_path=args.checkpoint,
+                                        checkpoint_every=
+                                        args.checkpoint_every)
+        elapsed = time.perf_counter() - started
+        print(f"design: {point.k}-of-{point.n} x {point.copies} copies, "
+              f"device Weibull({args.alpha}, {args.beta})")
+        print(report.render())
+        _print_wall_clock("trials", args.trials, elapsed)
     return 1 if report.violation_rate > 0 else 0
 
 
@@ -260,9 +340,46 @@ def cmd_experiments(args) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
-    for experiment_id in ids:
-        print(EXPERIMENTS[experiment_id]().render())
-        print()
+    with _obs_session(args):
+        for experiment_id in ids:
+            with OBS.span(f"experiment.{experiment_id}"):
+                rendered = EXPERIMENTS[experiment_id]().render()
+            print(rendered)
+            print()
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.obs.bench import (
+        measure_disabled_overhead,
+        render_bench_report,
+        run_bench_suite,
+        write_bench_report,
+    )
+
+    with _obs_session(args):
+        report = run_bench_suite(args.scale, seed=args.seed,
+                                 repeats=args.repeats)
+    print(render_bench_report(report))
+    if args.out:
+        write_bench_report(report, args.out)
+        print(f"bench report written to {args.out}")
+    if args.check_overhead is not None:
+        overhead_pct = report["overhead"]["overhead_pct"]
+        if overhead_pct > args.check_overhead:
+            # One noise-damped retry with doubled repeats before failing:
+            # CI runners jitter, and a false regression alarm is costly.
+            retry = measure_disabled_overhead(
+                repeats=2 * report["overhead"]["repeats"],
+                trials=report["overhead"]["trials"], seed=args.seed)
+            overhead_pct = retry["overhead_pct"]
+        if overhead_pct > args.check_overhead:
+            print(f"FAIL: observability-disabled overhead "
+                  f"{overhead_pct:+.2f}% exceeds the "
+                  f"{args.check_overhead:.2f}% budget", file=sys.stderr)
+            return 3
+        print(f"overhead check passed: {overhead_pct:+.2f}% <= "
+              f"{args.check_overhead:.2f}%")
     return 0
 
 
@@ -326,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_arguments(p_sim)
     p_sim.add_argument("--trials", type=int, default=200)
     p_sim.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_faults = sub.add_parser(
@@ -360,12 +478,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--max-accesses", type=int, default=None,
                           help="per-trial access cap (default: a little "
                                "past the security ceiling)")
+    _add_obs_arguments(p_faults)
     p_faults.set_defaults(func=cmd_faults)
 
     p_exp = sub.add_parser("experiments", help="run paper artifacts")
     p_exp.add_argument("ids", nargs="*",
                        help="experiment ids (default: all)")
+    _add_obs_arguments(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_bench = sub.add_parser(
+        "bench", help="pinned perf workloads -> BENCH_<date>.json")
+    p_bench.add_argument("--scale", choices=("tiny", "smoke", "full"),
+                         default="smoke",
+                         help="workload sizing (tiny: tests, smoke: CI, "
+                              "full: milestone reports)")
+    p_bench.add_argument("--out", metavar="FILE", default=None,
+                         help="write the JSON bench report to FILE")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="override per-workload repeat count")
+    p_bench.add_argument("--check-overhead", type=float, default=None,
+                         metavar="PCT",
+                         help="exit 3 if observability-disabled overhead "
+                              "on the MC hot path exceeds PCT percent")
+    _add_obs_arguments(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 
@@ -375,6 +513,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except CheckpointMismatchError as exc:
+        print(f"checkpoint mismatch: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

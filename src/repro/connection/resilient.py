@@ -51,6 +51,7 @@ from repro.errors import (
     DeviceWornOutError,
     InsufficientSharesError,
 )
+from repro.obs.recorder import OBS
 
 __all__ = ["RetryPolicy", "CopyHealth", "AccessStats",
            "ResilientAccessController"]
@@ -228,12 +229,18 @@ class ResilientAccessController:
             return candidate
         # Corruption detected: the shares decoded but the secret is wrong.
         self.stats.corruption_detected += 1
+        if OBS.enabled:
+            OBS.metrics.inc("resilient.corruption_detected")
         rs_store = self._rs_stores[copy]
         if rs_store is not None:
             recovered = rs_store.recover(closed)  # error-correcting decode
             if self._verify(recovered):
                 self.stats.degraded_recoveries += 1
                 self._health[copy].degraded_recoveries += 1
+                if OBS.enabled:
+                    OBS.metrics.inc("resilient.degraded_recoveries")
+                    OBS.event("resilient.shamir_to_rs", bank_id=copy,
+                              live_shares=len(closed))
                 return recovered
         detail = ("the RS fallback could not correct it"
                   if rs_store is not None
@@ -253,6 +260,8 @@ class ResilientAccessController:
         """
         self.accesses += 1
         self.stats.calls += 1
+        if OBS.enabled:
+            OBS.metrics.inc("resilient.calls")
         last_error: CodingError | None = None
         attempts_left = self.policy.max_attempts
         while attempts_left > 0:
@@ -270,6 +279,10 @@ class ResilientAccessController:
                 # beyond the attempt just spent.
                 health.dead = True
                 self.stats.fallovers += 1
+                if OBS.enabled:
+                    OBS.metrics.inc("resilient.fallovers")
+                    OBS.metrics.set_gauge("resilient.dead_copies",
+                                          sum(h.dead for h in self._health))
                 continue
             try:
                 secret = self._recover_with_degradation(copy, closed)
@@ -277,14 +290,24 @@ class ResilientAccessController:
                 last_error = exc
                 if health.note_failure(self.policy.quarantine_after):
                     self.stats.quarantines += 1
+                    if OBS.enabled:
+                        OBS.metrics.inc("resilient.quarantines")
+                        OBS.event("resilient.quarantined", bank_id=copy,
+                                  consecutive_failures=
+                                  health.consecutive_failures)
                 if attempts_left > 0:
                     retry_index = self.policy.max_attempts - 1 - attempts_left
-                    self.stats.backoff_total_s += \
-                        self.policy.backoff_s(retry_index)
+                    backoff = self.policy.backoff_s(retry_index)
+                    self.stats.backoff_total_s += backoff
                     self.stats.retries += 1
+                    if OBS.enabled:
+                        OBS.metrics.inc("resilient.retries")
+                        OBS.metrics.observe("resilient.backoff_s", backoff)
                 continue
             health.note_success()
             self.stats.successes += 1
+            if OBS.enabled:
+                OBS.metrics.inc("resilient.successes")
             return secret
         if self.is_exhausted:
             raise DeviceWornOutError(

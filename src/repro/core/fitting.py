@@ -7,11 +7,16 @@ provides the two standard estimators used in the reliability literature:
 - :func:`fit_mle` - maximum-likelihood, solved with scipy root finding.
 - :func:`fit_median_rank` - median-rank (Benard) regression on the
   linearized CDF, the classic probability-plot technique.
+- :func:`fit_bootstrap` - nonparametric bootstrap confidence intervals
+  around either point estimator.
 
-Both return a :class:`~repro.core.weibull.WeibullDistribution`.
+All return :class:`~repro.core.weibull.WeibullDistribution` (the
+bootstrap wraps one in a :class:`BootstrapFit` with the intervals).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import optimize
@@ -19,7 +24,7 @@ from scipy import optimize
 from repro.core.weibull import WeibullDistribution
 from repro.errors import ConfigurationError
 
-__all__ = ["fit_mle", "fit_median_rank"]
+__all__ = ["fit_mle", "fit_median_rank", "fit_bootstrap", "BootstrapFit"]
 
 
 def _validate_lifetimes(lifetimes) -> np.ndarray:
@@ -88,3 +93,56 @@ def fit_median_rank(lifetimes) -> WeibullDistribution:
             "median-rank regression produced a non-positive shape; "
             "the data is not Weibull-like")
     return WeibullDistribution(alpha=alpha, beta=beta)
+
+
+@dataclass(frozen=True)
+class BootstrapFit:
+    """A point estimate plus bootstrap percentile confidence intervals."""
+
+    point: WeibullDistribution
+    alpha_ci: tuple[float, float]
+    beta_ci: tuple[float, float]
+    resamples: int
+    confidence: float
+
+
+def fit_bootstrap(lifetimes, resamples: int = 200,
+                  confidence: float = 0.95, estimator=None,
+                  rng: np.random.Generator | None = None) -> BootstrapFit:
+    """Nonparametric bootstrap CIs for the Weibull parameters.
+
+    Resamples the lifetimes with replacement ``resamples`` times, refits
+    with ``estimator`` (default :func:`fit_mle`), and reports percentile
+    intervals at the given ``confidence`` level.  Randomness flows
+    through :mod:`repro.sim.rng` so results are reproducible and the
+    whole-repo RNG hygiene rules apply.
+    """
+    from repro.sim.rng import make_rng
+
+    data = _validate_lifetimes(lifetimes)
+    if resamples < 2:
+        raise ConfigurationError("need at least 2 bootstrap resamples")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must lie in (0, 1)")
+    fit = estimator or fit_mle
+    if rng is None:
+        rng = make_rng(0)
+    point = fit(data)
+    alphas = np.empty(resamples)
+    betas = np.empty(resamples)
+    for i in range(resamples):
+        sample = rng.choice(data, size=data.size, replace=True)
+        try:
+            refit = fit(sample)
+        except ConfigurationError:
+            # A degenerate resample (e.g. all-identical draws breaking the
+            # regression) counts as the point estimate, not a crash.
+            refit = point
+        alphas[i] = refit.alpha
+        betas[i] = refit.beta
+    tail = (1.0 - confidence) / 2.0
+    lo, hi = 100.0 * tail, 100.0 * (1.0 - tail)
+    alpha_ci = tuple(float(v) for v in np.percentile(alphas, [lo, hi]))
+    beta_ci = tuple(float(v) for v in np.percentile(betas, [lo, hi]))
+    return BootstrapFit(point=point, alpha_ci=alpha_ci, beta_ci=beta_ci,
+                        resamples=resamples, confidence=confidence)

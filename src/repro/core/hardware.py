@@ -22,6 +22,7 @@ from repro.core.device import NEMSSwitch
 from repro.core.variation import ProcessVariation
 from repro.core.weibull import WeibullDistribution
 from repro.errors import ConfigurationError, DeviceWornOutError
+from repro.obs.recorder import OBS
 
 __all__ = ["SimulatedBank", "SerialCopies", "build_serial_copies"]
 
@@ -82,6 +83,10 @@ class SimulatedBank:
             closed = [i for i, s in enumerate(self.switches) if s.actuate()]
             if len(closed) < self.k:
                 self._dead = True
+                if OBS.enabled:
+                    OBS.metrics.inc("hw.bank_deaths")
+                    OBS.metrics.observe("hw.bank_wear_at_death",
+                                        self.accesses)
             return closed
         hook = self._fault_hook.on_switch_actuate
         physical = 0
@@ -93,6 +98,9 @@ class SimulatedBank:
                 observed.append(i)
         if physical < self.k and len(observed) < self.k:
             self._dead = True
+            if OBS.enabled:
+                OBS.metrics.inc("hw.bank_deaths")
+                OBS.metrics.observe("hw.bank_wear_at_death", self.accesses)
         return observed
 
     def access_succeeds(self) -> bool:
@@ -140,7 +148,15 @@ class SerialCopies:
             closed = bank.access()
             if len(closed) >= bank.k:
                 return self._current, closed
+            if OBS.enabled:
+                OBS.metrics.inc("hw.copy_exhaustions")
+                OBS.metrics.observe("hw.copy_accesses_served", bank.accesses)
+                OBS.metrics.set_gauge("hw.current_copy", self._current + 1)
             self._current += 1
+        if OBS.enabled:
+            OBS.metrics.inc("hw.architecture_exhaustions")
+            OBS.event("hw.exhausted", banks=len(self.banks),
+                      total_accesses=self.total_accesses)
         raise DeviceWornOutError(
             f"all {len(self.banks)} banks exhausted after "
             f"{self.total_accesses} total accesses")

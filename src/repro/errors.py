@@ -98,3 +98,14 @@ class InfeasibleDesignError(DesignSpaceError):
 
 class ConfigurationError(ReproError):
     """Invalid user-supplied parameters (negative counts, k > n, ...)."""
+
+
+class CheckpointMismatchError(ConfigurationError):
+    """A checkpoint on disk belongs to a different campaign.
+
+    Raised when resuming and the stored meta (seed, trial count, design,
+    fault config) does not match the requested campaign.  Kept distinct
+    from plain :class:`ConfigurationError` so callers - the CLI maps it
+    to exit code 2 - can refuse loudly instead of silently restarting or
+    conflating it with an ordinary campaign failure.
+    """

@@ -41,7 +41,9 @@ from repro.faults.injectors import (
     TemperatureDrift,
     TransientMisfire,
 )
+from repro.obs.recorder import OBS
 from repro.sim.montecarlo import run_checkpointed_trials
+from repro.sim.rng import derive_rng
 
 __all__ = [
     "FaultCampaignConfig",
@@ -152,7 +154,7 @@ def run_fault_trial(design: DesignPoint, config: FaultCampaignConfig,
     ``rng``; passing the same generator state reproduces the trial
     exactly.  Returns a JSON-safe dict.
     """
-    fault_rng = np.random.default_rng(rng.bit_generator.jumped())
+    fault_rng = derive_rng(rng)
     model = build_fault_model(config, fault_rng)
     policy = RetryPolicy(max_attempts=config.max_attempts,
                          quarantine_after=config.quarantine_after)
@@ -177,6 +179,16 @@ def run_fault_trial(design: DesignPoint, config: FaultCampaignConfig,
         assert secret == CAMPAIGN_SECRET
         served += 1
     stats = controller.stats
+    if OBS.enabled:
+        OBS.metrics.inc("faults.trials")
+        OBS.metrics.observe("faults.served_accesses", served)
+        OBS.metrics.observe("faults.trial_availability", stats.availability)
+        if served > ceiling:
+            OBS.metrics.inc("faults.ceiling_violations")
+        if model is not None:
+            for name, count in model.injection_counts().items():
+                if count:
+                    OBS.metrics.inc(f"faults.injected.{name}", count)
     return {
         "served": served,
         "ceiling": ceiling,

@@ -1,0 +1,42 @@
+"""Observability: structured events, metrics, span tracing, benchmarks.
+
+Public surface:
+
+- :data:`OBS` - the process-wide recorder (flip ``OBS.enabled`` via
+  :meth:`~repro.obs.recorder.Observability.configure`; never rebind it);
+- :class:`MetricsRegistry` / :class:`Histogram` - counters, gauges and
+  streaming histograms with p50/p95/p99;
+- :class:`Span` / :class:`SpanTracer` - nested timed scopes exported as
+  JSONL events;
+- :class:`InMemorySink` / :class:`JsonlSink` - event destinations;
+- :mod:`repro.obs.bench` (imported lazily - it pulls in the simulation
+  stack) - the pinned benchmark suite behind ``repro bench``.
+
+See ``docs/observability.md`` for the event schema and an
+instrumentation cookbook.
+"""
+
+from repro.obs.recorder import (
+    EVENT_SCHEMA_VERSION,
+    Histogram,
+    MetricsRegistry,
+    OBS,
+    Observability,
+)
+from repro.obs.sinks import InMemorySink, JsonlSink, render_summary
+from repro.obs.tracing import NULL_SPAN, NullSpan, Span, SpanTracer
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "OBS",
+    "Observability",
+    "Span",
+    "SpanTracer",
+    "render_summary",
+]

@@ -1,0 +1,415 @@
+"""Pinned benchmark workloads and the ``BENCH_<date>.json`` perf report.
+
+``repro bench`` runs a fixed suite of workloads - the hot paths of every
+layer the observability subsystem instruments - with pinned seeds and
+sizes, and emits a schema-versioned JSON report.  Committing one report
+per milestone seeds the perf trajectory: future PRs prove a speedup by
+diffing two reports of the same scale.
+
+The suite also measures the cost of the instrumentation itself.
+:func:`measure_disabled_overhead` is a paired A/B test on the Monte
+Carlo hot path: arm A is :func:`_baseline_simulate_access_bounds` (a
+verbatim transcription of ``sim.montecarlo.simulate_access_bounds`` from
+before the observability subsystem landed - no ``OBS`` touches at all),
+arm B is the instrumented function with observability *disabled*.  Arms
+run interleaved and the overhead is reported from the per-arm minima
+(the minimum is the standard noise-robust location estimate for
+benchmark timings).  CI fails the build when B exceeds A by more than
+3%, pinning the "zero cost when disabled" claim.
+
+Wall-clock timestamps enter the report via :func:`time.strftime`; no
+other randomness or clock state leaks in, so two runs of the same scale
+on the same machine are directly comparable.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import math
+import os
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.degradation import PAPER_CRITERIA, DesignPoint
+from repro.core.sizing import size_architecture
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+from repro.obs.recorder import OBS
+from repro.sim.rng import make_rng, substream
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "SCALES",
+    "measure_disabled_overhead",
+    "render_bench_report",
+    "run_bench_suite",
+    "validate_bench_report",
+    "write_bench_report",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Workload sizes per scale.  "smoke" finishes in a few seconds (CI);
+#: "full" gives tighter percentiles for committed milestone reports;
+#: "tiny" exists for the test suite.
+SCALES: dict[str, dict] = {
+    "tiny": {
+        "repeats": 2,
+        "mc_fast_trials": 20,
+        "mc_checkpointed_trials": 4,
+        "mc_hardware_trials": 2,
+        "faults_trials": 2,
+        "replay_days": 10,
+        "pads_rounds": 1,
+        "checkpoint_results": 50,
+        "overhead_repeats": 2,
+        "overhead_trials": 20,
+    },
+    "smoke": {
+        "repeats": 3,
+        "mc_fast_trials": 300,
+        "mc_checkpointed_trials": 30,
+        "mc_hardware_trials": 5,
+        "faults_trials": 6,
+        "replay_days": 90,
+        "pads_rounds": 4,
+        "checkpoint_results": 1000,
+        "overhead_repeats": 7,
+        "overhead_trials": 400,
+    },
+    "full": {
+        "repeats": 7,
+        "mc_fast_trials": 3000,
+        "mc_checkpointed_trials": 200,
+        "mc_hardware_trials": 20,
+        "faults_trials": 20,
+        "replay_days": 365,
+        "pads_rounds": 16,
+        "checkpoint_results": 5000,
+        "overhead_repeats": 15,
+        "overhead_trials": 2000,
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Pinned designs.  Solved from fixed parameters (and memoized - the
+# solver must not pollute the workload timings), so every report
+# benchmarks the same architecture regardless of host.
+@functools.lru_cache(maxsize=None)
+def _bench_design(bound: int = 2000) -> DesignPoint:
+    return size_architecture(10.0, 8.0, bound, k_fraction=0.10,
+                             criteria=PAPER_CRITERIA, window="fractional")
+
+
+def _small_design(bound: int = 200) -> DesignPoint:
+    return _bench_design(bound)
+
+
+def _replay_design(bound: int = 1000) -> DesignPoint:
+    return _bench_design(bound)
+
+
+# ----------------------------------------------------------------------
+# Workloads.  Each returns (units_processed, unit_label); the harness
+# times the call.
+def _workload_mc_fast(params: dict, seed: int) -> tuple[int, str]:
+    from repro.sim.montecarlo import simulate_access_bounds
+
+    trials = params["mc_fast_trials"]
+    simulate_access_bounds(_bench_design(), trials, make_rng(seed))
+    return trials, "trials"
+
+
+def _workload_mc_checkpointed(params: dict, seed: int) -> tuple[int, str]:
+    from repro.sim.montecarlo import simulate_access_bounds_checkpointed
+
+    trials = params["mc_checkpointed_trials"]
+    with tempfile.TemporaryDirectory() as tmp:
+        simulate_access_bounds_checkpointed(
+            _bench_design(), trials, seed,
+            checkpoint_path=os.path.join(tmp, "bench.ckpt"),
+            checkpoint_every=max(trials // 4, 1))
+    return trials, "trials"
+
+
+def _workload_mc_hardware(params: dict, seed: int) -> tuple[int, str]:
+    from repro.sim.montecarlo import simulate_access_bounds_hardware
+
+    trials = params["mc_hardware_trials"]
+    simulate_access_bounds_hardware(_small_design(), trials, make_rng(seed))
+    return trials, "trials"
+
+
+def _workload_faults_campaign(params: dict, seed: int) -> tuple[int, str]:
+    from repro.faults.campaign import FaultCampaignConfig, run_fault_campaign
+
+    trials = params["faults_trials"]
+    config = FaultCampaignConfig(misfire_rate=0.01, corruption_rate=0.01,
+                                 timeout_rate=0.005)
+    run_fault_campaign(_small_design(), config, trials=trials, seed=seed)
+    return trials, "trials"
+
+
+def _workload_replay_trace(params: dict, seed: int) -> tuple[int, str]:
+    from repro.sim.timeline import UsageProfile
+    from repro.sim.traces import generate_trace, replay_trace
+
+    rng = make_rng(seed)
+    trace = generate_trace(UsageProfile(mean_daily=10.0),
+                           params["replay_days"], rng)
+    replay_trace([_replay_design()], ["bench-0"], b"bench storage", trace,
+                 rng)
+    return len(trace), "events"
+
+
+def _workload_pads_traverse(params: dict, seed: int) -> tuple[int, str]:
+    from repro.pads.decision_tree import HardwareDecisionTree
+
+    height, rounds = 8, params["pads_rounds"]
+    device = WeibullDistribution(alpha=40.0, beta=8.0)
+    rng = make_rng(seed)
+    traversals = 0
+    for round_index in range(rounds):
+        leaves = [bytes([i % 256]) * 16 for i in range(2 ** (height - 1))]
+        tree = HardwareDecisionTree(height, leaves, device, rng)
+        for leaf in range(tree.n_paths):
+            tree.traverse(format(leaf, f"0{height - 1}b"))
+            traversals += 1
+    return traversals, "traversals"
+
+
+def _workload_checkpoint_roundtrip(params: dict, seed: int) -> tuple[int, str]:
+    from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+
+    results = [{"served": i, "ok": True}
+               for i in range(params["checkpoint_results"])]
+    meta = {"seed": seed, "trials": len(results), "kind": "bench"}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.ckpt")
+        save_checkpoint(path, meta, results)
+        load_checkpoint(path)
+    return len(results), "results"
+
+
+_WORKLOADS = (
+    ("mc.fast", _workload_mc_fast),
+    ("mc.checkpointed", _workload_mc_checkpointed),
+    ("mc.hardware", _workload_mc_hardware),
+    ("faults.campaign", _workload_faults_campaign),
+    ("replay.trace", _workload_replay_trace),
+    ("pads.traverse", _workload_pads_traverse),
+    ("checkpoint.roundtrip", _workload_checkpoint_roundtrip),
+)
+
+
+def _baseline_simulate_access_bounds(design: DesignPoint, trials: int,
+                                     rng: np.random.Generator,
+                                     max_copies_per_chunk: int = 4_000_000,
+                                     ) -> np.ndarray:
+    """``simulate_access_bounds`` exactly as it was pre-instrumentation.
+
+    Kept as the A-arm of the overhead test: any future instrumentation
+    creep inside the hot loop shows up as an A/B gap here, even though
+    the instrumented function only touches ``OBS`` outside the loop.
+    """
+    n, k, copies = design.n, design.k, design.copies
+    per_trial_cells = copies * n
+    chunk_trials = max(1, int(max_copies_per_chunk // max(per_trial_cells, 1)))
+    totals = np.empty(trials, dtype=np.int64)
+    done = 0
+    while done < trials:
+        batch = min(chunk_trials, trials - done)
+        lifetimes = design.device.sample(size=(batch, copies, n), rng=rng)
+        budgets = np.floor(lifetimes).astype(np.int64)
+        if k == 1:
+            bank_life = budgets.max(axis=2)
+        else:
+            part = np.partition(budgets, n - k, axis=2)
+            bank_life = part[:, :, n - k]
+        totals[done:done + batch] = bank_life.sum(axis=1)
+        done += batch
+    return totals
+
+
+def measure_disabled_overhead(repeats: int = 7, trials: int = 400,
+                              seed: int = 0) -> dict:
+    """Paired A/B overhead of disabled observability on the MC hot path.
+
+    Interleaves ``repeats`` timed runs of the uninstrumented baseline
+    (A) and the instrumented-but-disabled function (B), both on the same
+    pinned design and per-rep substreams, and reports
+    ``overhead_pct = (min_B - min_A) / min_A * 100``.
+    """
+    from repro.sim.montecarlo import simulate_access_bounds
+
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    design = _bench_design()
+    was_enabled = OBS.enabled
+    OBS.enabled = False
+    try:
+        a_times: list[float] = []
+        b_times: list[float] = []
+        # Warm both code paths (allocator, caches) before timing.
+        _baseline_simulate_access_bounds(design, 2, substream(seed, 0))
+        simulate_access_bounds(design, 2, substream(seed, 0))
+        for rep in range(repeats):
+            started = time.perf_counter()
+            _baseline_simulate_access_bounds(design, trials,
+                                             substream(seed, rep))
+            a_times.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            simulate_access_bounds(design, trials, substream(seed, rep))
+            b_times.append(time.perf_counter() - started)
+    finally:
+        OBS.enabled = was_enabled
+    best_a, best_b = min(a_times), min(b_times)
+    return {
+        "hot_path": "simulate_access_bounds",
+        "repeats": repeats,
+        "trials": trials,
+        "baseline_min_s": best_a,
+        "baseline_median_s": sorted(a_times)[len(a_times) // 2],
+        "instrumented_disabled_min_s": best_b,
+        "instrumented_disabled_median_s": sorted(b_times)[len(b_times) // 2],
+        "overhead_pct": (best_b - best_a) / best_a * 100.0,
+    }
+
+
+def _summarize_times(times: list[float]) -> dict:
+    ordered = sorted(times)
+    return {
+        "min": ordered[0],
+        "median": ordered[len(ordered) // 2],
+        "mean": math.fsum(ordered) / len(ordered),
+        "max": ordered[-1],
+    }
+
+
+def run_bench_suite(scale: str = "smoke", seed: int = 0,
+                    repeats: int | None = None) -> dict:
+    """Run every pinned workload; return the JSON-safe perf report."""
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"unknown bench scale {scale!r}; choose from "
+            f"{sorted(SCALES)}")
+    params = SCALES[scale]
+    repeats = repeats if repeats is not None else params["repeats"]
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    workloads = []
+    for name, workload in _WORKLOADS:
+        times: list[float] = []
+        units, unit_label = 0, ""
+        for rep in range(repeats):
+            started = time.perf_counter()
+            units, unit_label = workload(params, seed + rep)
+            times.append(time.perf_counter() - started)
+        wall = _summarize_times(times)
+        workloads.append({
+            "name": name,
+            "repeats": repeats,
+            "units": units,
+            "unit": unit_label,
+            "wall_s": wall,
+            "throughput_per_s": units / wall["min"] if wall["min"] > 0
+            else None,
+        })
+    overhead = measure_disabled_overhead(
+        repeats=params["overhead_repeats"],
+        trials=params["overhead_trials"], seed=seed)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench-report",
+        "date": time.strftime("%Y%m%d"),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale,
+        "seed": seed,
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "workloads": workloads,
+        "overhead": overhead,
+    }
+
+
+_REQUIRED_TOP_KEYS = ("schema_version", "kind", "date", "scale", "seed",
+                      "environment", "workloads", "overhead")
+_REQUIRED_WORKLOAD_KEYS = ("name", "repeats", "units", "unit", "wall_s",
+                           "throughput_per_s")
+_REQUIRED_OVERHEAD_KEYS = ("hot_path", "repeats", "trials",
+                           "baseline_min_s", "instrumented_disabled_min_s",
+                           "overhead_pct")
+
+
+def validate_bench_report(payload: dict) -> None:
+    """Raise :class:`ConfigurationError` unless ``payload`` is a valid
+    schema-1 bench report."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError("bench report must be a JSON object")
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION \
+            or payload.get("kind") != "bench-report":
+        raise ConfigurationError(
+            "not a bench report (wrong kind or schema_version)")
+    missing = [key for key in _REQUIRED_TOP_KEYS if key not in payload]
+    if missing:
+        raise ConfigurationError(
+            f"bench report is missing top-level keys: {missing}")
+    if not payload["workloads"]:
+        raise ConfigurationError("bench report has no workloads")
+    for workload in payload["workloads"]:
+        bad = [key for key in _REQUIRED_WORKLOAD_KEYS if key not in workload]
+        if bad:
+            raise ConfigurationError(
+                f"workload {workload.get('name')!r} is missing {bad}")
+        for stat in ("min", "median", "mean", "max"):
+            if stat not in workload["wall_s"]:
+                raise ConfigurationError(
+                    f"workload {workload['name']!r} wall_s lacks {stat!r}")
+    bad = [key for key in _REQUIRED_OVERHEAD_KEYS
+           if key not in payload["overhead"]]
+    if bad:
+        raise ConfigurationError(
+            f"bench report overhead section is missing {bad}")
+
+
+def write_bench_report(payload: dict, path: str) -> None:
+    """Validate and write one report as indented JSON."""
+    validate_bench_report(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def render_bench_report(payload: dict) -> str:
+    """The report's workload table and overhead line as text."""
+    from repro.viz.ascii import table
+
+    rows = []
+    for workload in payload["workloads"]:
+        throughput = workload["throughput_per_s"]
+        rows.append((
+            workload["name"],
+            f"{workload['repeats']}",
+            f"{workload['wall_s']['min'] * 1e3:,.1f}",
+            f"{workload['wall_s']['median'] * 1e3:,.1f}",
+            f"{throughput:,.0f} {workload['unit']}/s"
+            if throughput else "-",
+        ))
+    text = table(("workload", "reps", "min ms", "median ms", "throughput"),
+                 rows, title=f"bench {payload['date']} "
+                             f"(scale={payload['scale']})")
+    overhead = payload["overhead"]
+    return (f"{text}\n\nobservability-disabled overhead on "
+            f"{overhead['hot_path']}: {overhead['overhead_pct']:+.2f}% "
+            f"(A={overhead['baseline_min_s'] * 1e3:.1f} ms, "
+            f"B={overhead['instrumented_disabled_min_s'] * 1e3:.1f} ms)")

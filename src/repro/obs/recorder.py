@@ -1,0 +1,326 @@
+"""Zero-cost-when-disabled observability: metrics registry and recorder.
+
+The subsystem mirrors the ``fault_hook`` pattern of :mod:`repro.faults`:
+one module-level :data:`OBS` recorder that every instrumented hot path
+guards with a single attribute check::
+
+    from repro.obs.recorder import OBS
+    ...
+    if OBS.enabled:                # the only cost when observability is off
+        OBS.metrics.inc("resilient.retries")
+
+With observability off (the default) instrumented code pays exactly that
+``OBS.enabled`` check - no allocation, no call.  The dedicated overhead
+benchmark (:func:`repro.obs.bench.measure_disabled_overhead`) pins this
+down against an uninstrumented transcription of the Monte Carlo hot
+path, and CI fails the build when the disabled overhead exceeds 3%.
+
+Three metric families live in the :class:`MetricsRegistry`:
+
+- **counters** - monotonically increasing event tallies (``inc``);
+- **gauges** - last-write-wins level readings (``set_gauge``);
+- **histograms** - streaming distributions (``observe``) held as
+  log-spaced buckets (t-digest style: ~constant relative error instead
+  of unbounded memory), reporting count/sum/mean/min/max and p50/p95/p99.
+
+:meth:`Observability.time` wraps a histogram in a context-manager timer
+using :func:`time.perf_counter`; :meth:`Observability.span` delegates to
+the :mod:`repro.obs.tracing` span tracer.  Structured events (spans
+included) are fanned out to the configured sinks
+(:mod:`repro.obs.sinks`) as schema-versioned JSON objects.
+
+The recorder is process-global and not thread-safe by design: the
+simulations it instruments are single-process NumPy loops, and a lock
+on the hot path would cost more than the feature.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "OBS",
+]
+
+#: Version stamped on every structured event and metrics snapshot.  Bump
+#: when the shape of emitted JSON objects changes incompatibly.
+EVENT_SCHEMA_VERSION = 1
+
+
+class Histogram:
+    """A streaming histogram over log-spaced buckets.
+
+    Values are binned at ``BUCKETS_PER_DECADE`` buckets per power of ten
+    across ``[10**MIN_EXP, 10**MAX_EXP)``, giving ~26% relative bucket
+    width - ample for latency percentiles - with fixed memory and no
+    RNG (a reservoir would need one, and sampling noise besides).
+    Non-positive values clamp into the lowest bucket; exact ``min`` /
+    ``max`` / ``sum`` are tracked alongside, so quantile estimates are
+    clamped to the truly observed range.
+    """
+
+    BUCKETS_PER_DECADE = 10
+    MIN_EXP = -9   # 1 ns resolution floor
+    MAX_EXP = 12   # covers counts up to 1e12
+
+    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        n_buckets = (self.MAX_EXP - self.MIN_EXP) * self.BUCKETS_PER_DECADE
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= 0.0:
+            return 0
+        index = int(math.floor(
+            (math.log10(value) - self.MIN_EXP) * self.BUCKETS_PER_DECADE))
+        return min(max(index, 0), len(self.counts) - 1)
+
+    def _bucket_value(self, index: int) -> float:
+        # Geometric midpoint of the bucket's bounds.
+        lo_exp = self.MIN_EXP + index / self.BUCKETS_PER_DECADE
+        return 10.0 ** (lo_exp + 0.5 / self.BUCKETS_PER_DECADE)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of the observed values."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must lie in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                estimate = self._bucket_value(index)
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def summary(self) -> dict:
+        """JSON-safe summary (count, sum, mean, min/max, p50/p95/p99)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _Timer:
+    """Context manager feeding one duration into a histogram."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry.observe(self._name,
+                               time.perf_counter() - self._start)
+
+
+class _NullTimer:
+    """Shared no-op timer handed out while observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with a JSON-safe snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- writes --------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def time(self, name: str) -> _Timer:
+        """A context manager recording its block's duration in seconds."""
+        return _Timer(self, name)
+
+    # -- reads ---------------------------------------------------------
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> dict:
+        """One JSON-safe object capturing every metric's current state."""
+        return {
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "kind": "metrics-snapshot",
+            "wall_time": time.time(),
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {name: hist.summary() for name, hist
+                           in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class Observability:
+    """The process-wide recorder: registry + tracer + sinks + on/off flag.
+
+    Instrumented code must guard every touch with ``if OBS.enabled:`` -
+    the methods here do *not* re-check, so they stay cheap on the
+    enabled path too.  The only exceptions are :meth:`span` and
+    :meth:`time`, which return shared null objects when disabled so
+    ``with`` blocks need no duplicated branch.
+    """
+
+    def __init__(self) -> None:
+        from repro.obs.tracing import SpanTracer
+
+        self.enabled = False
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer(self)
+        self._sinks: list = []
+
+    # -- lifecycle -----------------------------------------------------
+    def configure(self, sinks=(), enabled: bool = True) -> None:
+        """Attach ``sinks`` and flip the recorder on (or off)."""
+        self._sinks.extend(sinks)
+        self.enabled = enabled
+
+    def add_sink(self, sink) -> None:
+        self._sinks.append(sink)
+
+    @property
+    def sinks(self) -> list:
+        return list(self._sinks)
+
+    def reset(self) -> None:
+        """Disable, drop all recorded state, and close every sink."""
+        from repro.obs.tracing import SpanTracer
+
+        self.enabled = False
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+        self._sinks.clear()
+        self.metrics.reset()
+        self.tracer = SpanTracer(self)
+
+    # -- structured events ---------------------------------------------
+    def emit(self, payload: dict) -> None:
+        """Fan one schema-versioned event out to every sink."""
+        for sink in self._sinks:
+            sink.emit(payload)
+
+    def event(self, name: str, **fields) -> None:
+        """Record a point-in-time structured event."""
+        payload = {"v": EVENT_SCHEMA_VERSION, "kind": "event",
+                   "name": name, "wall_time": time.time()}
+        if fields:
+            payload["attrs"] = fields
+        self.emit(payload)
+
+    # -- convenience proxies -------------------------------------------
+    def span(self, name: str, **attrs):
+        """A traced scope; a shared no-op span while disabled."""
+        from repro.obs.tracing import NULL_SPAN
+
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def time(self, name: str):
+        """A timing scope; a shared no-op timer while disabled."""
+        if not self.enabled:
+            return _NULL_TIMER
+        return self.metrics.time(name)
+
+    def summary(self) -> str:
+        """Human-readable table of everything recorded so far."""
+        from repro.obs.sinks import render_summary
+
+        return render_summary(self)
+
+
+#: The process-wide recorder.  Never rebound - flip ``OBS.enabled`` /
+#: call ``OBS.configure`` instead, so instrumented modules can hold a
+#: direct reference.
+OBS = Observability()

@@ -1,0 +1,117 @@
+"""Event sinks and the human-readable observability summary.
+
+Sinks receive every structured event the recorder emits (spans, point
+events).  The protocol is two methods::
+
+    sink.emit(payload: dict)   # one JSON-safe event
+    sink.close()               # flush and release resources
+
+- :class:`InMemorySink` buffers events in a list (tests, ad-hoc use);
+- :class:`JsonlSink` appends one JSON line per event - the trace format
+  behind the CLI's ``--trace-out``;
+- :func:`render_summary` formats the recorder's registry as aligned
+  text tables via :func:`repro.viz.ascii.table` - the ``--obs-summary``
+  output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.viz.ascii import table
+
+__all__ = ["InMemorySink", "JsonlSink", "render_summary"]
+
+
+class InMemorySink:
+    """Buffers emitted events in :attr:`events`."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.closed = False
+
+    def emit(self, payload: dict) -> None:
+        self.events.append(payload)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlSink:
+    """Appends each event as one JSON line to ``path``.
+
+    The file is opened lazily on the first event and kept open between
+    emits (a trace can hold thousands of spans; re-opening per line
+    would dominate).  Events are written in emit order, so a trace file
+    replays the run chronologically.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+        self.emitted = 0
+
+    def emit(self, payload: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        json.dump(payload, self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+
+def _format_number(value: float) -> str:
+    if value != value:  # NaN
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if 1e-3 <= abs(value) < 1e6:
+        return f"{value:,.4g}"
+    return f"{value:.3e}"
+
+
+def render_summary(obs) -> str:
+    """The registry (and span tally) as aligned text tables."""
+    registry = obs.metrics
+    sections: list[str] = []
+    counters = registry.counters
+    if counters:
+        rows = [(name, _format_number(value))
+                for name, value in sorted(counters.items())]
+        sections.append(table(("counter", "value"), rows,
+                              title="counters"))
+    gauges = registry.gauges
+    if gauges:
+        rows = [(name, _format_number(value))
+                for name, value in sorted(gauges.items())]
+        sections.append(table(("gauge", "value"), rows, title="gauges"))
+    histograms = registry.histograms
+    if histograms:
+        rows = []
+        for name, hist in sorted(histograms.items()):
+            summary = hist.summary()
+            if summary["count"] == 0:
+                continue
+            rows.append((
+                name,
+                _format_number(summary["count"]),
+                _format_number(summary["mean"]),
+                _format_number(summary["p50"]),
+                _format_number(summary["p95"]),
+                _format_number(summary["p99"]),
+                _format_number(summary["max"]),
+            ))
+        if rows:
+            sections.append(table(
+                ("histogram", "count", "mean", "p50", "p95", "p99", "max"),
+                rows, title="histograms"))
+    if obs.tracer.finished:
+        sections.append(f"spans finished: {obs.tracer.finished}")
+    if not sections:
+        return "observability: nothing recorded"
+    return "\n\n".join(sections)

@@ -14,6 +14,7 @@ leaf - which is why adversarial path-guessing destroys the tree quickly.
 from __future__ import annotations
 
 import itertools
+import time
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from repro.core.device import NEMSSwitch, ReadDestructiveRegister
 from repro.core.variation import ProcessVariation
 from repro.core.weibull import WeibullDistribution
 from repro.errors import ConfigurationError, RegisterDestroyedError
+from repro.obs.recorder import OBS
 
 __all__ = ["path_bits_to_leaf", "HardwareDecisionTree"]
 
@@ -114,6 +116,17 @@ class HardwareDecisionTree:
         the leaf destroys it, so a second successful traversal of the same
         path returns None as well.
         """
+        if not OBS.enabled:
+            return self._traverse(path)
+        started = time.perf_counter()
+        try:
+            return self._traverse(path)
+        finally:
+            OBS.metrics.inc("pads.traversals")
+            OBS.metrics.observe("pads.traverse_s",
+                                time.perf_counter() - started)
+
+    def _traverse(self, path: str) -> bytes | None:
         self.traversals += 1
         switches = self.path_switches(path)
         if self._fault_hook is None:

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointMismatchError, ConfigurationError
+from repro.obs.recorder import OBS
 
 __all__ = ["save_checkpoint", "load_checkpoint", "validate_checkpoint"]
 
@@ -35,6 +37,8 @@ SCHEMA_VERSION = 1
 
 def save_checkpoint(path: str, meta: dict, results: list) -> None:
     """Atomically persist campaign progress to ``path``."""
+    if OBS.enabled:
+        started = time.perf_counter()
     payload = {
         "schema_version": SCHEMA_VERSION,
         "meta": meta,
@@ -47,12 +51,19 @@ def save_checkpoint(path: str, meta: dict, results: list) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp_path, path)
+    if OBS.enabled:
+        OBS.metrics.inc("checkpoint.saves")
+        OBS.metrics.observe("checkpoint.save_s",
+                            time.perf_counter() - started)
+        OBS.event("checkpoint.saved", path=path, completed=len(results))
 
 
 def load_checkpoint(path: str) -> dict | None:
     """Load a checkpoint; None when ``path`` does not exist."""
     if not os.path.exists(path):
         return None
+    if OBS.enabled:
+        started = time.perf_counter()
     with open(path, encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
@@ -69,19 +80,26 @@ def load_checkpoint(path: str) -> dict | None:
         raise ConfigurationError(
             f"inconsistent checkpoint {path!r}: completed count does not "
             f"match stored results")
+    if OBS.enabled:
+        OBS.metrics.inc("checkpoint.loads")
+        OBS.metrics.observe("checkpoint.load_s",
+                            time.perf_counter() - started)
     return payload
 
 
 def validate_checkpoint(payload: dict, meta: dict, path: str) -> list:
     """Check a loaded checkpoint belongs to this campaign; return results.
 
-    Raises :class:`ConfigurationError` naming the first mismatching meta
-    field, so a seed or design change cannot silently resume stale state.
+    Raises :class:`CheckpointMismatchError` naming the first mismatching
+    meta field, so a seed or design change cannot silently resume stale
+    state.  The CLI maps this error to a distinct exit code (2) so
+    automation can tell "checkpoint belongs to another campaign" apart
+    from ordinary campaign failures.
     """
     stored = payload.get("meta", {})
     for key, expected in meta.items():
         if stored.get(key) != expected:
-            raise ConfigurationError(
+            raise CheckpointMismatchError(
                 f"checkpoint {path!r} belongs to a different campaign: "
                 f"meta[{key!r}] is {stored.get(key)!r}, expected "
                 f"{expected!r}; delete the file or match the parameters")

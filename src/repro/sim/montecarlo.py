@@ -24,6 +24,7 @@ fault-injection campaigns.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -34,6 +35,7 @@ from repro.core.hardware import build_serial_copies
 from repro.core.serialize import design_to_dict
 from repro.core.variation import NoVariation, ProcessVariation
 from repro.errors import ConfigurationError
+from repro.obs.recorder import OBS
 from repro.sim.checkpoint import (
     load_checkpoint,
     save_checkpoint,
@@ -98,6 +100,8 @@ def simulate_access_bounds(design: DesignPoint, trials: int,
     """
     if trials < 1:
         raise ConfigurationError("trials must be >= 1")
+    if OBS.enabled:
+        started = time.perf_counter()
     n, k, copies = design.n, design.k, design.copies
     per_trial_cells = copies * n
     chunk_trials = max(1, int(max_copies_per_chunk // max(per_trial_cells, 1)))
@@ -115,6 +119,12 @@ def simulate_access_bounds(design: DesignPoint, trials: int,
             bank_life = part[:, :, n - k]
         totals[done:done + batch] = bank_life.sum(axis=1)
         done += batch
+    if OBS.enabled:
+        elapsed = time.perf_counter() - started
+        OBS.metrics.inc("mc.trials", trials)
+        OBS.metrics.observe("mc.fast_batch_s", elapsed)
+        if elapsed > 0:
+            OBS.metrics.set_gauge("mc.trials_per_s", trials / elapsed)
     return totals
 
 
@@ -155,7 +165,18 @@ def run_checkpointed_trials(trial_fn: Callable[[int, np.random.Generator],
                     f"{len(results)} results for a {trials}-trial "
                     f"campaign")
     for index in range(len(results), trials):
-        results.append(trial_fn(index, substream(seed, index)))
+        if OBS.enabled:
+            setup_started = time.perf_counter()
+            rng = substream(seed, index)
+            trial_started = time.perf_counter()
+            results.append(trial_fn(index, rng))
+            OBS.metrics.observe("mc.substream_setup_s",
+                                trial_started - setup_started)
+            OBS.metrics.observe("mc.trial_s",
+                                time.perf_counter() - trial_started)
+            OBS.metrics.inc("mc.checkpointed_trials")
+        else:
+            results.append(trial_fn(index, substream(seed, index)))
         if checkpoint_path is not None \
                 and (index + 1) % checkpoint_every == 0:
             save_checkpoint(checkpoint_path, full_meta, results)

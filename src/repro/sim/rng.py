@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "derive_rng",
     "make_rng",
     "spawn_rngs",
     "substream",
@@ -64,6 +65,17 @@ def make_rng(seed: int | None = None) -> np.random.Generator:
     if seed is None and _default_root is not None:
         return np.random.default_rng(_default_root.spawn(1)[0])
     return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator) -> np.random.Generator:
+    """An independent generator derived from ``rng``'s current state.
+
+    Uses the bit generator's ``jumped`` stream, so the derived generator
+    never overlaps the parent's future draws.  This is the sanctioned
+    way to branch a second stream off a caller-supplied generator
+    (e.g. fault draws vs fabrication draws) without consuming from it.
+    """
+    return np.random.default_rng(rng.bit_generator.jumped())
 
 
 def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:

@@ -17,6 +17,7 @@ device ended (served its full life, worn out early, or survived).
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,9 +25,11 @@ import numpy as np
 from repro.connection.phone import MWayPhone
 from repro.core.degradation import DesignPoint
 from repro.errors import ConfigurationError, DeviceWornOutError
+from repro.obs.recorder import OBS
 from repro.sim.timeline import UsageProfile
 
 __all__ = [
+    "EndState",
     "EventKind",
     "TraceEvent",
     "generate_trace",
@@ -82,6 +85,25 @@ def generate_trace(profile: UsageProfile, n_days: int,
     return events
 
 
+class EndState(enum.Enum):
+    """How a replayed deployment ended - the exhaustive taxonomy.
+
+    Every replay lands in exactly one of these states (the tests assert
+    the mapping is total):
+
+    - ``SERVED_FULL_TRACE``: the phone survived every event in the
+      trace, including the degenerate empty trace;
+    - ``WORN_OUT``: the hardware died serving a login attempt;
+    - ``DIED_MIGRATING``: the hardware died *during a migration* - the
+      retiring module's final storage-unsealing access was one access
+      too many.
+    """
+
+    SERVED_FULL_TRACE = "served-full-trace"
+    WORN_OUT = "worn-out"
+    DIED_MIGRATING = "died-migrating"
+
+
 @dataclass
 class ReplayReport:
     """Outcome of replaying one trace against a phone."""
@@ -93,10 +115,20 @@ class ReplayReport:
     migrations: int = 0
     died_on_day: int | None = None
     attacker_breached: bool = field(default=False)
+    died_during_migration: bool = field(default=False)
 
     @property
     def survived(self) -> bool:
         return self.died_on_day is None
+
+    @property
+    def end_state(self) -> EndState:
+        """This replay's slot in the :class:`EndState` taxonomy."""
+        if self.died_on_day is None:
+            return EndState.SERVED_FULL_TRACE
+        if self.died_during_migration:
+            return EndState.DIED_MIGRATING
+        return EndState.WORN_OUT
 
 
 def replay_trace(designs: list[DesignPoint], passcodes: list[str],
@@ -115,6 +147,8 @@ def replay_trace(designs: list[DesignPoint], passcodes: list[str],
     if not 0.0 <= migrate_below_fraction < 1.0:
         raise ConfigurationError(
             "migrate_below_fraction must lie in [0, 1)")
+    if OBS.enabled:
+        started = time.perf_counter()
     phone = MWayPhone(designs, passcodes, storage, rng)
     report = ReplayReport()
     module_budget = designs[0].guaranteed_accesses
@@ -126,11 +160,18 @@ def replay_trace(designs: list[DesignPoint], passcodes: list[str],
         if (remaining <= module_budget * migrate_below_fraction
                 and module_index < phone.m - 1):
             try:
-                phone.migrate()
+                if OBS.enabled:
+                    with OBS.metrics.time("replay.migration_s"):
+                        phone.migrate()
+                else:
+                    phone.migrate()
             except DeviceWornOutError:
                 report.died_on_day = event.day
+                report.died_during_migration = True
                 break
             report.migrations += 1
+            if OBS.enabled:
+                OBS.metrics.inc("replay.migrations")
             module_index += 1
             module_budget = designs[module_index].guaranteed_accesses
             used_on_module = 0
@@ -151,4 +192,18 @@ def replay_trace(designs: list[DesignPoint], passcodes: list[str],
             break
         used_on_module += 1
         report.days_served = event.day + 1
+    if OBS.enabled:
+        elapsed = time.perf_counter() - started
+        attempts = (report.owner_logins + report.owner_typos
+                    + report.attacker_attempts)
+        OBS.metrics.inc("replay.traces")
+        OBS.metrics.inc("replay.logins", report.owner_logins)
+        OBS.metrics.inc("replay.typos", report.owner_typos)
+        OBS.metrics.inc("replay.attacker_attempts", report.attacker_attempts)
+        OBS.metrics.observe("replay.wall_s", elapsed)
+        if elapsed > 0:
+            OBS.metrics.set_gauge("replay.logins_per_s", attempts / elapsed)
+        OBS.event("replay.finished", end_state=report.end_state.value,
+                  days_served=report.days_served,
+                  migrations=report.migrations)
     return report

@@ -11,7 +11,7 @@ import math
 
 from repro.errors import ConfigurationError
 
-__all__ = ["line_chart", "heatmap"]
+__all__ = ["line_chart", "heatmap", "table"]
 
 #: Shade ramp for heatmaps, light to dark.
 _SHADES = " .:-=+*#%@"
@@ -83,6 +83,40 @@ def line_chart(curves: dict[str, list[tuple[float, float | None]]],
                  f"{_format_value(x_hi):>{width - len(_format_value(x_lo))}}")
     lines.append(f"{'':>{label_width}}  " + "   ".join(legend)
                  + ("   (log y)" if log_y else ""))
+    return "\n".join(lines)
+
+
+def table(headers, rows, title: str = "") -> str:
+    """Render rows as an aligned text table.
+
+    The first column is left-aligned (names), the rest right-aligned
+    (values).  Every row must have one cell per header; cells are
+    stringified as-is, so callers control number formatting.
+    """
+    headers = [str(h) for h in headers]
+    body = [[str(cell) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"table row has {len(row)} cells for {len(headers)} "
+                f"headers")
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells) -> str:
+        parts = [f"{cells[0]:<{widths[0]}}"]
+        parts += [f"{cell:>{widths[i]}}"
+                  for i, cell in enumerate(cells) if i > 0]
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in body)
     return "\n".join(lines)
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli.main import build_parser, main
@@ -125,6 +127,117 @@ class TestSimulate:
         assert code == 0
         assert "simulated 50 fabricated instances" in out
         assert "P[meets legitimate bound" in out
+
+    def test_wall_clock_always_reported(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--alpha", "10", "--beta", "8",
+            "--bound", "200", "--k-fraction", "0.1", "--paper-criteria",
+            "--trials", "20", "--seed", "0")
+        assert code == 0
+        assert "wall clock:" in out
+        assert "trials/s" in out
+
+
+class TestObservabilityFlags:
+    BASE = ("simulate", "--alpha", "10", "--beta", "8", "--bound", "200",
+            "--k-fraction", "0.1", "--paper-criteria", "--trials", "20",
+            "--seed", "0")
+
+    def test_metrics_out_writes_snapshot(self, capsys, tmp_path):
+        target = tmp_path / "metrics.json"
+        code, _, _ = run_cli(capsys, *self.BASE,
+                             "--metrics-out", str(target))
+        assert code == 0
+        snap = json.loads(target.read_text())
+        assert snap["kind"] == "metrics-snapshot"
+        assert snap["schema_version"] == 1
+        assert snap["counters"]["mc.trials"] == 20
+
+    def test_trace_out_writes_jsonl_spans(self, capsys, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(capsys, *self.BASE,
+                             "--trace-out", str(target))
+        assert code == 0
+        events = [json.loads(line)
+                  for line in target.read_text().splitlines()]
+        assert events
+        names = {e["name"] for e in events if e["kind"] == "span"}
+        assert "cli.simulate" in names
+
+    def test_obs_summary_to_stdout(self, capsys):
+        code, out, _ = run_cli(capsys, *self.BASE, "--obs-summary")
+        assert code == 0
+        assert "counters" in out
+        assert "mc.trials" in out
+
+    def test_obs_summary_to_file(self, capsys, tmp_path):
+        target = tmp_path / "summary.txt"
+        code, out, _ = run_cli(capsys, *self.BASE,
+                               "--obs-summary", str(target))
+        assert code == 0
+        assert "mc.trials" in target.read_text()
+        assert "mc.trials" not in out
+
+    def test_recorder_reset_between_runs(self, capsys, tmp_path):
+        # Two CLI invocations in one process must not accumulate state.
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        run_cli(capsys, *self.BASE, "--metrics-out", str(first))
+        run_cli(capsys, *self.BASE, "--metrics-out", str(second))
+        a = json.loads(first.read_text())
+        b = json.loads(second.read_text())
+        assert a["counters"]["mc.trials"] == b["counters"]["mc.trials"]
+
+    def test_no_flags_means_disabled(self, capsys):
+        from repro.obs.recorder import OBS
+
+        code, _, _ = run_cli(capsys, *self.BASE)
+        assert code == 0
+        assert not OBS.enabled
+        assert OBS.metrics.counters == {}
+
+
+class TestFaultsCheckpointMismatch:
+    def test_mismatched_resume_exits_2(self, capsys, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        base = ("faults", "--alpha", "10", "--beta", "8", "--bound",
+                "200", "--k-fraction", "0.1", "--paper-criteria",
+                "--trials", "4", "--checkpoint", str(ckpt),
+                "--checkpoint-every", "2")
+        code, _, _ = run_cli(capsys, *base, "--seed", "3")
+        assert code == 0
+        code, _, err = run_cli(capsys, *base, "--seed", "99")
+        assert code == 2
+        assert "checkpoint mismatch" in err
+
+    def test_faults_reports_wall_clock(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "faults", "--alpha", "10", "--beta", "8", "--bound",
+            "200", "--k-fraction", "0.1", "--paper-criteria",
+            "--trials", "2", "--seed", "0")
+        assert code == 0
+        assert "wall clock:" in out
+
+
+@pytest.mark.slow
+class TestBench:
+    def test_tiny_bench_writes_valid_report(self, capsys, tmp_path):
+        from repro.obs.bench import validate_bench_report
+
+        target = tmp_path / "BENCH_tiny.json"
+        code, out, _ = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--out", str(target))
+        assert code == 0
+        assert "bench report written" in out
+        validate_bench_report(json.loads(target.read_text()))
+
+    def test_overhead_check_passes_generous_budget(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--check-overhead", "500")
+        assert code == 0
+        assert "overhead check passed" in out
 
 
 class TestAdvise:

@@ -3,9 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.fitting import fit_median_rank, fit_mle
+from repro.core.fitting import (
+    fit_bootstrap,
+    fit_median_rank,
+    fit_mle,
+)
 from repro.core.weibull import WeibullDistribution
 from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
 
 
 @pytest.mark.parametrize("fit", [fit_mle, fit_median_rank])
@@ -63,3 +68,35 @@ class TestEstimatorQuality:
         scaled = fit_mle(data * 100.0)
         assert scaled.alpha == pytest.approx(base.alpha * 100.0, rel=1e-6)
         assert scaled.beta == pytest.approx(base.beta, rel=1e-6)
+
+
+class TestBootstrap:
+    def test_intervals_cover_truth(self, rng):
+        true = WeibullDistribution(alpha=10.0, beta=8.0)
+        data = true.sample(size=2000, rng=rng)
+        boot = fit_bootstrap(data, resamples=100, rng=rng)
+        assert boot.alpha_ci[0] < 10.0 < boot.alpha_ci[1]
+        assert boot.beta_ci[0] < 8.0 < boot.beta_ci[1]
+        assert boot.point.alpha == pytest.approx(10.0, rel=0.05)
+        assert boot.alpha_ci[0] < boot.point.alpha < boot.alpha_ci[1]
+
+    def test_deterministic_given_rng(self, rng):
+        data = WeibullDistribution(10.0, 8.0).sample(size=300, rng=rng)
+        first = fit_bootstrap(data, resamples=50, rng=make_rng(7))
+        second = fit_bootstrap(data, resamples=50, rng=make_rng(7))
+        assert first.alpha_ci == second.alpha_ci
+        assert first.beta_ci == second.beta_ci
+
+    def test_works_with_rank_estimator(self, rng):
+        data = WeibullDistribution(10.0, 8.0).sample(size=500, rng=rng)
+        boot = fit_bootstrap(data, resamples=40,
+                             estimator=fit_median_rank, rng=rng)
+        assert boot.alpha_ci[0] < boot.alpha_ci[1]
+        assert boot.resamples == 40
+
+    def test_validation(self, rng):
+        data = WeibullDistribution(10.0, 8.0).sample(size=50, rng=rng)
+        with pytest.raises(ConfigurationError):
+            fit_bootstrap(data, resamples=1, rng=rng)
+        with pytest.raises(ConfigurationError):
+            fit_bootstrap(data, confidence=1.0, rng=rng)

@@ -1,0 +1,26 @@
+"""Fixtures for observability tests: every test gets a clean recorder."""
+
+import pytest
+
+from repro.obs.recorder import OBS
+from repro.obs.sinks import InMemorySink
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset the process-wide recorder before and after each test.
+
+    OBS is deliberately a module-level singleton; tests must never leak
+    enabled state into each other (or into the rest of the suite).
+    """
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+@pytest.fixture
+def sink():
+    """An in-memory sink attached to an enabled recorder."""
+    memory = InMemorySink()
+    OBS.configure(sinks=[memory], enabled=True)
+    return memory

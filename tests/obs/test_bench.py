@@ -1,0 +1,106 @@
+"""Tests for the pinned benchmark suite and its report schema."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    SCALES,
+    measure_disabled_overhead,
+    render_bench_report,
+    run_bench_suite,
+    validate_bench_report,
+    write_bench_report,
+)
+from repro.obs.recorder import OBS
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_bench_suite("tiny", seed=0, repeats=1)
+
+
+class TestBenchSuite:
+    def test_report_is_schema_valid(self, tiny_report):
+        validate_bench_report(tiny_report)
+        assert tiny_report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert tiny_report["kind"] == "bench-report"
+        assert tiny_report["scale"] == "tiny"
+
+    def test_every_workload_ran(self, tiny_report):
+        names = {w["name"] for w in tiny_report["workloads"]}
+        assert names == {"mc.fast", "mc.checkpointed", "mc.hardware",
+                         "faults.campaign", "replay.trace",
+                         "pads.traverse", "checkpoint.roundtrip"}
+        for workload in tiny_report["workloads"]:
+            assert workload["units"] > 0
+            assert workload["wall_s"]["min"] > 0
+            assert workload["throughput_per_s"] > 0
+
+    def test_report_is_json_serializable(self, tiny_report):
+        assert json.loads(json.dumps(tiny_report)) == tiny_report
+
+    def test_write_and_render(self, tiny_report, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench_report(tiny_report, str(path))
+        loaded = json.loads(path.read_text())
+        validate_bench_report(loaded)
+        text = render_bench_report(tiny_report)
+        assert "mc.fast" in text
+        assert "observability-disabled overhead" in text
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_bench_suite("galactic")
+
+    def test_scales_share_parameter_keys(self):
+        keys = {frozenset(params) for params in SCALES.values()}
+        assert len(keys) == 1
+
+
+class TestOverheadMeasurement:
+    def test_reports_paired_minima(self):
+        result = measure_disabled_overhead(repeats=2, trials=20, seed=0)
+        assert result["hot_path"] == "simulate_access_bounds"
+        assert result["baseline_min_s"] > 0
+        assert result["instrumented_disabled_min_s"] > 0
+        expected = (result["instrumented_disabled_min_s"]
+                    - result["baseline_min_s"]) \
+            / result["baseline_min_s"] * 100.0
+        assert result["overhead_pct"] == pytest.approx(expected)
+
+    def test_restores_enabled_state(self):
+        OBS.enabled = True
+        try:
+            measure_disabled_overhead(repeats=1, trials=10, seed=0)
+            assert OBS.enabled is True
+        finally:
+            OBS.enabled = False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            measure_disabled_overhead(repeats=0)
+
+
+class TestValidator:
+    def test_rejects_non_reports(self):
+        with pytest.raises(ConfigurationError):
+            validate_bench_report([])
+        with pytest.raises(ConfigurationError):
+            validate_bench_report({"kind": "bench-report"})
+
+    def test_rejects_missing_workload_keys(self, tiny_report):
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["workloads"][0]["wall_s"]["median"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
+
+    def test_rejects_missing_overhead_keys(self, tiny_report):
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["overhead"]["overhead_pct"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)

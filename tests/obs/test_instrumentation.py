@@ -1,0 +1,94 @@
+"""Integration: instrumented hot paths record metrics when enabled and
+leave the registry untouched when disabled."""
+
+from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.weibull import WeibullDistribution
+from repro.obs.recorder import OBS
+from repro.pads.decision_tree import HardwareDecisionTree
+from repro.sim.montecarlo import simulate_access_bounds
+from repro.sim.rng import make_rng
+from repro.sim.timeline import UsageProfile
+from repro.sim.traces import generate_trace, replay_trace
+
+DEVICE = WeibullDistribution(alpha=10.0, beta=8.0)
+
+
+def small_design(bound=300):
+    return solve_encoded_fractional(DEVICE, bound, 0.10, PAPER_CRITERIA)
+
+
+class TestMonteCarloInstrumentation:
+    def test_records_trials_and_throughput(self, sink):
+        simulate_access_bounds(small_design(), 25, make_rng(0))
+        assert OBS.metrics.counter("mc.trials") == 25
+        assert OBS.metrics.gauge("mc.trials_per_s") > 0
+        assert OBS.metrics.histogram("mc.fast_batch_s").count == 1
+
+    def test_disabled_records_nothing(self):
+        assert not OBS.enabled
+        simulate_access_bounds(small_design(), 25, make_rng(0))
+        assert OBS.metrics.counters == {}
+        assert OBS.metrics.histograms == {}
+
+    def test_results_identical_enabled_vs_disabled(self, sink):
+        enabled = simulate_access_bounds(small_design(), 10, make_rng(3))
+        OBS.enabled = False
+        disabled = simulate_access_bounds(small_design(), 10, make_rng(3))
+        assert (enabled == disabled).all()
+
+
+class TestFaultCampaignInstrumentation:
+    def test_campaign_counts_trials(self, sink):
+        from repro.faults.campaign import (
+            FaultCampaignConfig,
+            run_fault_campaign,
+        )
+
+        run_fault_campaign(small_design(), FaultCampaignConfig(),
+                           trials=2, seed=0)
+        assert OBS.metrics.counter("faults.trials") == 2
+        assert OBS.metrics.histogram("faults.served_accesses").count == 2
+        hist = OBS.metrics.histogram("faults.trial_availability")
+        assert hist.count == 2
+
+
+class TestReplayInstrumentation:
+    def test_replay_counts_and_end_state_event(self, sink):
+        rng = make_rng(0)
+        trace = generate_trace(UsageProfile(mean_daily=5.0), 10, rng,
+                               typo_rate=0.0)
+        replay_trace([small_design(400)], ["pc"], b"d", trace, rng)
+        assert OBS.metrics.counter("replay.traces") == 1
+        assert OBS.metrics.counter("replay.logins") == len(trace)
+        finished = [e for e in sink.events
+                    if e.get("name") == "replay.finished"]
+        assert len(finished) == 1
+        assert finished[0]["attrs"]["end_state"] == "served-full-trace"
+
+
+class TestPadsInstrumentation:
+    def test_traversals_counted(self, sink):
+        leaves = [bytes([i]) * 4 for i in range(8)]
+        tree = HardwareDecisionTree(4, leaves, DEVICE, make_rng(0))
+        tree.traverse("000")
+        tree.traverse("111")
+        assert OBS.metrics.counter("pads.traversals") == 2
+        assert OBS.metrics.histogram("pads.traverse_s").count == 2
+
+    def test_disabled_traverse_records_nothing(self):
+        leaves = [bytes([i]) * 4 for i in range(8)]
+        tree = HardwareDecisionTree(4, leaves, DEVICE, make_rng(0))
+        tree.traverse("000")
+        assert OBS.metrics.counters == {}
+
+
+class TestResilientInstrumentation:
+    def test_access_layer_counts_calls(self, sink):
+        from repro.connection.resilient import ResilientAccessController
+
+        controller = ResilientAccessController(
+            small_design(), b"secret payload!!", make_rng(0))
+        secret = controller.read_key()
+        assert secret == b"secret payload!!"
+        assert OBS.metrics.counter("resilient.calls") == 1
+        assert OBS.metrics.counter("resilient.successes") == 1

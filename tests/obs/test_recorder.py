@@ -1,0 +1,146 @@
+"""Tests for the metrics registry, histogram, and recorder lifecycle."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.recorder import (
+    EVENT_SCHEMA_VERSION,
+    Histogram,
+    MetricsRegistry,
+    OBS,
+)
+from repro.obs.tracing import NULL_SPAN
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert math.isnan(hist.mean)
+        assert math.isnan(hist.quantile(0.5))
+        assert hist.summary() == {"count": 0}
+
+    def test_exact_aggregates(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(10.0)
+        assert hist.mean == pytest.approx(2.5)
+        assert hist.minimum == 1.0
+        assert hist.maximum == 4.0
+
+    def test_quantiles_within_bucket_error(self):
+        hist = Histogram()
+        for i in range(1, 1001):
+            hist.observe(i / 1000.0)  # uniform on (0, 1]
+        # Log buckets give ~26% relative width; allow a little slack.
+        assert hist.quantile(0.5) == pytest.approx(0.5, rel=0.30)
+        assert hist.quantile(0.95) == pytest.approx(0.95, rel=0.30)
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = Histogram()
+        hist.observe(5.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 5.0
+
+    def test_nonpositive_values_clamp_into_lowest_bucket(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(-2.5)
+        assert hist.count == 2
+        assert hist.minimum == -2.5
+
+    def test_extreme_magnitudes_stay_in_range(self):
+        hist = Histogram()
+        hist.observe(1e-15)
+        hist.observe(1e15)
+        assert hist.count == 2
+        assert hist.quantile(1.0) == 1e15
+
+    def test_quantile_validation(self):
+        with pytest.raises(ConfigurationError):
+            Histogram().quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        assert registry.counter("a") == 5
+        assert registry.counter("missing") == 0
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.0)
+        registry.set_gauge("g", 7.5)
+        assert registry.gauge("g") == 7.5
+        assert registry.gauge("missing") is None
+
+    def test_timer_records_duration(self):
+        registry = MetricsRegistry()
+        with registry.time("t"):
+            pass
+        hist = registry.histogram("t")
+        assert hist.count == 1
+        assert hist.minimum >= 0.0
+
+    def test_snapshot_schema(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 3.0)
+        registry.observe("h", 0.5)
+        snap = registry.snapshot()
+        assert snap["schema_version"] == EVENT_SCHEMA_VERSION
+        assert snap["kind"] == "metrics-snapshot"
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 3.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["wall_time"] > 0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 1.0)
+        registry.reset()
+        assert registry.counters == {}
+        assert registry.gauges == {}
+        assert registry.histograms == {}
+
+
+class TestObservability:
+    def test_disabled_by_default(self):
+        assert OBS.enabled is False
+
+    def test_disabled_span_and_timer_are_shared_nulls(self):
+        assert OBS.span("x") is NULL_SPAN
+        assert OBS.time("x") is OBS.time("y")
+
+    def test_event_reaches_sink(self, sink):
+        OBS.event("hello", answer=42)
+        assert len(sink.events) == 1
+        event = sink.events[0]
+        assert event["v"] == EVENT_SCHEMA_VERSION
+        assert event["kind"] == "event"
+        assert event["name"] == "hello"
+        assert event["attrs"] == {"answer": 42}
+
+    def test_reset_disables_and_closes_sinks(self, sink):
+        assert OBS.enabled
+        OBS.reset()
+        assert not OBS.enabled
+        assert sink.closed
+        assert OBS.sinks == []
+
+    def test_summary_mentions_recorded_metrics(self, sink):
+        OBS.metrics.inc("demo.counter", 3)
+        text = OBS.summary()
+        assert "demo.counter" in text
+        assert "3" in text
+
+    def test_summary_when_empty(self):
+        assert "nothing recorded" in OBS.summary()

@@ -1,0 +1,66 @@
+"""Tests for event sinks and the human-readable summary."""
+
+import json
+
+from repro.obs.recorder import OBS
+from repro.obs.sinks import InMemorySink, JsonlSink, render_summary
+
+
+class TestInMemorySink:
+    def test_buffers_in_order(self):
+        sink = InMemorySink()
+        sink.emit({"a": 1})
+        sink.emit({"b": 2})
+        assert sink.events == [{"a": 1}, {"b": 2}]
+        sink.close()
+        assert sink.closed
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"v": 1, "kind": "event", "name": "x"})
+        sink.emit({"v": 1, "kind": "span", "name": "y"})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "x"
+        assert json.loads(lines[1])["kind"] == "span"
+        assert sink.emitted == 2
+
+    def test_lazy_open_never_touches_disk_without_events(self, tmp_path):
+        path = tmp_path / "untouched.jsonl"
+        sink = JsonlSink(str(path))
+        sink.close()
+        assert not path.exists()
+
+    def test_appends_across_reopen(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for run in range(2):
+            sink = JsonlSink(str(path))
+            sink.emit({"run": run})
+            sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestRenderSummary:
+    def test_sections_appear_only_when_populated(self, sink):
+        OBS.metrics.inc("hits", 7)
+        text = render_summary(OBS)
+        assert "counters" in text
+        assert "gauges" not in text
+        assert "histograms" not in text
+        OBS.metrics.set_gauge("level", 0.5)
+        OBS.metrics.observe("lat", 0.01)
+        text = render_summary(OBS)
+        assert "gauges" in text
+        assert "histograms" in text
+
+    def test_span_tally_line(self, sink):
+        with OBS.span("s"):
+            pass
+        assert "spans finished: 1" in render_summary(OBS)
+
+    def test_empty_summary(self):
+        assert render_summary(OBS) == "observability: nothing recorded"

@@ -1,0 +1,76 @@
+"""Tests for span tracing: nesting, events, and the null span."""
+
+from repro.obs.recorder import EVENT_SCHEMA_VERSION, OBS
+from repro.obs.tracing import NULL_SPAN, NullSpan
+
+
+class TestSpans:
+    def test_span_emits_event_with_duration(self, sink):
+        with OBS.span("work", trials=10) as span:
+            span.set_attr("extra", True)
+        assert len(sink.events) == 1
+        event = sink.events[0]
+        assert event["v"] == EVENT_SCHEMA_VERSION
+        assert event["kind"] == "span"
+        assert event["name"] == "work"
+        assert event["duration_s"] >= 0.0
+        assert event["attrs"] == {"trials": 10, "extra": True}
+        assert event["parent_id"] is None
+
+    def test_nesting_records_parent_ids(self, sink):
+        with OBS.span("outer") as outer:
+            with OBS.span("inner"):
+                assert OBS.tracer.current.name == "inner"
+            assert OBS.tracer.current is outer
+        inner_event, outer_event = sink.events
+        assert inner_event["name"] == "inner"
+        assert inner_event["parent_id"] == outer_event["span_id"]
+        assert outer_event["parent_id"] is None
+        assert OBS.tracer.current is None
+
+    def test_span_ids_are_unique(self, sink):
+        with OBS.span("a"):
+            pass
+        with OBS.span("b"):
+            pass
+        ids = [e["span_id"] for e in sink.events]
+        assert len(ids) == len(set(ids))
+
+    def test_finished_count_and_histogram(self, sink):
+        for _ in range(3):
+            with OBS.span("step"):
+                pass
+        assert OBS.tracer.finished == 3
+        hist = OBS.metrics.histogram("span.step")
+        assert hist.count == 3
+
+    def test_exception_tagged_on_span(self, sink):
+        try:
+            with OBS.span("explodes"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        event = sink.events[0]
+        assert event["attrs"]["error"] == "ValueError"
+
+    def test_out_of_order_exit_does_not_corrupt_stack(self, sink):
+        outer = OBS.tracer.span("outer")
+        inner = OBS.tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # wrong order on purpose
+        inner.__exit__(None, None, None)
+        assert OBS.tracer.current is None
+        assert OBS.tracer.finished == 2
+
+
+class TestNullSpan:
+    def test_shared_instance_is_inert(self):
+        assert isinstance(NULL_SPAN, NullSpan)
+        with NULL_SPAN as span:
+            span.set_attr("ignored", 1)  # must not raise or record
+        assert OBS.tracer.finished == 0
+
+    def test_disabled_obs_hands_out_null_span(self):
+        assert not OBS.enabled
+        assert OBS.span("anything") is NULL_SPAN

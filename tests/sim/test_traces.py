@@ -3,12 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.core.degradation import PAPER_CRITERIA, solve_encoded_fractional
+from repro.core.degradation import (
+    PAPER_CRITERIA,
+    DesignPoint,
+    solve_encoded_fractional,
+)
 from repro.core.weibull import WeibullDistribution
 from repro.errors import ConfigurationError
 from repro.sim.timeline import UsageProfile
 from repro.sim.traces import (
+    EndState,
     EventKind,
+    TraceEvent,
     generate_trace,
     replay_trace,
 )
@@ -94,3 +100,65 @@ class TestReplay:
         with pytest.raises(ConfigurationError):
             replay_trace([design(100)], ["x"], b"d", [], rng,
                          migrate_below_fraction=1.0)
+
+
+# Hand-built designs for the end-state edge cases.  alpha=0.5 devices die
+# before their first actuation completes; alpha=2.5/beta=200 devices are so
+# consistent they serve exactly 2 accesses and die on the third.
+FRAGILE = DesignPoint(device=WeibullDistribution(alpha=0.5, beta=8.0),
+                      n=4, k=1, t=1, copies=1, access_bound=1,
+                      criteria=PAPER_CRITERIA)
+TWO_SHOT = DesignPoint(device=WeibullDistribution(alpha=2.5, beta=200.0),
+                       n=1, k=1, t=3, copies=1, access_bound=3,
+                       criteria=PAPER_CRITERIA)
+
+
+class TestReplayEndStates:
+    """The EndState taxonomy is exhaustive: each state is reachable and
+    every replay lands in exactly one."""
+
+    def test_empty_trace_serves_in_full(self, rng):
+        report = replay_trace([design(100)], ["pc-0"], b"data", [], rng)
+        assert report.end_state is EndState.SERVED_FULL_TRACE
+        assert report.survived
+        assert report.days_served == 0
+        assert report.owner_logins == 0
+        assert report.migrations == 0
+
+    def test_wearout_on_first_login(self, rng):
+        trace = [TraceEvent(0, EventKind.OWNER_LOGIN)]
+        report = replay_trace([FRAGILE], ["pc-0"], b"data", trace, rng)
+        assert report.end_state is EndState.WORN_OUT
+        assert not report.survived
+        assert report.died_on_day == 0
+        assert not report.died_during_migration
+        assert report.owner_logins == 0
+        assert report.days_served == 0
+
+    def test_death_during_migration(self, rng):
+        # The module guarantees 3 accesses; the phone serves 2 logins and
+        # then migrates proactively (remaining 1 <= 0.4 * 3).  Migration
+        # itself logs in on the retiring module - its third and fatal
+        # access - so the phone dies migrating, not serving.
+        trace = [TraceEvent(d, EventKind.OWNER_LOGIN) for d in range(3)]
+        report = replay_trace([TWO_SHOT, TWO_SHOT], ["pc-0", "pc-1"],
+                              b"data", trace, rng,
+                              migrate_below_fraction=0.4)
+        assert report.end_state is EndState.DIED_MIGRATING
+        assert report.died_during_migration
+        assert not report.survived
+        assert report.migrations == 0
+
+    def test_taxonomy_is_total(self, rng):
+        # Every replay outcome maps to exactly one of the three states.
+        outcomes = {
+            replay_trace([design(100)], ["p"], b"d", [], rng).end_state,
+            replay_trace([FRAGILE], ["p"], b"d",
+                         [TraceEvent(0, EventKind.OWNER_LOGIN)],
+                         rng).end_state,
+            replay_trace([TWO_SHOT, TWO_SHOT], ["p", "q"], b"d",
+                         [TraceEvent(d, EventKind.OWNER_LOGIN)
+                          for d in range(3)],
+                         rng, migrate_below_fraction=0.4).end_state,
+        }
+        assert outcomes == set(EndState)

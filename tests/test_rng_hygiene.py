@@ -1,0 +1,63 @@
+"""Whole-repo RNG hygiene: all randomness flows through repro.sim.rng.
+
+Reproducibility depends on every random draw descending from an explicit
+seed.  A single stray ``np.random.default_rng()`` (or worse, the legacy
+global ``np.random.seed`` / ``RandomState`` API) re-introduces hidden
+state that checkpoint/resume and the paired overhead benchmark cannot
+replay.  This test greps the source tree so the invariant cannot rot
+silently; ``repro/sim/rng.py`` is the one place allowed to construct
+generators.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+ALLOWED = {Path("sim") / "rng.py"}
+
+FORBIDDEN = re.compile(
+    r"np\.random\.default_rng\s*\("
+    r"|numpy\.random\.default_rng\s*\("
+    r"|np\.random\.seed\s*\("
+    r"|numpy\.random\.seed\s*\("
+    r"|RandomState\s*\(")
+
+
+def _code_lines(path: Path):
+    """Source lines with comments and docstring-ish text stripped out."""
+    in_doc = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.split("#", 1)[0]
+        quotes = stripped.count('"""') + stripped.count("'''")
+        if in_doc:
+            if quotes:
+                in_doc = False
+            continue
+        if quotes == 1:
+            in_doc = True
+            continue
+        yield lineno, stripped
+
+
+def test_no_ad_hoc_generators_outside_sim_rng():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.relative_to(SRC) in ALLOWED:
+            continue
+        for lineno, line in _code_lines(path):
+            if FORBIDDEN.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "direct NumPy RNG construction outside repro/sim/rng.py - route "
+        "through make_rng/substream/derive_rng instead:\n"
+        + "\n".join(offenders))
+
+
+def test_allowlist_is_current():
+    # If rng.py moves, the allowlist (and this test) must follow it.
+    for rel in ALLOWED:
+        assert (SRC / rel).is_file(), f"allowlisted file missing: {rel}"
