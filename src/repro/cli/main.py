@@ -46,7 +46,11 @@ from repro.core.degradation import (
 )
 from repro.core.sizing import size_architecture, sweep_alpha
 from repro.core.weibull import WeibullDistribution
-from repro.errors import CheckpointMismatchError, ReproError
+from repro.errors import (
+    CheckpointMismatchError,
+    ConfigurationError,
+    ReproError,
+)
 from repro.obs.recorder import OBS
 from repro.pads.analysis import (
     adversary_success_probability,
@@ -271,13 +275,43 @@ def cmd_pads(args) -> int:
     return 0
 
 
+def _resolve_workers(args) -> int | None:
+    """Map the ``--workers`` flag to an engine argument.
+
+    ``None`` (flag omitted) auto-sizes to the host's CPU count; a
+    resolved count of 1 returns ``None`` so single-worker runs use the
+    in-process serial loop - bit-identical results either way, but
+    without process-pool overhead on single-core hosts.
+    """
+    from repro.sim.parallel import default_workers
+
+    workers = args.workers if args.workers is not None else default_workers()
+    if workers < 1:
+        raise ConfigurationError("--workers must be >= 1")
+    return workers if workers > 1 else None
+
+
 def cmd_simulate(args) -> int:
     point = _design_point(args)
     rng = make_rng(args.seed)
+    checkpointed = args.checkpoint is not None or args.workers is not None \
+        or args.hardware
     with _obs_session(args):
         started = time.perf_counter()
         with OBS.span("cli.simulate", trials=args.trials, seed=args.seed):
-            bounds = simulate_access_bounds(point, args.trials, rng)
+            if checkpointed:
+                from repro.sim.montecarlo import (
+                    simulate_access_bounds_checkpointed,
+                )
+
+                bounds = simulate_access_bounds_checkpointed(
+                    point, args.trials, args.seed,
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    hardware=args.hardware,
+                    workers=_resolve_workers(args))
+            else:
+                bounds = simulate_access_bounds(point, args.trials, rng)
         elapsed = time.perf_counter() - started
         summary = summarize_bounds(bounds)
         print(f"simulated {summary.trials} fabricated instances:")
@@ -323,7 +357,8 @@ def cmd_faults(args) -> int:
                                         seed=args.seed,
                                         checkpoint_path=args.checkpoint,
                                         checkpoint_every=
-                                        args.checkpoint_every)
+                                        args.checkpoint_every,
+                                        workers=_resolve_workers(args))
         elapsed = time.perf_counter() - started
         print(f"design: {point.k}-of-{point.n} x {point.copies} copies, "
               f"device Weibull({args.alpha}, {args.beta})")
@@ -443,6 +478,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_arguments(p_sim)
     p_sim.add_argument("--trials", type=int, default=200)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="shard trials across N worker processes "
+                            "(default: all CPUs; results are "
+                            "bit-identical for any N)")
+    p_sim.add_argument("--checkpoint", metavar="FILE", default=None,
+                       help="checkpoint file: created/updated during the "
+                            "run, resumed from when present (switches to "
+                            "per-trial substreams)")
+    p_sim.add_argument("--checkpoint-every", type=int, default=50,
+                       help="trials between checkpoint writes")
+    p_sim.add_argument("--hardware", action="store_true",
+                       help="drive the stateful hardware simulation "
+                            "instead of the vectorized fast path")
     _add_obs_arguments(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
@@ -456,6 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "the run, resumed from when present")
     p_faults.add_argument("--checkpoint-every", type=int, default=10,
                           help="trials between checkpoint writes")
+    p_faults.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="shard trials across N worker processes "
+                               "(default: all CPUs; results are "
+                               "bit-identical for any N)")
     p_faults.add_argument("--misfire-rate", type=float, default=0.0,
                           help="P[transient misfire] per actuation")
     p_faults.add_argument("--premature-rate", type=float, default=0.0,

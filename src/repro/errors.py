@@ -100,6 +100,30 @@ class ConfigurationError(ReproError):
     """Invalid user-supplied parameters (negative counts, k > n, ...)."""
 
 
+class ParallelExecutionError(ReproError):
+    """A shard of a parallel campaign failed after exhausting its retries.
+
+    Carries structured context so callers (and the CLI) can report which
+    contiguous trial range failed and why: the ``shard`` as a
+    ``(start, stop)`` index pair, how many ``attempts`` were made, the
+    failure ``kind`` (``"crash"`` for a dead worker process,
+    ``"timeout"`` for an overdue shard, ``"error"`` for an exception the
+    trial function raised), and the underlying ``cause`` when one was
+    captured.  Finished shards are never lost: their checkpoint files
+    survive the error, so rerunning the campaign resumes instead of
+    restarting.
+    """
+
+    def __init__(self, message: str, *, shard: tuple[int, int] | None = None,
+                 attempts: int | None = None, kind: str | None = None,
+                 cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+        self.kind = kind
+        self.cause = cause
+
+
 class CheckpointMismatchError(ConfigurationError):
     """A checkpoint on disk belongs to a different campaign.
 

@@ -287,17 +287,40 @@ class FaultCampaignReport:
         return "\n".join(lines)
 
 
+def _campaign_trial(index: int, rng: np.random.Generator,
+                    design: DesignPoint,
+                    config: FaultCampaignConfig) -> dict:
+    """Picklable per-trial adapter shared by the serial and parallel paths."""
+    return run_fault_trial(design, config, rng)
+
+
 def run_fault_campaign(design: DesignPoint, config: FaultCampaignConfig,
                        trials: int, seed: int,
                        checkpoint_path: str | None = None,
-                       checkpoint_every: int = 10) -> FaultCampaignReport:
-    """Run (or resume) a checkpointed fault-injection campaign."""
+                       checkpoint_every: int = 10,
+                       workers: int | None = None) -> FaultCampaignReport:
+    """Run (or resume) a checkpointed fault-injection campaign.
+
+    ``workers`` runs the campaign sharded across a process pool
+    (:func:`repro.sim.parallel.run_parallel_trials`); trial ``i`` draws
+    from the substream ``(seed, i)`` either way, so the report - and the
+    checkpoint file - is bit-identical for any worker count, and a
+    checkpoint written under one count resumes under another.
+    """
     meta = {"kind": "fault-campaign",
             "design": design_to_dict(design),
             "config": config.to_dict()}
+    if workers is not None:
+        from repro.sim.parallel import run_parallel_trials
+
+        records = run_parallel_trials(
+            _campaign_trial, trials, seed, trial_args=(design, config),
+            workers=workers, checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every, meta=meta)
+        return FaultCampaignReport.from_records(records, config)
 
     def trial(index: int, rng: np.random.Generator) -> dict:
-        return run_fault_trial(design, config, rng)
+        return _campaign_trial(index, rng, design, config)
 
     records = run_checkpointed_trials(trial, trials, seed, checkpoint_path,
                                       checkpoint_every, meta)

@@ -45,7 +45,9 @@ from repro.sim.rng import make_rng, substream
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "SCALES",
+    "SCALING_WORKERS",
     "measure_disabled_overhead",
+    "measure_parallel_scaling",
     "render_bench_report",
     "run_bench_suite",
     "validate_bench_report",
@@ -69,6 +71,7 @@ SCALES: dict[str, dict] = {
         "checkpoint_results": 50,
         "overhead_repeats": 2,
         "overhead_trials": 20,
+        "scaling_trials": 16,
     },
     "smoke": {
         "repeats": 3,
@@ -81,6 +84,7 @@ SCALES: dict[str, dict] = {
         "checkpoint_results": 1000,
         "overhead_repeats": 7,
         "overhead_trials": 400,
+        "scaling_trials": 600,
     },
     "full": {
         "repeats": 7,
@@ -93,8 +97,12 @@ SCALES: dict[str, dict] = {
         "checkpoint_results": 5000,
         "overhead_repeats": 15,
         "overhead_trials": 2000,
+        "scaling_trials": 3000,
     },
 }
+
+#: Worker counts measured by the parallel-scaling report.
+SCALING_WORKERS = (1, 2, 4)
 
 
 # ----------------------------------------------------------------------
@@ -282,6 +290,51 @@ def measure_disabled_overhead(repeats: int = 7, trials: int = 400,
     }
 
 
+def measure_parallel_scaling(trials: int, seed: int = 0,
+                             worker_counts: tuple[int, ...] = SCALING_WORKERS,
+                             ) -> dict:
+    """Wall-clock scaling of the sharded campaign engine vs worker count.
+
+    Runs the pinned hardware-mode access-bound campaign (the dominant
+    per-trial-cost workload, embarrassingly parallel by construction)
+    through :func:`repro.sim.parallel.run_parallel_trials` at each
+    worker count - including 1, so the baseline carries the same pool
+    overhead and the reported speedup isolates actual scaling.  Results
+    are bit-identical across counts (the differential suite asserts it);
+    this function reports only the timing side: wall seconds,
+    throughput, and speedup relative to the 1-worker run.
+    """
+    from repro.sim.montecarlo import simulate_access_bounds_checkpointed
+
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    design = _small_design()
+    # One warm-up pass so fork/pool start-up costs are paid before timing.
+    simulate_access_bounds_checkpointed(design, 2, seed, hardware=True,
+                                        workers=1)
+    configs = []
+    baseline_s: float | None = None
+    for workers in worker_counts:
+        started = time.perf_counter()
+        simulate_access_bounds_checkpointed(design, trials, seed,
+                                            hardware=True, workers=workers)
+        wall_s = time.perf_counter() - started
+        if baseline_s is None:
+            baseline_s = wall_s
+        configs.append({
+            "workers": workers,
+            "wall_s": wall_s,
+            "throughput_per_s": trials / wall_s if wall_s > 0 else None,
+            "speedup_vs_1": baseline_s / wall_s if wall_s > 0 else None,
+        })
+    return {
+        "workload": "mc.hardware.sharded",
+        "trials": trials,
+        "host_cpus": os.cpu_count(),
+        "configs": configs,
+    }
+
+
 def _summarize_times(times: list[float]) -> dict:
     ordered = sorted(times)
     return {
@@ -324,6 +377,7 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
     overhead = measure_disabled_overhead(
         repeats=params["overhead_repeats"],
         trials=params["overhead_trials"], seed=seed)
+    scaling = measure_parallel_scaling(params["scaling_trials"], seed=seed)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "bench-report",
@@ -339,16 +393,20 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
         },
         "workloads": workloads,
         "overhead": overhead,
+        "scaling": scaling,
     }
 
 
 _REQUIRED_TOP_KEYS = ("schema_version", "kind", "date", "scale", "seed",
-                      "environment", "workloads", "overhead")
+                      "environment", "workloads", "overhead", "scaling")
 _REQUIRED_WORKLOAD_KEYS = ("name", "repeats", "units", "unit", "wall_s",
                            "throughput_per_s")
 _REQUIRED_OVERHEAD_KEYS = ("hot_path", "repeats", "trials",
                            "baseline_min_s", "instrumented_disabled_min_s",
                            "overhead_pct")
+_REQUIRED_SCALING_KEYS = ("workload", "trials", "host_cpus", "configs")
+_REQUIRED_SCALING_CONFIG_KEYS = ("workers", "wall_s", "throughput_per_s",
+                                 "speedup_vs_1")
 
 
 def validate_bench_report(payload: dict) -> None:
@@ -380,6 +438,20 @@ def validate_bench_report(payload: dict) -> None:
     if bad:
         raise ConfigurationError(
             f"bench report overhead section is missing {bad}")
+    bad = [key for key in _REQUIRED_SCALING_KEYS
+           if key not in payload["scaling"]]
+    if bad:
+        raise ConfigurationError(
+            f"bench report scaling section is missing {bad}")
+    if not payload["scaling"]["configs"]:
+        raise ConfigurationError("bench report scaling has no configs")
+    for config in payload["scaling"]["configs"]:
+        bad = [key for key in _REQUIRED_SCALING_CONFIG_KEYS
+               if key not in config]
+        if bad:
+            raise ConfigurationError(
+                f"scaling config for workers={config.get('workers')!r} "
+                f"is missing {bad}")
 
 
 def write_bench_report(payload: dict, path: str) -> None:
@@ -409,7 +481,22 @@ def render_bench_report(payload: dict) -> str:
                  rows, title=f"bench {payload['date']} "
                              f"(scale={payload['scale']})")
     overhead = payload["overhead"]
-    return (f"{text}\n\nobservability-disabled overhead on "
+    scaling = payload["scaling"]
+    scaling_rows = [(
+        f"{config['workers']}",
+        f"{config['wall_s'] * 1e3:,.1f}",
+        f"{config['throughput_per_s']:,.0f} trials/s"
+        if config["throughput_per_s"] else "-",
+        f"{config['speedup_vs_1']:.2f}x"
+        if config["speedup_vs_1"] else "-",
+    ) for config in scaling["configs"]]
+    scaling_text = table(
+        ("workers", "wall ms", "throughput", "speedup"), scaling_rows,
+        title=f"parallel scaling: {scaling['workload']} "
+              f"({scaling['trials']} trials, "
+              f"{scaling['host_cpus']} host CPUs)")
+    return (f"{text}\n\n{scaling_text}\n\n"
+            f"observability-disabled overhead on "
             f"{overhead['hot_path']}: {overhead['overhead_pct']:+.2f}% "
             f"(A={overhead['baseline_min_s'] * 1e3:.1f} ms, "
             f"B={overhead['instrumented_disabled_min_s'] * 1e3:.1f} ms)")

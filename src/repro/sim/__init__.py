@@ -1,9 +1,18 @@
 """Monte Carlo simulation harness and RNG plumbing."""
 
 from repro.sim.checkpoint import (
+    list_shard_checkpoints,
     load_checkpoint,
+    merge_shard_payloads,
     save_checkpoint,
+    shard_checkpoint_path,
     validate_checkpoint,
+)
+from repro.sim.parallel import (
+    default_shard_size,
+    default_workers,
+    plan_shards,
+    run_parallel_trials,
 )
 from repro.sim.montecarlo import (
     AccessBoundSummary,
@@ -49,16 +58,23 @@ __all__ = [
     "TraceEvent",
     "UsageProfile",
     "chi_square_binned",
+    "default_shard_size",
+    "default_workers",
     "generate_trace",
     "get_default_seed",
     "ks_test",
+    "list_shard_checkpoints",
     "load_checkpoint",
     "make_rng",
+    "merge_shard_payloads",
+    "plan_shards",
     "replay_trace",
     "required_safety_factor",
     "run_checkpointed_trials",
+    "run_parallel_trials",
     "save_checkpoint",
     "set_default_seed",
+    "shard_checkpoint_path",
     "simulate_access_bounds",
     "simulate_access_bounds_checkpointed",
     "simulate_access_bounds_hardware",

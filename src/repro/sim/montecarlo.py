@@ -185,6 +185,24 @@ def run_checkpointed_trials(trial_fn: Callable[[int, np.random.Generator],
     return results
 
 
+def _access_bound_trial(index: int, rng: np.random.Generator,
+                        design: DesignPoint, hardware: bool,
+                        variation: ProcessVariation | None,
+                        max_accesses: int | None) -> int:
+    """One checkpointable access-bound trial, drawing only from ``rng``.
+
+    Module-level (rather than a closure) so the parallel engine can ship
+    it to worker processes by qualified name; the serial path calls the
+    same function, which is what makes serial and parallel campaigns
+    bit-identical by construction.
+    """
+    if hardware:
+        instance = build_serial_copies(design.device, design.copies,
+                                       design.n, design.k, rng, variation)
+        return int(instance.count_successful_accesses(max_accesses))
+    return int(simulate_access_bounds(design, 1, rng)[0])
+
+
 def simulate_access_bounds_checkpointed(design: DesignPoint, trials: int,
                                         seed: int,
                                         checkpoint_path: str | None = None,
@@ -193,6 +211,8 @@ def simulate_access_bounds_checkpointed(design: DesignPoint, trials: int,
                                         variation: ProcessVariation | None
                                         = None,
                                         max_accesses: int | None = None,
+                                        workers: int | None = None,
+                                        shard_size: int | None = None,
                                         ) -> np.ndarray:
     """Interruption-safe empirical access bounds (one substream per trial).
 
@@ -202,17 +222,29 @@ def simulate_access_bounds_checkpointed(design: DesignPoint, trials: int,
     function of ``(design, trials, seed)`` - resumable and
     order-independent.  ``hardware=True`` drives the stateful simulation
     instead of the order-statistics fast path.
+
+    ``workers`` shards the campaign across a process pool
+    (:func:`repro.sim.parallel.run_parallel_trials`); ``None`` keeps the
+    in-process serial loop.  Both paths share one trial function and one
+    checkpoint format, so any mix of worker counts - including resuming
+    a parallel checkpoint serially or vice versa - replays the same
+    bits.
     """
     meta = {"design": design_to_dict(design),
             "mode": "hardware" if hardware else "fast"}
+    trial_args = (design, hardware, variation, max_accesses)
+    if workers is not None:
+        from repro.sim.parallel import run_parallel_trials
+
+        bounds = run_parallel_trials(
+            _access_bound_trial, trials, seed, trial_args=trial_args,
+            workers=workers, checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every, meta=meta,
+            shard_size=shard_size)
+        return np.asarray(bounds, dtype=np.int64)
 
     def trial(index: int, rng: np.random.Generator) -> int:
-        if hardware:
-            instance = build_serial_copies(design.device, design.copies,
-                                           design.n, design.k, rng,
-                                           variation)
-            return int(instance.count_successful_accesses(max_accesses))
-        return int(simulate_access_bounds(design, 1, rng)[0])
+        return _access_bound_trial(index, rng, *trial_args)
 
     bounds = run_checkpointed_trials(trial, trials, seed, checkpoint_path,
                                      checkpoint_every, meta)

@@ -283,3 +283,57 @@ class TestExperiments:
         code, _, err = run_cli(capsys, "experiments", "fig99")
         assert code == 2
         assert "unknown" in err
+
+
+class TestParallelWorkers:
+    SIM = ("simulate", "--alpha", "10", "--beta", "8", "--bound", "40",
+           "--k-fraction", "0.1", "--paper-criteria", "--seed", "3")
+
+    def test_simulate_workers_matches_serial_checkpoint_run(self, capsys,
+                                                            tmp_path):
+        serial = tmp_path / "serial.ckpt"
+        parallel = tmp_path / "parallel.ckpt"
+        code, serial_out, _ = run_cli(
+            capsys, *self.SIM, "--trials", "30",
+            "--checkpoint", str(serial))
+        assert code == 0
+        code, parallel_out, _ = run_cli(
+            capsys, *self.SIM, "--trials", "30", "--workers", "2",
+            "--checkpoint", str(parallel))
+        assert code == 0
+        # Identical summary statistics and identical checkpoint bytes.
+        assert serial_out.splitlines()[:4] == parallel_out.splitlines()[:4]
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_simulate_workers_without_checkpoint(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *self.SIM, "--trials", "12", "--workers", "2")
+        assert code == 0
+        assert "simulated 12 fabricated instances" in out
+
+    def test_simulate_hardware_flag_uses_checkpointed_path(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *self.SIM, "--trials", "8", "--hardware")
+        assert code == 0
+        assert "simulated 8 fabricated instances" in out
+
+    def test_workers_must_be_positive(self, capsys):
+        code, _, err = run_cli(
+            capsys, *self.SIM, "--trials", "5", "--workers", "0")
+        assert code == 1
+        assert "--workers must be >= 1" in err
+
+    def test_faults_workers_matches_serial(self, capsys):
+        base = ("faults", "--alpha", "10", "--beta", "8", "--bound", "40",
+                "--k-fraction", "0.1", "--paper-criteria", "--trials",
+                "6", "--seed", "2", "--misfire-rate", "0.02")
+        code, serial_out, _ = run_cli(capsys, *base)
+        assert code == 0
+        code, parallel_out, _ = run_cli(capsys, *base, "--workers", "2")
+        assert code == 0
+        # Everything but the wall-clock line is bit-identical.
+        strip = [line for line in serial_out.splitlines()
+                 if "wall clock" not in line]
+        strip_parallel = [line for line in parallel_out.splitlines()
+                          if "wall clock" not in line]
+        assert strip == strip_parallel

@@ -1,0 +1,13 @@
+"""Differential harness: serial vs parallel vs analytic cross-validation.
+
+Three families of guarantees live here, one per module:
+
+- ``test_serial_parallel_identity`` - the parallel engine is a pure
+  refactoring of the serial loop: byte-identical results and checkpoint
+  files for any worker count;
+- ``test_kill_resume`` - a campaign SIGKILLed mid-flight resumes under a
+  *different* worker count bit-identical to an uninterrupted run;
+- ``test_fast_vs_hardware`` - the vectorized order-statistics simulator
+  and the stateful switch-by-switch simulator agree statistically on a
+  seeded design grid.
+"""

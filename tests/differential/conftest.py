@@ -1,0 +1,24 @@
+"""Shared fixtures for the differential harness."""
+
+import pytest
+
+from repro.core.degradation import PAPER_CRITERIA
+from repro.core.sizing import size_architecture
+
+
+def paper_design(bound: int):
+    """The paper's fractional-window sizing at a given access bound."""
+    return size_architecture(10.0, 8.0, bound, k_fraction=0.10,
+                             criteria=PAPER_CRITERIA, window="fractional")
+
+
+@pytest.fixture(scope="package")
+def small_design():
+    """Cheap hardware-simulable design (~0.7 ms per stateful trial)."""
+    return paper_design(40)
+
+
+@pytest.fixture(scope="package")
+def medium_design():
+    """The bench smoke design (~3 ms per stateful trial)."""
+    return paper_design(200)

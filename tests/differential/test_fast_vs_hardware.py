@@ -1,0 +1,75 @@
+"""Vectorized vs stateful simulator cross-validation on a design grid.
+
+``simulate_access_bounds`` computes access bounds analytically from
+order statistics; ``simulate_access_bounds_hardware`` actuates every
+switch of a stateful instance.  They share no code path, so statistical
+agreement over a grid of seeded designs is strong evidence both
+implement the same architecture semantics.  Tolerance is 4 combined
+standard errors on the mean - loose enough to be deterministic under the
+fixed seeds, tight enough to catch an off-by-one in either path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import PAPER_CRITERIA
+from repro.core.sizing import size_architecture
+from repro.sim.montecarlo import (
+    simulate_access_bounds,
+    simulate_access_bounds_hardware,
+)
+from repro.sim.rng import make_rng
+
+FAST_TRIALS = 4000
+HARDWARE_TRIALS = 300
+
+#: (alpha, beta, access_bound) - small designs so the stateful path
+#: stays affordable; spans shape, scale and sizing variation.
+DESIGN_GRID = [
+    (10.0, 8.0, 40),
+    (9.0, 8.0, 30),
+    (10.0, 5.0, 40),
+    (12.0, 10.0, 60),
+]
+
+
+@pytest.mark.parametrize("alpha,beta,bound", DESIGN_GRID)
+def test_fast_and_hardware_agree_statistically(alpha, beta, bound):
+    design = size_architecture(alpha, beta, bound, k_fraction=0.10,
+                               criteria=PAPER_CRITERIA,
+                               window="fractional")
+    seed = hash((alpha, beta, bound)) % (2 ** 31)
+    fast = simulate_access_bounds(design, FAST_TRIALS, make_rng(seed))
+    hardware = simulate_access_bounds_hardware(
+        design, HARDWARE_TRIALS, make_rng(seed + 1))
+
+    combined_se = math.sqrt(
+        fast.var(ddof=1) / fast.size
+        + hardware.var(ddof=1) / hardware.size)
+    delta = abs(float(fast.mean()) - float(hardware.mean()))
+    assert delta <= 4.0 * combined_se, (
+        f"fast mean {fast.mean():.2f} vs hardware mean "
+        f"{hardware.mean():.2f} differ by {delta:.2f} "
+        f"(> 4 SE = {4 * combined_se:.2f}) on design {design}")
+
+    # Spread must agree too - the same architecture, not just the same
+    # average (a constant-output bug would pass a mean check).
+    assert 0.5 <= float(fast.std()) / max(float(hardware.std()), 1e-9) \
+        <= 2.0
+
+    # Both must respect the design's sizing: every instance serves at
+    # least the designed bound.
+    assert int(fast.min()) >= bound
+    assert int(hardware.min()) >= bound
+
+
+def test_hardware_matches_itself_across_rng_paths():
+    # Same seed, same design: the stateful path is deterministic.
+    design = size_architecture(10.0, 8.0, 40, k_fraction=0.10,
+                               criteria=PAPER_CRITERIA,
+                               window="fractional")
+    a = simulate_access_bounds_hardware(design, 20, make_rng(9))
+    b = simulate_access_bounds_hardware(design, 20, make_rng(9))
+    assert np.array_equal(a, b)

@@ -8,7 +8,9 @@ from repro.errors import ConfigurationError
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
     SCALES,
+    SCALING_WORKERS,
     measure_disabled_overhead,
+    measure_parallel_scaling,
     render_bench_report,
     run_bench_suite,
     validate_bench_report,
@@ -60,6 +62,42 @@ class TestBenchSuite:
     def test_scales_share_parameter_keys(self):
         keys = {frozenset(params) for params in SCALES.values()}
         assert len(keys) == 1
+
+
+class TestScalingReport:
+    def test_report_has_a_config_per_worker_count(self, tiny_report):
+        scaling = tiny_report["scaling"]
+        assert scaling["workload"] == "mc.hardware.sharded"
+        assert scaling["trials"] == SCALES["tiny"]["scaling_trials"]
+        assert scaling["host_cpus"] >= 1
+        assert [c["workers"] for c in scaling["configs"]] \
+            == list(SCALING_WORKERS)
+        for config in scaling["configs"]:
+            assert config["wall_s"] > 0
+            assert config["throughput_per_s"] > 0
+            assert config["speedup_vs_1"] > 0
+        # Speedup is normalized to the 1-worker config of the same run.
+        baseline = scaling["configs"][0]
+        assert baseline["speedup_vs_1"] == pytest.approx(1.0)
+
+    def test_render_includes_scaling_table(self, tiny_report):
+        text = render_bench_report(tiny_report)
+        assert "parallel scaling" in text
+        assert "speedup" in text
+
+    def test_standalone_measurement_validates_trials(self):
+        with pytest.raises(ConfigurationError):
+            measure_parallel_scaling(0)
+
+    def test_validator_rejects_missing_scaling_keys(self, tiny_report):
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["scaling"]["configs"][0]["speedup_vs_1"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["scaling"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
 
 
 class TestOverheadMeasurement:

@@ -1,0 +1,117 @@
+"""Property tests for the Weibull wearout model (paper Eqs. 1-3).
+
+The architecture sizing math leans on exact algebraic identities of the
+two-parameter Weibull - cdf/reliability complementarity, quantile
+inversion, the scale-preserving ``scaled()`` transform, and the
+series-chain equivalence R_series(x) = R(x)**n of Section 4.1.2.  These
+hold for *every* valid (alpha, beta, x), which is what hypothesis
+checks.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+ALPHAS = st.floats(1e-2, 1e6, allow_nan=False, allow_infinity=False)
+BETAS = st.floats(0.2, 50.0, allow_nan=False, allow_infinity=False)
+TIMES = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+PROBS = st.floats(0.0, 0.999999, allow_nan=False, allow_infinity=False)
+
+
+@given(alpha=ALPHAS, beta=BETAS, x=TIMES)
+def test_cdf_and_reliability_are_complementary(alpha, beta, x):
+    w = WeibullDistribution(alpha=alpha, beta=beta)
+    assert w.cdf(x) + w.reliability(x) == pytest.approx(1.0, abs=1e-12)
+    assert 0.0 <= w.cdf(x) <= 1.0
+    assert 0.0 <= w.reliability(x) <= 1.0
+
+
+@given(alpha=ALPHAS, beta=BETAS, x=TIMES, y=TIMES)
+def test_cdf_is_monotone_nondecreasing(alpha, beta, x, y):
+    w = WeibullDistribution(alpha=alpha, beta=beta)
+    lo, hi = sorted((x, y))
+    assert w.cdf(lo) <= w.cdf(hi)
+    assert w.reliability(lo) >= w.reliability(hi)
+
+
+@given(alpha=ALPHAS, beta=BETAS)
+def test_boundary_values(alpha, beta):
+    w = WeibullDistribution(alpha=alpha, beta=beta)
+    assert w.cdf(0.0) == 0.0
+    assert w.reliability(0.0) == 1.0
+    assert w.quantile(0.0) == 0.0
+
+
+@given(alpha=ALPHAS, beta=st.floats(0.5, 20.0), q=PROBS)
+def test_quantile_inverts_cdf(alpha, beta, q):
+    w = WeibullDistribution(alpha=alpha, beta=beta)
+    assert w.cdf(w.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+
+@given(alpha=ALPHAS, beta=BETAS, x=TIMES,
+       factor=st.floats(1e-3, 1e3))
+def test_scaled_preserves_shape(alpha, beta, x, factor):
+    # scaled(f) stretches time by f: R_scaled(f * x) == R(x), exactly
+    # the paper's "scale alpha down" acceleration (Fig. 3a).
+    w = WeibullDistribution(alpha=alpha, beta=beta)
+    scaled = w.scaled(factor)
+    assert scaled.beta == w.beta
+    assert scaled.alpha == pytest.approx(alpha * factor)
+    assert scaled.reliability(factor * x) \
+        == pytest.approx(w.reliability(x), rel=1e-9, abs=1e-300)
+
+
+@given(alpha=ALPHAS, beta=st.floats(0.5, 20.0), x=TIMES,
+       n=st.integers(1, 64))
+def test_series_equivalent_matches_power_identity(alpha, beta, x, n):
+    # n devices in series survive x iff all survive x:
+    # R_series(x) = R(x)**n (Section 4.1.2).
+    w = WeibullDistribution(alpha=alpha, beta=beta)
+    series = w.series_equivalent(n)
+    assert series.beta == w.beta
+    log_r = w.log_reliability(x)
+    assert series.log_reliability(x) \
+        == pytest.approx(n * log_r, rel=1e-9, abs=1e-12)
+    if log_r > -700:  # exp underflows past that; compare in log space only
+        assert series.reliability(x) \
+            == pytest.approx(w.reliability(x) ** n, rel=1e-7, abs=1e-300)
+
+
+@given(alpha=ALPHAS, beta=st.floats(0.5, 20.0))
+def test_median_is_the_half_quantile(alpha, beta):
+    w = WeibullDistribution(alpha=alpha, beta=beta)
+    assert w.median == pytest.approx(w.quantile(0.5), rel=1e-12)
+    assert w.cdf(w.median) == pytest.approx(0.5, abs=1e-12)
+
+
+@given(alpha=ALPHAS, beta=BETAS, seed=st.integers(0, 2 ** 16),
+       size=st.integers(1, 64))
+@settings(max_examples=25)
+def test_samples_respect_the_cdf_bounds(alpha, beta, seed, size):
+    # Inverse-transform samples are nonnegative, finite, and land in the
+    # distribution's support with plausible cdf mass.
+    from repro.sim.rng import make_rng
+
+    w = WeibullDistribution(alpha=alpha, beta=beta)
+    draws = w.sample(size=size, rng=make_rng(seed))
+    assert np.all(draws >= 0.0)
+    assert np.all(np.isfinite(draws))
+
+
+@given(bad=st.one_of(st.floats(max_value=0.0), st.just(float("nan"))))
+def test_invalid_parameters_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        WeibullDistribution(alpha=bad, beta=8.0)
+    with pytest.raises(ConfigurationError):
+        WeibullDistribution(alpha=10.0, beta=bad)
+
+
+def test_mean_matches_gamma_formula():
+    w = WeibullDistribution(alpha=10.0, beta=8.0)
+    assert w.mean == pytest.approx(10.0 * math.gamma(1.125))

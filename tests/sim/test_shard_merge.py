@@ -1,0 +1,125 @@
+"""Shard-checkpoint merge edge cases (satellite of the parallelism issue).
+
+The merge step is where a parallel campaign's on-disk shards become a
+canonical serial-compatible checkpoint; these tests pin the refusal
+behaviors (overlap, schema drift, out-of-range) that keep a stale or
+mixed-generation shard directory from being silently absorbed.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.checkpoint import (
+    SCHEMA_VERSION,
+    list_shard_checkpoints,
+    merge_shard_payloads,
+    save_checkpoint,
+    shard_checkpoint_path,
+)
+
+
+def shard_payload(start, stop, results, schema_version=SCHEMA_VERSION):
+    return {
+        "schema_version": schema_version,
+        "meta": {"seed": 0, "trials": 10, "shard": [start, stop]},
+        "completed": len(results),
+        "results": results,
+    }
+
+
+class TestShardPaths:
+    def test_path_embeds_zero_padded_range(self, tmp_path):
+        base = str(tmp_path / "c.ckpt")
+        assert shard_checkpoint_path(base, 0, 25) \
+            == f"{base}.shard-00000000-00000025"
+
+    def test_rejects_inverted_or_negative_range(self, tmp_path):
+        base = str(tmp_path / "c.ckpt")
+        with pytest.raises(ConfigurationError):
+            shard_checkpoint_path(base, 5, 4)
+        with pytest.raises(ConfigurationError):
+            shard_checkpoint_path(base, -1, 4)
+
+    def test_listing_finds_only_this_campaigns_shards(self, tmp_path):
+        base = str(tmp_path / "c.ckpt")
+        other = str(tmp_path / "other.ckpt")
+        for path_base, start, stop in [(base, 0, 5), (base, 5, 10),
+                                       (other, 0, 5)]:
+            save_checkpoint(shard_checkpoint_path(path_base, start, stop),
+                            {"shard": [start, stop]}, [])
+        assert list_shard_checkpoints(base) == [
+            shard_checkpoint_path(base, 0, 5),
+            shard_checkpoint_path(base, 5, 10),
+        ]
+
+    def test_listing_survives_glob_metacharacters_in_path(self, tmp_path):
+        base = str(tmp_path / "run[1].ckpt")
+        save_checkpoint(shard_checkpoint_path(base, 0, 3),
+                        {"shard": [0, 3]}, [1, 2, 3])
+        assert list_shard_checkpoints(base) \
+            == [shard_checkpoint_path(base, 0, 3)]
+
+
+class TestMerge:
+    def test_merges_disjoint_shards(self):
+        merged = merge_shard_payloads(
+            [shard_payload(0, 3, ["a", "b", "c"]),
+             shard_payload(7, 9, ["h", "i"]),
+             shard_payload(3, 5, ["d"])],  # partial shard: only trial 3
+            trials=10)
+        assert merged == {0: "a", 1: "b", 2: "c", 3: "d", 7: "h", 8: "i"}
+
+    def test_empty_shard_contributes_nothing(self):
+        assert merge_shard_payloads([shard_payload(4, 8, [])], 10) == {}
+        assert merge_shard_payloads([], 10) == {}
+
+    def test_overlapping_ranges_raise(self):
+        with pytest.raises(ConfigurationError, match="both claim trial 2"):
+            merge_shard_payloads(
+                [shard_payload(0, 3, ["a", "b", "c"]),
+                 shard_payload(2, 5, ["x", "y"])],
+                trials=10)
+
+    def test_overlap_only_counts_materialized_results(self):
+        # Ranges overlap on paper, but the first shard's results stop
+        # before the overlap - no trial is claimed twice, so this is a
+        # legitimate partial-progress layout and must merge.
+        merged = merge_shard_payloads(
+            [shard_payload(0, 5, ["a", "b"]),
+             shard_payload(2, 5, ["c", "d", "e"])],
+            trials=10)
+        assert merged == {0: "a", 1: "b", 2: "c", 3: "d", 4: "e"}
+
+    def test_schema_version_mismatch_raises(self):
+        with pytest.raises(ConfigurationError, match="schema_version"):
+            merge_shard_payloads(
+                [shard_payload(0, 2, ["a", "b"]),
+                 shard_payload(2, 4, ["c"], schema_version=2)],
+                trials=10)
+
+    def test_range_outside_campaign_raises(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            merge_shard_payloads([shard_payload(8, 12, ["x"])], trials=10)
+        with pytest.raises(ConfigurationError, match="outside"):
+            merge_shard_payloads([shard_payload(-2, 2, ["x"])], trials=10)
+
+    def test_too_many_results_for_range_raises(self):
+        with pytest.raises(ConfigurationError, match="holds 3 results"):
+            merge_shard_payloads([shard_payload(0, 2, ["a", "b", "c"])],
+                                 trials=10)
+
+    def test_missing_or_malformed_shard_meta_raises(self):
+        bad = shard_payload(0, 2, ["a"])
+        del bad["meta"]["shard"]
+        with pytest.raises(ConfigurationError, match="shard"):
+            merge_shard_payloads([bad], trials=10)
+        with pytest.raises(ConfigurationError, match="shard"):
+            merge_shard_payloads(
+                [{"schema_version": SCHEMA_VERSION,
+                  "meta": {"shard": [0, "two"]},
+                  "completed": 1, "results": ["a"]}],
+                trials=10)
+
+    def test_invalid_trial_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            merge_shard_payloads([], trials=0)
