@@ -6,19 +6,27 @@ random path trials almost never assemble k shares, and the trials
 themselves destroy the hardware.
 
 Run:  python examples/one_time_pads.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` (as the CI examples leg does) to shrink
+the chips and the raid so the script finishes in a couple of seconds.
 """
+
+import os
 
 import numpy as np
 
 from repro import pads
 from repro.core import WeibullDistribution
 
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
 rng = np.random.default_rng(6)
 
 # NEMS with ~10-cycle lifetimes and heavy process variation (beta = 1):
 # only first-access survival matters for pads, so cheap devices suffice.
 device = WeibullDistribution(alpha=10, beta=1)
-HEIGHT, COPIES, K = 8, 128, 8
+HEIGHT, COPIES, K = (8, 24, 4) if SMOKE else (8, 128, 8)
+RAID_PADS = 4 if SMOKE else 12
+HEAVY_TRIALS = 5 if SMOKE else 25
 
 recv_p = pads.receiver_success_probability(device, HEIGHT, COPIES, K)
 adv_p = pads.adversary_success_probability(device, HEIGHT, COPIES, K)
@@ -49,11 +57,14 @@ print(f"pads remaining on the chip: {sender.pads_remaining}\n")
 # usable; a determined raid still leaks nothing, but its own traversals
 # wear the trees out - the receiver *sees* the attack as dead pads.
 for trials, label in ((1, "light raid (1 trial/pad) "),
-                      (25, "heavy raid (25 trials/pad)")):
-    target = pads.OneTimePadChip(n_pads=12, height=HEIGHT, n_copies=COPIES,
-                                 k=K, device=device, rng=rng, key_bytes=32)
+                      (HEAVY_TRIALS, f"heavy raid ({HEAVY_TRIALS} "
+                                     f"trials/pad)")):
+    target = pads.OneTimePadChip(n_pads=RAID_PADS, height=HEIGHT,
+                                 n_copies=COPIES, k=K, device=device,
+                                 rng=rng, key_bytes=32)
     maid = pads.EvilMaidAttacker(np.random.default_rng(666))
     leaked, burned = maid.raid(target, trials_per_pad=trials)
-    print(f"{label}: {leaked} keys leaked, {burned}/12 pads burned")
+    print(f"{label}: {leaked} keys leaked, {burned}/{RAID_PADS} pads "
+          f"burned")
 print("wearout turns a determined raid into visible sabotage - but "
       "never into a silent clone")

@@ -9,13 +9,19 @@ Reproduces Section 4's argument end to end:
 - M-way replication scales daily usage with periodic re-encryption.
 
 Run:  python examples/smartphone_login.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` (as the CI examples leg does) to cut the
+attack simulation to a fast smoke size.
 """
+
+import os
 
 import numpy as np
 
 from repro import connection, core, passwords
 from repro.connection import attacks
 
+ATTACK_TRIALS = 40 if os.environ.get("REPRO_EXAMPLES_SMOKE") else 400
 rng = np.random.default_rng(42)
 model = passwords.PasswordModel()
 
@@ -45,8 +51,8 @@ print(f"phone design: {design.total_devices:,} switches, "
       f"bound {design.guaranteed_accesses:,} accesses")
 
 p_analytic = attacks.analytic_crack_probability(design, model)
-stats = attacks.simulate_hardware_attacks(design, trials=400, rng=rng,
-                                          model=model)
+stats = attacks.simulate_hardware_attacks(design, trials=ATTACK_TRIALS,
+                                          rng=rng, model=model)
 print(f"P[professional cracker wins before wearout]: "
       f"analytic {p_analytic:.3%}, simulated {stats.crack_probability:.3%}")
 print(f"(the paper's point: ~1% vs the baseline's 100%)\n")

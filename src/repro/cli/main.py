@@ -19,7 +19,8 @@ observability flags ``--metrics-out`` (JSON metrics snapshot),
 tables, to stdout or a file); see ``docs/observability.md``.
 
 Exit codes: 0 success, 1 error (or fault-campaign ceiling violations),
-2 usage / checkpoint-mismatch, 3 bench overhead regression.
+2 usage / checkpoint-mismatch, 3 bench overhead regression, 4 bench
+``--compare`` throughput regression.
 
 Run ``python -m repro.cli <subcommand> --help`` for per-command options.
 """
@@ -386,7 +387,9 @@ def cmd_experiments(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro.obs.bench import (
+        compare_bench_reports,
         measure_disabled_overhead,
+        render_bench_comparison,
         render_bench_report,
         run_bench_suite,
         write_bench_report,
@@ -399,6 +402,23 @@ def cmd_bench(args) -> int:
     if args.out:
         write_bench_report(report, args.out)
         print(f"bench report written to {args.out}")
+    if args.compare:
+        try:
+            with open(args.compare, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_bench_reports(baseline, report,
+                                           threshold=args.compare_threshold)
+        print(render_bench_comparison(comparison))
+        if comparison["regressions"]:
+            print(f"FAIL: throughput regressed beyond "
+                  f"{comparison['threshold_pct']:.0f}% on: "
+                  f"{', '.join(comparison['regressions'])}",
+                  file=sys.stderr)
+            return 4
     if args.check_overhead is not None:
         overhead_pct = report["overhead"]["overhead_pct"]
         if overhead_pct > args.check_overhead:
@@ -554,6 +574,14 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="PCT",
                          help="exit 3 if observability-disabled overhead "
                               "on the MC hot path exceeds PCT percent")
+    p_bench.add_argument("--compare", metavar="FILE", default=None,
+                         help="diff this run against a baseline bench "
+                              "report; exit 4 on any throughput "
+                              "regression beyond the threshold")
+    p_bench.add_argument("--compare-threshold", type=float, default=0.2,
+                         metavar="FRAC",
+                         help="relative throughput-regression tolerance "
+                              "for --compare (default: 0.2)")
     _add_obs_arguments(p_bench)
     p_bench.set_defaults(func=cmd_bench)
     return parser

@@ -4,6 +4,11 @@ Hardware realization of Figure 2d: ``N`` serially-consumed copies, each a
 k-of-n parallel bank of NEMS switches with a Shamir share of the storage
 key behind every switch.  Every key read actuates the active bank; once
 all banks are exhausted the key is physically unrecoverable.
+
+The switch state lives in one shared engine
+:class:`~repro.engine.state.WearState` and the fall-over loop is the
+common :class:`~repro.core.hardware.SerialCopies` driver - this class
+only adds the share binding and the key-recovery step.
 """
 
 from __future__ import annotations
@@ -12,9 +17,9 @@ import numpy as np
 
 from repro.connection.keystore import BankKeyStore
 from repro.core.degradation import DesignPoint
-from repro.core.device import NEMSSwitch
-from repro.core.hardware import SimulatedBank
-from repro.core.variation import ProcessVariation
+from repro.core.hardware import SerialCopies, SimulatedBank
+from repro.core.variation import NoVariation, ProcessVariation
+from repro.engine.state import WearState
 from repro.errors import DeviceWornOutError
 
 __all__ = ["LimitedUseConnection"]
@@ -41,24 +46,30 @@ class LimitedUseConnection:
                  rng: np.random.Generator,
                  variation: ProcessVariation | None = None) -> None:
         self.design = design
-        self._banks: list[SimulatedBank] = []
+        variation = variation or NoVariation()
+        # Fabrication interleaves lifetime sampling and Shamir splitting
+        # per copy; collecting lifetimes first and building the shared
+        # state afterwards preserves that draw order bit-for-bit.
+        lifetimes = np.empty((1, design.copies, design.n))
         self._stores: list[BankKeyStore] = []
-        for _ in range(design.copies):
-            switches = NEMSSwitch.fabricate_batch(
-                design.device, design.n, rng, variation)
-            self._banks.append(SimulatedBank(switches, design.k))
+        for copy in range(design.copies):
+            lifetimes[0, copy] = variation.sample_lifetimes(
+                design.device, design.n, rng)
             self._stores.append(BankKeyStore(secret, design.n, design.k, rng))
-        self._current = 0
+        self._state = WearState(lifetimes, design.k)
+        self._serial = SerialCopies([
+            SimulatedBank.from_state(self._state, 0, copy)
+            for copy in range(design.copies)])
         self.accesses = 0
 
     # ------------------------------------------------------------------
     @property
     def current_copy(self) -> int:
-        return self._current
+        return self._serial.current_index
 
     @property
     def is_exhausted(self) -> bool:
-        return self._current >= len(self._banks)
+        return self._serial.is_exhausted
 
     @property
     def device_count(self) -> int:
@@ -73,12 +84,10 @@ class LimitedUseConnection:
         every copy is exhausted - the phone is then permanently locked.
         """
         self.accesses += 1
-        while self._current < len(self._banks):
-            bank = self._banks[self._current]
-            closed = bank.access()
-            if len(closed) >= bank.k:
-                return self._stores[self._current].recover(closed)
-            self._current += 1
-        raise DeviceWornOutError(
-            f"limited-use connection exhausted after {self.accesses} "
-            f"accesses (bound {self.design.access_bound})")
+        try:
+            copy, closed = self._serial.access()
+        except DeviceWornOutError:
+            raise DeviceWornOutError(
+                f"limited-use connection exhausted after {self.accesses} "
+                f"accesses (bound {self.design.access_bound})") from None
+        return self._stores[copy].recover(closed)

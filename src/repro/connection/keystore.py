@@ -8,6 +8,8 @@ the secret - the k-of-n semantics are cryptographic, not just counted.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.codes.shamir import Share, recover_secret, split_secret
@@ -23,6 +25,9 @@ from repro.errors import (
     DecodingFailure,
     InsufficientSharesError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.hooks import FaultHook
 
 __all__ = ["BankKeyStore"]
 
@@ -54,7 +59,8 @@ class BankKeyStore:
 
     def __init__(self, secret: bytes, n: int, k: int,
                  rng: np.random.Generator, scheme: str = "shamir",
-                 bank_id: int = 0, fault_hook=None) -> None:
+                 bank_id: int = 0,
+                 fault_hook: "FaultHook | None" = None) -> None:
         if not secret:
             raise ConfigurationError("secret must be non-empty")
         if not 1 <= k <= n:

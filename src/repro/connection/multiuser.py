@@ -11,6 +11,10 @@ is the security parameter and per-user accounting is purely advisory.
 User management respects the wearout economics: enrolling a user costs
 one access (the hardware key must be read to build the wrap); revoking
 one is free (delete the wrap - the hardware is untouched).
+
+The hardware state behind every login lives in the shared
+:class:`~repro.engine.state.WearState` owned by the underlying
+:class:`~repro.connection.architecture.LimitedUseConnection`.
 """
 
 from __future__ import annotations

@@ -36,14 +36,15 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.connection.keystore import BankKeyStore
 from repro.core.degradation import DesignPoint
-from repro.core.device import NEMSSwitch
 from repro.core.hardware import SimulatedBank
-from repro.core.variation import ProcessVariation
+from repro.core.variation import NoVariation, ProcessVariation
+from repro.engine.state import WearState
 from repro.errors import (
     CodingError,
     ConfigurationError,
@@ -52,6 +53,9 @@ from repro.errors import (
     InsufficientSharesError,
 )
 from repro.obs.recorder import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.hooks import FaultHook
 
 __all__ = ["RetryPolicy", "CopyHealth", "AccessStats",
            "ResilientAccessController"]
@@ -163,7 +167,8 @@ class ResilientAccessController:
     def __init__(self, design: DesignPoint, secret: bytes,
                  rng: np.random.Generator,
                  variation: ProcessVariation | None = None,
-                 fault_hook=None, policy: RetryPolicy | None = None,
+                 fault_hook: "FaultHook | None" = None,
+                 policy: RetryPolicy | None = None,
                  rs_fallback: bool = True) -> None:
         self.design = design
         self.policy = policy or RetryPolicy()
@@ -172,15 +177,17 @@ class ResilientAccessController:
         self._fault_hook = fault_hook
         rs_possible = rs_fallback and design.k > 1 and design.n <= 255
         self.rs_fallback = rs_possible
-        self._banks: list[SimulatedBank] = []
+        variation = variation or NoVariation()
+        # One shared engine state backs every copy; lifetimes are drawn
+        # per copy, interleaved with the keystore splits, preserving the
+        # scalar fabrication stream bit-for-bit.
+        lifetimes = np.empty((1, design.copies, design.n))
         self._stores: list[BankKeyStore] = []
         self._rs_stores: list[BankKeyStore | None] = []
         self._health: list[CopyHealth] = []
         for copy in range(design.copies):
-            switches = NEMSSwitch.fabricate_batch(
-                design.device, design.n, rng, variation)
-            self._banks.append(
-                SimulatedBank(switches, design.k, fault_hook=fault_hook))
+            lifetimes[0, copy] = variation.sample_lifetimes(
+                design.device, design.n, rng)
             self._stores.append(
                 BankKeyStore(secret, design.n, design.k, rng,
                              bank_id=copy, fault_hook=fault_hook))
@@ -189,6 +196,11 @@ class ResilientAccessController:
                              bank_id=copy, fault_hook=fault_hook)
                 if rs_possible else None)
             self._health.append(CopyHealth(bank_id=copy))
+        self._state = WearState(lifetimes, design.k)
+        self._banks = [
+            SimulatedBank.from_state(self._state, 0, copy,
+                                     fault_hook=fault_hook)
+            for copy in range(design.copies)]
         self.accesses = 0
 
     # ------------------------------------------------------------------

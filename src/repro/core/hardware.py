@@ -1,9 +1,9 @@
 """Stateful hardware simulation of the paper's switch arrangements.
 
 Where :mod:`repro.core.structures` computes closed-form reliability,
-this module *runs* the hardware: real :class:`~repro.core.device.NEMSSwitch`
-instances accumulate wear access by access, so Monte Carlo experiments can
-measure empirical access bounds and attack outcomes.
+this module *runs* the hardware: wear accumulates access by access, so
+Monte Carlo experiments can measure empirical access bounds and attack
+outcomes.
 
 Composition mirrors Figure 2(d):
 
@@ -12,17 +12,40 @@ Composition mirrors Figure 2(d):
 - :class:`SerialCopies` - ``N`` banks consumed in order; when the current
   bank can no longer deliver ``k`` live paths the next one takes over, and
   when the last is exhausted the architecture is permanently dead.
+
+Since the :mod:`repro.engine` refactor the wear bookkeeping itself lives
+in a struct-of-arrays :class:`~repro.engine.state.WearState`; the classes
+here are thin wrappers that preserve the historical object API.  A bank
+comes in two flavours:
+
+- **array mode** (:meth:`SimulatedBank.from_state`, what
+  :func:`build_serial_copies` produces): the bank is a window onto one
+  ``(instance, copy)`` row of a shared engine state.  ``bank.switches``
+  yields cached :class:`~repro.engine.views.SwitchView` objects, so fault
+  injectors and tests keep poking individual switches.
+- **object mode** (the plain constructor): the bank adopts caller-owned
+  :class:`~repro.core.device.NEMSSwitch` objects, which remain the source
+  of truth - required when one physical switch is shared between
+  structures.  This is also the scalar reference implementation the
+  differential suite and the bench's engine section compare against.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.device import NEMSSwitch
 from repro.core.variation import ProcessVariation
 from repro.core.weibull import WeibullDistribution
+from repro.engine import telemetry
+from repro.engine.state import WearState
 from repro.errors import ConfigurationError, DeviceWornOutError
 from repro.obs.recorder import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.hooks import FaultHook
 
 __all__ = ["SimulatedBank", "SerialCopies", "build_serial_copies"]
 
@@ -36,7 +59,7 @@ class SimulatedBank:
     """
 
     def __init__(self, switches: list[NEMSSwitch], k: int = 1,
-                 fault_hook=None) -> None:
+                 fault_hook: "FaultHook | None" = None) -> None:
         if not switches:
             raise ConfigurationError("bank needs at least one switch")
         if not 1 <= k <= len(switches):
@@ -44,9 +67,30 @@ class SimulatedBank:
                 f"need 1 <= k <= n, got k={k}, n={len(switches)}")
         self.switches = list(switches)
         self.k = k
-        self.accesses = 0
+        self._accesses = 0
         self._dead = False
         self._fault_hook = fault_hook
+        self._state: WearState | None = None
+        self._instance = self._copy = 0
+
+    @classmethod
+    def from_state(cls, state: WearState, instance: int = 0, copy: int = 0,
+                   fault_hook: "FaultHook | None" = None) -> "SimulatedBank":
+        """An engine-backed bank over one ``(instance, copy)`` state row.
+
+        Wear, access counts and the dead-latch live in (and stay
+        consistent with) the shared arrays; ``switches`` holds the
+        cached per-switch views.
+        """
+        bank = object.__new__(cls)
+        bank.switches = state.bank_views(instance, copy)
+        bank.k = state.k
+        bank._accesses = 0
+        bank._dead = False
+        bank._fault_hook = fault_hook
+        bank._state = state
+        bank._instance, bank._copy = instance, copy
+        return bank
 
     @property
     def n(self) -> int:
@@ -57,10 +101,27 @@ class SimulatedBank:
         return sum(not s.is_failed for s in self.switches)
 
     @property
+    def accesses(self) -> int:
+        """Access attempts this bank has seen (counted even when failing)."""
+        if self._state is not None:
+            return int(self._state.bank_accesses[self._instance, self._copy])
+        return self._accesses
+
+    @property
     def is_dead(self) -> bool:
         """True once an access has failed; wear is monotonic so a bank that
         failed to deliver ``k`` paths can never deliver them again."""
+        if self._state is not None:
+            return bool(self._state.bank_dead[self._instance, self._copy])
         return self._dead
+
+    def _latch_dead(self) -> None:
+        if self._state is not None:
+            self._state.bank_dead[self._instance, self._copy] = True
+        else:
+            self._dead = True
+        if OBS.enabled:
+            telemetry.record_bank_death(self.accesses)
 
     def access(self) -> list[int]:
         """Actuate the bank once; return indices of switches that closed.
@@ -76,17 +137,20 @@ class SimulatedBank:
         keeps a physically-dead bank serving (the ceiling violation fault
         campaigns exist to measure).
         """
-        if self._dead:
+        if self.is_dead:
             return []
-        self.accesses += 1
+        if self._state is not None:
+            self._state.bank_accesses[self._instance, self._copy] += 1
+        else:
+            self._accesses += 1
         if self._fault_hook is None:
-            closed = [i for i, s in enumerate(self.switches) if s.actuate()]
+            if self._state is not None:
+                closed = self._access_array()
+            else:
+                closed = [i for i, s in enumerate(self.switches)
+                          if s.actuate()]
             if len(closed) < self.k:
-                self._dead = True
-                if OBS.enabled:
-                    OBS.metrics.inc("hw.bank_deaths")
-                    OBS.metrics.observe("hw.bank_wear_at_death",
-                                        self.accesses)
+                self._latch_dead()
             return closed
         hook = self._fault_hook.on_switch_actuate
         physical = 0
@@ -97,11 +161,17 @@ class SimulatedBank:
             if hook(switch, raw):
                 observed.append(i)
         if physical < self.k and len(observed) < self.k:
-            self._dead = True
-            if OBS.enabled:
-                OBS.metrics.inc("hw.bank_deaths")
-                OBS.metrics.observe("hw.bank_wear_at_death", self.accesses)
+            self._latch_dead()
         return observed
+
+    def _access_array(self) -> list[int]:
+        """Vectorized actuation of the whole bank row (no hook)."""
+        state = self._state
+        lifetime = state.lifetime[self._instance, self._copy]
+        used = state.used[self._instance, self._copy]     # in-place view
+        failed = used >= lifetime
+        np.add(used, 1, out=used, where=~failed)
+        return np.flatnonzero(~failed & (used <= lifetime)).tolist()
 
     def access_succeeds(self) -> bool:
         """Actuate once and report whether >= k paths closed."""
@@ -113,7 +183,8 @@ class SerialCopies:
 
     An access is served by the first bank (in order) that still works; a
     bank that fails is abandoned for good.  Trying the next bank costs that
-    bank an actuation, exactly as a hardware fall-over would.
+    bank an actuation, exactly as a hardware fall-over would.  Banks may be
+    heterogeneous (different sizes, thresholds, or modes).
     """
 
     def __init__(self, banks: list[SimulatedBank]) -> None:
@@ -149,14 +220,12 @@ class SerialCopies:
             if len(closed) >= bank.k:
                 return self._current, closed
             if OBS.enabled:
-                OBS.metrics.inc("hw.copy_exhaustions")
-                OBS.metrics.observe("hw.copy_accesses_served", bank.accesses)
-                OBS.metrics.set_gauge("hw.current_copy", self._current + 1)
+                telemetry.record_copy_exhaustion(bank.accesses,
+                                                 self._current + 1)
             self._current += 1
         if OBS.enabled:
-            OBS.metrics.inc("hw.architecture_exhaustions")
-            OBS.event("hw.exhausted", banks=len(self.banks),
-                      total_accesses=self.total_accesses)
+            telemetry.record_architecture_exhaustion(len(self.banks),
+                                                     self.total_accesses)
         raise DeviceWornOutError(
             f"all {len(self.banks)} banks exhausted after "
             f"{self.total_accesses} total accesses")
@@ -188,18 +257,20 @@ def build_serial_copies(model: WeibullDistribution, n_copies: int,
                         n_per_bank: int, k: int,
                         rng: np.random.Generator,
                         variation: ProcessVariation | None = None,
-                        fault_hook=None) -> SerialCopies:
+                        fault_hook: "FaultHook | None" = None,
+                        ) -> SerialCopies:
     """Fabricate a full N x (k-of-n) architecture from a device model.
 
-    ``fault_hook`` (a :class:`repro.faults.FaultModel`) is attached to
-    every bank; fabrication draws are unaffected by its presence.
+    The instance is backed by one shared engine
+    :class:`~repro.engine.state.WearState` fabricated in the scalar draw
+    order (bit-identical lifetimes); ``fault_hook`` (a
+    :class:`repro.faults.FaultModel`) is attached to every bank and
+    fabrication draws are unaffected by its presence.
     """
     if n_copies < 1:
         raise ConfigurationError("need at least one copy")
-    banks = [
-        SimulatedBank(
-            NEMSSwitch.fabricate_batch(model, n_per_bank, rng, variation), k,
-            fault_hook=fault_hook)
-        for _ in range(n_copies)
-    ]
+    state = WearState.fabricate(model, 1, n_copies, n_per_bank, k, rng,
+                                variation)
+    banks = [SimulatedBank.from_state(state, 0, copy, fault_hook=fault_hook)
+             for copy in range(n_copies)]
     return SerialCopies(banks)

@@ -1,0 +1,76 @@
+"""Fault-hook interfaces for the vectorized engine.
+
+The scalar hardware layer consults a fault hook once per switch
+actuation (:class:`repro.faults.hooks.FaultHook`); the batched engine
+actuates a whole bank row per instance in one kernel, so its hook site
+is bank-granular: :class:`VectorFaultHook` receives the physical closure
+matrix of every bank actuated this step and returns the *observed* one.
+
+:class:`ScalarHookAdapter` bridges the two worlds: it wraps any scalar
+hook (e.g. a :class:`repro.faults.FaultModel` pipeline) and replays the
+exact scalar call order - instances in batch order, switches in index
+order, each hook call receiving the cached
+:class:`~repro.engine.views.SwitchView` for that switch.  Because every
+shipped injector only reads/mutates the switch it is handed (and draws
+from the fault model's dedicated generator in call order), the adapter
+is bit-compatible with the object-mode loop in
+:meth:`repro.core.hardware.SimulatedBank.access`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.state import WearState
+    from repro.faults.hooks import FaultHook
+
+__all__ = ["VectorFaultHook", "ScalarHookAdapter"]
+
+
+@runtime_checkable
+class VectorFaultHook(Protocol):
+    """Batched fault-injection site consulted after each bank actuation."""
+
+    def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
+                        copies: np.ndarray, closed: np.ndarray,
+                        ) -> np.ndarray:
+        """Observe/modify one batched bank actuation.
+
+        ``closed`` is the ``(m, n)`` physical closure matrix of the
+        banks at ``(instances[j], copies[j])``; the return value is the
+        observed closure matrix of the same shape.  Implementations may
+        mutate switch state through ``state`` (e.g. extra wear) but must
+        not serve or count accesses themselves.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class ScalarHookAdapter:
+    """Drive a scalar :class:`~repro.faults.hooks.FaultHook` from the engine.
+
+    Calls ``hook.on_switch_actuate(view, closed)`` for every switch of
+    every actuated bank, instance-major then switch-index order - the
+    same order (and hence the same fault-RNG stream) as the scalar
+    hardware loop.
+    """
+
+    def __init__(self, hook: "FaultHook") -> None:
+        self.hook = hook
+
+    def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
+                        copies: np.ndarray, closed: np.ndarray,
+                        ) -> np.ndarray:
+        observed = np.zeros_like(closed)
+        on_switch = self.hook.on_switch_actuate
+        for row in range(closed.shape[0]):
+            b, c = int(instances[row]), int(copies[row])
+            for i in range(state.n):
+                observed[row, i] = bool(
+                    on_switch(state.view(b, c, i), bool(closed[row, i])))
+        return observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScalarHookAdapter({self.hook!r})"

@@ -1,0 +1,351 @@
+"""Struct-of-arrays wear state batched across devices and instances.
+
+:class:`WearState` holds the complete mutable state of ``B`` independent
+fabricated instances of one N-copies x (k-of-n) architecture:
+
+==================  ===========  ====================================
+array               shape/dtype  meaning
+==================  ===========  ====================================
+``lifetime``        (B, C, n) f8 sampled lifetime of every switch
+``used``            (B, C, n) i8 actuation cycles consumed so far
+``bank_accesses``   (B, C)    i8 access attempts seen by each bank
+``bank_dead``       (B, C)    ?  dead-latch (monotonic, never clears)
+``current``         (B,)      i8 active copy per instance (C = spent)
+``total_accesses``  (B,)      i8 architecture accesses per instance
+==================  ===========  ====================================
+
+The per-switch semantics replicate
+:meth:`repro.core.device.NEMSSwitch.actuate` exactly: an actuation on a
+failed switch (``used >= lifetime``) is refused without wear; otherwise
+the cycle is counted and the switch closes iff ``used <= lifetime``
+afterwards.  Wear is therefore a deterministic countdown, which is what
+makes the closed-form :meth:`WearState.run_to_exhaustion` possible: a
+k-of-n bank serves exactly the k-th largest ``floor(lifetime)`` among
+its switches, serially-consumed banks add their budgets, and the final
+per-switch wear has an explicit formula.  The stepped kernel
+(:meth:`step_access`) and the closed form are differentially pinned
+against each other and against the scalar object layer in
+``tests/engine`` and ``tests/differential``.
+
+Fabrication draws one value per switch from the device model in the same
+generator order as the scalar path (copy 0 switches, then copy 1, ...),
+so a batched state is bit-identical to ``B`` sequential scalar builds -
+see ``docs/engine.md`` for the full argument.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.variation import NoVariation, ProcessVariation
+from repro.core.weibull import WeibullDistribution
+from repro.engine import telemetry
+from repro.errors import ConfigurationError
+from repro.obs.recorder import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.hooks import VectorFaultHook
+    from repro.engine.views import SwitchView
+
+__all__ = ["WearState"]
+
+
+class WearState:
+    """Batched wear state of ``B`` instances x ``C`` copies x ``n`` switches."""
+
+    __slots__ = ("lifetime", "used", "bank_accesses", "bank_dead",
+                 "current", "total_accesses", "k", "vector_hook", "_views")
+
+    def __init__(self, lifetime: np.ndarray, k: int,
+                 vector_hook: "VectorFaultHook | None" = None) -> None:
+        lifetime = np.asarray(lifetime, dtype=np.float64)
+        if lifetime.ndim != 3:
+            raise ConfigurationError(
+                f"lifetime array must be (instances, copies, n), got "
+                f"shape {lifetime.shape}")
+        instances, copies, n = lifetime.shape
+        if instances < 1 or copies < 1 or n < 1:
+            raise ConfigurationError(
+                "need at least one instance, one copy and one switch")
+        if not np.all(lifetime >= 0):
+            raise ConfigurationError("lifetimes must be >= 0")
+        if not 1 <= k <= n:
+            raise ConfigurationError(f"need 1 <= k <= n, got k={k}, n={n}")
+        self.lifetime = lifetime
+        self.used = np.zeros((instances, copies, n), dtype=np.int64)
+        self.bank_accesses = np.zeros((instances, copies), dtype=np.int64)
+        self.bank_dead = np.zeros((instances, copies), dtype=bool)
+        self.current = np.zeros(instances, dtype=np.int64)
+        self.total_accesses = np.zeros(instances, dtype=np.int64)
+        self.k = int(k)
+        self.vector_hook = vector_hook
+        self._views: dict[tuple[int, int, int], "SwitchView"] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    @classmethod
+    def from_lifetimes(cls, lifetimes: np.ndarray, k: int,
+                       vector_hook: "VectorFaultHook | None" = None,
+                       ) -> "WearState":
+        """Adopt pre-sampled lifetimes (any array reshapeable to 3-D)."""
+        lifetimes = np.asarray(lifetimes, dtype=np.float64)
+        if lifetimes.ndim == 2:
+            lifetimes = lifetimes[np.newaxis]
+        return cls(lifetimes, k, vector_hook=vector_hook)
+
+    @classmethod
+    def fabricate(cls, model: WeibullDistribution, instances: int,
+                  copies: int, n: int, k: int, rng: np.random.Generator,
+                  variation: ProcessVariation | None = None,
+                  vector_hook: "VectorFaultHook | None" = None,
+                  ) -> "WearState":
+        """Fabricate ``instances`` independent architectures from ``model``.
+
+        The generator order matches the scalar build exactly: without
+        process variation, one batched inverse-transform draw consumes
+        the same ``(instances * copies * n)`` uniforms - in the same
+        order - as the scalar path's per-copy ``sample(size=n)`` calls;
+        with variation the per-(instance, copy) loop preserves each
+        model perturbation/sampling interleaving verbatim.
+        """
+        if instances < 1:
+            raise ConfigurationError("instances must be >= 1")
+        if copies < 1:
+            raise ConfigurationError("need at least one copy")
+        if variation is None or isinstance(variation, NoVariation):
+            lifetimes = np.asarray(
+                model.sample(size=(instances, copies, n), rng=rng),
+                dtype=np.float64)
+        else:
+            lifetimes = np.empty((instances, copies, n), dtype=np.float64)
+            for b in range(instances):
+                for c in range(copies):
+                    lifetimes[b, c] = variation.sample_lifetimes(model, n,
+                                                                 rng)
+        return cls(lifetimes, k, vector_hook=vector_hook)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    @property
+    def instances(self) -> int:
+        return self.lifetime.shape[0]
+
+    @property
+    def copies(self) -> int:
+        return self.lifetime.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.lifetime.shape[2]
+
+    @property
+    def device_count(self) -> int:
+        """Switches per instance."""
+        return self.copies * self.n
+
+    @property
+    def is_pristine(self) -> bool:
+        """True while no access or external wear has touched the state."""
+        return not (self.total_accesses.any() or self.bank_accesses.any()
+                    or self.used.any() or self.bank_dead.any())
+
+    @property
+    def exhausted(self) -> np.ndarray:
+        """Per-instance exhaustion mask (every copy consumed)."""
+        return self.current >= self.copies
+
+    # ------------------------------------------------------------------
+    # Scalar escape hatch
+    def view(self, instance: int, copy: int, index: int) -> "SwitchView":
+        """The cached per-switch view at ``(instance, copy, index)``.
+
+        Views are cached so repeated lookups return the *same* object -
+        fault injectors key internal tables on ``switch_id`` and tests
+        compare views by identity.
+        """
+        key = (instance, copy, index)
+        cached = self._views.get(key)
+        if cached is None:
+            from repro.engine.views import SwitchView
+
+            if not (0 <= instance < self.instances
+                    and 0 <= copy < self.copies and 0 <= index < self.n):
+                raise ConfigurationError(
+                    f"switch coordinate {key} outside state shape "
+                    f"{self.lifetime.shape}")
+            cached = SwitchView(self, instance, copy, index)
+            self._views[key] = cached
+        return cached
+
+    def bank_views(self, instance: int, copy: int) -> list["SwitchView"]:
+        """All ``n`` cached views of one bank, in switch order."""
+        return [self.view(instance, copy, i) for i in range(self.n)]
+
+    # ------------------------------------------------------------------
+    # Budgets (pure functions of the sampled lifetimes)
+    def switch_budgets(self) -> np.ndarray:
+        """Closing actuations each switch can serve: ``floor(lifetime)``."""
+        return np.floor(self.lifetime).astype(np.int64)
+
+    def saturated_wear(self) -> np.ndarray:
+        """Cycle count each switch saturates at if actuated forever.
+
+        ``floor(lifetime)`` closing cycles, plus the one counted-but-open
+        cycle a fractional lifetime still admits before ``is_failed``
+        latches (integer lifetimes refuse that extra cycle outright).
+        """
+        budgets = self.switch_budgets()
+        return budgets + (self.lifetime > budgets)
+
+    def bank_budgets(self) -> np.ndarray:
+        """Accesses each k-of-n bank serves: the k-th largest budget."""
+        budgets = self.switch_budgets()
+        if self.k == 1:
+            return budgets.max(axis=2)
+        split = self.n - self.k
+        return np.partition(budgets, split, axis=2)[:, :, split]
+
+    # ------------------------------------------------------------------
+    # Stepped kernel
+    def step_access(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Serve one architecture access per selected instance, vectorized.
+
+        Each selected, non-exhausted instance attempts its current bank;
+        a bank that fails to close ``k`` paths latches dead and the
+        access falls over to the next copy within the same step, exactly
+        like :meth:`repro.core.hardware.SerialCopies.access`.  Returns
+        the per-instance success mask (``False`` for instances that were
+        masked out, already exhausted, or exhausted during this step).
+        """
+        if mask is None:
+            mask = np.ones(self.instances, dtype=bool)
+        pending = mask & ~self.exhausted
+        self.total_accesses[pending] += 1
+        success = np.zeros(self.instances, dtype=bool)
+        while pending.any():
+            b = np.flatnonzero(pending)
+            c = self.current[b]
+            # A dead current bank (only reachable through external state
+            # manipulation) is skipped without wear, like the scalar path.
+            pre_dead = self.bank_dead[b, c]
+            if pre_dead.any():
+                skip = b[pre_dead]
+                self.current[skip] += 1
+                pending[skip[self.current[skip] >= self.copies]] = False
+                b, c = b[~pre_dead], c[~pre_dead]
+                if b.size == 0:
+                    continue
+            self.bank_accesses[b, c] += 1
+            used = self.used[b, c]                       # (m, n) copy
+            failed = used >= self.lifetime[b, c]
+            used[~failed] += 1
+            self.used[b, c] = used
+            closed = ~failed & (used <= self.lifetime[b, c])
+            physical = closed.sum(axis=1)
+            if self.vector_hook is not None:
+                observed = self.vector_hook.on_bank_actuate(self, b, c,
+                                                            closed)
+                served = observed.sum(axis=1) >= self.k
+                # The dead-latch keys on *physical* closures so a
+                # transient misfire cannot condemn a healthy bank, while
+                # an observed (stuck-closed) recovery keeps a physically
+                # dead bank serving.
+                latch = ~served & (physical < self.k)
+            else:
+                served = physical >= self.k
+                latch = ~served
+            success[b[served]] = True
+            pending[b[served]] = False
+            fell_over = ~served
+            if fell_over.any():
+                db, dc = b[fell_over], c[fell_over]
+                lb = latch[fell_over]
+                self.bank_dead[db[lb], dc[lb]] = True
+                if OBS.enabled and lb.any():
+                    telemetry.record_batch_exhaustion(
+                        self.bank_accesses[db[lb], dc[lb]], 0, self.copies,
+                        np.empty(0))
+                self.current[db] += 1
+                pending[db[self.current[db] >= self.copies]] = False
+        newly_exhausted = mask & self.exhausted & ~success
+        if OBS.enabled and newly_exhausted.any():
+            telemetry.record_batch_exhaustion(
+                np.empty(0), int(newly_exhausted.sum()), self.copies,
+                self.total_accesses[newly_exhausted])
+        return success
+
+    # ------------------------------------------------------------------
+    # Closed form
+    def run_to_exhaustion(self, max_accesses: int | None = None,
+                          ) -> np.ndarray:
+        """Drive every instance to destruction (or the cap); vectorized.
+
+        Returns the per-instance count of successfully served accesses -
+        the empirical access bound - and leaves every array in the exact
+        state a switch-by-switch drive would have produced (pinned by
+        ``tests/engine``).  With a fault hook attached, or on a state
+        that has already been touched, the deterministic countdown no
+        longer has a closed form and the stepped kernel is used instead.
+        """
+        if max_accesses is not None and max_accesses < 0:
+            raise ConfigurationError("max_accesses must be >= 0")
+        if self.vector_hook is not None or not self.is_pristine:
+            return self._run_stepped(max_accesses)
+        bank_budget = self.bank_budgets()                     # (B, C)
+        totals = bank_budget.sum(axis=1)                      # (B,)
+        cum = bank_budget.cumsum(axis=1)                      # (B, C)
+        copies = self.copies
+        if max_accesses is None:
+            served = totals
+            fully_dead = np.ones(self.instances, dtype=bool)
+            active_copy = np.full(self.instances, copies, dtype=np.int64)
+            attempts = bank_budget + 1
+            self.total_accesses[:] = totals + 1
+        else:
+            cap = int(max_accesses)
+            served = np.minimum(totals, cap)
+            fully_dead = totals < cap
+            # First copy whose cumulative budget reaches the cap; == C
+            # for instances that exhaust before it.
+            active_copy = (cum < cap).sum(axis=1)
+            copy_index = np.arange(copies)[np.newaxis, :]
+            attempts = np.where(copy_index < active_copy[:, np.newaxis],
+                                bank_budget + 1, 0)
+            clamped = np.minimum(active_copy, copies - 1)
+            prev_served = np.where(
+                active_copy > 0,
+                np.take_along_axis(
+                    cum, np.maximum(active_copy - 1, 0)[:, np.newaxis],
+                    axis=1)[:, 0],
+                0)
+            rows = np.flatnonzero(~fully_dead & (active_copy < copies))
+            attempts[rows, clamped[rows]] = cap - prev_served[rows]
+            self.total_accesses[:] = np.where(fully_dead, totals + 1, cap)
+        self.used[:] = np.minimum(self.saturated_wear(),
+                                  attempts[:, :, np.newaxis])
+        self.bank_accesses[:] = attempts
+        self.bank_dead[:] = (np.arange(copies)[np.newaxis, :]
+                             < active_copy[:, np.newaxis])
+        self.current[:] = active_copy
+        if OBS.enabled:
+            telemetry.record_batch_exhaustion(
+                self.bank_accesses[self.bank_dead], int(fully_dead.sum()),
+                copies, self.total_accesses[fully_dead])
+        return served
+
+    def _run_stepped(self, max_accesses: int | None) -> np.ndarray:
+        served = np.zeros(self.instances, dtype=np.int64)
+        while True:
+            active = ~self.exhausted
+            if max_accesses is not None:
+                active &= served < max_accesses
+            if not active.any():
+                return served
+            served += self.step_access(active)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WearState(instances={self.instances}, "
+                f"copies={self.copies}, n={self.n}, k={self.k}, "
+                f"exhausted={int(self.exhausted.sum())})")

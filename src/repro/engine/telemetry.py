@@ -1,0 +1,76 @@
+"""The one home of the ``hw.*`` observability signals.
+
+Before the engine landed, the same bank-death / copy-exhaustion /
+architecture-exhaustion counters were emitted inline by four different
+subsystems.  They now live here: the scalar wrappers
+(:mod:`repro.core.hardware`) call the ``record_*`` helpers one event at a
+time, and the batched kernels (:mod:`repro.engine.state`) call
+:func:`record_batch_exhaustion` once per chunk with aggregate counts -
+same metric names, same meaning, one implementation.
+
+Every helper assumes the caller already checked ``OBS.enabled`` (the
+zero-cost-when-disabled contract): the check stays in the hot path's
+single ``if``, and these functions do the talking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.recorder import OBS
+
+__all__ = [
+    "record_bank_death",
+    "record_copy_exhaustion",
+    "record_architecture_exhaustion",
+    "record_batch_exhaustion",
+]
+
+#: Above this many per-bank samples a batch records counter totals only;
+#: histogram observations are capped so a million-instance chunk cannot
+#: spend longer reporting than simulating.
+_HISTOGRAM_SAMPLE_CAP = 10_000
+
+
+def record_bank_death(accesses: int) -> None:
+    """One bank latched dead after serving ``accesses`` attempts."""
+    OBS.metrics.inc("hw.bank_deaths")
+    OBS.metrics.observe("hw.bank_wear_at_death", accesses)
+
+
+def record_copy_exhaustion(accesses_served: int, next_copy: int) -> None:
+    """A serial driver fell over from a dead copy to the next one."""
+    OBS.metrics.inc("hw.copy_exhaustions")
+    OBS.metrics.observe("hw.copy_accesses_served", accesses_served)
+    OBS.metrics.set_gauge("hw.current_copy", next_copy)
+
+
+def record_architecture_exhaustion(banks: int, total_accesses: int) -> None:
+    """Every copy of one instance is dead; the architecture is spent."""
+    OBS.metrics.inc("hw.architecture_exhaustions")
+    OBS.event("hw.exhausted", banks=banks, total_accesses=total_accesses)
+
+
+def record_batch_exhaustion(dead_bank_accesses: np.ndarray,
+                            exhausted_instances: int,
+                            banks_per_instance: int,
+                            total_accesses: np.ndarray) -> None:
+    """Aggregate emission for one batched run (closed form or stepped).
+
+    ``dead_bank_accesses`` holds the attempt count of every bank that died
+    during the run; ``total_accesses`` the per-instance totals of the
+    instances that exhausted.  Counter totals are exact; histogram
+    observations are truncated at :data:`_HISTOGRAM_SAMPLE_CAP` samples.
+    """
+    n_dead = int(dead_bank_accesses.size)
+    if n_dead:
+        OBS.metrics.inc("hw.bank_deaths", n_dead)
+        OBS.metrics.inc("hw.copy_exhaustions", n_dead)
+        for value in dead_bank_accesses[:_HISTOGRAM_SAMPLE_CAP]:
+            OBS.metrics.observe("hw.bank_wear_at_death", int(value))
+            OBS.metrics.observe("hw.copy_accesses_served", int(value))
+    if exhausted_instances:
+        OBS.metrics.inc("hw.architecture_exhaustions", exhausted_instances)
+        OBS.event("hw.exhausted_batch", instances=exhausted_instances,
+                  banks=banks_per_instance,
+                  total_accesses=int(np.asarray(total_accesses).sum()))

@@ -10,6 +10,8 @@ keystores as a zero-overhead-when-disabled ``fault_hook``;
 ceiling violations and availability under a fault mix.
 """
 
+from repro.faults.hooks import FaultHook, SwitchLike
+
 from repro.faults.campaign import (
     CAMPAIGN_SECRET,
     FaultCampaignConfig,
@@ -34,12 +36,14 @@ __all__ = [
     "CAMPAIGN_SECRET",
     "FaultCampaignConfig",
     "FaultCampaignReport",
+    "FaultHook",
     "FaultInjector",
     "FaultModel",
     "PrematureStuckOpen",
     "ReadoutTimeout",
     "ShareCorruption",
     "StuckClosedConversion",
+    "SwitchLike",
     "TemperatureDrift",
     "TransientMisfire",
     "build_fault_model",

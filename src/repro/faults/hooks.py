@@ -1,0 +1,65 @@
+"""The typed fault-hook contract shared by every injection site.
+
+``fault_hook=None`` plumbing used to be untyped: banks, keystores,
+decision trees and the resilient controller each accepted "something
+with ``on_switch_actuate`` / ``on_share_readout``".  :class:`FaultHook`
+names that structural contract once, as a runtime-checkable
+:class:`~typing.Protocol`, so the scalar sites and the vectorized
+engine adapter (:class:`repro.engine.hooks.ScalarHookAdapter`) check
+against one definition.  :class:`repro.faults.FaultModel` satisfies it;
+so does any test double with the two methods.
+
+This module is dependency-free on purpose: consumers in ``core``,
+``connection`` and ``pads`` import it under ``typing.TYPE_CHECKING``
+(importing ``repro.faults`` at runtime would cycle back through the
+hardware layer).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["FaultHook", "SwitchLike"]
+
+
+@runtime_checkable
+class SwitchLike(Protocol):
+    """What an injector may assume about the switch it is handed.
+
+    Satisfied by both :class:`~repro.core.device.NEMSSwitch` and the
+    engine's :class:`~repro.engine.views.SwitchView`.
+    """
+
+    switch_id: int
+
+    @property
+    def lifetime_cycles(self) -> float: ...  # pragma: no cover - protocol
+
+    @property
+    def cycles_used(self) -> int: ...  # pragma: no cover - protocol
+
+    @property
+    def is_failed(self) -> bool: ...  # pragma: no cover - protocol
+
+    def actuate(self) -> bool: ...  # pragma: no cover - protocol
+
+    def force_fail(self) -> None: ...  # pragma: no cover - protocol
+
+    def add_wear(self, cycles: int) -> None: ...  # pragma: no cover
+
+
+@runtime_checkable
+class FaultHook(Protocol):
+    """The scalar fault-injection contract (both sites).
+
+    ``on_switch_actuate`` is consulted after each physical switch
+    actuation with the raw outcome and returns the observed one;
+    ``on_share_readout`` is consulted on each share / leaf-register
+    read and may corrupt the bytes or return ``None`` (timeout).
+    """
+
+    def on_switch_actuate(self, switch: SwitchLike, closed: bool,
+                          ) -> bool: ...  # pragma: no cover - protocol
+
+    def on_share_readout(self, bank_id: int, index: int, data: bytes,
+                         ) -> bytes | None: ...  # pragma: no cover

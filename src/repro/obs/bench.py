@@ -17,6 +17,20 @@ run interleaved and the overhead is reported from the per-arm minima
 benchmark timings).  CI fails the build when B exceeds A by more than
 3%, pinning the "zero cost when disabled" claim.
 
+Schema 2 adds an ``engine`` section: a paired scalar-vs-vectorized A/B
+measurement of the hardware-mode Monte Carlo (arm A drives one
+object-mode :class:`~repro.core.hardware.SerialCopies` per trial exactly
+as the pre-engine code did; arm B is the batched
+:func:`~repro.sim.montecarlo.simulate_access_bounds_hardware` over one
+struct-of-arrays :class:`~repro.engine.state.WearState`).  Both arms
+consume the same RNG substreams, so the section also records whether
+their results were bit-identical.
+
+Two reports of the same scale are diffed by
+:func:`compare_bench_reports`, which flags any workload whose throughput
+regressed by more than the threshold - ``repro bench --compare`` wires
+this into CI.
+
 Wall-clock timestamps enter the report via :func:`time.strftime`; no
 other randomness or clock state leaks in, so two runs of the same scale
 on the same machine are directly comparable.
@@ -46,15 +60,18 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "SCALES",
     "SCALING_WORKERS",
+    "compare_bench_reports",
     "measure_disabled_overhead",
+    "measure_engine_speedup",
     "measure_parallel_scaling",
+    "render_bench_comparison",
     "render_bench_report",
     "run_bench_suite",
     "validate_bench_report",
     "write_bench_report",
 ]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: Workload sizes per scale.  "smoke" finishes in a few seconds (CI);
 #: "full" gives tighter percentiles for committed milestone reports;
@@ -72,6 +89,7 @@ SCALES: dict[str, dict] = {
         "overhead_repeats": 2,
         "overhead_trials": 20,
         "scaling_trials": 16,
+        "engine_trials": 4,
     },
     "smoke": {
         "repeats": 3,
@@ -85,6 +103,7 @@ SCALES: dict[str, dict] = {
         "overhead_repeats": 7,
         "overhead_trials": 400,
         "scaling_trials": 600,
+        "engine_trials": 60,
     },
     "full": {
         "repeats": 7,
@@ -98,6 +117,7 @@ SCALES: dict[str, dict] = {
         "overhead_repeats": 15,
         "overhead_trials": 2000,
         "scaling_trials": 3000,
+        "engine_trials": 300,
     },
 }
 
@@ -290,6 +310,87 @@ def measure_disabled_overhead(repeats: int = 7, trials: int = 400,
     }
 
 
+def _scalar_hardware_reference(design: DesignPoint, trials: int,
+                               rng: np.random.Generator,
+                               max_accesses: int | None = None,
+                               ) -> np.ndarray:
+    """Hardware-mode access bounds exactly as before the engine landed.
+
+    One object-mode :class:`~repro.core.hardware.SimulatedBank` per copy
+    wrapping individually fabricated
+    :class:`~repro.core.device.NEMSSwitch` objects, driven to
+    destruction trial by trial.  Kept as the A-arm of the engine
+    speedup measurement and as the reference the B-arm must match
+    bit-for-bit.
+    """
+    from repro.core.device import NEMSSwitch
+    from repro.core.hardware import SerialCopies, SimulatedBank
+
+    bounds = np.empty(trials, dtype=np.int64)
+    for index in range(trials):
+        banks = []
+        for _ in range(design.copies):
+            switches = NEMSSwitch.fabricate_batch(design.device, design.n,
+                                                  rng)
+            banks.append(SimulatedBank(switches, design.k))
+        serial = SerialCopies(banks)
+        bounds[index] = serial.count_successful_accesses(max_accesses)
+    return bounds
+
+
+def measure_engine_speedup(trials: int, seed: int = 0,
+                           repeats: int = 3) -> dict:
+    """Paired A/B throughput of the scalar vs vectorized hardware path.
+
+    Arm A fabricates and drives one object-mode ``SerialCopies`` per
+    trial (the pre-engine implementation, transcribed verbatim in
+    :func:`_scalar_hardware_reference`); arm B is the batched
+    :func:`~repro.sim.montecarlo.simulate_access_bounds_hardware` over
+    one struct-of-arrays :class:`~repro.engine.state.WearState`.  Arms
+    run interleaved on identical per-rep substreams; the report carries
+    the per-arm minima, the speedup, and whether the two arms returned
+    bit-identical access bounds (the differential suite pins this; the
+    bench records it per run).
+    """
+    from repro.sim.montecarlo import simulate_access_bounds_hardware
+
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    design = _small_design()
+    # Warm both code paths before timing.
+    _scalar_hardware_reference(design, 1, substream(seed, 0))
+    simulate_access_bounds_hardware(design, 1, substream(seed, 0))
+    a_times: list[float] = []
+    b_times: list[float] = []
+    bit_identical = True
+    for rep in range(repeats):
+        started = time.perf_counter()
+        scalar_bounds = _scalar_hardware_reference(design, trials,
+                                                   substream(seed, rep))
+        a_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        engine_bounds = simulate_access_bounds_hardware(design, trials,
+                                                        substream(seed, rep))
+        b_times.append(time.perf_counter() - started)
+        bit_identical &= bool(np.array_equal(scalar_bounds, engine_bounds))
+    best_a, best_b = min(a_times), min(b_times)
+    return {
+        "workload": "mc.hardware",
+        "trials": trials,
+        "repeats": repeats,
+        "scalar_min_s": best_a,
+        "scalar_median_s": sorted(a_times)[len(a_times) // 2],
+        "engine_min_s": best_b,
+        "engine_median_s": sorted(b_times)[len(b_times) // 2],
+        "scalar_throughput_per_s": trials / best_a if best_a > 0 else None,
+        "engine_throughput_per_s": trials / best_b if best_b > 0 else None,
+        "speedup": best_a / best_b if best_b > 0 else None,
+        "bit_identical": bit_identical,
+    }
+
+
 def measure_parallel_scaling(trials: int, seed: int = 0,
                              worker_counts: tuple[int, ...] = SCALING_WORKERS,
                              ) -> dict:
@@ -378,6 +479,8 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
         repeats=params["overhead_repeats"],
         trials=params["overhead_trials"], seed=seed)
     scaling = measure_parallel_scaling(params["scaling_trials"], seed=seed)
+    engine = measure_engine_speedup(params["engine_trials"], seed=seed,
+                                    repeats=repeats)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "bench-report",
@@ -394,6 +497,7 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
         "workloads": workloads,
         "overhead": overhead,
         "scaling": scaling,
+        "engine": engine,
     }
 
 
@@ -407,14 +511,20 @@ _REQUIRED_OVERHEAD_KEYS = ("hot_path", "repeats", "trials",
 _REQUIRED_SCALING_KEYS = ("workload", "trials", "host_cpus", "configs")
 _REQUIRED_SCALING_CONFIG_KEYS = ("workers", "wall_s", "throughput_per_s",
                                  "speedup_vs_1")
+_REQUIRED_ENGINE_KEYS = ("workload", "trials", "repeats", "scalar_min_s",
+                         "engine_min_s", "scalar_throughput_per_s",
+                         "engine_throughput_per_s", "speedup",
+                         "bit_identical")
+#: Schema versions the validator accepts; 1 predates the engine section.
+_ACCEPTED_SCHEMA_VERSIONS = (1, BENCH_SCHEMA_VERSION)
 
 
 def validate_bench_report(payload: dict) -> None:
     """Raise :class:`ConfigurationError` unless ``payload`` is a valid
-    schema-1 bench report."""
+    bench report (schema 1 or 2; the ``engine`` section arrived in 2)."""
     if not isinstance(payload, dict):
         raise ConfigurationError("bench report must be a JSON object")
-    if payload.get("schema_version") != BENCH_SCHEMA_VERSION \
+    if payload.get("schema_version") not in _ACCEPTED_SCHEMA_VERSIONS \
             or payload.get("kind") != "bench-report":
         raise ConfigurationError(
             "not a bench report (wrong kind or schema_version)")
@@ -452,6 +562,110 @@ def validate_bench_report(payload: dict) -> None:
             raise ConfigurationError(
                 f"scaling config for workers={config.get('workers')!r} "
                 f"is missing {bad}")
+    if payload["schema_version"] >= 2:
+        if "engine" not in payload:
+            raise ConfigurationError(
+                "schema-2 bench report is missing its engine section")
+        bad = [key for key in _REQUIRED_ENGINE_KEYS
+               if key not in payload["engine"]]
+        if bad:
+            raise ConfigurationError(
+                f"bench report engine section is missing {bad}")
+
+
+def compare_bench_reports(baseline: dict, candidate: dict,
+                          threshold: float = 0.2) -> dict:
+    """Per-workload throughput deltas between two bench reports.
+
+    Both reports are validated and must share a scale (cross-scale
+    throughputs are not comparable).  A workload *regresses* when its
+    candidate throughput falls below ``baseline * (1 - threshold)``;
+    the engine section's vectorized throughput is compared the same way
+    (as the ``engine.hardware`` row) when both reports carry one.
+    Workloads present in only one report are listed, not scored.
+    """
+    validate_bench_report(baseline)
+    validate_bench_report(candidate)
+    if not 0 < threshold < 1:
+        raise ConfigurationError("threshold must be in (0, 1)")
+    if baseline["scale"] != candidate["scale"]:
+        raise ConfigurationError(
+            f"cannot compare scale {baseline['scale']!r} against "
+            f"{candidate['scale']!r}; rerun at the baseline's scale")
+    base_by_name = {w["name"]: w for w in baseline["workloads"]}
+    cand_by_name = {w["name"]: w for w in candidate["workloads"]}
+    rows = []
+
+    def add_row(name: str, base_tp, cand_tp) -> None:
+        if base_tp and cand_tp:
+            delta_pct = (cand_tp - base_tp) / base_tp * 100.0
+            regressed = cand_tp < base_tp * (1.0 - threshold)
+        else:
+            delta_pct, regressed = None, False
+        rows.append({
+            "name": name,
+            "baseline_throughput_per_s": base_tp,
+            "candidate_throughput_per_s": cand_tp,
+            "delta_pct": delta_pct,
+            "regressed": regressed,
+        })
+
+    for name in base_by_name:
+        if name in cand_by_name:
+            add_row(name, base_by_name[name]["throughput_per_s"],
+                    cand_by_name[name]["throughput_per_s"])
+    if "engine" in baseline and "engine" in candidate:
+        add_row("engine.hardware",
+                baseline["engine"]["engine_throughput_per_s"],
+                candidate["engine"]["engine_throughput_per_s"])
+    return {
+        "baseline": {"date": baseline["date"], "scale": baseline["scale"]},
+        "candidate": {"date": candidate["date"],
+                      "scale": candidate["scale"]},
+        "threshold_pct": threshold * 100.0,
+        "rows": rows,
+        "missing_in_candidate": sorted(set(base_by_name) - set(cand_by_name)),
+        "new_in_candidate": sorted(set(cand_by_name) - set(base_by_name)),
+        "regressions": [row["name"] for row in rows if row["regressed"]],
+    }
+
+
+def render_bench_comparison(comparison: dict) -> str:
+    """The comparison as a text table plus a one-line verdict."""
+    from repro.viz.ascii import table
+
+    rows = []
+    for row in comparison["rows"]:
+        base_tp = row["baseline_throughput_per_s"]
+        cand_tp = row["candidate_throughput_per_s"]
+        rows.append((
+            row["name"],
+            f"{base_tp:,.0f}" if base_tp else "-",
+            f"{cand_tp:,.0f}" if cand_tp else "-",
+            f"{row['delta_pct']:+.1f}%" if row["delta_pct"] is not None
+            else "-",
+            "REGRESSED" if row["regressed"] else "ok",
+        ))
+    text = table(("workload", "base /s", "cand /s", "delta", "status"),
+                 rows,
+                 title=f"bench compare: {comparison['baseline']['date']} "
+                       f"-> {comparison['candidate']['date']} "
+                       f"(scale={comparison['baseline']['scale']}, "
+                       f"threshold {comparison['threshold_pct']:.0f}%)")
+    notes = []
+    if comparison["missing_in_candidate"]:
+        notes.append("missing in candidate: "
+                     + ", ".join(comparison["missing_in_candidate"]))
+    if comparison["new_in_candidate"]:
+        notes.append("new in candidate: "
+                     + ", ".join(comparison["new_in_candidate"]))
+    regressions = comparison["regressions"]
+    verdict = (f"{len(regressions)} workload(s) regressed beyond "
+               f"{comparison['threshold_pct']:.0f}%: "
+               + ", ".join(regressions)
+               if regressions else "no workload regressed beyond "
+               f"{comparison['threshold_pct']:.0f}%")
+    return "\n".join([text, *notes, verdict])
 
 
 def write_bench_report(payload: dict, path: str) -> None:
@@ -495,8 +709,18 @@ def render_bench_report(payload: dict) -> str:
         title=f"parallel scaling: {scaling['workload']} "
               f"({scaling['trials']} trials, "
               f"{scaling['host_cpus']} host CPUs)")
-    return (f"{text}\n\n{scaling_text}\n\n"
-            f"observability-disabled overhead on "
-            f"{overhead['hot_path']}: {overhead['overhead_pct']:+.2f}% "
-            f"(A={overhead['baseline_min_s'] * 1e3:.1f} ms, "
-            f"B={overhead['instrumented_disabled_min_s'] * 1e3:.1f} ms)")
+    lines = [f"{text}\n\n{scaling_text}\n\n"
+             f"observability-disabled overhead on "
+             f"{overhead['hot_path']}: {overhead['overhead_pct']:+.2f}% "
+             f"(A={overhead['baseline_min_s'] * 1e3:.1f} ms, "
+             f"B={overhead['instrumented_disabled_min_s'] * 1e3:.1f} ms)"]
+    engine = payload.get("engine")
+    if engine:
+        identical = "yes" if engine["bit_identical"] else "NO"
+        lines.append(
+            f"engine speedup on {engine['workload']}: "
+            f"{engine['speedup']:.1f}x "
+            f"(scalar {engine['scalar_throughput_per_s']:,.0f} trials/s "
+            f"-> vectorized {engine['engine_throughput_per_s']:,.0f} "
+            f"trials/s, bit-identical: {identical})")
+    return "\n".join(lines)

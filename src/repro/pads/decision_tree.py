@@ -9,20 +9,34 @@ read-destructive shift registers holding the candidate random keys.
 
 A traversal wears every switch it touches whether or not it reaches the
 leaf - which is why adversarial path-guessing destroys the tree quickly.
+
+Since the :mod:`repro.engine` refactor the per-switch wear lives in one
+flat ``(1, 1, switch_count)`` :class:`~repro.engine.state.WearState`.
+The hot no-hook traversal updates the ``H`` touched cells with one fancy
+index per call; :meth:`HardwareDecisionTree.path_switches` still hands
+out per-switch :class:`~repro.engine.views.SwitchView` objects (cached,
+identity-stable) so fault injectors and tests keep poking individual
+switches.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.device import NEMSSwitch, ReadDestructiveRegister
+from repro.core.device import ReadDestructiveRegister
 from repro.core.variation import ProcessVariation
 from repro.core.weibull import WeibullDistribution
+from repro.engine.state import WearState
+from repro.engine.views import SwitchView
 from repro.errors import ConfigurationError, RegisterDestroyedError
 from repro.obs.recorder import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.hooks import FaultHook
 
 __all__ = ["path_bits_to_leaf", "HardwareDecisionTree"]
 
@@ -56,7 +70,7 @@ class HardwareDecisionTree:
     def __init__(self, height: int, leaf_contents: list[bytes],
                  device: WeibullDistribution, rng: np.random.Generator,
                  variation: ProcessVariation | None = None,
-                 fault_hook=None) -> None:
+                 fault_hook: "FaultHook | None" = None) -> None:
         if height < 1:
             raise ConfigurationError("tree height must be >= 1")
         leaves = 2 ** (height - 1)
@@ -66,16 +80,22 @@ class HardwareDecisionTree:
                 f"{len(leaf_contents)}")
         self.height = height
         # Level i (1-based) has 1 switch at i=1 and 2**(i-1) at i>1; we
-        # index switches within each level by the path prefix.
+        # index switches within each level by the path prefix.  All of
+        # them live in one flat engine state row, fabricated in the same
+        # draw order as the historical per-switch batch.
         switch_count = 1 + sum(2 ** (i - 1) for i in range(2, height + 1))
-        all_switches = NEMSSwitch.fabricate_batch(device, switch_count, rng,
-                                                  variation)
-        self._levels: list[list[NEMSSwitch]] = []
+        self._state = WearState.fabricate(device, 1, 1, switch_count, 1,
+                                          rng, variation)
+        all_switches = self._state.bank_views(0, 0)
+        self._levels: list[list[SwitchView]] = []
         cursor = 0
         for level in range(1, height + 1):
             width = 1 if level == 1 else 2 ** (level - 1)
             self._levels.append(all_switches[cursor:cursor + width])
             cursor += width
+        self._lifetime_row = self._state.lifetime[0, 0]
+        self._used_row = self._state.used[0, 0]
+        self._path_cache: dict[int, np.ndarray] = {}
         self._registers = [ReadDestructiveRegister(c) for c in leaf_contents]
         self.traversals = 0
         self.tree_id = next(_tree_ids)
@@ -94,19 +114,35 @@ class HardwareDecisionTree:
     def switch_count(self) -> int:
         return sum(len(level) for level in self._levels)
 
-    def path_switches(self, path: str) -> list[NEMSSwitch]:
-        """The H switches a traversal of ``path`` actuates."""
+    def _leaf_index(self, path: str) -> int:
         if len(path) != self.height - 1:
             raise ConfigurationError(
                 f"path must have {self.height - 1} bits for height "
                 f"{self.height}")
-        leaf = path_bits_to_leaf(path)
-        switches = [self._levels[0][0]]
-        for level in range(2, self.height + 1):
-            # The switch at level i is selected by the first i-1 path bits.
-            prefix = leaf >> (self.height - level)
-            switches.append(self._levels[level - 1][prefix])
-        return switches
+        return path_bits_to_leaf(path)
+
+    def _path_indices(self, leaf: int) -> np.ndarray:
+        """Flat state indices of the H switches on the path to ``leaf``.
+
+        Level 1 sits at flat index 0; level ``i >= 2`` starts at
+        ``2**(i-1) - 1`` and is indexed by the first ``i - 1`` path bits.
+        """
+        cached = self._path_cache.get(leaf)
+        if cached is None:
+            indices = [0]
+            for level in range(2, self.height + 1):
+                base = (1 << (level - 1)) - 1
+                indices.append(base + (leaf >> (self.height - level)))
+            cached = np.array(indices, dtype=np.intp)
+            self._path_cache[leaf] = cached
+        return cached
+
+    def path_switches(self, path: str) -> list[SwitchView]:
+        """The H switches a traversal of ``path`` actuates."""
+        leaf = self._leaf_index(path)
+        return [self._levels[0][0]] + [
+            self._levels[level - 1][leaf >> (self.height - level)]
+            for level in range(2, self.height + 1)]
 
     def traverse(self, path: str) -> bytes | None:
         """Attempt one traversal; returns the leaf contents or None.
@@ -128,19 +164,29 @@ class HardwareDecisionTree:
 
     def _traverse(self, path: str) -> bytes | None:
         self.traversals += 1
-        switches = self.path_switches(path)
+        leaf = self._leaf_index(path)
         if self._fault_hook is None:
-            closed = [s.actuate() for s in switches]
+            # Vectorized path: one fancy-indexed update of the H touched
+            # cells, with exact per-switch actuate semantics (a failed
+            # switch takes no further wear; a fractional remainder still
+            # closes once).
+            idx = self._path_indices(leaf)
+            sel_life = self._lifetime_row[idx]
+            sel_used = self._used_row[idx]
+            alive = sel_used < sel_life
+            new_used = sel_used + alive
+            self._used_row[idx] = new_used
+            if not bool(np.all(alive & (new_used <= sel_life))):
+                return None
         else:
             hook = self._fault_hook.on_switch_actuate
-            closed = [hook(s, s.actuate()) for s in switches]
-        if not all(closed):
-            return None
+            closed = [hook(s, s.actuate()) for s in self.path_switches(path)]
+            if not all(closed):
+                return None
         try:
-            data = self._registers[path_bits_to_leaf(path)].read()
+            data = self._registers[leaf].read()
         except RegisterDestroyedError:
             return None
         if self._fault_hook is not None:
-            data = self._fault_hook.on_share_readout(
-                self.tree_id, path_bits_to_leaf(path), data)
+            data = self._fault_hook.on_share_readout(self.tree_id, leaf, data)
         return data

@@ -31,9 +31,9 @@ from typing import Callable
 import numpy as np
 
 from repro.core.degradation import DesignPoint
-from repro.core.hardware import build_serial_copies
 from repro.core.serialize import design_to_dict
 from repro.core.variation import NoVariation, ProcessVariation
+from repro.engine.state import WearState
 from repro.errors import ConfigurationError
 from repro.obs.recorder import OBS
 from repro.sim.checkpoint import (
@@ -197,9 +197,9 @@ def _access_bound_trial(index: int, rng: np.random.Generator,
     bit-identical by construction.
     """
     if hardware:
-        instance = build_serial_copies(design.device, design.copies,
-                                       design.n, design.k, rng, variation)
-        return int(instance.count_successful_accesses(max_accesses))
+        state = WearState.fabricate(design.device, 1, design.copies,
+                                    design.n, design.k, rng, variation)
+        return int(state.run_to_exhaustion(max_accesses)[0])
     return int(simulate_access_bounds(design, 1, rng)[0])
 
 
@@ -255,19 +255,32 @@ def simulate_access_bounds_hardware(design: DesignPoint, trials: int,
                                     rng: np.random.Generator,
                                     variation: ProcessVariation | None = None,
                                     max_accesses: int | None = None,
+                                    max_copies_per_chunk: int = 4_000_000,
                                     ) -> np.ndarray:
     """Empirical access bounds by driving the stateful hardware simulation.
 
-    Exact but slow (every access actuates every switch of the active
-    bank); intended for small designs and cross-validation.  ``variation``
-    adds per-device parameter jitter, which the fast path does not model.
+    Exact (every access actuates every switch of the active bank) and,
+    since the :mod:`repro.engine` refactor, batched: whole chunks of
+    trials step together through one struct-of-arrays
+    :class:`~repro.engine.state.WearState`, with fabrication draws in
+    the scalar order - results are bit-identical to fabricating and
+    stepping one :class:`~repro.core.hardware.SerialCopies` object per
+    trial (pinned by ``tests/differential/test_engine_identity.py``),
+    and invariant to ``max_copies_per_chunk``.  ``variation`` adds
+    per-device parameter jitter, which the fast path does not model.
     """
     if trials < 1:
         raise ConfigurationError("trials must be >= 1")
     variation = variation or NoVariation()
+    n, k, copies = design.n, design.k, design.copies
+    per_trial_cells = copies * n
+    chunk_trials = max(1, int(max_copies_per_chunk // max(per_trial_cells, 1)))
     bounds = np.empty(trials, dtype=np.int64)
-    for i in range(trials):
-        hardware = build_serial_copies(design.device, design.copies,
-                                       design.n, design.k, rng, variation)
-        bounds[i] = hardware.count_successful_accesses(max_accesses)
+    done = 0
+    while done < trials:
+        batch = min(chunk_trials, trials - done)
+        state = WearState.fabricate(design.device, batch, copies, n, k,
+                                    rng, variation)
+        bounds[done:done + batch] = state.run_to_exhaustion(max_accesses)
+        done += batch
     return bounds

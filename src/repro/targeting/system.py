@@ -5,6 +5,10 @@ reads the command key through a limited-use connection sized for the
 mission's expected usage (e.g. 100 commands).  The physical bound both
 caps excessive use beyond the mission and blocks brute-force attacks on
 the command encryption.
+
+Switch wear for the station's connection is tracked by the shared
+:class:`~repro.engine.state.WearState` engine inside
+:class:`~repro.connection.architecture.LimitedUseConnection`.
 """
 
 from __future__ import annotations

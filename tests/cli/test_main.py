@@ -239,6 +239,45 @@ class TestBench:
         assert code == 0
         assert "overhead check passed" in out
 
+    def test_compare_against_self_passes(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_base.json"
+        code, _, _ = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--out", str(target))
+        assert code == 0
+        # Tiny workloads are noisy run to run, so the wiring test uses a
+        # nearly-vacuous threshold; regression detection itself is pinned
+        # in tests/obs/test_bench.py on doctored reports.
+        code, out, _ = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--compare", str(target), "--compare-threshold", "0.99")
+        assert code == 0
+        assert "bench compare" in out
+
+    def test_compare_flags_doctored_regression(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_base.json"
+        code, _, _ = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--out", str(target))
+        assert code == 0
+        # Inflate the baseline so the rerun looks like a regression.
+        payload = json.loads(target.read_text())
+        for workload in payload["workloads"]:
+            workload["throughput_per_s"] *= 1e6
+        target.write_text(json.dumps(payload))
+        code, _, err = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--compare", str(target))
+        assert code == 4
+        assert "throughput regressed" in err
+
+    def test_compare_missing_baseline_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--compare", str(tmp_path / "nope.json"))
+        assert code == 2
+        assert "cannot read baseline" in err
+
 
 class TestAdvise:
     def test_advise_lists_candidates(self, capsys):

@@ -1,0 +1,92 @@
+"""The vector hook surface and the scalar-hook adapter.
+
+The adapter's contract is bit-compatibility: driving a batched state
+through ``ScalarHookAdapter(model)`` must replay the same fault-RNG
+stream - and hence produce the same wear, deaths and access bounds - as
+the object-mode hardware loop consulting the same model per switch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.device import NEMSSwitch
+from repro.core.hardware import SerialCopies, SimulatedBank
+from repro.engine.hooks import ScalarHookAdapter, VectorFaultHook
+from repro.engine.state import WearState
+from repro.faults.injectors import (
+    FaultModel,
+    StuckClosedConversion,
+    TransientMisfire,
+)
+
+
+def _fault_model(seed):
+    return FaultModel([TransientMisfire(0.15),
+                       StuckClosedConversion(0.5)], seed=seed)
+
+
+def _scalar_drive(lifetimes_2d, k, model):
+    banks = [SimulatedBank([NEMSSwitch(v) for v in row], k,
+                           fault_hook=model)
+             for row in lifetimes_2d]
+    serial = SerialCopies(banks)
+    served = serial.count_successful_accesses(200)
+    used = np.array([[s.cycles_used for s in bank.switches]
+                     for bank in serial.banks])
+    dead = np.array([b.is_dead for b in serial.banks])
+    return served, used, dead
+
+
+class TestScalarHookAdapter:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_bit_compatible_with_object_mode_loop(self, k):
+        lifetimes = np.random.default_rng(5).uniform(0.0, 6.0,
+                                                     size=(1, 3, 4))
+        engine = WearState(lifetimes.copy(), k,
+                           vector_hook=ScalarHookAdapter(_fault_model(9)))
+        engine_served = engine.run_to_exhaustion(200)
+        served, used, dead = _scalar_drive(lifetimes[0], k,
+                                           _fault_model(9))
+        assert engine_served[0] == served
+        assert np.array_equal(engine.used[0], used)
+        assert np.array_equal(engine.bank_dead[0], dead)
+
+    def test_adapter_is_a_vector_fault_hook(self):
+        adapter = ScalarHookAdapter(_fault_model(0))
+        assert isinstance(adapter, VectorFaultHook)
+
+    def test_observed_matrix_shape(self):
+        state = WearState(np.full((2, 1, 3), 4.0), 1)
+        adapter = ScalarHookAdapter(_fault_model(1))
+        closed = np.ones((2, 3), dtype=bool)
+        observed = adapter.on_bank_actuate(
+            state, np.array([0, 1]), np.array([0, 0]), closed)
+        assert observed.shape == closed.shape
+        assert observed.dtype == np.bool_
+
+
+class TestVectorHookSite:
+    def test_hook_output_decides_service_but_not_the_dead_latch(self):
+        class AllOpen:
+            def on_bank_actuate(self, state, instances, copies, closed):
+                return np.zeros_like(closed)
+
+        # Healthy bank, hook reports nothing closed: the access falls
+        # over, but the physically-alive bank must NOT latch dead.
+        state = WearState(np.full((1, 2, 2), 9.0), 1, vector_hook=AllOpen())
+        success = state.step_access()
+        assert not success[0]
+        assert not state.bank_dead.any()
+        assert state.exhausted[0]  # fell over past both copies
+
+    def test_stuck_closed_hook_keeps_a_dead_bank_serving(self):
+        class AllClosed:
+            def on_bank_actuate(self, state, instances, copies, closed):
+                return np.ones_like(closed)
+
+        # Worn-out bank, hook reports closures: serves via the hook, and
+        # the physical dead state must not stop it (ceiling violation).
+        state = WearState(np.zeros((1, 1, 2)), 1, vector_hook=AllClosed())
+        assert state.step_access()[0]
+        assert state.step_access()[0]
+        assert state.total_accesses[0] == 2

@@ -9,8 +9,11 @@ from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
     SCALES,
     SCALING_WORKERS,
+    compare_bench_reports,
     measure_disabled_overhead,
+    measure_engine_speedup,
     measure_parallel_scaling,
+    render_bench_comparison,
     render_bench_report,
     run_bench_suite,
     validate_bench_report,
@@ -142,3 +145,97 @@ class TestValidator:
         del broken["overhead"]["overhead_pct"]
         with pytest.raises(ConfigurationError):
             validate_bench_report(broken)
+
+    def test_accepts_schema_1_without_engine_section(self, tiny_report):
+        v1 = json.loads(json.dumps(tiny_report))
+        v1["schema_version"] = 1
+        del v1["engine"]
+        validate_bench_report(v1)
+
+    def test_schema_2_requires_the_engine_section(self, tiny_report):
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["engine"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["engine"]["speedup"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
+
+
+class TestEngineSection:
+    def test_report_carries_the_speedup_measurement(self, tiny_report):
+        engine = tiny_report["engine"]
+        assert engine["workload"] == "mc.hardware"
+        assert engine["trials"] == SCALES["tiny"]["engine_trials"]
+        assert engine["scalar_min_s"] > 0
+        assert engine["engine_min_s"] > 0
+        assert engine["speedup"] > 0
+        # The batched engine must replay the scalar path bit for bit.
+        assert engine["bit_identical"] is True
+
+    def test_render_includes_the_engine_line(self, tiny_report):
+        text = render_bench_report(tiny_report)
+        assert "engine speedup" in text
+        assert "bit-identical: yes" in text
+
+    def test_standalone_measurement_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            measure_engine_speedup(0)
+        with pytest.raises(ConfigurationError):
+            measure_engine_speedup(1, repeats=0)
+
+
+class TestCompare:
+    def test_self_comparison_has_no_regressions(self, tiny_report):
+        comparison = compare_bench_reports(tiny_report, tiny_report)
+        assert comparison["regressions"] == []
+        assert comparison["missing_in_candidate"] == []
+        names = {row["name"] for row in comparison["rows"]}
+        assert "mc.hardware" in names
+        assert "engine.hardware" in names
+        for row in comparison["rows"]:
+            assert row["delta_pct"] == pytest.approx(0.0)
+            assert row["regressed"] is False
+
+    def test_regression_beyond_threshold_is_flagged(self, tiny_report):
+        slower = json.loads(json.dumps(tiny_report))
+        slower["workloads"][0]["throughput_per_s"] *= 0.5
+        comparison = compare_bench_reports(tiny_report, slower,
+                                           threshold=0.2)
+        assert comparison["regressions"] \
+            == [tiny_report["workloads"][0]["name"]]
+        text = render_bench_comparison(comparison)
+        assert "REGRESSED" in text
+
+    def test_slowdown_within_threshold_passes(self, tiny_report):
+        slower = json.loads(json.dumps(tiny_report))
+        for workload in slower["workloads"]:
+            workload["throughput_per_s"] *= 0.9
+        comparison = compare_bench_reports(tiny_report, slower,
+                                           threshold=0.2)
+        assert comparison["regressions"] == []
+
+    def test_workload_set_drift_is_reported_not_scored(self, tiny_report):
+        candidate = json.loads(json.dumps(tiny_report))
+        renamed = candidate["workloads"][0]
+        old_name = renamed["name"]
+        renamed["name"] = "brand.new"
+        comparison = compare_bench_reports(tiny_report, candidate)
+        assert comparison["missing_in_candidate"] == [old_name]
+        assert comparison["new_in_candidate"] == ["brand.new"]
+        assert comparison["regressions"] == []
+
+    def test_cross_scale_comparison_rejected(self, tiny_report):
+        other = json.loads(json.dumps(tiny_report))
+        other["scale"] = "smoke"
+        with pytest.raises(ConfigurationError):
+            compare_bench_reports(tiny_report, other)
+
+    def test_threshold_validated(self, tiny_report):
+        with pytest.raises(ConfigurationError):
+            compare_bench_reports(tiny_report, tiny_report, threshold=0.0)
+
+    def test_comparison_is_json_serializable(self, tiny_report):
+        comparison = compare_bench_reports(tiny_report, tiny_report)
+        assert json.loads(json.dumps(comparison)) == comparison

@@ -1,0 +1,102 @@
+"""Property tests for the reliability algebra of ``core.structures``.
+
+The sizing solver composes :func:`series_reliability`,
+:func:`parallel_reliability` and :func:`k_of_n_reliability` millions of
+times, so the algebraic identities relating them must hold for *every*
+``(r, n, k)`` - not just the sampled design grid:
+
+- series and parallel are complementary structures: a parallel bank of
+  devices with reliability ``r`` fails exactly when a series chain of
+  their complements ``1 - r`` "survives";
+- k-of-n interpolates between them: ``k = 1`` is the parallel bank and
+  ``k = n`` the series chain, exactly;
+- every structure's reliability is monotone in the device reliability
+  and properly ordered in ``k`` (asking for more live devices can never
+  make the system more reliable).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.structures import (
+    KOutOfNStructure,
+    k_of_n_reliability,
+    parallel_reliability,
+    series_reliability,
+)
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError
+
+RELIABILITIES = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+SIZES = st.integers(1, 400)
+
+
+@given(r=RELIABILITIES, n=SIZES)
+def test_series_parallel_complementarity(r, n):
+    # P[parallel fails] = P[every device failed] = P[series of (1-r) "works"]
+    assert 1.0 - parallel_reliability(r, n) \
+        == pytest.approx(series_reliability(1.0 - r, n), abs=1e-12)
+
+
+@given(r=RELIABILITIES, n=SIZES)
+def test_k_of_n_reduces_to_parallel_at_k_1(r, n):
+    assert k_of_n_reliability(r, n, 1) \
+        == pytest.approx(parallel_reliability(r, n), abs=1e-12)
+
+
+@given(r=RELIABILITIES, n=SIZES)
+def test_k_of_n_reduces_to_series_at_k_n(r, n):
+    assert k_of_n_reliability(r, n, n) \
+        == pytest.approx(series_reliability(r, n), abs=1e-12)
+
+
+@given(r=RELIABILITIES, s=RELIABILITIES, n=SIZES, data=st.data())
+def test_reliability_is_monotone_in_r(r, s, n, data):
+    k = data.draw(st.integers(1, n))
+    lo, hi = sorted((r, s))
+    assert series_reliability(lo, n) <= series_reliability(hi, n) + 1e-12
+    assert parallel_reliability(lo, n) <= parallel_reliability(hi, n) + 1e-12
+    assert k_of_n_reliability(lo, n, k) \
+        <= k_of_n_reliability(hi, n, k) + 1e-12
+
+
+@given(r=RELIABILITIES, n=SIZES, data=st.data())
+def test_reliability_is_antitone_in_k(r, n, data):
+    # Requiring more live devices can only lower system reliability, so
+    # every k-of-n value is sandwiched between series (k=n) and
+    # parallel (k=1).
+    k = data.draw(st.integers(1, n))
+    value = k_of_n_reliability(r, n, k)
+    assert series_reliability(r, n) - 1e-12 <= value \
+        <= parallel_reliability(r, n) + 1e-12
+    if k < n:
+        assert k_of_n_reliability(r, n, k + 1) <= value + 1e-12
+
+
+@given(r=RELIABILITIES, n=SIZES)
+def test_reliability_stays_a_probability(r, n):
+    for k in {1, (n + 1) // 2, n}:
+        assert 0.0 <= k_of_n_reliability(r, n, k) <= 1.0
+
+
+@given(x=st.floats(0.0, 100.0, allow_nan=False), n=st.integers(1, 50),
+       data=st.data())
+def test_structure_class_matches_free_function(x, n, data):
+    k = data.draw(st.integers(1, n))
+    device = WeibullDistribution(alpha=10.0, beta=2.0)
+    structure = KOutOfNStructure(device, n, k)
+    assert structure.reliability(x) \
+        == pytest.approx(k_of_n_reliability(device.reliability(x), n, k),
+                         abs=1e-12)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        series_reliability(0.5, 0)
+    with pytest.raises(ConfigurationError):
+        parallel_reliability(0.5, 0)
+    with pytest.raises(ConfigurationError):
+        k_of_n_reliability(0.5, 5, 6)
+    with pytest.raises(ConfigurationError):
+        k_of_n_reliability(0.5, 5, 0)

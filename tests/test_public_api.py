@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.connection",
     "repro.core",
     "repro.crypto",
+    "repro.engine",
     "repro.errors",
     "repro.experiments",
     "repro.gf",
