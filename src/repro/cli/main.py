@@ -12,6 +12,10 @@ Subcommands mirror the workflows a user of the paper's system needs:
 - ``experiments`` run registered paper artifacts (same as
   ``python -m repro.experiments``)
 - ``bench``       pinned perf workload suite -> ``BENCH_<date>.json``
+- ``serve``       run the limited-use authorization service (asyncio
+  TCP, batched wear accounting, durable wear ledger)
+- ``loadgen``     drive a running service with a seeded multi-tenant
+  workload and report outcome statistics
 
 ``simulate``, ``faults``, ``experiments`` and ``bench`` accept the
 observability flags ``--metrics-out`` (JSON metrics snapshot),
@@ -438,6 +442,78 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        ledger_dir=args.ledger,
+        host=args.host,
+        port=args.port,
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        queue_cap=args.queue_cap,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        snapshot_every=args.snapshot_every,
+        ready_file=args.ready_file,
+    )
+    with _obs_session(args):
+        with OBS.span("cli.serve", ledger=args.ledger):
+            asyncio.run(run_service(config))
+    print("service drained cleanly")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.service.client import read_ready_file, run_loadgen
+
+    if args.ready_file:
+        host, port = read_ready_file(args.ready_file)
+    else:
+        if args.port is None:
+            raise ConfigurationError(
+                "loadgen needs --port (or --ready-file)")
+        host, port = args.host, args.port
+    faults = None
+    if args.misfire_rate or args.timeout_rate or args.corruption_rate:
+        faults = {"misfire_rate": args.misfire_rate,
+                  "timeout_rate": args.timeout_rate,
+                  "corruption_rate": args.corruption_rate}
+    population_kwargs = {"n": args.n, "k": args.k, "copies": args.copies,
+                         "alpha": args.alpha, "beta": args.beta,
+                         "scheme": args.scheme}
+    with _obs_session(args):
+        started = time.perf_counter()
+        with OBS.span("cli.loadgen", requests=args.requests):
+            stats = asyncio.run(run_loadgen(
+                host, port, tenants=args.tenants, requests=args.requests,
+                concurrency=args.concurrency, seed=args.seed,
+                faults=faults, drain=args.drain,
+                population_kwargs=population_kwargs))
+        elapsed = time.perf_counter() - started
+        print(f"loadgen: {stats['requests']} requests over "
+              f"{stats['tenants']} tenants "
+              f"({stats['requests_per_s']:,.1f} req/s)")
+        for status, count in stats["outcomes"].items():
+            print(f"  {status:<14} {count}")
+        service = stats.get("service") or {}
+        if service:
+            print(f"  batched into {service.get('rounds', 0)} rounds "
+                  f"(mean size {service.get('batch_size_mean', 0):.2f}, "
+                  f"max {service.get('batch_size_max', 0)})")
+        _print_wall_clock("requests", args.requests, elapsed)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+        print(f"loadgen stats written to {args.json_out}")
+    return 0 if stats["served"] > 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -584,6 +660,64 @@ def build_parser() -> argparse.ArgumentParser:
                               "for --compare (default: 0.2)")
     _add_obs_arguments(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the limited-use authorization service")
+    p_serve.add_argument("--ledger", required=True, metavar="DIR",
+                         help="wear-ledger directory (WAL + snapshots)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--window-ms", type=float, default=2.0,
+                         help="batching window in milliseconds "
+                              "(default: 2)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="max access requests per engine round")
+    p_serve.add_argument("--queue-cap", type=int, default=256,
+                         help="queued-request cap before answering busy")
+    p_serve.add_argument("--rate-limit", type=float, default=0.0,
+                         help="per-tenant requests/s (0 disables)")
+    p_serve.add_argument("--rate-burst", type=int, default=8,
+                         help="per-tenant token-bucket burst")
+    p_serve.add_argument("--snapshot-every", type=int, default=0,
+                         help="rounds between ledger snapshots "
+                              "(0: snapshot on drain only)")
+    p_serve.add_argument("--ready-file", metavar="FILE", default=None,
+                         help="write the bound host/port to FILE once "
+                              "serving")
+    _add_obs_arguments(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive a running service with a seeded workload")
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=None)
+    p_load.add_argument("--ready-file", metavar="FILE", default=None,
+                        help="read the server address from FILE "
+                             "(instead of --host/--port)")
+    p_load.add_argument("--tenants", type=int, default=4)
+    p_load.add_argument("--requests", type=int, default=100)
+    p_load.add_argument("--concurrency", type=int, default=8)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--n", type=int, default=6,
+                        help="switches per bank")
+    p_load.add_argument("--k", type=int, default=2,
+                        help="threshold shares per bank")
+    p_load.add_argument("--copies", type=int, default=3,
+                        help="banks per tenant connection")
+    p_load.add_argument("--alpha", type=float, default=9.0)
+    p_load.add_argument("--beta", type=float, default=6.0)
+    p_load.add_argument("--scheme", choices=("shamir", "xor"),
+                        default="shamir")
+    p_load.add_argument("--misfire-rate", type=float, default=0.0)
+    p_load.add_argument("--timeout-rate", type=float, default=0.0)
+    p_load.add_argument("--corruption-rate", type=float, default=0.0)
+    p_load.add_argument("--drain", action="store_true",
+                        help="send a drain op after the workload")
+    p_load.add_argument("--json-out", metavar="FILE", default=None,
+                        help="write the loadgen statistics to FILE")
+    _add_obs_arguments(p_load)
+    p_load.set_defaults(func=cmd_loadgen)
     return parser
 
 

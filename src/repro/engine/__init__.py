@@ -24,7 +24,8 @@ Layer map:
 See ``docs/engine.md`` for the state layout and the bit-identity argument.
 """
 
-from repro.engine.hooks import ScalarHookAdapter, VectorFaultHook
+from repro.engine.hooks import (ScalarHookAdapter, VectorFaultHook,
+                                VectorTransientMisfire, vector_hook_for)
 from repro.engine.state import WearState
 from repro.engine.views import SwitchView
 
@@ -32,5 +33,7 @@ __all__ = [
     "ScalarHookAdapter",
     "SwitchView",
     "VectorFaultHook",
+    "VectorTransientMisfire",
     "WearState",
+    "vector_hook_for",
 ]

@@ -27,7 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.state import WearState
     from repro.faults.hooks import FaultHook
 
-__all__ = ["VectorFaultHook", "ScalarHookAdapter"]
+__all__ = ["VectorFaultHook", "ScalarHookAdapter",
+           "VectorTransientMisfire", "vector_hook_for"]
 
 
 @runtime_checkable
@@ -74,3 +75,64 @@ class ScalarHookAdapter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ScalarHookAdapter({self.hook!r})"
+
+
+class VectorTransientMisfire:
+    """Native batched :class:`~repro.faults.injectors.TransientMisfire`.
+
+    The scalar injector draws one uniform per *closed* switch, in
+    instance-major then switch-index order, and suppresses the closure
+    when the draw lands under ``rate``.  PCG64's ``rng.random(size=m)``
+    produces exactly the same stream as ``m`` successive scalar
+    ``rng.random()`` calls, so drawing one batch over the row-major
+    closed positions reproduces the scalar fault-RNG stream bit for bit
+    (pinned in ``tests/engine/test_hooks.py``) - without ``m`` Python
+    round-trips through :class:`ScalarHookAdapter`.
+
+    Injection counts are written back to the wrapped injector so
+    campaign stats stay in one place.
+    """
+
+    def __init__(self, injector, rng: np.random.Generator) -> None:
+        self.injector = injector
+        self.rng = rng
+
+    def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
+                        copies: np.ndarray, closed: np.ndarray,
+                        ) -> np.ndarray:
+        rate = self.injector.rate
+        if not rate:
+            return closed
+        flat = np.flatnonzero(closed)          # row-major == scalar order
+        if flat.size == 0:
+            return closed
+        misfired = self.rng.random(flat.size) < rate
+        if not misfired.any():
+            return closed
+        observed = closed.copy()
+        observed.flat[flat[misfired]] = False
+        self.injector.injections += int(misfired.sum())
+        return observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorTransientMisfire(rate={self.injector.rate})"
+
+
+def vector_hook_for(hook) -> "VectorFaultHook | None":
+    """The fastest engine hook equivalent to scalar ``hook``.
+
+    A :class:`~repro.faults.FaultModel` whose actuation pipeline is a
+    single :class:`~repro.faults.TransientMisfire` gets the native
+    batched implementation (bit-identical fault-RNG stream, no
+    per-switch Python calls); anything else falls back to
+    :class:`ScalarHookAdapter`, which is bit-compatible with every
+    shipped injector.  ``None`` stays ``None``.
+    """
+    if hook is None:
+        return None
+    from repro.faults.injectors import FaultModel, TransientMisfire
+
+    if (isinstance(hook, FaultModel) and len(hook.injectors) == 1
+            and type(hook.injectors[0]) is TransientMisfire):
+        return VectorTransientMisfire(hook.injectors[0], hook.rng)
+    return ScalarHookAdapter(hook)

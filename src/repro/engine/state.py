@@ -208,8 +208,44 @@ class WearState:
         return np.partition(budgets, split, axis=2)[:, :, split]
 
     # ------------------------------------------------------------------
+    # Remaining budgets (functions of lifetimes AND accumulated wear)
+    def remaining_switch_closes(self) -> np.ndarray:
+        """Closing actuations each switch can still serve.
+
+        A switch with ``used < lifetime`` has ``floor(lifetime) - used``
+        closes left (``used`` never exceeds ``floor(lifetime)`` while the
+        switch is alive); a failed switch has none.
+        """
+        return np.where(self.used < self.lifetime,
+                        self.switch_budgets() - self.used, 0)
+
+    def remaining_bank_budgets(self) -> np.ndarray:
+        """Accesses each bank can still serve (0 for dead-latched banks)."""
+        rem = self.remaining_switch_closes()
+        if self.k == 1:
+            out = rem.max(axis=2)
+        else:
+            split = self.n - self.k
+            out = np.partition(rem, split, axis=2)[:, :, split]
+        return np.where(self.bank_dead, 0, out)
+
+    def remaining_capacity(self) -> np.ndarray:
+        """Per-instance accesses still servable from the current state.
+
+        Sums the remaining budgets of every reachable bank (the current
+        copy onward, dead banks excluded).  Pure query - no state is
+        mutated and fault hooks are ignored, so with a hook attached
+        this is the hook-free upper bound.
+        """
+        copy_index = np.arange(self.copies)[np.newaxis, :]
+        reachable = copy_index >= self.current[:, np.newaxis]
+        return np.where(reachable, self.remaining_bank_budgets(),
+                        0).sum(axis=1)
+
+    # ------------------------------------------------------------------
     # Stepped kernel
-    def step_access(self, mask: np.ndarray | None = None) -> np.ndarray:
+    def step_access(self, mask: np.ndarray | None = None,
+                    record: dict | None = None) -> np.ndarray:
         """Serve one architecture access per selected instance, vectorized.
 
         Each selected, non-exhausted instance attempts its current bank;
@@ -218,9 +254,20 @@ class WearState:
         like :meth:`repro.core.hardware.SerialCopies.access`.  Returns
         the per-instance success mask (``False`` for instances that were
         masked out, already exhausted, or exhausted during this step).
+
+        When ``record`` is a dict, it is populated with the per-instance
+        serving detail callers like the keystore layer need:
+        ``record["served_copy"]`` (B,) holds the copy that served each
+        successful instance (-1 elsewhere) and ``record["observed"]``
+        (B, n) the observed closure row of that serving bank.
         """
         if mask is None:
             mask = np.ones(self.instances, dtype=bool)
+        if record is not None:
+            record["served_copy"] = np.full(self.instances, -1,
+                                            dtype=np.int64)
+            record["observed"] = np.zeros((self.instances, self.n),
+                                          dtype=bool)
         pending = mask & ~self.exhausted
         self.total_accesses[pending] += 1
         success = np.zeros(self.instances, dtype=bool)
@@ -254,10 +301,14 @@ class WearState:
                 # dead bank serving.
                 latch = ~served & (physical < self.k)
             else:
+                observed = closed
                 served = physical >= self.k
                 latch = ~served
             success[b[served]] = True
             pending[b[served]] = False
+            if record is not None and served.any():
+                record["served_copy"][b[served]] = c[served]
+                record["observed"][b[served]] = observed[served]
             fell_over = ~served
             if fell_over.any():
                 db, dc = b[fell_over], c[fell_over]
@@ -285,14 +336,17 @@ class WearState:
         Returns the per-instance count of successfully served accesses -
         the empirical access bound - and leaves every array in the exact
         state a switch-by-switch drive would have produced (pinned by
-        ``tests/engine``).  With a fault hook attached, or on a state
-        that has already been touched, the deterministic countdown no
-        longer has a closed form and the stepped kernel is used instead.
+        ``tests/engine``).  With a fault hook attached the countdown is
+        no longer deterministic and the stepped kernel is used instead;
+        a touched (non-pristine) hook-free state goes through the
+        generalized closed form :meth:`_run_closed_touched`.
         """
         if max_accesses is not None and max_accesses < 0:
             raise ConfigurationError("max_accesses must be >= 0")
-        if self.vector_hook is not None or not self.is_pristine:
+        if self.vector_hook is not None:
             return self._run_stepped(max_accesses)
+        if not self.is_pristine:
+            return self._run_closed_touched(max_accesses)
         bank_budget = self.bank_budgets()                     # (B, C)
         totals = bank_budget.sum(axis=1)                      # (B,)
         cum = bank_budget.cumsum(axis=1)                      # (B, C)
@@ -333,6 +387,77 @@ class WearState:
             telemetry.record_batch_exhaustion(
                 self.bank_accesses[self.bank_dead], int(fully_dead.sum()),
                 copies, self.total_accesses[fully_dead])
+        return served
+
+    def _run_closed_touched(self, max_accesses: int | None) -> np.ndarray:
+        """Closed form generalized to arbitrary hook-free starting states.
+
+        The countdown from a touched state is still deterministic: each
+        reachable live bank serves exactly its *remaining* budget (the
+        k-th largest ``floor(lifetime) - used`` among its live switches)
+        and the same serial-consumption argument as the pristine form
+        applies, with dead-latched and already-passed copies contributing
+        zero.  Already-exhausted instances are left untouched, like the
+        stepped kernel.  Pinned bit-identical to :meth:`_run_stepped`
+        from randomized touched states in ``tests/engine``.
+        """
+        served = np.zeros(self.instances, dtype=np.int64)
+        active = ~self.exhausted
+        if max_accesses == 0 or not active.any():
+            return served
+        copies = self.copies
+        copy_index = np.arange(copies)[np.newaxis, :]
+        reachable = (active[:, np.newaxis]
+                     & (copy_index >= self.current[:, np.newaxis])
+                     & ~self.bank_dead)
+        eff = np.where(reachable, self.remaining_bank_budgets(), 0)
+        totals = eff.sum(axis=1)
+        cum = eff.cumsum(axis=1)
+        if max_accesses is None:
+            exhausting = active
+            served[active] = totals[active]
+            active_copy = np.where(active, copies, self.current)
+        else:
+            cap = int(max_accesses)
+            exhausting = active & (totals < cap)
+            served[active] = np.minimum(totals, cap)[active]
+            # Final copy: pre-current and dead banks contribute zero to
+            # ``cum`` so they are stepped past exactly as the kernel's
+            # skip-without-wear path does; a row whose cumulative budget
+            # hits the cap exactly leaves ``current`` on the serving
+            # (unlatched) bank.
+            active_copy = np.where(active, (cum < cap).sum(axis=1),
+                                   self.current)
+        exhausted_banks = reachable & (copy_index < active_copy[:, np.newaxis])
+        # Every fully-drained bank absorbs its remaining budget plus the
+        # one failing attempt that latches it and falls over.
+        attempts = np.where(exhausted_banks, eff + 1, 0)
+        if max_accesses is not None:
+            clamped = np.minimum(active_copy, copies - 1)
+            prev_served = np.where(
+                active_copy > 0,
+                np.take_along_axis(
+                    cum, np.maximum(active_copy - 1, 0)[:, np.newaxis],
+                    axis=1)[:, 0],
+                0)
+            rows = np.flatnonzero(active & ~exhausting
+                                  & (active_copy < copies))
+            attempts[rows, clamped[rows]] = cap - prev_served[rows]
+        # Each attempt wears every still-live switch of the bank by one
+        # cycle until it saturates; failed switches are refused wear.
+        wearing = self.used < self.lifetime
+        grown = np.minimum(self.used + attempts[:, :, np.newaxis],
+                           self.saturated_wear())
+        self.used[:] = np.where(wearing, grown, self.used)
+        self.bank_accesses += attempts
+        self.bank_dead |= exhausted_banks
+        self.current[:] = active_copy
+        self.total_accesses += served + exhausting
+        if OBS.enabled:
+            telemetry.record_batch_exhaustion(
+                self.bank_accesses[exhausted_banks],
+                int(exhausting.sum()), copies,
+                self.total_accesses[exhausting])
         return served
 
     def _run_stepped(self, max_accesses: int | None) -> np.ndarray:

@@ -133,3 +133,21 @@ class CheckpointMismatchError(ConfigurationError):
     to exit code 2 - can refuse loudly instead of silently restarting or
     conflating it with an ordinary campaign failure.
     """
+
+
+class LedgerCorruptionError(ConfigurationError):
+    """The service wear ledger is damaged beyond the recoverable cases.
+
+    A torn *trailing* WAL record (the one write a SIGKILL can interrupt)
+    is expected damage: recovery truncates it and continues.  Anything
+    else - an unparseable record before the tail, a sequence-number gap,
+    or replayed state disagreeing with a snapshot - means the ledger no
+    longer proves the wear history, and a limited-use service must
+    refuse to serve rather than risk double-spending device wear.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 seq: int | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.seq = seq

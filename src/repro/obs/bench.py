@@ -26,10 +26,22 @@ struct-of-arrays :class:`~repro.engine.state.WearState`).  Both arms
 consume the same RNG substreams, so the section also records whether
 their results were bit-identical.
 
+Schema 3 adds two sections.  ``service`` drives the limited-use
+authorization service end to end - an in-process
+:class:`~repro.service.server.WearService` on a loopback port, loaded by
+:func:`~repro.service.client.run_loadgen` - and records requests/s plus
+the batch-size distribution the coalescer achieved (the ``svc.loadgen``
+workload row carries the same run's throughput into the compare gate).
+``memory`` runs representative workloads in fresh subprocesses and
+records each child's peak RSS (``getrusage(RUSAGE_SELF).ru_maxrss``),
+giving every report a memory ceiling per workload.
+
 Two reports of the same scale are diffed by
 :func:`compare_bench_reports`, which flags any workload whose throughput
 regressed by more than the threshold - ``repro bench --compare`` wires
-this into CI.
+this into CI.  Memory rows gate in the opposite direction: a workload
+regresses when its candidate peak RSS *exceeds*
+``baseline * (1 + threshold)``.
 
 Wall-clock timestamps enter the report via :func:`time.strftime`; no
 other randomness or clock state leaks in, so two runs of the same scale
@@ -63,7 +75,9 @@ __all__ = [
     "compare_bench_reports",
     "measure_disabled_overhead",
     "measure_engine_speedup",
+    "measure_memory_ceilings",
     "measure_parallel_scaling",
+    "measure_service_load",
     "render_bench_comparison",
     "render_bench_report",
     "run_bench_suite",
@@ -71,7 +85,7 @@ __all__ = [
     "write_bench_report",
 ]
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Workload sizes per scale.  "smoke" finishes in a few seconds (CI);
 #: "full" gives tighter percentiles for committed milestone reports;
@@ -90,6 +104,9 @@ SCALES: dict[str, dict] = {
         "overhead_trials": 20,
         "scaling_trials": 16,
         "engine_trials": 4,
+        "svc_tenants": 2,
+        "svc_requests": 12,
+        "svc_concurrency": 4,
     },
     "smoke": {
         "repeats": 3,
@@ -104,6 +121,9 @@ SCALES: dict[str, dict] = {
         "overhead_trials": 400,
         "scaling_trials": 600,
         "engine_trials": 60,
+        "svc_tenants": 4,
+        "svc_requests": 120,
+        "svc_concurrency": 8,
     },
     "full": {
         "repeats": 7,
@@ -118,6 +138,9 @@ SCALES: dict[str, dict] = {
         "overhead_trials": 2000,
         "scaling_trials": 3000,
         "engine_trials": 300,
+        "svc_tenants": 8,
+        "svc_requests": 600,
+        "svc_concurrency": 16,
     },
 }
 
@@ -225,6 +248,35 @@ def _workload_checkpoint_roundtrip(params: dict, seed: int) -> tuple[int, str]:
     return len(results), "results"
 
 
+def _run_service_load(params: dict, seed: int) -> dict:
+    """One in-process service campaign; returns the loadgen statistics."""
+    import asyncio
+
+    from repro.service.client import run_loadgen
+    from repro.service.server import ServiceConfig, WearService
+
+    async def drive() -> dict:
+        with tempfile.TemporaryDirectory() as tmp:
+            config = ServiceConfig(ledger_dir=os.path.join(tmp, "ledger"),
+                                   window_s=0.0005)
+            service = WearService(config)
+            host, port = await service.start()
+            try:
+                return await run_loadgen(
+                    host, port, tenants=params["svc_tenants"],
+                    requests=params["svc_requests"],
+                    concurrency=params["svc_concurrency"], seed=seed)
+            finally:
+                await service.shutdown()
+
+    return asyncio.run(drive())
+
+
+def _workload_svc_loadgen(params: dict, seed: int) -> tuple[int, str]:
+    _run_service_load(params, seed)
+    return params["svc_requests"], "requests"
+
+
 _WORKLOADS = (
     ("mc.fast", _workload_mc_fast),
     ("mc.checkpointed", _workload_mc_checkpointed),
@@ -233,6 +285,7 @@ _WORKLOADS = (
     ("replay.trace", _workload_replay_trace),
     ("pads.traverse", _workload_pads_traverse),
     ("checkpoint.roundtrip", _workload_checkpoint_roundtrip),
+    ("svc.loadgen", _workload_svc_loadgen),
 )
 
 
@@ -436,6 +489,91 @@ def measure_parallel_scaling(trials: int, seed: int = 0,
     }
 
 
+def measure_service_load(params: dict, seed: int = 0) -> dict:
+    """End-to-end service throughput plus the achieved batch shape.
+
+    One loopback :class:`~repro.service.server.WearService` campaign at
+    the scale's pinned population; the section records what the compare
+    gate's ``svc.loadgen`` row cannot - the outcome mix and how well the
+    batching window actually coalesced concurrent requests.
+    """
+    stats = _run_service_load(params, seed)
+    service = stats.get("service", {})
+    return {
+        "workload": "svc.loadgen",
+        "tenants": params["svc_tenants"],
+        "requests": params["svc_requests"],
+        "concurrency": params["svc_concurrency"],
+        "requests_per_s": stats["requests_per_s"],
+        "served": stats["served"],
+        "outcomes": stats["outcomes"],
+        "latency_mean_s": stats["latency_mean_s"],
+        "rounds": service.get("rounds", 0),
+        "batch_size_mean": service.get("batch_size_mean", 0.0),
+        "batch_size_max": service.get("batch_size_max", 0),
+        "batch_sizes": service.get("batch_sizes", {}),
+    }
+
+
+#: Workloads whose peak RSS is measured in fresh subprocesses.
+MEMORY_WORKLOADS = ("mc.fast", "mc.hardware", "svc.loadgen")
+
+#: The child measures one workload and prints its own peak RSS.  Run in
+#: a fresh interpreter so the figure is a real per-workload ceiling, not
+#: whatever high-water mark earlier workloads left in this process.
+_MEMORY_CHILD = """\
+import json, resource, sys
+from repro.obs.bench import SCALES, _WORKLOADS
+name, scale, seed = sys.argv[1], sys.argv[2], int(sys.argv[3])
+dict(_WORKLOADS)[name](SCALES[scale], seed)
+rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+# ru_maxrss is bytes on macOS, kilobytes everywhere else.
+print(json.dumps({"peak_rss_bytes":
+                  rss if sys.platform == "darwin" else rss * 1024}))
+"""
+
+
+def measure_memory_ceilings(scale: str, seed: int = 0,
+                            workloads: tuple[str, ...] = MEMORY_WORKLOADS,
+                            ) -> dict:
+    """Peak RSS of representative workloads, one fresh child each."""
+    import subprocess
+
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"unknown bench scale {scale!r}; choose from {sorted(SCALES)}")
+    known = dict(_WORKLOADS)
+    unknown = [name for name in workloads if name not in known]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown memory workloads: {unknown}")
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root, env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    rows = []
+    for name in workloads:
+        proc = subprocess.run(
+            [sys.executable, "-c", _MEMORY_CHILD, name, scale, str(seed)],
+            capture_output=True, text=True, env=env, check=False,
+            timeout=600)
+        if proc.returncode != 0:
+            raise ConfigurationError(
+                f"memory probe for {name!r} failed "
+                f"(exit {proc.returncode}): {proc.stderr.strip()}")
+        payload = json.loads(proc.stdout.strip().splitlines()[-1])
+        rss = int(payload["peak_rss_bytes"])
+        rows.append({
+            "name": name,
+            "peak_rss_bytes": rss,
+            "peak_rss_mib": rss / (1024 * 1024),
+        })
+    return {"platform": sys.platform, "workloads": rows}
+
+
 def _summarize_times(times: list[float]) -> dict:
     ordered = sorted(times)
     return {
@@ -481,6 +619,8 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
     scaling = measure_parallel_scaling(params["scaling_trials"], seed=seed)
     engine = measure_engine_speedup(params["engine_trials"], seed=seed,
                                     repeats=repeats)
+    service = measure_service_load(params, seed=seed)
+    memory = measure_memory_ceilings(scale, seed=seed)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "bench-report",
@@ -498,6 +638,8 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
         "overhead": overhead,
         "scaling": scaling,
         "engine": engine,
+        "service": service,
+        "memory": memory,
     }
 
 
@@ -515,13 +657,20 @@ _REQUIRED_ENGINE_KEYS = ("workload", "trials", "repeats", "scalar_min_s",
                          "engine_min_s", "scalar_throughput_per_s",
                          "engine_throughput_per_s", "speedup",
                          "bit_identical")
-#: Schema versions the validator accepts; 1 predates the engine section.
-_ACCEPTED_SCHEMA_VERSIONS = (1, BENCH_SCHEMA_VERSION)
+_REQUIRED_SERVICE_KEYS = ("workload", "tenants", "requests", "concurrency",
+                          "requests_per_s", "served", "outcomes", "rounds",
+                          "batch_size_mean", "batch_size_max", "batch_sizes")
+_REQUIRED_MEMORY_KEYS = ("platform", "workloads")
+_REQUIRED_MEMORY_ROW_KEYS = ("name", "peak_rss_bytes", "peak_rss_mib")
+#: Schema versions the validator accepts; 1 predates the engine section,
+#: 2 predates the service and memory sections.
+_ACCEPTED_SCHEMA_VERSIONS = (1, 2, BENCH_SCHEMA_VERSION)
 
 
 def validate_bench_report(payload: dict) -> None:
     """Raise :class:`ConfigurationError` unless ``payload`` is a valid
-    bench report (schema 1 or 2; the ``engine`` section arrived in 2)."""
+    bench report (schema 1-3; the ``engine`` section arrived in 2, the
+    ``service`` and ``memory`` sections in 3)."""
     if not isinstance(payload, dict):
         raise ConfigurationError("bench report must be a JSON object")
     if payload.get("schema_version") not in _ACCEPTED_SCHEMA_VERSIONS \
@@ -571,6 +720,23 @@ def validate_bench_report(payload: dict) -> None:
         if bad:
             raise ConfigurationError(
                 f"bench report engine section is missing {bad}")
+    if payload["schema_version"] >= 3:
+        for section, required in (("service", _REQUIRED_SERVICE_KEYS),
+                                  ("memory", _REQUIRED_MEMORY_KEYS)):
+            if section not in payload:
+                raise ConfigurationError(
+                    f"schema-3 bench report is missing its "
+                    f"{section} section")
+            bad = [key for key in required if key not in payload[section]]
+            if bad:
+                raise ConfigurationError(
+                    f"bench report {section} section is missing {bad}")
+        for row in payload["memory"]["workloads"]:
+            bad = [key for key in _REQUIRED_MEMORY_ROW_KEYS
+                   if key not in row]
+            if bad:
+                raise ConfigurationError(
+                    f"memory row {row.get('name')!r} is missing {bad}")
 
 
 def compare_bench_reports(baseline: dict, candidate: dict,
@@ -583,6 +749,12 @@ def compare_bench_reports(baseline: dict, candidate: dict,
     the engine section's vectorized throughput is compared the same way
     (as the ``engine.hardware`` row) when both reports carry one.
     Workloads present in only one report are listed, not scored.
+
+    Memory ceilings gate in the *opposite* direction: when both reports
+    carry a ``memory`` section, each shared workload regresses when its
+    candidate peak RSS exceeds ``baseline * (1 + threshold)``.  Memory
+    rows are reported separately (``memory_rows``) but feed the same
+    ``regressions`` verdict, prefixed ``mem.``.
     """
     validate_bench_report(baseline)
     validate_bench_report(candidate)
@@ -618,15 +790,41 @@ def compare_bench_reports(baseline: dict, candidate: dict,
         add_row("engine.hardware",
                 baseline["engine"]["engine_throughput_per_s"],
                 candidate["engine"]["engine_throughput_per_s"])
+    memory_rows = []
+    if "memory" in baseline and "memory" in candidate:
+        base_mem = {row["name"]: row
+                    for row in baseline["memory"]["workloads"]}
+        cand_mem = {row["name"]: row
+                    for row in candidate["memory"]["workloads"]}
+        for name in base_mem:
+            if name not in cand_mem:
+                continue
+            base_rss = base_mem[name]["peak_rss_bytes"]
+            cand_rss = cand_mem[name]["peak_rss_bytes"]
+            if base_rss and cand_rss:
+                delta_pct = (cand_rss - base_rss) / base_rss * 100.0
+                regressed = cand_rss > base_rss * (1.0 + threshold)
+            else:
+                delta_pct, regressed = None, False
+            memory_rows.append({
+                "name": f"mem.{name}",
+                "baseline_peak_rss_bytes": base_rss,
+                "candidate_peak_rss_bytes": cand_rss,
+                "delta_pct": delta_pct,
+                "regressed": regressed,
+            })
     return {
         "baseline": {"date": baseline["date"], "scale": baseline["scale"]},
         "candidate": {"date": candidate["date"],
                       "scale": candidate["scale"]},
         "threshold_pct": threshold * 100.0,
         "rows": rows,
+        "memory_rows": memory_rows,
         "missing_in_candidate": sorted(set(base_by_name) - set(cand_by_name)),
         "new_in_candidate": sorted(set(cand_by_name) - set(base_by_name)),
-        "regressions": [row["name"] for row in rows if row["regressed"]],
+        "regressions": ([row["name"] for row in rows if row["regressed"]]
+                        + [row["name"] for row in memory_rows
+                           if row["regressed"]]),
     }
 
 
@@ -653,6 +851,20 @@ def render_bench_comparison(comparison: dict) -> str:
                        f"(scale={comparison['baseline']['scale']}, "
                        f"threshold {comparison['threshold_pct']:.0f}%)")
     notes = []
+    memory_rows = comparison.get("memory_rows") or []
+    if memory_rows:
+        mem_table = table(
+            ("workload", "base MiB", "cand MiB", "delta", "status"),
+            [(row["name"],
+              f"{row['baseline_peak_rss_bytes'] / 2**20:,.1f}",
+              f"{row['candidate_peak_rss_bytes'] / 2**20:,.1f}",
+              f"{row['delta_pct']:+.1f}%" if row["delta_pct"] is not None
+              else "-",
+              "REGRESSED" if row["regressed"] else "ok")
+             for row in memory_rows],
+            title="peak RSS ceilings (regression = candidate above "
+                  f"baseline + {comparison['threshold_pct']:.0f}%)")
+        notes.append(mem_table)
     if comparison["missing_in_candidate"]:
         notes.append("missing in candidate: "
                      + ", ".join(comparison["missing_in_candidate"]))
@@ -723,4 +935,21 @@ def render_bench_report(payload: dict) -> str:
             f"(scalar {engine['scalar_throughput_per_s']:,.0f} trials/s "
             f"-> vectorized {engine['engine_throughput_per_s']:,.0f} "
             f"trials/s, bit-identical: {identical})")
+    service = payload.get("service")
+    if service:
+        outcomes = ", ".join(f"{status}={count}" for status, count
+                             in sorted(service["outcomes"].items()))
+        lines.append(
+            f"service load: {service['requests']} requests / "
+            f"{service['tenants']} tenants at "
+            f"{service['requests_per_s']:,.0f} req/s, "
+            f"{service['rounds']} rounds "
+            f"(mean batch {service['batch_size_mean']:.2f}, "
+            f"max {service['batch_size_max']}); outcomes: {outcomes}")
+    memory = payload.get("memory")
+    if memory:
+        ceilings = ", ".join(
+            f"{row['name']}={row['peak_rss_mib']:,.0f} MiB"
+            for row in memory["workloads"])
+        lines.append(f"peak RSS ceilings: {ceilings}")
     return "\n".join(lines)

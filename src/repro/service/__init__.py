@@ -1,0 +1,53 @@
+"""The limited-use authorization service: wear as a long-lived server.
+
+Everything below the protocol line reuses the existing layers - the
+vectorized :mod:`repro.engine` kernels, :mod:`repro.faults` injection,
+:mod:`repro.sim.checkpoint` atomic writes and the :mod:`repro.obs`
+metrics - and adds the deployment shape the paper's Section 5 keystore
+implies: many concurrent clients consuming wear-bounded secrets from
+live, persistent device state.
+
+Layer map:
+
+- :mod:`repro.service.protocol` - length-prefixed JSON framing shared
+  by server, client and tests;
+- :mod:`repro.service.ledger` - the append-only wear WAL + snapshots
+  (durability and crash recovery);
+- :mod:`repro.service.hub` - the synchronous core: pooled
+  :class:`~repro.engine.state.WearState` rows, per-tenant keystores and
+  fault models, WAL-first accounting, replay;
+- :mod:`repro.service.batcher` - coalesces concurrent accesses into
+  vectorized engine rounds (bit-identical to sequential handling);
+- :mod:`repro.service.server` - the asyncio TCP front end: rate
+  limits, backpressure, graceful drain;
+- :mod:`repro.service.client` - the protocol client and the load
+  generator behind ``repro loadgen`` and the ``svc.loadgen`` bench
+  workload.
+
+See ``docs/service.md`` for the protocol, the batching window, the
+ledger format and the recovery argument.
+"""
+
+from repro.service.batcher import RequestBatcher
+from repro.service.client import (
+    ServiceClient,
+    read_ready_file,
+    run_loadgen,
+    tenant_population,
+)
+from repro.service.hub import WearHub
+from repro.service.ledger import WearLedger
+from repro.service.server import ServiceConfig, WearService, run_service
+
+__all__ = [
+    "RequestBatcher",
+    "ServiceClient",
+    "ServiceConfig",
+    "WearHub",
+    "WearLedger",
+    "WearService",
+    "read_ready_file",
+    "run_loadgen",
+    "run_service",
+    "tenant_population",
+]

@@ -1,0 +1,134 @@
+"""Coalescing ``access`` requests into vectorized engine rounds.
+
+Concurrent clients each want one secret read; the engine wants one
+``step_access`` kernel call over many rows.  The batcher bridges them:
+requests arriving within ``window_s`` of the first queued one are
+drained into a single round (capped at ``max_batch``) and served
+through :meth:`repro.service.hub.WearHub.serve_round`.
+
+Two invariants keep batching bit-identical to sequential handling:
+
+- **one request per tenant per round** - a tenant appearing twice in
+  the queue is served across consecutive rounds, preserving its
+  per-access kernel/readout RNG interleaving;
+- **FIFO within a tenant** - the deferred duplicate keeps its queue
+  position relative to later requests for the same tenant.
+
+Backpressure is the caller's job: the server checks
+:attr:`RequestBatcher.depth` against its queue cap *before* submitting
+and answers ``busy`` instead of growing the queue without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.errors import ConfigurationError
+from repro.obs.recorder import OBS
+
+__all__ = ["RequestBatcher"]
+
+
+class RequestBatcher:
+    """Gather concurrent access requests and serve them in rounds."""
+
+    def __init__(self, hub, window_s: float = 0.002,
+                 max_batch: int = 64) -> None:
+        if window_s < 0:
+            raise ConfigurationError("window_s must be >= 0")
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        self.hub = hub
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._queue: list[tuple[str, asyncio.Future]] = []
+        self._arrived: asyncio.Event = asyncio.Event()
+        self._closed = False
+        self._task: asyncio.Task | None = None
+        # Batch-size distribution for status/bench reporting.
+        self.rounds = 0
+        self.requests = 0
+        self.batch_sizes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (the backpressure signal)."""
+        return len(self._queue)
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def submit(self, tenant: str) -> dict:
+        """Queue one access request; resolves with its response."""
+        if self._closed:
+            raise ConfigurationError("batcher is draining")
+        future = asyncio.get_running_loop().create_future()
+        self._queue.append((tenant, future))
+        self._arrived.set()
+        return await future
+
+    async def drain(self) -> None:
+        """Stop accepting work, flush every queued request, stop the loop."""
+        self._closed = True
+        self._arrived.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            if not self._queue:
+                if self._closed:
+                    return
+                self._arrived.clear()
+                await self._arrived.wait()
+                continue
+            if self.window_s and not self._closed:
+                await asyncio.sleep(self.window_s)
+            round_names: list[str] = []
+            round_futures: dict[str, asyncio.Future] = {}
+            deferred: list[tuple[str, asyncio.Future]] = []
+            for tenant, future in self._queue:
+                if (tenant in round_futures
+                        or len(round_names) >= self.max_batch):
+                    deferred.append((tenant, future))
+                else:
+                    round_names.append(tenant)
+                    round_futures[tenant] = future
+            self._queue = deferred
+            started = time.perf_counter()
+            try:
+                responses = self.hub.serve_round(round_names)
+            except Exception as exc:  # pragma: no cover - defensive
+                for future in round_futures.values():
+                    if not future.done():
+                        future.set_exception(exc)
+                raise
+            self.rounds += 1
+            self.requests += len(round_names)
+            size = len(round_names)
+            self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+            if OBS.enabled:
+                OBS.metrics.observe("svc.round_latency_s",
+                                    time.perf_counter() - started)
+            for tenant, future in round_futures.items():
+                if not future.done():
+                    future.set_result(responses[tenant])
+            # Yield so resolved clients can proceed before the next round.
+            await asyncio.sleep(0)
+
+    def stats(self) -> dict:
+        """The batch-size distribution since startup."""
+        sizes = sorted(self.batch_sizes)
+        return {
+            "rounds": self.rounds,
+            "requests": self.requests,
+            "batch_size_max": sizes[-1] if sizes else 0,
+            "batch_size_mean": (self.requests / self.rounds
+                                if self.rounds else 0.0),
+            "batch_sizes": {str(size): self.batch_sizes[size]
+                            for size in sizes},
+        }

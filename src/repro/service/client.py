@@ -1,0 +1,179 @@
+"""Client side of the service protocol, plus the load generator.
+
+:class:`ServiceClient` is a thin framed-request wrapper; ``run_loadgen``
+is the workhorse behind ``repro loadgen`` and the ``svc.loadgen`` bench
+workload: it provisions a seeded multi-tenant population, fires a fixed
+number of ``access`` requests at bounded concurrency, and reports every
+outcome class explicitly (served, exhausted, busy, rate-limited, fault)
+so a smoke run can assert both liveness *and* that backpressure answers
+were denials rather than drops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.errors import ConfigurationError
+from repro.service.protocol import read_frame, write_frame
+
+__all__ = ["ServiceClient", "tenant_population", "run_loadgen",
+           "read_ready_file"]
+
+
+class ServiceClient:
+    """One framed connection to a service instance."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        return self
+
+    async def request(self, payload: dict) -> dict:
+        if self._writer is None:
+            await self.connect()
+        await write_frame(self._writer, payload)
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ConfigurationError(
+                "server closed the connection mid-request")
+        return response
+
+    async def provision(self, **fields) -> dict:
+        return await self.request(dict(fields, op="provision"))
+
+    async def access(self, tenant: str) -> dict:
+        return await self.request({"op": "access", "tenant": tenant})
+
+    async def status(self, tenant: str | None = None) -> dict:
+        payload: dict = {"op": "status"}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return await self.request(payload)
+
+    async def drain(self) -> dict:
+        return await self.request({"op": "drain"})
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+
+def read_ready_file(path: str, timeout_s: float = 30.0) -> tuple[str, int]:
+    """Poll a server's ready file until it names the bound address."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return payload["host"], int(payload["port"])
+        time.sleep(0.02)
+    raise ConfigurationError(
+        f"server ready file {path!r} did not appear within {timeout_s}s")
+
+
+def tenant_population(tenants: int, seed: int, *, alpha: float = 9.0,
+                      beta: float = 6.0, n: int = 6, k: int = 2,
+                      copies: int = 3, scheme: str = "shamir",
+                      secret_len: int = 16,
+                      faults: dict | None = None) -> list[dict]:
+    """Deterministic provision payloads for a seeded tenant population.
+
+    Secrets are derived from ``(seed, index)`` so any process - the
+    loadgen, a differential test, a restarted campaign - reconstructs
+    the same population without coordination.
+    """
+    if tenants < 1:
+        raise ConfigurationError("tenants must be >= 1")
+    population = []
+    for index in range(tenants):
+        secret = bytes((seed + 31 * index + 7 * b) % 256
+                       for b in range(secret_len))
+        population.append({
+            "tenant": f"tenant-{index:03d}",
+            "alpha": alpha, "beta": beta, "n": n, "k": k,
+            "copies": copies, "scheme": scheme,
+            "seed": seed * 1000 + index,
+            "secret": secret.hex(),
+            "faults": faults,
+        })
+    return population
+
+
+async def run_loadgen(host: str, port: int, *, tenants: int = 4,
+                      requests: int = 100, concurrency: int = 8,
+                      seed: int = 0, faults: dict | None = None,
+                      drain: bool = False, population_kwargs:
+                      dict | None = None) -> dict:
+    """Drive a running service; returns the outcome statistics."""
+    if requests < 1 or concurrency < 1:
+        raise ConfigurationError(
+            "requests and concurrency must be >= 1")
+    population = tenant_population(tenants, seed, faults=faults,
+                                   **(population_kwargs or {}))
+    admin = await ServiceClient(host, port).connect()
+    provisioned = 0
+    for payload in population:
+        response = await admin.provision(**payload)
+        if response["status"] == "ok":
+            provisioned += 1
+        elif response["status"] != "exists":
+            raise ConfigurationError(
+                f"provision of {payload['tenant']!r} failed: {response}")
+    outcomes: dict[str, int] = {}
+    latencies: list[float] = []
+    queue: asyncio.Queue[str | None] = asyncio.Queue()
+    for index in range(requests):
+        queue.put_nowait(population[index % tenants]["tenant"])
+    for _ in range(concurrency):
+        queue.put_nowait(None)
+
+    async def worker() -> None:
+        client = await ServiceClient(host, port).connect()
+        try:
+            while True:
+                tenant = await queue.get()
+                if tenant is None:
+                    return
+                started = time.perf_counter()
+                response = await client.access(tenant)
+                latencies.append(time.perf_counter() - started)
+                status = response["status"]
+                outcomes[status] = outcomes.get(status, 0) + 1
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    elapsed = time.perf_counter() - started
+    status = await admin.status()
+    stats = {
+        "tenants": tenants,
+        "provisioned": provisioned,
+        "requests": requests,
+        "elapsed_s": elapsed,
+        "requests_per_s": requests / elapsed if elapsed > 0 else 0.0,
+        "outcomes": dict(sorted(outcomes.items())),
+        "served": outcomes.get("ok", 0),
+        "latency_mean_s": (sum(latencies) / len(latencies)
+                           if latencies else 0.0),
+        "service": status.get("service", {}),
+    }
+    if drain:
+        stats["drain"] = await admin.drain()
+    await admin.close()
+    return stats

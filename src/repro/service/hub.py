@@ -1,0 +1,534 @@
+"""The multi-tenant wear hub: pooled engine state + durable accounting.
+
+One :class:`WearHub` owns every provisioned tenant of a service
+instance.  Tenants with the same architecture shape ``(copies, n, k)``
+share one struct-of-arrays :class:`~repro.engine.state.WearState` - one
+row per tenant - so a batch of concurrent ``access`` requests is served
+by **one** vectorized ``step_access`` kernel call per shape instead of
+N object-mode actuations.
+
+Bit-identity with sequential handling (the differential acceptance
+criterion) falls out of two facts:
+
+- a round contains at most one request per tenant (the batcher enforces
+  it), so each tenant's attempt is one kernel visit followed by one
+  keystore recovery - the same sub-steps, in the same per-tenant order,
+  as a sequential drive;
+- every tenant's fault model owns a dedicated RNG
+  (``substream(seed, 1)``), and the row-dispatch hook routes each pool
+  row to its own tenant's hook, so no draw of tenant A's stream can
+  depend on whether tenant B shared the kernel call.
+
+Durability: every state-changing operation is appended (and fsynced) to
+the :class:`~repro.service.ledger.WearLedger` *before* the engine
+executes it, and :meth:`WearHub.recover` rebuilds the exact state by
+replaying that history - closed-form fast-forward for hook-free
+tenants (the touched-state resume of this PR's engine satellite),
+stepped replay through the live fault RNG for fault tenants, with
+snapshot cross-checking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.connection.keystore import BankKeyStore
+from repro.core.variation import NoVariation
+from repro.core.weibull import WeibullDistribution
+from repro.engine.hooks import vector_hook_for
+from repro.engine.state import WearState
+from repro.errors import (
+    CodingError,
+    ConfigurationError,
+    LedgerCorruptionError,
+)
+from repro.faults.campaign import FaultCampaignConfig, build_fault_model
+from repro.obs.recorder import OBS
+from repro.service.ledger import WearLedger
+from repro.service.protocol import denied, ok
+from repro.sim.rng import make_rng, substream
+
+__all__ = ["WearHub", "TenantRecord"]
+
+_STATE_ARRAYS = ("used", "bank_accesses", "bank_dead", "current",
+                 "total_accesses")
+
+
+class _RowDispatchHook:
+    """Route each pool row's actuation to that tenant's own fault hook.
+
+    Rows without a hook pass their physical closures through untouched,
+    which is semantically identical to running the kernel hook-free
+    (the dead-latch condition collapses to the same expression when
+    ``observed == closed``).
+    """
+
+    def __init__(self) -> None:
+        self.row_hooks: dict[int, object] = {}
+
+    def on_bank_actuate(self, state, instances, copies, closed):
+        observed = closed.copy()
+        for j in range(len(instances)):
+            hook = self.row_hooks.get(int(instances[j]))
+            if hook is not None:
+                observed[j] = hook.on_bank_actuate(
+                    state, instances[j:j + 1], copies[j:j + 1],
+                    closed[j:j + 1])[0]
+        return observed
+
+
+class _Pool:
+    """All tenants sharing one architecture shape ``(copies, n, k)``."""
+
+    def __init__(self, copies: int, n: int, k: int) -> None:
+        self.copies = copies
+        self.n = n
+        self.k = k
+        self.dispatch = _RowDispatchHook()
+        self.state: WearState | None = None
+
+    def add_row(self, lifetimes: np.ndarray) -> int:
+        """Append one pristine instance row; returns its row index."""
+        if self.state is None:
+            self.state = WearState(lifetimes, self.k,
+                                   vector_hook=self.dispatch)
+            return 0
+        state = self.state
+        state.lifetime = np.concatenate([state.lifetime, lifetimes])
+        state.used = np.concatenate(
+            [state.used, np.zeros((1, self.copies, self.n), np.int64)])
+        state.bank_accesses = np.concatenate(
+            [state.bank_accesses, np.zeros((1, self.copies), np.int64)])
+        state.bank_dead = np.concatenate(
+            [state.bank_dead, np.zeros((1, self.copies), bool)])
+        state.current = np.concatenate(
+            [state.current, np.zeros(1, np.int64)])
+        state.total_accesses = np.concatenate(
+            [state.total_accesses, np.zeros(1, np.int64)])
+        return state.instances - 1
+
+
+class TenantRecord:
+    """One provisioned tenant: its pool row, stores and counters."""
+
+    __slots__ = ("name", "params", "pool", "row", "stores", "fault_model",
+                 "attempts", "served")
+
+    def __init__(self, name, params, pool, row, stores, fault_model):
+        self.name = name
+        self.params = params
+        self.pool = pool
+        self.row = row
+        self.stores = stores
+        self.fault_model = fault_model
+        self.attempts = 0
+        self.served = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return bool(self.pool.state.exhausted[self.row])
+
+
+def _validate_params(request: dict) -> dict:
+    """Extract and validate the canonical provision parameters."""
+    try:
+        params = {
+            "alpha": float(request["alpha"]),
+            "beta": float(request["beta"]),
+            "n": int(request["n"]),
+            "k": int(request["k"]),
+            "copies": int(request["copies"]),
+            "seed": int(request["seed"]),
+            "secret": str(request["secret"]),
+            "scheme": str(request.get("scheme", "shamir")),
+            "faults": request.get("faults"),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"invalid provision request: {exc}")
+    # Validate everything *before* the caller logs the record: a
+    # provision that cannot build must never enter the WAL, or replay
+    # would fail on it forever.
+    if params["alpha"] <= 0 or params["beta"] <= 0:
+        raise ConfigurationError("alpha and beta must be positive")
+    if not 1 <= params["k"] <= params["n"]:
+        raise ConfigurationError(
+            f"need 1 <= k <= n, got k={params['k']}, n={params['n']}")
+    if params["copies"] < 1:
+        raise ConfigurationError("copies must be >= 1")
+    if params["scheme"] not in ("shamir", "rs"):
+        raise ConfigurationError(f"unknown scheme {params['scheme']!r}")
+    try:
+        secret = bytes.fromhex(params["secret"])
+    except ValueError as exc:
+        raise ConfigurationError(f"secret must be hex: {exc}")
+    if not secret:
+        raise ConfigurationError("secret must be non-empty")
+    if params["faults"] is not None:
+        if not isinstance(params["faults"], dict):
+            raise ConfigurationError("faults must be an object")
+        try:
+            FaultCampaignConfig(**params["faults"])
+        except TypeError as exc:  # unknown field names
+            raise ConfigurationError(f"invalid faults: {exc}")
+    return params
+
+
+class WearHub:
+    """The synchronous service core: provision, serve, persist, recover."""
+
+    def __init__(self, ledger: WearLedger) -> None:
+        self.ledger = ledger
+        self.tenants: dict[str, TenantRecord] = {}
+        self.pools: dict[tuple[int, int, int], _Pool] = {}
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    def provision(self, request: dict, *, log: bool = True) -> dict:
+        """Provision one tenant; returns the protocol response."""
+        name = request.get("tenant")
+        if not isinstance(name, str) or not name:
+            return denied("bad-request", "tenant must be a non-empty string")
+        if name in self.tenants:
+            return denied("exists", f"tenant {name!r} is already provisioned",
+                          tenant=name)
+        try:
+            params = _validate_params(request)
+        except ConfigurationError as exc:
+            return denied("bad-request", str(exc))
+        if log:
+            record = {"op": "provision", "tenant": name}
+            record.update(params)
+            self.ledger.append(record)
+        tenant = self._build_tenant(name, params)
+        if OBS.enabled:
+            OBS.metrics.inc("svc.provisions")
+        capacity = int(tenant.pool.state.remaining_capacity()[tenant.row])
+        return ok(tenant=name, capacity=capacity, copies=params["copies"],
+                  n=params["n"], k=params["k"])
+
+    def _build_tenant(self, name: str, params: dict) -> TenantRecord:
+        """Fabricate a tenant's hardware and shares, deterministically.
+
+        The draw order replicates
+        :class:`~repro.connection.architecture.LimitedUseConnection`
+        verbatim (per copy: lifetimes, then the Shamir split), so a
+        tenant rebuilt from its provision record recovers byte-identical
+        secrets; the fault RNG is a separate positional substream so
+        fabricating with and without faults yields the same lifetimes.
+        """
+        device = WeibullDistribution(alpha=params["alpha"],
+                                     beta=params["beta"])
+        secret = bytes.fromhex(params["secret"])
+        rng = make_rng(params["seed"])
+        fault_model = None
+        if params["faults"] is not None:
+            fault_model = build_fault_model(
+                FaultCampaignConfig(**params["faults"]),
+                substream(params["seed"], 1))
+        copies, n, k = params["copies"], params["n"], params["k"]
+        variation = NoVariation()
+        lifetimes = np.empty((1, copies, n))
+        stores = []
+        for copy in range(copies):
+            lifetimes[0, copy] = variation.sample_lifetimes(device, n, rng)
+            stores.append(BankKeyStore(secret, n, k, rng,
+                                       scheme=params["scheme"],
+                                       bank_id=copy,
+                                       fault_hook=fault_model))
+        key = (copies, n, k)
+        pool = self.pools.get(key)
+        if pool is None:
+            pool = self.pools[key] = _Pool(copies, n, k)
+        row = pool.add_row(lifetimes)
+        if fault_model is not None:
+            pool.dispatch.row_hooks[row] = vector_hook_for(fault_model)
+        tenant = TenantRecord(name, params, pool, row, stores, fault_model)
+        self.tenants[name] = tenant
+        return tenant
+
+    # ------------------------------------------------------------------
+    # The access path
+    def serve_round(self, names: list[str]) -> dict[str, dict]:
+        """Serve one coalesced round: at most one access per tenant.
+
+        Appends the round's access records to the WAL (one durable
+        write) *before* touching the engine, then executes one
+        ``step_access`` kernel call per pool and finishes each tenant's
+        keystore recovery.  Returns ``{tenant: response}``.
+        """
+        responses: dict[str, dict] = {}
+        live: list[TenantRecord] = []
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                raise ConfigurationError(
+                    f"round contains tenant {name!r} twice")
+            seen.add(name)
+            tenant = self.tenants.get(name)
+            if tenant is None:
+                responses[name] = denied(
+                    "unknown-tenant", f"tenant {name!r} is not provisioned",
+                    tenant=name)
+            elif tenant.exhausted:
+                responses[name] = self._exhausted_response(tenant)
+            else:
+                live.append(tenant)
+        if live:
+            self.ledger.append_batch(
+                [{"op": "access", "tenant": t.name} for t in live])
+            self._execute_round(live, responses)
+        self.rounds += 1
+        if OBS.enabled:
+            OBS.metrics.inc("svc.rounds")
+            OBS.metrics.observe("svc.batch_size", len(live))
+            OBS.metrics.set_gauge("svc.last_batch_size", len(live))
+        return responses
+
+    def _execute_round(self, live: list[TenantRecord],
+                       responses: dict[str, dict]) -> None:
+        """Run one kernel call per pool and build per-tenant responses."""
+        by_pool: dict[tuple[int, int, int], list[TenantRecord]] = {}
+        for tenant in live:
+            key = (tenant.pool.copies, tenant.pool.n, tenant.pool.k)
+            by_pool.setdefault(key, []).append(tenant)
+        results: dict[str, tuple[bool, int, np.ndarray]] = {}
+        for key, tenants in by_pool.items():
+            pool = self.pools[key]
+            mask = np.zeros(pool.state.instances, dtype=bool)
+            for tenant in tenants:
+                mask[tenant.row] = True
+            record: dict = {}
+            success = pool.state.step_access(mask, record=record)
+            for tenant in tenants:
+                results[tenant.name] = (
+                    bool(success[tenant.row]),
+                    int(record["served_copy"][tenant.row]),
+                    record["observed"][tenant.row])
+        for tenant in live:
+            served, copy, observed = results[tenant.name]
+            tenant.attempts += 1
+            if not served:
+                responses[tenant.name] = self._exhausted_response(tenant)
+                continue
+            closed = np.flatnonzero(observed).tolist()
+            try:
+                secret = tenant.stores[copy].recover(closed)
+            except CodingError as exc:
+                responses[tenant.name] = denied(
+                    "fault", str(exc), tenant=tenant.name,
+                    error=type(exc).__name__, attempts=tenant.attempts,
+                    served=tenant.served)
+                continue
+            tenant.served += 1
+            if OBS.enabled:
+                OBS.metrics.inc("svc.accesses_served")
+                OBS.metrics.inc("svc.wear_consumed", tenant.pool.n)
+            responses[tenant.name] = ok(
+                tenant=tenant.name, secret=secret.hex(), copy=copy,
+                attempts=tenant.attempts, served=tenant.served)
+
+    @staticmethod
+    def _exhausted_response(tenant: TenantRecord) -> dict:
+        return denied(
+            "exhausted",
+            f"tenant {tenant.name!r} exhausted after {tenant.attempts} "
+            f"attempts ({tenant.served} served)",
+            tenant=tenant.name, attempts=tenant.attempts,
+            served=tenant.served)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    def status(self, name: str | None = None) -> dict:
+        """Protocol response describing one tenant (or all of them)."""
+        if name is not None:
+            tenant = self.tenants.get(name)
+            if tenant is None:
+                return denied("unknown-tenant",
+                              f"tenant {name!r} is not provisioned",
+                              tenant=name)
+            return ok(tenant=name, **self._tenant_status(tenant))
+        return ok(rounds=self.rounds,
+                  tenants={t.name: self._tenant_status(t)
+                           for t in self.tenants.values()})
+
+    def _tenant_status(self, tenant: TenantRecord) -> dict:
+        state = tenant.pool.state
+        status = {
+            "attempts": tenant.attempts,
+            "served": tenant.served,
+            "exhausted": tenant.exhausted,
+            "current_copy": int(state.current[tenant.row]),
+            "dead_banks": int(state.bank_dead[tenant.row].sum()),
+            "remaining": int(state.remaining_capacity()[tenant.row]),
+            "wear_cycles": int(state.used[tenant.row].sum()),
+        }
+        if tenant.fault_model is not None:
+            status["injections"] = tenant.fault_model.injection_counts()
+        return status
+
+    # ------------------------------------------------------------------
+    # Durability
+    def write_snapshot(self) -> None:
+        """Persist every tenant's replay-checkable state."""
+        entries = []
+        for tenant in self.tenants.values():
+            state = tenant.pool.state
+            row = tenant.row
+            entries.append({
+                "tenant": tenant.name,
+                "attempts": tenant.attempts,
+                "served": tenant.served,
+                "used": state.used[row].tolist(),
+                "bank_accesses": state.bank_accesses[row].tolist(),
+                "bank_dead": state.bank_dead[row].tolist(),
+                "current": int(state.current[row]),
+                "total_accesses": int(state.total_accesses[row]),
+            })
+        self.ledger.write_snapshot(self.ledger.next_seq - 1, entries)
+
+    def recover(self) -> int:
+        """Rebuild the hub from the durable ledger; returns records seen.
+
+        Provision records rebuild tenants (consuming the same
+        fabrication draws); access records are re-executed.  Hook-free
+        tenants fast-forward through the closed form - restoring
+        snapshot arrays first when one exists, so the post-snapshot tail
+        resumes from a *touched* state - while fault tenants replay
+        stepped through their live fault RNG and are cross-checked
+        against the snapshot.  Any disagreement raises
+        :class:`~repro.errors.LedgerCorruptionError`.
+        """
+        snapshot, records = self.ledger.replay()
+        snap_map: dict[str, dict] = {}
+        last_seq = -1
+        if snapshot is not None:
+            last_seq = int(snapshot["meta"]["last_seq"])
+            snap_map = {entry["tenant"]: entry
+                        for entry in snapshot["results"]}
+        pending: dict[str, int] = {}
+
+        def flush_fast_forward() -> None:
+            for name, attempts in pending.items():
+                self._fast_forward(self.tenants[name], attempts)
+            pending.clear()
+
+        phase1 = [r for r in records if r["seq"] <= last_seq]
+        phase2 = [r for r in records if r["seq"] > last_seq]
+        for record in phase1:
+            self._replay_record(record, pending)
+        # Snapshot boundary: hook-free tenants restore their arrays
+        # directly (their pending phase-1 attempts are covered by the
+        # snapshot); fault tenants were stepped and must agree with it.
+        if snapshot is not None:
+            for name, tenant in self.tenants.items():
+                entry = snap_map.get(name)
+                if entry is None:
+                    raise LedgerCorruptionError(
+                        f"snapshot at seq {last_seq} is missing tenant "
+                        f"{name!r} provisioned earlier",
+                        path=self.ledger.snapshot_path, seq=last_seq)
+                if tenant.fault_model is None:
+                    pending.pop(name, None)
+                    self._restore_tenant(tenant, entry)
+                else:
+                    self._check_tenant(tenant, entry, last_seq)
+        for record in phase2:
+            self._replay_record(record, pending)
+        flush_fast_forward()
+        self.ledger.open_for_append()
+        if OBS.enabled:
+            OBS.event("svc.recovered", records=len(records),
+                      tenants=len(self.tenants),
+                      snapshot_seq=last_seq)
+        return len(records)
+
+    def _replay_record(self, record: dict, pending: dict[str, int]) -> None:
+        op = record.get("op")
+        if op == "provision":
+            response = self.provision(record, log=False)
+            if response["status"] != "ok":
+                raise LedgerCorruptionError(
+                    f"provision record {record['seq']} does not replay: "
+                    f"{response}", path=self.ledger.wal_path,
+                    seq=record["seq"])
+        elif op == "access":
+            name = record.get("tenant")
+            tenant = self.tenants.get(name)
+            if tenant is None:
+                raise LedgerCorruptionError(
+                    f"access record {record['seq']} names unknown tenant "
+                    f"{name!r}", path=self.ledger.wal_path,
+                    seq=record["seq"])
+            if tenant.fault_model is None:
+                # Coalesce: hook-free replay consumes no RNG, so the
+                # closed form applied once per tenant is exact.
+                pending[name] = pending.get(name, 0) + 1
+            else:
+                self._execute_round([tenant], {})
+        else:
+            raise LedgerCorruptionError(
+                f"WAL record {record['seq']} has unknown op {op!r}",
+                path=self.ledger.wal_path, seq=record.get("seq"))
+
+    def _fast_forward(self, tenant: TenantRecord, attempts: int) -> None:
+        """Apply ``attempts`` accesses to a hook-free tenant, closed form.
+
+        Runs on a detached single-row state so per-tenant attempt counts
+        can differ, then writes the arrays back into the pool row.  From
+        a pristine row this is the pristine closed form; after a
+        snapshot restore it exercises the touched-state resume.
+        """
+        pool, row = tenant.pool, tenant.row
+        state = pool.state
+        temp = WearState(state.lifetime[row:row + 1].copy(), pool.k)
+        temp.used[:] = state.used[row:row + 1]
+        temp.bank_accesses[:] = state.bank_accesses[row:row + 1]
+        temp.bank_dead[:] = state.bank_dead[row:row + 1]
+        temp.current[:] = state.current[row:row + 1]
+        temp.total_accesses[:] = state.total_accesses[row:row + 1]
+        served = int(temp.run_to_exhaustion(attempts)[0])
+        state.used[row] = temp.used[0]
+        state.bank_accesses[row] = temp.bank_accesses[0]
+        state.bank_dead[row] = temp.bank_dead[0]
+        state.current[row] = temp.current[0]
+        state.total_accesses[row] = temp.total_accesses[0]
+        tenant.attempts += attempts
+        tenant.served += served
+
+    def _restore_tenant(self, tenant: TenantRecord, entry: dict) -> None:
+        state = tenant.pool.state
+        row = tenant.row
+        state.used[row] = np.asarray(entry["used"], dtype=np.int64)
+        state.bank_accesses[row] = np.asarray(entry["bank_accesses"],
+                                              dtype=np.int64)
+        state.bank_dead[row] = np.asarray(entry["bank_dead"], dtype=bool)
+        state.current[row] = int(entry["current"])
+        state.total_accesses[row] = int(entry["total_accesses"])
+        tenant.attempts = int(entry["attempts"])
+        tenant.served = int(entry["served"])
+
+    def _check_tenant(self, tenant: TenantRecord, entry: dict,
+                      last_seq: int) -> None:
+        state = tenant.pool.state
+        row = tenant.row
+        replayed = {
+            "attempts": tenant.attempts,
+            "served": tenant.served,
+            "used": state.used[row].tolist(),
+            "bank_accesses": state.bank_accesses[row].tolist(),
+            "bank_dead": state.bank_dead[row].tolist(),
+            "current": int(state.current[row]),
+            "total_accesses": int(state.total_accesses[row]),
+        }
+        for field, value in replayed.items():
+            if entry.get(field) != value:
+                raise LedgerCorruptionError(
+                    f"tenant {tenant.name!r} replay disagrees with the "
+                    f"snapshot at seq {last_seq} on {field!r}: replayed "
+                    f"{value!r}, snapshot has {entry.get(field)!r}",
+                    path=self.ledger.snapshot_path, seq=last_seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WearHub(tenants={len(self.tenants)}, "
+                f"pools={len(self.pools)}, rounds={self.rounds})")

@@ -1,0 +1,248 @@
+"""The durable wear ledger: an append-only JSONL WAL plus snapshots.
+
+Device wear is irreversible, so the service's accounting must be too: a
+SIGKILL at any instant may lose an in-flight *response*, but never a
+recorded *attempt*.  The ledger gets that with the classic write-ahead
+discipline:
+
+- every state-changing operation (``provision``, ``access``) is appended
+  to ``wal.jsonl`` - one JSON object per line, with a strictly
+  increasing ``seq`` - and fsynced *before* the wear engine executes it;
+- a crash can tear at most the final line (one ``write`` syscall per
+  batch); recovery detects the torn tail (no trailing newline, or an
+  unparseable last line) and truncates it, exactly like the shard
+  ``.tmp`` handling in the parallel campaign engine.  Damage anywhere
+  else is *not* recoverable and raises
+  :class:`~repro.errors.LedgerCorruptionError` - a limited-use service
+  must refuse to serve off a wear history it cannot prove;
+- periodic snapshots (``snapshot.json``, written atomically through
+  :func:`repro.sim.checkpoint.save_checkpoint`) record the replayed
+  engine arrays at a known ``seq`` so recovery can fast-forward the
+  hook-free tenants through the closed form and cross-check the replay
+  against an independent record of the same history;
+- a directory-scoped advisory ``flock`` makes the ledger single-writer:
+  a second live instance opening the same directory is refused with
+  :class:`~repro.errors.ConfigurationError` (two in-memory copies of
+  one wear history would double-serve the same devices), and the lock
+  dies with the process so a SIGKILL never wedges the directory.
+
+The WAL is never truncated past a snapshot: fault-model tenants replay
+their access records through the live fault RNG from provision time, so
+the full history is the cheapest representation that is exact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.errors import ConfigurationError, LedgerCorruptionError
+from repro.obs.recorder import OBS
+from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = ["WearLedger", "WAL_NAME", "SNAPSHOT_NAME", "LOCK_NAME"]
+
+WAL_NAME = "wal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+LOCK_NAME = "lock"
+
+#: ``meta["kind"]`` tag distinguishing service snapshots from campaign
+#: checkpoints sharing the same on-disk schema.
+_SNAPSHOT_KIND = "svc-snapshot"
+
+
+class WearLedger:
+    """One service instance's durable wear history under ``directory``."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.wal_path = os.path.join(directory, WAL_NAME)
+        self.snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
+        self.lock_path = os.path.join(directory, LOCK_NAME)
+        self._handle = None
+        self._lock_handle = None
+        self._next_seq = 0
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next appended record will receive."""
+        return self._next_seq
+
+    # ------------------------------------------------------------------
+    # Single-writer guard
+    def _acquire_lock(self) -> None:
+        """Take the directory's exclusive advisory lock (idempotent).
+
+        Two live service instances on one ledger would each hold their
+        own in-memory wear state and double-spend the same devices, so
+        the first ``replay``/``open_for_append`` flocks ``lock`` for the
+        ledger's lifetime.  The lock dies with the process - a SIGKILL
+        never wedges the directory.
+        """
+        if self._lock_handle is not None or fcntl is None:
+            return
+        handle = open(self.lock_path, "ab")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            handle.close()
+            raise ConfigurationError(
+                f"wear ledger {self.directory} is already in use by a "
+                f"live instance; refusing to double-serve its wear") from exc
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_handle is not None:
+            self._lock_handle.close()
+            self._lock_handle = None
+
+    # ------------------------------------------------------------------
+    # Append path (the hot path: one write + fsync per batch)
+    def open_for_append(self) -> None:
+        """Open the WAL for appending; recovery must have run first."""
+        self._acquire_lock()
+        if self._handle is None:
+            self._handle = open(self.wal_path, "ab")
+
+    def append_batch(self, records: list[dict]) -> list[int]:
+        """Durably append ``records``, assigning consecutive seqs.
+
+        The batch goes down in one buffered write and one fsync, so a
+        kill can tear at most the final line - the case recovery
+        repairs.  Returns the assigned sequence numbers.  Callers must
+        only execute the recorded operations *after* this returns.
+        """
+        if self._handle is None:
+            self.open_for_append()
+        seqs = []
+        lines = []
+        for record in records:
+            stamped = dict(record)
+            stamped["seq"] = self._next_seq
+            seqs.append(self._next_seq)
+            self._next_seq += 1
+            lines.append(json.dumps(stamped, sort_keys=True,
+                                    separators=(",", ":")))
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
+        self._handle.write(payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        if OBS.enabled:
+            OBS.metrics.inc("svc.ledger_records", len(records))
+        return seqs
+
+    def append(self, record: dict) -> int:
+        """Durably append one record; returns its seq."""
+        return self.append_batch([record])[0]
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._release_lock()
+
+    # ------------------------------------------------------------------
+    # Recovery path
+    def replay(self) -> tuple[dict | None, list[dict]]:
+        """Load the durable history: ``(snapshot_payload, wal_records)``.
+
+        Truncates a torn trailing WAL record in place (returning the
+        intact prefix) and raises
+        :class:`~repro.errors.LedgerCorruptionError` on any other
+        damage: mid-file garbage, missing ``seq``/``op`` fields, or a
+        non-contiguous sequence.  Also primes the next append seq.
+        """
+        if self._handle is not None:
+            raise ConfigurationError(
+                "replay must run before the WAL is opened for append")
+        self._acquire_lock()
+        snapshot = self._load_snapshot()
+        records = self._load_wal()
+        expected = 0
+        for record in records:
+            if record.get("seq") != expected or "op" not in record:
+                raise LedgerCorruptionError(
+                    f"WAL record {expected} of {self.wal_path} is "
+                    f"damaged or out of sequence: {record!r}",
+                    path=self.wal_path, seq=expected)
+            expected += 1
+        self._next_seq = expected
+        if snapshot is not None:
+            last_seq = snapshot["meta"].get("last_seq", -1)
+            if last_seq >= expected:
+                raise LedgerCorruptionError(
+                    f"snapshot covers seq {last_seq} but the WAL ends at "
+                    f"{expected - 1}: the WAL lost durable history",
+                    path=self.snapshot_path, seq=last_seq)
+        return snapshot, records
+
+    def _load_snapshot(self) -> dict | None:
+        try:
+            payload = load_checkpoint(self.snapshot_path)
+        except ConfigurationError as exc:
+            raise LedgerCorruptionError(
+                f"unreadable service snapshot: {exc}",
+                path=self.snapshot_path) from exc
+        if payload is None:
+            return None
+        if payload["meta"].get("kind") != _SNAPSHOT_KIND:
+            raise LedgerCorruptionError(
+                f"{self.snapshot_path} is not a service snapshot",
+                path=self.snapshot_path)
+        return payload
+
+    def _load_wal(self) -> list[dict]:
+        if not os.path.exists(self.wal_path):
+            return []
+        with open(self.wal_path, "rb") as handle:
+            raw = handle.read()
+        if not raw:
+            return []
+        lines = raw.split(b"\n")
+        # A fully-written WAL ends with a newline, so the final split
+        # element is empty; anything else is the torn tail a kill during
+        # the batch write can leave.
+        torn_tail = lines.pop() != b""
+        records = []
+        offset = 0
+        for index, line in enumerate(lines):
+            try:
+                records.append(json.loads(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError) as exc:
+                if index == len(lines) - 1 and not torn_tail:
+                    # Unparseable *final* complete line: also torn (the
+                    # newline of the previous batch survived, the body
+                    # of the next did not finish).
+                    torn_tail = True
+                    break
+                raise LedgerCorruptionError(
+                    f"WAL line {index} of {self.wal_path} is damaged "
+                    f"before the tail: {exc}",
+                    path=self.wal_path, seq=index) from exc
+            offset += len(line) + 1
+        if torn_tail:
+            os.truncate(self.wal_path, offset)
+            if OBS.enabled:
+                OBS.metrics.inc("svc.ledger_torn_tails")
+                OBS.event("svc.ledger_truncated", path=self.wal_path,
+                          offset=offset)
+        return records
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    def write_snapshot(self, last_seq: int, tenants: list[dict]) -> None:
+        """Atomically persist the replayed state as of ``last_seq``."""
+        save_checkpoint(self.snapshot_path,
+                        meta={"kind": _SNAPSHOT_KIND, "last_seq": last_seq},
+                        results=tenants)
+        if OBS.enabled:
+            OBS.metrics.inc("svc.snapshots")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WearLedger({self.directory!r}, next_seq={self._next_seq})"

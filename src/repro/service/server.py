@@ -1,0 +1,271 @@
+"""The asyncio TCP front end of the limited-use authorization service.
+
+One :class:`WearService` owns a listener, a
+:class:`~repro.service.hub.WearHub` (engine state + durable ledger) and
+a :class:`~repro.service.batcher.RequestBatcher`.  Connections are
+handled concurrently; every request frame gets exactly one response
+frame - overload answers ``busy`` (queue-depth cap) or ``rate-limited``
+(per-tenant token bucket), never a silent drop.
+
+Lifecycle: :meth:`WearService.start` replays the ledger (so a SIGKILL'd
+predecessor's wear history is reconstructed exactly), starts serving,
+and optionally writes a ready file naming the bound port (the CI smoke
+leg binds port 0).  ``drain`` - the protocol op or SIGTERM/SIGINT -
+stops intake, flushes queued rounds, writes a final snapshot and exits
+cleanly.
+
+Rate-limit denials are deliberately *not* WAL-logged: they consume no
+wear and depend on wall-clock timing, which replay cannot reproduce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.recorder import OBS
+from repro.service.batcher import RequestBatcher
+from repro.service.hub import WearHub
+from repro.service.ledger import WearLedger
+from repro.service.protocol import denied, ok, read_frame, write_frame
+
+__all__ = ["ServiceConfig", "WearService", "run_service"]
+
+
+@dataclass
+class ServiceConfig:
+    """Everything that shapes one service instance."""
+
+    ledger_dir: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    window_s: float = 0.002
+    max_batch: int = 64
+    queue_cap: int = 256
+    rate_limit: float = 0.0      # per-tenant requests/s; 0 disables
+    rate_burst: int = 8
+    snapshot_every: int = 0      # rounds between snapshots; 0 = drain only
+    ready_file: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_cap < 1:
+            raise ConfigurationError("queue_cap must be >= 1")
+        if self.rate_limit < 0 or self.rate_burst < 1:
+            raise ConfigurationError(
+                "rate_limit must be >= 0 and rate_burst >= 1")
+        if self.snapshot_every < 0:
+            raise ConfigurationError("snapshot_every must be >= 0")
+
+
+class _TokenBucket:
+    """Classic token bucket; one per tenant."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: int) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = time.monotonic()
+
+    def allow(self) -> bool:
+        now = time.monotonic()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class WearService:
+    """A running (or about-to-run) service instance."""
+
+    config: ServiceConfig
+    hub: WearHub = field(init=False)
+    batcher: RequestBatcher = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.ledger = WearLedger(self.config.ledger_dir)
+        self.hub = WearHub(self.ledger)
+        self.batcher = RequestBatcher(self.hub,
+                                      window_s=self.config.window_s,
+                                      max_batch=self.config.max_batch)
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._done: asyncio.Event | None = None
+        self._draining = False
+        self._last_snapshot_round = 0
+        self.recovered_records = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Recover the ledger, bind the listener, announce readiness."""
+        self.recovered_records = self.hub.recover()
+        self._done = asyncio.Event()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        if self.config.ready_file:
+            payload = json.dumps({"host": host, "port": port})
+            tmp = f"{self.config.ready_file}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.config.ready_file)
+        if OBS.enabled:
+            OBS.event("svc.started", host=host, port=port,
+                      recovered=self.recovered_records)
+        return host, port
+
+    async def wait_closed(self) -> None:
+        await self._done.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: flush rounds, snapshot, release everything."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        await self.batcher.drain()
+        self.hub.write_snapshot()
+        self.ledger.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if OBS.enabled:
+            OBS.event("svc.drained", rounds=self.hub.rounds)
+        self._done.set()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ConfigurationError as exc:
+                    await write_frame(writer,
+                                      denied("bad-request", str(exc)))
+                    break
+                if request is None:
+                    break
+                response, drain_after = await self._dispatch(request)
+                await write_frame(writer, response)
+                if drain_after:
+                    # Shut down from a fresh task: shutdown waits for
+                    # open connections, which includes this handler.
+                    asyncio.get_running_loop().create_task(self.shutdown())
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: dict) -> tuple[dict, bool]:
+        op = request.get("op")
+        if OBS.enabled:
+            OBS.metrics.inc("svc.requests")
+        started = time.perf_counter()
+        try:
+            if op == "provision":
+                if self._draining:
+                    return denied("draining", "service is draining"), False
+                return self.hub.provision(request), False
+            if op == "access":
+                response = await self._access(request)
+                if OBS.enabled:
+                    OBS.metrics.observe("svc.request_latency_s",
+                                        time.perf_counter() - started)
+                return response, False
+            if op == "status":
+                return self._status(request), False
+            if op == "drain":
+                return self._drain_response(), True
+            return denied("bad-request", f"unknown op {op!r}"), False
+        except ReproError as exc:
+            return denied("error", str(exc),
+                          error=type(exc).__name__), False
+
+    async def _access(self, request: dict) -> dict:
+        tenant = request.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            return denied("bad-request", "tenant must be a non-empty string")
+        if self._draining:
+            return denied("draining", "service is draining", tenant=tenant)
+        if self.batcher.depth >= self.config.queue_cap:
+            if OBS.enabled:
+                OBS.metrics.inc("svc.busy")
+            return denied("busy",
+                          f"queue depth {self.batcher.depth} at cap "
+                          f"{self.config.queue_cap}; retry later",
+                          tenant=tenant)
+        if self.config.rate_limit:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = _TokenBucket(
+                    self.config.rate_limit, self.config.rate_burst)
+            if not bucket.allow():
+                if OBS.enabled:
+                    OBS.metrics.inc("svc.rate_limited")
+                return denied("rate-limited",
+                              f"tenant {tenant!r} exceeded "
+                              f"{self.config.rate_limit:g} requests/s",
+                              tenant=tenant)
+        response = await self.batcher.submit(tenant)
+        self._maybe_snapshot()
+        return response
+
+    def _maybe_snapshot(self) -> None:
+        every = self.config.snapshot_every
+        if not every:
+            return
+        if self.hub.rounds - self._last_snapshot_round >= every:
+            self._last_snapshot_round = self.hub.rounds
+            self.hub.write_snapshot()
+
+    def _status(self, request: dict) -> dict:
+        response = self.hub.status(request.get("tenant"))
+        if response["status"] == "ok" and "tenants" in response:
+            response["service"] = dict(self.batcher.stats(),
+                                       queue_depth=self.batcher.depth,
+                                       draining=self._draining,
+                                       recovered=self.recovered_records)
+        return response
+
+    def _drain_response(self) -> dict:
+        return ok(**self.batcher.stats())
+
+
+async def run_service(config: ServiceConfig) -> None:
+    """Run a service until drained (op or SIGTERM/SIGINT)."""
+    service = WearService(config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+
+    def _signal_drain() -> None:
+        loop.create_task(service.shutdown())
+
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, _signal_drain)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    try:
+        await service.wait_closed()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)

@@ -9,5 +9,11 @@ Three families of guarantees live here, one per module:
   *different* worker count bit-identical to an uninterrupted run;
 - ``test_fast_vs_hardware`` - the vectorized order-statistics simulator
   and the stateful switch-by-switch simulator agree statistically on a
-  seeded design grid.
+  seeded design grid;
+- ``test_service_batching`` - coalesced multi-tenant service rounds are
+  byte-identical to sequential handling (responses, wear arrays, WAL),
+  with and without fault models;
+- ``test_service_recovery`` - a SIGKILLed service instance recovers its
+  exact wear history from the durable ledger, truncating (never
+  absorbing) a torn trailing WAL record.
 """

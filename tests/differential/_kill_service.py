@@ -1,0 +1,26 @@
+"""Subprocess target for the SIGKILL service crash-recovery test.
+
+Runs one limited-use authorization service against a ledger directory
+given on the command line, announcing its bound port through a ready
+file.  The parent test drives accesses over the socket and SIGKILLs
+this process group mid-campaign; nothing here cooperates with the kill,
+which is the point.
+
+Usage: python _kill_service.py LEDGER_DIR READY_FILE
+"""
+
+import asyncio
+import sys
+
+
+def main() -> None:
+    ledger_dir, ready_file = sys.argv[1], sys.argv[2]
+    from repro.service.server import ServiceConfig, run_service
+
+    asyncio.run(run_service(ServiceConfig(
+        ledger_dir=ledger_dir, ready_file=ready_file,
+        window_s=0.001, snapshot_every=5)))
+
+
+if __name__ == "__main__":
+    main()

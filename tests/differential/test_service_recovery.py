@@ -1,0 +1,195 @@
+"""SIGKILL the service mid-campaign; recovery must be exact.
+
+The server runs in a subprocess (its own session, like the parallel
+campaign kill test), the parent drives a mixed fault/fault-free tenant
+population over the real socket, and the process group is SIGKILLed
+with the campaign mid-flight.  A torn trailing WAL record - the state a
+kill during the batch write leaves - is then simulated explicitly so the
+truncate-don't-absorb path is exercised deterministically.
+
+Recovery assertions:
+
+- the restarted service's per-tenant wear arrays equal an independent
+  sequential re-drive of the surviving WAL (no lost wear, no double
+  spend);
+- wear-on-disk >= wear-served: every ``ok`` response the client saw is
+  covered by a recovered attempt;
+- the torn fragment is truncated, not absorbed: the WAL after recovery
+  is byte-identical to its intact prefix.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.service.client import ServiceClient, tenant_population
+from repro.service.hub import WearHub
+from repro.service.ledger import WearLedger
+from repro.service.server import ServiceConfig, WearService
+
+KILL_TARGET = os.path.join(os.path.dirname(__file__), "_kill_service.py")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+READY_TIMEOUT_S = 60.0
+ACCESSES = 48
+
+
+def _provision_payloads() -> list[dict]:
+    payloads = tenant_population(
+        3, seed=7, faults={"misfire_rate": 0.1, "timeout_rate": 0.05})
+    payloads.append({
+        "tenant": "plain", "alpha": 9.0, "beta": 6.0, "n": 6, "k": 2,
+        "copies": 3, "seed": 7007, "secret": (b"\x5a" * 16).hex(),
+        "faults": None,
+    })
+    return payloads
+
+
+async def _drive_campaign(host: str, port: int) -> list[dict]:
+    client = await ServiceClient(host, port).connect()
+    payloads = _provision_payloads()
+    for payload in payloads:
+        response = await client.provision(**payload)
+        assert response["status"] == "ok", response
+    names = [payload["tenant"] for payload in payloads]
+    responses = []
+    for index in range(ACCESSES):
+        responses.append(await client.access(names[index % len(names)]))
+    await client.close()
+    return responses
+
+
+def _read_ready(path: str, proc: subprocess.Popen) -> tuple[str, int]:
+    import time
+
+    deadline = time.monotonic() + READY_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            stderr = proc.stderr.read().decode(errors="replace")
+            pytest.fail(f"server exited early (rc={proc.returncode}):\n"
+                        f"{stderr}")
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return payload["host"], int(payload["port"])
+        time.sleep(0.01)
+    pytest.fail(f"server ready file did not appear in {READY_TIMEOUT_S}s")
+
+
+def _sequential_reference(records: list[dict], ref_dir: str) -> WearHub:
+    """Re-drive the surviving WAL, one record at a time, on a fresh hub."""
+    hub = WearHub(WearLedger(ref_dir))
+    hub.ledger.open_for_append()
+    for record in records:
+        if record["op"] == "provision":
+            response = hub.provision(record)
+            assert response["status"] == "ok", response
+        else:
+            hub.serve_round([record["tenant"]])
+    hub.ledger.close()
+    return hub
+
+
+@pytest.mark.slow
+def test_sigkill_mid_campaign_recovers_exact_wear(tmp_path):
+    ledger_dir = str(tmp_path / "ledger")
+    ready_file = str(tmp_path / "ready.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [SRC_DIR, env.get("PYTHONPATH")]))
+    proc = subprocess.Popen(
+        [sys.executable, KILL_TARGET, ledger_dir, ready_file],
+        env=env, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+    try:
+        host, port = _read_ready(ready_file, proc)
+        responses = asyncio.run(_drive_campaign(host, port))
+        # Kill the whole session mid-campaign - no drain, no snapshot
+        # flush, exactly like a power cut.
+        os.killpg(proc.pid, signal.SIGKILL)
+        assert proc.wait(timeout=30) == -signal.SIGKILL
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        proc.stderr.close()
+
+    ok_by_tenant: dict[str, int] = {}
+    for response in responses:
+        if response["status"] == "ok":
+            tenant = response["tenant"]
+            ok_by_tenant[tenant] = ok_by_tenant.get(tenant, 0) + 1
+    assert sum(ok_by_tenant.values()) > 0, "campaign served nothing"
+
+    # Simulate the torn trailing record a kill during the WAL batch
+    # write leaves behind.
+    wal_path = os.path.join(ledger_dir, "wal.jsonl")
+    with open(wal_path, "rb") as handle:
+        intact = handle.read()
+    assert intact.endswith(b"\n")
+    with open(wal_path, "ab") as handle:
+        handle.write(b'{"op":"access","tenant":"plain","seq":99')
+    records = [json.loads(line) for line in intact.decode().splitlines()]
+
+    async def second_life():
+        service = WearService(ServiceConfig(ledger_dir=ledger_dir,
+                                            window_s=0.001))
+        await service.start()
+        arrays = {}
+        counters = {}
+        for name, tenant in service.hub.tenants.items():
+            state, row = tenant.pool.state, tenant.row
+            arrays[name] = {
+                "used": state.used[row].copy(),
+                "bank_accesses": state.bank_accesses[row].copy(),
+                "bank_dead": state.bank_dead[row].copy(),
+                "current": int(state.current[row]),
+                "total_accesses": int(state.total_accesses[row]),
+            }
+            counters[name] = (tenant.attempts, tenant.served)
+        recovered = service.recovered_records
+        await service.shutdown()
+        return arrays, counters, recovered
+
+    arrays, counters, recovered = asyncio.run(second_life())
+
+    # Every surviving record was recovered; the torn one was not.
+    assert recovered == len(records)
+    with open(wal_path, "rb") as handle:
+        assert handle.read() == intact, \
+            "torn WAL tail was absorbed instead of truncated"
+
+    # Wear continuity: replaying the same history sequentially on a
+    # fresh hub lands on identical arrays and counters.
+    reference = _sequential_reference(records, str(tmp_path / "reference"))
+    assert set(reference.tenants) == set(arrays)
+    for name, tenant in reference.tenants.items():
+        state, row = tenant.pool.state, tenant.row
+        assert np.array_equal(arrays[name]["used"], state.used[row])
+        assert np.array_equal(arrays[name]["bank_accesses"],
+                              state.bank_accesses[row])
+        assert np.array_equal(arrays[name]["bank_dead"],
+                              state.bank_dead[row])
+        assert arrays[name]["current"] == int(state.current[row])
+        assert arrays[name]["total_accesses"] \
+            == int(state.total_accesses[row])
+        assert counters[name] == (tenant.attempts, tenant.served)
+
+    # Wear-on-disk >= wear-served: every response the client actually
+    # received is covered by a recovered attempt; nothing double-spends.
+    wal_attempts: dict[str, int] = {}
+    for record in records:
+        if record["op"] == "access":
+            wal_attempts[record["tenant"]] = \
+                wal_attempts.get(record["tenant"], 0) + 1
+    for name, (attempts, served) in counters.items():
+        assert attempts == wal_attempts.get(name, 0)
+        assert served >= ok_by_tenant.get(name, 0), \
+            f"{name}: recovered served {served} < acknowledged " \
+            f"{ok_by_tenant.get(name, 0)}"

@@ -11,7 +11,12 @@ import pytest
 
 from repro.core.device import NEMSSwitch
 from repro.core.hardware import SerialCopies, SimulatedBank
-from repro.engine.hooks import ScalarHookAdapter, VectorFaultHook
+from repro.engine.hooks import (
+    ScalarHookAdapter,
+    VectorFaultHook,
+    VectorTransientMisfire,
+    vector_hook_for,
+)
 from repro.engine.state import WearState
 from repro.faults.injectors import (
     FaultModel,
@@ -63,6 +68,75 @@ class TestScalarHookAdapter:
             state, np.array([0, 1]), np.array([0, 0]), closed)
         assert observed.shape == closed.shape
         assert observed.dtype == np.bool_
+
+
+class TestVectorTransientMisfire:
+    """The native batched misfire must replay the scalar fault-RNG stream.
+
+    The scalar injector draws one uniform per closed switch in
+    instance-major, switch-index order; the vector implementation draws
+    one batch over the same positions.  PCG64 guarantees the streams
+    are equal, so final state, served counts and injection totals must
+    all match bit for bit.
+    """
+
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("rate", [0.0, 0.05, 0.3, 1.0])
+    def test_bit_identical_to_scalar_adapter(self, k, rate):
+        lifetimes = np.random.default_rng(21).uniform(
+            0.0, 6.0, size=(3, 3, 4))
+        scalar_model = FaultModel([TransientMisfire(rate)], seed=77)
+        vector_model = FaultModel([TransientMisfire(rate)], seed=77)
+        reference = WearState(lifetimes.copy(), k,
+                              vector_hook=ScalarHookAdapter(scalar_model))
+        native = WearState(
+            lifetimes.copy(), k,
+            vector_hook=VectorTransientMisfire(vector_model.injectors[0],
+                                               vector_model.rng))
+        served_ref = reference.run_to_exhaustion(150)
+        served_native = native.run_to_exhaustion(150)
+        assert np.array_equal(served_ref, served_native)
+        for array in ("used", "bank_accesses", "bank_dead", "current",
+                      "total_accesses"):
+            assert np.array_equal(getattr(reference, array),
+                                  getattr(native, array)), array
+        assert (scalar_model.total_injections
+                == vector_model.total_injections)
+        # Both consumed the same number of fault draws.
+        assert (scalar_model.rng.bit_generator.state
+                == vector_model.rng.bit_generator.state)
+
+    def test_is_a_vector_fault_hook(self):
+        model = FaultModel([TransientMisfire(0.1)], seed=0)
+        hook = VectorTransientMisfire(model.injectors[0], model.rng)
+        assert isinstance(hook, VectorFaultHook)
+
+
+class TestVectorHookFor:
+    def test_none_stays_none(self):
+        assert vector_hook_for(None) is None
+
+    def test_lone_misfire_goes_native(self):
+        model = FaultModel([TransientMisfire(0.2)], seed=3)
+        hook = vector_hook_for(model)
+        assert isinstance(hook, VectorTransientMisfire)
+        assert hook.injector is model.injectors[0]
+        assert hook.rng is model.rng
+
+    def test_mixed_pipeline_falls_back_to_adapter(self):
+        model = FaultModel([TransientMisfire(0.2),
+                            StuckClosedConversion(0.5)], seed=3)
+        hook = vector_hook_for(model)
+        assert isinstance(hook, ScalarHookAdapter)
+        assert hook.hook is model
+
+    def test_non_model_hook_falls_back_to_adapter(self):
+        class Custom:
+            def on_switch_actuate(self, switch, closed):
+                return closed
+
+        hook = vector_hook_for(Custom())
+        assert isinstance(hook, ScalarHookAdapter)
 
 
 class TestVectorHookSite:

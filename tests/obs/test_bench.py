@@ -7,11 +7,13 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
+    MEMORY_WORKLOADS,
     SCALES,
     SCALING_WORKERS,
     compare_bench_reports,
     measure_disabled_overhead,
     measure_engine_speedup,
+    measure_memory_ceilings,
     measure_parallel_scaling,
     render_bench_comparison,
     render_bench_report,
@@ -40,7 +42,8 @@ class TestBenchSuite:
         names = {w["name"] for w in tiny_report["workloads"]}
         assert names == {"mc.fast", "mc.checkpointed", "mc.hardware",
                          "faults.campaign", "replay.trace",
-                         "pads.traverse", "checkpoint.roundtrip"}
+                         "pads.traverse", "checkpoint.roundtrip",
+                         "svc.loadgen"}
         for workload in tiny_report["workloads"]:
             assert workload["units"] > 0
             assert workload["wall_s"]["min"] > 0
@@ -186,6 +189,63 @@ class TestEngineSection:
             measure_engine_speedup(1, repeats=0)
 
 
+class TestServiceSection:
+    def test_report_carries_the_service_load(self, tiny_report):
+        service = tiny_report["service"]
+        assert service["workload"] == "svc.loadgen"
+        assert service["tenants"] == SCALES["tiny"]["svc_tenants"]
+        assert service["requests"] == SCALES["tiny"]["svc_requests"]
+        assert service["served"] > 0
+        assert service["requests_per_s"] > 0
+        assert service["rounds"] > 0
+        assert service["batch_size_mean"] > 0
+        assert sum(service["outcomes"].values()) == service["requests"]
+
+    def test_render_includes_the_service_line(self, tiny_report):
+        text = render_bench_report(tiny_report)
+        assert "service load" in text
+        assert "req/s" in text
+
+
+class TestMemorySection:
+    def test_report_carries_peak_rss_ceilings(self, tiny_report):
+        memory = tiny_report["memory"]
+        assert [row["name"] for row in memory["workloads"]] \
+            == list(MEMORY_WORKLOADS)
+        for row in memory["workloads"]:
+            assert row["peak_rss_bytes"] > 0
+            assert row["peak_rss_mib"] \
+                == pytest.approx(row["peak_rss_bytes"] / 2**20)
+
+    def test_render_includes_the_ceilings(self, tiny_report):
+        text = render_bench_report(tiny_report)
+        assert "peak RSS ceilings" in text
+
+    def test_unknown_memory_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_memory_ceilings("tiny", workloads=("brand.new",))
+        with pytest.raises(ConfigurationError):
+            measure_memory_ceilings("galactic")
+
+    def test_schema_2_accepted_without_service_and_memory(self, tiny_report):
+        v2 = json.loads(json.dumps(tiny_report))
+        v2["schema_version"] = 2
+        del v2["service"]
+        del v2["memory"]
+        validate_bench_report(v2)
+
+    def test_schema_3_requires_both_sections(self, tiny_report):
+        for section in ("service", "memory"):
+            broken = json.loads(json.dumps(tiny_report))
+            del broken[section]
+            with pytest.raises(ConfigurationError):
+                validate_bench_report(broken)
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["memory"]["workloads"][0]["peak_rss_bytes"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
+
+
 class TestCompare:
     def test_self_comparison_has_no_regressions(self, tiny_report):
         comparison = compare_bench_reports(tiny_report, tiny_report)
@@ -235,6 +295,24 @@ class TestCompare:
     def test_threshold_validated(self, tiny_report):
         with pytest.raises(ConfigurationError):
             compare_bench_reports(tiny_report, tiny_report, threshold=0.0)
+
+    def test_memory_growth_beyond_threshold_is_flagged(self, tiny_report):
+        fatter = json.loads(json.dumps(tiny_report))
+        fatter["memory"]["workloads"][0]["peak_rss_bytes"] *= 2
+        comparison = compare_bench_reports(tiny_report, fatter,
+                                           threshold=0.2)
+        assert comparison["regressions"] == [f"mem.{MEMORY_WORKLOADS[0]}"]
+        text = render_bench_comparison(comparison)
+        assert "peak RSS ceilings" in text
+        assert "REGRESSED" in text
+
+    def test_memory_shrink_is_never_a_regression(self, tiny_report):
+        slimmer = json.loads(json.dumps(tiny_report))
+        for row in slimmer["memory"]["workloads"]:
+            row["peak_rss_bytes"] //= 2
+        comparison = compare_bench_reports(tiny_report, slimmer,
+                                           threshold=0.2)
+        assert comparison["regressions"] == []
 
     def test_comparison_is_json_serializable(self, tiny_report):
         comparison = compare_bench_reports(tiny_report, tiny_report)

@@ -1,0 +1,14 @@
+"""Tests for the limited-use authorization service (``repro.service``).
+
+- ``test_protocol`` - frame encoding, torn/oversized frame handling;
+- ``test_ledger`` - WAL append/replay, torn-tail truncation, sequence
+  validation, snapshot round-trips;
+- ``test_hub`` - provisioning, round serving, and byte-identity of a
+  hub tenant's secret sequence with a standalone
+  :class:`~repro.connection.architecture.LimitedUseConnection`;
+- ``test_server`` - the asyncio front end over real loopback sockets:
+  backpressure, rate limiting, graceful drain, ready files.
+
+The cross-cutting differential guarantees (batched vs sequential,
+SIGKILL crash recovery) live in ``tests/differential``.
+"""

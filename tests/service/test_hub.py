@@ -1,0 +1,157 @@
+"""Tests for the multi-tenant wear hub (provisioning, rounds, recovery)."""
+
+import pytest
+
+from repro.connection.architecture import LimitedUseConnection
+from repro.core.degradation import PAPER_CRITERIA, DesignPoint
+from repro.core.weibull import WeibullDistribution
+from repro.errors import ConfigurationError, DeviceWornOutError
+from repro.service.hub import WearHub
+from repro.service.ledger import WearLedger
+from repro.sim.rng import make_rng
+
+ALPHA, BETA, N, K, COPIES, SEED = 9.0, 6.0, 6, 2, 3, 42
+SECRET = bytes(range(16))
+
+
+def _provision_request(name="t0", *, seed=SEED, faults=None, **overrides):
+    request = {"op": "provision", "tenant": name, "alpha": ALPHA,
+               "beta": BETA, "n": N, "k": K, "copies": COPIES,
+               "seed": seed, "secret": SECRET.hex(), "faults": faults}
+    request.update(overrides)
+    return request
+
+
+@pytest.fixture
+def hub(tmp_path):
+    hub = WearHub(WearLedger(str(tmp_path)))
+    hub.ledger.open_for_append()
+    yield hub
+    hub.ledger.close()
+
+
+class TestProvision:
+    def test_provision_reports_capacity(self, hub):
+        response = hub.provision(_provision_request())
+        assert response["status"] == "ok"
+        assert response["capacity"] > 0
+        assert response["copies"] == COPIES
+
+    def test_duplicate_name_denied(self, hub):
+        hub.provision(_provision_request())
+        assert hub.provision(_provision_request())["status"] == "exists"
+
+    def test_invalid_parameters_denied(self, hub):
+        for bad in (_provision_request(k=0),
+                    _provision_request(secret="not hex"),
+                    _provision_request(secret=""),
+                    _provision_request(faults={"unknown_field": 1}),
+                    {"op": "provision", "tenant": "t"}):
+            assert hub.provision(bad)["status"] == "bad-request"
+
+    def test_same_shape_tenants_share_a_pool(self, hub):
+        hub.provision(_provision_request("a", seed=1))
+        hub.provision(_provision_request("b", seed=2))
+        hub.provision(_provision_request("c", seed=3, n=4, k=2))
+        assert len(hub.pools) == 2
+        assert hub.tenants["a"].pool is hub.tenants["b"].pool
+        assert hub.tenants["a"].row != hub.tenants["b"].row
+
+
+class TestServeRound:
+    def test_unknown_tenant_denied(self, hub):
+        responses = hub.serve_round(["ghost"])
+        assert responses["ghost"]["status"] == "unknown-tenant"
+
+    def test_duplicate_tenant_in_round_rejected(self, hub):
+        hub.provision(_provision_request())
+        with pytest.raises(ConfigurationError):
+            hub.serve_round(["t0", "t0"])
+
+    def test_round_serves_each_tenant_its_own_secret(self, hub):
+        hub.provision(_provision_request("a", seed=1))
+        hub.provision(_provision_request("b", seed=2,
+                                         secret=(b"\xaa" * 16).hex()))
+        responses = hub.serve_round(["a", "b"])
+        assert responses["a"]["status"] == "ok"
+        assert responses["a"]["secret"] == SECRET.hex()
+        assert responses["b"]["secret"] == (b"\xaa" * 16).hex()
+
+    def test_exhaustion_is_an_explicit_denial(self, hub):
+        hub.provision(_provision_request())
+        last = None
+        for _ in range(10_000):
+            response = hub.serve_round(["t0"])["t0"]
+            if response["status"] != "ok":
+                last = response
+                break
+        assert last is not None, "tenant never exhausted"
+        assert last["status"] == "exhausted"
+        assert last["served"] > 0
+        assert hub.tenants["t0"].exhausted
+        # Post-exhaustion accesses are denied without touching the WAL.
+        before = hub.ledger.next_seq
+        assert hub.serve_round(["t0"])["t0"]["status"] == "exhausted"
+        assert hub.ledger.next_seq == before
+
+    def test_accesses_are_logged_before_execution(self, hub):
+        hub.provision(_provision_request())
+        hub.serve_round(["t0"])
+        assert hub.ledger.next_seq == 2  # provision + access
+
+
+class TestStatus:
+    def test_single_tenant_status(self, hub):
+        hub.provision(_provision_request())
+        hub.serve_round(["t0"])
+        status = hub.status("t0")
+        assert status["status"] == "ok"
+        assert status["attempts"] == 1
+        assert status["served"] == 1
+        assert status["wear_cycles"] > 0
+        assert status["remaining"] > 0
+
+    def test_all_tenants_status(self, hub):
+        hub.provision(_provision_request("a", seed=1))
+        hub.provision(_provision_request("b", seed=2))
+        status = hub.status()
+        assert set(status["tenants"]) == {"a", "b"}
+        assert hub.status("ghost")["status"] == "unknown-tenant"
+
+    def test_fault_tenant_reports_injections(self, hub):
+        hub.provision(_provision_request(faults={"misfire_rate": 0.2}))
+        for _ in range(20):
+            hub.serve_round(["t0"])
+        status = hub.status("t0")
+        assert "injections" in status
+
+
+class TestConnectionEquivalence:
+    """A hub tenant must be the *same device* as a standalone connection.
+
+    Same seed, same architecture: the service's pooled, vectorized
+    tenant must serve byte-identical secrets for exactly as many
+    accesses as a sequentially-driven
+    :class:`~repro.connection.architecture.LimitedUseConnection`.
+    """
+
+    def test_secret_sequence_and_bound_match(self, hub):
+        hub.provision(_provision_request())
+        design = DesignPoint(
+            device=WeibullDistribution(alpha=ALPHA, beta=BETA),
+            n=N, k=K, t=1, copies=COPIES, access_bound=1,
+            criteria=PAPER_CRITERIA)
+        connection = LimitedUseConnection(design, SECRET, make_rng(SEED))
+
+        served = 0
+        while True:
+            response = hub.serve_round(["t0"])["t0"]
+            if response["status"] != "ok":
+                break
+            assert bytes.fromhex(response["secret"]) == connection.read_key()
+            assert response["copy"] == connection.current_copy
+            served += 1
+        assert served > 0
+        with pytest.raises(DeviceWornOutError):
+            connection.read_key()
+        assert connection.is_exhausted

@@ -1,0 +1,192 @@
+"""Tests for the durable wear ledger (WAL + snapshots)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError, LedgerCorruptionError
+from repro.service.ledger import WearLedger
+
+
+def _wal_bytes(ledger: WearLedger) -> bytes:
+    with open(ledger.wal_path, "rb") as handle:
+        return handle.read()
+
+
+class TestAppend:
+    def test_batch_assigns_consecutive_seqs(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        assert ledger.append({"op": "provision", "tenant": "a"}) == 0
+        assert ledger.append_batch(
+            [{"op": "access", "tenant": "a"},
+             {"op": "access", "tenant": "b"}]) == [1, 2]
+        assert ledger.next_seq == 3
+        ledger.close()
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        ledger.append_batch([{"op": "access", "tenant": "a"},
+                             {"op": "access", "tenant": "b"}])
+        ledger.close()
+        lines = _wal_bytes(ledger).decode().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1]
+
+    def test_replay_refuses_an_open_ledger(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        ledger.open_for_append()
+        with pytest.raises(ConfigurationError):
+            ledger.replay()
+        ledger.close()
+
+
+class TestSingleWriter:
+    def test_second_live_instance_is_refused(self, tmp_path):
+        first = WearLedger(str(tmp_path))
+        first.open_for_append()
+        second = WearLedger(str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            second.open_for_append()
+        with pytest.raises(ConfigurationError):
+            second.replay()
+        first.close()
+
+    def test_lock_is_released_on_close(self, tmp_path):
+        first = WearLedger(str(tmp_path))
+        first.append({"op": "provision", "tenant": "a"})
+        first.close()
+        second = WearLedger(str(tmp_path))
+        _, records = second.replay()
+        assert len(records) == 1
+        second.open_for_append()
+        second.close()
+
+    def test_replay_then_append_holds_one_lock(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        ledger.replay()
+        ledger.open_for_append()
+        ledger.append({"op": "provision", "tenant": "a"})
+        ledger.close()
+
+
+class TestReplay:
+    def test_roundtrip(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        ledger.append({"op": "provision", "tenant": "a"})
+        ledger.append({"op": "access", "tenant": "a"})
+        ledger.close()
+
+        fresh = WearLedger(str(tmp_path))
+        snapshot, records = fresh.replay()
+        assert snapshot is None
+        assert [r["op"] for r in records] == ["provision", "access"]
+        assert fresh.next_seq == 2
+
+    def test_empty_directory_replays_empty(self, tmp_path):
+        snapshot, records = WearLedger(str(tmp_path)).replay()
+        assert snapshot is None
+        assert records == []
+
+    def test_non_contiguous_seq_is_corruption(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        with open(ledger.wal_path, "w") as handle:
+            handle.write('{"op":"access","seq":0,"tenant":"a"}\n')
+            handle.write('{"op":"access","seq":2,"tenant":"a"}\n')
+        with pytest.raises(LedgerCorruptionError):
+            ledger.replay()
+
+    def test_missing_op_is_corruption(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        with open(ledger.wal_path, "w") as handle:
+            handle.write('{"seq":0,"tenant":"a"}\n')
+        with pytest.raises(LedgerCorruptionError):
+            ledger.replay()
+
+
+class TestTornTail:
+    def _seed_wal(self, tmp_path) -> WearLedger:
+        ledger = WearLedger(str(tmp_path))
+        ledger.append_batch([{"op": "access", "tenant": "a"},
+                             {"op": "access", "tenant": "b"}])
+        ledger.close()
+        return ledger
+
+    def test_unterminated_final_line_is_truncated(self, tmp_path):
+        ledger = self._seed_wal(tmp_path)
+        good = _wal_bytes(ledger)
+        with open(ledger.wal_path, "ab") as handle:
+            handle.write(b'{"op":"access","seq":2,"ten')
+        fresh = WearLedger(str(tmp_path))
+        _, records = fresh.replay()
+        assert [r["seq"] for r in records] == [0, 1]
+        assert _wal_bytes(fresh) == good
+        assert fresh.next_seq == 2
+
+    def test_unparseable_final_complete_line_is_truncated(self, tmp_path):
+        ledger = self._seed_wal(tmp_path)
+        good = _wal_bytes(ledger)
+        with open(ledger.wal_path, "ab") as handle:
+            handle.write(b'{"op":"access","broken\n')
+        fresh = WearLedger(str(tmp_path))
+        _, records = fresh.replay()
+        assert [r["seq"] for r in records] == [0, 1]
+        assert _wal_bytes(fresh) == good
+
+    def test_append_resumes_after_truncation(self, tmp_path):
+        ledger = self._seed_wal(tmp_path)
+        with open(ledger.wal_path, "ab") as handle:
+            handle.write(b"torn")
+        fresh = WearLedger(str(tmp_path))
+        fresh.replay()
+        assert fresh.append({"op": "access", "tenant": "c"}) == 2
+        fresh.close()
+        lines = _wal_bytes(fresh).decode().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1, 2]
+
+    def test_mid_file_damage_is_not_absorbed(self, tmp_path):
+        ledger = self._seed_wal(tmp_path)
+        raw = _wal_bytes(ledger).splitlines(keepends=True)
+        with open(ledger.wal_path, "wb") as handle:
+            handle.write(b"garbage not json\n")
+            handle.writelines(raw)
+        with pytest.raises(LedgerCorruptionError):
+            WearLedger(str(tmp_path)).replay()
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrip(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        ledger.append({"op": "provision", "tenant": "a"})
+        ledger.write_snapshot(0, [{"tenant": "a", "served": 0}])
+        ledger.close()
+        snapshot, records = WearLedger(str(tmp_path)).replay()
+        assert snapshot["meta"]["last_seq"] == 0
+        assert snapshot["results"] == [{"tenant": "a", "served": 0}]
+        assert len(records) == 1
+
+    def test_snapshot_ahead_of_wal_is_corruption(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        ledger.append({"op": "provision", "tenant": "a"})
+        ledger.write_snapshot(5, [])
+        ledger.close()
+        with pytest.raises(LedgerCorruptionError):
+            WearLedger(str(tmp_path)).replay()
+
+    def test_foreign_checkpoint_kind_rejected(self, tmp_path):
+        from repro.sim.checkpoint import save_checkpoint
+
+        ledger = WearLedger(str(tmp_path))
+        save_checkpoint(ledger.snapshot_path,
+                        meta={"kind": "campaign", "last_seq": 0},
+                        results=[])
+        with pytest.raises(LedgerCorruptionError):
+            ledger.replay()
+
+    def test_corruption_error_carries_context(self, tmp_path):
+        ledger = WearLedger(str(tmp_path))
+        with open(ledger.wal_path, "w") as handle:
+            handle.write('{"op":"access","seq":7,"tenant":"a"}\n')
+        with pytest.raises(LedgerCorruptionError) as excinfo:
+            ledger.replay()
+        assert excinfo.value.path == ledger.wal_path
+        assert os.path.exists(ledger.wal_path)

@@ -1,0 +1,264 @@
+"""End-to-end tests of the asyncio service over real loopback sockets.
+
+``pytest-asyncio`` is not a dependency here, so every test is a sync
+function driving one ``asyncio.run`` scenario.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.client import (
+    ServiceClient,
+    read_ready_file,
+    run_loadgen,
+    tenant_population,
+)
+from repro.service.server import ServiceConfig, WearService
+
+pytestmark = pytest.mark.slow
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    settings = {"ledger_dir": str(tmp_path / "ledger"),
+                "window_s": 0.001}
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+async def _with_service(config, scenario):
+    """Start a service, run ``scenario(host, port, service)``, drain."""
+    service = WearService(config)
+    host, port = await service.start()
+    try:
+        return await scenario(host, port, service)
+    finally:
+        await service.shutdown()
+
+
+class TestConfig:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            _config(tmp_path, queue_cap=0)
+        with pytest.raises(ConfigurationError):
+            _config(tmp_path, rate_limit=-1.0)
+        with pytest.raises(ConfigurationError):
+            _config(tmp_path, rate_burst=0)
+        with pytest.raises(ConfigurationError):
+            _config(tmp_path, snapshot_every=-1)
+
+
+class TestServing:
+    def test_provision_access_status(self, tmp_path):
+        async def scenario(host, port, service):
+            client = await ServiceClient(host, port).connect()
+            payload = tenant_population(1, seed=3)[0]
+            provisioned = await client.provision(**payload)
+            assert provisioned["status"] == "ok"
+            assert provisioned["capacity"] > 0
+
+            response = await client.access("tenant-000")
+            assert response["status"] == "ok"
+            assert response["served"] == 1
+            assert bytes.fromhex(response["secret"])
+
+            status = await client.status("tenant-000")
+            assert status["served"] == 1
+            everyone = await client.status()
+            assert everyone["service"]["requests"] == 1
+            assert everyone["service"]["draining"] is False
+            await client.close()
+
+        asyncio.run(_with_service(_config(tmp_path), scenario))
+
+    def test_unknown_ops_and_tenants_are_denials(self, tmp_path):
+        async def scenario(host, port, service):
+            client = await ServiceClient(host, port).connect()
+            assert (await client.request({"op": "dance"}))["status"] \
+                == "bad-request"
+            assert (await client.access("ghost"))["status"] \
+                == "unknown-tenant"
+            assert (await client.request({"op": "access"}))["status"] \
+                == "bad-request"
+            await client.close()
+
+        asyncio.run(_with_service(_config(tmp_path), scenario))
+
+    def test_concurrent_clients_are_batched(self, tmp_path):
+        async def scenario(host, port, service):
+            admin = await ServiceClient(host, port).connect()
+            for payload in tenant_population(3, seed=5):
+                await admin.provision(**payload)
+
+            async def one_access(name):
+                client = await ServiceClient(host, port).connect()
+                response = await client.access(name)
+                await client.close()
+                return response
+
+            responses = await asyncio.gather(
+                *(one_access(f"tenant-{i:03d}") for i in range(3)))
+            assert all(r["status"] == "ok" for r in responses)
+            stats = service.batcher.stats()
+            await admin.close()
+            return stats
+
+        stats = asyncio.run(_with_service(_config(tmp_path), scenario))
+        # Three concurrent requests over distinct tenants coalesce into
+        # fewer rounds than requests (usually one).
+        assert stats["rounds"] < 3
+        assert stats["batch_size_max"] >= 2
+
+    def test_rate_limit_answers_denial_not_drop(self, tmp_path):
+        async def scenario(host, port, service):
+            client = await ServiceClient(host, port).connect()
+            await client.provision(**tenant_population(1, seed=9)[0])
+            outcomes = []
+            for _ in range(6):
+                response = await client.access("tenant-000")
+                outcomes.append(response["status"])
+            await client.close()
+            return outcomes
+
+        outcomes = asyncio.run(_with_service(
+            _config(tmp_path, rate_limit=0.001, rate_burst=2), scenario))
+        assert outcomes.count("rate-limited") == 4
+        assert [s for s in outcomes if s != "rate-limited"] == ["ok", "ok"]
+
+    def test_queue_cap_answers_busy(self, tmp_path):
+        async def scenario(host, port, service):
+            client = await ServiceClient(host, port).connect()
+            await client.provision(**tenant_population(1, seed=11)[0])
+            # Pause the batcher loop by replacing the hub round; simpler:
+            # fill the queue faster than the (long-window) batcher drains.
+            async def one_access():
+                c = await ServiceClient(host, port).connect()
+                response = await c.access("tenant-000")
+                await c.close()
+                return response["status"]
+
+            statuses = await asyncio.gather(
+                *(one_access() for _ in range(8)))
+            await client.close()
+            return statuses
+
+        statuses = asyncio.run(_with_service(
+            _config(tmp_path, window_s=0.2, queue_cap=2), scenario))
+        assert "busy" in statuses
+        # Every request got exactly one answer; nothing was dropped.
+        assert len(statuses) == 8
+        assert set(statuses) <= {"ok", "busy", "exhausted"}
+
+
+class TestDrain:
+    def test_drain_op_flushes_and_stops(self, tmp_path):
+        config = _config(tmp_path)
+
+        async def scenario():
+            service = WearService(config)
+            host, port = await service.start()
+            client = await ServiceClient(host, port).connect()
+            await client.provision(**tenant_population(1, seed=13)[0])
+            await client.access("tenant-000")
+            drained = await client.drain()
+            assert drained["status"] == "ok"
+            assert drained["requests"] == 1
+            await client.close()
+            await asyncio.wait_for(service.wait_closed(), timeout=10)
+
+        asyncio.run(scenario())
+        # The drain snapshot covers the whole WAL.
+        snapshot = json.loads(
+            (tmp_path / "ledger" / "snapshot.json").read_text())
+        assert snapshot["meta"]["kind"] == "svc-snapshot"
+        assert snapshot["meta"]["last_seq"] == 1
+
+    def test_draining_service_denies_new_work(self, tmp_path):
+        async def scenario():
+            service = WearService(_config(tmp_path))
+            host, port = await service.start()
+            client = await ServiceClient(host, port).connect()
+            await client.provision(**tenant_population(1, seed=17)[0])
+            await client.drain()
+            await service.wait_closed()
+            fresh = ServiceClient(host, port)
+            with pytest.raises((ConnectionRefusedError, ConfigurationError,
+                                ConnectionResetError)):
+                await fresh.access("tenant-000")
+            await fresh.close()
+
+        asyncio.run(scenario())
+
+    def test_restart_resumes_served_counts(self, tmp_path):
+        config = _config(tmp_path)
+
+        async def first_life():
+            service = WearService(config)
+            host, port = await service.start()
+            client = await ServiceClient(host, port).connect()
+            await client.provision(**tenant_population(1, seed=19)[0])
+            for _ in range(3):
+                await client.access("tenant-000")
+            status = await client.status("tenant-000")
+            await client.close()
+            await service.shutdown()
+            return status
+
+        async def second_life():
+            service = WearService(config)
+            host, port = await service.start()
+            client = await ServiceClient(host, port).connect()
+            status = await client.status("tenant-000")
+            await client.close()
+            await service.shutdown()
+            return status, service.recovered_records
+
+        before = asyncio.run(first_life())
+        after, recovered = asyncio.run(second_life())
+        assert recovered == 4  # provision + 3 accesses
+        for field in ("attempts", "served", "remaining", "wear_cycles",
+                      "current_copy", "dead_banks"):
+            assert after[field] == before[field]
+
+
+class TestReadyFile:
+    def test_ready_file_names_the_bound_port(self, tmp_path):
+        ready = str(tmp_path / "ready.json")
+
+        async def scenario(host, port, service):
+            assert read_ready_file(ready, timeout_s=5) == (host, port)
+
+        asyncio.run(_with_service(
+            _config(tmp_path, ready_file=ready), scenario))
+
+    def test_missing_ready_file_times_out(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_ready_file(str(tmp_path / "never.json"), timeout_s=0.1)
+
+
+class TestLoadgen:
+    def test_loadgen_reports_every_outcome(self, tmp_path):
+        async def scenario(host, port, service):
+            return await run_loadgen(host, port, tenants=3, requests=30,
+                                     concurrency=4, seed=23)
+
+        stats = asyncio.run(_with_service(_config(tmp_path), scenario))
+        assert stats["requests"] == 30
+        assert sum(stats["outcomes"].values()) == 30
+        assert stats["served"] > 0
+        assert stats["service"]["rounds"] > 0
+
+    def test_loadgen_is_idempotent_over_provisioning(self, tmp_path):
+        async def scenario(host, port, service):
+            first = await run_loadgen(host, port, tenants=2, requests=4,
+                                      concurrency=2, seed=29)
+            second = await run_loadgen(host, port, tenants=2, requests=4,
+                                       concurrency=2, seed=29)
+            return first, second
+
+        first, second = asyncio.run(
+            _with_service(_config(tmp_path), scenario))
+        assert first["provisioned"] == 2
+        assert second["provisioned"] == 0  # already there, tolerated
