@@ -457,6 +457,7 @@ def cmd_serve(args) -> int:
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
         snapshot_every=args.snapshot_every,
+        segment_records=args.segment_records,
         ready_file=args.ready_file,
     )
     with _obs_session(args):
@@ -486,13 +487,14 @@ def cmd_loadgen(args) -> int:
     population_kwargs = {"n": args.n, "k": args.k, "copies": args.copies,
                          "alpha": args.alpha, "beta": args.beta,
                          "scheme": args.scheme}
+    retry = _retry_policy(args)
     with _obs_session(args):
         started = time.perf_counter()
         with OBS.span("cli.loadgen", requests=args.requests):
             stats = asyncio.run(run_loadgen(
                 host, port, tenants=args.tenants, requests=args.requests,
                 concurrency=args.concurrency, seed=args.seed,
-                faults=faults, drain=args.drain,
+                faults=faults, drain=args.drain, retry=retry,
                 population_kwargs=population_kwargs))
         elapsed = time.perf_counter() - started
         print(f"loadgen: {stats['requests']} requests over "
@@ -512,6 +514,91 @@ def cmd_loadgen(args) -> int:
             handle.write("\n")
         print(f"loadgen stats written to {args.json_out}")
     return 0 if stats["served"] > 0 else 1
+
+
+def _retry_policy(args):
+    from repro.service.client import RetryPolicy
+
+    if args.retries == 0:
+        return None
+    return RetryPolicy(retries=args.retries, base_s=args.retry_base_s,
+                       cap_s=args.retry_cap_s)
+
+
+def _add_retry_arguments(parser) -> None:
+    parser.add_argument("--retries", type=int, default=5,
+                        help="retry budget for busy/unavailable answers "
+                             "(0 disables retrying)")
+    parser.add_argument("--retry-base-s", type=float, default=0.01,
+                        help="first jittered-backoff ceiling in seconds")
+    parser.add_argument("--retry-cap-s", type=float, default=0.5,
+                        help="backoff ceiling cap in seconds")
+
+
+def cmd_fleet(args) -> int:
+    import asyncio
+
+    from repro.service.fleet import run_fleet_loadgen
+    from repro.service.supervisor import FleetSupervisor
+
+    supervisor = FleetSupervisor(
+        args.root, args.shards,
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        queue_cap=args.queue_cap,
+        snapshot_every=args.snapshot_every,
+        segment_records=args.segment_records)
+    with _obs_session(args):
+        started = time.perf_counter()
+        with OBS.span("cli.fleet", shards=args.shards,
+                      requests=args.requests):
+            with supervisor:
+                stats = asyncio.run(run_fleet_loadgen(
+                    supervisor.map_path, tenants=args.tenants,
+                    requests=args.requests,
+                    concurrency=args.concurrency, seed=args.seed,
+                    retry=_retry_policy(args)))
+        elapsed = time.perf_counter() - started
+        print(f"fleet: {stats['requests']} requests over "
+              f"{stats['tenants']} tenants across {stats['shards']} "
+              f"shards ({stats['requests_per_s']:,.1f} req/s)")
+        for status, count in stats["outcomes"].items():
+            print(f"  {status:<14} {count}")
+        print(f"  per-shard requests {stats['per_shard_requests']} | "
+              f"busy retries {stats['busy_retries']} | "
+              f"reconnects {stats['reconnects']}")
+        _print_wall_clock("requests", args.requests, elapsed)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+        print(f"fleet stats written to {args.json_out}")
+    return 0 if stats["served"] > 0 else 1
+
+
+def cmd_chaos(args) -> int:
+    from repro.service.chaos import SCENARIOS, run_chaos, write_chaos_report
+
+    names = args.scenario or sorted(SCENARIOS)
+    with _obs_session(args):
+        with OBS.span("cli.chaos", scenarios=",".join(names)):
+            report = run_chaos(names, args.root, shards=args.shards,
+                               tenants=args.tenants,
+                               requests=args.requests, seed=args.seed)
+    for scenario in report["scenarios"]:
+        print(f"chaos {scenario['scenario']:<16} passed "
+              f"({scenario['elapsed_s']:.2f}s)")
+    for violation in report["violations"]:
+        print(f"chaos {violation['scenario']:<16} FAILED: "
+              f"{violation['violation']}", file=sys.stderr)
+    if args.json_out:
+        write_chaos_report(report, args.json_out)
+        print(f"chaos report written to {args.json_out}")
+    if report["passed"]:
+        print(f"chaos suite passed: {len(report['scenarios'])} "
+              f"scenario(s), wear-exactness invariants held")
+        return 0
+    return 5
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -682,6 +769,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--snapshot-every", type=int, default=0,
                          help="rounds between ledger snapshots "
                               "(0: snapshot on drain only)")
+    p_serve.add_argument("--segment-records", type=int, default=0,
+                         help="rotate the WAL into a sealed archive "
+                              "segment once it holds this many records "
+                              "past the covering snapshot (0 disables; "
+                              "requires --snapshot-every)")
     p_serve.add_argument("--ready-file", metavar="FILE", default=None,
                          help="write the bound host/port to FILE once "
                               "serving")
@@ -716,8 +808,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="send a drain op after the workload")
     p_load.add_argument("--json-out", metavar="FILE", default=None,
                         help="write the loadgen statistics to FILE")
+    _add_retry_arguments(p_load)
     _add_obs_arguments(p_load)
     p_load.set_defaults(func=cmd_loadgen)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run a sharded fleet and drive it with a workload")
+    p_fleet.add_argument("--root", required=True, metavar="DIR",
+                         help="fleet root directory (per-shard ledgers, "
+                              "ready files, fleet map)")
+    p_fleet.add_argument("--shards", type=int, default=2)
+    p_fleet.add_argument("--tenants", type=int, default=8)
+    p_fleet.add_argument("--requests", type=int, default=200)
+    p_fleet.add_argument("--concurrency", type=int, default=8)
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--window-ms", type=float, default=2.0,
+                         help="per-shard batching window in milliseconds")
+    p_fleet.add_argument("--max-batch", type=int, default=64)
+    p_fleet.add_argument("--queue-cap", type=int, default=256)
+    p_fleet.add_argument("--snapshot-every", type=int, default=16)
+    p_fleet.add_argument("--segment-records", type=int, default=0,
+                         help="per-shard WAL segment rotation threshold "
+                              "(0 disables)")
+    p_fleet.add_argument("--json-out", metavar="FILE", default=None,
+                         help="write the fleet statistics to FILE")
+    _add_retry_arguments(p_fleet)
+    _add_obs_arguments(p_fleet)
+    p_fleet.set_defaults(func=cmd_fleet)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="scripted fault scenarios asserting wear-exactness")
+    p_chaos.add_argument("--root", required=True, metavar="DIR",
+                         help="scratch directory for scenario fleets")
+    p_chaos.add_argument("--scenario", action="append", default=None,
+                         choices=("kill-mid-batch", "torn-tail",
+                                  "restart-storm", "retry-race"),
+                         help="run one named scenario (repeatable; "
+                              "default: all)")
+    p_chaos.add_argument("--shards", type=int, default=2)
+    p_chaos.add_argument("--tenants", type=int, default=6)
+    p_chaos.add_argument("--requests", type=int, default=60)
+    p_chaos.add_argument("--seed", type=int, default=11)
+    p_chaos.add_argument("--json-out", metavar="FILE", default=None,
+                         help="write the chaos report to FILE")
+    _add_obs_arguments(p_chaos)
+    p_chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -28,7 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.hooks import FaultHook
 
 __all__ = ["VectorFaultHook", "ScalarHookAdapter",
-           "VectorTransientMisfire", "vector_hook_for"]
+           "VectorTransientMisfire", "VectorStuckClosedConversion",
+           "vector_hook_for"]
 
 
 @runtime_checkable
@@ -118,21 +119,95 @@ class VectorTransientMisfire:
         return f"VectorTransientMisfire(rate={self.injector.rate})"
 
 
+class VectorStuckClosedConversion:
+    """Native batched :class:`~repro.faults.injectors.StuckClosedConversion`.
+
+    The scalar injector visits every switch in instance-major then
+    switch-index order, ignores switches that closed or are still alive,
+    and decides each dead-open switch's fate *once*: a single uniform
+    draw under ``probability`` converts it to stuck-closed forever (no
+    draw at all when ``probability`` is zero - the scalar code
+    short-circuits before touching the RNG).  The undecided dead-open
+    positions of one batched actuation are exactly the row-major
+    ``True`` cells of ``~closed & (used >= lifetime)``, so one
+    ``rng.random(m)`` batch replays the scalar stream bit for bit.
+
+    Decisions are keyed by ``(instance, copy, index)`` coordinates
+    rather than :class:`~repro.engine.views.SwitchView` identities,
+    which are process-lifetime counters and therefore meaningless after
+    a restart; the service snapshots this map and rebuilds it verbatim.
+    """
+
+    def __init__(self, injector, rng: np.random.Generator) -> None:
+        self.injector = injector
+        self.rng = rng
+        #: ``(instance, copy, index) -> sticky`` - every dead switch's
+        #: one-time conversion verdict.
+        self.converted: dict[tuple[int, int, int], bool] = {}
+
+    def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
+                        copies: np.ndarray, closed: np.ndarray,
+                        ) -> np.ndarray:
+        failed = (state.used[instances, copies]
+                  >= state.lifetime[instances, copies])
+        candidates = ~closed & failed
+        if not candidates.any():
+            return closed
+        rows, cols = np.nonzero(candidates)    # row-major == scalar order
+        keys = [(int(instances[r]), int(copies[r]), int(c))
+                for r, c in zip(rows, cols)]
+        undecided = [j for j, key in enumerate(keys)
+                     if key not in self.converted]
+        probability = self.injector.probability
+        if undecided and probability:
+            draws = self.rng.random(len(undecided))
+            for draw, j in zip(draws, undecided):
+                sticky = bool(draw < probability)
+                self.converted[keys[j]] = sticky
+                if sticky:
+                    self.injector.injections += 1
+        else:
+            for j in undecided:
+                self.converted[keys[j]] = False
+        stuck = [j for j, key in enumerate(keys) if self.converted[key]]
+        if not stuck:
+            return closed
+        observed = closed.copy()
+        observed[rows[stuck], cols[stuck]] = True
+        return observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"VectorStuckClosedConversion("
+                f"probability={self.injector.probability}, "
+                f"converted={len(self.converted)})")
+
+
 def vector_hook_for(hook) -> "VectorFaultHook | None":
     """The fastest engine hook equivalent to scalar ``hook``.
 
-    A :class:`~repro.faults.FaultModel` whose actuation pipeline is a
-    single :class:`~repro.faults.TransientMisfire` gets the native
-    batched implementation (bit-identical fault-RNG stream, no
-    per-switch Python calls); anything else falls back to
+    A :class:`~repro.faults.FaultModel` whose actuation pipeline is one
+    injector with a registered native batched implementation
+    (:class:`~repro.faults.TransientMisfire`,
+    :class:`~repro.faults.StuckClosedConversion`) gets that
+    implementation - bit-identical fault-RNG stream, no per-switch
+    Python calls.  Anything else falls back to
     :class:`ScalarHookAdapter`, which is bit-compatible with every
-    shipped injector.  ``None`` stays ``None``.
+    shipped injector: composed pipelines interleave their draws
+    per-switch, an order no per-injector batching can reproduce.
+    ``None`` stays ``None``.
     """
     if hook is None:
         return None
-    from repro.faults.injectors import FaultModel, TransientMisfire
+    from repro.faults.injectors import (
+        FaultModel,
+        StuckClosedConversion,
+        TransientMisfire,
+    )
 
-    if (isinstance(hook, FaultModel) and len(hook.injectors) == 1
-            and type(hook.injectors[0]) is TransientMisfire):
-        return VectorTransientMisfire(hook.injectors[0], hook.rng)
+    natives = {TransientMisfire: VectorTransientMisfire,
+               StuckClosedConversion: VectorStuckClosedConversion}
+    if isinstance(hook, FaultModel) and len(hook.injectors) == 1:
+        native = natives.get(type(hook.injectors[0]))
+        if native is not None:
+            return native(hook.injectors[0], hook.rng)
     return ScalarHookAdapter(hook)

@@ -36,6 +36,13 @@ workload row carries the same run's throughput into the compare gate).
 records each child's peak RSS (``getrusage(RUSAGE_SELF).ru_maxrss``),
 giving every report a memory ceiling per workload.
 
+Schema 4 adds a ``fleet`` section and the ``svc.fleet`` workload row:
+a real multi-shard fleet (subprocess shards under a
+:class:`~repro.service.supervisor.FleetSupervisor`, tenant-hash routed
+by :class:`~repro.service.fleet.FleetClient`) driven end to end by
+:func:`~repro.service.fleet.run_fleet_loadgen`, recording aggregate
+throughput plus the per-shard request split.
+
 Two reports of the same scale are diffed by
 :func:`compare_bench_reports`, which flags any workload whose throughput
 regressed by more than the threshold - ``repro bench --compare`` wires
@@ -75,6 +82,7 @@ __all__ = [
     "compare_bench_reports",
     "measure_disabled_overhead",
     "measure_engine_speedup",
+    "measure_fleet_load",
     "measure_memory_ceilings",
     "measure_parallel_scaling",
     "measure_service_load",
@@ -85,7 +93,7 @@ __all__ = [
     "write_bench_report",
 ]
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: Workload sizes per scale.  "smoke" finishes in a few seconds (CI);
 #: "full" gives tighter percentiles for committed milestone reports;
@@ -107,6 +115,10 @@ SCALES: dict[str, dict] = {
         "svc_tenants": 2,
         "svc_requests": 12,
         "svc_concurrency": 4,
+        "fleet_shards": 2,
+        "fleet_tenants": 4,
+        "fleet_requests": 16,
+        "fleet_concurrency": 4,
     },
     "smoke": {
         "repeats": 3,
@@ -124,6 +136,10 @@ SCALES: dict[str, dict] = {
         "svc_tenants": 4,
         "svc_requests": 120,
         "svc_concurrency": 8,
+        "fleet_shards": 2,
+        "fleet_tenants": 6,
+        "fleet_requests": 120,
+        "fleet_concurrency": 8,
     },
     "full": {
         "repeats": 7,
@@ -141,6 +157,10 @@ SCALES: dict[str, dict] = {
         "svc_tenants": 8,
         "svc_requests": 600,
         "svc_concurrency": 16,
+        "fleet_shards": 3,
+        "fleet_tenants": 12,
+        "fleet_requests": 600,
+        "fleet_concurrency": 16,
     },
 }
 
@@ -277,6 +297,37 @@ def _workload_svc_loadgen(params: dict, seed: int) -> tuple[int, str]:
     return params["svc_requests"], "requests"
 
 
+def _run_fleet_load(params: dict, seed: int) -> dict:
+    """One multi-shard fleet campaign; returns the fleet statistics.
+
+    Real subprocess shards under a supervisor - the measured number
+    includes process spawn, ledger recovery and tenant-hash routing,
+    exactly what a deployment pays.
+    """
+    import asyncio
+
+    from repro.service.fleet import run_fleet_loadgen
+    from repro.service.supervisor import FleetSupervisor
+
+    with tempfile.TemporaryDirectory() as tmp:
+        supervisor = FleetSupervisor(
+            os.path.join(tmp, "fleet"), params["fleet_shards"],
+            window_s=0.0005, snapshot_every=16)
+        with supervisor:
+            return asyncio.run(run_fleet_loadgen(
+                supervisor.map_path, tenants=params["fleet_tenants"],
+                requests=params["fleet_requests"],
+                concurrency=params["fleet_concurrency"], seed=seed))
+
+
+def _workload_svc_fleet(params: dict, seed: int) -> tuple:
+    # Self-reported wall: the ~seconds of shard process spawn and
+    # ready-file handshake would otherwise dominate (and jitter) the
+    # measurement; the gated number is steady-state routed throughput.
+    stats = _run_fleet_load(params, seed)
+    return params["fleet_requests"], "requests", stats["elapsed_s"]
+
+
 _WORKLOADS = (
     ("mc.fast", _workload_mc_fast),
     ("mc.checkpointed", _workload_mc_checkpointed),
@@ -286,6 +337,7 @@ _WORKLOADS = (
     ("pads.traverse", _workload_pads_traverse),
     ("checkpoint.roundtrip", _workload_checkpoint_roundtrip),
     ("svc.loadgen", _workload_svc_loadgen),
+    ("svc.fleet", _workload_svc_fleet),
 )
 
 
@@ -515,6 +567,32 @@ def measure_service_load(params: dict, seed: int = 0) -> dict:
     }
 
 
+def measure_fleet_load(params: dict, seed: int = 0) -> dict:
+    """Multi-shard fleet throughput plus the per-shard request split.
+
+    The schema-4 twin of :func:`measure_service_load`: one supervised
+    fleet campaign at the scale's pinned population (always >= 2
+    shards), recording what the compare gate's ``svc.fleet`` row cannot
+    - the outcome mix, the tenant-hash request split across shards, and
+    the retry/reconnect counts the routed client absorbed.
+    """
+    stats = _run_fleet_load(params, seed)
+    return {
+        "workload": "svc.fleet",
+        "shards": stats["shards"],
+        "tenants": params["fleet_tenants"],
+        "requests": params["fleet_requests"],
+        "concurrency": params["fleet_concurrency"],
+        "requests_per_s": stats["requests_per_s"],
+        "served": stats["served"],
+        "outcomes": stats["outcomes"],
+        "latency_mean_s": stats["latency_mean_s"],
+        "per_shard_requests": stats["per_shard_requests"],
+        "busy_retries": stats["busy_retries"],
+        "reconnects": stats["reconnects"],
+    }
+
+
 #: Workloads whose peak RSS is measured in fresh subprocesses.
 MEMORY_WORKLOADS = ("mc.fast", "mc.hardware", "svc.loadgen")
 
@@ -601,8 +679,13 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
         units, unit_label = 0, ""
         for rep in range(repeats):
             started = time.perf_counter()
-            units, unit_label = workload(params, seed + rep)
-            times.append(time.perf_counter() - started)
+            measured = workload(params, seed + rep)
+            elapsed = time.perf_counter() - started
+            # A workload may self-report its wall time (third element)
+            # when setup it should not be billed for dominates the
+            # external timer - e.g. svc.fleet's subprocess spawn.
+            units, unit_label = measured[0], measured[1]
+            times.append(measured[2] if len(measured) > 2 else elapsed)
         wall = _summarize_times(times)
         workloads.append({
             "name": name,
@@ -620,6 +703,7 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
     engine = measure_engine_speedup(params["engine_trials"], seed=seed,
                                     repeats=repeats)
     service = measure_service_load(params, seed=seed)
+    fleet = measure_fleet_load(params, seed=seed)
     memory = measure_memory_ceilings(scale, seed=seed)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -639,6 +723,7 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
         "scaling": scaling,
         "engine": engine,
         "service": service,
+        "fleet": fleet,
         "memory": memory,
     }
 
@@ -660,17 +745,22 @@ _REQUIRED_ENGINE_KEYS = ("workload", "trials", "repeats", "scalar_min_s",
 _REQUIRED_SERVICE_KEYS = ("workload", "tenants", "requests", "concurrency",
                           "requests_per_s", "served", "outcomes", "rounds",
                           "batch_size_mean", "batch_size_max", "batch_sizes")
+_REQUIRED_FLEET_KEYS = ("workload", "shards", "tenants", "requests",
+                        "concurrency", "requests_per_s", "served",
+                        "outcomes", "per_shard_requests", "busy_retries",
+                        "reconnects")
 _REQUIRED_MEMORY_KEYS = ("platform", "workloads")
 _REQUIRED_MEMORY_ROW_KEYS = ("name", "peak_rss_bytes", "peak_rss_mib")
 #: Schema versions the validator accepts; 1 predates the engine section,
-#: 2 predates the service and memory sections.
-_ACCEPTED_SCHEMA_VERSIONS = (1, 2, BENCH_SCHEMA_VERSION)
+#: 2 predates the service and memory sections, 3 predates fleet.
+_ACCEPTED_SCHEMA_VERSIONS = (1, 2, 3, BENCH_SCHEMA_VERSION)
 
 
 def validate_bench_report(payload: dict) -> None:
     """Raise :class:`ConfigurationError` unless ``payload`` is a valid
-    bench report (schema 1-3; the ``engine`` section arrived in 2, the
-    ``service`` and ``memory`` sections in 3)."""
+    bench report (schema 1-4; the ``engine`` section arrived in 2, the
+    ``service`` and ``memory`` sections in 3, the ``fleet`` section
+    in 4)."""
     if not isinstance(payload, dict):
         raise ConfigurationError("bench report must be a JSON object")
     if payload.get("schema_version") not in _ACCEPTED_SCHEMA_VERSIONS \
@@ -737,6 +827,18 @@ def validate_bench_report(payload: dict) -> None:
             if bad:
                 raise ConfigurationError(
                     f"memory row {row.get('name')!r} is missing {bad}")
+    if payload["schema_version"] >= 4:
+        if "fleet" not in payload:
+            raise ConfigurationError(
+                "schema-4 bench report is missing its fleet section")
+        bad = [key for key in _REQUIRED_FLEET_KEYS
+               if key not in payload["fleet"]]
+        if bad:
+            raise ConfigurationError(
+                f"bench report fleet section is missing {bad}")
+        if payload["fleet"]["shards"] < 2:
+            raise ConfigurationError(
+                "bench fleet section must span at least 2 shards")
 
 
 def compare_bench_reports(baseline: dict, candidate: dict,
@@ -946,6 +1048,17 @@ def render_bench_report(payload: dict) -> str:
             f"{service['rounds']} rounds "
             f"(mean batch {service['batch_size_mean']:.2f}, "
             f"max {service['batch_size_max']}); outcomes: {outcomes}")
+    fleet = payload.get("fleet")
+    if fleet:
+        outcomes = ", ".join(f"{status}={count}" for status, count
+                             in sorted(fleet["outcomes"].items()))
+        lines.append(
+            f"fleet load: {fleet['requests']} requests / "
+            f"{fleet['tenants']} tenants across {fleet['shards']} "
+            f"shards at {fleet['requests_per_s']:,.0f} req/s "
+            f"(per-shard split {fleet['per_shard_requests']}, "
+            f"{fleet['busy_retries']} busy retries, "
+            f"{fleet['reconnects']} reconnects); outcomes: {outcomes}")
     memory = payload.get("memory")
     if memory:
         ceilings = ", ".join(

@@ -22,32 +22,69 @@ Layer map:
   limits, backpressure, graceful drain;
 - :mod:`repro.service.client` - the protocol client and the load
   generator behind ``repro loadgen`` and the ``svc.loadgen`` bench
-  workload.
+  workload;
+- :mod:`repro.service.fleet` - tenant-hash partitioning across
+  shared-nothing shards, the shard-map-aware :class:`FleetClient`
+  with idempotent crash-safe retries, and the fleet load generator;
+- :mod:`repro.service.supervisor` - shard process supervision:
+  spawn, health-probe, restart-through-recovery;
+- :mod:`repro.service.chaos` - scripted fault scenarios (SIGKILL
+  mid-batch, torn WAL tails, restart storms, retry races) asserting
+  the wear-exactness invariants end to end.
 
 See ``docs/service.md`` for the protocol, the batching window, the
-ledger format and the recovery argument.
+ledger format and the recovery argument, and ``docs/fleet.md`` for
+the sharding, failover and idempotency story.
 """
 
 from repro.service.batcher import RequestBatcher
+from repro.service.chaos import (
+    SCENARIOS,
+    InvariantViolation,
+    check_shard_invariants,
+    run_chaos,
+    run_scenario,
+)
 from repro.service.client import (
+    RetryPolicy,
     ServiceClient,
     read_ready_file,
     run_loadgen,
     tenant_population,
 )
+from repro.service.fleet import (
+    FleetClient,
+    read_fleet_map,
+    run_fleet_loadgen,
+    shard_index,
+    write_fleet_map,
+)
 from repro.service.hub import WearHub
 from repro.service.ledger import WearLedger
 from repro.service.server import ServiceConfig, WearService, run_service
+from repro.service.supervisor import FleetSupervisor
 
 __all__ = [
+    "FleetClient",
+    "FleetSupervisor",
+    "InvariantViolation",
     "RequestBatcher",
+    "RetryPolicy",
+    "SCENARIOS",
     "ServiceClient",
     "ServiceConfig",
     "WearHub",
     "WearLedger",
     "WearService",
+    "check_shard_invariants",
+    "read_fleet_map",
     "read_ready_file",
+    "run_chaos",
+    "run_fleet_loadgen",
     "run_loadgen",
+    "run_scenario",
     "run_service",
+    "shard_index",
     "tenant_population",
+    "write_fleet_map",
 ]

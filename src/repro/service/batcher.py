@@ -42,7 +42,7 @@ class RequestBatcher:
         self.hub = hub
         self.window_s = window_s
         self.max_batch = max_batch
-        self._queue: list[tuple[str, asyncio.Future]] = []
+        self._queue: list[tuple[str, str | None, asyncio.Future]] = []
         self._arrived: asyncio.Event = asyncio.Event()
         self._closed = False
         self._task: asyncio.Task | None = None
@@ -60,12 +60,16 @@ class RequestBatcher:
     def start(self) -> None:
         self._task = asyncio.get_running_loop().create_task(self._run())
 
-    async def submit(self, tenant: str) -> dict:
-        """Queue one access request; resolves with its response."""
+    async def submit(self, tenant: str, rid: str | None = None) -> dict:
+        """Queue one access request; resolves with its response.
+
+        ``rid`` is the client's idempotency key, carried through to the
+        hub so the round's WAL record persists it.
+        """
         if self._closed:
             raise ConfigurationError("batcher is draining")
         future = asyncio.get_running_loop().create_future()
-        self._queue.append((tenant, future))
+        self._queue.append((tenant, rid, future))
         self._arrived.set()
         return await future
 
@@ -88,28 +92,28 @@ class RequestBatcher:
                 continue
             if self.window_s and not self._closed:
                 await asyncio.sleep(self.window_s)
-            round_names: list[str] = []
+            round_items: list[tuple[str, str | None]] = []
             round_futures: dict[str, asyncio.Future] = {}
-            deferred: list[tuple[str, asyncio.Future]] = []
-            for tenant, future in self._queue:
+            deferred: list[tuple[str, str | None, asyncio.Future]] = []
+            for tenant, rid, future in self._queue:
                 if (tenant in round_futures
-                        or len(round_names) >= self.max_batch):
-                    deferred.append((tenant, future))
+                        or len(round_items) >= self.max_batch):
+                    deferred.append((tenant, rid, future))
                 else:
-                    round_names.append(tenant)
+                    round_items.append((tenant, rid))
                     round_futures[tenant] = future
             self._queue = deferred
             started = time.perf_counter()
             try:
-                responses = self.hub.serve_round(round_names)
+                responses = self.hub.serve_round(round_items)
             except Exception as exc:  # pragma: no cover - defensive
                 for future in round_futures.values():
                     if not future.done():
                         future.set_exception(exc)
                 raise
             self.rounds += 1
-            self.requests += len(round_names)
-            size = len(round_names)
+            self.requests += len(round_items)
+            size = len(round_items)
             self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
             if OBS.enabled:
                 OBS.metrics.observe("svc.round_latency_s",

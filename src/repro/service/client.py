@@ -7,6 +7,13 @@ number of ``access`` requests at bounded concurrency, and reports every
 outcome class explicitly (served, exhausted, busy, rate-limited, fault)
 so a smoke run can assert both liveness *and* that backpressure answers
 were denials rather than drops.
+
+``busy`` answers are *transient* backpressure, so the loadgen absorbs
+them with :class:`RetryPolicy` - capped exponential backoff with full
+jitter and a bounded retry budget.  Retries reuse the request's
+idempotency key (``rid``), which is what makes retrying always safe:
+if the original attempt committed before the response was lost, the
+server replays the recorded response instead of charging wear again.
 """
 
 from __future__ import annotations
@@ -14,13 +21,34 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import time
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.service.protocol import read_frame, write_frame
 
-__all__ = ["ServiceClient", "tenant_population", "run_loadgen",
-           "read_ready_file"]
+__all__ = ["ServiceClient", "RetryPolicy", "tenant_population",
+           "run_loadgen", "read_ready_file"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with full jitter and a retry budget."""
+
+    retries: int = 5        # retry budget per request (0 disables)
+    base_s: float = 0.01    # first backoff ceiling
+    cap_s: float = 0.5      # backoff ceiling growth stops here
+
+    def __post_init__(self) -> None:
+        if self.retries < 0 or self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ConfigurationError(
+                "need retries >= 0 and 0 < base_s <= cap_s")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """The jittered sleep before retry ``attempt`` (0-based)."""
+        ceiling = min(self.cap_s, self.base_s * (2 ** attempt))
+        return rng.uniform(0.0, ceiling)
 
 
 class ServiceClient:
@@ -50,8 +78,11 @@ class ServiceClient:
     async def provision(self, **fields) -> dict:
         return await self.request(dict(fields, op="provision"))
 
-    async def access(self, tenant: str) -> dict:
-        return await self.request({"op": "access", "tenant": tenant})
+    async def access(self, tenant: str, rid: str | None = None) -> dict:
+        payload: dict = {"op": "access", "tenant": tenant}
+        if rid is not None:
+            payload["rid"] = rid
+        return await self.request(payload)
 
     async def status(self, tenant: str | None = None) -> dict:
         payload: dict = {"op": "status"}
@@ -117,9 +148,16 @@ def tenant_population(tenants: int, seed: int, *, alpha: float = 9.0,
 async def run_loadgen(host: str, port: int, *, tenants: int = 4,
                       requests: int = 100, concurrency: int = 8,
                       seed: int = 0, faults: dict | None = None,
-                      drain: bool = False, population_kwargs:
-                      dict | None = None) -> dict:
-    """Drive a running service; returns the outcome statistics."""
+                      drain: bool = False,
+                      retry: RetryPolicy | None = RetryPolicy(),
+                      population_kwargs: dict | None = None) -> dict:
+    """Drive a running service; returns the outcome statistics.
+
+    Every access carries a deterministic idempotency key, and ``busy``
+    backpressure answers are retried under ``retry`` (pass ``None`` to
+    surface them immediately).  Outcomes count each request's *final*
+    answer, so they still sum to ``requests``.
+    """
     if requests < 1 or concurrency < 1:
         raise ConfigurationError(
             "requests and concurrency must be >= 1")
@@ -136,21 +174,33 @@ async def run_loadgen(host: str, port: int, *, tenants: int = 4,
                 f"provision of {payload['tenant']!r} failed: {response}")
     outcomes: dict[str, int] = {}
     latencies: list[float] = []
-    queue: asyncio.Queue[str | None] = asyncio.Queue()
+    busy_retries = 0
+    queue: asyncio.Queue[tuple[str, str] | None] = asyncio.Queue()
     for index in range(requests):
-        queue.put_nowait(population[index % tenants]["tenant"])
+        queue.put_nowait((population[index % tenants]["tenant"],
+                          f"lg-{seed}-{index:06d}"))
     for _ in range(concurrency):
         queue.put_nowait(None)
 
-    async def worker() -> None:
+    async def worker(worker_index: int) -> None:
+        nonlocal busy_retries
+        jitter = random.Random(seed * 7919 + worker_index)
         client = await ServiceClient(host, port).connect()
         try:
             while True:
-                tenant = await queue.get()
-                if tenant is None:
+                item = await queue.get()
+                if item is None:
                     return
+                tenant, rid = item
                 started = time.perf_counter()
-                response = await client.access(tenant)
+                response = await client.access(tenant, rid=rid)
+                if retry is not None:
+                    for attempt in range(retry.retries):
+                        if response["status"] != "busy":
+                            break
+                        await asyncio.sleep(retry.delay_s(attempt, jitter))
+                        busy_retries += 1
+                        response = await client.access(tenant, rid=rid)
                 latencies.append(time.perf_counter() - started)
                 status = response["status"]
                 outcomes[status] = outcomes.get(status, 0) + 1
@@ -158,7 +208,7 @@ async def run_loadgen(host: str, port: int, *, tenants: int = 4,
             await client.close()
 
     started = time.perf_counter()
-    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    await asyncio.gather(*(worker(index) for index in range(concurrency)))
     elapsed = time.perf_counter() - started
     status = await admin.status()
     stats = {
@@ -169,6 +219,7 @@ async def run_loadgen(host: str, port: int, *, tenants: int = 4,
         "requests_per_s": requests / elapsed if elapsed > 0 else 0.0,
         "outcomes": dict(sorted(outcomes.items())),
         "served": outcomes.get("ok", 0),
+        "busy_retries": busy_retries,
         "latency_mean_s": (sum(latencies) / len(latencies)
                            if latencies else 0.0),
         "service": status.get("service", {}),

@@ -1,0 +1,272 @@
+"""Tenant-hash partitioning and the shard-map-aware fleet client.
+
+One :class:`~repro.service.server.WearService` process is both a
+throughput ceiling and a single point of failure for the wear histories
+it owns.  The fleet layer splits the tenant space across shared-nothing
+shards - each shard is an ordinary service process with its own flock'd
+:class:`~repro.service.ledger.WearLedger` directory - by a *stable*
+hash of the tenant name, so any client (and any restarted supervisor)
+computes the same placement without coordination.
+
+The fleet map (``fleet.json``, written atomically by the supervisor)
+names each shard's ledger directory and ready file; the **ready file**
+is the indirection that makes failover work: a restarted shard binds a
+fresh port and rewrites its ready file, so a client that fails to
+connect simply re-reads it and retries.  Retries are safe because every
+access carries an idempotency key - if the original attempt committed
+before the crash ate the response, the recovered shard replays the
+recorded answer instead of charging wear twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import random
+import time
+
+from repro.errors import ConfigurationError
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    read_ready_file,
+    tenant_population,
+)
+
+__all__ = ["FLEET_MAP_NAME", "shard_index", "write_fleet_map",
+           "read_fleet_map", "FleetClient", "run_fleet_loadgen"]
+
+FLEET_MAP_NAME = "fleet.json"
+
+
+def shard_index(tenant: str, shards: int) -> int:
+    """The shard owning ``tenant`` - stable across processes and runs.
+
+    Uses SHA-256 rather than :func:`hash`: Python randomizes string
+    hashing per process, and two parties disagreeing on placement would
+    let one tenant's wear history exist twice.
+    """
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    digest = hashlib.sha256(tenant.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def write_fleet_map(path: str, shards: list[dict]) -> None:
+    """Atomically persist the fleet map (tmp + rename, like snapshots)."""
+    payload = json.dumps({"version": 1, "shards": shards}, indent=2,
+                         sort_keys=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def read_fleet_map(path: str, timeout_s: float = 30.0) -> list[dict]:
+    """Poll for the fleet map; returns the shard entries, index-ordered."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            shards = sorted(payload["shards"], key=lambda s: s["index"])
+            if [s["index"] for s in shards] != list(range(len(shards))):
+                raise ConfigurationError(
+                    f"fleet map {path!r} has non-contiguous shard indices")
+            if not shards:
+                raise ConfigurationError(f"fleet map {path!r} is empty")
+            return shards
+        if time.monotonic() >= deadline:
+            raise ConfigurationError(
+                f"fleet map {path!r} did not appear within {timeout_s}s")
+        time.sleep(0.02)
+
+
+class FleetClient:
+    """Route requests to the owning shard, with crash-safe retries.
+
+    Connection failures and ``busy`` backpressure both retry under the
+    same jittered-backoff budget; a connection failure additionally
+    re-reads the shard's ready file, because the usual cause is a shard
+    that died and came back on a fresh port.  Exhausting the budget
+    yields a structured ``unavailable`` denial, never an exception -
+    fleet callers see the same response-object protocol as single-shard
+    ones.
+    """
+
+    def __init__(self, map_path: str, *,
+                 retry: RetryPolicy | None = None,
+                 ready_timeout_s: float = 30.0,
+                 jitter_seed: int = 0) -> None:
+        self.map_path = map_path
+        self.retry = retry or RetryPolicy()
+        self.ready_timeout_s = ready_timeout_s
+        self.shards = read_fleet_map(map_path)
+        self.busy_retries = 0
+        self.reconnects = 0
+        self._rng = random.Random(jitter_seed)
+        self._clients: dict[int, ServiceClient] = {}
+
+    def shard_for(self, tenant: str) -> int:
+        return shard_index(tenant, len(self.shards))
+
+    async def _client(self, index: int) -> ServiceClient:
+        client = self._clients.get(index)
+        if client is None:
+            host, port = read_ready_file(
+                self.shards[index]["ready_file"],
+                timeout_s=self.ready_timeout_s)
+            client = ServiceClient(host, port)
+            await client.connect()
+            self._clients[index] = client
+        return client
+
+    async def _drop(self, index: int) -> None:
+        client = self._clients.pop(index, None)
+        if client is not None:
+            await client.close()
+
+    async def _request_shard(self, index: int, payload: dict) -> dict:
+        """One routed request with the full retry discipline."""
+        last: dict | None = None
+        for attempt in range(self.retry.retries + 1):
+            if attempt:
+                await asyncio.sleep(
+                    self.retry.delay_s(attempt - 1, self._rng))
+            try:
+                client = await self._client(index)
+                response = await client.request(payload)
+            except (ConnectionError, ConfigurationError, OSError) as exc:
+                # The shard is down or mid-restart: drop the cached
+                # connection so the next attempt re-reads the ready
+                # file (a restarted shard binds a fresh port).
+                await self._drop(index)
+                self.reconnects += 1
+                last = {"status": "unavailable",
+                        "message": f"shard {index} unreachable: {exc}",
+                        "shard": index}
+                continue
+            if response["status"] == "busy":
+                self.busy_retries += 1
+                last = response
+                continue
+            return response
+        assert last is not None
+        return last
+
+    async def access(self, tenant: str, rid: str | None = None) -> dict:
+        payload: dict = {"op": "access", "tenant": tenant}
+        if rid is not None:
+            payload["rid"] = rid
+        return await self._request_shard(self.shard_for(tenant), payload)
+
+    async def provision(self, **fields) -> dict:
+        tenant = fields.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            raise ConfigurationError("provision needs a tenant name")
+        return await self._request_shard(self.shard_for(tenant),
+                                         dict(fields, op="provision"))
+
+    async def status(self, tenant: str | None = None) -> dict:
+        if tenant is not None:
+            return await self._request_shard(self.shard_for(tenant),
+                                             {"op": "status",
+                                              "tenant": tenant})
+        by_shard = {}
+        for index in range(len(self.shards)):
+            by_shard[str(index)] = await self._request_shard(
+                index, {"op": "status"})
+        return {"status": "ok", "shards": by_shard}
+
+    async def drain(self) -> dict:
+        responses = {}
+        for index in range(len(self.shards)):
+            responses[str(index)] = await self._request_shard(
+                index, {"op": "drain"})
+            await self._drop(index)
+        return {"status": "ok", "shards": responses}
+
+    async def close(self) -> None:
+        for index in list(self._clients):
+            await self._drop(index)
+
+
+async def run_fleet_loadgen(map_path: str, *, tenants: int = 8,
+                            requests: int = 200, concurrency: int = 8,
+                            seed: int = 0, faults: dict | None = None,
+                            retry: RetryPolicy | None = None,
+                            population_kwargs: dict | None = None) -> dict:
+    """Drive a running fleet; returns aggregate + per-shard statistics.
+
+    The shard-map-aware twin of
+    :func:`~repro.service.client.run_loadgen`: same deterministic
+    population and idempotency keys, but requests route by tenant hash
+    and survive shard restarts through the
+    :class:`FleetClient` retry discipline.
+    """
+    if requests < 1 or concurrency < 1:
+        raise ConfigurationError("requests and concurrency must be >= 1")
+    population = tenant_population(tenants, seed, faults=faults,
+                                   **(population_kwargs or {}))
+    admin = FleetClient(map_path, retry=retry, jitter_seed=seed)
+    provisioned = 0
+    for payload in population:
+        response = await admin.provision(**payload)
+        if response["status"] == "ok":
+            provisioned += 1
+        elif response["status"] != "exists":
+            raise ConfigurationError(
+                f"provision of {payload['tenant']!r} failed: {response}")
+    shard_count = len(admin.shards)
+    outcomes: dict[str, int] = {}
+    per_shard_requests = [0] * shard_count
+    latencies: list[float] = []
+    queue: asyncio.Queue[tuple[str, str] | None] = asyncio.Queue()
+    for index in range(requests):
+        queue.put_nowait((population[index % tenants]["tenant"],
+                          f"fl-{seed}-{index:06d}"))
+    for _ in range(concurrency):
+        queue.put_nowait(None)
+
+    workers = [FleetClient(map_path, retry=retry,
+                           jitter_seed=seed * 7919 + w + 1)
+               for w in range(concurrency)]
+
+    async def worker(client: FleetClient) -> None:
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return
+                tenant, rid = item
+                per_shard_requests[client.shard_for(tenant)] += 1
+                started = time.perf_counter()
+                response = await client.access(tenant, rid=rid)
+                latencies.append(time.perf_counter() - started)
+                status = response["status"]
+                outcomes[status] = outcomes.get(status, 0) + 1
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(client) for client in workers))
+    elapsed = time.perf_counter() - started
+    stats = {
+        "shards": shard_count,
+        "tenants": tenants,
+        "provisioned": provisioned,
+        "requests": requests,
+        "elapsed_s": elapsed,
+        "requests_per_s": requests / elapsed if elapsed > 0 else 0.0,
+        "outcomes": dict(sorted(outcomes.items())),
+        "served": outcomes.get("ok", 0),
+        "busy_retries": sum(c.busy_retries for c in workers),
+        "reconnects": sum(c.reconnects for c in workers),
+        "per_shard_requests": per_shard_requests,
+        "latency_mean_s": (sum(latencies) / len(latencies)
+                           if latencies else 0.0),
+    }
+    await admin.close()
+    return stats

@@ -30,12 +30,14 @@ snapshot cross-checking.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.connection.keystore import BankKeyStore
 from repro.core.variation import NoVariation
 from repro.core.weibull import WeibullDistribution
-from repro.engine.hooks import vector_hook_for
+from repro.engine.hooks import VectorStuckClosedConversion, vector_hook_for
 from repro.engine.state import WearState
 from repro.errors import (
     CodingError,
@@ -176,11 +178,22 @@ def _validate_params(request: dict) -> dict:
 class WearHub:
     """The synchronous service core: provision, serve, persist, recover."""
 
-    def __init__(self, ledger: WearLedger) -> None:
+    #: Most-recent ``(tenant, request_id) -> response`` entries retained
+    #: for idempotent retry replay.  Bounded FIFO: a retry arriving
+    #: after this many *newer* keyed requests is treated as new traffic.
+    RESPONSE_RETENTION = 4096
+
+    def __init__(self, ledger: WearLedger,
+                 response_retention: int | None = None) -> None:
         self.ledger = ledger
         self.tenants: dict[str, TenantRecord] = {}
         self.pools: dict[tuple[int, int, int], _Pool] = {}
         self.rounds = 0
+        self.idempotent_replays = 0
+        self.response_retention = (self.RESPONSE_RETENTION
+                                   if response_retention is None
+                                   else response_retention)
+        self._responses: OrderedDict[tuple[str, str], dict] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Provisioning
@@ -249,18 +262,34 @@ class WearHub:
 
     # ------------------------------------------------------------------
     # The access path
-    def serve_round(self, names: list[str]) -> dict[str, dict]:
+    def recorded_response(self, name: str, rid: str) -> dict | None:
+        """The retained response for ``(tenant, request_id)``, if any."""
+        return self._responses.get((name, rid))
+
+    def _record_response(self, name: str, rid: str, response: dict) -> None:
+        self._responses[(name, rid)] = response
+        while len(self._responses) > self.response_retention:
+            self._responses.popitem(last=False)
+
+    def serve_round(self, requests: list) -> dict[str, dict]:
         """Serve one coalesced round: at most one access per tenant.
 
-        Appends the round's access records to the WAL (one durable
-        write) *before* touching the engine, then executes one
-        ``step_access`` kernel call per pool and finishes each tenant's
-        keystore recovery.  Returns ``{tenant: response}``.
+        Each item is a tenant name or a ``(tenant, request_id)`` pair.
+        A request whose ``request_id`` already has a retained response
+        is answered from the response table - no WAL record, no wear
+        (the retry arrived after its original attempt committed).
+        Otherwise the round's access records (idempotency key included)
+        are appended to the WAL in one durable write *before* the engine
+        runs, then one ``step_access`` kernel call per pool and each
+        tenant's keystore recovery finish the responses.  Returns
+        ``{tenant: response}``.
         """
         responses: dict[str, dict] = {}
         live: list[TenantRecord] = []
+        rids: dict[str, str] = {}
         seen: set[str] = set()
-        for name in names:
+        for item in requests:
+            name, rid = item if isinstance(item, tuple) else (item, None)
             if name in seen:
                 raise ConfigurationError(
                     f"round contains tenant {name!r} twice")
@@ -270,14 +299,36 @@ class WearHub:
                 responses[name] = denied(
                     "unknown-tenant", f"tenant {name!r} is not provisioned",
                     tenant=name)
-            elif tenant.exhausted:
+                continue
+            if rid is not None:
+                recorded = self.recorded_response(name, rid)
+                if recorded is not None:
+                    self.idempotent_replays += 1
+                    if OBS.enabled:
+                        OBS.metrics.inc("svc.idempotent_replays")
+                    responses[name] = recorded
+                    continue
+                rids[name] = rid
+            if tenant.exhausted:
                 responses[name] = self._exhausted_response(tenant)
+                if rid is not None:
+                    self._record_response(name, rid, responses[name])
             else:
                 live.append(tenant)
         if live:
-            self.ledger.append_batch(
-                [{"op": "access", "tenant": t.name} for t in live])
+            records = []
+            for tenant in live:
+                record = {"op": "access", "tenant": tenant.name}
+                if tenant.name in rids:
+                    record["rid"] = rids[tenant.name]
+                records.append(record)
+            self.ledger.append_batch(records)
             self._execute_round(live, responses)
+            for tenant in live:
+                rid = rids.get(tenant.name)
+                if rid is not None:
+                    self._record_response(tenant.name, rid,
+                                          responses[tenant.name])
         self.rounds += 1
         if OBS.enabled:
             OBS.metrics.inc("svc.rounds")
@@ -370,13 +421,26 @@ class WearHub:
     # ------------------------------------------------------------------
     # Durability
     def write_snapshot(self) -> None:
-        """Persist every tenant's replay-checkable state."""
+        """Persist a **self-contained** (format-2) snapshot.
+
+        Beyond the replay-checkable engine arrays, every entry carries
+        the tenant's provision parameters (fabrication is deterministic
+        from them), and fault tenants add their possibly-mutated
+        lifetimes (:class:`~repro.faults.PrematureStuckOpen` shortens
+        them irreversibly), the fault generator's bit state and each
+        injector's own state.  Recovery therefore never needs the
+        records the snapshot covers - which is what licenses
+        :meth:`~repro.service.ledger.WearLedger.rotate_segment` to seal
+        them away.  The retained idempotency responses ride along so a
+        retry spanning the crash still replays its original answer.
+        """
         entries = []
         for tenant in self.tenants.values():
             state = tenant.pool.state
             row = tenant.row
-            entries.append({
+            entry = {
                 "tenant": tenant.name,
+                "params": tenant.params,
                 "attempts": tenant.attempts,
                 "served": tenant.served,
                 "used": state.used[row].tolist(),
@@ -384,64 +448,156 @@ class WearHub:
                 "bank_dead": state.bank_dead[row].tolist(),
                 "current": int(state.current[row]),
                 "total_accesses": int(state.total_accesses[row]),
-            })
-        self.ledger.write_snapshot(self.ledger.next_seq - 1, entries)
+            }
+            if tenant.fault_model is not None:
+                entry["lifetime"] = state.lifetime[row].tolist()
+                entry["fault"] = self._export_fault_state(tenant)
+            entries.append(entry)
+        # The checkpoint layer requires ``results`` to be a list, so the
+        # tenant entries ride there and the retained idempotency
+        # responses ride in the snapshot meta.
+        self.ledger.write_snapshot(
+            self.ledger.next_seq - 1, entries, format=2,
+            responses=[[name, rid, response] for (name, rid), response
+                       in self._responses.items()])
+
+    def _export_fault_state(self, tenant: TenantRecord) -> dict:
+        """Everything needed to resume the tenant's fault pipeline."""
+        model = tenant.fault_model
+        state = tenant.pool.state
+        injectors = []
+        for injector in model.injectors:
+            exported: dict = {"injections": injector.injections}
+            converted = getattr(injector, "_converted", None)
+            if converted is not None:
+                # Scalar stuck-closed state is keyed by process-lifetime
+                # switch ids; translate to stable (copy, index) coords
+                # through the views the adapter actuated.
+                by_id = {view.switch_id: (c, i)
+                         for (b, c, i), view in state._views.items()
+                         if b == tenant.row}
+                exported["converted"] = sorted(
+                    [*by_id[switch_id], sticky]
+                    for switch_id, sticky in converted.items()
+                    if switch_id in by_id)
+            injectors.append(exported)
+        payload = {"rng_state": model.rng.bit_generator.state,
+                   "injectors": injectors}
+        hook = tenant.pool.dispatch.row_hooks.get(tenant.row)
+        if isinstance(hook, VectorStuckClosedConversion):
+            payload["converted"] = sorted(
+                [c, i, sticky]
+                for (b, c, i), sticky in hook.converted.items())
+        return payload
+
+    def _restore_fault_state(self, tenant: TenantRecord,
+                             payload: dict) -> None:
+        model = tenant.fault_model
+        state = tenant.pool.state
+        model.rng.bit_generator.state = payload["rng_state"]
+        for injector, exported in zip(model.injectors,
+                                      payload["injectors"]):
+            injector.injections = int(exported["injections"])
+            if "converted" in exported:
+                injector._converted = {
+                    state.view(tenant.row, c, i).switch_id: bool(sticky)
+                    for c, i, sticky in exported["converted"]}
+        hook = tenant.pool.dispatch.row_hooks.get(tenant.row)
+        if isinstance(hook, VectorStuckClosedConversion):
+            hook.converted = {
+                (tenant.row, int(c), int(i)): bool(sticky)
+                for c, i, sticky in payload.get("converted", [])}
 
     def recover(self) -> int:
         """Rebuild the hub from the durable ledger; returns records seen.
 
-        Provision records rebuild tenants (consuming the same
-        fabrication draws); access records are re-executed.  Hook-free
-        tenants fast-forward through the closed form - restoring
-        snapshot arrays first when one exists, so the post-snapshot tail
-        resumes from a *touched* state - while fault tenants replay
-        stepped through their live fault RNG and are cross-checked
-        against the snapshot.  Any disagreement raises
+        With a **format-2** snapshot, the snapshot alone reconstructs
+        every tenant as of its ``last_seq`` - parameters refabricate the
+        hardware, arrays/lifetimes/fault state restore on top - and only
+        the records *after* it replay (hook-free tenants through the
+        closed form, fault tenants stepped through their restored fault
+        RNG).  Records the snapshot covers are skipped, which is what
+        makes sealed-away segments safe.
+
+        Format-1 snapshots keep the original discipline: the full
+        history replays from seq 0, hook-free tenants restore their
+        arrays at the snapshot boundary, and fault tenants are
+        cross-checked against it.  Any disagreement raises
         :class:`~repro.errors.LedgerCorruptionError`.
         """
         snapshot, records = self.ledger.replay()
-        snap_map: dict[str, dict] = {}
+        fmt = 1
         last_seq = -1
         if snapshot is not None:
+            fmt = int(snapshot["meta"].get("format", 1))
             last_seq = int(snapshot["meta"]["last_seq"])
-            snap_map = {entry["tenant"]: entry
-                        for entry in snapshot["results"]}
         pending: dict[str, int] = {}
-
-        def flush_fast_forward() -> None:
-            for name, attempts in pending.items():
-                self._fast_forward(self.tenants[name], attempts)
-            pending.clear()
-
-        phase1 = [r for r in records if r["seq"] <= last_seq]
-        phase2 = [r for r in records if r["seq"] > last_seq]
-        for record in phase1:
-            self._replay_record(record, pending)
-        # Snapshot boundary: hook-free tenants restore their arrays
-        # directly (their pending phase-1 attempts are covered by the
-        # snapshot); fault tenants were stepped and must agree with it.
-        if snapshot is not None:
-            for name, tenant in self.tenants.items():
-                entry = snap_map.get(name)
-                if entry is None:
-                    raise LedgerCorruptionError(
-                        f"snapshot at seq {last_seq} is missing tenant "
-                        f"{name!r} provisioned earlier",
-                        path=self.ledger.snapshot_path, seq=last_seq)
-                if tenant.fault_model is None:
-                    pending.pop(name, None)
-                    self._restore_tenant(tenant, entry)
-                else:
-                    self._check_tenant(tenant, entry, last_seq)
-        for record in phase2:
-            self._replay_record(record, pending)
-        flush_fast_forward()
+        if fmt >= 2:
+            self._restore_from_snapshot(snapshot, last_seq)
+            for record in records:
+                if record["seq"] > last_seq:
+                    self._replay_record(record, pending)
+        else:
+            snap_map = ({entry["tenant"]: entry
+                         for entry in snapshot["results"]}
+                        if snapshot is not None else {})
+            phase1 = [r for r in records if r["seq"] <= last_seq]
+            phase2 = [r for r in records if r["seq"] > last_seq]
+            for record in phase1:
+                self._replay_record(record, pending)
+            # Snapshot boundary: hook-free tenants restore their arrays
+            # directly (their pending phase-1 attempts are covered by
+            # the snapshot); fault tenants were stepped and must agree
+            # with it.
+            if snapshot is not None:
+                for name, tenant in self.tenants.items():
+                    entry = snap_map.get(name)
+                    if entry is None:
+                        raise LedgerCorruptionError(
+                            f"snapshot at seq {last_seq} is missing "
+                            f"tenant {name!r} provisioned earlier",
+                            path=self.ledger.snapshot_path, seq=last_seq)
+                    if tenant.fault_model is None:
+                        pending.pop(name, None)
+                        self._restore_tenant(tenant, entry)
+                    else:
+                        self._check_tenant(tenant, entry, last_seq)
+            for record in phase2:
+                self._replay_record(record, pending)
+        for name, attempts in pending.items():
+            self._fast_forward(self.tenants[name], attempts)
         self.ledger.open_for_append()
         if OBS.enabled:
             OBS.event("svc.recovered", records=len(records),
                       tenants=len(self.tenants),
-                      snapshot_seq=last_seq)
+                      snapshot_seq=last_seq, snapshot_format=fmt)
         return len(records)
+
+    def _restore_from_snapshot(self, snapshot: dict, last_seq: int) -> None:
+        """Rebuild every tenant from a self-contained snapshot entry."""
+        for entry in snapshot["results"]:
+            try:
+                tenant = self._build_tenant(entry["tenant"],
+                                            _validate_params(entry["params"]))
+            except (ConfigurationError, KeyError) as exc:
+                raise LedgerCorruptionError(
+                    f"snapshot tenant {entry.get('tenant')!r} does not "
+                    f"rebuild: {exc}", path=self.ledger.snapshot_path,
+                    seq=last_seq) from exc
+            self._restore_tenant(tenant, entry)
+            state = tenant.pool.state
+            if "lifetime" in entry:
+                state.lifetime[tenant.row] = np.asarray(entry["lifetime"],
+                                                        dtype=float)
+            if entry.get("fault") is not None:
+                if tenant.fault_model is None:
+                    raise LedgerCorruptionError(
+                        f"snapshot tenant {entry['tenant']!r} carries "
+                        f"fault state but provisions without faults",
+                        path=self.ledger.snapshot_path, seq=last_seq)
+                self._restore_fault_state(tenant, entry["fault"])
+        for name, rid, response in snapshot["meta"].get("responses", []):
+            self._responses[(name, rid)] = response
 
     def _replay_record(self, record: dict, pending: dict[str, int]) -> None:
         op = record.get("op")
@@ -460,12 +616,21 @@ class WearHub:
                     f"access record {record['seq']} names unknown tenant "
                     f"{name!r}", path=self.ledger.wal_path,
                     seq=record["seq"])
-            if tenant.fault_model is None:
+            rid = record.get("rid")
+            if tenant.fault_model is None and rid is None:
                 # Coalesce: hook-free replay consumes no RNG, so the
                 # closed form applied once per tenant is exact.
                 pending[name] = pending.get(name, 0) + 1
             else:
-                self._execute_round([tenant], {})
+                # A keyed record must regenerate its original response
+                # (deterministic re-execution), so it replays stepped -
+                # flushing any coalesced attempts first to keep order.
+                if tenant.fault_model is None and pending.get(name):
+                    self._fast_forward(tenant, pending.pop(name))
+                responses: dict[str, dict] = {}
+                self._execute_round([tenant], responses)
+                if rid is not None:
+                    self._record_response(name, rid, responses[name])
         else:
             raise LedgerCorruptionError(
                 f"WAL record {record['seq']} has unknown op {op!r}",

@@ -26,15 +26,22 @@ discipline:
   one wear history would double-serve the same devices), and the lock
   dies with the process so a SIGKILL never wedges the directory.
 
-The WAL is never truncated past a snapshot: fault-model tenants replay
-their access records through the live fault RNG from provision time, so
-the full history is the cheapest representation that is exact.
+Snapshot format 1 records only the replayed engine arrays, so the WAL
+is never truncated past it: fault-model tenants replay their access
+records through the live fault RNG from provision time.  Format 2
+snapshots are **self-contained** - they carry provision parameters,
+per-tenant lifetimes and the fault-RNG/injector state - which is what
+makes **segment rotation** sound: once a format-2 snapshot covers the
+active WAL, :meth:`WearLedger.rotate_segment` seals it into
+``archive/segment-<first>-<last>.jsonl`` and recovery is bounded by one
+snapshot plus one active segment instead of the full history.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 
 try:
     import fcntl
@@ -45,15 +52,19 @@ from repro.errors import ConfigurationError, LedgerCorruptionError
 from repro.obs.recorder import OBS
 from repro.sim.checkpoint import load_checkpoint, save_checkpoint
 
-__all__ = ["WearLedger", "WAL_NAME", "SNAPSHOT_NAME", "LOCK_NAME"]
+__all__ = ["WearLedger", "WAL_NAME", "SNAPSHOT_NAME", "LOCK_NAME",
+           "ARCHIVE_DIR"]
 
 WAL_NAME = "wal.jsonl"
 SNAPSHOT_NAME = "snapshot.json"
 LOCK_NAME = "lock"
+ARCHIVE_DIR = "archive"
 
 #: ``meta["kind"]`` tag distinguishing service snapshots from campaign
 #: checkpoints sharing the same on-disk schema.
 _SNAPSHOT_KIND = "svc-snapshot"
+
+_SEGMENT_RE = re.compile(r"^segment-(\d{8})-(\d{8})\.jsonl$")
 
 
 class WearLedger:
@@ -65,14 +76,21 @@ class WearLedger:
         self.wal_path = os.path.join(directory, WAL_NAME)
         self.snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
         self.lock_path = os.path.join(directory, LOCK_NAME)
+        self.archive_dir = os.path.join(directory, ARCHIVE_DIR)
         self._handle = None
         self._lock_handle = None
         self._next_seq = 0
+        self._active_base = 0
 
     @property
     def next_seq(self) -> int:
         """The sequence number the next appended record will receive."""
         return self._next_seq
+
+    @property
+    def active_base(self) -> int:
+        """The first sequence number held by the active WAL segment."""
+        return self._active_base
 
     # ------------------------------------------------------------------
     # Single-writer guard
@@ -155,8 +173,12 @@ class WearLedger:
         Truncates a torn trailing WAL record in place (returning the
         intact prefix) and raises
         :class:`~repro.errors.LedgerCorruptionError` on any other
-        damage: mid-file garbage, missing ``seq``/``op`` fields, or a
-        non-contiguous sequence.  Also primes the next append seq.
+        damage: mid-file garbage, missing ``seq``/``op`` fields, a
+        non-contiguous sequence, or an archive/snapshot/WAL combination
+        whose coverage has a gap.  The returned records are the *active
+        segment* only; after a rotation the self-contained format-2
+        snapshot covers everything archived.  Also primes the next
+        append seq.
         """
         if self._handle is not None:
             raise ConfigurationError(
@@ -164,7 +186,10 @@ class WearLedger:
         self._acquire_lock()
         snapshot = self._load_snapshot()
         records = self._load_wal()
-        expected = 0
+        segments = self._archived_segments()
+        archived_end = segments[-1][1] if segments else -1
+        base = records[0].get("seq") if records else None
+        expected = base
         for record in records:
             if record.get("seq") != expected or "op" not in record:
                 raise LedgerCorruptionError(
@@ -172,14 +197,64 @@ class WearLedger:
                     f"damaged or out of sequence: {record!r}",
                     path=self.wal_path, seq=expected)
             expected += 1
-        self._next_seq = expected
+
+        fmt = 1
+        last_seq = -1
         if snapshot is not None:
-            last_seq = snapshot["meta"].get("last_seq", -1)
-            if last_seq >= expected:
+            fmt = int(snapshot["meta"].get("format", 1))
+            last_seq = int(snapshot["meta"].get("last_seq", -1))
+        if fmt < 2:
+            # Format-1 world: no archive, full history in the active WAL.
+            if segments:
+                raise LedgerCorruptionError(
+                    f"{self.archive_dir} holds sealed segments but the "
+                    f"snapshot is not self-contained (format {fmt})",
+                    path=self.archive_dir)
+            if records and base != 0:
+                raise LedgerCorruptionError(
+                    f"WAL of {self.wal_path} starts at seq {base}, not 0",
+                    path=self.wal_path, seq=base)
+            self._next_seq = len(records)
+            self._active_base = 0
+            if last_seq >= self._next_seq:
                 raise LedgerCorruptionError(
                     f"snapshot covers seq {last_seq} but the WAL ends at "
-                    f"{expected - 1}: the WAL lost durable history",
+                    f"{self._next_seq - 1}: the WAL lost durable history",
                     path=self.snapshot_path, seq=last_seq)
+            return snapshot, records
+
+        # Format-2 world: the snapshot covers everything <= last_seq; the
+        # active segment must butt up against the archive with no gap.
+        if not records:
+            # Legal only in the rotation crash window: the sealed segment
+            # ends exactly where the covering snapshot does.
+            if archived_end != last_seq:
+                raise LedgerCorruptionError(
+                    f"no active WAL and the archive ends at seq "
+                    f"{archived_end}, but the snapshot covers {last_seq}: "
+                    f"durable history was lost",
+                    path=self.wal_path, seq=last_seq)
+            self._next_seq = last_seq + 1
+            self._active_base = self._next_seq
+            return snapshot, records
+        last = expected - 1
+        if base != archived_end + 1:
+            raise LedgerCorruptionError(
+                f"active WAL starts at seq {base} but the archive ends "
+                f"at {archived_end}: records in between were lost",
+                path=self.wal_path, seq=base)
+        if last < last_seq:
+            raise LedgerCorruptionError(
+                f"snapshot covers seq {last_seq} but the WAL ends at "
+                f"{last}: the WAL lost durable history",
+                path=self.snapshot_path, seq=last_seq)
+        if last_seq < base - 1:
+            raise LedgerCorruptionError(
+                f"snapshot covers only seq {last_seq} but the active WAL "
+                f"starts at {base}: records in between were lost",
+                path=self.snapshot_path, seq=last_seq)
+        self._next_seq = last + 1
+        self._active_base = base
         return snapshot, records
 
     def _load_snapshot(self) -> dict | None:
@@ -235,12 +310,124 @@ class WearLedger:
         return records
 
     # ------------------------------------------------------------------
+    # Archived segments
+    def _archived_segments(self) -> list[tuple[int, int, str]]:
+        """Sealed segments as ``(first, last, path)``, validated contiguous."""
+        if not os.path.isdir(self.archive_dir):
+            return []
+        segments = []
+        for name in os.listdir(self.archive_dir):
+            match = _SEGMENT_RE.match(name)
+            if match is None:
+                continue
+            segments.append((int(match.group(1)), int(match.group(2)),
+                             os.path.join(self.archive_dir, name)))
+        segments.sort()
+        expected = 0
+        for first, last, path in segments:
+            if first != expected or last < first:
+                raise LedgerCorruptionError(
+                    f"archived segment {path} starts at seq {first}, "
+                    f"expected {expected}: the archive chain has a gap",
+                    path=path, seq=first)
+            expected = last + 1
+        return segments
+
+    def archived_records(self) -> list[dict]:
+        """Parse every sealed segment, in order (no lock required).
+
+        Sealed segments are immutable, so this is safe to call against a
+        live ledger - the chaos harness uses it to audit the *full*
+        history (``archived_records() + replay()[1]``) for invariants
+        like at-most-once idempotency keys.
+        """
+        records: list[dict] = []
+        for first, last, path in self._archived_segments():
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            expected = first
+            for index, line in enumerate(raw.split(b"\n")):
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as exc:
+                    raise LedgerCorruptionError(
+                        f"sealed segment line {index} of {path} is "
+                        f"damaged: {exc}", path=path, seq=expected) from exc
+                if record.get("seq") != expected or "op" not in record:
+                    raise LedgerCorruptionError(
+                        f"sealed segment record {expected} of {path} is "
+                        f"damaged or out of sequence: {record!r}",
+                        path=path, seq=expected)
+                records.append(record)
+                expected += 1
+            if expected != last + 1:
+                raise LedgerCorruptionError(
+                    f"sealed segment {path} ends at seq {expected - 1}, "
+                    f"its name promises {last}", path=path, seq=expected)
+        return records
+
+    def rotate_segment(self) -> str | None:
+        """Seal the active WAL into the archive; returns the segment path.
+
+        Only legal immediately after a **self-contained** (format >= 2)
+        snapshot covering every appended record: rotation deletes
+        nothing, but recovery stops replaying the sealed records, so the
+        snapshot must stand in for them completely.  A no-op (returns
+        ``None``) when the active segment is empty.
+        """
+        if self._handle is None:
+            raise ConfigurationError(
+                "rotate_segment requires the WAL to be open for append")
+        if self._active_base == self._next_seq:
+            return None
+        payload = load_checkpoint(self.snapshot_path)
+        if payload is None or payload["meta"].get("kind") != _SNAPSHOT_KIND:
+            raise ConfigurationError(
+                "rotate_segment requires a service snapshot")
+        meta = payload["meta"]
+        if int(meta.get("format", 1)) < 2:
+            raise ConfigurationError(
+                "rotate_segment requires a self-contained (format >= 2) "
+                "snapshot; format-1 snapshots lean on full-history replay")
+        if int(meta.get("last_seq", -1)) != self._next_seq - 1:
+            raise ConfigurationError(
+                f"rotate_segment requires the snapshot to cover seq "
+                f"{self._next_seq - 1}, it covers {meta.get('last_seq')}")
+        os.makedirs(self.archive_dir, exist_ok=True)
+        segment = os.path.join(
+            self.archive_dir,
+            f"segment-{self._active_base:08d}-{self._next_seq - 1:08d}"
+            f".jsonl")
+        self._handle.close()
+        os.replace(self.wal_path, segment)
+        for directory in (self.archive_dir, self.directory):
+            fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        self._active_base = self._next_seq
+        self._handle = open(self.wal_path, "ab")
+        if OBS.enabled:
+            OBS.metrics.inc("svc.segments_rotated")
+            OBS.event("svc.segment_sealed", path=segment,
+                      next_seq=self._next_seq)
+        return segment
+
+    # ------------------------------------------------------------------
     # Snapshots
-    def write_snapshot(self, last_seq: int, tenants: list[dict]) -> None:
-        """Atomically persist the replayed state as of ``last_seq``."""
-        save_checkpoint(self.snapshot_path,
-                        meta={"kind": _SNAPSHOT_KIND, "last_seq": last_seq},
-                        results=tenants)
+    def write_snapshot(self, last_seq: int, tenants,
+                       **meta_extra) -> None:
+        """Atomically persist the replayed state as of ``last_seq``.
+
+        ``meta_extra`` lands in the checkpoint's ``meta`` - the hub uses
+        it to tag self-contained snapshots with ``format=2``.
+        """
+        meta = {"kind": _SNAPSHOT_KIND, "last_seq": last_seq}
+        meta.update(meta_extra)
+        save_checkpoint(self.snapshot_path, meta=meta, results=tenants)
         if OBS.enabled:
             OBS.metrics.inc("svc.snapshots")
 

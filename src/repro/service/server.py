@@ -50,6 +50,7 @@ class ServiceConfig:
     rate_limit: float = 0.0      # per-tenant requests/s; 0 disables
     rate_burst: int = 8
     snapshot_every: int = 0      # rounds between snapshots; 0 = drain only
+    segment_records: int = 0     # rotate WAL past this size; 0 disables
     ready_file: str | None = None
 
     def __post_init__(self) -> None:
@@ -60,6 +61,12 @@ class ServiceConfig:
                 "rate_limit must be >= 0 and rate_burst >= 1")
         if self.snapshot_every < 0:
             raise ConfigurationError("snapshot_every must be >= 0")
+        if self.segment_records < 0:
+            raise ConfigurationError("segment_records must be >= 0")
+        if self.segment_records and not self.snapshot_every:
+            raise ConfigurationError(
+                "segment_records requires snapshot_every: rotation is "
+                "only legal behind a covering snapshot")
 
 
 class _TokenBucket:
@@ -202,6 +209,21 @@ class WearService:
         tenant = request.get("tenant")
         if not isinstance(tenant, str) or not tenant:
             return denied("bad-request", "tenant must be a non-empty string")
+        rid = request.get("rid")
+        if rid is not None and (not isinstance(rid, str) or not rid):
+            return denied("bad-request",
+                          "rid must be a non-empty string when present",
+                          tenant=tenant)
+        if rid is not None:
+            # Idempotent replay beats every other gate (including
+            # draining): the original attempt already committed its
+            # wear, so answering costs nothing and retries stay exact.
+            recorded = self.hub.recorded_response(tenant, rid)
+            if recorded is not None:
+                self.hub.idempotent_replays += 1
+                if OBS.enabled:
+                    OBS.metrics.inc("svc.idempotent_replays")
+                return recorded
         if self._draining:
             return denied("draining", "service is draining", tenant=tenant)
         if self.batcher.depth >= self.config.queue_cap:
@@ -223,7 +245,7 @@ class WearService:
                               f"tenant {tenant!r} exceeded "
                               f"{self.config.rate_limit:g} requests/s",
                               tenant=tenant)
-        response = await self.batcher.submit(tenant)
+        response = await self.batcher.submit(tenant, rid)
         self._maybe_snapshot()
         return response
 
@@ -234,6 +256,10 @@ class WearService:
         if self.hub.rounds - self._last_snapshot_round >= every:
             self._last_snapshot_round = self.hub.rounds
             self.hub.write_snapshot()
+            limit = self.config.segment_records
+            if limit and (self.ledger.next_seq
+                          - self.ledger.active_base) >= limit:
+                self.ledger.rotate_segment()
 
     def _status(self, request: dict) -> dict:
         response = self.hub.status(request.get("tenant"))

@@ -1,0 +1,151 @@
+"""Fault-model tenants recovered across a snapshot boundary.
+
+Self-contained (format-2) snapshots carry pool state *and* fault-RNG
+state, and segment rotation archives everything the snapshot covers -
+so a recovery that restores the snapshot and replays only the
+post-boundary WAL tail must land on a hub that is indistinguishable
+from one that never crashed.  "Indistinguishable" is tested the strong
+way: not just equal wear arrays at the crash point, but byte-identical
+responses for every access served *after* recovery, which only holds if
+the fault-RNG stream resumed at exactly the right draw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service.hub import WearHub
+from repro.service.ledger import WearLedger
+
+FAULTS = {"misfire_rate": 0.15, "stuck_closed_probability": 0.4,
+          "timeout_rate": 0.05}
+PRE_ROUNDS = 6       # rounds before the snapshot boundary
+POST_ROUNDS = 9      # rounds in the replayed WAL tail
+FUTURE_ROUNDS = 12   # rounds served after recovery
+STATE_FIELDS = ("used", "lifetime", "bank_accesses", "bank_dead",
+                "current", "total_accesses")
+
+
+def _provision(hub, seed=404):
+    for name, faults in (("faulty-a", FAULTS), ("faulty-b", FAULTS),
+                         ("plain", None)):
+        response = hub.provision({
+            "op": "provision", "tenant": name, "alpha": 9.0, "beta": 6.0,
+            "n": 6, "k": 2, "copies": 3, "seed": seed,
+            "secret": bytes(range(16)).hex(), "faults": faults})
+        assert response["status"] == "ok", response
+        seed += 1
+
+
+def _drive(hub, rounds, tag):
+    responses = []
+    for index in range(rounds):
+        batch = hub.serve_round([
+            ("faulty-a", f"{tag}-a-{index}"),
+            ("faulty-b", f"{tag}-b-{index}"),
+            ("plain", f"{tag}-p-{index}")])
+        responses.append({name: batch[name]
+                          for name in ("faulty-a", "faulty-b", "plain")})
+    return responses
+
+
+def _arrays(hub):
+    out = {}
+    for name, tenant in hub.tenants.items():
+        state, row = tenant.pool.state, tenant.row
+        out[name] = {field: np.asarray(getattr(state, field)[row]).copy()
+                     for field in STATE_FIELDS}
+        out[name]["counters"] = (tenant.attempts, tenant.served)
+    return out
+
+
+def _assert_same_state(expected, actual):
+    assert set(expected) == set(actual)
+    for name in expected:
+        for field in STATE_FIELDS:
+            assert np.array_equal(expected[name][field],
+                                  actual[name][field]), (name, field)
+        assert expected[name]["counters"] == actual[name]["counters"], name
+
+
+def _uninterrupted_reference(ref_dir):
+    """The never-crashed twin: same population, same round plan."""
+    hub = WearHub(WearLedger(ref_dir))
+    hub.ledger.open_for_append()
+    _provision(hub)
+    _drive(hub, PRE_ROUNDS, "pre")
+    _drive(hub, POST_ROUNDS, "post")
+    checkpoint = _arrays(hub)
+    future = _drive(hub, FUTURE_ROUNDS, "future")
+    hub.ledger.close()
+    return checkpoint, future
+
+
+@pytest.mark.parametrize("post_rounds", [POST_ROUNDS, 0],
+                         ids=["replayed-tail", "boundary-crash"])
+def test_recovery_across_the_boundary_is_bit_exact(tmp_path, post_rounds):
+    checkpoint_ref, future_ref = _uninterrupted_reference(
+        str(tmp_path / "reference"))
+    if post_rounds == 0:
+        # The crash-at-the-boundary twin never served the post rounds,
+        # so its reference checkpoint stops at the snapshot.
+        checkpoint_ref, future_ref = None, None
+
+    ledger_dir = str(tmp_path / "ledger")
+    hub = WearHub(WearLedger(ledger_dir))
+    hub.ledger.open_for_append()
+    _provision(hub)
+    _drive(hub, PRE_ROUNDS, "pre")
+    hub.write_snapshot()
+    hub.ledger.rotate_segment()     # the boundary: pre-rounds archived
+    _drive(hub, post_rounds, "post")
+    expected_state = _arrays(hub)
+    hub.ledger.close()
+
+    # The crash: a torn trailing record, exactly what a kill during the
+    # WAL batch write leaves behind.
+    wal_path = hub.ledger.wal_path
+    with open(wal_path, "rb") as handle:
+        intact = handle.read()
+    with open(wal_path, "ab") as handle:
+        handle.write(b'{"op":"access","tenant":"faulty-a","seq":9999')
+
+    recovered = WearHub(WearLedger(ledger_dir))
+    recovered.recover()
+    _assert_same_state(expected_state, _arrays(recovered))
+    if checkpoint_ref is not None:
+        _assert_same_state(checkpoint_ref, _arrays(recovered))
+    with open(wal_path, "rb") as handle:
+        assert handle.read() == intact, "torn tail absorbed"
+
+    # The decisive check: the fault-RNG stream resumed mid-flight, so
+    # post-recovery service is byte-identical to the never-crashed twin.
+    recovered.ledger.open_for_append()
+    future = _drive(recovered, FUTURE_ROUNDS, "future")
+    if future_ref is not None:
+        assert future == future_ref
+    recovered.ledger.close()
+
+
+def test_replayed_tail_regenerates_keyed_responses(tmp_path):
+    # The WAL tail replay is *stepped* re-execution: every rid-bearing
+    # record regenerates its original response for the idempotency
+    # table, so retries that straddle the crash still replay.
+    ledger_dir = str(tmp_path / "ledger")
+    hub = WearHub(WearLedger(ledger_dir))
+    hub.ledger.open_for_append()
+    _provision(hub)
+    _drive(hub, PRE_ROUNDS, "pre")
+    hub.write_snapshot()
+    hub.ledger.rotate_segment()
+    post = _drive(hub, POST_ROUNDS, "post")
+    hub.ledger.close()
+
+    recovered = WearHub(WearLedger(ledger_dir))
+    recovered.recover()
+    for index, batch in enumerate(post):
+        for name, suffix in (("faulty-a", "a"), ("faulty-b", "b"),
+                             ("plain", "p")):
+            assert recovered.recorded_response(
+                name, f"post-{suffix}-{index}") == batch[name], \
+                (name, index)
+    recovered.ledger.close()

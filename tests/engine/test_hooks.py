@@ -14,6 +14,7 @@ from repro.core.hardware import SerialCopies, SimulatedBank
 from repro.engine.hooks import (
     ScalarHookAdapter,
     VectorFaultHook,
+    VectorStuckClosedConversion,
     VectorTransientMisfire,
     vector_hook_for,
 )
@@ -112,6 +113,63 @@ class TestVectorTransientMisfire:
         assert isinstance(hook, VectorFaultHook)
 
 
+class TestVectorStuckClosedConversion:
+    """The native stuck-closed hook must replay the scalar draw order.
+
+    The scalar injector decides each newly-dead switch's stickiness
+    with one uniform, in instance-major, switch-index order - exactly
+    the row-major order of ``np.nonzero`` over the candidate matrix -
+    and draws nothing at all when the probability is zero.  The vector
+    implementation must consume the identical stream.
+    """
+
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("probability", [0.0, 0.3, 0.7, 1.0])
+    def test_bit_identical_to_scalar_adapter(self, k, probability):
+        lifetimes = np.random.default_rng(13).uniform(
+            0.0, 6.0, size=(3, 3, 4))
+        scalar_model = FaultModel([StuckClosedConversion(probability)],
+                                  seed=55)
+        vector_model = FaultModel([StuckClosedConversion(probability)],
+                                  seed=55)
+        reference = WearState(lifetimes.copy(), k,
+                              vector_hook=ScalarHookAdapter(scalar_model))
+        native = WearState(
+            lifetimes.copy(), k,
+            vector_hook=VectorStuckClosedConversion(
+                vector_model.injectors[0], vector_model.rng))
+        served_ref = reference.run_to_exhaustion(150)
+        served_native = native.run_to_exhaustion(150)
+        assert np.array_equal(served_ref, served_native)
+        for array in ("used", "bank_accesses", "bank_dead", "current",
+                      "total_accesses"):
+            assert np.array_equal(getattr(reference, array),
+                                  getattr(native, array)), array
+        assert (scalar_model.total_injections
+                == vector_model.total_injections)
+        # Same number of fault draws consumed - including the
+        # probability-0 short circuit, which must consume none.
+        assert (scalar_model.rng.bit_generator.state
+                == vector_model.rng.bit_generator.state)
+
+    def test_conversion_is_sticky_across_rounds(self):
+        # One switch, lifetime 1, probability 1: dies after the first
+        # access and reads closed forever after.
+        model = FaultModel([StuckClosedConversion(1.0)], seed=2)
+        state = WearState(np.ones((1, 1, 1)), 1,
+                          vector_hook=VectorStuckClosedConversion(
+                              model.injectors[0], model.rng))
+        for _ in range(5):
+            assert state.step_access()[0]
+        assert state.total_accesses[0] == 5
+        assert model.injectors[0].injections == 1
+
+    def test_is_a_vector_fault_hook(self):
+        model = FaultModel([StuckClosedConversion(0.5)], seed=0)
+        hook = VectorStuckClosedConversion(model.injectors[0], model.rng)
+        assert isinstance(hook, VectorFaultHook)
+
+
 class TestVectorHookFor:
     def test_none_stays_none(self):
         assert vector_hook_for(None) is None
@@ -120,6 +178,13 @@ class TestVectorHookFor:
         model = FaultModel([TransientMisfire(0.2)], seed=3)
         hook = vector_hook_for(model)
         assert isinstance(hook, VectorTransientMisfire)
+        assert hook.injector is model.injectors[0]
+        assert hook.rng is model.rng
+
+    def test_lone_stuck_closed_goes_native(self):
+        model = FaultModel([StuckClosedConversion(0.4)], seed=3)
+        hook = vector_hook_for(model)
+        assert isinstance(hook, VectorStuckClosedConversion)
         assert hook.injector is model.injectors[0]
         assert hook.rng is model.rng
 

@@ -43,7 +43,7 @@ class TestBenchSuite:
         assert names == {"mc.fast", "mc.checkpointed", "mc.hardware",
                          "faults.campaign", "replay.trace",
                          "pads.traverse", "checkpoint.roundtrip",
-                         "svc.loadgen"}
+                         "svc.loadgen", "svc.fleet"}
         for workload in tiny_report["workloads"]:
             assert workload["units"] > 0
             assert workload["wall_s"]["min"] > 0
@@ -205,6 +205,49 @@ class TestServiceSection:
         text = render_bench_report(tiny_report)
         assert "service load" in text
         assert "req/s" in text
+
+
+class TestFleetSection:
+    def test_report_carries_the_fleet_load(self, tiny_report):
+        fleet = tiny_report["fleet"]
+        assert fleet["workload"] == "svc.fleet"
+        assert fleet["shards"] == SCALES["tiny"]["fleet_shards"]
+        assert fleet["shards"] >= 2
+        assert fleet["tenants"] == SCALES["tiny"]["fleet_tenants"]
+        assert fleet["requests"] == SCALES["tiny"]["fleet_requests"]
+        assert fleet["served"] > 0
+        assert fleet["requests_per_s"] > 0
+        assert sum(fleet["outcomes"].values()) == fleet["requests"]
+        assert len(fleet["per_shard_requests"]) == fleet["shards"]
+        assert sum(fleet["per_shard_requests"]) == fleet["requests"]
+
+    def test_render_includes_the_fleet_line(self, tiny_report):
+        text = render_bench_report(tiny_report)
+        assert "fleet load" in text
+        assert "shards" in text
+
+    def test_schema_3_accepted_without_the_fleet_section(self, tiny_report):
+        v3 = json.loads(json.dumps(tiny_report))
+        v3["schema_version"] = 3
+        del v3["fleet"]
+        validate_bench_report(v3)
+
+    def test_schema_4_requires_the_fleet_section(self, tiny_report):
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["fleet"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["fleet"]["per_shard_requests"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
+
+    def test_single_shard_fleet_rejected(self, tiny_report):
+        broken = json.loads(json.dumps(tiny_report))
+        broken["fleet"]["shards"] = 1
+        with pytest.raises(ConfigurationError,
+                           match="at least 2 shards"):
+            validate_bench_report(broken)
 
 
 class TestMemorySection:

@@ -155,3 +155,136 @@ class TestConnectionEquivalence:
         with pytest.raises(DeviceWornOutError):
             connection.read_key()
         assert connection.is_exhausted
+
+
+class TestIdempotency:
+    def test_replay_returns_the_recorded_response(self, hub):
+        hub.provision(_provision_request())
+        first = hub.serve_round([("t0", "rid-1")])["t0"]
+        assert first["status"] == "ok"
+        wal_after_first = hub.ledger.next_seq
+        attempts = hub.tenants["t0"].attempts
+        replayed = hub.serve_round([("t0", "rid-1")])["t0"]
+        assert replayed == first
+        # The replay charged nothing: no WAL record, no attempt.
+        assert hub.ledger.next_seq == wal_after_first
+        assert hub.tenants["t0"].attempts == attempts
+        assert hub.idempotent_replays == 1
+
+    def test_distinct_rids_each_charge_wear(self, hub):
+        hub.provision(_provision_request())
+        a = hub.serve_round([("t0", "rid-a")])["t0"]
+        b = hub.serve_round([("t0", "rid-b")])["t0"]
+        assert hub.tenants["t0"].attempts == 2
+        assert a["attempts"] == 1 and b["attempts"] == 2
+
+    def test_rid_is_persisted_in_the_wal_record(self, hub):
+        hub.provision(_provision_request())
+        hub.serve_round([("t0", "rid-x")])
+        import json
+        with open(hub.ledger.wal_path) as handle:
+            last = json.loads(handle.read().splitlines()[-1])
+        assert last["op"] == "access"
+        assert last["rid"] == "rid-x"
+
+    def test_exhausted_answer_is_recorded_too(self, hub):
+        hub.provision(_provision_request(n=1, k=1, copies=1, alpha=0.5,
+                                         beta=6.0))
+        rid_index = 0
+        while True:
+            rid = f"rid-{rid_index}"
+            response = hub.serve_round([("t0", rid)])["t0"]
+            rid_index += 1
+            if response["status"] == "exhausted":
+                break
+        again = hub.serve_round([("t0", rid)])["t0"]
+        assert again == response
+        assert hub.idempotent_replays == 1
+
+    def test_plain_string_rounds_still_work(self, hub):
+        hub.provision(_provision_request())
+        response = hub.serve_round(["t0"])["t0"]
+        assert response["status"] == "ok"
+        # Unkeyed accesses are never recorded for replay.
+        assert not hub._responses
+
+    def test_response_retention_is_fifo_bounded(self, tmp_path):
+        hub = WearHub(WearLedger(str(tmp_path)), response_retention=2)
+        hub.ledger.open_for_append()
+        try:
+            hub.provision(_provision_request())
+            for index in range(3):
+                hub.serve_round([("t0", f"rid-{index}")])
+            assert hub.recorded_response("t0", "rid-0") is None
+            assert hub.recorded_response("t0", "rid-2") is not None
+        finally:
+            hub.ledger.close()
+
+
+class TestSelfContainedSnapshot:
+    FAULTS = {"misfire_rate": 0.1, "stuck_closed_probability": 0.5,
+              "timeout_rate": 0.05}
+
+    def _drive(self, hub, rounds, tag):
+        responses = []
+        for index in range(rounds):
+            responses.append(hub.serve_round(
+                [("t0", f"{tag}-{index}")])["t0"])
+        return responses
+
+    def test_snapshot_meta_is_format_2(self, hub):
+        hub.provision(_provision_request())
+        hub.serve_round(["t0"])
+        hub.write_snapshot()
+        from repro.sim.checkpoint import load_checkpoint
+        payload = load_checkpoint(hub.ledger.snapshot_path)
+        assert payload["meta"]["format"] == 2
+        assert payload["results"][0]["params"]["n"] == N
+
+    def test_fault_tenant_recovers_from_snapshot_alone(self, tmp_path):
+        # Drive a faulted tenant, snapshot, rotate the pre-snapshot
+        # records away so recovery CANNOT re-execute them, then keep
+        # driving.  Recovery must restore from the snapshot and replay
+        # only the tail - landing on the same state and regenerating
+        # the same keyed responses the live hub produced.
+        hub = WearHub(WearLedger(str(tmp_path)))
+        hub.ledger.open_for_append()
+        hub.provision(_provision_request(faults=self.FAULTS))
+        self._drive(hub, 5, "pre")
+        hub.write_snapshot()
+        hub.ledger.rotate_segment()
+        continued = self._drive(hub, 8, "post")
+        hub.ledger.close()
+
+        recovered = WearHub(WearLedger(str(tmp_path)))
+        recovered.recover()
+        tenant, mirror = hub.tenants["t0"], recovered.tenants["t0"]
+        assert mirror.attempts == tenant.attempts
+        assert mirror.served == tenant.served
+        import numpy as np
+        for field in ("used", "lifetime", "bank_accesses", "bank_dead",
+                      "current", "total_accesses"):
+            assert np.array_equal(
+                getattr(tenant.pool.state, field)[tenant.row],
+                getattr(mirror.pool.state, field)[mirror.row]), field
+        # Stepped replay of the post-rotation tail regenerated every
+        # keyed response byte for byte.
+        for index, response in enumerate(continued):
+            assert recovered.recorded_response(
+                "t0", f"post-{index}") == response
+        recovered.ledger.close()
+
+    def test_keyed_responses_survive_the_snapshot(self, tmp_path):
+        hub = WearHub(WearLedger(str(tmp_path)))
+        hub.ledger.open_for_append()
+        hub.provision(_provision_request())
+        original = hub.serve_round([("t0", "rid-keep")])["t0"]
+        hub.write_snapshot()
+        hub.ledger.rotate_segment()
+        hub.ledger.close()
+        recovered = WearHub(WearLedger(str(tmp_path)))
+        recovered.recover()
+        recovered.ledger.open_for_append()
+        assert recovered.serve_round([("t0", "rid-keep")])["t0"] == original
+        assert recovered.idempotent_replays == 1
+        recovered.ledger.close()

@@ -190,3 +190,139 @@ class TestSnapshots:
             ledger.replay()
         assert excinfo.value.path == ledger.wal_path
         assert os.path.exists(ledger.wal_path)
+
+
+class TestSegmentRotation:
+    def _seed(self, tmp_path, records=4):
+        ledger = WearLedger(str(tmp_path))
+        ledger.open_for_append()
+        ledger.append_batch([{"op": "access", "tenant": "a"}
+                             for _ in range(records)])
+        return ledger
+
+    def test_rotation_seals_the_wal_and_replay_resumes(self, tmp_path):
+        ledger = self._seed(tmp_path)
+        ledger.write_snapshot(3, [{"tenant": "a"}], format=2)
+        segment = ledger.rotate_segment()
+        assert segment is not None
+        assert os.path.basename(segment) == "segment-00000000-00000003.jsonl"
+        assert _wal_bytes(ledger) == b""
+        assert ledger.active_base == 4
+        ledger.append({"op": "access", "tenant": "a"})
+        ledger.close()
+        reopened = WearLedger(str(tmp_path))
+        snapshot, records = reopened.replay()
+        assert snapshot["meta"]["last_seq"] == 3
+        assert [r["seq"] for r in records] == [4]
+        assert reopened.next_seq == 5
+        archived = reopened.archived_records()
+        assert [r["seq"] for r in archived] == [0, 1, 2, 3]
+
+    def test_empty_active_segment_is_a_noop(self, tmp_path):
+        ledger = self._seed(tmp_path)
+        ledger.write_snapshot(3, [], format=2)
+        assert ledger.rotate_segment() is not None
+        assert ledger.rotate_segment() is None
+        ledger.close()
+
+    def test_rotation_requires_a_covering_snapshot(self, tmp_path):
+        ledger = self._seed(tmp_path)
+        ledger.write_snapshot(2, [], format=2)  # one record short
+        with pytest.raises(ConfigurationError):
+            ledger.rotate_segment()
+        ledger.close()
+
+    def test_rotation_refuses_format_1_snapshots(self, tmp_path):
+        ledger = self._seed(tmp_path)
+        ledger.write_snapshot(3, [])  # format 1: not self-contained
+        with pytest.raises(ConfigurationError):
+            ledger.rotate_segment()
+        ledger.close()
+
+    def test_rotation_requires_an_open_wal(self, tmp_path):
+        ledger = self._seed(tmp_path)
+        ledger.write_snapshot(3, [], format=2)
+        ledger.close()
+        with pytest.raises(ConfigurationError):
+            ledger.rotate_segment()
+
+    def test_repeated_rotations_chain_contiguously(self, tmp_path):
+        ledger = self._seed(tmp_path, records=2)
+        ledger.write_snapshot(1, [], format=2)
+        first = ledger.rotate_segment()
+        ledger.append_batch([{"op": "access", "tenant": "a"}] * 3)
+        ledger.write_snapshot(4, [], format=2)
+        second = ledger.rotate_segment()
+        ledger.close()
+        assert os.path.basename(first) == "segment-00000000-00000001.jsonl"
+        assert os.path.basename(second) == "segment-00000002-00000004.jsonl"
+        reopened = WearLedger(str(tmp_path))
+        snapshot, records = reopened.replay()
+        assert records == []
+        assert reopened.next_seq == 5
+        assert [r["seq"] for r in reopened.archived_records()] \
+            == [0, 1, 2, 3, 4]
+
+    def test_archive_gap_is_corruption(self, tmp_path):
+        ledger = self._seed(tmp_path, records=2)
+        ledger.write_snapshot(1, [], format=2)
+        first = ledger.rotate_segment()
+        ledger.append_batch([{"op": "access", "tenant": "a"}] * 2)
+        ledger.write_snapshot(3, [], format=2)
+        ledger.rotate_segment()
+        ledger.close()
+        os.unlink(first)
+        with pytest.raises(LedgerCorruptionError):
+            WearLedger(str(tmp_path)).replay()
+
+    def test_torn_active_tail_after_rotation_is_truncated(self, tmp_path):
+        ledger = self._seed(tmp_path, records=2)
+        ledger.write_snapshot(1, [], format=2)
+        ledger.rotate_segment()
+        ledger.append({"op": "access", "tenant": "a"})
+        ledger.close()
+        with open(ledger.wal_path, "ab") as handle:
+            handle.write(b'{"op":"access","seq":3,"ten')
+        reopened = WearLedger(str(tmp_path))
+        _, records = reopened.replay()
+        assert [r["seq"] for r in records] == [2]
+        assert reopened.next_seq == 3
+
+    def test_missing_active_wal_is_only_legal_at_the_boundary(self,
+                                                              tmp_path):
+        # Crash window: rotation renamed the WAL away but the fresh one
+        # was never created.  Legal iff the snapshot covers the archive.
+        ledger = self._seed(tmp_path, records=2)
+        ledger.write_snapshot(1, [], format=2)
+        ledger.rotate_segment()
+        ledger.close()
+        os.unlink(ledger.wal_path)
+        reopened = WearLedger(str(tmp_path))
+        snapshot, records = reopened.replay()
+        assert records == []
+        assert reopened.next_seq == 2
+
+    def test_missing_active_wal_past_the_boundary_is_corruption(
+            self, tmp_path):
+        ledger = self._seed(tmp_path, records=2)
+        ledger.write_snapshot(1, [], format=2)
+        ledger.rotate_segment()
+        ledger.append({"op": "access", "tenant": "a"})
+        # A later snapshot covers seq 2, which lives only in the active
+        # WAL; losing that WAL is then a detectable gap (unlike the
+        # rotation crash window, where the archive ends exactly at the
+        # snapshot boundary).
+        ledger.write_snapshot(2, [], format=2)
+        ledger.close()
+        os.unlink(ledger.wal_path)
+        with pytest.raises(LedgerCorruptionError):
+            WearLedger(str(tmp_path)).replay()
+
+    def test_archive_without_snapshot_is_corruption(self, tmp_path):
+        ledger = self._seed(tmp_path, records=2)
+        ledger.write_snapshot(1, [], format=2)
+        ledger.rotate_segment()
+        ledger.close()
+        os.unlink(ledger.snapshot_path)
+        with pytest.raises(LedgerCorruptionError):
+            WearLedger(str(tmp_path)).replay()

@@ -262,3 +262,65 @@ class TestLoadgen:
             _with_service(_config(tmp_path), scenario))
         assert first["provisioned"] == 2
         assert second["provisioned"] == 0  # already there, tolerated
+
+
+class TestIdempotentRetries:
+    def test_same_rid_over_the_socket_replays(self, tmp_path):
+        async def scenario(host, port, service):
+            client = await ServiceClient(host, port).connect()
+            payload = tenant_population(1, seed=3)[0]
+            await client.provision(**payload)
+            tenant = payload["tenant"]
+            first = await client.access(tenant, rid="sock-1")
+            replay = await client.access(tenant, rid="sock-1")
+            assert replay == first
+            fresh = await client.access(tenant, rid="sock-2")
+            assert fresh["attempts"] == first["attempts"] + 1
+            await client.close()
+
+        asyncio.run(_with_service(_config(tmp_path), scenario))
+
+    def test_bad_rid_is_a_bad_request(self, tmp_path):
+        async def scenario(host, port, service):
+            client = await ServiceClient(host, port).connect()
+            payload = tenant_population(1, seed=3)[0]
+            await client.provision(**payload)
+            for bad in ("", 7):
+                response = await client.request(
+                    {"op": "access", "tenant": payload["tenant"],
+                     "rid": bad})
+                assert response["status"] == "bad-request"
+            # A null rid is the documented "no idempotency key" case,
+            # not an error: the access goes through unkeyed.
+            response = await client.request(
+                {"op": "access", "tenant": payload["tenant"], "rid": None})
+            assert response["status"] == "ok"
+            await client.close()
+
+        asyncio.run(_with_service(_config(tmp_path), scenario))
+
+    def test_segment_rotation_under_load(self, tmp_path):
+        async def scenario(host, port, service):
+            client = await ServiceClient(host, port).connect()
+            payload = tenant_population(1, seed=3)[0]
+            await client.provision(**payload)
+            for index in range(10):
+                await client.access(payload["tenant"], rid=f"rot-{index}")
+            await client.close()
+
+        config = _config(tmp_path, snapshot_every=2, segment_records=4)
+        asyncio.run(_with_service(config, scenario))
+        from repro.service.hub import WearHub
+        from repro.service.ledger import WearLedger
+
+        ledger = WearLedger(config.ledger_dir)
+        assert ledger.archived_records()  # rotation actually happened
+        hub = WearHub(ledger)
+        hub.recover()
+        tenant = hub.tenants[tenant_population(1, seed=3)[0]["tenant"]]
+        assert tenant.attempts == 10
+        hub.ledger.close()
+
+    def test_segment_records_requires_snapshot_every(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            _config(tmp_path, segment_records=8)

@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.gf",
     "repro.pads",
     "repro.passwords",
+    "repro.service",
     "repro.sim",
     "repro.targeting",
     "repro.viz",
