@@ -16,11 +16,17 @@ Subcommands mirror the workflows a user of the paper's system needs:
   TCP, batched wear accounting, durable wear ledger)
 - ``loadgen``     drive a running service with a seeded multi-tenant
   workload and report outcome statistics
+- ``fleet``       sharded fleet operations: ``run`` (spawn + drive, the
+  default), ``serve`` (supervise until SIGTERM), ``drive`` (load an
+  already-running fleet) and ``top`` (live telemetry dashboard)
+- ``chaos``       scripted crash/recovery scenarios asserting the
+  fleet's wear-exactness invariants
 
-``simulate``, ``faults``, ``experiments`` and ``bench`` accept the
-observability flags ``--metrics-out`` (JSON metrics snapshot),
-``--trace-out`` (JSONL span trace) and ``--obs-summary`` (human-readable
-tables, to stdout or a file); see ``docs/observability.md``.
+Commands that do real work accept the observability flags
+``--metrics-out`` (JSON metrics snapshot), ``--trace-out`` (JSONL span
+trace), ``--obs-summary`` (human-readable tables, to stdout or a file)
+and ``--obs-metrics`` (recorder on, no sinks - what gives the service
+``metrics`` op histograms to export); see ``docs/observability.md``.
 
 Exit codes: 0 success, 1 error (or fault-campaign ceiling violations),
 2 usage / checkpoint-mismatch, 3 bench overhead regression, 4 bench
@@ -34,6 +40,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 import time
 
@@ -79,6 +86,10 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
                         const="-", default=None,
                         help="print observability summary tables "
                              "(or write them to FILE)")
+    parser.add_argument("--obs-metrics", action="store_true",
+                        help="enable the in-process recorder without "
+                             "attaching any sink (gives the service "
+                             "metrics op histograms to export)")
 
 
 @contextlib.contextmanager
@@ -91,7 +102,8 @@ def _obs_session(args):
     repeatedly in-process).
     """
     wants = (args.metrics_out is not None or args.trace_out is not None
-             or args.obs_summary is not None)
+             or args.obs_summary is not None
+             or getattr(args, "obs_metrics", False))
     if not wants:
         yield False
         return
@@ -507,6 +519,7 @@ def cmd_loadgen(args) -> int:
             print(f"  batched into {service.get('rounds', 0)} rounds "
                   f"(mean size {service.get('batch_size_mean', 0):.2f}, "
                   f"max {service.get('batch_size_max', 0)})")
+        _print_latency_split(stats.get("latency_split"))
         _print_wall_clock("requests", args.requests, elapsed)
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:
@@ -514,6 +527,28 @@ def cmd_loadgen(args) -> int:
             handle.write("\n")
         print(f"loadgen stats written to {args.json_out}")
     return 0 if stats["served"] > 0 else 1
+
+
+def _format_ms(seconds) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.3f}ms"
+
+
+def _print_latency_split(split: dict | None) -> None:
+    """Queue-wait vs kernel-time breakdown from the shard's histograms.
+
+    Silent when the server ran without ``--obs-metrics`` - the split
+    only exists where something recorded it.
+    """
+    if not split:
+        return
+    print("  latency split (server-side, per stage):")
+    for label in ("queue_wait", "kernel", "wal_append", "round"):
+        stage = split.get(label)
+        if stage:
+            print(f"    {label:<10} p50 {_format_ms(stage.get('p50'))}  "
+                  f"p95 {_format_ms(stage.get('p95'))}  "
+                  f"p99 {_format_ms(stage.get('p99'))}  "
+                  f"max {_format_ms(stage.get('max'))}")
 
 
 def _retry_policy(args):
@@ -535,19 +570,65 @@ def _add_retry_arguments(parser) -> None:
                         help="backoff ceiling cap in seconds")
 
 
-def cmd_fleet(args) -> int:
-    import asyncio
-
-    from repro.service.fleet import run_fleet_loadgen
+def _fleet_supervisor(args):
     from repro.service.supervisor import FleetSupervisor
 
-    supervisor = FleetSupervisor(
+    return FleetSupervisor(
         args.root, args.shards,
         window_s=args.window_ms / 1000.0,
         max_batch=args.max_batch,
         queue_cap=args.queue_cap,
         snapshot_every=args.snapshot_every,
-        segment_records=args.segment_records)
+        segment_records=args.segment_records,
+        obs_trace=args.shard_trace)
+
+
+def _fleet_map_path(args) -> str:
+    from repro.service.fleet import FLEET_MAP_NAME
+
+    return os.path.join(args.root, FLEET_MAP_NAME)
+
+
+def _print_fleet_stats(stats: dict, requests: int,
+                       elapsed: float) -> None:
+    print(f"fleet: {stats['requests']} requests over "
+          f"{stats['tenants']} tenants across {stats['shards']} "
+          f"shards ({stats['requests_per_s']:,.1f} req/s)")
+    for status, count in stats["outcomes"].items():
+        print(f"  {status:<14} {count}")
+    print(f"  per-shard requests {stats['per_shard_requests']} | "
+          f"busy retries {stats['busy_retries']} | "
+          f"reconnects {stats['reconnects']}")
+    _print_wall_clock("requests", requests, elapsed)
+
+
+def _write_fleet_json(path: str | None, payload: dict,
+                      label: str) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    print(f"{label} written to {path}")
+
+
+def _write_prom(path: str, snapshot: dict) -> None:
+    """Atomically publish the text exposition (scrapers read mid-write)."""
+    from repro.obs.export import render_prometheus
+
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(snapshot))
+    os.replace(tmp, path)
+
+
+def _fleet_run(args) -> int:
+    """Spawn a fleet, drive it, tear it down - the one-shot smoke path."""
+    import asyncio
+
+    from repro.service.fleet import run_fleet_loadgen
+
+    supervisor = _fleet_supervisor(args)
     with _obs_session(args):
         started = time.perf_counter()
         with OBS.span("cli.fleet", shards=args.shards,
@@ -559,21 +640,95 @@ def cmd_fleet(args) -> int:
                     concurrency=args.concurrency, seed=args.seed,
                     retry=_retry_policy(args)))
         elapsed = time.perf_counter() - started
-        print(f"fleet: {stats['requests']} requests over "
-              f"{stats['tenants']} tenants across {stats['shards']} "
-              f"shards ({stats['requests_per_s']:,.1f} req/s)")
-        for status, count in stats["outcomes"].items():
-            print(f"  {status:<14} {count}")
-        print(f"  per-shard requests {stats['per_shard_requests']} | "
-              f"busy retries {stats['busy_retries']} | "
-              f"reconnects {stats['reconnects']}")
-        _print_wall_clock("requests", args.requests, elapsed)
-    if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(stats, handle, indent=2)
-            handle.write("\n")
-        print(f"fleet stats written to {args.json_out}")
+        _print_fleet_stats(stats, args.requests, elapsed)
+    _write_fleet_json(args.json_out, stats, "fleet stats")
     return 0 if stats["served"] > 0 else 1
+
+
+def _fleet_serve(args) -> int:
+    """Supervise a fleet until SIGTERM/SIGINT; optional exposition file."""
+    import signal
+
+    supervisor = _fleet_supervisor(args)
+    stop: list[int] = []
+
+    def _request_stop(signum, frame) -> None:
+        stop.append(signum)
+
+    previous = {signum: signal.signal(signum, _request_stop)
+                for signum in (signal.SIGTERM, signal.SIGINT)}
+    try:
+        with _obs_session(args):
+            with supervisor:
+                print(f"fleet: {args.shards} shard(s) serving under "
+                      f"{args.root} (map {supervisor.map_path})",
+                      flush=True)
+                last_export = 0.0
+                while not stop:
+                    for index in supervisor.poll():
+                        print(f"fleet: restarted shard {index}",
+                              flush=True)
+                    now = time.monotonic()
+                    if (args.prom_out
+                            and now - last_export >= args.interval):
+                        _write_prom(args.prom_out,
+                                    supervisor.fleet_snapshot())
+                        last_export = now
+                    time.sleep(0.1)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("fleet stopped cleanly")
+    return 0
+
+
+def _fleet_drive(args) -> int:
+    """Load an already-running fleet (one started by ``fleet serve``)."""
+    import asyncio
+
+    from repro.service.fleet import run_fleet_loadgen
+
+    with _obs_session(args):
+        started = time.perf_counter()
+        with OBS.span("cli.fleet_drive", requests=args.requests):
+            stats = asyncio.run(run_fleet_loadgen(
+                _fleet_map_path(args), tenants=args.tenants,
+                requests=args.requests, concurrency=args.concurrency,
+                seed=args.seed, retry=_retry_policy(args)))
+        elapsed = time.perf_counter() - started
+        _print_fleet_stats(stats, args.requests, elapsed)
+    _write_fleet_json(args.json_out, stats, "fleet stats")
+    return 0 if stats["served"] > 0 else 1
+
+
+def _fleet_top(args) -> int:
+    """Live fleet telemetry dashboard (``--once`` for CI assertions)."""
+    from repro.obs.aggregate import collect_fleet_metrics, render_fleet_top
+
+    map_path = _fleet_map_path(args)
+    previous = None
+    try:
+        while True:
+            snapshot = collect_fleet_metrics(
+                map_path, timeout_s=max(args.interval, 2.0))
+            if previous is not None:
+                print()
+            print(render_fleet_top(snapshot, previous), flush=True)
+            if args.prom_out:
+                _write_prom(args.prom_out, snapshot)
+            _write_fleet_json(args.json_out, snapshot, "fleet snapshot")
+            if args.once:
+                return 0 if snapshot["totals"]["alive"] else 1
+            previous = snapshot
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_fleet(args) -> int:
+    actions = {"run": _fleet_run, "serve": _fleet_serve,
+               "drive": _fleet_drive, "top": _fleet_top}
+    return actions[args.action](args)
 
 
 def cmd_chaos(args) -> int:
@@ -813,7 +968,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.set_defaults(func=cmd_loadgen)
 
     p_fleet = sub.add_parser(
-        "fleet", help="run a sharded fleet and drive it with a workload")
+        "fleet", help="sharded fleet operations (run/serve/drive/top)")
+    p_fleet.add_argument("action", nargs="?", default="run",
+                         choices=("run", "serve", "drive", "top"),
+                         help="run: spawn + drive + stop (default); "
+                              "serve: supervise until SIGTERM; "
+                              "drive: load a running fleet; "
+                              "top: live telemetry dashboard")
     p_fleet.add_argument("--root", required=True, metavar="DIR",
                          help="fleet root directory (per-shard ledgers, "
                               "ready files, fleet map)")
@@ -830,8 +991,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--segment-records", type=int, default=0,
                          help="per-shard WAL segment rotation threshold "
                               "(0 disables)")
+    p_fleet.add_argument("--shard-trace", action="store_true",
+                         help="spawn shards with per-shard JSONL trace "
+                              "files (raw material for merged fleet "
+                              "timelines)")
+    p_fleet.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between top refreshes / serve "
+                              "exposition rewrites (default: 2)")
+    p_fleet.add_argument("--once", action="store_true",
+                         help="top: render one snapshot and exit "
+                              "(exit 1 if no shard answered)")
+    p_fleet.add_argument("--prom-out", metavar="FILE", default=None,
+                         help="write a Prometheus-style text exposition "
+                              "of the fleet snapshot to FILE "
+                              "(rewritten atomically each refresh)")
     p_fleet.add_argument("--json-out", metavar="FILE", default=None,
-                         help="write the fleet statistics to FILE")
+                         help="write the fleet statistics (run/drive) "
+                              "or snapshot (top) to FILE")
     _add_retry_arguments(p_fleet)
     _add_obs_arguments(p_fleet)
     p_fleet.set_defaults(func=cmd_fleet)

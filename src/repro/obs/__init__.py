@@ -9,13 +9,37 @@ Public surface:
 - :class:`Span` / :class:`SpanTracer` - nested timed scopes exported as
   JSONL events;
 - :class:`InMemorySink` / :class:`JsonlSink` - event destinations;
+- :mod:`repro.obs.export` - serializable telemetry formats: the
+  Prometheus-style text exposition and merged cross-process timelines
+  (:func:`render_prometheus`, :func:`merge_timelines`,
+  :func:`follow_trace`);
+- :mod:`repro.obs.aggregate` - fleet-wide aggregation: poll every
+  shard's ``metrics`` op, merge registries exactly, render the
+  ``repro fleet top`` dashboard (:func:`collect_fleet_metrics`,
+  :func:`build_fleet_snapshot`, :func:`render_fleet_top`,
+  :func:`fleet_timeline`);
 - :mod:`repro.obs.bench` (imported lazily - it pulls in the simulation
   stack) - the pinned benchmark suite behind ``repro bench``.
 
-See ``docs/observability.md`` for the event schema and an
-instrumentation cookbook.
+See ``docs/observability.md`` for the event schema, the snapshot /
+exposition formats and an instrumentation cookbook.
 """
 
+from repro.obs.aggregate import (
+    build_fleet_snapshot,
+    collect_fleet_metrics,
+    fleet_timeline,
+    render_fleet_top,
+)
+from repro.obs.export import (
+    follow_trace,
+    merge_timelines,
+    peak_rss_bytes,
+    read_trace_events,
+    read_wal_events,
+    render_prometheus,
+    write_timeline,
+)
 from repro.obs.recorder import (
     EVENT_SCHEMA_VERSION,
     Histogram,
@@ -38,5 +62,16 @@ __all__ = [
     "Observability",
     "Span",
     "SpanTracer",
+    "build_fleet_snapshot",
+    "collect_fleet_metrics",
+    "fleet_timeline",
+    "follow_trace",
+    "merge_timelines",
+    "peak_rss_bytes",
+    "read_trace_events",
+    "read_wal_events",
+    "render_fleet_top",
+    "render_prometheus",
     "render_summary",
+    "write_timeline",
 ]

@@ -1,0 +1,310 @@
+"""Fleet-wide telemetry aggregation: poll shards, merge, render.
+
+The *collection* half of the fleet telemetry plane (the formats live in
+:mod:`repro.obs.export`).  A fleet of shared-nothing shard processes
+each holds a private recorder; this module turns that into one view:
+
+- :func:`collect_fleet_metrics` polls every shard named by a fleet map
+  over the ``metrics`` protocol op and hands the responses to
+- :func:`build_fleet_snapshot`, a pure function that merges the
+  per-shard registry snapshots **exactly** (fleet percentiles are
+  bit-identical to a single registry that saw every sample - the
+  histogram-partials property pinned by the merge tests) and unions
+  the per-tenant wear gauges (tenants are hash-partitioned, so the
+  union is disjoint);
+- :func:`render_fleet_top` renders that snapshot as the ``repro fleet
+  top`` ascii dashboard (via :func:`repro.viz.ascii.table`), with
+  request-rate deltas when a previous snapshot is supplied;
+- :func:`fleet_timeline` merges every shard's trace file and WAL into
+  one correlated JSONL timeline (the chaos-scenario artifact).
+
+Polling is read-only and lock-free: a dead shard degrades to an
+``alive: false`` row instead of failing the sweep, so the dashboard
+keeps rendering mid-crash - exactly when an operator needs it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from repro.obs.export import (
+    merge_timelines,
+    read_trace_events,
+    read_wal_events,
+    write_timeline,
+)
+from repro.obs.recorder import EVENT_SCHEMA_VERSION, MetricsRegistry
+from repro.obs.sinks import _format_number
+from repro.viz.ascii import table
+
+__all__ = [
+    "FLEET_SNAPSHOT_KIND",
+    "poll_shard_metrics",
+    "collect_fleet_metrics",
+    "build_fleet_snapshot",
+    "render_fleet_top",
+    "fleet_timeline",
+]
+
+FLEET_SNAPSHOT_KIND = "fleet-snapshot"
+
+_SHARD_INFO_KEYS = ("pid", "peak_rss_bytes", "uptime_s", "draining",
+                    "recovered_records", "obs_enabled")
+
+
+def poll_shard_metrics(ready_file: str, timeout_s: float = 10.0) -> dict:
+    """One shard's ``metrics`` op response, via its ready file."""
+    from repro.service.client import ServiceClient, read_ready_file
+
+    host, port = read_ready_file(ready_file, timeout_s=timeout_s)
+
+    async def _poll() -> dict:
+        client = ServiceClient(host, port)
+        try:
+            return await asyncio.wait_for(client.metrics(),
+                                          timeout=timeout_s)
+        finally:
+            await client.close()
+
+    return asyncio.run(_poll())
+
+
+def collect_fleet_metrics(map_path: str, *,
+                          alive: list[bool] | None = None,
+                          restarts: list[int] | None = None,
+                          timeout_s: float = 10.0) -> dict:
+    """Poll every shard of a fleet map; returns the merged snapshot.
+
+    ``alive`` / ``restarts`` let an in-process supervisor supply its
+    ground truth; an external observer (``repro fleet top``) omits them
+    and gets liveness from whether the probe answered, restart counts
+    from the published map.
+    """
+    from repro.service.fleet import read_fleet_map
+
+    entries = read_fleet_map(map_path, timeout_s=timeout_s)
+    reports: list[dict] = []
+    for entry in entries:
+        index = entry["index"]
+        report: dict = {
+            "index": index,
+            "ledger_dir": entry.get("ledger_dir"),
+            "restarts": (restarts[index] if restarts is not None
+                         else entry.get("restarts", 0)),
+        }
+        if alive is not None and not alive[index]:
+            report["alive"] = False
+            report["error"] = "shard process is not running"
+        else:
+            try:
+                response = poll_shard_metrics(entry["ready_file"],
+                                              timeout_s=timeout_s)
+            except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                report["alive"] = False
+                report["error"] = f"{type(exc).__name__}: {exc}"
+            else:
+                report["response"] = response
+                report["alive"] = response.get("status") == "ok"
+        reports.append(report)
+    return build_fleet_snapshot(reports, map_path=map_path)
+
+
+def build_fleet_snapshot(shard_reports: list[dict],
+                         map_path: str | None = None) -> dict:
+    """Merge per-shard ``metrics`` responses into one fleet snapshot.
+
+    Pure function of its inputs (modulo the ``wall_time`` stamp), so
+    tests can drive it with synthetic responses.  Each report carries
+    ``index``, optional ``response`` (the shard's ``metrics`` op
+    answer), ``alive``, ``restarts``, ``error`` and ``ledger_dir``.
+    """
+    merged = MetricsRegistry()
+    tenants: dict[str, dict] = {}
+    shards_out: list[dict] = []
+    for report in shard_reports:
+        index = report["index"]
+        response = report.get("response")
+        entry: dict = {
+            "index": index,
+            "alive": bool(report.get("alive")),
+            "restarts": int(report.get("restarts") or 0),
+            "ledger_dir": report.get("ledger_dir"),
+        }
+        if report.get("error"):
+            entry["error"] = report["error"]
+        if response is not None and response.get("status") == "ok":
+            shard_info = response.get("shard") or {}
+            for key in _SHARD_INFO_KEYS:
+                entry[key] = shard_info.get(key)
+            entry["service"] = response.get("service") or {}
+            entry["tenants"] = response.get("tenants") or {}
+            entry["metrics"] = response.get("metrics")
+            if entry["metrics"]:
+                merged.merge(entry["metrics"])
+            for name, gauges in entry["tenants"].items():
+                tenants[name] = dict(gauges, shard=index)
+        shards_out.append(entry)
+    totals = {
+        "shards": len(shards_out),
+        "alive": sum(1 for shard in shards_out if shard["alive"]),
+        "restarts": sum(shard["restarts"] for shard in shards_out),
+        "tenants": len(tenants),
+        "requests": sum((shard.get("service") or {}).get("requests", 0)
+                        for shard in shards_out),
+        "rounds": sum((shard.get("service") or {}).get("rounds", 0)
+                      for shard in shards_out),
+        "served": sum(gauges.get("served", 0)
+                      for gauges in tenants.values()),
+        "exhausted": sum(1 for gauges in tenants.values()
+                         if gauges.get("exhausted")),
+        "remaining_capacity": sum(gauges.get("remaining_capacity", 0)
+                                  for gauges in tenants.values()),
+    }
+    snapshot = {
+        "schema_version": EVENT_SCHEMA_VERSION,
+        "kind": FLEET_SNAPSHOT_KIND,
+        "wall_time": time.time(),
+        "shards": shards_out,
+        "tenants": tenants,
+        "merged": merged.snapshot(),
+        "totals": totals,
+    }
+    if map_path is not None:
+        snapshot["map_path"] = map_path
+    return snapshot
+
+
+_TOP_HISTOGRAMS = (("request latency", "svc.request_latency_s"),
+                   ("queue wait", "svc.queue_wait_s"),
+                   ("kernel", "svc.kernel_s"),
+                   ("wal append", "svc.wal_append_s"),
+                   ("round", "svc.round_latency_s"),
+                   ("batch size", "svc.batch_size"))
+
+
+def render_fleet_top(snapshot: dict, previous: dict | None = None,
+                     max_tenants: int = 16) -> str:
+    """The fleet snapshot as the ``repro fleet top`` ascii dashboard.
+
+    ``previous`` (an earlier snapshot from the same fleet) turns the
+    cumulative request counters into a live req/s figure.  Tenants
+    render most-worn first, capped at ``max_tenants`` with an explicit
+    "+N more" line - silent truncation would read as full coverage.
+    """
+    totals = snapshot.get("totals") or {}
+    header = (f"fleet: {totals.get('alive', 0)}/{totals.get('shards', 0)} "
+              f"shards up | {totals.get('tenants', 0)} tenants "
+              f"({totals.get('exhausted', 0)} exhausted) | "
+              f"{totals.get('requests', 0)} requests in "
+              f"{totals.get('rounds', 0)} rounds | "
+              f"{totals.get('restarts', 0)} restarts")
+    if previous is not None:
+        dt = (snapshot.get("wall_time", 0.0)
+              - previous.get("wall_time", 0.0))
+        if dt > 0:
+            delta = (totals.get("requests", 0)
+                     - (previous.get("totals") or {}).get("requests", 0))
+            header += f" | {delta / dt:,.0f} req/s"
+    sections = [header]
+
+    shard_rows = []
+    for shard in snapshot.get("shards") or ():
+        service = shard.get("service") or {}
+        rss = shard.get("peak_rss_bytes")
+        shard_rows.append((
+            f"{shard['index']}",
+            "up" if shard.get("alive") else "DOWN",
+            str(shard.get("pid", "-")),
+            f"{rss / 2**20:,.1f}" if rss else "-",
+            str(shard.get("restarts", 0)),
+            str(len(shard.get("tenants") or ())),
+            _format_number(service.get("requests", 0)),
+            _format_number(service.get("rounds", 0)),
+            str(service.get("queue_depth", "-")),
+        ))
+    if shard_rows:
+        sections.append(table(
+            ("shard", "state", "pid", "rss MiB", "restarts", "tenants",
+             "requests", "rounds", "queue"),
+            shard_rows, title="shards"))
+
+    histograms = (snapshot.get("merged") or {}).get("histograms") or {}
+    latency_rows = []
+    for label, name in _TOP_HISTOGRAMS:
+        summary = histograms.get(name)
+        if not summary or not summary.get("count"):
+            continue
+        latency_rows.append((
+            label,
+            _format_number(summary["count"]),
+            _format_number(summary.get("mean")),
+            _format_number(summary.get("p50")),
+            _format_number(summary.get("p95")),
+            _format_number(summary.get("p99")),
+            _format_number(summary.get("max")),
+        ))
+    if latency_rows:
+        sections.append(table(
+            ("stage", "count", "mean", "p50", "p95", "p99", "max"),
+            latency_rows, title="fleet-merged histograms (exact merge)"))
+
+    tenants = snapshot.get("tenants") or {}
+    ordered = sorted(tenants.items(),
+                     key=lambda item: (-item[1].get(
+                         "lifetime_used_fraction", 0.0), item[0]))
+    tenant_rows = []
+    for name, gauges in ordered[:max_tenants]:
+        tenant_rows.append((
+            name,
+            str(gauges.get("shard", "-")),
+            _format_number(gauges.get("remaining_capacity")),
+            f"{gauges.get('lifetime_used_fraction', 0.0):.1%}",
+            _format_number(gauges.get("wear_cycles")),
+            _format_number(gauges.get("served")),
+            str(gauges.get("current_copy", "-")),
+            "yes" if gauges.get("exhausted") else "no",
+        ))
+    if tenant_rows:
+        sections.append(table(
+            ("tenant", "shard", "remaining", "life used", "wear",
+             "served", "copy", "exhausted"),
+            tenant_rows, title="tenant wear gauges (most worn first)"))
+        if len(ordered) > max_tenants:
+            sections.append(f"(+{len(ordered) - max_tenants} more tenants "
+                            f"not shown)")
+    return "\n\n".join(sections)
+
+
+def fleet_timeline(map_path: str, trace_paths: tuple[str, ...] = (),
+                   out: str | None = None,
+                   timeout_s: float = 5.0) -> list[dict]:
+    """One merged timeline for a whole fleet: shard traces + WALs.
+
+    Each shard contributes its ``trace.jsonl`` (written when the
+    supervisor spawns shards with ``obs_trace=True``) and its WAL
+    records; ``trace_paths`` adds client-side trace files.  The result
+    is what :func:`repro.obs.export.follow_trace` walks to reconstruct
+    one request's client -> shard -> batch-round -> kernel path.
+    """
+    from repro.service.fleet import read_fleet_map
+
+    trace_events: list[dict] = []
+    wal_events: list[dict] = []
+    for entry in read_fleet_map(map_path, timeout_s=timeout_s):
+        index = entry["index"]
+        shard_dir = os.path.dirname(entry["ready_file"])
+        trace_events.extend(read_trace_events(
+            os.path.join(shard_dir, "trace.jsonl"),
+            source=f"shard-{index:03d}", shard=index))
+        if entry.get("ledger_dir"):
+            wal_events.extend(read_wal_events(entry["ledger_dir"],
+                                              shard=index))
+    for path in trace_paths:
+        trace_events.extend(read_trace_events(
+            path, source=os.path.basename(path)))
+    events = merge_timelines(trace_events, wal_events)
+    if out is not None:
+        write_timeline(events, out)
+    return events

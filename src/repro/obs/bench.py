@@ -600,14 +600,12 @@ MEMORY_WORKLOADS = ("mc.fast", "mc.hardware", "svc.loadgen")
 #: a fresh interpreter so the figure is a real per-workload ceiling, not
 #: whatever high-water mark earlier workloads left in this process.
 _MEMORY_CHILD = """\
-import json, resource, sys
+import json, sys
 from repro.obs.bench import SCALES, _WORKLOADS
+from repro.obs.export import peak_rss_bytes
 name, scale, seed = sys.argv[1], sys.argv[2], int(sys.argv[3])
 dict(_WORKLOADS)[name](SCALES[scale], seed)
-rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-# ru_maxrss is bytes on macOS, kilobytes everywhere else.
-print(json.dumps({"peak_rss_bytes":
-                  rss if sys.platform == "darwin" else rss * 1024}))
+print(json.dumps({"peak_rss_bytes": peak_rss_bytes()}))
 """
 
 

@@ -50,8 +50,33 @@ __all__ = [
 ]
 
 #: Version stamped on every structured event and metrics snapshot.  Bump
-#: when the shape of emitted JSON objects changes incompatibly.
+#: when the shape of emitted JSON objects changes incompatibly.  The
+#: mergeable histogram state added for fleet aggregation (``buckets`` /
+#: ``partials``) is additive, so snapshots remain version 1.
 EVENT_SCHEMA_VERSION = 1
+
+
+def _accumulate_exact(partials: list[float], value: float) -> None:
+    """Shewchuk error-free accumulation of ``value`` into ``partials``.
+
+    Maintains the invariant that ``partials`` sums - in *exact* (infinite
+    precision) arithmetic - to the exact sum of everything accumulated so
+    far.  ``math.fsum(partials)`` is then the correctly-rounded total, a
+    value that depends only on the multiset of accumulated inputs, never
+    on their order or grouping.  That property is what lets per-shard
+    histogram sums merge bit-identically to a single-registry reference.
+    """
+    i = 0
+    for y in partials:
+        if abs(value) < abs(y):
+            value, y = y, value
+        hi = value + y
+        lo = y - (hi - value)
+        if lo:
+            partials[i] = lo
+            i += 1
+        value = hi
+    partials[i:] = [value]
 
 
 class Histogram:
@@ -64,19 +89,28 @@ class Histogram:
     Non-positive values clamp into the lowest bucket; exact ``min`` /
     ``max`` / ``sum`` are tracked alongside, so quantile estimates are
     clamped to the truly observed range.
+
+    Histograms are *mergeable*: :meth:`summary` exposes the full state
+    (sparse bucket counts plus Shewchuk sum partials) and
+    :meth:`from_state` / :meth:`merge` reconstruct and combine it.
+    Because bucket counts and ``count`` are integers, ``min``/``max``
+    are exact, and the sum is kept as error-free partials, every summary
+    statistic of a merge is bit-identical to recording all samples into
+    one histogram - regardless of how the samples were partitioned
+    across shards or in which order the shards are merged.
     """
 
     BUCKETS_PER_DECADE = 10
     MIN_EXP = -9   # 1 ns resolution floor
     MAX_EXP = 12   # covers counts up to 1e12
 
-    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+    __slots__ = ("counts", "count", "partials", "minimum", "maximum")
 
     def __init__(self) -> None:
         n_buckets = (self.MAX_EXP - self.MIN_EXP) * self.BUCKETS_PER_DECADE
         self.counts = [0] * n_buckets
         self.count = 0
-        self.total = 0.0
+        self.partials: list[float] = []
         self.minimum = math.inf
         self.maximum = -math.inf
 
@@ -96,18 +130,23 @@ class Histogram:
         value = float(value)
         self.counts[self._bucket_index(value)] += 1
         self.count += 1
-        self.total += value
+        _accumulate_exact(self.partials, value)
         if value < self.minimum:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
 
-    def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (0 <= q <= 1) of the observed values."""
+    @property
+    def total(self) -> float:
+        """Correctly-rounded exact sum of every observed value."""
+        return math.fsum(self.partials)
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (0 <= q <= 1), ``None`` when empty."""
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must lie in [0, 1], got {q}")
         if self.count == 0:
-            return math.nan
+            return None
         if q == 0.0:
             return self.minimum
         if q == 1.0:
@@ -126,7 +165,13 @@ class Histogram:
         return self.total / self.count if self.count else math.nan
 
     def summary(self) -> dict:
-        """JSON-safe summary (count, sum, mean, min/max, p50/p95/p99)."""
+        """JSON-safe summary (count, sum, mean, min/max, p50/p95/p99).
+
+        Non-empty summaries also carry the full mergeable state: sparse
+        ``buckets`` (``[index, count]`` pairs) and the exact-sum
+        ``partials``, so :meth:`from_state` can reconstruct the
+        histogram loss-free from a serialized snapshot.
+        """
         if self.count == 0:
             return {"count": 0}
         return {
@@ -138,7 +183,54 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "buckets": [[index, bucket_count] for index, bucket_count
+                        in enumerate(self.counts) if bucket_count],
+            "partials": list(self.partials),
         }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        """Rebuild a histogram from a :meth:`summary` dict.
+
+        Raises :class:`ConfigurationError` when a non-empty state lacks
+        the mergeable ``buckets`` field (a lossy pre-merge summary):
+        merging it would silently corrupt fleet percentiles.
+        """
+        hist = cls()
+        count = int(state.get("count", 0))
+        if count == 0:
+            return hist
+        buckets = state.get("buckets")
+        if buckets is None:
+            raise ConfigurationError(
+                "histogram state lacks mergeable 'buckets'; "
+                "only snapshots from MetricsRegistry.snapshot() merge")
+        for index, bucket_count in buckets:
+            hist.counts[int(index)] += int(bucket_count)
+        hist.count = count
+        partials = state.get("partials")
+        if partials is None:
+            partials = [float(state.get("sum", 0.0))]
+        for value in partials:
+            _accumulate_exact(hist.partials, float(value))
+        hist.minimum = float(state["min"])
+        hist.maximum = float(state["max"])
+        return hist
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` in; exact, order- and grouping-invariant."""
+        if other.count == 0:
+            return
+        for index, bucket_count in enumerate(other.counts):
+            if bucket_count:
+                self.counts[index] += bucket_count
+        self.count += other.count
+        for value in other.partials:
+            _accumulate_exact(self.partials, value)
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
 
 
 class _Timer:
@@ -233,6 +325,38 @@ class MetricsRegistry:
             "histograms": {name: hist.summary() for name, hist
                            in sorted(self._histograms.items())},
         }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges are last-write-wins (the merge order is the
+        caller's freshness order), histograms merge exactly via their
+        bucket counts and sum partials - so fleet-wide percentiles
+        composed here are bit-identical to a single registry that
+        recorded every shard's samples itself.
+        """
+        kind = snapshot.get("kind", "metrics-snapshot")
+        if kind != "metrics-snapshot":
+            raise ConfigurationError(
+                f"cannot merge snapshot of kind {kind!r}")
+        version = snapshot.get("schema_version", EVENT_SCHEMA_VERSION)
+        if version != EVENT_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"cannot merge snapshot schema v{version} "
+                f"into a v{EVENT_SCHEMA_VERSION} registry")
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, state in snapshot.get("histograms", {}).items():
+            incoming = Histogram.from_state(state)
+            if incoming.count == 0:
+                continue
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                self._histograms[name] = incoming
+            else:
+                histogram.merge(incoming)
 
     def reset(self) -> None:
         self._counters.clear()

@@ -56,6 +56,10 @@ class JsonlSink:
             self._handle = open(self.path, "a", encoding="utf-8")
         json.dump(payload, self._handle, separators=(",", ":"))
         self._handle.write("\n")
+        # Flushed per event: trace files feed crash timelines, and a
+        # buffered tail that dies with a SIGKILL'd process would erase
+        # exactly the events a post-mortem needs.
+        self._handle.flush()
         self.emitted += 1
 
     def close(self) -> None:
@@ -65,8 +69,8 @@ class JsonlSink:
             self._handle = None
 
 
-def _format_number(value: float) -> str:
-    if value != value:  # NaN
+def _format_number(value: float | None) -> str:
+    if value is None or value != value:  # empty-histogram quantile / NaN
         return "-"
     if value == int(value) and abs(value) < 1e15:
         return f"{int(value):,}"

@@ -42,7 +42,8 @@ class RequestBatcher:
         self.hub = hub
         self.window_s = window_s
         self.max_batch = max_batch
-        self._queue: list[tuple[str, str | None, asyncio.Future]] = []
+        # Entries: (tenant, rid, trace, enqueued_perf_or_None, future).
+        self._queue: list[tuple] = []
         self._arrived: asyncio.Event = asyncio.Event()
         self._closed = False
         self._task: asyncio.Task | None = None
@@ -60,16 +61,21 @@ class RequestBatcher:
     def start(self) -> None:
         self._task = asyncio.get_running_loop().create_task(self._run())
 
-    async def submit(self, tenant: str, rid: str | None = None) -> dict:
+    async def submit(self, tenant: str, rid: str | None = None,
+                     trace: str | None = None) -> dict:
         """Queue one access request; resolves with its response.
 
-        ``rid`` is the client's idempotency key, carried through to the
-        hub so the round's WAL record persists it.
+        ``rid`` is the client's idempotency key and ``trace`` its
+        correlation id, both carried through to the hub so the round's
+        WAL record persists them.  The enqueue timestamp (recorded only
+        while observability is on) feeds the ``svc.queue_wait_s``
+        histogram - the queue-wait half of the loadgen latency split.
         """
         if self._closed:
             raise ConfigurationError("batcher is draining")
+        enqueued = time.perf_counter() if OBS.enabled else None
         future = asyncio.get_running_loop().create_future()
-        self._queue.append((tenant, rid, future))
+        self._queue.append((tenant, rid, trace, enqueued, future))
         self._arrived.set()
         return await future
 
@@ -92,18 +98,24 @@ class RequestBatcher:
                 continue
             if self.window_s and not self._closed:
                 await asyncio.sleep(self.window_s)
-            round_items: list[tuple[str, str | None]] = []
+            round_items: list[tuple[str, str | None, str | None]] = []
             round_futures: dict[str, asyncio.Future] = {}
-            deferred: list[tuple[str, str | None, asyncio.Future]] = []
-            for tenant, rid, future in self._queue:
+            round_waits: list[float] = []
+            deferred: list[tuple] = []
+            started = time.perf_counter()
+            for tenant, rid, trace, enqueued, future in self._queue:
                 if (tenant in round_futures
                         or len(round_items) >= self.max_batch):
-                    deferred.append((tenant, rid, future))
+                    deferred.append((tenant, rid, trace, enqueued, future))
                 else:
-                    round_items.append((tenant, rid))
+                    round_items.append((tenant, rid, trace))
                     round_futures[tenant] = future
+                    if enqueued is not None:
+                        round_waits.append(started - enqueued)
             self._queue = deferred
-            started = time.perf_counter()
+            if OBS.enabled:
+                for wait in round_waits:
+                    OBS.metrics.observe("svc.queue_wait_s", wait)
             try:
                 responses = self.hub.serve_round(round_items)
             except Exception as exc:  # pragma: no cover - defensive

@@ -44,7 +44,12 @@ import numpy as np
 from repro.errors import ConfigurationError, ReproError
 from repro.obs.recorder import OBS
 from repro.service.client import RetryPolicy
-from repro.service.fleet import FleetClient, run_fleet_loadgen, shard_index
+from repro.service.fleet import (
+    FLEET_MAP_NAME,
+    FleetClient,
+    run_fleet_loadgen,
+    shard_index,
+)
 from repro.service.hub import WearHub
 from repro.service.ledger import WearLedger
 from repro.service.supervisor import FleetSupervisor
@@ -82,7 +87,11 @@ def _drive_reference(records: list[dict], ref_dir: str) -> WearHub:
                     f"{response}")
         elif record["op"] == "access":
             rid = record.get("rid")
-            item = (record["tenant"], rid) if rid else record["tenant"]
+            trace = record.get("trace")
+            if rid or trace:
+                item = (record["tenant"], rid, trace)
+            else:
+                item = record["tenant"]
             hub.serve_round([item])
         else:
             raise InvariantViolation(
@@ -184,10 +193,14 @@ def _acked_ok(responses: list[tuple[str, dict]]) -> dict[str, int]:
 def _supervisor(root_dir: str, shards: int, *,
                 snapshot_every: int = 8,
                 segment_records: int = 24) -> FleetSupervisor:
+    # obs_trace: shards write per-incarnation trace files, so a failed
+    # scenario leaves a merged timeline showing the doomed request's
+    # path across the crash (see ``run_scenario``).
     return FleetSupervisor(root_dir, shards, window_s=0.001,
                            snapshot_every=snapshot_every,
                            segment_records=segment_records,
-                           max_restarts=50, restart_backoff_s=0.02)
+                           max_restarts=50, restart_backoff_s=0.02,
+                           obs_trace=True)
 
 
 def _retry() -> RetryPolicy:
@@ -401,6 +414,27 @@ def scenario_retry_race(root_dir: str, *, shards: int, tenants: int,
             "shards": shards_report}
 
 
+def _write_scenario_timeline(root_dir: str) -> dict | None:
+    """Merge the scenario's shard traces and WALs into ``timeline.jsonl``.
+
+    Best-effort by design: timeline assembly must never turn a passing
+    scenario into a failure (or mask a violation with a secondary
+    exception), so a fleet that never published its map - or any read
+    error - degrades to ``None``.
+    """
+    from repro.obs.aggregate import fleet_timeline
+
+    map_path = os.path.join(root_dir, FLEET_MAP_NAME)
+    if not os.path.exists(map_path):
+        return None
+    path = os.path.join(root_dir, "timeline.jsonl")
+    try:
+        events = fleet_timeline(map_path, out=path, timeout_s=1.0)
+    except Exception:  # noqa: BLE001 - artifact, not an invariant
+        return None
+    return {"path": path, "events": len(events)}
+
+
 SCENARIOS = {
     "kill-mid-batch": scenario_kill_mid_batch,
     "torn-tail": scenario_torn_tail,
@@ -423,10 +457,17 @@ def run_scenario(name: str, root_dir: str, *, shards: int = 2,
             "shards, tenants and requests must all be >= 1")
     os.makedirs(root_dir, exist_ok=True)
     started = time.perf_counter()
-    report = scenario(root_dir, shards=shards, tenants=tenants,
-                      requests=requests, seed=seed)
+    try:
+        report = scenario(root_dir, shards=shards, tenants=tenants,
+                          requests=requests, seed=seed)
+    finally:
+        # Written even when the scenario raised: a violation's artifact
+        # of record is exactly this correlated timeline.
+        timeline = _write_scenario_timeline(root_dir)
     report["scenario"] = name
     report["elapsed_s"] = time.perf_counter() - started
+    if timeline is not None:
+        report["timeline"] = timeline
     if OBS.enabled:
         OBS.event("chaos.scenario_passed", scenario=name,
                   elapsed_s=report["elapsed_s"])

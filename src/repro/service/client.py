@@ -29,7 +29,7 @@ from repro.errors import ConfigurationError
 from repro.service.protocol import read_frame, write_frame
 
 __all__ = ["ServiceClient", "RetryPolicy", "tenant_population",
-           "run_loadgen", "read_ready_file"]
+           "run_loadgen", "read_ready_file", "latency_split_from_metrics"]
 
 
 @dataclass(frozen=True)
@@ -78,10 +78,13 @@ class ServiceClient:
     async def provision(self, **fields) -> dict:
         return await self.request(dict(fields, op="provision"))
 
-    async def access(self, tenant: str, rid: str | None = None) -> dict:
+    async def access(self, tenant: str, rid: str | None = None,
+                     trace: str | None = None) -> dict:
         payload: dict = {"op": "access", "tenant": tenant}
         if rid is not None:
             payload["rid"] = rid
+        if trace is not None:
+            payload["trace"] = trace
         return await self.request(payload)
 
     async def status(self, tenant: str | None = None) -> dict:
@@ -89,6 +92,10 @@ class ServiceClient:
         if tenant is not None:
             payload["tenant"] = tenant
         return await self.request(payload)
+
+    async def metrics(self) -> dict:
+        """The shard's telemetry snapshot (``metrics`` op)."""
+        return await self.request({"op": "metrics"})
 
     async def drain(self) -> dict:
         return await self.request({"op": "drain"})
@@ -145,6 +152,30 @@ def tenant_population(tenants: int, seed: int, *, alpha: float = 9.0,
     return population
 
 
+_SPLIT_STAGES = (("queue_wait", "svc.queue_wait_s"),
+                 ("kernel", "svc.kernel_s"),
+                 ("wal_append", "svc.wal_append_s"),
+                 ("round", "svc.round_latency_s"))
+
+
+def latency_split_from_metrics(response: dict | None) -> dict | None:
+    """Queue-wait vs kernel-time split out of a ``metrics`` op response.
+
+    Returns ``None`` when the shard ran without ``--obs-metrics`` (or
+    predates the op), so callers degrade gracefully.
+    """
+    if not response or response.get("status") != "ok":
+        return None
+    histograms = (response.get("metrics") or {}).get("histograms") or {}
+    split: dict = {}
+    for label, name in _SPLIT_STAGES:
+        summary = histograms.get(name)
+        if summary and summary.get("count"):
+            split[label] = {key: summary.get(key) for key in
+                            ("count", "mean", "p50", "p95", "p99", "max")}
+    return split or None
+
+
 async def run_loadgen(host: str, port: int, *, tenants: int = 4,
                       requests: int = 100, concurrency: int = 8,
                       seed: int = 0, faults: dict | None = None,
@@ -177,8 +208,8 @@ async def run_loadgen(host: str, port: int, *, tenants: int = 4,
     busy_retries = 0
     queue: asyncio.Queue[tuple[str, str] | None] = asyncio.Queue()
     for index in range(requests):
-        queue.put_nowait((population[index % tenants]["tenant"],
-                          f"lg-{seed}-{index:06d}"))
+        rid = f"lg-{seed}-{index:06d}"
+        queue.put_nowait((population[index % tenants]["tenant"], rid))
     for _ in range(concurrency):
         queue.put_nowait(None)
 
@@ -192,15 +223,20 @@ async def run_loadgen(host: str, port: int, *, tenants: int = 4,
                 if item is None:
                     return
                 tenant, rid = item
+                # One trace id per logical request, derived from the
+                # idempotency key so retries share it.
+                trace = f"tr-{rid}"
                 started = time.perf_counter()
-                response = await client.access(tenant, rid=rid)
+                response = await client.access(tenant, rid=rid,
+                                               trace=trace)
                 if retry is not None:
                     for attempt in range(retry.retries):
                         if response["status"] != "busy":
                             break
                         await asyncio.sleep(retry.delay_s(attempt, jitter))
                         busy_retries += 1
-                        response = await client.access(tenant, rid=rid)
+                        response = await client.access(tenant, rid=rid,
+                                                       trace=trace)
                 latencies.append(time.perf_counter() - started)
                 status = response["status"]
                 outcomes[status] = outcomes.get(status, 0) + 1
@@ -211,6 +247,7 @@ async def run_loadgen(host: str, port: int, *, tenants: int = 4,
     await asyncio.gather(*(worker(index) for index in range(concurrency)))
     elapsed = time.perf_counter() - started
     status = await admin.status()
+    split = latency_split_from_metrics(await admin.metrics())
     stats = {
         "tenants": tenants,
         "provisioned": provisioned,
@@ -224,6 +261,8 @@ async def run_loadgen(host: str, port: int, *, tenants: int = 4,
                            if latencies else 0.0),
         "service": status.get("service", {}),
     }
+    if split is not None:
+        stats["latency_split"] = split
     if drain:
         stats["drain"] = await admin.drain()
     await admin.close()

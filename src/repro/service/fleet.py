@@ -28,6 +28,7 @@ import random
 import time
 
 from repro.errors import ConfigurationError
+from repro.obs.recorder import OBS
 from repro.service.client import (
     RetryPolicy,
     ServiceClient,
@@ -108,6 +109,10 @@ class FleetClient:
         self.reconnects = 0
         self._rng = random.Random(jitter_seed)
         self._clients: dict[int, ServiceClient] = {}
+        # Trace ids stamped on access frames: unique per logical
+        # request across processes and workers, shared by retries.
+        self._trace_prefix = f"tr-{os.getpid():x}-{jitter_seed:x}"
+        self._trace_count = 0
 
     def shard_for(self, tenant: str) -> int:
         return shard_index(tenant, len(self.shards))
@@ -156,11 +161,29 @@ class FleetClient:
         assert last is not None
         return last
 
-    async def access(self, tenant: str, rid: str | None = None) -> dict:
-        payload: dict = {"op": "access", "tenant": tenant}
+    async def access(self, tenant: str, rid: str | None = None,
+                     trace: str | None = None) -> dict:
+        """One routed access, stamped with a trace id.
+
+        The trace id is generated *before* the retry loop (and reused
+        across retries - they are the same logical request), so the
+        WAL record of whichever attempt committed carries it and one
+        merged timeline can follow the request end to end, even when a
+        crash-restart sat between attempt and answer.
+        """
+        if trace is None:
+            self._trace_count += 1
+            trace = f"{self._trace_prefix}-{self._trace_count:06d}"
+        payload: dict = {"op": "access", "tenant": tenant, "trace": trace}
         if rid is not None:
             payload["rid"] = rid
-        return await self._request_shard(self.shard_for(tenant), payload)
+        index = self.shard_for(tenant)
+        response = await self._request_shard(index, payload)
+        if OBS.enabled:
+            OBS.event("client.request", trace=trace, tenant=tenant,
+                      shard=index, rid=rid,
+                      status=response.get("status"))
+        return response
 
     async def provision(self, **fields) -> dict:
         tenant = fields.get("tenant")
@@ -178,6 +201,14 @@ class FleetClient:
         for index in range(len(self.shards)):
             by_shard[str(index)] = await self._request_shard(
                 index, {"op": "status"})
+        return {"status": "ok", "shards": by_shard}
+
+    async def metrics(self) -> dict:
+        """Every shard's ``metrics`` op response, keyed by shard index."""
+        by_shard = {}
+        for index in range(len(self.shards)):
+            by_shard[str(index)] = await self._request_shard(
+                index, {"op": "metrics"})
         return {"status": "ok", "shards": by_shard}
 
     async def drain(self) -> dict:
@@ -243,7 +274,10 @@ async def run_fleet_loadgen(map_path: str, *, tenants: int = 8,
                 tenant, rid = item
                 per_shard_requests[client.shard_for(tenant)] += 1
                 started = time.perf_counter()
-                response = await client.access(tenant, rid=rid)
+                # Deterministic trace id per logical request, shared
+                # by every retry of the same rid.
+                response = await client.access(tenant, rid=rid,
+                                               trace=f"tr-{rid}")
                 latencies.append(time.perf_counter() - started)
                 status = response["status"]
                 outcomes[status] = outcomes.get(status, 0) + 1

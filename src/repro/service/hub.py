@@ -30,6 +30,7 @@ snapshot cross-checking.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 
 import numpy as np
@@ -274,22 +275,36 @@ class WearHub:
     def serve_round(self, requests: list) -> dict[str, dict]:
         """Serve one coalesced round: at most one access per tenant.
 
-        Each item is a tenant name or a ``(tenant, request_id)`` pair.
-        A request whose ``request_id`` already has a retained response
-        is answered from the response table - no WAL record, no wear
-        (the retry arrived after its original attempt committed).
-        Otherwise the round's access records (idempotency key included)
-        are appended to the WAL in one durable write *before* the engine
+        Each item is a tenant name, a ``(tenant, request_id)`` pair, or
+        a ``(tenant, request_id, trace_id)`` triple.  A request whose
+        ``request_id`` already has a retained response is answered from
+        the response table - no WAL record, no wear (the retry arrived
+        after its original attempt committed).  Otherwise the round's
+        access records (idempotency key and trace id included) are
+        appended to the WAL in one durable write *before* the engine
         runs, then one ``step_access`` kernel call per pool and each
         tenant's keystore recovery finish the responses.  Returns
         ``{tenant: response}``.
+
+        Trace ids are client-supplied correlation tokens: persisting
+        them in the WAL is what lets one merged timeline follow a
+        request client -> shard -> batch round -> kernel even across a
+        crash-restart.  They carry no wall clock (WAL bytes must stay a
+        pure function of the request history), and replay ignores them.
         """
         responses: dict[str, dict] = {}
         live: list[TenantRecord] = []
         rids: dict[str, str] = {}
+        traces: dict[str, str] = {}
         seen: set[str] = set()
         for item in requests:
-            name, rid = item if isinstance(item, tuple) else (item, None)
+            if isinstance(item, tuple):
+                name, rid = item[0], item[1]
+                trace = item[2] if len(item) > 2 else None
+            else:
+                name, rid, trace = item, None, None
+            if trace is not None:
+                traces[name] = trace
             if name in seen:
                 raise ConfigurationError(
                     f"round contains tenant {name!r} twice")
@@ -321,8 +336,22 @@ class WearHub:
                 record = {"op": "access", "tenant": tenant.name}
                 if tenant.name in rids:
                     record["rid"] = rids[tenant.name]
+                if tenant.name in traces:
+                    record["trace"] = traces[tenant.name]
                 records.append(record)
-            self.ledger.append_batch(records)
+            wal_started = time.perf_counter() if OBS.enabled else 0.0
+            seqs = self.ledger.append_batch(records)
+            if OBS.enabled:
+                OBS.metrics.observe("svc.wal_append_s",
+                                    time.perf_counter() - wal_started)
+                # The round event is the seq <-> wall-clock join point
+                # for merged timelines: WAL records carry seqs but no
+                # timestamps, this event carries both.
+                OBS.event("svc.round",
+                          first_seq=seqs[0], last_seq=seqs[-1],
+                          tenants=[t.name for t in live],
+                          traces=sorted(traces[t.name] for t in live
+                                        if t.name in traces))
             self._execute_round(live, responses)
             for tenant in live:
                 rid = rids.get(tenant.name)
@@ -344,6 +373,7 @@ class WearHub:
             key = (tenant.pool.copies, tenant.pool.n, tenant.pool.k)
             by_pool.setdefault(key, []).append(tenant)
         results: dict[str, tuple[bool, int, np.ndarray]] = {}
+        kernel_started = time.perf_counter() if OBS.enabled else 0.0
         for key, tenants in by_pool.items():
             pool = self.pools[key]
             mask = np.zeros(pool.state.instances, dtype=bool)
@@ -356,6 +386,9 @@ class WearHub:
                     bool(success[tenant.row]),
                     int(record["served_copy"][tenant.row]),
                     record["observed"][tenant.row])
+        if OBS.enabled:
+            OBS.metrics.observe("svc.kernel_s",
+                                time.perf_counter() - kernel_started)
         for tenant in live:
             served, copy, observed = results[tenant.name]
             tenant.attempts += 1
@@ -417,6 +450,47 @@ class WearHub:
         if tenant.fault_model is not None:
             status["injections"] = tenant.fault_model.injection_counts()
         return status
+
+    def wear_gauges(self) -> dict[str, dict]:
+        """Per-tenant wear gauges from the touched-state queries.
+
+        Everything here derives from :class:`~repro.engine.state`
+        queries on live arrays - ``remaining_capacity`` /
+        ``remaining_bank_budgets`` / ``switch_budgets`` - so the values
+        a fleet dashboard shows are *exactly* what the engine would
+        grant, not a shadow accounting.  The pool-level queries run once
+        per pool, not once per tenant, so a many-tenant shard answers
+        its ``metrics`` op in O(pool) kernel work.
+        """
+        per_pool: dict[tuple[int, int, int], tuple] = {}
+        for key, pool in self.pools.items():
+            if pool.state is None:
+                continue
+            per_pool[key] = (pool.state.remaining_capacity(),
+                             pool.state.remaining_bank_budgets(),
+                             pool.state.switch_budgets())
+        gauges: dict[str, dict] = {}
+        for tenant in self.tenants.values():
+            key = (tenant.pool.copies, tenant.pool.n, tenant.pool.k)
+            remaining, bank_budgets, switch_budgets = per_pool[key]
+            row = tenant.row
+            state = tenant.pool.state
+            total_budget = int(switch_budgets[row].sum())
+            used = int(state.used[row].sum())
+            gauges[tenant.name] = {
+                "remaining_capacity": int(remaining[row]),
+                "remaining_bank_budgets": [int(b) for b
+                                           in bank_budgets[row]],
+                "wear_cycles": used,
+                "lifetime_used_fraction": (used / total_budget
+                                           if total_budget else 1.0),
+                "attempts": tenant.attempts,
+                "served": tenant.served,
+                "exhausted": tenant.exhausted,
+                "current_copy": int(state.current[row]),
+                "dead_banks": int(state.bank_dead[row].sum()),
+            }
+        return gauges
 
     # ------------------------------------------------------------------
     # Durability

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.export import peak_rss_bytes
 from repro.obs.recorder import OBS
 from repro.service.batcher import RequestBatcher
 from repro.service.hub import WearHub
@@ -110,6 +111,7 @@ class WearService:
         self._done: asyncio.Event | None = None
         self._draining = False
         self._last_snapshot_round = 0
+        self._started_monotonic = time.monotonic()
         self.recovered_records = 0
 
     # ------------------------------------------------------------------
@@ -198,6 +200,8 @@ class WearService:
                 return response, False
             if op == "status":
                 return self._status(request), False
+            if op == "metrics":
+                return self._metrics(), False
             if op == "drain":
                 return self._drain_response(), True
             return denied("bad-request", f"unknown op {op!r}"), False
@@ -213,6 +217,11 @@ class WearService:
         if rid is not None and (not isinstance(rid, str) or not rid):
             return denied("bad-request",
                           "rid must be a non-empty string when present",
+                          tenant=tenant)
+        trace = request.get("trace")
+        if trace is not None and (not isinstance(trace, str) or not trace):
+            return denied("bad-request",
+                          "trace must be a non-empty string when present",
                           tenant=tenant)
         if rid is not None:
             # Idempotent replay beats every other gate (including
@@ -245,7 +254,7 @@ class WearService:
                               f"tenant {tenant!r} exceeded "
                               f"{self.config.rate_limit:g} requests/s",
                               tenant=tenant)
-        response = await self.batcher.submit(tenant, rid)
+        response = await self.batcher.submit(tenant, rid, trace)
         self._maybe_snapshot()
         return response
 
@@ -269,6 +278,31 @@ class WearService:
                                        draining=self._draining,
                                        recovered=self.recovered_records)
         return response
+
+    def _metrics(self) -> dict:
+        """The shard's telemetry snapshot for fleet aggregation.
+
+        Per-tenant wear gauges come straight from the engine's
+        touched-state queries (no recorder needed), so they are always
+        present; the registry snapshot rides along only when the
+        recorder is on (``serve --obs-metrics``), since with it off
+        nothing was recorded to merge.
+        """
+        return ok(
+            kind="shard-metrics",
+            shard={
+                "pid": os.getpid(),
+                "peak_rss_bytes": peak_rss_bytes(),
+                "uptime_s": time.monotonic() - self._started_monotonic,
+                "draining": self._draining,
+                "recovered_records": self.recovered_records,
+                "obs_enabled": bool(OBS.enabled),
+            },
+            service=dict(self.batcher.stats(),
+                         queue_depth=self.batcher.depth,
+                         idempotent_replays=self.hub.idempotent_replays),
+            metrics=OBS.metrics.snapshot() if OBS.enabled else None,
+            tenants=self.hub.wear_gauges())
 
     def _drain_response(self) -> dict:
         return ok(**self.batcher.stats())

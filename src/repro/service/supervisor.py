@@ -43,7 +43,9 @@ class FleetSupervisor:
                  queue_cap: int = 256, snapshot_every: int = 16,
                  segment_records: int = 0, max_restarts: int = 5,
                  restart_backoff_s: float = 0.05,
-                 ready_timeout_s: float = 60.0) -> None:
+                 ready_timeout_s: float = 60.0,
+                 obs_metrics: bool = True,
+                 obs_trace: bool = False) -> None:
         if shards < 1:
             raise ConfigurationError("shards must be >= 1")
         if max_restarts < 0:
@@ -58,6 +60,12 @@ class FleetSupervisor:
         self.max_restarts = max_restarts
         self.restart_backoff_s = restart_backoff_s
         self.ready_timeout_s = ready_timeout_s
+        # Shards run with their in-process recorder on (no sinks) so
+        # the ``metrics`` op has histograms to export; ``obs_trace``
+        # additionally writes per-shard JSONL trace files, the raw
+        # material for merged fleet timelines.
+        self.obs_metrics = obs_metrics
+        self.obs_trace = obs_trace
         self.map_path = os.path.join(root_dir, FLEET_MAP_NAME)
         self.restarts = [0] * shards
         self._procs: list[subprocess.Popen | None] = [None] * shards
@@ -76,18 +84,32 @@ class FleetSupervisor:
         return os.path.join(self.root_dir, f"shard-{index:03d}",
                             "serve.log")
 
+    def trace_path(self, index: int) -> str:
+        return os.path.join(self.root_dir, f"shard-{index:03d}",
+                            "trace.jsonl")
+
     # ------------------------------------------------------------------
     # Lifecycle
+    def publish_map(self) -> None:
+        """(Re)write the fleet map, restart counts included.
+
+        Restart counts ride in the map so an external observer - the
+        ``repro fleet top`` dashboard polling from another process -
+        can report them without reaching into this supervisor.
+        """
+        write_fleet_map(self.map_path, [
+            {"index": index,
+             "ledger_dir": self.ledger_dir(index),
+             "ready_file": self.ready_file(index),
+             "restarts": self.restarts[index]}
+            for index in range(self.shard_count)])
+
     def start(self) -> None:
         """Spawn every shard, wait for readiness, publish the fleet map."""
         os.makedirs(self.root_dir, exist_ok=True)
         for index in range(self.shard_count):
             self._spawn(index)
-        write_fleet_map(self.map_path, [
-            {"index": index,
-             "ledger_dir": self.ledger_dir(index),
-             "ready_file": self.ready_file(index)}
-            for index in range(self.shard_count)])
+        self.publish_map()
         for index in range(self.shard_count):
             self._await_ready(index)
         if OBS.enabled:
@@ -115,6 +137,10 @@ class FleetSupervisor:
                 "--snapshot-every", str(self.snapshot_every)]
         if self.segment_records:
             argv += ["--segment-records", str(self.segment_records)]
+        if self.obs_metrics:
+            argv += ["--obs-metrics"]
+        if self.obs_trace:
+            argv += ["--trace-out", self.trace_path(index)]
         log = open(self.log_path(index), "ab")
         try:
             self._procs[index] = subprocess.Popen(
@@ -165,6 +191,8 @@ class FleetSupervisor:
             self._spawn(index)
             self._await_ready(index)
             restarted.append(index)
+        if restarted:
+            self.publish_map()
         return restarted
 
     def probe(self, index: int, timeout_s: float = 5.0) -> dict:
@@ -191,6 +219,35 @@ class FleetSupervisor:
     def alive(self) -> list[bool]:
         return [proc is not None and proc.poll() is None
                 for proc in self._procs]
+
+    def fleet_snapshot(self, timeout_s: float = 10.0) -> dict:
+        """Poll every live shard's ``metrics`` op and merge the fleet view.
+
+        The health-probe companion to :meth:`probe`: per-shard peak RSS
+        (self-reported via the shared ``peak_rss_bytes`` plumbing) and
+        this supervisor's restart counts land in the snapshot - and in
+        the local recorder as ``fleet.shard<i>.*`` gauges when it is on
+        - alongside the exactly-merged metrics registries and per-tenant
+        wear gauges.
+        """
+        from repro.obs.aggregate import collect_fleet_metrics
+
+        snapshot = collect_fleet_metrics(
+            self.map_path, alive=self.alive(),
+            restarts=list(self.restarts), timeout_s=timeout_s)
+        if OBS.enabled:
+            OBS.metrics.inc("fleet.snapshots")
+            for shard in snapshot["shards"]:
+                index = shard["index"]
+                OBS.metrics.set_gauge(f"fleet.shard{index}.up",
+                                      1.0 if shard.get("alive") else 0.0)
+                OBS.metrics.set_gauge(f"fleet.shard{index}.restarts",
+                                      shard.get("restarts") or 0)
+                if shard.get("peak_rss_bytes"):
+                    OBS.metrics.set_gauge(
+                        f"fleet.shard{index}.peak_rss_bytes",
+                        shard["peak_rss_bytes"])
+        return snapshot
 
     def kill_shard(self, index: int,
                    sig: int = signal.SIGKILL) -> None:

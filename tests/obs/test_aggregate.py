@@ -1,0 +1,123 @@
+"""Fleet aggregation: exact snapshot merging and the top dashboard.
+
+These tests drive :func:`build_fleet_snapshot` with synthetic shard
+``metrics`` responses (its documented contract), so they need no
+subprocesses; the live-fleet path is pinned by
+``tests/service/test_fleet_obs.py``.
+"""
+
+from repro.obs.aggregate import (
+    FLEET_SNAPSHOT_KIND,
+    build_fleet_snapshot,
+    render_fleet_top,
+)
+from repro.obs.recorder import MetricsRegistry
+
+
+def _comparable(summary: dict) -> dict:
+    return {key: value for key, value in summary.items()
+            if key != "partials"}
+
+
+def _response(index, samples, tenants, requests):
+    registry = MetricsRegistry()
+    registry.inc("svc.requests", requests)
+    for sample in samples:
+        registry.observe("svc.request_latency_s", sample)
+    return {
+        "status": "ok", "kind": "shard-metrics",
+        "shard": {"pid": 100 + index, "peak_rss_bytes": 10_000_000,
+                  "uptime_s": 5.0, "draining": False,
+                  "recovered_records": 0, "obs_enabled": True},
+        "service": {"requests": requests, "rounds": 2, "queue_depth": 0},
+        "metrics": registry.snapshot(),
+        "tenants": tenants,
+    }
+
+
+def _reports():
+    return [
+        {"index": 0, "alive": True, "restarts": 0,
+         "ledger_dir": "/tmp/l0",
+         "response": _response(0, [0.001, 0.004], {
+             "tenant-000": {"remaining_capacity": 20, "served": 3,
+                            "lifetime_used_fraction": 0.1,
+                            "exhausted": False}}, 3)},
+        {"index": 1, "alive": True, "restarts": 2,
+         "ledger_dir": "/tmp/l1",
+         "response": _response(1, [0.002, 0.008, 0.016], {
+             "tenant-001": {"remaining_capacity": 5, "served": 9,
+                            "lifetime_used_fraction": 0.8,
+                            "exhausted": False},
+             "tenant-002": {"remaining_capacity": 0, "served": 12,
+                            "lifetime_used_fraction": 1.0,
+                            "exhausted": True}}, 12)},
+        {"index": 2, "alive": False, "restarts": 5,
+         "ledger_dir": "/tmp/l2", "error": "TimeoutError: probe"},
+    ]
+
+
+class TestBuildFleetSnapshot:
+    def test_shape_and_totals(self):
+        snapshot = build_fleet_snapshot(_reports(), map_path="/tmp/f.json")
+        assert snapshot["kind"] == FLEET_SNAPSHOT_KIND
+        assert snapshot["map_path"] == "/tmp/f.json"
+        totals = snapshot["totals"]
+        assert totals["shards"] == 3
+        assert totals["alive"] == 2
+        assert totals["restarts"] == 7
+        assert totals["tenants"] == 3
+        assert totals["requests"] == 15
+        assert totals["served"] == 24
+        assert totals["exhausted"] == 1
+        assert totals["remaining_capacity"] == 25
+        dead = snapshot["shards"][2]
+        assert dead["alive"] is False
+        assert dead["error"] == "TimeoutError: probe"
+        assert "service" not in dead
+
+    def test_tenants_are_unioned_with_shard_attribution(self):
+        snapshot = build_fleet_snapshot(_reports())
+        assert snapshot["tenants"]["tenant-000"]["shard"] == 0
+        assert snapshot["tenants"]["tenant-002"]["shard"] == 1
+
+    def test_merged_percentiles_bit_identical_to_single_registry(self):
+        snapshot = build_fleet_snapshot(_reports())
+        reference = MetricsRegistry()
+        reference.inc("svc.requests", 15)
+        for sample in (0.001, 0.004, 0.002, 0.008, 0.016):
+            reference.observe("svc.request_latency_s", sample)
+        want = reference.snapshot()
+        got = snapshot["merged"]
+        assert got["counters"] == want["counters"]
+        assert _comparable(got["histograms"]["svc.request_latency_s"]) \
+            == _comparable(want["histograms"]["svc.request_latency_s"])
+
+
+class TestRenderFleetTop:
+    def test_dashboard_sections(self):
+        snapshot = build_fleet_snapshot(_reports())
+        text = render_fleet_top(snapshot)
+        assert "fleet: 2/3 shards up" in text
+        assert "DOWN" in text
+        assert "request latency" in text
+        # Most-worn tenant sorts first.
+        assert text.index("tenant-002") < text.index("tenant-001") \
+            < text.index("tenant-000")
+
+    def test_tenant_cap_is_explicit(self):
+        snapshot = build_fleet_snapshot(_reports())
+        text = render_fleet_top(snapshot, max_tenants=2)
+        assert "(+1 more tenants not shown)" in text
+
+    def test_rate_line_from_previous_snapshot(self):
+        previous = build_fleet_snapshot(_reports())
+        previous["wall_time"] -= 2.0
+        previous["totals"]["requests"] -= 10
+        text = render_fleet_top(build_fleet_snapshot(_reports()),
+                                previous)
+        assert "req/s" in text
+
+    def test_empty_fleet_renders(self):
+        text = render_fleet_top(build_fleet_snapshot([]))
+        assert text.startswith("fleet: 0/0 shards up")

@@ -19,8 +19,14 @@ class TestHistogram:
         hist = Histogram()
         assert hist.count == 0
         assert math.isnan(hist.mean)
-        assert math.isnan(hist.quantile(0.5))
         assert hist.summary() == {"count": 0}
+
+    def test_empty_quantile_is_none(self):
+        # Merging shards that served no traffic queries empty
+        # histograms; every quantile must be None, not NaN or garbage.
+        hist = Histogram()
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) is None
 
     def test_exact_aggregates(self):
         hist = Histogram()

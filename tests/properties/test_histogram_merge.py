@@ -1,0 +1,123 @@
+"""Property tests for exact histogram merging (the fleet-percentile core).
+
+The whole fleet telemetry plane rests on one claim: merging per-shard
+histogram snapshots yields *bit-identical* summaries to a single
+registry that observed every sample directly - for any partitioning of
+the samples across shards and any merge order.  That holds because
+
+- quantiles depend only on integer bucket counts (addition is exact and
+  commutative) plus exact min/max, and
+- the running sum is kept as Shewchuk error-free partials, whose
+  ``fsum`` is the correctly-rounded sum of the inputs and therefore
+  independent of accumulation order.
+
+These properties pin that claim under hypothesis-generated samples,
+partitions and permutations.  Summaries are compared *excluding* the
+``partials`` key: the partials list is an order-dependent
+representation of an order-independent value, so only its ``fsum``
+(the ``sum`` field) is comparable.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.recorder import Histogram, MetricsRegistry
+
+SAMPLES = st.lists(
+    st.floats(min_value=1e-12, max_value=1e12,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=60)
+
+
+def _comparable(summary: dict) -> dict:
+    return {key: value for key, value in summary.items()
+            if key != "partials"}
+
+
+def _observe_all(values) -> Histogram:
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+@given(values=SAMPLES, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_merge_is_partition_invariant(values, data):
+    """Any split of the samples across shards merges bit-identically."""
+    reference = _observe_all(values)
+    cuts = sorted(data.draw(st.lists(
+        st.integers(0, len(values)), min_size=0, max_size=4)))
+    merged = Histogram()
+    previous = 0
+    for cut in cuts + [len(values)]:
+        shard = _observe_all(values[previous:cut])
+        merged.merge(Histogram.from_state(shard.summary()))
+        previous = cut
+    assert _comparable(merged.summary()) == _comparable(reference.summary())
+
+
+@given(values=SAMPLES, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_merge_is_permutation_invariant(values, data):
+    """Merging shard snapshots in any order gives the same summary."""
+    shards = []
+    remaining = list(values)
+    while remaining:
+        take = data.draw(st.integers(1, len(remaining)))
+        shards.append(_observe_all(remaining[:take]))
+        remaining = remaining[take:]
+    if not shards:
+        shards = [Histogram()]
+    order = data.draw(st.permutations(range(len(shards))))
+
+    forward = Histogram()
+    for shard in shards:
+        forward.merge(shard)
+    permuted = Histogram()
+    for index in order:
+        permuted.merge(Histogram.from_state(shards[index].summary()))
+    assert _comparable(forward.summary()) == _comparable(permuted.summary())
+
+
+@given(values=SAMPLES, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_registry_merge_matches_single_registry(values, data):
+    """Registry-level merge (counters + histograms) is exact end to end."""
+    reference = MetricsRegistry()
+    for value in values:
+        reference.inc("requests")
+        reference.observe("latency", value)
+
+    cut = data.draw(st.integers(0, len(values)))
+    shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+    for value in values[:cut]:
+        shard_a.inc("requests")
+        shard_a.observe("latency", value)
+    for value in values[cut:]:
+        shard_b.inc("requests")
+        shard_b.observe("latency", value)
+
+    merged = MetricsRegistry()
+    merged.merge(shard_a.snapshot())
+    merged.merge(shard_b.snapshot())
+
+    got, want = merged.snapshot(), reference.snapshot()
+    assert got["counters"] == want["counters"]
+    got_hists = {name: _comparable(summary)
+                 for name, summary in got["histograms"].items()}
+    want_hists = {name: _comparable(summary)
+                  for name, summary in want["histograms"].items()}
+    assert got_hists == want_hists
+
+
+@given(values=SAMPLES)
+@settings(max_examples=100, deadline=None)
+def test_snapshot_round_trips_through_json(values):
+    """Snapshots survive the wire (JSON) without losing exactness."""
+    hist = _observe_all(values)
+    wired = json.loads(json.dumps(hist.summary()))
+    rebuilt = Histogram.from_state(wired)
+    assert _comparable(rebuilt.summary()) == _comparable(hist.summary())

@@ -1,0 +1,140 @@
+"""The ``metrics`` protocol op: shard snapshot + per-tenant wear gauges.
+
+The acceptance bar for the telemetry plane is *exactness*: the gauges a
+shard reports must equal the engine's own touched-state queries (not a
+shadow accounting), and the latency histograms must only exist when the
+recorder was actually on.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.recorder import OBS
+from repro.service.client import (
+    ServiceClient,
+    latency_split_from_metrics,
+    tenant_population,
+)
+from repro.service.server import ServiceConfig, WearService
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    settings = {"ledger_dir": str(tmp_path / "ledger"),
+                "window_s": 0.001}
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+async def _with_service(config, scenario):
+    service = WearService(config)
+    host, port = await service.start()
+    try:
+        return await scenario(host, port, service)
+    finally:
+        await service.shutdown()
+
+
+def _drive(tmp_path, *, enabled, tenants=2, requests=10):
+    """Provision, access, fetch metrics; returns (response, service)."""
+    if enabled:
+        OBS.configure(enabled=True)
+
+    async def scenario(host, port, service):
+        client = await ServiceClient(host, port).connect()
+        for payload in tenant_population(tenants, seed=7):
+            assert (await client.provision(**payload))["status"] == "ok"
+        for index in range(requests):
+            response = await client.access(
+                f"tenant-{index % tenants:03d}",
+                rid=f"m-{index}", trace=f"tr-m-{index}")
+            assert response["status"] in ("ok", "exhausted")
+        metrics = await client.metrics()
+        await client.close()
+        return metrics, service
+
+    return asyncio.run(_with_service(_config(tmp_path), scenario))
+
+
+class TestShardSection:
+    def test_shard_identity_and_health(self, tmp_path):
+        response, service = _drive(tmp_path, enabled=False)
+        assert response["status"] == "ok"
+        assert response["kind"] == "shard-metrics"
+        shard = response["shard"]
+        assert shard["pid"] > 0
+        assert shard["peak_rss_bytes"] > 4 * 2**20
+        assert shard["uptime_s"] > 0
+        assert shard["draining"] is False
+        assert shard["obs_enabled"] is False
+        assert response["service"]["requests"] > 0
+        assert response["service"]["rounds"] > 0
+
+
+class TestWearGauges:
+    def test_gauges_match_engine_queries_exactly(self, tmp_path):
+        response, service = _drive(tmp_path, enabled=False)
+        gauges = response["tenants"]
+        assert set(gauges) == {"tenant-000", "tenant-001"}
+        for name, reported in gauges.items():
+            tenant = service.hub.tenants[name]
+            state, row = tenant.pool.state, tenant.row
+            assert reported["remaining_capacity"] \
+                == int(state.remaining_capacity()[row])
+            assert reported["remaining_bank_budgets"] \
+                == [int(b) for b in state.remaining_bank_budgets()[row]]
+            assert reported["wear_cycles"] == int(state.used[row].sum())
+            total = int(state.switch_budgets()[row].sum())
+            assert reported["lifetime_used_fraction"] \
+                == pytest.approx(reported["wear_cycles"] / total)
+            assert reported["attempts"] == tenant.attempts
+            assert reported["served"] == tenant.served
+            assert reported["exhausted"] == tenant.exhausted
+            assert reported["current_copy"] == int(state.current[row])
+            assert reported["dead_banks"] \
+                == int(state.bank_dead[row].sum())
+
+    def test_gauges_track_wear_to_exhaustion(self, tmp_path):
+        response, service = _drive(tmp_path, enabled=False,
+                                   tenants=1, requests=200)
+        gauge = response["tenants"]["tenant-000"]
+        assert gauge["exhausted"] is True
+        assert gauge["remaining_capacity"] == 0
+        assert gauge["lifetime_used_fraction"] == pytest.approx(1.0, abs=0.35)
+
+
+class TestRegistrySection:
+    def test_disabled_recorder_reports_none(self, tmp_path):
+        response, _ = _drive(tmp_path, enabled=False)
+        assert response["metrics"] is None
+        assert latency_split_from_metrics(response) is None
+
+    def test_enabled_recorder_reports_stage_histograms(self, tmp_path):
+        response, _ = _drive(tmp_path, enabled=True)
+        assert response["shard"]["obs_enabled"] is True
+        snapshot = response["metrics"]
+        assert snapshot["kind"] == "metrics-snapshot"
+        histograms = snapshot["histograms"]
+        for name in ("svc.request_latency_s", "svc.queue_wait_s",
+                     "svc.kernel_s", "svc.wal_append_s",
+                     "svc.round_latency_s"):
+            assert histograms[name]["count"] > 0, name
+        split = latency_split_from_metrics(response)
+        assert set(split) == {"queue_wait", "kernel", "wal_append",
+                              "round"}
+        for stage in split.values():
+            assert stage["count"] > 0
+            assert stage["p50"] is not None
+
+    def test_split_degrades_on_denials(self):
+        assert latency_split_from_metrics(None) is None
+        assert latency_split_from_metrics({"status": "busy"}) is None

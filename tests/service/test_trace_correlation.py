@@ -1,0 +1,126 @@
+"""Cross-process trace correlation across a scripted crash-restart.
+
+The acceptance scenario for the trace plane: a client stamps an access
+with a trace id, the shard persists it in the WAL access record and
+tags its batch-round span event with it, the shard is SIGKILL'd and
+restarted through recovery - and one merged timeline still follows the
+id client -> shard round -> WAL record, because the WAL is durable even
+though the first incarnation's process state is gone.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.aggregate import fleet_timeline
+from repro.obs.export import follow_trace
+from repro.obs.recorder import OBS
+from repro.obs.sinks import JsonlSink
+from repro.service.client import RetryPolicy, tenant_population
+from repro.service.fleet import FleetClient
+from repro.service.supervisor import FleetSupervisor
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+def _drive_crash_scenario(root, client_trace_path):
+    """Access, SIGKILL, recover, retry-same-key, access again."""
+    OBS.configure(sinks=[JsonlSink(client_trace_path)], enabled=True)
+    with FleetSupervisor(root, 1, window_s=0.001, snapshot_every=4,
+                         max_restarts=5, restart_backoff_s=0.02,
+                         obs_trace=True) as supervisor:
+        retry = RetryPolicy(retries=6, base_s=0.02, cap_s=0.3)
+
+        async def drive():
+            client = FleetClient(supervisor.map_path, retry=retry)
+            try:
+                payload = tenant_population(1, seed=9)[0]
+                assert (await client.provision(**payload))["status"] \
+                    == "ok"
+                before = await client.access("tenant-000", rid="cr-1",
+                                             trace="tr-crash-1")
+                assert before["status"] == "ok"
+                return before
+            finally:
+                await client.close()
+
+        async def after_restart(before):
+            # A fresh client (fresh event loop): the retry carries the
+            # same key and trace id - the recovered shard must replay
+            # the recorded answer (charging no wear), and the WAL
+            # record written *before* the crash still carries the id.
+            client = FleetClient(supervisor.map_path, retry=retry)
+            try:
+                replay = await client.access("tenant-000", rid="cr-1",
+                                             trace="tr-crash-1")
+                assert replay == before
+                after = await client.access("tenant-000", rid="cr-2",
+                                            trace="tr-crash-2")
+                assert after["status"] == "ok"
+            finally:
+                await client.close()
+
+        before = asyncio.run(drive())
+        supervisor.kill_shard(0)
+        assert supervisor.poll() == [0]
+        asyncio.run(after_restart(before))
+    # Flush the client-side sink so the timeline sees every event.
+    OBS.reset()
+
+
+class TestCrashRestartCorrelation:
+    def test_one_trace_id_spans_client_shard_and_wal(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        client_trace = str(tmp_path / "client-trace.jsonl")
+        _drive_crash_scenario(root, client_trace)
+
+        events = fleet_timeline(
+            root + "/fleet.json", trace_paths=(client_trace,),
+            out=str(tmp_path / "timeline.jsonl"))
+        assert events
+
+        hops = follow_trace(events, "tr-crash-1")
+        kinds = [hop.get("name") or hop.get("kind") for hop in hops]
+        # Client request(s): the original plus the post-crash retry.
+        assert kinds.count("client.request") == 2
+        # The shard's pre-crash round event survived in its trace file.
+        assert "svc.round" in kinds
+        # Exactly one WAL record: the retry replayed, never re-charged.
+        wal_hops = [hop for hop in hops if hop.get("kind") == "wal"]
+        assert len(wal_hops) == 1
+        assert wal_hops[0]["rid"] == "cr-1"
+        assert wal_hops[0]["tenant"] == "tenant-000"
+        # The WAL hop inherited its round's wall clock, so it sits in
+        # chronological position rather than at the epoch.
+        assert wal_hops[0].get("wall_time", 0.0) > 0.0
+
+    def test_post_restart_trace_is_also_followable(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        client_trace = str(tmp_path / "client-trace.jsonl")
+        _drive_crash_scenario(root, client_trace)
+
+        events = fleet_timeline(root + "/fleet.json",
+                                trace_paths=(client_trace,))
+        hops = follow_trace(events, "tr-crash-2")
+        kinds = [hop.get("name") or hop.get("kind") for hop in hops]
+        assert "client.request" in kinds
+        assert "svc.round" in kinds  # second incarnation's trace file
+        assert sum(1 for hop in hops if hop.get("kind") == "wal") == 1
+
+    def test_timeline_is_chronologically_ordered(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        client_trace = str(tmp_path / "client-trace.jsonl")
+        _drive_crash_scenario(root, client_trace)
+
+        events = fleet_timeline(root + "/fleet.json",
+                                trace_paths=(client_trace,))
+        stamped = [event["wall_time"] for event in events
+                   if "wall_time" in event]
+        assert stamped == sorted(stamped)
