@@ -30,7 +30,8 @@ and ``--obs-metrics`` (recorder on, no sinks - what gives the service
 
 Exit codes: 0 success, 1 error (or fault-campaign ceiling violations),
 2 usage / checkpoint-mismatch, 3 bench overhead regression, 4 bench
-``--compare`` throughput regression.
+``--compare`` throughput regression, 5 bench ``--require-throughput``
+floor violation.
 
 Run ``python -m repro.cli <subcommand> --help`` for per-command options.
 """
@@ -435,6 +436,36 @@ def cmd_bench(args) -> int:
                   f"{', '.join(comparison['regressions'])}",
                   file=sys.stderr)
             return 4
+    if args.require_throughput:
+        failures: list[str] = []
+        by_name = {w["name"]: w for w in report["workloads"]}
+        for spec in args.require_throughput:
+            name, _, floor_text = spec.partition("=")
+            try:
+                floor = float(floor_text)
+            except ValueError:
+                print(f"error: bad --require-throughput {spec!r} "
+                      f"(expected NAME=FLOOR)", file=sys.stderr)
+                return 2
+            workload = by_name.get(name)
+            if workload is None:
+                print(f"error: unknown workload {name!r} in "
+                      f"--require-throughput (have: "
+                      f"{', '.join(sorted(by_name))})", file=sys.stderr)
+                return 2
+            measured = workload["throughput_per_s"]
+            if measured is None or measured < floor:
+                failures.append(
+                    f"{name}: {measured if measured is None else f'{measured:.1f}'}"
+                    f" {workload['unit']}/s < floor {floor:g}")
+            else:
+                print(f"throughput floor passed: {name} "
+                      f"{measured:.1f} {workload['unit']}/s >= {floor:g}")
+        if failures:
+            for line in failures:
+                print(f"FAIL: throughput floor violated: {line}",
+                      file=sys.stderr)
+            return 5
     if args.check_overhead is not None:
         overhead_pct = report["overhead"]["overhead_pct"]
         if overhead_pct > args.check_overhead:
@@ -896,6 +927,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="diff this run against a baseline bench "
                               "report; exit 4 on any throughput "
                               "regression beyond the threshold")
+    p_bench.add_argument("--require-throughput", metavar="NAME=FLOOR",
+                         action="append", default=[],
+                         help="fail (exit 5) unless workload NAME ran at "
+                              ">= FLOOR units/s; repeatable")
     p_bench.add_argument("--compare-threshold", type=float, default=0.2,
                          metavar="FRAC",
                          help="relative throughput-regression tolerance "

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError, DecodingFailure
-from repro.gf.field import GF256, GF_RS
+from repro.gf.field import GF256, GF_RS, ORDER
 from repro.gf.poly import Poly
 
 __all__ = ["ReedSolomonCode"]
@@ -46,6 +48,33 @@ class ReedSolomonCode:
         self.k = k
         self.field = field
         self.generator_poly = self._build_generator()
+        # Fixed evaluation points, precomputed once: syndrome points
+        # alpha^0..alpha^(parity-1) and Chien points alpha^-d for every
+        # stored degree, so the per-decode hot loops are single
+        # vectorized Horner sweeps instead of thousands of scalar muls.
+        self._syndrome_points = np.array(
+            [field.exp(i) for i in range(self.parity)], dtype=np.uint8)
+        self._chien_points = np.array(
+            [field.pow(field.generator, -d) for d in range(n)],
+            dtype=np.uint8)
+        # Erasure-locator data keyed by erasure-degree tuple.  Decoders
+        # are called once per chunk with the same erasure set (and the
+        # dead-share set of a wearing bank changes rarely), so Gamma and
+        # its Forney denominators are rebuilt only when the set changes.
+        self._erasure_cache: dict[tuple[int, ...],
+                                  tuple[Poly, np.ndarray, np.ndarray]] = {}
+        # Batched-syndrome constants: stored position of each polynomial
+        # degree, and log(alpha^(i*j)) for syndrome point i, degree j.
+        self._deg_to_pos = np.array(
+            [self._position_of_degree(j) for j in range(n)])
+        self._synd_logpow = (np.arange(self.parity)[:, None]
+                             * np.arange(n)[None, :]) % ORDER
+        # Parity-generator matrix for encode_many, built lazily: the
+        # remainder map M(x)*x^parity mod g(x) is GF-linear in M, so the
+        # parity of any message is the GF matmul of the message with the
+        # unit-vector parities.  Stored as (log matrix, zero mask) in the
+        # message-first/high-degree-first layout encode() returns.
+        self._parity_logs: tuple[np.ndarray, np.ndarray | None] | None = None
 
     @property
     def parity(self) -> int:
@@ -96,19 +125,60 @@ class ReedSolomonCode:
         parity_low_first += [0] * (self.parity - len(parity_low_first))
         return msg + parity_low_first[::-1]
 
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        """Encode ``(chunks, k)`` messages into ``(chunks, n)`` codewords.
+
+        LFSR synthetic division vectorized across the chunk axis.  The
+        remainder of dividing ``M(x) * x^parity`` by ``g(x)`` is unique,
+        so each row is byte-identical to :meth:`encode` on that row.
+        """
+        msgs = np.ascontiguousarray(messages, dtype=np.uint8)
+        if msgs.ndim != 2 or msgs.shape[1] != self.k:
+            raise ConfigurationError(
+                f"messages must have shape (chunks, k={self.k}), "
+                f"got {msgs.shape}")
+        if self.parity == 0:
+            return msgs.copy()
+        field = self.field
+        cached = self._parity_logs
+        if cached is None:
+            # Parity rows of the k unit-vector codewords, via the scalar
+            # encoder; row j is the parity contribution of message
+            # symbol j, already in stored (high-degree-first) order.
+            pmat = np.array([self.encode([int(i == j) for i in range(self.k)]
+                                         )[self.k:]
+                             for j in range(self.k)], dtype=np.uint8)
+            zeros = pmat == 0
+            cached = self._parity_logs = (
+                field._log[pmat].astype(np.int64),
+                zeros if zeros.any() else None)
+        log_p, p_zero = cached
+        # parity = msg @ P over GF(256): one exp gather over the summed
+        # logs, masking the sentinel rows where a message symbol (or a
+        # parity-matrix entry) is zero.
+        lm = field._log[msgs].astype(np.int64)            # (chunks, k)
+        terms = field._exp[lm[:, :, None] + log_p[None, :, :]]
+        terms[lm < 0] = 0
+        if p_zero is not None:
+            terms[:, p_zero] = 0
+        rem = np.bitwise_xor.reduce(terms, axis=1)        # (chunks, parity)
+        return np.concatenate([msgs, rem], axis=1)
+
     # ------------------------------------------------------------------
     # Syndromes
     # ------------------------------------------------------------------
-    def syndromes(self, symbols: Sequence[int]) -> list[int]:
-        """Evaluate the received word at alpha^0 .. alpha^(parity-1)."""
+    def _syndrome_array(self, symbols: Sequence[int]) -> np.ndarray:
         if len(symbols) != self.n:
             raise ConfigurationError(
                 f"received word must have n={self.n} symbols")
-        poly = self._codeword_poly(symbols)
-        return [poly(self.field.exp(i)) for i in range(self.parity)]
+        return self._codeword_poly(symbols).eval_many(self._syndrome_points)
+
+    def syndromes(self, symbols: Sequence[int]) -> list[int]:
+        """Evaluate the received word at alpha^0 .. alpha^(parity-1)."""
+        return [int(s) for s in self._syndrome_array(symbols)]
 
     def is_codeword(self, symbols: Sequence[int]) -> bool:
-        return all(s == 0 for s in self.syndromes(symbols))
+        return not bool(self._syndrome_array(symbols).any())
 
     # ------------------------------------------------------------------
     # Decoding
@@ -153,23 +223,43 @@ class ReedSolomonCode:
             # wrong, or the erased symbols genuinely were zero.
             return received[:self.k]
 
-        field = self.field
         erasure_degrees = [self._degree_of_position(p) for p in erasures]
-        # Erasure locator Gamma(x) = prod (1 - X_m x), X_m = alpha^degree.
-        gamma = Poly.one(field)
-        for d in erasure_degrees:
-            gamma = gamma * Poly([1, field.exp(d)], field)
+        return self._decode_tail(received, erasures, erasure_degrees, synd,
+                                 max_errors)
+
+    def _decode_tail(self, received: list[int], erasures: list[int],
+                     erasure_degrees: list[int], synd: list[int],
+                     max_errors: int | None,
+                     t_coeffs: list[int] | None = None) -> list[int]:
+        """Errata correction given the syndromes (shared with decode_many).
+
+        ``received`` must already have erased positions zero-filled and
+        ``synd`` must be nonzero.  ``t_coeffs`` optionally supplies the
+        precomputed Forney-syndrome polynomial ``Gamma * S mod x^parity``.
+        """
+        field = self.field
+        gamma, x_invs, denoms, _, _ = self._erasure_data(
+            tuple(erasure_degrees))
 
         # Forney syndromes: T = Gamma * S mod x^parity; entries f..parity-1
         # form an error-only syndrome sequence for Berlekamp-Massey.
-        synd_poly = Poly(synd, field)
-        t_coeffs = list((gamma * synd_poly).coeffs)[:self.parity]
-        t_coeffs += [0] * (self.parity - len(t_coeffs))
+        synd_poly = None
+        if t_coeffs is None:
+            synd_poly = Poly(synd, field)
+            product = gamma * synd_poly
+            t_coeffs = list(product.coeffs)[:self.parity]
+            t_coeffs += [0] * (self.parity - len(t_coeffs))
         fsynd = t_coeffs[len(erasures):]
 
         error_budget = (self.parity - len(erasures)) // 2
         if max_errors is not None:
             error_budget = min(error_budget, max_errors)
+        fast = self._single_error_fast(received, erasure_degrees, t_coeffs,
+                                       fsynd, error_budget, gamma, x_invs)
+        if fast is not None:
+            return fast
+        if synd_poly is None:
+            synd_poly = Poly(synd, field)
         error_locator = _berlekamp_massey(fsynd, field)
         n_errors = error_locator.degree
         if n_errors > error_budget:
@@ -180,9 +270,23 @@ class ReedSolomonCode:
         if len(error_degrees) != n_errors:
             raise DecodingFailure("error locator does not split over GF(256)")
 
-        errata_locator = error_locator * gamma
-        errata_degrees = error_degrees + erasure_degrees
-        magnitudes = self._forney(synd_poly, errata_locator, errata_degrees)
+        if n_errors == 0:
+            # Erasures only: the errata locator is Gamma itself, so Omega
+            # is the already-computed Gamma * S truncation and the Forney
+            # denominators come straight from the cache.
+            errata_degrees = erasure_degrees
+            if np.any(denoms == 0):
+                raise DecodingFailure("Forney denominator is zero")
+            omegas = Poly(t_coeffs, field).eval_many(x_invs)
+            magnitudes = [
+                field.mul(field.exp(d), field.div(int(o), int(dn)))
+                for d, o, dn in zip(erasure_degrees, omegas, denoms)
+            ]
+        else:
+            errata_locator = error_locator * gamma
+            errata_degrees = error_degrees + erasure_degrees
+            magnitudes = self._forney(synd_poly, errata_locator,
+                                      errata_degrees)
 
         corrected = list(received)
         for degree, magnitude in zip(errata_degrees, magnitudes):
@@ -191,14 +295,234 @@ class ReedSolomonCode:
             raise DecodingFailure("corrected word fails syndrome check")
         return corrected[:self.k]
 
+    def _single_error_fast(self, received: list[int],
+                           erasure_degrees: list[int],
+                           t_coeffs: list[int], fsynd: list[int],
+                           error_budget: int, gamma: Poly,
+                           x_invs: np.ndarray) -> list[int] | None:
+        """Closed-form decode for the dominant single-error case.
+
+        One error at ``X = alpha^d`` makes the Forney syndromes an
+        exactly geometric, zero-free sequence with ratio ``X``;
+        Berlekamp-Massey then returns the degree-1 locator ``[1, X]``
+        and Chien search finds ``d`` alone.  Omega and the errata
+        locator are each one shift-xor away from the cached erasure
+        data, so the whole correction vectorizes.  Returns ``None``
+        when the syndromes don't have that shape (the generic path
+        handles them); raises exactly where the generic path would.
+        """
+        field = self.field
+        fs = np.asarray(fsynd, dtype=np.uint8)
+        if fs.size < 2 or (fs == 0).any():
+            return None
+        lf = field._log[fs].astype(np.int64)
+        ratios = (lf[1:] - lf[:-1]) % ORDER
+        d = int(ratios[0])
+        if not (ratios == d).all():
+            return None
+        if error_budget < 1:
+            raise DecodingFailure(
+                f"estimated 1 errors exceeds budget {error_budget}")
+        if d >= self.n:
+            raise DecodingFailure("error locator does not split over GF(256)")
+
+        f = len(erasure_degrees)
+        # Errata locator Lambda = Gamma * (1 + X x) and
+        # Omega = T * (1 + X x) mod x^parity: one shift-xor each.
+        gcoeffs = np.array(gamma.coeffs, dtype=np.uint8)
+        lg = field._log[gcoeffs]
+        shifted = field._exp[lg + d]
+        shifted[lg < 0] = 0
+        lam = np.zeros(f + 2, dtype=np.uint8)
+        lam[:f + 1] = gcoeffs
+        lam[1:] ^= shifted
+        t_arr = np.asarray(t_coeffs, dtype=np.uint8)
+        lt = field._log[t_arr[:-1]] if t_arr.size > 1 else field._log[t_arr[:0]]
+        tshift = field._exp[lt + d]
+        tshift[lt < 0] = 0
+        omega = t_arr.copy()
+        omega[1:] ^= tshift
+
+        # Evaluate Lambda' (odd-degree coeffs, even powers) and Omega at
+        # X^-1 and the cached erasure points.
+        pts = np.empty(f + 1, dtype=np.uint8)
+        pts[0] = field._exp[(-d) % ORDER]
+        pts[1:] = x_invs
+        lp = field._log[pts].astype(np.int64)
+
+        dcoeffs = lam[1::2]
+        ddegs = np.arange(dcoeffs.size, dtype=np.int64) * 2
+        ld = field._log[dcoeffs]
+        idx = (lp[:, None] * ddegs[None, :] + ld[None, :]) % ORDER
+        terms = field._exp[idx]
+        terms[:, ld < 0] = 0
+        dens = np.bitwise_xor.reduce(terms, axis=1)
+        if (dens == 0).any():
+            raise DecodingFailure("Forney denominator is zero")
+
+        odegs = np.arange(omega.size, dtype=np.int64)
+        lo = field._log[omega]
+        idx = (lp[:, None] * odegs[None, :] + lo[None, :]) % ORDER
+        terms = field._exp[idx]
+        terms[:, lo < 0] = 0
+        om_at = np.bitwise_xor.reduce(terms, axis=1)
+
+        errata_degrees = np.empty(f + 1, dtype=np.int64)
+        errata_degrees[0] = d
+        errata_degrees[1:] = erasure_degrees
+        mags = field._exp[(field._log[om_at] - field._log[dens].astype(np.int64)
+                           + errata_degrees % ORDER) % ORDER]
+        mags[om_at == 0] = 0
+
+        corrected = np.asarray(received, dtype=np.uint8).copy()
+        corrected[self._deg_to_pos[errata_degrees]] ^= mags
+        if self._syndrome_matrix(corrected[np.newaxis, :]).any():
+            raise DecodingFailure("corrected word fails syndrome check")
+        return corrected[:self.k].tolist()
+
+    def _syndrome_matrix(self, words: np.ndarray) -> np.ndarray:
+        """Syndromes of every row of ``words`` (stored layout), batched.
+
+        One log-space gather over a (rows, parity, n) tensor; row ``r``
+        equals ``self.syndromes(words[r])``.
+        """
+        field = self.field
+        coeffs = words[:, self._deg_to_pos]  # rows x n, degree order
+        logc = field._log[coeffs]
+        terms = field._exp[logc[:, None, :] + self._synd_logpow[None, :, :]]
+        terms[np.broadcast_to((coeffs == 0)[:, None, :], terms.shape)] = 0
+        return np.bitwise_xor.reduce(terms, axis=2)
+
+    def decode_many(self, words: np.ndarray,
+                    erasure_positions: Sequence[int] = (),
+                    max_errors: int | None = None) -> np.ndarray:
+        """Decode many received words sharing one erasure set.
+
+        Returns the (rows, k) message array.  Row-for-row bit-identical
+        to :meth:`decode`: the common erasure-only rows are corrected in
+        one batched Forney pass, and any row whose Forney syndromes show
+        genuine errors is delegated to the scalar decoder (in row order,
+        so the first failing row raises the same exception).
+        """
+        received = np.ascontiguousarray(words, dtype=np.uint8)
+        if received.ndim != 2 or received.shape[1] != self.n:
+            raise ConfigurationError(
+                f"words must have shape (rows, n={self.n}), "
+                f"got {received.shape}")
+        erasures = sorted(set(int(p) for p in erasure_positions))
+        if any(not 0 <= p < self.n for p in erasures):
+            raise ConfigurationError("erasure positions out of range")
+        if len(erasures) > self.parity:
+            raise DecodingFailure(
+                f"{len(erasures)} erasures exceed correction capability "
+                f"{self.parity}")
+        zeroed = received.copy()
+        if erasures:
+            zeroed[:, erasures] = 0
+        out = zeroed[:, :self.k].copy()
+        if self.parity == 0:
+            return out
+        synd = self._syndrome_matrix(zeroed)
+        rows = np.flatnonzero(synd.any(axis=1))
+        if rows.size == 0:
+            return out
+
+        field = self.field
+        f = len(erasures)
+        erasure_degrees = [self._degree_of_position(p) for p in erasures]
+        gamma, x_invs, denoms, log_gmat, gmat_zero = self._erasure_data(
+            tuple(erasure_degrees))
+
+        # T = Gamma * S mod x^parity for every flagged row: one GF
+        # matrix product against the cached banded Gamma matrix.
+        sub = synd[rows]
+        log_sub = field._log[sub]
+        terms = field._exp[log_sub[:, :, None] + log_gmat[None, :, :]]
+        terms[(sub == 0)[:, :, None] | gmat_zero[None, :, :]] = 0
+        t = np.bitwise_xor.reduce(terms, axis=1)
+        has_errors = t[:, f:].any(axis=1)
+
+        # Batched Forney for the erasure-only rows: Omega is T itself
+        # (truncated), evaluated at the cached X_j^-1 points.  Rows with
+        # genuine errors skip this block entirely - they go through the
+        # scalar tail below, so computing their magnitudes is waste.
+        eo_index = np.cumsum(~has_errors) - 1
+        eo = np.flatnonzero(~has_errors)
+        corrected = None
+        bad = None
+        if f and eo.size:
+            t_eo = t[eo]
+            corrected = zeroed[rows[eo]].copy()
+            logxp = (field._log[x_invs].astype(np.int64)[:, None]
+                     * np.arange(self.parity)[None, :]) % ORDER
+            log_t = field._log[t_eo]
+            evals = field._exp[log_t[:, None, :] + logxp[None, :, :]]
+            evals[np.broadcast_to((t_eo == 0)[:, None, :],
+                                  evals.shape)] = 0
+            omega_at = np.bitwise_xor.reduce(evals, axis=2)  # rows x f
+            lxj = np.array(erasure_degrees, dtype=np.int64) % ORDER
+            log_den = field._log[denoms].astype(np.int64)
+            mag = field._exp[(field._log[omega_at] - log_den[None, :]
+                              + lxj[None, :]) % ORDER]
+            mag[omega_at == 0] = 0
+            corrected[:, erasures] = mag
+            bad = self._syndrome_matrix(corrected).any(axis=1)
+        denom_zero = bool(np.any(denoms == 0)) if f else False
+
+        for pos, r in enumerate(rows.tolist()):
+            if has_errors[pos]:
+                out[r] = self._decode_tail(
+                    zeroed[r].tolist(), erasures, erasure_degrees,
+                    sub[pos].tolist(), max_errors,
+                    t_coeffs=t[pos].tolist())
+            elif denom_zero:
+                raise DecodingFailure("Forney denominator is zero")
+            elif not f or bad[int(eo_index[pos])]:
+                raise DecodingFailure("corrected word fails syndrome check")
+            else:
+                out[r] = corrected[int(eo_index[pos]), :self.k]
+        return out
+
     # ------------------------------------------------------------------
+    def _erasure_data(
+            self, erasure_degrees: tuple[int, ...],
+    ) -> tuple[Poly, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Gamma(x) = prod (1 + alpha^d x) plus derived decode constants.
+
+        Returns ``(gamma, x_invs, denoms, log_gmat, gmat_zero)`` where
+        the last two describe the banded convolution matrix ``G`` with
+        ``G[i, m] = gamma[m - i]``, so ``T = Gamma * S mod x^parity`` is
+        the GF matrix product ``T[m] = xor_i S[i] * G[i, m]``.
+        """
+        cached = self._erasure_cache.get(erasure_degrees)
+        if cached is None:
+            field = self.field
+            # Gamma by the shift-xor recurrence for multiplying in
+            # (1 + alpha^d x): new[j] = old[j] ^ alpha^d * old[j-1].
+            # Same exact coefficients as the sequential Poly product,
+            # but two array ops per factor instead of a convolution.
+            coeffs = np.zeros(len(erasure_degrees) + 1, dtype=np.uint8)
+            coeffs[0] = 1
+            for size, d in enumerate(erasure_degrees, start=1):
+                lo = field._log[coeffs[:size]]
+                shifted = field._exp[lo + d % ORDER]
+                shifted[lo < 0] = 0  # zero coefficients stay zero
+                coeffs[1:size + 1] ^= shifted
+            gamma = Poly(coeffs.tolist(), field)
+            x_invs = np.array([field.pow(field.generator, -d)
+                               for d in erasure_degrees], dtype=np.uint8)
+            denoms = gamma.derivative().eval_many(x_invs)
+            gmat = np.zeros((self.parity, self.parity), dtype=np.uint8)
+            for j in range(min(coeffs.size, self.parity)):
+                np.fill_diagonal(gmat[:, j:], coeffs[j])
+            cached = (gamma, x_invs, denoms, field._log[gmat], gmat == 0)
+            self._erasure_cache[erasure_degrees] = cached
+        return cached
+
     def _chien_search(self, locator: Poly) -> list[int]:
         """Degrees d in [0, n) where locator(alpha^-d) == 0."""
-        field = self.field
-        return [
-            d for d in range(self.n)
-            if locator(field.pow(field.generator, -d)) == 0
-        ]
+        return np.flatnonzero(
+            locator.eval_many(self._chien_points) == 0).tolist()
 
     def _forney(self, synd_poly: Poly, errata_locator: Poly,
                 errata_degrees: list[int]) -> list[int]:
@@ -212,15 +536,16 @@ class ReedSolomonCode:
         product = synd_poly * errata_locator
         omega = Poly(list(product.coeffs)[:self.parity], field)
         deriv = errata_locator.derivative()
-        magnitudes = []
-        for d in errata_degrees:
-            x_inv = field.pow(field.generator, -d)
-            denom = deriv(x_inv)
-            if denom == 0:
-                raise DecodingFailure("Forney denominator is zero")
-            x_j = field.exp(d)
-            magnitudes.append(field.mul(x_j, field.div(omega(x_inv), denom)))
-        return magnitudes
+        x_invs = np.array([field.pow(field.generator, -d)
+                           for d in errata_degrees], dtype=np.uint8)
+        denoms = deriv.eval_many(x_invs)
+        if np.any(denoms == 0):
+            raise DecodingFailure("Forney denominator is zero")
+        omegas = omega.eval_many(x_invs)
+        return [
+            field.mul(field.exp(d), field.div(int(o), int(dn)))
+            for d, o, dn in zip(errata_degrees, omegas, denoms)
+        ]
 
 
 def _berlekamp_massey(syndromes: list[int], field: GF256) -> Poly:

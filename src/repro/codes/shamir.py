@@ -12,29 +12,51 @@ indices is the field-size ceiling).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import namedtuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, InsufficientSharesError
-from repro.gf.field import GF256, GF_RS
+from repro.gf.field import GF256, GF_RS, ORDER
 
-__all__ = ["Share", "split_secret", "recover_secret"]
+__all__ = ["Share", "split_secret", "recover_secret", "recover_from_pairs"]
 
 MAX_SHARES = 255
 
+#: Log-domain Lagrange weights at x = 0, keyed by (share-index tuple,
+#: field id).  Recovery under wear reuses one index set for many reads;
+#: the weights depend only on the indices, so recomputing them per call
+#: is waste.  Weights are stored as exponents (an int64 column) so the
+#: hot path is a single table gather instead of a full GF multiply.
+_weight_cache: dict[tuple, np.ndarray] = {}
 
-@dataclass(frozen=True)
-class Share:
-    """One Shamir share: the evaluation point ``index`` and the data."""
+#: Log-domain Vandermonde matrices keyed by (n, k, field id): entry
+#: ``[i, j] = j * log(x_{i+1}) mod ORDER``.  Splitting reduces to one
+#: exp-gather matmul against this matrix; it depends only on the
+#: geometry, which fabrication reuses for every copy.
+_vander_cache: dict[tuple, np.ndarray] = {}
 
-    index: int
-    data: bytes
+#: Plain-python log tables keyed by field id, for the small pure-int
+#: weight computation on a :func:`recover_from_pairs` cache miss.
+_log_list_cache: dict[int, list[int]] = {}
 
-    def __post_init__(self) -> None:
-        if not 1 <= self.index <= MAX_SHARES:
+
+class Share(namedtuple("Share", ["index", "data"])):
+    """One Shamir share: the evaluation point ``index`` and the data.
+
+    A namedtuple rather than a frozen dataclass: fault campaigns build
+    tens of thousands of shares per trial, and tuple construction is
+    several times cheaper than the frozen-dataclass ``__setattr__``
+    path while keeping immutability and field-wise equality.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, index: int, data: bytes) -> "Share":
+        if not 1 <= index <= MAX_SHARES:
             raise ConfigurationError(
-                f"share index must be 1..{MAX_SHARES}, got {self.index}")
+                f"share index must be 1..{MAX_SHARES}, got {index}")
+        return tuple.__new__(cls, (index, data))
 
 
 def split_secret(secret: bytes, k: int, n: int,
@@ -64,14 +86,25 @@ def split_secret(secret: bytes, k: int, n: int,
         coeffs[1:] = rng.integers(0, 256, size=(k - 1, secret_arr.size),
                                   dtype=np.uint8)
 
-    shares = []
-    for x in range(1, n + 1):
-        # Horner evaluation of every byte's polynomial at the point x.
-        acc = np.zeros(secret_arr.size, dtype=np.uint8)
-        for row in coeffs[::-1]:
-            acc = field.mul_vec(acc, np.uint8(x)) ^ row
-        shares.append(Share(index=x, data=acc.tobytes()))
-    return shares
+    # Single-shot evaluation of every byte's polynomial at all n points:
+    # share i is sum_j coeffs[j] * x_i^j, i.e. one GF matmul against a
+    # cached log-Vandermonde matrix.  One big exp gather beats a Horner
+    # loop whose k-1 iterations each pay several numpy dispatches.
+    vkey = (n, k, id(field))
+    lv = _vander_cache.get(vkey)
+    if lv is None:
+        lx = field._log[np.arange(1, n + 1, dtype=np.uint8)].astype(np.int64)
+        lv = (lx[:, None] * np.arange(k, dtype=np.int64)[None, :]) % ORDER
+        _vander_cache[vkey] = lv
+    lc = field._log[coeffs].astype(np.int64)        # (k, len)
+    terms = field._exp[lv[:, :, None] + lc[None, :, :]]  # (n, k, len)
+    terms[:, lc < 0] = 0  # zero coefficients: mask the log sentinel
+    acc = np.bitwise_xor.reduce(terms, axis=1)      # (n, len)
+    # The indices 1..n are valid by the range check above, so skip the
+    # validating __new__: fabrication splits one bank per copy and the
+    # constructor shows up in campaign profiles.
+    new = tuple.__new__
+    return [new(Share, (i + 1, acc[i].tobytes())) for i in range(n)]
 
 
 def recover_secret(shares: list[Share], k: int | None = None,
@@ -101,18 +134,48 @@ def recover_secret(shares: list[Share], k: int | None = None,
     if len(lengths) != 1:
         raise ConfigurationError("shares have inconsistent lengths")
 
-    # Lagrange basis at x = 0: L_i = prod_{j != i} x_j / (x_i ^ x_j).
-    xs = [s.index for s in chosen]
-    size = lengths.pop()
-    acc = np.zeros(size, dtype=np.uint8)
-    for i, share in enumerate(chosen):
-        num, den = 1, 1
-        for j, xj in enumerate(xs):
-            if i == j:
-                continue
-            num = field.mul(num, xj)
-            den = field.mul(den, xs[i] ^ xj)
-        weight = field.div(num, den)
-        data = np.frombuffer(share.data, dtype=np.uint8)
-        acc ^= field.mul_vec(data, np.uint8(weight))
-    return acc.tobytes()
+    return recover_from_pairs(tuple(s.index for s in chosen),
+                              [s.data for s in chosen], field)
+
+
+def recover_from_pairs(xs: tuple[int, ...], datas: list[bytes],
+                       field: GF256 = GF_RS) -> bytes:
+    """Lagrange recovery at x = 0 from pre-validated (index, data) pairs.
+
+    ``xs`` must be distinct 1-based indices and ``datas`` equal-length
+    payloads in the same order.  This is the validation-free core of
+    :func:`recover_secret` for callers (the bank keystore) that already
+    guarantee those invariants on every read.
+    """
+    # Lagrange basis at x = 0: L_i = prod_{j != i} x_j / (x_i ^ x_j),
+    # computed in log space.  Indices are nonzero and distinct, so every
+    # numerator factor and pairwise XOR is invertible.
+    key = (xs, id(field))
+    log_w = _weight_cache.get(key)
+    if log_w is None:
+        if len(_weight_cache) > 4096:
+            _weight_cache.clear()
+        # Weight misses happen every time wear changes the live set, so
+        # the computation is done with plain ints: at the k ~ 10 scale a
+        # python double loop beats a dozen tiny-array numpy dispatches.
+        logt = _log_list_cache.get(id(field))
+        if logt is None:
+            logt = _log_list_cache[id(field)] = field._log.tolist()
+        logs = [logt[x] for x in xs]
+        total = sum(logs)
+        log_w = np.empty((len(xs), 1), dtype=np.int64)
+        for i, xi in enumerate(xs):
+            den = 0
+            for j, xj in enumerate(xs):
+                if j != i:
+                    den += logt[xi ^ xj]
+            log_w[i, 0] = (total - logs[i] - den) % ORDER
+        _weight_cache[key] = log_w
+    datas_arr = np.frombuffer(b"".join(datas),
+                              dtype=np.uint8).reshape(len(datas), -1)
+    # The weights are nonzero by construction, so multiplying reduces to
+    # one doubled-exp gather with only data zeros needing the mask.
+    ld = field._log[datas_arr]
+    terms = field._exp[ld + log_w]
+    terms[ld < 0] = 0
+    return np.bitwise_xor.reduce(terms, axis=0).tobytes()

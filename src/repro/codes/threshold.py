@@ -16,12 +16,29 @@ modules, which default to Shamir.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.codes.reed_solomon import ReedSolomonCode
 from repro.codes.shamir import Share
 from repro.errors import ConfigurationError, InsufficientSharesError
 from repro.gf.field import GF256, GF_RS
 
-__all__ = ["rs_split_secret", "rs_recover_secret"]
+__all__ = ["rs_split_secret", "rs_recover_secret", "rs_recover_present",
+           "rs_recover_chunks"]
+
+#: Memoized code instances.  Fault campaigns split and recover through
+#: the same (n, k) code millions of times; rebuilding the generator
+#: polynomial (O(parity^2) field muls) per call dominated the profile.
+#: Codes are immutable, so sharing one instance per geometry is safe.
+_code_cache: dict[tuple[int, int, int], ReedSolomonCode] = {}
+
+
+def _rs_code(n: int, k: int, field: GF256) -> ReedSolomonCode:
+    key = (n, k, id(field))
+    code = _code_cache.get(key)
+    if code is None:
+        code = _code_cache[key] = ReedSolomonCode(n, k, field)
+    return code
 
 
 def rs_split_secret(secret: bytes, k: int, n: int,
@@ -36,19 +53,20 @@ def rs_split_secret(secret: bytes, k: int, n: int,
         raise ConfigurationError(f"need 1 <= k <= n <= 255, got k={k} n={n}")
     if not secret:
         raise ConfigurationError("secret must be non-empty")
-    code = ReedSolomonCode(n, k, field)
+    code = _rs_code(n, k, field)
     # Zero-pad to whole chunks; recovery strips the pad (or trims to an
     # explicit secret_len for secrets with trailing NULs).
     n_chunks = -(-len(secret) // k)
     padded = secret + b"\x00" * (n_chunks * k - len(secret))
-    columns = [bytearray() for _ in range(n)]
-    for c in range(n_chunks):
-        chunk = padded[c * k:(c + 1) * k]
-        codeword = code.encode(list(chunk))
-        for i, symbol in enumerate(codeword):
-            columns[i].append(symbol)
-    return [Share(index=i + 1, data=bytes(col))
-            for i, col in enumerate(columns)]
+    messages = np.frombuffer(padded, dtype=np.uint8).reshape(n_chunks, k)
+    # Transpose to share-major so each share's payload is one contiguous
+    # row (a column slice would copy per-byte on every tobytes call).
+    codewords = np.ascontiguousarray(code.encode_many(messages).T)
+    # Indices 1..n are valid by the range check above; skip the
+    # validating __new__ (see the same fast path in shamir.split_secret).
+    new = tuple.__new__
+    return [new(Share, (i + 1, codewords[i].tobytes()))
+            for i in range(n)]
 
 
 def rs_recover_secret(shares: list[Share], k: int, n: int,
@@ -75,24 +93,22 @@ def rs_recover_secret(shares: list[Share], k: int, n: int,
             raise ConfigurationError(
                 f"share index {share.index} outside 1..{n}")
         present[share.index - 1] = share.data
-    if len(present) < k:
-        raise InsufficientSharesError(
-            f"need {k} shares, got {len(present)}")
-    lengths = {len(d) for d in present.values()}
-    if len(lengths) != 1:
-        raise ConfigurationError("shares have inconsistent lengths")
-    n_chunks = lengths.pop()
+    return rs_recover_present(present, k, n, secret_len=secret_len,
+                              field=field, correct_errors=correct_errors)
 
-    code = ReedSolomonCode(n, k, field)
-    erasures = [i for i in range(n) if i not in present]
-    out = bytearray()
-    for c in range(n_chunks):
-        received = [present[i][c] if i in present else 0 for i in range(n)]
-        if correct_errors:
-            out.extend(code.decode(received, erasure_positions=erasures))
-        else:
-            out.extend(code.decode_erasures(received, erasures))
-    secret = bytes(out)
+
+def rs_recover_present(present: dict[int, bytes], k: int, n: int,
+                       secret_len: int | None = None,
+                       field: GF256 = GF_RS,
+                       correct_errors: bool = False) -> bytes:
+    """Recovery core over a 0-based position -> payload map.
+
+    The :class:`Share`-free entry point for callers (the bank keystore)
+    that already hold positions and payloads; :func:`rs_recover_secret`
+    delegates here after unwrapping its shares.
+    """
+    secret = rs_recover_chunks(present, k, n, field=field,
+                               correct_errors=correct_errors).tobytes()
     if secret_len is not None:
         if secret_len > len(secret):
             raise ConfigurationError(
@@ -101,3 +117,31 @@ def rs_recover_secret(shares: list[Share], k: int, n: int,
     else:
         secret = secret.rstrip(b"\x00") or b"\x00"
     return secret
+
+
+def rs_recover_chunks(present: dict[int, bytes], k: int, n: int,
+                      field: GF256 = GF_RS,
+                      correct_errors: bool = False) -> np.ndarray:
+    """Decode the raw ``(n_chunks, k)`` message array, no padding trim.
+
+    Exposed separately so callers that decode the same store repeatedly
+    (the bank keystore) can cache the chunk array and splice partial
+    re-decodes into it.
+    """
+    if len(present) < k:
+        raise InsufficientSharesError(
+            f"need {k} shares, got {len(present)}")
+    lengths = {len(d) for d in present.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError("shares have inconsistent lengths")
+    n_chunks = lengths.pop()
+
+    code = _rs_code(n, k, field)
+    erasures = [i for i in range(n) if i not in present]
+    # All chunks share one erasure set, so the whole recovery is a
+    # single batched decode (row-identical to per-chunk code.decode).
+    words = np.zeros((n_chunks, n), dtype=np.uint8)
+    for i, data in present.items():
+        words[:, i] = np.frombuffer(data, dtype=np.uint8)
+    return code.decode_many(words, erasures,
+                            max_errors=None if correct_errors else 0)

@@ -91,3 +91,27 @@ class LimitedUseConnection:
                 f"limited-use connection exhausted after {self.accesses} "
                 f"accesses (bound {self.design.access_bound})") from None
         return self._stores[copy].recover(closed)
+
+    def serve_accesses(self, count: int) -> int:
+        """Serve up to ``count`` key reads in one engine fast-forward.
+
+        Returns the number actually served; fewer than ``count`` means
+        the connection exhausted partway and the next read's failing
+        attempt has already been counted, exactly as a raising
+        :meth:`read_key` would have.  The secret is not recovered -
+        callers that need the key bytes use :meth:`read_key`; this is
+        the bulk path for replay-style drivers that only need the wear
+        accounting.  Leaves the shared wear state bit-identical to
+        ``count`` sequential reads (closed form pinned in
+        ``tests/engine``; the replay arms in ``tests/differential``).
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count == 0:
+            return 0
+        served = int(self._state.run_to_exhaustion(max_accesses=count)[0])
+        died = served < count
+        self._serial._current = int(self._state.current[0])
+        self._serial.total_accesses += served + died
+        self.accesses += served + died
+        return served

@@ -12,14 +12,15 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.codes.shamir import Share, recover_secret, split_secret
+from repro.codes.shamir import recover_from_pairs, split_secret
 from repro.codes.shamir16 import (
     MAX_SHARES16,
     Share16,
     recover_secret16,
     split_secret16,
 )
-from repro.codes.threshold import rs_recover_secret, rs_split_secret
+from repro.codes.threshold import _rs_code, rs_recover_chunks, rs_split_secret
+from repro.gf.field import GF_RS
 from repro.errors import (
     ConfigurationError,
     DecodingFailure,
@@ -55,12 +56,18 @@ class BankKeyStore:
     ``fault_hook`` (a :class:`repro.faults.FaultModel`) is consulted on
     every share readout so fault campaigns can corrupt or time out the
     register path; with no hook attached readout is a plain list index.
+    ``batched_readout`` routes each recovery's readouts through the
+    hook's batched ``on_shares_readout`` site in one call instead of a
+    per-share Python loop - bit-identical for every shipped injector by
+    the :mod:`repro.faults.injectors` substream contract (pinned in
+    ``tests/differential``).
     """
 
     def __init__(self, secret: bytes, n: int, k: int,
                  rng: np.random.Generator, scheme: str = "shamir",
                  bank_id: int = 0,
-                 fault_hook: "FaultHook | None" = None) -> None:
+                 fault_hook: "FaultHook | None" = None,
+                 batched_readout: bool = False) -> None:
         if not secret:
             raise ConfigurationError("secret must be non-empty")
         if not 1 <= k <= n:
@@ -72,6 +79,8 @@ class BankKeyStore:
         self.scheme = scheme
         self.bank_id = bank_id
         self.fault_hook = fault_hook
+        self.batched_readout = (batched_readout and fault_hook is not None
+                                and hasattr(fault_hook, "on_shares_readout"))
         self._secret_len = len(secret)
         if k == 1:
             self._shares = [secret] * n
@@ -80,7 +89,11 @@ class BankKeyStore:
             if n > 255:
                 raise ConfigurationError(
                     "RS banks support at most 255 shares")
-            self._shares = rs_split_secret(secret, k, n)
+            # RS splitting draws no randomness, so it is deferred to the
+            # first readout (see the ``_shares`` property): RS stores
+            # back a fallback path most copies never exercise.
+            self._rs_source = secret
+            self._shares = None
             self._mode = "rs"
         elif n <= 255:
             self._shares = split_secret(secret, k, n, rng)
@@ -91,6 +104,85 @@ class BankKeyStore:
         else:
             raise ConfigurationError(
                 f"banks beyond {MAX_SHARES16} shares are not supported")
+        # Memoized pristine recoveries keyed by picked-index tuple.
+        # An entry is stored/served only when every readout returned the
+        # *stored* share object (fault hooks hand back new objects
+        # whenever they corrupt), so an identity check proves the inputs
+        # - and hence the deterministic recovery - are unchanged since
+        # the cached call.
+        self._pristine: dict[tuple[int, ...], bytes] = {}
+        # The provisioned secret, served directly for pristine readouts
+        # of an unmutated store: recovery from any k intact shares of
+        # the original split provably returns this exact byte string, so
+        # interpolating is pure waste.  Token validation drops it the
+        # moment a stored share object is swapped (tests corrupt stores
+        # in place), falling back to honest per-tuple recovery.
+        self._plain_secret: bytes | None = secret
+        # Decoded RS message chunks, cached after the first successful
+        # decode: RS correction of any decodable word yields the true
+        # message, so later recoveries only re-decode the chunks that
+        # corrupted readouts actually touched.
+        self._rs_plain: np.ndarray | None = None
+        # Identity snapshot of the stored data objects, taken when a
+        # cache is first filled.  A stored share swapped afterwards
+        # (tests corrupt stores in place) invalidates both caches.
+        self._stored_tokens: list | None = None
+        # (n_chunks, n) matrix of the stored share symbols - the true
+        # codewords, one chunk per row.  Built lazily by ``_recover_rs``
+        # and invalidated together with ``_stored_tokens``.
+        self._true_matrix: np.ndarray | None = None
+        if self._mode in ("gf256", "gf65536"):
+            # Arm the token guard from birth so a swapped share is
+            # detected on the first recover, not the first cache fill
+            # (the plain-secret fast path depends on it).
+            self._stored_tokens = [s.data for s in self._shares]
+
+    def _refresh_tokens(self) -> None:
+        if self._stored_tokens is None:
+            self._stored_tokens = [s.data for s in self._shares]
+
+    def _validate_tokens(self, pairs) -> None:
+        """Drop the recovery caches if any stored share backing ``pairs``
+        is no longer the object the caches were computed from."""
+        tokens = self._stored_tokens
+        if tokens is None:
+            return
+        shares = self._shares
+        for i, _ in pairs:
+            if shares[i].data is not tokens[i]:
+                self._stored_tokens = [s.data for s in shares]
+                self._pristine.clear()
+                self._plain_secret = None
+                self._rs_plain = None
+                self._true_matrix = None
+                return
+
+    @property
+    def _shares(self) -> list:
+        shares = self._shares_list
+        if shares is None:
+            shares = self._shares_list = rs_split_secret(
+                self._rs_source, self.k, self.n)
+            # Freshly split shares are authoritative, so the decoded
+            # chunks are the (padded) source itself; seed the cache and
+            # the token snapshot together.  In-place corruption of the
+            # store afterwards is caught by ``_validate_tokens``.
+            n_chunks = -(-self._secret_len // self.k)
+            padded = self._rs_source + b"\x00" * (
+                n_chunks * self.k - self._secret_len)
+            self._rs_plain = np.frombuffer(
+                padded, dtype=np.uint8).reshape(n_chunks, self.k).copy()
+            self._stored_tokens = [s.data for s in shares]
+        return shares
+
+    @_shares.setter
+    def _shares(self, value) -> None:
+        self._shares_list = value
+
+    def _share_data(self, index: int) -> bytes:
+        """Raw stored share bytes, before any fault injection."""
+        return (self._shares[index] if self._mode == "replicas"
+                else self._shares[index].data)
 
     def _read_share_data(self, index: int) -> bytes | None:
         """One register readout, through the fault hook when attached.
@@ -98,8 +190,7 @@ class BankKeyStore:
         Returns None when an injected timeout loses the share for this
         attempt (the caller treats it as missing, not corrupt).
         """
-        data = (self._shares[index] if self._mode == "replicas"
-                else self._shares[index].data)
+        data = self._share_data(index)
         if self.fault_hook is None:
             return data
         return self.fault_hook.on_share_readout(self.bank_id, index, data)
@@ -119,38 +210,147 @@ class BankKeyStore:
                 f"switches, need k={self.k}",
                 supplied=len(live_indices), required=self.k,
                 bank_id=self.bank_id)
-        if any(not 0 <= i < self.n for i in live_indices):
+        if min(live_indices) < 0 or max(live_indices) >= self.n:
             raise ConfigurationError("switch index out of range")
 
-        readouts = [(i, self._read_share_data(i)) for i in live_indices]
-        timeouts = sum(1 for _, data in readouts if data is None)
-        live = [(i, data) for i, data in readouts if data is not None]
+        if self.batched_readout:
+            shares = self._shares
+            raw = ([shares[i] for i in live_indices]
+                   if self._mode == "replicas"
+                   else [shares[i].data for i in live_indices])
+            datas = self.fault_hook.on_shares_readout(
+                self.bank_id, live_indices, raw)
+            if None in datas:
+                live = [(i, data) for i, data in zip(live_indices, datas)
+                        if data is not None]
+            else:
+                live = list(zip(live_indices, datas))
+        else:
+            live = [(i, data) for i, data in
+                    ((i, self._read_share_data(i)) for i in live_indices)
+                    if data is not None]
+        timeouts = len(live_indices) - len(live)
         if len(live) < self.k:
             raise InsufficientSharesError(
-                f"bank {self.bank_id}: {len(readouts)} switches closed but "
-                f"{timeouts} share readouts timed out, leaving {len(live)} "
-                f"< k={self.k}",
+                f"bank {self.bank_id}: {len(live_indices)} switches closed "
+                f"but {timeouts} share readouts timed out, leaving "
+                f"{len(live)} < k={self.k}",
                 supplied=len(live), required=self.k, bank_id=self.bank_id,
                 timeouts=timeouts)
 
         if self._mode == "replicas":
             return live[0][1]
         if self._mode == "rs":
-            chosen = [Share(index=i + 1, data=data) for i, data in live]
             try:
-                return rs_recover_secret(chosen, self.k, self.n,
-                                         secret_len=self._secret_len,
-                                         correct_errors=True)
+                return self._recover_rs(live)
             except DecodingFailure as exc:
                 raise DecodingFailure(
                     f"bank {self.bank_id}: {len(live)} live shares exceed "
                     f"the RS({self.n}, {self.k}) correction radius: {exc}",
                     bank_id=self.bank_id, n=self.n, k=self.k) from exc
+        picked = live[:self.k]
+        shares = self._shares
+        pristine = True
+        for i, data in picked:
+            if data is not shares[i].data:
+                pristine = False
+                break
+        if pristine:
+            self._validate_tokens(picked)
+            plain = self._plain_secret
+            if plain is not None:
+                # Untouched readouts of an unmutated store: the
+                # interpolation result is provably the provisioned
+                # secret, byte for byte.
+                return plain
+            key = tuple([i for i, _ in picked])
+            cached = self._pristine.get(key)
+            if cached is not None:
+                return cached
         if self._mode == "gf256":
-            chosen = [Share(index=i + 1, data=data)
-                      for i, data in live[:self.k]]
-            return recover_secret(chosen, k=self.k)
-        chosen16 = [Share16(index=i + 1, data=data)
-                    for i, data in live[:self.k]]
-        return recover_secret16(chosen16, k=self.k,
-                                secret_len=self._secret_len)
+            secret = recover_from_pairs(tuple([i + 1 for i, _ in picked]),
+                                        [data for _, data in picked])
+        else:
+            chosen16 = [Share16(index=i + 1, data=data)
+                        for i, data in picked]
+            secret = recover_secret16(chosen16, k=self.k,
+                                      secret_len=self._secret_len)
+        if pristine:
+            if len(self._pristine) > 256:
+                self._pristine.clear()
+            self._pristine[key] = secret
+            self._refresh_tokens()
+        return secret
+
+    def _recover_rs(self, live: list[tuple[int, bytes]]) -> bytes:
+        """RS recovery with chunk-level re-decode avoidance.
+
+        The first successful decode caches the message array (RS
+        correction of any decodable word yields the true message).
+        Afterwards, a chunk needs re-decoding only if a corrupted
+        readout (a data object that is not the stored share's) touched
+        one of its symbols: an untouched chunk is a true codeword under
+        erasures, whose decode provably returns the cached message and
+        cannot fail while the erasure count stays within ``parity``
+        (guaranteed here, since ``len(live) >= k`` was already checked).
+        """
+        if self._rs_plain is not None:
+            self._validate_tokens(live)
+        plain = self._rs_plain
+        if plain is None:
+            msgs = rs_recover_chunks(dict(live), self.k, self.n,
+                                     correct_errors=True)
+            self._rs_plain = msgs
+            self._refresh_tokens()
+            return msgs.tobytes()[:self._secret_len]
+        shares = self._shares
+        touched: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for i, data in live:
+            stored = shares[i].data
+            if data is stored:
+                continue
+            if len(data) != len(stored):
+                # Length drift: fall back to the validating full decode.
+                return rs_recover_chunks(dict(live), self.k, self.n,
+                                         correct_errors=True
+                                         ).tobytes()[:self._secret_len]
+            arr = np.frombuffer(data, dtype=np.uint8)
+            diff = arr != np.frombuffer(stored, dtype=np.uint8)
+            if diff.any():
+                touched.append((i, arr, diff))
+        if not touched:
+            return plain.tobytes()[:self._secret_len]
+        # Chunks touched by a corrupted readout, and each chunk's error
+        # count e (corrupted symbols among the live shares).  With f
+        # erasures, 2e + f <= parity puts the word inside the unique
+        # decoding radius, where errors-and-erasures decoding provably
+        # returns the true codeword - which is the cached message, so no
+        # decode is needed.  Only chunks beyond the radius are handed to
+        # the real decoder (whose failure/miscorrection behaviour this
+        # path must preserve).
+        union = touched[0][2].copy()
+        for _, _, diff in touched[1:]:
+            union |= diff
+        cc = np.flatnonzero(union)
+        errors = np.zeros(cc.size, dtype=np.int64)
+        for _, _, diff in touched:
+            errors += diff[cc]
+        live_set = {i for i, _ in live}
+        erasures = [i for i in range(self.n) if i not in live_set]
+        code = _rs_code(self.n, self.k, GF_RS)
+        out = plain.copy()
+        beyond = 2 * errors + len(erasures) > code.parity
+        if beyond.any():
+            bad = cc[beyond]
+            tm = self._true_matrix
+            if tm is None:
+                tm = self._true_matrix = np.stack(
+                    [np.frombuffer(s.data, dtype=np.uint8)
+                     for s in shares], axis=1)
+            words = tm[bad].copy()
+            for i, arr, _ in touched:
+                words[:, i] = arr[bad]
+            if erasures:
+                words[:, erasures] = 0
+            out[bad] = code.decode_many(words, erasures, max_errors=None)
+        return out.tobytes()[:self._secret_len]

@@ -169,7 +169,8 @@ class ResilientAccessController:
                  variation: ProcessVariation | None = None,
                  fault_hook: "FaultHook | None" = None,
                  policy: RetryPolicy | None = None,
-                 rs_fallback: bool = True) -> None:
+                 rs_fallback: bool = True,
+                 vectorized: bool = False) -> None:
         self.design = design
         self.policy = policy or RetryPolicy()
         self.stats = AccessStats()
@@ -177,6 +178,16 @@ class ResilientAccessController:
         self._fault_hook = fault_hook
         rs_possible = rs_fallback and design.k > 1 and design.n <= 255
         self.rs_fallback = rs_possible
+        # ``vectorized`` swaps the per-switch scalar hook loop and the
+        # per-share readout loop for batched engine hooks - bit-identical
+        # by the repro.engine.hooks contract (pinned in
+        # tests/differential), so campaigns use it by default.
+        vector_hook = None
+        if vectorized and fault_hook is not None:
+            from repro.engine.hooks import vector_hook_for
+
+            vector_hook = vector_hook_for(fault_hook)
+        batched = vectorized and fault_hook is not None
         variation = variation or NoVariation()
         # One shared engine state backs every copy; lifetimes are drawn
         # per copy, interleaved with the keystore splits, preserving the
@@ -190,18 +201,26 @@ class ResilientAccessController:
                 design.device, design.n, rng)
             self._stores.append(
                 BankKeyStore(secret, design.n, design.k, rng,
-                             bank_id=copy, fault_hook=fault_hook))
+                             bank_id=copy, fault_hook=fault_hook,
+                             batched_readout=batched))
             self._rs_stores.append(
                 BankKeyStore(secret, design.n, design.k, rng, scheme="rs",
-                             bank_id=copy, fault_hook=fault_hook)
+                             bank_id=copy, fault_hook=fault_hook,
+                             batched_readout=batched)
                 if rs_possible else None)
             self._health.append(CopyHealth(bank_id=copy))
         self._state = WearState(lifetimes, design.k)
         self._banks = [
             SimulatedBank.from_state(self._state, 0, copy,
-                                     fault_hook=fault_hook)
+                                     fault_hook=fault_hook,
+                                     vector_hook=vector_hook)
             for copy in range(design.copies)]
         self.accesses = 0
+        # First candidate for ``current_copy``.  Dead and quarantined
+        # flags are latched (never cleared), so availability is monotone
+        # and the scan can resume where it last stopped instead of
+        # walking every health record on each access.
+        self._first_copy = 0
 
     # ------------------------------------------------------------------
     @property
@@ -211,10 +230,13 @@ class ResilientAccessController:
     @property
     def current_copy(self) -> int | None:
         """Index of the first copy still in service (None if none)."""
-        for health in self._health:
-            if health.available:
-                return health.bank_id
-        return None
+        health = self._health
+        i = self._first_copy
+        ncopies = len(health)
+        while i < ncopies and not health[i].available:
+            i += 1
+        self._first_copy = i
+        return health[i].bank_id if i < ncopies else None
 
     @property
     def is_exhausted(self) -> bool:

@@ -65,35 +65,63 @@ class SimulatedBank:
         if not 1 <= k <= len(switches):
             raise ConfigurationError(
                 f"need 1 <= k <= n, got k={k}, n={len(switches)}")
-        self.switches = list(switches)
+        self._switches: list[NEMSSwitch] | None = list(switches)
         self.k = k
         self._accesses = 0
         self._dead = False
         self._fault_hook = fault_hook
+        self._vector_hook = None
         self._state: WearState | None = None
         self._instance = self._copy = 0
+        self._ids: tuple[np.ndarray, np.ndarray] | None = None
+        self._rows: tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_state(cls, state: WearState, instance: int = 0, copy: int = 0,
-                   fault_hook: "FaultHook | None" = None) -> "SimulatedBank":
+                   fault_hook: "FaultHook | None" = None,
+                   vector_hook=None) -> "SimulatedBank":
         """An engine-backed bank over one ``(instance, copy)`` state row.
 
         Wear, access counts and the dead-latch live in (and stay
         consistent with) the shared arrays; ``switches`` holds the
-        cached per-switch views.
+        cached per-switch views.  ``vector_hook`` (a
+        :class:`~repro.engine.hooks.VectorFaultHook`, typically from
+        :func:`~repro.engine.hooks.vector_hook_for` over ``fault_hook``)
+        makes ``access()`` run one batched kernel round plus one hook
+        call instead of the per-switch scalar loop - bit-identical by
+        the hooks-module contract, pinned in ``tests/differential``.
         """
         bank = object.__new__(cls)
-        bank.switches = state.bank_views(instance, copy)
+        bank._switches = None  # built on first use; see ``switches``
         bank.k = state.k
         bank._accesses = 0
         bank._dead = False
         bank._fault_hook = fault_hook
+        bank._vector_hook = vector_hook
         bank._state = state
         bank._instance, bank._copy = instance, copy
+        bank._ids = (np.array([instance]), np.array([copy]))
+        bank._rows = (state.lifetime[instance, copy],
+                      state.used[instance, copy])
         return bank
 
     @property
+    def switches(self) -> list[NEMSSwitch]:
+        """Per-switch views, built lazily for engine-backed banks.
+
+        The batched access paths never touch individual switches, so
+        fabricating the view objects up front would be pure overhead for
+        vectorized campaigns.
+        """
+        if self._switches is None:
+            self._switches = self._state.bank_views(self._instance,
+                                                    self._copy)
+        return self._switches
+
+    @property
     def n(self) -> int:
+        if self._state is not None:
+            return self._state.n
         return len(self.switches)
 
     @property
@@ -152,6 +180,8 @@ class SimulatedBank:
             if len(closed) < self.k:
                 self._latch_dead()
             return closed
+        if self._vector_hook is not None and self._state is not None:
+            return self._access_vector()
         hook = self._fault_hook.on_switch_actuate
         physical = 0
         observed: list[int] = []
@@ -166,12 +196,36 @@ class SimulatedBank:
 
     def _access_array(self) -> list[int]:
         """Vectorized actuation of the whole bank row (no hook)."""
-        state = self._state
-        lifetime = state.lifetime[self._instance, self._copy]
-        used = state.used[self._instance, self._copy]     # in-place view
-        failed = used >= lifetime
-        np.add(used, 1, out=used, where=~failed)
-        return np.flatnonzero(~failed & (used <= lifetime)).tolist()
+        lifetime, used = self._rows  # cached in-place row views
+        alive = used < lifetime
+        used += alive  # bool add: one ufunc, no where-dispatch
+        return np.flatnonzero(alive & (used <= lifetime)).tolist()
+
+    def _access_vector(self) -> list[int]:
+        """One kernel round plus one batched hook call (vector hook).
+
+        The scalar hooked loop interleaves actuation and injection per
+        switch, but actuation never consults the hook and every shipped
+        injector only touches the switch it is handed, so
+        actuate-everything-then-inject-everything observes identical
+        state.  The dead-latch keys on physical closures measured *at
+        actuation time* - injector wear added afterwards (temperature
+        drift) belongs to the next access, same as the scalar path.
+        """
+        lifetime, used = self._rows  # cached in-place row views
+        alive = used < lifetime
+        used += alive  # bool add: one ufunc, no where-dispatch
+        closed = used <= lifetime
+        closed &= alive
+        closed = closed[np.newaxis, :]
+        physical = int(np.count_nonzero(closed))
+        instances, copies = self._ids
+        observed = self._vector_hook.on_bank_actuate(
+            self._state, instances, copies, closed)
+        observed_idx = observed[0].nonzero()[0].tolist()
+        if physical < self.k and len(observed_idx) < self.k:
+            self._latch_dead()
+        return observed_idx
 
     def access_succeeds(self) -> bool:
         """Actuate once and report whether >= k paths closed."""

@@ -25,7 +25,11 @@ See ``docs/engine.md`` for the state layout and the bit-identity argument.
 """
 
 from repro.engine.hooks import (ScalarHookAdapter, VectorFaultHook,
-                                VectorTransientMisfire, vector_hook_for)
+                                VectorFaultPipeline, VectorPrematureStuckOpen,
+                                VectorReadoutTimeout, VectorShareCorruption,
+                                VectorStuckClosedConversion,
+                                VectorTemperatureDrift, VectorTransientMisfire,
+                                vector_hook_for)
 from repro.engine.state import WearState
 from repro.engine.views import SwitchView
 
@@ -33,6 +37,12 @@ __all__ = [
     "ScalarHookAdapter",
     "SwitchView",
     "VectorFaultHook",
+    "VectorFaultPipeline",
+    "VectorPrematureStuckOpen",
+    "VectorReadoutTimeout",
+    "VectorShareCorruption",
+    "VectorStuckClosedConversion",
+    "VectorTemperatureDrift",
     "VectorTransientMisfire",
     "WearState",
     "vector_hook_for",

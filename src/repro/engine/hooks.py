@@ -12,13 +12,24 @@ exact scalar call order - instances in batch order, switches in index
 order, each hook call receiving the cached
 :class:`~repro.engine.views.SwitchView` for that switch.  Because every
 shipped injector only reads/mutates the switch it is handed (and draws
-from the fault model's dedicated generator in call order), the adapter
-is bit-compatible with the object-mode loop in
+from its own per-injector stream in call order), the adapter is
+bit-compatible with the object-mode loop in
 :meth:`repro.core.hardware.SimulatedBank.access`.
+
+Every shipped actuation injector also has a *native* batched
+implementation here (``Vector*``), and :func:`vector_hook_for` composes
+them into a :class:`VectorFaultPipeline` for mixed-injector models.
+Stage-major evaluation (one injector across the whole batch, then the
+next) consumes each injector's dedicated substream in exactly the
+scalar cell-major order, because an injector's draw condition at one
+switch depends only on that switch's state after the earlier stages -
+see ``docs/fault_vectorization.md`` for the porting recipe and the full
+bit-identity argument (pinned by ``tests/differential``).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
@@ -28,8 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.hooks import FaultHook
 
 __all__ = ["VectorFaultHook", "ScalarHookAdapter",
-           "VectorTransientMisfire", "VectorStuckClosedConversion",
-           "vector_hook_for"]
+           "VectorTransientMisfire", "VectorPrematureStuckOpen",
+           "VectorStuckClosedConversion", "VectorShareCorruption",
+           "VectorReadoutTimeout", "VectorTemperatureDrift",
+           "VectorFaultPipeline", "vector_hook_for"]
 
 
 @runtime_checkable
@@ -55,7 +68,7 @@ class ScalarHookAdapter:
 
     Calls ``hook.on_switch_actuate(view, closed)`` for every switch of
     every actuated bank, instance-major then switch-index order - the
-    same order (and hence the same fault-RNG stream) as the scalar
+    same order (and hence the same fault-RNG streams) as the scalar
     hardware loop.
     """
 
@@ -104,12 +117,13 @@ class VectorTransientMisfire:
         rate = self.injector.rate
         if not rate:
             return closed
-        flat = np.flatnonzero(closed)          # row-major == scalar order
-        if flat.size == 0:
+        m = int(np.count_nonzero(closed))      # draws, row-major order
+        if m == 0:
             return closed
-        misfired = self.rng.random(flat.size) < rate
+        misfired = self.rng.random(m) < rate
         if not misfired.any():
             return closed
+        flat = np.flatnonzero(closed)          # row-major == scalar order
         observed = closed.copy()
         observed.flat[flat[misfired]] = False
         self.injector.injections += int(misfired.sum())
@@ -117,6 +131,66 @@ class VectorTransientMisfire:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VectorTransientMisfire(rate={self.injector.rate})"
+
+
+class VectorPrematureStuckOpen:
+    """Native batched :class:`~repro.faults.injectors.PrematureStuckOpen`.
+
+    The scalar injector draws one uniform per *live* switch (``used <
+    lifetime`` after this round's actuation - a failed switch is
+    skipped without a draw), in row-major order.  A hit collapses the
+    switch's lifetime to the wear already spent
+    (:meth:`~repro.engine.views.SwitchView.force_fail`) and reports the
+    switch open this round regardless of its physical closure.
+    """
+
+    def __init__(self, injector, rng: np.random.Generator) -> None:
+        self.injector = injector
+        self.rng = rng
+
+    def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
+                        copies: np.ndarray, closed: np.ndarray,
+                        ) -> np.ndarray:
+        rate = self.injector.rate
+        if not rate:
+            return closed
+        if instances.size == 1:
+            # Single-bank round (the per-access path): basic-index row
+            # views instead of fancy-index gathers, same draw order.
+            b0, c0 = instances[0], copies[0]
+            used = state.used[b0, c0]
+            alive_cols = (used < state.lifetime[b0, c0]).nonzero()[0]
+            if alive_cols.size == 0:
+                return closed
+            fired = self.rng.random(alive_cols.size) < rate
+            if not fired.any():
+                return closed
+            cols = alive_cols[fired]
+            # force_fail: lifetime <- min(lifetime, used) == used (alive).
+            state.lifetime[b0, c0, cols] = used[cols]
+            observed = closed.copy()
+            observed[0, cols] = False
+            self.injector.injections += int(cols.size)
+            return observed
+        alive = (state.used[instances, copies]
+                 < state.lifetime[instances, copies])
+        flat = np.flatnonzero(alive)           # row-major == scalar order
+        if flat.size == 0:
+            return closed
+        fired = self.rng.random(flat.size) < rate
+        if not fired.any():
+            return closed
+        rows, cols = np.unravel_index(flat[fired], closed.shape)
+        b, c = instances[rows], copies[rows]
+        # force_fail: lifetime <- min(lifetime, used) == used (alive).
+        state.lifetime[b, c, cols] = state.used[b, c, cols]
+        observed = closed.copy()
+        observed[rows, cols] = False
+        self.injector.injections += int(fired.sum())
+        return observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorPrematureStuckOpen(rate={self.injector.rate})"
 
 
 class VectorStuckClosedConversion:
@@ -148,14 +222,25 @@ class VectorStuckClosedConversion:
     def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
                         copies: np.ndarray, closed: np.ndarray,
                         ) -> np.ndarray:
-        failed = (state.used[instances, copies]
-                  >= state.lifetime[instances, copies])
-        candidates = ~closed & failed
-        if not candidates.any():
-            return closed
-        rows, cols = np.nonzero(candidates)    # row-major == scalar order
-        keys = [(int(instances[r]), int(copies[r]), int(c))
-                for r, c in zip(rows, cols)]
+        if instances.size == 1:
+            b0, c0 = instances[0], copies[0]
+            failed = state.used[b0, c0] >= state.lifetime[b0, c0]
+            candidates = ~closed[0] & failed
+            if not candidates.any():
+                return closed
+            cols = candidates.nonzero()[0]     # row-major == scalar order
+            rows = np.zeros(cols.size, dtype=np.intp)
+            bi, ci = int(b0), int(c0)
+            keys = [(bi, ci, c) for c in cols.tolist()]
+        else:
+            failed = (state.used[instances, copies]
+                      >= state.lifetime[instances, copies])
+            candidates = ~closed & failed
+            if not candidates.any():
+                return closed
+            rows, cols = np.nonzero(candidates)  # row-major == scalar order
+            keys = [(int(instances[r]), int(copies[r]), int(c))
+                    for r, c in zip(rows, cols)]
         undecided = [j for j, key in enumerate(keys)
                      if key not in self.converted]
         probability = self.injector.probability
@@ -182,32 +267,182 @@ class VectorStuckClosedConversion:
                 f"converted={len(self.converted)})")
 
 
+class VectorTemperatureDrift:
+    """Native batched :class:`~repro.faults.injectors.TemperatureDrift`.
+
+    The scalar injector skips failed switches without a draw, applies
+    ``int(extra)`` whole cycles of hidden wear to every live switch, and
+    draws one uniform per live switch (only when the fractional part is
+    nonzero) to apply the fractional remainder stochastically.  Closure
+    observations are never altered - drift only burns budget.
+    """
+
+    def __init__(self, injector, rng: np.random.Generator) -> None:
+        self.injector = injector
+        self.rng = rng
+
+    def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
+                        copies: np.ndarray, closed: np.ndarray,
+                        ) -> np.ndarray:
+        extra = self.injector._extra_wear
+        if extra <= 0.0:
+            return closed
+        whole = int(extra)
+        if instances.size == 1 and whole == 0:
+            # Single-bank round, sub-cycle drift (the common campaign
+            # shape): one draw per live switch, hits add one cycle.
+            b0, c0 = instances[0], copies[0]
+            used = state.used[b0, c0]
+            alive_cols = (used < state.lifetime[b0, c0]).nonzero()[0]
+            if alive_cols.size == 0:
+                return closed
+            hit = self.rng.random(alive_cols.size) < extra
+            total = int(np.count_nonzero(hit))
+            if total:
+                cols = alive_cols[hit]
+                used[cols] += 1
+                self.injector.injections += total
+            return closed
+        alive = (state.used[instances, copies]
+                 < state.lifetime[instances, copies])
+        flat = np.flatnonzero(alive)           # row-major == scalar order
+        if flat.size == 0:
+            return closed
+        frac = extra - whole
+        cycles = np.full(flat.size, whole, dtype=np.int64)
+        if frac:
+            cycles += self.rng.random(flat.size) < frac
+        total = int(cycles.sum())
+        if not total:
+            return closed
+        hit = cycles > 0
+        rows, cols = np.unravel_index(flat[hit], closed.shape)
+        b, c = instances[rows], copies[rows]
+        state.used[b, c, cols] += cycles[hit]
+        self.injector.injections += total
+        return closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"VectorTemperatureDrift("
+                f"temperature_c={self.injector.temperature_c})")
+
+
+class _ReadoutOnlyNative:
+    """Base for readout-site injectors: a no-op at the actuation site.
+
+    The scalar injector consumes no RNG draws during switch actuation,
+    so the native hook passes the closure matrix through untouched; the
+    batched readout work happens in
+    :meth:`repro.faults.injectors.FaultModel.on_shares_readout`, which
+    the keystore layer calls once per recovery with the same per-injector
+    stream these hooks share.
+    """
+
+    def __init__(self, injector, rng: np.random.Generator) -> None:
+        self.injector = injector
+        self.rng = rng
+
+    def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
+                        copies: np.ndarray, closed: np.ndarray,
+                        ) -> np.ndarray:
+        return closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rate={self.injector.rate})"
+
+
+class VectorShareCorruption(_ReadoutOnlyNative):
+    """Native :class:`~repro.faults.injectors.ShareCorruption` (readout-only)."""
+
+
+class VectorReadoutTimeout(_ReadoutOnlyNative):
+    """Native :class:`~repro.faults.injectors.ReadoutTimeout` (readout-only)."""
+
+
+class VectorFaultPipeline:
+    """Ordered composition of native hooks, one stage per injector.
+
+    Stage-major evaluation of a mixed-injector model: each stage reads
+    the observed-closure matrix left by the previous stage plus the live
+    switch state (which earlier stages' per-cell mutations have already
+    updated), exactly what the scalar per-switch pipeline sees cell by
+    cell.  With per-injector RNG substreams the two orders consume every
+    stream identically, so the pipeline is bit-identical to
+    :class:`ScalarHookAdapter` over the same model - without the
+    per-switch Python round-trips.
+    """
+
+    def __init__(self, hooks) -> None:
+        self.hooks = list(hooks)
+        # Readout-only stages are identity at the actuate site and draw
+        # nothing there, so skipping them changes neither observations
+        # nor any RNG stream.
+        self._actuate_hooks = [h for h in self.hooks
+                               if not isinstance(h, _ReadoutOnlyNative)]
+
+    def on_bank_actuate(self, state: "WearState", instances: np.ndarray,
+                        copies: np.ndarray, closed: np.ndarray,
+                        ) -> np.ndarray:
+        for hook in self._actuate_hooks:
+            closed = hook.on_bank_actuate(state, instances, copies, closed)
+        return closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorFaultPipeline({self.hooks!r})"
+
+
+#: Injector types already warned about (fallback warnings fire once per
+#: type per process, not once per constructed hook).
+_warned_fallback: set[str] = set()
+
+
 def vector_hook_for(hook) -> "VectorFaultHook | None":
     """The fastest engine hook equivalent to scalar ``hook``.
 
-    A :class:`~repro.faults.FaultModel` whose actuation pipeline is one
-    injector with a registered native batched implementation
-    (:class:`~repro.faults.TransientMisfire`,
-    :class:`~repro.faults.StuckClosedConversion`) gets that
-    implementation - bit-identical fault-RNG stream, no per-switch
-    Python calls.  Anything else falls back to
-    :class:`ScalarHookAdapter`, which is bit-compatible with every
-    shipped injector: composed pipelines interleave their draws
-    per-switch, an order no per-injector batching can reproduce.
-    ``None`` stays ``None``.
+    A :class:`~repro.faults.FaultModel` whose injectors *all* have
+    registered native batched implementations gets those natives -
+    composed into a :class:`VectorFaultPipeline` when there is more than
+    one - with bit-identical fault-RNG streams and no per-switch Python
+    calls.  A model containing any injector without a native (e.g. a
+    user-defined subclass) falls back to :class:`ScalarHookAdapter`,
+    which is bit-compatible with every well-behaved scalar hook; the
+    fallback warns once per injector type so silent serialization does
+    not masquerade as the fast path.  ``None`` stays ``None``.
     """
     if hook is None:
         return None
     from repro.faults.injectors import (
         FaultModel,
+        PrematureStuckOpen,
+        ReadoutTimeout,
+        ShareCorruption,
         StuckClosedConversion,
+        TemperatureDrift,
         TransientMisfire,
     )
 
     natives = {TransientMisfire: VectorTransientMisfire,
-               StuckClosedConversion: VectorStuckClosedConversion}
-    if isinstance(hook, FaultModel) and len(hook.injectors) == 1:
-        native = natives.get(type(hook.injectors[0]))
-        if native is not None:
-            return native(hook.injectors[0], hook.rng)
+               PrematureStuckOpen: VectorPrematureStuckOpen,
+               StuckClosedConversion: VectorStuckClosedConversion,
+               ShareCorruption: VectorShareCorruption,
+               ReadoutTimeout: VectorReadoutTimeout,
+               TemperatureDrift: VectorTemperatureDrift}
+    if isinstance(hook, FaultModel) and hook.injectors:
+        stages = []
+        for injector, stream in zip(hook.injectors, hook.streams):
+            native = natives.get(type(injector))
+            if native is None:
+                name = type(injector).__name__
+                if name not in _warned_fallback:
+                    _warned_fallback.add(name)
+                    warnings.warn(
+                        f"fault injector {name} has no native vector hook; "
+                        f"the whole pipeline falls back to the per-switch "
+                        f"ScalarHookAdapter (bit-identical but slow)",
+                        RuntimeWarning, stacklevel=2)
+                return ScalarHookAdapter(hook)
+            stages.append(native(injector, stream))
+        if len(stages) == 1:
+            return stages[0]
+        return VectorFaultPipeline(stages)
     return ScalarHookAdapter(hook)

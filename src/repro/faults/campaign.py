@@ -147,12 +147,19 @@ def security_ceiling(design: DesignPoint) -> int:
 
 
 def run_fault_trial(design: DesignPoint, config: FaultCampaignConfig,
-                    rng: np.random.Generator) -> dict:
+                    rng: np.random.Generator,
+                    vectorized: bool = True) -> dict:
     """Fabricate one instance, drive it to destruction, record metrics.
 
     All randomness (fabrication, Shamir splits, fault draws) comes from
     ``rng``; passing the same generator state reproduces the trial
     exactly.  Returns a JSON-safe dict.
+
+    ``vectorized`` (the default) runs the fault pipeline through the
+    engine's native batched hooks; ``False`` keeps the per-switch scalar
+    loop.  The two are bit-identical - the differential suite compares
+    whole trial records across the flag - so the flag exists for those
+    tests and for debugging, not as a semantic choice.
     """
     fault_rng = derive_rng(rng)
     model = build_fault_model(config, fault_rng)
@@ -160,7 +167,7 @@ def run_fault_trial(design: DesignPoint, config: FaultCampaignConfig,
                          quarantine_after=config.quarantine_after)
     controller = ResilientAccessController(
         design, CAMPAIGN_SECRET, rng, fault_hook=model, policy=policy,
-        rs_fallback=config.rs_fallback)
+        rs_fallback=config.rs_fallback, vectorized=vectorized)
     ceiling = security_ceiling(design)
     cap = (config.max_accesses if config.max_accesses is not None
            else ceiling + max(design.t, 8))
@@ -289,16 +296,18 @@ class FaultCampaignReport:
 
 def _campaign_trial(index: int, rng: np.random.Generator,
                     design: DesignPoint,
-                    config: FaultCampaignConfig) -> dict:
+                    config: FaultCampaignConfig,
+                    vectorized: bool = True) -> dict:
     """Picklable per-trial adapter shared by the serial and parallel paths."""
-    return run_fault_trial(design, config, rng)
+    return run_fault_trial(design, config, rng, vectorized=vectorized)
 
 
 def run_fault_campaign(design: DesignPoint, config: FaultCampaignConfig,
                        trials: int, seed: int,
                        checkpoint_path: str | None = None,
                        checkpoint_every: int = 10,
-                       workers: int | None = None) -> FaultCampaignReport:
+                       workers: int | None = None,
+                       vectorized: bool = True) -> FaultCampaignReport:
     """Run (or resume) a checkpointed fault-injection campaign.
 
     ``workers`` runs the campaign sharded across a process pool
@@ -306,6 +315,8 @@ def run_fault_campaign(design: DesignPoint, config: FaultCampaignConfig,
     from the substream ``(seed, i)`` either way, so the report - and the
     checkpoint file - is bit-identical for any worker count, and a
     checkpoint written under one count resumes under another.
+    ``vectorized`` trials are likewise bit-identical to scalar ones, so
+    checkpoints mix freely across all three axes.
     """
     meta = {"kind": "fault-campaign",
             "design": design_to_dict(design),
@@ -314,13 +325,14 @@ def run_fault_campaign(design: DesignPoint, config: FaultCampaignConfig,
         from repro.sim.parallel import run_parallel_trials
 
         records = run_parallel_trials(
-            _campaign_trial, trials, seed, trial_args=(design, config),
+            _campaign_trial, trials, seed,
+            trial_args=(design, config, vectorized),
             workers=workers, checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every, meta=meta)
         return FaultCampaignReport.from_records(records, config)
 
     def trial(index: int, rng: np.random.Generator) -> dict:
-        return _campaign_trial(index, rng, design, config)
+        return _campaign_trial(index, rng, design, config, vectorized)
 
     records = run_checkpointed_trials(trial, trials, seed, checkpoint_path,
                                       checkpoint_every, meta)

@@ -27,6 +27,21 @@ Two injection sites cover every fault in the taxonomy:
 - ``on_share_readout(bank_id, index, data)`` - consulted when a share /
   leaf register is read; may corrupt the bytes (bit flips) or return
   None (readout timeout: the share is missing this attempt).
+
+RNG substream contract
+----------------------
+
+Each injector draws from its *own* generator, derived from the model's
+root generator at construction (``root.jumped(i + 1)`` for injector
+``i``).  Per-injector streams are what make the native batched hooks in
+:mod:`repro.engine.hooks` bit-identical to this scalar pipeline: an
+injector's draw condition at one switch depends only on that switch's
+state after the earlier pipeline stages, so evaluating the pipeline
+stage-major (one injector across all switches, the batched order) or
+cell-major (all injectors per switch, the scalar order) consumes every
+stream in exactly the same sequence.  A shared stream would interleave
+draws across injectors per switch - an order no per-injector batch can
+reproduce.  See ``docs/fault_vectorization.md`` for the full argument.
 """
 
 from __future__ import annotations
@@ -81,6 +96,20 @@ class FaultInjector:
                          rng: np.random.Generator) -> bytes | None:
         """Observe/modify one share readout (None = timeout)."""
         return data
+
+    def on_shares_readout(self, bank_id: int, indices: list[int],
+                          datas: list, rng: np.random.Generator) -> list:
+        """One whole bank recovery's readouts in a single call.
+
+        The default replays :meth:`on_share_readout` share by share in
+        index order - the exact per-share draw sequence - skipping
+        shares an earlier pipeline stage already timed out (the scalar
+        model short-circuits those before this injector would see them).
+        Subclasses override with batched draws where the stream allows.
+        """
+        return [None if data is None
+                else self.on_share_readout(bank_id, index, data, rng)
+                for index, data in zip(indices, datas)]
 
 
 class TransientMisfire(FaultInjector):
@@ -187,6 +216,55 @@ class ShareCorruption(FaultInjector):
             corrupted[pos] ^= 1 << int(rng.integers(0, 8))
         return bytes(corrupted)
 
+    def on_shares_readout(self, bank_id, indices, datas, rng):
+        """Speculative batch: one uniform per live share, rewound on a hit.
+
+        The scalar loop interleaves flip-position integers into the
+        stream only *after* a corruption fires.  Corruptions are rare at
+        campaign rates, so we snapshot the generator, draw the whole
+        uniform batch, and keep it when nothing fired (bit-identical: no
+        integers would have interleaved).  On a hit the generator is
+        rewound and the scalar sequence replayed exactly - the pre-hit
+        uniforms re-drawn in one batch, the hit's flip integers drawn,
+        then the remainder of the shares speculated again.
+        """
+        out = list(datas)
+        rate = self.rate
+        if not rate:
+            return out
+        if all(out):
+            live = None  # common case: identity index map
+            nlive = len(out)
+        else:
+            live = [j for j, data in enumerate(out) if data]
+            nlive = len(live)
+        gen = rng.bit_generator
+        random = rng.random
+        integers = rng.integers
+        flips = self.flips
+        pos = 0
+        while pos < nlive:
+            saved = gen.state
+            flags = random(nlive - pos) < rate
+            first = flags.argmax()
+            if not flags[first]:
+                break
+            first = int(first)
+            gen.state = saved
+            if first:
+                random(first)  # the pre-hit uniforms, verbatim
+            random()           # the hit's own uniform
+            hit = pos + first
+            j = hit if live is None else live[hit]
+            self.injections += 1
+            corrupted = bytearray(out[j])
+            for _ in range(flips):
+                p = int(integers(0, len(corrupted)))
+                corrupted[p] ^= 1 << int(integers(0, 8))
+            out[j] = bytes(corrupted)
+            pos = hit + 1
+        return out
+
 
 class ReadoutTimeout(FaultInjector):
     """A share readout times out: the share is missing this attempt.
@@ -206,6 +284,24 @@ class ReadoutTimeout(FaultInjector):
             self.injections += 1
             return None
         return data
+
+    def on_shares_readout(self, bank_id, indices, datas, rng):
+        """Batched timeouts: one uniform per share reaching this stage."""
+        if not self.rate:
+            return list(datas)
+        if None not in datas:
+            alive = range(len(datas))  # common case: identity index map
+        else:
+            alive = [j for j, data in enumerate(datas) if data is not None]
+        if not alive:
+            return list(datas)
+        hits = (rng.random(len(alive)) < self.rate).nonzero()[0]
+        out = list(datas)
+        if hits.size:
+            for h in hits.tolist():
+                out[alive[h]] = None
+            self.injections += hits.size
+        return out
 
 
 class TemperatureDrift(FaultInjector):
@@ -243,35 +339,74 @@ class TemperatureDrift(FaultInjector):
 
 
 class FaultModel:
-    """An ordered pipeline of injectors plus a dedicated fault RNG.
+    """An ordered pipeline of injectors plus dedicated fault RNG streams.
 
-    The model owns its generator so fault draws are independent of
+    The model owns its generators so fault draws are independent of
     fabrication: two simulations fabricated from the same stream, one
     with and one without a fault model, see identical switch lifetimes.
     Attach an instance as the ``fault_hook`` of the stateful hardware.
+
+    Injector ``i`` draws from its own substream
+    (``root.jumped(i + 1)``, in :attr:`streams`) - the RNG substream
+    contract the native batched hooks rely on (see module docstring).
+    The root generator itself is never drawn from; it only seeds the
+    substreams and is kept for state export.
     """
 
     def __init__(self, injectors, rng: np.random.Generator | None = None,
                  seed: int | None = None) -> None:
+        from repro.sim.rng import jumped_rng, make_rng
+
         self.injectors = list(injectors)
         if rng is None:
-            from repro.sim.rng import make_rng
-
             rng = make_rng(seed)
         self.rng = rng
+        #: One dedicated generator per injector, in pipeline order.
+        self.streams = [jumped_rng(rng, i + 1)
+                        for i in range(len(self.injectors))]
+        # (injector, stream) pairs with readout behaviour, resolved once
+        # on first use: actuate-only injectors are draw-free at the
+        # readout site, so skipping them cannot shift any stream.
+        self._readout_stages: list | None = None
 
     def on_switch_actuate(self, switch: NEMSSwitch, closed: bool) -> bool:
-        for injector in self.injectors:
-            closed = injector.on_switch_actuate(switch, closed, self.rng)
+        for injector, stream in zip(self.injectors, self.streams):
+            closed = injector.on_switch_actuate(switch, closed, stream)
         return closed
 
     def on_share_readout(self, bank_id: int, index: int,
                          data: bytes) -> bytes | None:
-        for injector in self.injectors:
-            data = injector.on_share_readout(bank_id, index, data, self.rng)
+        for injector, stream in zip(self.injectors, self.streams):
+            data = injector.on_share_readout(bank_id, index, data, stream)
             if data is None:
                 return None
         return data
+
+    def on_shares_readout(self, bank_id: int, indices: list[int],
+                          datas: list) -> list:
+        """Batched pipeline over one recovery's readouts, stage-major.
+
+        Equivalent to calling :meth:`on_share_readout` per share: each
+        injector stream sees its draws in share-index order either way,
+        and a share timed out by an earlier stage is skipped by later
+        ones exactly as the per-share pipeline's None short-circuit
+        does.  Injectors with no readout behaviour are skipped outright.
+        """
+        stages = self._readout_stages
+        if stages is None:
+            base_scalar = FaultInjector.on_share_readout
+            base_batch = FaultInjector.on_shares_readout
+            stages = self._readout_stages = [
+                (injector, stream)
+                for injector, stream in zip(self.injectors, self.streams)
+                if not (type(injector).on_share_readout is base_scalar
+                        and type(injector).on_shares_readout is base_batch)
+            ]
+        results = list(datas)
+        for injector, stream in stages:
+            results = injector.on_shares_readout(bank_id, indices, results,
+                                                 stream)
+        return results
 
     def injection_counts(self) -> dict[str, int]:
         """Injections applied so far, keyed by injector name."""

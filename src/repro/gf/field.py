@@ -124,14 +124,18 @@ class GF256:
     # Vectorized operations on uint8 arrays
     # ------------------------------------------------------------------
     def mul_vec(self, a, b) -> np.ndarray:
-        """Element-wise product of two arrays (or array and scalar)."""
+        """Element-wise product of two arrays (or array and scalar).
+
+        One gather through the doubled exp table; positions where either
+        operand is zero are masked by the log table's -1 sentinel (their
+        gathered value is garbage but never observed).
+        """
         a = np.asarray(a, dtype=np.uint8)
         b = np.asarray(b, dtype=np.uint8)
-        a, b = np.broadcast_arrays(a, b)
-        out = np.zeros(a.shape, dtype=np.uint8)
-        nz = (a != 0) & (b != 0)
-        out[nz] = self._exp[self._log[a[nz]] + self._log[b[nz]]]
-        return out
+        la = self._log[a]
+        lb = self._log[b]
+        return np.where((la < 0) | (lb < 0), np.uint8(0),
+                        self._exp[la + lb])
 
     def div_vec(self, a, b) -> np.ndarray:
         a = np.asarray(a, dtype=np.uint8)

@@ -2,8 +2,8 @@
 
 Coefficients are stored lowest-degree first in a ``Poly`` value object.
 Provides the arithmetic Shamir sharing and Reed-Solomon decoding need:
-add/mul/divmod, evaluation (scalar and vectorized Horner), formal
-derivative, and Lagrange interpolation.
+add/mul/divmod, evaluation (scalar Horner and vectorized log-space),
+formal derivative, and Lagrange interpolation.
 """
 
 from __future__ import annotations
@@ -13,7 +13,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.gf.field import GF256, GF_RS
+from repro.gf.field import GF256, GF_RS, ORDER
 
 __all__ = ["Poly", "lagrange_interpolate"]
 
@@ -91,15 +91,18 @@ class Poly:
         self._check_field(other)
         if self.is_zero or other.is_zero:
             return Poly.zero(self.field)
-        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
-        mul = self.field.mul
-        for i, a in enumerate(self.coeffs):
-            if a == 0:
-                continue
-            for j, b in enumerate(other.coeffs):
-                if b:
-                    out[i + j] ^= mul(a, b)
-        return Poly(out, self.field)
+        field = self.field
+        a = np.array(self.coeffs, dtype=np.uint8)
+        b = np.array(other.coeffs, dtype=np.uint8)
+        ia, ib = np.flatnonzero(a), np.flatnonzero(b)
+        # Outer product in log space (the doubled exp table absorbs the
+        # modulo), XOR-scattered onto coefficient positions i + j.
+        terms = field._exp[field._log[a[ia]][:, None]
+                           + field._log[b[ib]][None, :]]
+        out = np.zeros(a.size + b.size - 1, dtype=np.uint8)
+        np.bitwise_xor.at(out, (ia[:, None] + ib[None, :]).ravel(),
+                          terms.ravel())
+        return Poly(out.tolist(), field)
 
     def scale(self, c: int) -> "Poly":
         """Multiply every coefficient by the scalar ``c``."""
@@ -151,12 +154,31 @@ class Poly:
         return result
 
     def eval_many(self, xs) -> np.ndarray:
-        """Vectorized Horner evaluation at many points."""
+        """Vectorized evaluation at many points.
+
+        Works in log space: for nonzero ``x``, the term ``c_j * x**j`` is
+        ``exp[(log x * j + log c_j) mod 255]``, so the whole evaluation is
+        one (points, coeffs) gather plus an XOR reduction instead of a
+        Horner loop of ``degree`` sequential ``mul_vec`` passes.
+        """
         xs = np.asarray(xs, dtype=np.uint8)
-        result = np.zeros(xs.shape, dtype=np.uint8)
-        for c in reversed(self.coeffs):
-            result = self.field.mul_vec(result, xs) ^ np.uint8(c)
-        return result
+        if not self.coeffs:
+            return np.zeros(xs.shape, dtype=np.uint8)
+        field = self.field
+        coeffs = np.array(self.coeffs, dtype=np.uint8)
+        logc = field._log[coeffs]  # -1 sentinel marks zero coefficients
+        degrees = np.arange(len(coeffs), dtype=np.int64)
+        flat = xs.reshape(-1)
+        out = np.zeros(flat.shape, dtype=np.uint8)
+        nzx = flat != 0
+        if nzx.any():
+            logx = field._log[flat[nzx]].astype(np.int64)
+            idx = (logx[:, None] * degrees[None, :] + logc[None, :]) % ORDER
+            terms = field._exp[idx]
+            terms[:, coeffs == 0] = 0  # mask the sentinel columns
+            out[nzx] = np.bitwise_xor.reduce(terms, axis=1)
+        out[~nzx] = self.coeffs[0]  # value at x = 0 is the constant term
+        return out.reshape(xs.shape)
 
     def derivative(self) -> "Poly":
         """Formal derivative.

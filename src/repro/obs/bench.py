@@ -675,6 +675,12 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
     for name, workload in _WORKLOADS:
         times: list[float] = []
         units, unit_label = 0, ""
+        # One untimed warmup: the first call pays one-off costs (module
+        # imports, table builds, numpy dispatch caches) that made the
+        # first timed repeat up to ~470x slower than the rest for some
+        # workloads (mc.hardware), skewing mean/max while min stayed
+        # honest.  The warmup seed is disjoint from the timed ones.
+        workload(params, seed + repeats)
         for rep in range(repeats):
             started = time.perf_counter()
             measured = workload(params, seed + rep)

@@ -94,11 +94,29 @@ def optimal_raid_plan(device: WeibullDistribution, height: int, n: int,
     depth_cap = max(1, int(math.ceil(device.mean * 2)))
     best = RaidPlan(0, 0, 0.0, 0.0)
     max_depth = min(depth_cap, total_trials)
+    # leak_probability(depth) shares all its work with depth - 1, so the
+    # scan keeps the running log-survival instead of recomputing the
+    # whole sum per depth (O(D) instead of O(D^2)).  The accumulation
+    # order, the saturation return and the negligible-trial cutoff are
+    # exactly leak_probability's, so every per-depth value is
+    # bit-identical to the direct call (pinned in tests/pads).
+    log_survive = 0.0
+    per_pad = 0.0
+    frozen = False      # later trials negligible: the sum is final
     for depth in range(1, max_depth + 1):
+        if not frozen:
+            p = per_trial_success(device, height, n, k, depth)
+            if p >= 1.0:
+                per_pad = 1.0
+                frozen = True
+            else:
+                log_survive += math.log1p(-p)
+                if p < 1e-15:  # later trials only get weaker
+                    frozen = True
+                per_pad = -math.expm1(log_survive)
         pads = min(n_pads, total_trials // depth)
         if pads == 0:
             continue
-        per_pad = leak_probability(device, height, n, k, depth)
         expected = pads * per_pad
         if expected > best.expected_leaks:
             best = RaidPlan(trials_per_pad=depth, pads_attacked=pads,

@@ -556,19 +556,47 @@ class WearHub:
                     if switch_id in by_id)
             injectors.append(exported)
         payload = {"rng_state": model.rng.bit_generator.state,
-                   "injectors": injectors}
-        hook = tenant.pool.dispatch.row_hooks.get(tenant.row)
-        if isinstance(hook, VectorStuckClosedConversion):
+                   "injectors": injectors,
+                   # Per-injector substream states: the streams were
+                   # jumped from the root at model construction and have
+                   # advanced independently since, so the root state
+                   # alone cannot reproduce them mid-life.
+                   "stream_states": [stream.bit_generator.state
+                                     for stream in model.streams]}
+        hook = self._find_stuck_hook(tenant)
+        if hook is not None:
             payload["converted"] = sorted(
                 [c, i, sticky]
                 for (b, c, i), sticky in hook.converted.items())
         return payload
+
+    @staticmethod
+    def _find_stuck_hook(tenant: TenantRecord):
+        """The row's stuck-closed conversion hook, if any.
+
+        The row hook may be the conversion itself or a
+        :class:`VectorFaultPipeline` holding it as one stage among the
+        tenant's injectors.
+        """
+        hook = tenant.pool.dispatch.row_hooks.get(tenant.row)
+        if isinstance(hook, VectorStuckClosedConversion):
+            return hook
+        for member in getattr(hook, "hooks", ()):
+            if isinstance(member, VectorStuckClosedConversion):
+                return member
+        return None
 
     def _restore_fault_state(self, tenant: TenantRecord,
                              payload: dict) -> None:
         model = tenant.fault_model
         state = tenant.pool.state
         model.rng.bit_generator.state = payload["rng_state"]
+        # Old snapshots predate per-stream export; their streams were
+        # freshly jumped from the restored root, which is the pre-export
+        # behaviour those snapshots were written under.
+        for stream, exported in zip(model.streams,
+                                    payload.get("stream_states", [])):
+            stream.bit_generator.state = exported
         for injector, exported in zip(model.injectors,
                                       payload["injectors"]):
             injector.injections = int(exported["injections"])
@@ -576,8 +604,8 @@ class WearHub:
                 injector._converted = {
                     state.view(tenant.row, c, i).switch_id: bool(sticky)
                     for c, i, sticky in exported["converted"]}
-        hook = tenant.pool.dispatch.row_hooks.get(tenant.row)
-        if isinstance(hook, VectorStuckClosedConversion):
+        hook = self._find_stuck_hook(tenant)
+        if hook is not None:
             hook.converted = {
                 (tenant.row, int(c), int(i)): bool(sticky)
                 for c, i, sticky in payload.get("converted", [])}

@@ -23,6 +23,7 @@ import numpy as np
 
 __all__ = [
     "derive_rng",
+    "jumped_rng",
     "make_rng",
     "spawn_rngs",
     "substream",
@@ -76,6 +77,21 @@ def derive_rng(rng: np.random.Generator) -> np.random.Generator:
     (e.g. fault draws vs fabrication draws) without consuming from it.
     """
     return np.random.default_rng(rng.bit_generator.jumped())
+
+
+def jumped_rng(rng: np.random.Generator, jumps: int) -> np.random.Generator:
+    """The ``jumps``-th jumped stream of ``rng``'s current state.
+
+    Like :func:`derive_rng` but indexed: ``jumped_rng(rng, i)`` lands
+    2^127 * i draws ahead of ``rng``, giving a family of non-overlapping
+    substreams keyed by position.  :class:`repro.faults.FaultModel`
+    assigns injector ``i`` the substream ``jumped_rng(root, i + 1)`` -
+    the contract that lets the engine's native hooks batch each
+    injector's draws independently of the others.
+    """
+    if jumps < 1:
+        raise ValueError(f"jumps must be >= 1, got {jumps}")
+    return np.random.default_rng(rng.bit_generator.jumped(jumps))
 
 
 def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:

@@ -17,6 +17,7 @@ device ended (served its full life, worn out early, or survived).
 from __future__ import annotations
 
 import enum
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -134,7 +135,8 @@ class ReplayReport:
 def replay_trace(designs: list[DesignPoint], passcodes: list[str],
                  storage: bytes, trace: list[TraceEvent],
                  rng: np.random.Generator,
-                 migrate_below_fraction: float = 0.05) -> ReplayReport:
+                 migrate_below_fraction: float = 0.05,
+                 vectorized: bool = True) -> ReplayReport:
     """Replay a trace on an M-way phone with automatic migration.
 
     The deployment migrates to the next module proactively when the
@@ -143,6 +145,13 @@ def replay_trace(designs: list[DesignPoint], passcodes: list[str],
     accesses in software - an advisory counter, unlike the baseline's
     load-bearing one: wrong counts here cost availability, never
     confidentiality).
+
+    ``vectorized`` (the default) batches each stretch of events between
+    migration-trigger points into one engine fast-forward instead of a
+    per-event login loop; ``False`` keeps the event-by-event reference
+    loop.  The two arms produce identical reports and hardware state
+    (pinned in ``tests/differential``), so the flag exists for those
+    tests and for debugging, not as a semantic choice.
     """
     if not 0.0 <= migrate_below_fraction < 1.0:
         raise ConfigurationError(
@@ -151,6 +160,46 @@ def replay_trace(designs: list[DesignPoint], passcodes: list[str],
         started = time.perf_counter()
     phone = MWayPhone(designs, passcodes, storage, rng)
     report = ReplayReport()
+    if vectorized:
+        _replay_vector(designs, passcodes, phone, trace, report,
+                       migrate_below_fraction)
+    else:
+        _replay_scalar(designs, passcodes, phone, trace, report,
+                       migrate_below_fraction)
+    if OBS.enabled:
+        elapsed = time.perf_counter() - started
+        attempts = (report.owner_logins + report.owner_typos
+                    + report.attacker_attempts)
+        OBS.metrics.inc("replay.traces")
+        OBS.metrics.inc("replay.logins", report.owner_logins)
+        OBS.metrics.inc("replay.typos", report.owner_typos)
+        OBS.metrics.inc("replay.attacker_attempts", report.attacker_attempts)
+        OBS.metrics.observe("replay.wall_s", elapsed)
+        if elapsed > 0:
+            OBS.metrics.set_gauge("replay.logins_per_s", attempts / elapsed)
+        OBS.event("replay.finished", end_state=report.end_state.value,
+                  days_served=report.days_served,
+                  migrations=report.migrations)
+    return report
+
+
+def _migrate(phone: MWayPhone, report: ReplayReport) -> None:
+    """One proactive migration, with the shared accounting and OBS."""
+    if OBS.enabled:
+        with OBS.metrics.time("replay.migration_s"):
+            phone.migrate()
+    else:
+        phone.migrate()
+    report.migrations += 1
+    if OBS.enabled:
+        OBS.metrics.inc("replay.migrations")
+
+
+def _replay_scalar(designs: list[DesignPoint], passcodes: list[str],
+                   phone: MWayPhone, trace: list[TraceEvent],
+                   report: ReplayReport,
+                   migrate_below_fraction: float) -> None:
+    """Event-by-event reference arm: one login per trace event."""
     module_budget = designs[0].guaranteed_accesses
     used_on_module = 0
     module_index = 0
@@ -160,18 +209,11 @@ def replay_trace(designs: list[DesignPoint], passcodes: list[str],
         if (remaining <= module_budget * migrate_below_fraction
                 and module_index < phone.m - 1):
             try:
-                if OBS.enabled:
-                    with OBS.metrics.time("replay.migration_s"):
-                        phone.migrate()
-                else:
-                    phone.migrate()
+                _migrate(phone, report)
             except DeviceWornOutError:
                 report.died_on_day = event.day
                 report.died_during_migration = True
                 break
-            report.migrations += 1
-            if OBS.enabled:
-                OBS.metrics.inc("replay.migrations")
             module_index += 1
             module_budget = designs[module_index].guaranteed_accesses
             used_on_module = 0
@@ -192,18 +234,93 @@ def replay_trace(designs: list[DesignPoint], passcodes: list[str],
             break
         used_on_module += 1
         report.days_served = event.day + 1
-    if OBS.enabled:
-        elapsed = time.perf_counter() - started
-        attempts = (report.owner_logins + report.owner_typos
-                    + report.attacker_attempts)
-        OBS.metrics.inc("replay.traces")
-        OBS.metrics.inc("replay.logins", report.owner_logins)
-        OBS.metrics.inc("replay.typos", report.owner_typos)
-        OBS.metrics.inc("replay.attacker_attempts", report.attacker_attempts)
-        OBS.metrics.observe("replay.wall_s", elapsed)
-        if elapsed > 0:
-            OBS.metrics.set_gauge("replay.logins_per_s", attempts / elapsed)
-        OBS.event("replay.finished", end_state=report.end_state.value,
-                  days_served=report.days_served,
-                  migrations=report.migrations)
-    return report
+
+
+def _next_trigger_use(budget: int, fraction: float) -> int:
+    """Smallest advisory use count at which the migration check fires.
+
+    The scalar arm evaluates ``(budget - used) <= budget * fraction``
+    with Python's exact int-vs-float comparison, so the crossover is
+    located with the *same* comparison (a float-guess seed plus at most
+    a couple of exact adjustment steps) rather than float ``ceil``
+    arithmetic, which could round differently for large budgets.
+    """
+    threshold = budget * fraction
+    use = budget - math.floor(threshold)
+    while use > 0 and (budget - (use - 1)) <= threshold:
+        use -= 1
+    while (budget - use) > threshold:
+        use += 1
+    return use
+
+
+def _replay_vector(designs: list[DesignPoint], passcodes: list[str],
+                   phone: MWayPhone, trace: list[TraceEvent],
+                   report: ReplayReport,
+                   migrate_below_fraction: float) -> None:
+    """Batched arm: engine fast-forward between migration triggers.
+
+    Between migrations a login consumes exactly one connection access
+    and draws no randomness, and its outcome is determined by the
+    passcode alone, so a whole stretch of events collapses onto
+    :meth:`LimitedUseConnection.serve_accesses` (the engine closed
+    form) plus array counts over the event kinds.  Migrations still go
+    through the real :meth:`MWayPhone.migrate` - they draw fabrication
+    randomness - and the migration-trigger points depend only on the
+    advisory counter, never on wear, so they are located up front with
+    the scalar arm's exact comparison.
+    """
+    n_events = len(trace)
+    if n_events == 0:
+        return
+    days = np.fromiter((event.day for event in trace), dtype=np.int64,
+                       count=n_events)
+    kinds = np.fromiter(
+        (0 if event.kind is EventKind.OWNER_LOGIN
+         else 1 if event.kind is EventKind.OWNER_TYPO else 2
+         for event in trace),
+        dtype=np.int8, count=n_events)
+    module_budget = designs[0].guaranteed_accesses
+    used_on_module = 0
+    module_index = 0
+    pos = 0
+    while pos < n_events:
+        remaining = module_budget - used_on_module
+        if (remaining <= module_budget * migrate_below_fraction
+                and module_index < phone.m - 1):
+            try:
+                _migrate(phone, report)
+            except DeviceWornOutError:
+                report.died_on_day = int(days[pos])
+                report.died_during_migration = True
+                return
+            module_index += 1
+            module_budget = designs[module_index].guaranteed_accesses
+            used_on_module = 0
+        # Serve every event up to (excluding) the next trigger point.
+        # At least one event is always served between checks - the
+        # scalar arm performs exactly one migration check per event.
+        if module_index < phone.m - 1:
+            chunk = max(1, _next_trigger_use(module_budget,
+                                             migrate_below_fraction)
+                        - used_on_module)
+            chunk = min(chunk, n_events - pos)
+        else:
+            chunk = n_events - pos
+        served = phone._active.connection.serve_accesses(chunk)
+        if served:
+            batch = kinds[pos:pos + served]
+            report.owner_logins += int(np.count_nonzero(batch == 0))
+            report.owner_typos += int(np.count_nonzero(batch == 1))
+            attacks = int(np.count_nonzero(batch == 2))
+            report.attacker_attempts += attacks
+            if attacks and passcodes[module_index] == "0000-thief":
+                # The thief guessed the module passcode: the scalar
+                # arm's login would have succeeded.
+                report.attacker_breached = True
+            report.days_served = int(days[pos + served - 1]) + 1
+            used_on_module += served
+            pos += served
+        if served < chunk:
+            report.died_on_day = int(days[pos])
+            return

@@ -1,0 +1,154 @@
+"""Scalar-vs-native bit-identity of the vectorized fault pipeline.
+
+The engine's native batched hooks (:mod:`repro.engine.hooks`) promise
+bit-identity to the scalar per-switch/per-share injector loop for every
+shipped injector and for any attachment order - the RNG substream
+contract of :mod:`repro.faults.injectors`.  This suite pins that promise
+end to end through ``run_fault_trial``: whole trial records (per-trial
+wear, outcomes, injection counts) must match across the ``vectorized``
+flag for
+
+- each injector alone,
+- mixed pipelines in every attachment order, and
+- the full six-injector mix,
+
+plus the hardware state arrays the trial leaves behind.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.connection.resilient import ResilientAccessController, RetryPolicy
+from repro.core.degradation import PAPER_CRITERIA
+from repro.core.sizing import size_architecture
+from repro.errors import CodingError, DeviceWornOutError
+from repro.faults.campaign import (
+    CAMPAIGN_SECRET,
+    FaultCampaignConfig,
+    run_fault_trial,
+)
+from repro.faults.injectors import (
+    FaultModel,
+    ReadoutTimeout,
+    ShareCorruption,
+    StuckClosedConversion,
+    TransientMisfire,
+)
+from repro.sim.rng import make_rng
+
+
+def _design(bound=40):
+    return size_architecture(10.0, 8.0, bound, k_fraction=0.10,
+                             criteria=PAPER_CRITERIA, window="fractional")
+
+
+#: One config per shipped injector, exercising it alone at a rate high
+#: enough that every trial actually injects.
+SINGLE_INJECTOR_CONFIGS = {
+    "misfire": FaultCampaignConfig(misfire_rate=0.05),
+    "premature_stuck_open": FaultCampaignConfig(
+        premature_stuck_open_rate=0.03),
+    "stuck_closed": FaultCampaignConfig(stuck_closed_probability=0.05),
+    "temperature": FaultCampaignConfig(temperature_c=85.0),
+    "corruption": FaultCampaignConfig(corruption_rate=0.05),
+    "timeout": FaultCampaignConfig(timeout_rate=0.03),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SINGLE_INJECTOR_CONFIGS))
+def test_single_injector_trial_records_identical(name):
+    design = _design()
+    config = SINGLE_INJECTOR_CONFIGS[name]
+    for seed in range(3):
+        scalar = run_fault_trial(design, config, make_rng(seed),
+                                 vectorized=False)
+        native = run_fault_trial(design, config, make_rng(seed),
+                                 vectorized=True)
+        assert scalar == native, f"{name} seed {seed}"
+
+
+def test_full_mix_trial_records_identical():
+    design = _design()
+    config = FaultCampaignConfig(misfire_rate=0.02,
+                                 premature_stuck_open_rate=0.01,
+                                 stuck_closed_probability=0.02,
+                                 temperature_c=60.0,
+                                 corruption_rate=0.02,
+                                 timeout_rate=0.01)
+    for seed in range(3):
+        scalar = run_fault_trial(design, config, make_rng(seed),
+                                 vectorized=False)
+        native = run_fault_trial(design, config, make_rng(seed),
+                                 vectorized=True)
+        assert scalar == native, f"seed {seed}"
+
+
+def _drive(design, injectors, seed, vectorized):
+    """Drive one controller to destruction; return outcomes + state."""
+    rng = make_rng(seed)
+    model = FaultModel(list(injectors), rng=make_rng(seed + 1))
+    controller = ResilientAccessController(
+        design, CAMPAIGN_SECRET, rng, fault_hook=model,
+        policy=RetryPolicy(max_attempts=3, quarantine_after=2),
+        vectorized=vectorized)
+    outcomes = []
+    for _ in range(design.copies * (design.t + 2) + design.t + 8):
+        try:
+            controller.read_key()
+            outcomes.append("ok")
+        except DeviceWornOutError:
+            outcomes.append("worn")
+            break
+        except CodingError as exc:
+            outcomes.append(f"coding:{type(exc).__name__}")
+    state = controller._state
+    return {
+        "outcomes": outcomes,
+        "injections": [inj.injections for inj in model.injectors],
+        "streams": [s.bit_generator.state["state"] for s in model.streams],
+        "used": state.used.copy(),
+        "bank_accesses": state.bank_accesses.copy(),
+        "bank_dead": state.bank_dead.copy(),
+        "stats": controller.stats,
+    }
+
+
+#: An actuation injector, a persistent-conversion injector and a readout
+#: injector: the three hook classes whose stage interleaving the
+#: pipeline must reproduce in any order.
+ORDER_INJECTORS = [
+    lambda: TransientMisfire(0.03),
+    lambda: StuckClosedConversion(0.03),
+    lambda: ReadoutTimeout(0.02),
+]
+
+
+@pytest.mark.parametrize("order", list(itertools.permutations(range(3))))
+def test_mixed_pipeline_identical_in_every_attachment_order(order):
+    design = _design(24)
+    injectors = [ORDER_INJECTORS[i]() for i in order]
+    scalar = _drive(design, injectors, seed=11, vectorized=False)
+    injectors = [ORDER_INJECTORS[i]() for i in order]
+    native = _drive(design, injectors, seed=11, vectorized=True)
+    assert scalar["outcomes"] == native["outcomes"]
+    assert scalar["injections"] == native["injections"]
+    assert scalar["streams"] == native["streams"]
+    np.testing.assert_array_equal(scalar["used"], native["used"])
+    np.testing.assert_array_equal(scalar["bank_accesses"],
+                                  native["bank_accesses"])
+    np.testing.assert_array_equal(scalar["bank_dead"], native["bank_dead"])
+    assert scalar["stats"] == native["stats"]
+
+
+def test_readout_pair_identical_in_both_orders():
+    design = _design(24)
+    for order in ([ShareCorruption(0.05), ReadoutTimeout(0.03)],
+                  [ReadoutTimeout(0.03), ShareCorruption(0.05)]):
+        scalar = _drive(design, order, seed=5, vectorized=False)
+        rebuilt = [type(inj)(inj.rate) for inj in order]
+        native = _drive(design, rebuilt, seed=5, vectorized=True)
+        assert scalar["outcomes"] == native["outcomes"]
+        assert scalar["streams"] == native["streams"]
+        np.testing.assert_array_equal(scalar["used"], native["used"])
