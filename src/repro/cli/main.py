@@ -21,6 +21,17 @@ Subcommands mirror the workflows a user of the paper's system needs:
   already-running fleet) and ``top`` (live telemetry dashboard)
 - ``chaos``       scripted crash/recovery scenarios asserting the
   fleet's wear-exactness invariants
+- ``pipeline``    run a declarative multi-step campaign pipeline from a
+  settings file (``repro pipeline run settings.toml``), each step
+  recorded as a run linked to the pipeline; ``--resume`` skips steps
+  already recorded ok
+- ``report``      cross-run comparisons rendered from the run registry
+  alone (``runs``, ``bench``, ``pipeline``, ``campaigns``)
+
+Every artifact-producing subcommand records itself in the SQLite run
+registry (``--runs-db`` / ``$REPRO_RUNS_DB`` / ``./runs.db``): resolved
+params, seed, git provenance, outcome, and the artifacts it wrote.
+``--no-record`` opts out; see ``docs/runs.md``.
 
 Commands that do real work accept the observability flags
 ``--metrics-out`` (JSON metrics snapshot), ``--trace-out`` (JSONL span
@@ -76,6 +87,33 @@ from repro.sim.rng import make_rng, set_default_seed
 from repro.viz.ascii import line_chart
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_record_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--runs-db", metavar="FILE", default=None,
+                        help="run-registry database (default: "
+                             "$REPRO_RUNS_DB, else ./runs.db)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="do not record this invocation in the "
+                             "run registry")
+
+
+_RECORD_EXCLUDE = frozenset({"command", "func", "no_record", "runs_db"})
+
+
+def _record_params(args) -> dict:
+    """The fully resolved invocation parameters, for the run row."""
+    return {key: value for key, value in sorted(vars(args).items())
+            if key not in _RECORD_EXCLUDE}
+
+
+def _recorder(args, subcommand: str, *, seed: int | None = None,
+              enabled: bool = True):
+    from repro.runs.recorder import RunRecorder
+
+    return RunRecorder(subcommand, _record_params(args),
+                       db_path=args.runs_db, seed=seed,
+                       enabled=enabled and not args.no_record)
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -181,8 +219,13 @@ def cmd_design(args) -> int:
     if args.save:
         from repro.core.serialize import dumps_design
 
-        with open(args.save, "w", encoding="utf-8") as handle:
-            handle.write(dumps_design(point) + "\n")
+        with _recorder(args, "design") as run:
+            with open(args.save, "w", encoding="utf-8") as handle:
+                handle.write(dumps_design(point) + "\n")
+            run.add_artifact(args.save)
+            run.set_summary({"kind": "design",
+                             "total_devices": point.total_devices,
+                             "guaranteed": point.guaranteed_accesses})
         print(f"design saved to {args.save}")
     print(f"device:      Weibull(alpha={args.alpha}, beta={args.beta})")
     print(f"bank:        {point.k}-of-{point.n} switches")
@@ -314,7 +357,8 @@ def cmd_simulate(args) -> int:
     rng = make_rng(args.seed)
     checkpointed = args.checkpoint is not None or args.workers is not None \
         or args.hardware
-    with _obs_session(args):
+    with _recorder(args, "simulate", seed=args.seed) as run, \
+            _obs_session(args):
         started = time.perf_counter()
         with OBS.span("cli.simulate", trials=args.trials, seed=args.seed):
             if checkpointed:
@@ -341,6 +385,11 @@ def cmd_simulate(args) -> int:
         print(f"  P[meets legitimate bound {point.access_bound:,}]: "
               f"{meets:.3f}")
         _print_wall_clock("trials", args.trials, elapsed)
+        run.set_summary({"kind": "simulate", "trials": summary.trials,
+                         "mean": summary.mean, "p50": summary.p50,
+                         "meets_bound": meets})
+        if args.checkpoint and os.path.exists(args.checkpoint):
+            run.add_artifact(args.checkpoint)
     return 0
 
 
@@ -368,7 +417,8 @@ def cmd_faults(args) -> int:
         if resumed is not None:
             print(f"resuming from {args.checkpoint} "
                   f"({resumed['completed']}/{args.trials} trials done)")
-    with _obs_session(args):
+    with _recorder(args, "faults", seed=args.seed) as run, \
+            _obs_session(args):
         started = time.perf_counter()
         with OBS.span("cli.faults", trials=args.trials, seed=args.seed):
             report = run_fault_campaign(point, config, trials=args.trials,
@@ -382,6 +432,18 @@ def cmd_faults(args) -> int:
               f"device Weibull({args.alpha}, {args.beta})")
         print(report.render())
         _print_wall_clock("trials", args.trials, elapsed)
+        run.set_summary({"kind": "fault-campaign",
+                         "trials": report.trials,
+                         "ceiling": report.ceiling,
+                         "violation_rate": report.violation_rate,
+                         "availability": report.availability,
+                         "mean_served": report.mean_served})
+        if args.checkpoint and os.path.exists(args.checkpoint):
+            run.add_artifact(args.checkpoint)
+        if report.violation_rate > 0:
+            run.record_failure(
+                f"{report.violation_rate:.2%} of instances violated "
+                f"the security ceiling")
     return 1 if report.violation_rate > 0 else 0
 
 
@@ -393,16 +455,77 @@ def cmd_experiments(args) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
-    with _obs_session(args):
+    with _recorder(args, "experiments") as run, _obs_session(args):
         for experiment_id in ids:
-            with OBS.span(f"experiment.{experiment_id}"):
-                rendered = EXPERIMENTS[experiment_id]().render()
+            with run.child("experiment", {"id": experiment_id}) as figure:
+                with OBS.span(f"experiment.{experiment_id}"):
+                    rendered = EXPERIMENTS[experiment_id]().render()
+                figure.set_summary({"kind": "experiment",
+                                    "id": experiment_id})
             print(rendered)
             print()
+        run.set_summary({"kind": "experiments", "ids": list(ids)})
     return 0
 
 
+def _auto_bench_baseline(args, current_run_id: str | None) -> dict | None:
+    """Resolve a ``--compare auto`` baseline from the run registry.
+
+    The baseline is the most recent successful bench run recorded on
+    this host at the same scale (the in-flight run excluded) that still
+    has a readable registered report artifact.  Returns ``None`` -
+    after printing a clear error - when the registry holds no such run.
+    """
+    import socket
+
+    from repro.runs.store import RunStore
+
+    try:
+        store = RunStore(args.runs_db)
+    except Exception as exc:  # noqa: BLE001 - report, do not crash
+        print(f"error: --compare auto cannot open the run registry: "
+              f"{exc}", file=sys.stderr)
+        return None
+    try:
+        store.resolve_interrupted()
+        host = socket.gethostname()
+        for run in store.list_runs(subcommand="bench", outcome="ok",
+                                   limit=200):
+            if run["id"] == current_run_id or run.get("host") != host:
+                continue
+            if (run.get("summary") or {}).get("scale") != args.scale:
+                continue
+            for artifact in store.artifacts(run["id"]):
+                if not artifact["path"].endswith(".json"):
+                    continue
+                try:
+                    with open(artifact["path"],
+                              encoding="utf-8") as handle:
+                        baseline = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                print(f"--compare auto: baseline is run "
+                      f"{run['id'][:12]} ({artifact['path']})")
+                return baseline
+        print(f"error: --compare auto found no successful bench run "
+              f"at scale {args.scale!r} on host {host!r} in "
+              f"{store.path!r}; record one first with "
+              f"`repro bench --scale {args.scale} --out FILE`",
+              file=sys.stderr)
+        return None
+    finally:
+        store.close()
+
+
 def cmd_bench(args) -> int:
+    with _recorder(args, "bench", seed=args.seed) as run:
+        code = _bench_body(args, run)
+        if code != 0:
+            run.record_failure(f"bench exited {code}")
+    return code
+
+
+def _bench_body(args, run) -> int:
     from repro.obs.bench import (
         compare_bench_reports,
         measure_disabled_overhead,
@@ -411,22 +534,30 @@ def cmd_bench(args) -> int:
         run_bench_suite,
         write_bench_report,
     )
+    from repro.runs.report import bench_run_summary
 
     with _obs_session(args):
         report = run_bench_suite(args.scale, seed=args.seed,
                                  repeats=args.repeats)
+    run.set_summary(bench_run_summary(report))
     print(render_bench_report(report))
     if args.out:
         write_bench_report(report, args.out)
+        run.add_artifact(args.out)
         print(f"bench report written to {args.out}")
     if args.compare:
-        try:
-            with open(args.compare, encoding="utf-8") as handle:
-                baseline = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"error: cannot read baseline {args.compare!r}: {exc}",
-                  file=sys.stderr)
-            return 2
+        if args.compare == "auto":
+            baseline = _auto_bench_baseline(args, run.run_id)
+            if baseline is None:
+                return 2
+        else:
+            try:
+                with open(args.compare, encoding="utf-8") as handle:
+                    baseline = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: cannot read baseline {args.compare!r}: "
+                      f"{exc}", file=sys.stderr)
+                return 2
         comparison = compare_bench_reports(baseline, report,
                                            threshold=args.compare_threshold)
         print(render_bench_comparison(comparison))
@@ -503,9 +634,10 @@ def cmd_serve(args) -> int:
         segment_records=args.segment_records,
         ready_file=args.ready_file,
     )
-    with _obs_session(args):
+    with _recorder(args, "serve") as run, _obs_session(args):
         with OBS.span("cli.serve", ledger=args.ledger):
             asyncio.run(run_service(config))
+        run.add_artifact(args.ledger, digest=False)
     print("service drained cleanly")
     return 0
 
@@ -531,7 +663,8 @@ def cmd_loadgen(args) -> int:
                          "alpha": args.alpha, "beta": args.beta,
                          "scheme": args.scheme}
     retry = _retry_policy(args)
-    with _obs_session(args):
+    with _recorder(args, "loadgen", seed=args.seed) as run, \
+            _obs_session(args):
         started = time.perf_counter()
         with OBS.span("cli.loadgen", requests=args.requests):
             stats = asyncio.run(run_loadgen(
@@ -552,11 +685,19 @@ def cmd_loadgen(args) -> int:
                   f"max {service.get('batch_size_max', 0)})")
         _print_latency_split(stats.get("latency_split"))
         _print_wall_clock("requests", args.requests, elapsed)
-    if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(stats, handle, indent=2)
-            handle.write("\n")
-        print(f"loadgen stats written to {args.json_out}")
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(stats, handle, indent=2)
+                handle.write("\n")
+            run.add_artifact(args.json_out)
+            print(f"loadgen stats written to {args.json_out}")
+        run.set_summary({"kind": "loadgen",
+                         "requests": stats["requests"],
+                         "served": stats["served"],
+                         "requests_per_s": stats["requests_per_s"],
+                         "outcomes": stats["outcomes"]})
+        if stats["served"] == 0:
+            run.record_failure("no request was served")
     return 0 if stats["served"] > 0 else 1
 
 
@@ -660,7 +801,8 @@ def _fleet_run(args) -> int:
     from repro.service.fleet import run_fleet_loadgen
 
     supervisor = _fleet_supervisor(args)
-    with _obs_session(args):
+    with _recorder(args, "fleet", seed=args.seed) as run, \
+            _obs_session(args):
         started = time.perf_counter()
         with OBS.span("cli.fleet", shards=args.shards,
                       requests=args.requests):
@@ -672,8 +814,21 @@ def _fleet_run(args) -> int:
                     retry=_retry_policy(args)))
         elapsed = time.perf_counter() - started
         _print_fleet_stats(stats, args.requests, elapsed)
-    _write_fleet_json(args.json_out, stats, "fleet stats")
+        _write_fleet_json(args.json_out, stats, "fleet stats")
+        if args.json_out:
+            run.add_artifact(args.json_out)
+        run.add_artifact(args.root, digest=False)
+        run.set_summary(_fleet_summary(stats))
+        if stats["served"] == 0:
+            run.record_failure("fleet served no request")
     return 0 if stats["served"] > 0 else 1
+
+
+def _fleet_summary(stats: dict) -> dict:
+    return {"kind": "fleet", "shards": stats["shards"],
+            "requests": stats["requests"], "served": stats["served"],
+            "requests_per_s": stats["requests_per_s"],
+            "outcomes": stats["outcomes"]}
 
 
 def _fleet_serve(args) -> int:
@@ -689,11 +844,12 @@ def _fleet_serve(args) -> int:
     previous = {signum: signal.signal(signum, _request_stop)
                 for signum in (signal.SIGTERM, signal.SIGINT)}
     try:
-        with _obs_session(args):
+        with _recorder(args, "fleet") as run, _obs_session(args):
             with supervisor:
                 print(f"fleet: {args.shards} shard(s) serving under "
                       f"{args.root} (map {supervisor.map_path})",
                       flush=True)
+                run.add_artifact(args.root, digest=False)
                 last_export = 0.0
                 while not stop:
                     for index in supervisor.poll():
@@ -719,7 +875,8 @@ def _fleet_drive(args) -> int:
 
     from repro.service.fleet import run_fleet_loadgen
 
-    with _obs_session(args):
+    with _recorder(args, "fleet", seed=args.seed) as run, \
+            _obs_session(args):
         started = time.perf_counter()
         with OBS.span("cli.fleet_drive", requests=args.requests):
             stats = asyncio.run(run_fleet_loadgen(
@@ -728,7 +885,12 @@ def _fleet_drive(args) -> int:
                 seed=args.seed, retry=_retry_policy(args)))
         elapsed = time.perf_counter() - started
         _print_fleet_stats(stats, args.requests, elapsed)
-    _write_fleet_json(args.json_out, stats, "fleet stats")
+        _write_fleet_json(args.json_out, stats, "fleet stats")
+        if args.json_out:
+            run.add_artifact(args.json_out)
+        run.set_summary(_fleet_summary(stats))
+        if stats["served"] == 0:
+            run.record_failure("fleet served no request")
     return 0 if stats["served"] > 0 else 1
 
 
@@ -766,25 +928,96 @@ def cmd_chaos(args) -> int:
     from repro.service.chaos import SCENARIOS, run_chaos, write_chaos_report
 
     names = args.scenario or sorted(SCENARIOS)
-    with _obs_session(args):
+    with _recorder(args, "chaos", seed=args.seed) as run, \
+            _obs_session(args):
         with OBS.span("cli.chaos", scenarios=",".join(names)):
             report = run_chaos(names, args.root, shards=args.shards,
                                tenants=args.tenants,
                                requests=args.requests, seed=args.seed)
-    for scenario in report["scenarios"]:
-        print(f"chaos {scenario['scenario']:<16} passed "
-              f"({scenario['elapsed_s']:.2f}s)")
-    for violation in report["violations"]:
-        print(f"chaos {violation['scenario']:<16} FAILED: "
-              f"{violation['violation']}", file=sys.stderr)
-    if args.json_out:
-        write_chaos_report(report, args.json_out)
-        print(f"chaos report written to {args.json_out}")
+        for scenario in report["scenarios"]:
+            print(f"chaos {scenario['scenario']:<16} passed "
+                  f"({scenario['elapsed_s']:.2f}s)")
+        for violation in report["violations"]:
+            print(f"chaos {violation['scenario']:<16} FAILED: "
+                  f"{violation['violation']}", file=sys.stderr)
+        if args.json_out:
+            write_chaos_report(report, args.json_out)
+            run.add_artifact(args.json_out)
+            print(f"chaos report written to {args.json_out}")
+        run.set_summary({
+            "kind": "chaos",
+            "scenarios": [s["scenario"] for s in report["scenarios"]],
+            "passed": report["passed"],
+            "violations": len(report["violations"])})
+        if not report["passed"]:
+            run.record_failure(f"{len(report['violations'])} chaos "
+                               f"invariant violation(s)")
     if report["passed"]:
         print(f"chaos suite passed: {len(report['scenarios'])} "
               f"scenario(s), wear-exactness invariants held")
         return 0
     return 5
+
+
+def cmd_pipeline(args) -> int:
+    from repro.runs.pipeline import plan_pipeline, run_pipeline
+    from repro.runs.settings import load_settings
+
+    if args.action == "plan":
+        settings = load_settings(args.settings)
+        print(f"pipeline {settings.name!r}: {len(settings.steps)} "
+              f"step(s), settings digest {settings.digest[:12]}")
+        for row in plan_pipeline(settings):
+            after = (f" (after {', '.join(row['after'])})"
+                     if row["after"] else "")
+            print(f"  {row['step']}: {row['kind']} "
+                  f"seed={row['seed']}{after}")
+        return 0
+    report = run_pipeline(args.settings, db_path=args.runs_db,
+                          resume=args.resume, workdir=args.workdir)
+    for step in report["steps"]:
+        if step["action"] == "failed":
+            print(f"pipeline step {step['step']!r} FAILED: "
+                  f"{step.get('error')}", file=sys.stderr)
+    print(f"pipeline {report['pipeline']!r} {report['outcome']} in "
+          f"{report['elapsed_s']:.2f}s "
+          f"(run {report['pipeline_id'][:12]}, "
+          f"workdir {report['workdir']})")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"pipeline report written to {args.json_out}")
+    return 0 if report["outcome"] == "ok" else 1
+
+
+def cmd_report(args) -> int:
+    from repro.runs import report as runs_report
+    from repro.runs.store import RunStore
+
+    with RunStore(args.runs_db) as store:
+        if args.what == "runs":
+            payload = runs_report.runs_payload(
+                store, limit=args.limit, subcommand=args.subcommand,
+                outcome=args.outcome)
+            text = runs_report.render_runs(payload)
+        elif args.what == "bench":
+            payload = runs_report.compare_bench_runs(
+                store, baseline=args.baseline, candidate=args.candidate)
+            text = runs_report.render_bench_delta(payload)
+        elif args.what == "pipeline":
+            payload = runs_report.pipeline_payload(store, args.run)
+            text = runs_report.render_pipeline(payload)
+        else:
+            payload = runs_report.campaigns_payload(store,
+                                                    limit=args.limit)
+            text = runs_report.render_campaigns(payload)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True,
+                         default=str))
+    else:
+        print(text)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -799,6 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_arguments(p_design)
     p_design.add_argument("--save", metavar="FILE", default=None,
                           help="write the design as JSON to FILE")
+    _add_record_arguments(p_design)
     p_design.set_defaults(func=cmd_design)
 
     p_advise = sub.add_parser(
@@ -861,6 +1095,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drive the stateful hardware simulation "
                             "instead of the vectorized fast path")
     _add_obs_arguments(p_sim)
+    _add_record_arguments(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_faults = sub.add_parser(
@@ -900,12 +1135,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-trial access cap (default: a little "
                                "past the security ceiling)")
     _add_obs_arguments(p_faults)
+    _add_record_arguments(p_faults)
     p_faults.set_defaults(func=cmd_faults)
 
     p_exp = sub.add_parser("experiments", help="run paper artifacts")
     p_exp.add_argument("ids", nargs="*",
                        help="experiment ids (default: all)")
     _add_obs_arguments(p_exp)
+    _add_record_arguments(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
 
     p_bench = sub.add_parser(
@@ -926,7 +1163,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--compare", metavar="FILE", default=None,
                          help="diff this run against a baseline bench "
                               "report; exit 4 on any throughput "
-                              "regression beyond the threshold")
+                              "regression beyond the threshold.  "
+                              "'auto' resolves the baseline from the "
+                              "run registry (most recent successful "
+                              "bench run on this host at this scale)")
     p_bench.add_argument("--require-throughput", metavar="NAME=FLOOR",
                          action="append", default=[],
                          help="fail (exit 5) unless workload NAME ran at "
@@ -936,6 +1176,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="relative throughput-regression tolerance "
                               "for --compare (default: 0.2)")
     _add_obs_arguments(p_bench)
+    _add_record_arguments(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(
@@ -968,6 +1209,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the bound host/port to FILE once "
                               "serving")
     _add_obs_arguments(p_serve)
+    _add_record_arguments(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -1000,6 +1242,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the loadgen statistics to FILE")
     _add_retry_arguments(p_load)
     _add_obs_arguments(p_load)
+    _add_record_arguments(p_load)
     p_load.set_defaults(func=cmd_loadgen)
 
     p_fleet = sub.add_parser(
@@ -1045,6 +1288,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "or snapshot (top) to FILE")
     _add_retry_arguments(p_fleet)
     _add_obs_arguments(p_fleet)
+    _add_record_arguments(p_fleet)
     p_fleet.set_defaults(func=cmd_fleet)
 
     p_chaos = sub.add_parser(
@@ -1063,7 +1307,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json-out", metavar="FILE", default=None,
                          help="write the chaos report to FILE")
     _add_obs_arguments(p_chaos)
+    _add_record_arguments(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_pipe = sub.add_parser(
+        "pipeline", help="run a declarative multi-step campaign "
+                         "pipeline from a settings file")
+    p_pipe.add_argument("action", choices=("run", "plan"),
+                        help="run: execute (and record) the pipeline; "
+                             "plan: print the execution order only")
+    p_pipe.add_argument("settings", metavar="SETTINGS.toml",
+                        help="pipeline settings file (see docs/runs.md)")
+    p_pipe.add_argument("--resume", action="store_true",
+                        help="resume the most recent pipeline run with "
+                             "the same settings digest, skipping steps "
+                             "already recorded ok")
+    p_pipe.add_argument("--workdir", metavar="DIR", default=None,
+                        help="step artifact directory (default: the "
+                             "settings file's workdir)")
+    p_pipe.add_argument("--json-out", metavar="FILE", default=None,
+                        help="write the pipeline report to FILE")
+    p_pipe.add_argument("--runs-db", metavar="FILE", default=None,
+                        help="run-registry database (default: "
+                             "$REPRO_RUNS_DB, else ./runs.db)")
+    p_pipe.set_defaults(func=cmd_pipeline)
+
+    p_report = sub.add_parser(
+        "report", help="cross-run comparisons from the run registry")
+    p_report.add_argument("what",
+                          choices=("runs", "bench", "pipeline",
+                                   "campaigns"),
+                          help="runs: recent run listing; bench: "
+                               "throughput delta between two recorded "
+                               "bench runs; pipeline: one pipeline and "
+                               "its steps; campaigns: fault/chaos "
+                               "outcomes")
+    p_report.add_argument("--runs-db", metavar="FILE", default=None,
+                          help="run-registry database (default: "
+                               "$REPRO_RUNS_DB, else ./runs.db)")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit the payload as JSON instead of "
+                               "ascii tables")
+    p_report.add_argument("--limit", type=int, default=20,
+                          help="max rows for runs/campaigns")
+    p_report.add_argument("--subcommand", default=None,
+                          help="runs: filter by subcommand")
+    p_report.add_argument("--outcome", default=None,
+                          choices=("running", "ok", "failed",
+                                   "interrupted"),
+                          help="runs: filter by outcome")
+    p_report.add_argument("--baseline", metavar="RUN", default=None,
+                          help="bench: baseline run id prefix "
+                               "(default: previous comparable run)")
+    p_report.add_argument("--candidate", metavar="RUN", default=None,
+                          help="bench: candidate run id prefix "
+                               "(default: most recent bench run)")
+    p_report.add_argument("--run", metavar="RUN", default=None,
+                          help="pipeline: run id prefix (default: the "
+                               "most recent pipeline)")
+    p_report.set_defaults(func=cmd_report)
     return parser
 
 

@@ -709,6 +709,8 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
     service = measure_service_load(params, seed=seed)
     fleet = measure_fleet_load(params, seed=seed)
     memory = measure_memory_ceilings(scale, seed=seed)
+    from repro.runs.provenance import collect_provenance
+
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "bench-report",
@@ -722,6 +724,7 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
             "platform": platform.platform(),
             "machine": platform.machine(),
         },
+        "provenance": collect_provenance(),
         "workloads": workloads,
         "overhead": overhead,
         "scaling": scaling,

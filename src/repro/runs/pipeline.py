@@ -1,0 +1,391 @@
+"""Execute a declarative settings-file pipeline, one run row per step.
+
+``repro pipeline run settings.toml`` loads a
+:class:`~repro.runs.settings.PipelineSettings`, records one ``pipeline``
+run row, then executes the step DAG in topological order.  Every step
+records its own run row (subcommand = its kind, ``parent_id`` = the
+pipeline row) with fully resolved parameters, registers the artifacts
+it wrote under ``workdir``, and stores a compact machine summary - so
+``repro report`` can render campaign outcomes and bench comparisons
+from the database alone.
+
+Resume: a pipeline's identity is the SHA-256 digest of its settings
+text.  ``--resume`` finds the most recent pipeline row with the same
+digest, reopens it, and skips every step whose prior run recorded
+outcome ``ok`` with identical resolved parameters - a failed or
+SIGKILL'd pipeline picks up exactly where it stopped, never re-running
+(or double-recording) completed work.
+
+A step failure finalizes the step row ``failed``, marks the pipeline
+row ``failed``, and stops the pipeline; steps after the failure stay
+unrecorded so resume re-plans them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.errors import ConfigurationError
+from repro.runs.recorder import RunRecorder
+from repro.runs.settings import (
+    PipelineSettings,
+    PipelineStep,
+    load_settings,
+)
+from repro.runs.store import RunStore, params_digest
+
+__all__ = ["run_pipeline", "plan_pipeline"]
+
+
+# ----------------------------------------------------------------------
+# Step executors.  Each runs one step's work inside its RunRecorder,
+# registers artifacts, and returns a compact JSON-safe summary.
+def _artifact_path(workdir: str, step: PipelineStep, suffix: str) -> str:
+    os.makedirs(workdir, exist_ok=True)
+    return os.path.join(workdir, f"{step.name}{suffix}")
+
+
+def _campaign_design(params: dict):
+    from repro.core.degradation import (
+        DEFAULT_CRITERIA,
+        DegradationCriteria,
+    )
+    from repro.core.sizing import size_architecture
+
+    criteria = DEFAULT_CRITERIA
+    if "r_min" in params or "p_fail" in params:
+        criteria = DegradationCriteria(
+            r_min=params.get("r_min", 0.99),
+            p_fail=params.get("p_fail", 0.01))
+    return size_architecture(
+        params.get("alpha", 9.0), params.get("beta", 6.0),
+        params.get("bound", 200), k_fraction=params.get("k_fraction"),
+        criteria=criteria, window=params.get("window", "fractional"))
+
+
+def _exec_bench(step: PipelineStep, seed: int, workdir: str,
+                recorder: RunRecorder, store: RunStore) -> dict:
+    from repro.obs.bench import run_bench_suite, write_bench_report
+    from repro.runs.report import bench_run_summary
+
+    params = step.params
+    report = run_bench_suite(params.get("scale", "tiny"), seed=seed,
+                             repeats=params.get("repeats"))
+    out = params.get("out") or _artifact_path(workdir, step, ".json")
+    write_bench_report(report, out)
+    recorder.add_artifact(out)
+    summary = bench_run_summary(report)
+    recorder.set_summary(summary)
+    return summary
+
+
+def _exec_faults(step: PipelineStep, seed: int, workdir: str,
+                 recorder: RunRecorder, store: RunStore) -> dict:
+    from repro.faults.campaign import (
+        FaultCampaignConfig,
+        run_fault_campaign,
+    )
+
+    params = step.params
+    design = _campaign_design(params)
+    config_keys = ("misfire_rate", "premature_stuck_open_rate",
+                   "stuck_closed_probability", "corruption_rate",
+                   "timeout_rate", "temperature_c", "rs_fallback",
+                   "max_attempts", "quarantine_after", "max_accesses")
+    config = FaultCampaignConfig(**{key: params[key]
+                                    for key in config_keys
+                                    if key in params})
+    checkpoint = _artifact_path(workdir, step, ".ckpt")
+    report = run_fault_campaign(
+        design, config, trials=params.get("trials", 2), seed=seed,
+        checkpoint_path=checkpoint,
+        checkpoint_every=params.get("checkpoint_every", 10))
+    summary = {
+        "kind": "fault-campaign",
+        "trials": report.trials,
+        "ceiling": report.ceiling,
+        "violation_rate": report.violation_rate,
+        "availability": report.availability,
+        "mean_served": report.mean_served,
+        "degraded_recoveries": report.degraded_recoveries,
+        "injections": report.injections,
+    }
+    out = _artifact_path(workdir, step, ".json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    recorder.add_artifact(out)
+    if os.path.exists(checkpoint):
+        recorder.add_artifact(checkpoint)
+    recorder.set_summary(summary)
+    if report.violation_rate > 0:
+        recorder.record_failure(
+            f"{report.violation_rate:.2%} of instances violated the "
+            f"security ceiling")
+    return summary
+
+
+def _exec_chaos(step: PipelineStep, seed: int, workdir: str,
+                recorder: RunRecorder, store: RunStore) -> dict:
+    from repro.service.chaos import SCENARIOS, run_chaos, write_chaos_report
+
+    params = step.params
+    names = params.get("scenarios") or sorted(SCENARIOS)
+    root = os.path.join(workdir, step.name)
+    report = run_chaos(names, root,
+                       shards=params.get("shards", 2),
+                       tenants=params.get("tenants", 4),
+                       requests=params.get("requests", 24),
+                       seed=seed)
+    out = _artifact_path(workdir, step, ".json")
+    write_chaos_report(report, out)
+    recorder.add_artifact(out)
+    for scenario in report["scenarios"]:
+        timeline = scenario.get("timeline")
+        if timeline and os.path.exists(timeline["path"]):
+            recorder.add_artifact(timeline["path"])
+    summary = {
+        "kind": "chaos",
+        "scenarios": [s["scenario"] for s in report["scenarios"]],
+        "passed": report["passed"],
+        "violations": len(report["violations"]),
+    }
+    recorder.set_summary(summary)
+    if not report["passed"]:
+        recorder.record_failure(
+            f"{len(report['violations'])} chaos invariant violation(s)")
+    return summary
+
+
+def _exec_experiments(step: PipelineStep, seed: int, workdir: str,
+                      recorder: RunRecorder, store: RunStore) -> dict:
+    from repro.experiments.registry import EXPERIMENTS
+
+    params = step.params
+    ids = params.get("ids") or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment ids in step {step.name!r}: {unknown}")
+    out = _artifact_path(workdir, step, ".txt")
+    titles = {}
+    with open(out, "w", encoding="utf-8") as handle:
+        for experiment_id in ids:
+            result = EXPERIMENTS[experiment_id]()
+            titles[experiment_id] = result.title
+            handle.write(result.render() + "\n\n")
+    recorder.add_artifact(out)
+    summary = {"kind": "experiments", "ids": list(ids),
+               "titles": titles}
+    recorder.set_summary(summary)
+    return summary
+
+
+def _exec_fleet(step: PipelineStep, seed: int, workdir: str,
+                recorder: RunRecorder, store: RunStore) -> dict:
+    import asyncio
+
+    from repro.service.fleet import run_fleet_loadgen
+    from repro.service.supervisor import FleetSupervisor
+
+    params = step.params
+    root = os.path.join(workdir, step.name)
+    supervisor = FleetSupervisor(
+        root, params.get("shards", 2), window_s=0.001,
+        snapshot_every=params.get("snapshot_every", 16))
+    with supervisor:
+        stats = asyncio.run(run_fleet_loadgen(
+            supervisor.map_path, tenants=params.get("tenants", 4),
+            requests=params.get("requests", 32),
+            concurrency=params.get("concurrency", 4), seed=seed))
+    out = _artifact_path(workdir, step, ".json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2, default=str)
+        handle.write("\n")
+    recorder.add_artifact(out)
+    summary = {
+        "kind": "fleet",
+        "shards": stats["shards"],
+        "requests": stats["requests"],
+        "served": stats["served"],
+        "requests_per_s": stats["requests_per_s"],
+        "outcomes": stats["outcomes"],
+    }
+    recorder.set_summary(summary)
+    if stats["served"] == 0:
+        recorder.record_failure("fleet served no request")
+    return summary
+
+
+def _exec_report(step: PipelineStep, seed: int, workdir: str,
+                 recorder: RunRecorder, store: RunStore) -> dict:
+    from repro.runs.report import compare_bench_runs, render_bench_delta
+
+    params = step.params
+    comparison = compare_bench_runs(
+        store, baseline=params.get("baseline"),
+        candidate=params.get("candidate"))
+    text = render_bench_delta(comparison)
+    out = _artifact_path(workdir, step, ".txt")
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    recorder.add_artifact(out)
+    json_out = _artifact_path(workdir, step, ".json")
+    with open(json_out, "w", encoding="utf-8") as handle:
+        json.dump(comparison, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    recorder.add_artifact(json_out)
+    summary = {"kind": "report",
+               "baseline": comparison["baseline"]["id"],
+               "candidate": comparison["candidate"]["id"],
+               "rows": len(comparison["rows"])}
+    recorder.set_summary(summary)
+    print(text)
+    return summary
+
+
+_EXECUTORS = {
+    "bench": _exec_bench,
+    "faults": _exec_faults,
+    "chaos": _exec_chaos,
+    "experiments": _exec_experiments,
+    "fleet": _exec_fleet,
+    "report": _exec_report,
+}
+
+
+# ----------------------------------------------------------------------
+def _resolved_step_params(settings: PipelineSettings,
+                          step: PipelineStep) -> tuple[dict, int]:
+    seed = step.params.get("seed", settings.seed)
+    resolved = {"step": step.name, "kind": step.kind,
+                "pipeline": settings.name, "seed": seed,
+                **{key: value for key, value in step.params.items()
+                   if key != "seed"}}
+    return resolved, seed
+
+
+def plan_pipeline(settings: PipelineSettings) -> list[dict]:
+    """The execution plan as rows (step, kind, after, seed)."""
+    rows = []
+    for step in settings.ordered_steps():
+        _, seed = _resolved_step_params(settings, step)
+        rows.append({"step": step.name, "kind": step.kind,
+                     "after": list(step.after), "seed": seed})
+    return rows
+
+
+def _find_resumable(store: RunStore,
+                    settings: PipelineSettings) -> dict | None:
+    """Most recent pipeline run with the same settings digest."""
+    return store.latest_run(
+        "pipeline", outcome=None,
+        params_subset={"settings_digest": settings.digest})
+
+
+def run_pipeline(settings_path: str, *, db_path: str | None = None,
+                 resume: bool = False,
+                 workdir: str | None = None) -> dict:
+    """Run (or resume) one settings-file pipeline; returns its report.
+
+    The report lists each step with its action (``ok``, ``skipped``,
+    ``failed``), run id and summary, plus the pipeline run id and final
+    outcome.  Raises nothing for a step failure - the failure lives in
+    the report (and the database); configuration errors still raise.
+    """
+    settings = load_settings(settings_path)
+    effective_workdir = workdir or settings.workdir
+    with RunStore(db_path) as store:
+        store.resolve_interrupted()
+        pipeline_params = {
+            "pipeline": settings.name,
+            "settings_path": os.path.abspath(settings_path),
+            "settings_digest": settings.digest,
+            "steps": [step.name for step in settings.steps],
+        }
+        prior_ok: dict[str, dict] = {}
+        pipeline_id = None
+        if resume:
+            previous = _find_resumable(store, settings)
+            if previous is not None:
+                pipeline_id = previous["id"]
+                store.reopen_run(pipeline_id)
+                prior_ok = {
+                    child["params_digest"]: child
+                    for child in store.children(pipeline_id)
+                    if child["outcome"] == "ok"}
+        if pipeline_id is None:
+            pipeline_id = store.begin_run("pipeline", pipeline_params,
+                                          seed=settings.seed)
+        started = time.time()
+        steps_report: list[dict] = []
+        failure: str | None = None
+        for step in settings.ordered_steps():
+            resolved, seed = _resolved_step_params(settings, step)
+            digest = params_digest(resolved)
+            recorded = prior_ok.get(digest)
+            if recorded is not None:
+                steps_report.append({
+                    "step": step.name, "kind": step.kind,
+                    "action": "skipped", "run_id": recorded["id"],
+                    "summary": recorded["summary"]})
+                print(f"pipeline step {step.name!r}: skipped "
+                      f"(recorded ok as {recorded['id'][:12]})")
+                continue
+            print(f"pipeline step {step.name!r}: running "
+                  f"({step.kind}, seed {seed})")
+            recorder = RunRecorder(step.kind, resolved, seed=seed,
+                                   parent_id=pipeline_id,
+                                   db_path=store.path)
+            try:
+                with recorder:
+                    summary = _EXECUTORS[step.kind](
+                        step, seed, effective_workdir, recorder, store)
+            except (KeyboardInterrupt, SystemExit) as exc:
+                # The step row is already finalized ``interrupted`` by
+                # its recorder; mirror that on the pipeline row before
+                # propagating so resume sees a consistent state.
+                store.finish_run(
+                    pipeline_id, "interrupted",
+                    error=f"interrupted during step {step.name!r}: "
+                          f"{exc!r}")
+                raise
+            except Exception as exc:  # noqa: BLE001 - recorded, reported
+                failure = f"step {step.name!r} failed: {exc}"
+                steps_report.append({
+                    "step": step.name, "kind": step.kind,
+                    "action": "failed", "run_id": recorder.run_id,
+                    "error": str(exc)})
+                break
+            if recorder.failure is not None:
+                # The step completed but declared its result a failure
+                # (ceiling violations, chaos invariant breaks, ...).
+                failure = (f"step {step.name!r} failed: "
+                           f"{recorder.failure}")
+                steps_report.append({
+                    "step": step.name, "kind": step.kind,
+                    "action": "failed", "run_id": recorder.run_id,
+                    "summary": summary, "error": recorder.failure})
+                break
+            steps_report.append({
+                "step": step.name, "kind": step.kind, "action": "ok",
+                "run_id": recorder.run_id, "summary": summary})
+        outcome = "failed" if failure else "ok"
+        report = {
+            "pipeline": settings.name,
+            "pipeline_id": pipeline_id,
+            "outcome": outcome,
+            "error": failure,
+            "elapsed_s": time.time() - started,
+            "workdir": effective_workdir,
+            "steps": steps_report,
+        }
+        store.finish_run(
+            pipeline_id, outcome, error=failure,
+            summary={"steps": [{key: row.get(key) for key in
+                                ("step", "kind", "action", "run_id")}
+                               for row in steps_report],
+                     "workdir": effective_workdir})
+        return report

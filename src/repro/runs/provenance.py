@@ -1,0 +1,76 @@
+"""Shared run provenance: git rev, dirty flag, host, toolchain versions.
+
+Every recorded run (and every ``BENCH_*.json`` report) embeds the same
+provenance block, so any artifact can answer "what code, which machine,
+which toolchain produced this?" without consulting anything outside the
+file or the run database.
+
+Git facts are resolved once per process and cached: experiments record
+one run per figure and a subprocess per ``git`` call would dominate the
+recording cost.  Pass ``refresh=True`` to :func:`collect_provenance`
+when the working tree may have changed mid-process (tests do).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import platform
+import socket
+import subprocess
+import sys
+
+__all__ = ["collect_provenance", "git_provenance"]
+
+
+def _run_git(args: list[str], cwd: str | None) -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True,
+            timeout=10, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip()
+
+
+@functools.lru_cache(maxsize=8)
+def _cached_git(cwd: str | None) -> tuple[str | None, bool | None]:
+    rev = _run_git(["rev-parse", "HEAD"], cwd)
+    if rev is None:
+        return None, None
+    status = _run_git(["status", "--porcelain"], cwd)
+    dirty = bool(status) if status is not None else None
+    return rev, dirty
+
+
+def git_provenance(cwd: str | None = None, *,
+                   refresh: bool = False) -> dict:
+    """The working tree's ``{"rev": ..., "dirty": ...}``.
+
+    Both values are ``None`` when ``git`` is unavailable or ``cwd`` is
+    not inside a repository - provenance never makes a run fail.
+    """
+    if refresh:
+        _cached_git.cache_clear()
+    rev, dirty = _cached_git(cwd)
+    return {"rev": rev, "dirty": dirty}
+
+
+def collect_provenance(cwd: str | None = None, *,
+                       refresh: bool = False) -> dict:
+    """One JSON-safe provenance block for a run record or report meta."""
+    import numpy as np
+
+    git = git_provenance(cwd, refresh=refresh)
+    return {
+        "git_rev": git["rev"],
+        "git_dirty": git["dirty"],
+        "host": socket.gethostname(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "pid": os.getpid(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+    }

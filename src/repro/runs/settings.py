@@ -1,0 +1,258 @@
+"""Declarative pipeline settings: a TOML file naming a DAG of steps.
+
+Format::
+
+    [pipeline]
+    name = "nightly"          # required
+    seed = 0                  # default seed for steps that take one
+    workdir = "pipeline-out"  # artifact directory (default: <name>-out)
+
+    [steps.bench-a]
+    kind = "bench"            # bench|faults|chaos|experiments|fleet|report
+    scale = "tiny"
+
+    [steps.campaign]
+    kind = "faults"
+    after = ["bench-a"]       # DAG edges; omit for a root step
+    trials = 2
+    alpha = 9.0
+    beta = 6.0
+
+Any key other than ``kind``/``after`` is passed to the step executor as
+a parameter.  Parsing uses :mod:`tomllib` where available (Python
+3.11+) and falls back to a small built-in parser covering exactly this
+subset (tables, strings, numbers, booleans, one-line arrays) on 3.10 -
+settings files stay valid TOML either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PipelineSettings", "PipelineStep", "load_settings",
+           "parse_settings"]
+
+#: Step kinds the pipeline runner knows how to execute.
+KNOWN_KINDS = ("bench", "faults", "chaos", "experiments", "fleet",
+               "report")
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """One named step: what to run, after which steps, with what params."""
+
+    name: str
+    kind: str
+    after: tuple[str, ...] = ()
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PipelineSettings:
+    """A parsed, validated pipeline definition."""
+
+    name: str
+    seed: int
+    workdir: str
+    steps: tuple[PipelineStep, ...]
+    digest: str  # sha256 of the settings text - the resume identity
+
+    def ordered_steps(self) -> list[PipelineStep]:
+        """Steps in executable order (stable topological sort).
+
+        Declaration order is preserved among steps whose dependencies
+        are equally satisfied; a cycle or unknown edge raises.
+        """
+        by_name = {step.name: step for step in self.steps}
+        done: set[str] = set()
+        ordered: list[PipelineStep] = []
+        remaining = list(self.steps)
+        while remaining:
+            progressed = False
+            for step in list(remaining):
+                if all(dep in done for dep in step.after):
+                    ordered.append(step)
+                    done.add(step.name)
+                    remaining.remove(step)
+                    progressed = True
+            if not progressed:
+                stuck = ", ".join(step.name for step in remaining)
+                raise ConfigurationError(
+                    f"pipeline steps form a dependency cycle: {stuck}")
+        return ordered
+
+
+# ----------------------------------------------------------------------
+# Minimal TOML-subset fallback (Python 3.10 has no tomllib).
+def _parse_scalar(text: str):
+    text = text.strip()
+    if not text:
+        raise ConfigurationError("empty TOML value")
+    if text[0] == '"':
+        if len(text) < 2 or text[-1] != '"':
+            raise ConfigurationError(f"unterminated string: {text!r}")
+        return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"unsupported TOML value {text!r} (fallback parser "
+            f"supports strings, numbers, booleans and one-line "
+            f"arrays)") from None
+
+
+def _split_array(body: str) -> list[str]:
+    items, depth, quoted, current = [], 0, False, []
+    for char in body:
+        if char == '"' and (not current or current[-1] != "\\"):
+            quoted = not quoted
+        if not quoted:
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == "," and depth == 0:
+                items.append("".join(current))
+                current = []
+                continue
+        current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return items
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise ConfigurationError(
+                f"fallback TOML parser needs one-line arrays: {text!r}")
+        return [_parse_value(item) for item in _split_array(text[1:-1])]
+    return _parse_scalar(text)
+
+
+def _strip_comment(line: str) -> str:
+    quoted = False
+    for index, char in enumerate(line):
+        if char == '"' and (index == 0 or line[index - 1] != "\\"):
+            quoted = not quoted
+        elif char == "#" and not quoted:
+            return line[:index]
+    return line
+
+
+def _parse_toml_fallback(text: str) -> dict:
+    root: dict = {}
+    table = root
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            table = root
+            for part in line[1:-1].strip().split("."):
+                key = part.strip().strip('"')
+                if not key:
+                    raise ConfigurationError(
+                        f"bad TOML table header: {raw!r}")
+                table = table.setdefault(key, {})
+            continue
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise ConfigurationError(f"bad TOML line: {raw!r}")
+        table[key.strip().strip('"')] = _parse_value(value)
+    return root
+
+
+def _load_toml(text: str) -> dict:
+    try:
+        import tomllib
+    except ImportError:
+        return _parse_toml_fallback(text)
+    return tomllib.loads(text)
+
+
+# ----------------------------------------------------------------------
+def parse_settings(text: str) -> PipelineSettings:
+    """Parse and validate pipeline settings from TOML text."""
+    try:
+        payload = _load_toml(text)
+    except ConfigurationError:
+        raise
+    except Exception as exc:  # tomllib.TOMLDecodeError and friends
+        raise ConfigurationError(f"bad pipeline settings: {exc}") from exc
+    pipeline = payload.get("pipeline")
+    if not isinstance(pipeline, dict) or not pipeline.get("name"):
+        raise ConfigurationError(
+            "pipeline settings need a [pipeline] table with a name")
+    name = str(pipeline["name"])
+    seed = pipeline.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ConfigurationError("pipeline seed must be an integer")
+    workdir = str(pipeline.get("workdir") or f"{name}-out")
+    steps_table = payload.get("steps")
+    if not isinstance(steps_table, dict) or not steps_table:
+        raise ConfigurationError(
+            "pipeline settings need at least one [steps.<name>] table")
+    steps: list[PipelineStep] = []
+    for step_name, spec in steps_table.items():
+        if not isinstance(spec, dict):
+            raise ConfigurationError(
+                f"step {step_name!r} must be a table")
+        kind = spec.get("kind")
+        if kind not in KNOWN_KINDS:
+            raise ConfigurationError(
+                f"step {step_name!r} has unknown kind {kind!r}; "
+                f"pick from {KNOWN_KINDS}")
+        after = spec.get("after", [])
+        if isinstance(after, str):
+            after = [after]
+        if not isinstance(after, list) or \
+                not all(isinstance(dep, str) for dep in after):
+            raise ConfigurationError(
+                f"step {step_name!r}: after must be a list of step "
+                f"names")
+        params = {key: value for key, value in spec.items()
+                  if key not in ("kind", "after")}
+        steps.append(PipelineStep(name=str(step_name), kind=kind,
+                                  after=tuple(after), params=params))
+    names = [step.name for step in steps]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("duplicate step names in pipeline")
+    for step in steps:
+        unknown = [dep for dep in step.after if dep not in names]
+        if unknown:
+            raise ConfigurationError(
+                f"step {step.name!r} depends on unknown steps "
+                f"{unknown}")
+        if step.name in step.after:
+            raise ConfigurationError(
+                f"step {step.name!r} depends on itself")
+    settings = PipelineSettings(
+        name=name, seed=seed, workdir=workdir, steps=tuple(steps),
+        digest=hashlib.sha256(text.encode("utf-8")).hexdigest()[:16])
+    settings.ordered_steps()  # validates acyclicity eagerly
+    return settings
+
+
+def load_settings(path: str) -> PipelineSettings:
+    """Read, parse and validate a settings file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read pipeline settings {path!r}: {exc}") from exc
+    return parse_settings(text)

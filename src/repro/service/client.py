@@ -29,7 +29,11 @@ from repro.errors import ConfigurationError
 from repro.service.protocol import read_frame, write_frame
 
 __all__ = ["ServiceClient", "RetryPolicy", "tenant_population",
-           "run_loadgen", "read_ready_file", "latency_split_from_metrics"]
+           "run_loadgen", "read_ready_file", "latency_split_from_metrics",
+           "LOADGEN_SCHEMA_VERSION"]
+
+#: Version of the ``run_loadgen`` stats payload (``--json-out``).
+LOADGEN_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -249,6 +253,8 @@ async def run_loadgen(host: str, port: int, *, tenants: int = 4,
     status = await admin.status()
     split = latency_split_from_metrics(await admin.metrics())
     stats = {
+        "schema_version": LOADGEN_SCHEMA_VERSION,
+        "kind": "loadgen",
         "tenants": tenants,
         "provisioned": provisioned,
         "requests": requests,

@@ -37,9 +37,13 @@ from repro.service.client import (
 )
 
 __all__ = ["FLEET_MAP_NAME", "shard_index", "write_fleet_map",
-           "read_fleet_map", "FleetClient", "run_fleet_loadgen"]
+           "read_fleet_map", "FleetClient", "run_fleet_loadgen",
+           "FLEET_SCHEMA_VERSION"]
 
 FLEET_MAP_NAME = "fleet.json"
+
+#: Version of the ``run_fleet_loadgen`` stats payload (``--json-out``).
+FLEET_SCHEMA_VERSION = 1
 
 
 def shard_index(tenant: str, shards: int) -> int:
@@ -288,6 +292,8 @@ async def run_fleet_loadgen(map_path: str, *, tenants: int = 8,
     await asyncio.gather(*(worker(client) for client in workers))
     elapsed = time.perf_counter() - started
     stats = {
+        "schema_version": FLEET_SCHEMA_VERSION,
+        "kind": "fleet-loadgen",
         "shards": shard_count,
         "tenants": tenants,
         "provisioned": provisioned,

@@ -128,7 +128,10 @@ class FleetSupervisor:
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             filter(None, [_PACKAGE_ROOT, env.get("PYTHONPATH")]))
-        argv = [sys.executable, "-m", "repro.cli", "serve",
+        # Shards are an implementation detail of the supervising run;
+        # recording each spawn would flood the run registry (and chaos
+        # kills would litter it with interrupted rows).
+        argv = [sys.executable, "-m", "repro.cli", "serve", "--no-record",
                 "--ledger", self.ledger_dir(index),
                 "--ready-file", self.ready_file(index),
                 "--window-ms", str(self.window_s * 1000.0),

@@ -8,3 +8,14 @@ import pytest
 def rng() -> np.random.Generator:
     """A deterministically seeded generator, fresh per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_db(tmp_path, monkeypatch):
+    """Point run recording at a per-test registry.
+
+    CLI recording is on by default and would otherwise write
+    ``runs.db`` into the repository root whenever a test drives
+    ``main()`` in-process.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DB", str(tmp_path / "runs.db"))

@@ -1,0 +1,320 @@
+"""CLI integration for run recording, pipelines, and cross-run reports."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli.main import main
+from repro.runs.store import RunStore, sha256_file
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [SRC_ROOT, env.get("PYTHONPATH")]))
+    return env
+
+
+def seed_bench(db_path, throughputs, scale="tiny"):
+    with RunStore(db_path) as store:
+        run_id = store.begin_run("bench", {"scale": scale}, seed=0)
+        store.finish_run(run_id, "ok", summary={
+            "kind": "bench", "scale": scale, "date": "20260808",
+            "workloads": {name: {"throughput_per_s": value,
+                                 "unit": "trials"}
+                          for name, value in throughputs.items()}})
+    time.sleep(0.01)
+    return run_id
+
+
+class TestRecordingDefaults:
+    def test_design_save_records_run_and_artifact(self, capsys,
+                                                  tmp_path):
+        target = tmp_path / "design.json"
+        db = tmp_path / "reg.db"
+        code, _, _ = run_cli(
+            capsys, "design", "--alpha", "10", "--beta", "8",
+            "--bound", "200", "--k-fraction", "0.1",
+            "--paper-criteria", "--save", str(target),
+            "--runs-db", str(db))
+        assert code == 0
+        with RunStore(str(db)) as store:
+            (row,) = store.list_runs(subcommand="design")
+            assert row["outcome"] == "ok"
+            assert row["params"]["alpha"] == 10.0
+            assert row["params"]["save"] == str(target)
+            (artifact,) = store.artifacts(row["id"])
+        assert artifact["path"] == str(target)
+        assert artifact["sha256"] == sha256_file(str(target))
+
+    def test_env_var_default_db(self, capsys, tmp_path, monkeypatch):
+        db = tmp_path / "env.db"
+        monkeypatch.setenv("REPRO_RUNS_DB", str(db))
+        code, _, _ = run_cli(
+            capsys, "design", "--alpha", "10", "--beta", "8",
+            "--bound", "200", "--k-fraction", "0.1",
+            "--paper-criteria", "--save", str(tmp_path / "d.json"))
+        assert code == 0
+        with RunStore(str(db)) as store:
+            assert len(store.list_runs(subcommand="design")) == 1
+
+    def test_no_record_opts_out(self, capsys, tmp_path):
+        db = tmp_path / "reg.db"
+        code, _, _ = run_cli(
+            capsys, "design", "--alpha", "10", "--beta", "8",
+            "--bound", "200", "--k-fraction", "0.1",
+            "--paper-criteria", "--save", str(tmp_path / "d.json"),
+            "--runs-db", str(db), "--no-record")
+        assert code == 0
+        assert not db.exists()
+
+    def test_faults_campaign_records_summary(self, capsys, tmp_path):
+        db = tmp_path / "reg.db"
+        code, _, _ = run_cli(
+            capsys, "faults", "--alpha", "10", "--beta", "8",
+            "--bound", "200", "--k-fraction", "0.1",
+            "--paper-criteria", "--trials", "2", "--seed", "0",
+            "--runs-db", str(db))
+        assert code == 0
+        with RunStore(str(db)) as store:
+            (row,) = store.list_runs(subcommand="faults")
+        assert row["outcome"] == "ok"
+        assert row["seed"] == 0
+        assert row["summary"]["kind"] == "fault-campaign"
+        assert row["summary"]["trials"] == 2
+
+    def test_experiments_record_parent_and_children(self, capsys,
+                                                    tmp_path):
+        db = tmp_path / "reg.db"
+        code, _, _ = run_cli(capsys, "experiments", "fig1", "fig10",
+                             "--runs-db", str(db))
+        assert code == 0
+        with RunStore(str(db)) as store:
+            (parent,) = store.list_runs(subcommand="experiments")
+            children = store.children(parent["id"])
+        assert parent["outcome"] == "ok"
+        assert parent["summary"]["ids"] == ["fig1", "fig10"]
+        assert [c["params"]["id"] for c in children] == \
+            ["fig1", "fig10"]
+        assert all(c["outcome"] == "ok" for c in children)
+
+
+class TestConcurrentInvocations:
+    def test_two_simultaneous_cli_runs_both_record(self, tmp_path):
+        """Two racing CLI processes sharing one registry each get their
+        own run row and artifact - nothing is lost to locking."""
+        db = str(tmp_path / "shared.db")
+        procs = []
+        for index in range(2):
+            target = tmp_path / f"design-{index}.json"
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "design",
+                 "--alpha", "10", "--beta", "8", "--bound", "200",
+                 "--k-fraction", "0.1", "--paper-criteria",
+                 "--save", str(target), "--runs-db", db],
+                env=cli_env(), stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL))
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        with RunStore(db) as store:
+            rows = store.list_runs(subcommand="design")
+            artifacts = [store.artifacts(row["id"]) for row in rows]
+        assert len(rows) == 2
+        assert len({row["id"] for row in rows}) == 2
+        assert all(row["outcome"] == "ok" for row in rows)
+        assert all(len(found) == 1 for found in artifacts)
+
+    def test_sigkilled_serve_is_listed_interrupted(self, capsys,
+                                                   tmp_path):
+        """A SIGKILL'd CLI run is later reported ``interrupted``."""
+        db = str(tmp_path / "reg.db")
+        ready = tmp_path / "ready"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--ledger", str(tmp_path / "ledger"),
+             "--ready-file", str(ready), "--runs-db", db],
+            env=cli_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 30
+            while not ready.exists():
+                assert time.monotonic() < deadline, "serve never ready"
+                assert proc.poll() is None, "serve died early"
+                time.sleep(0.05)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        code, out, _ = run_cli(capsys, "report", "runs",
+                               "--runs-db", db)
+        assert code == 0
+        assert "interrupted" in out
+        with RunStore(db) as store:
+            (row,) = store.list_runs(subcommand="serve")
+        assert row["outcome"] == "interrupted"
+
+
+class TestReportCommand:
+    def test_bench_report_from_db_alone(self, capsys, tmp_path):
+        """The cross-run bench comparison needs no artifact file."""
+        db = str(tmp_path / "reg.db")
+        seed_bench(db, {"mc.fast": 100.0})
+        seed_bench(db, {"mc.fast": 150.0})
+        code, out, _ = run_cli(capsys, "report", "bench",
+                               "--runs-db", db)
+        assert code == 0
+        assert "+50.0%" in out
+        code, out, _ = run_cli(capsys, "report", "bench", "--json",
+                               "--runs-db", db)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["kind"] == "bench-delta"
+        assert payload["rows"][0]["delta_pct"] == pytest.approx(50.0)
+
+    def test_bench_report_empty_db_errors(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "report", "bench",
+                               "--runs-db", str(tmp_path / "empty.db"))
+        assert code == 1
+        assert "no recorded successful bench run" in err
+
+    def test_runs_listing_and_filters(self, capsys, tmp_path):
+        db = str(tmp_path / "reg.db")
+        seed_bench(db, {"mc.fast": 100.0})
+        code, out, _ = run_cli(capsys, "report", "runs",
+                               "--runs-db", db)
+        assert code == 0
+        assert "recorded runs" in out
+        code, out, _ = run_cli(capsys, "report", "runs",
+                               "--subcommand", "faults",
+                               "--runs-db", db)
+        assert code == 0
+        assert "most recent 0" in out
+
+    def test_campaigns_view(self, capsys, tmp_path):
+        db = str(tmp_path / "reg.db")
+        with RunStore(db) as store:
+            run_id = store.begin_run("faults", {})
+            store.finish_run(run_id, "ok", summary={
+                "kind": "fault-campaign", "trials": 2,
+                "violation_rate": 0.0, "availability": 0.99,
+                "mean_served": 10.0})
+        code, out, _ = run_cli(capsys, "report", "campaigns",
+                               "--runs-db", db)
+        assert code == 0
+        assert "viol 0.00%" in out
+
+
+class TestPipelineCommand:
+    def test_plan_then_run_then_report(self, capsys, tmp_path):
+        db = str(tmp_path / "reg.db")
+        seed_bench(db, {"mc.fast": 100.0})
+        seed_bench(db, {"mc.fast": 120.0})
+        settings = tmp_path / "p.toml"
+        settings.write_text("""\
+[pipeline]
+name = "cli-e2e"
+seed = 2
+[steps.figs]
+kind = "experiments"
+ids = ["fig1"]
+[steps.delta]
+kind = "report"
+after = ["figs"]
+""")
+        code, out, _ = run_cli(capsys, "pipeline", "plan",
+                               str(settings))
+        assert code == 0
+        assert "figs: experiments" in out
+        assert "delta: report" in out
+
+        workdir = str(tmp_path / "out")
+        code, out, _ = run_cli(capsys, "pipeline", "run",
+                               str(settings), "--workdir", workdir,
+                               "--runs-db", db)
+        assert code == 0
+        assert "pipeline 'cli-e2e' ok" in out
+
+        code, out, _ = run_cli(capsys, "report", "pipeline",
+                               "--runs-db", db)
+        assert code == 0
+        assert "cli-e2e" in out
+        assert out.count(" ok") >= 2  # pipeline row and step rows
+
+    def test_failed_pipeline_exits_1(self, capsys, tmp_path):
+        settings = tmp_path / "p.toml"
+        settings.write_text("""\
+[pipeline]
+name = "doomed"
+[steps.delta]
+kind = "report"
+""")
+        code, _, err = run_cli(
+            capsys, "pipeline", "run", str(settings),
+            "--workdir", str(tmp_path / "out"),
+            "--runs-db", str(tmp_path / "reg.db"))
+        assert code == 1
+        assert "FAILED" in err
+
+    def test_bad_settings_exit_1_with_message(self, capsys, tmp_path):
+        settings = tmp_path / "broken.toml"
+        settings.write_text("[pipeline]\nname = \"x\"\n"
+                            "[steps.s]\nkind = \"bogus\"\n")
+        code, _, err = run_cli(
+            capsys, "pipeline", "run", str(settings),
+            "--runs-db", str(tmp_path / "reg.db"))
+        assert code == 1
+        assert "unknown kind" in err
+
+
+@pytest.mark.slow
+class TestBenchCompareAuto:
+    def test_auto_resolves_recorded_baseline(self, capsys, tmp_path):
+        db = str(tmp_path / "reg.db")
+        baseline = tmp_path / "BENCH_base.json"
+        code, _, _ = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--out", str(baseline), "--runs-db", db)
+        assert code == 0
+        # The recorded run registered the report artifact and embedded
+        # provenance in the payload itself.
+        payload = json.loads(baseline.read_text())
+        assert payload["provenance"]["host"]
+        with RunStore(db) as store:
+            (row,) = store.list_runs(subcommand="bench")
+            (artifact,) = store.artifacts(row["id"])
+        assert row["summary"]["workloads"]
+        assert artifact["sha256"] == sha256_file(str(baseline))
+
+        code, out, _ = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--compare", "auto", "--compare-threshold", "0.99",
+            "--runs-db", db)
+        assert code == 0
+        assert "--compare auto: baseline is run" in out
+        assert row["id"][:12] in out
+
+    def test_auto_with_empty_db_is_a_clear_error(self, capsys,
+                                                 tmp_path):
+        code, _, err = run_cli(
+            capsys, "bench", "--scale", "tiny", "--repeats", "1",
+            "--compare", "auto",
+            "--runs-db", str(tmp_path / "empty.db"))
+        assert code == 2
+        assert "no successful bench run" in err
+        with RunStore(str(tmp_path / "empty.db")) as store:
+            (row,) = store.list_runs(subcommand="bench")
+        assert row["outcome"] == "failed"  # the gate failure is recorded

@@ -1,0 +1,203 @@
+"""Pipeline runner tests: recording, failure, resume, interruption."""
+
+import os
+import time
+
+import pytest
+
+from repro.runs.pipeline import plan_pipeline, run_pipeline
+from repro.runs.settings import parse_settings
+from repro.runs.store import RunStore
+
+MINI = """\
+[pipeline]
+name = "mini"
+seed = 1
+
+[steps.figs]
+kind = "experiments"
+ids = ["fig1", "fig10"]
+
+[steps.delta]
+kind = "report"
+after = ["figs"]
+"""
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "runs.db")
+
+
+@pytest.fixture
+def settings_path(tmp_path):
+    path = tmp_path / "mini.toml"
+    path.write_text(MINI)
+    return str(path)
+
+
+def seed_bench(db_path, throughputs, scale="tiny"):
+    with RunStore(db_path) as store:
+        run_id = store.begin_run("bench", {"scale": scale}, seed=0)
+        store.finish_run(run_id, "ok", summary={
+            "kind": "bench", "scale": scale, "date": "20260808",
+            "workloads": {name: {"throughput_per_s": value,
+                                 "unit": "trials"}
+                          for name, value in throughputs.items()}})
+    time.sleep(0.01)
+    return run_id
+
+
+class TestPlan:
+    def test_plan_rows(self):
+        rows = plan_pipeline(parse_settings(MINI))
+        assert rows == [
+            {"step": "figs", "kind": "experiments", "after": [],
+             "seed": 1},
+            {"step": "delta", "kind": "report", "after": ["figs"],
+             "seed": 1},
+        ]
+
+
+class TestRunAndResume:
+    def test_failure_then_resume_skips_recorded_ok_steps(
+            self, db_path, settings_path, tmp_path, capsys):
+        workdir = str(tmp_path / "out")
+        # First run: the report step fails (no bench runs recorded yet)
+        # after the experiments step succeeded.
+        report = run_pipeline(settings_path, db_path=db_path,
+                              workdir=workdir)
+        assert report["outcome"] == "failed"
+        assert "delta" in report["error"]
+        actions = {row["step"]: row["action"] for row in report["steps"]}
+        assert actions == {"figs": "ok", "delta": "failed"}
+        with RunStore(db_path) as store:
+            pipeline_row = store.get_run(report["pipeline_id"])
+            assert pipeline_row["outcome"] == "failed"
+            children = store.children(report["pipeline_id"])
+            outcomes = {(c["params"]["step"], c["outcome"])
+                        for c in children}
+            assert outcomes == {("figs", "ok"), ("delta", "failed")}
+            figs_run = next(c for c in children
+                            if c["params"]["step"] == "figs")
+            paths = [a["path"] for a in store.artifacts(figs_run["id"])]
+            assert paths and paths[0].endswith("figs.txt")
+            assert os.path.exists(paths[0])
+
+        # Make the report step satisfiable, then resume: the ok step is
+        # skipped (not re-run, not double-recorded), the failed one
+        # re-runs, and the SAME pipeline row is finalized ok.
+        seed_bench(db_path, {"mc.fast": 100.0})
+        seed_bench(db_path, {"mc.fast": 150.0})
+        resumed = run_pipeline(settings_path, db_path=db_path,
+                               resume=True, workdir=workdir)
+        assert resumed["pipeline_id"] == report["pipeline_id"]
+        assert resumed["outcome"] == "ok"
+        actions = {row["step"]: row["action"]
+                   for row in resumed["steps"]}
+        assert actions == {"figs": "skipped", "delta": "ok"}
+        with RunStore(db_path) as store:
+            assert store.get_run(report["pipeline_id"])["outcome"] == "ok"
+            children = store.children(report["pipeline_id"])
+        figs_runs = [c for c in children
+                     if c["params"]["step"] == "figs"]
+        assert len(figs_runs) == 1  # never re-ran
+        delta_runs = [c for c in children
+                      if c["params"]["step"] == "delta"]
+        assert {c["outcome"] for c in delta_runs} == {"failed", "ok"}
+        out = capsys.readouterr().out
+        assert "skipped (recorded ok" in out
+        assert "+50.0%" in out  # the report step rendered the delta
+
+    def test_resume_without_prior_run_starts_fresh(self, db_path,
+                                                   settings_path,
+                                                   tmp_path):
+        seed_bench(db_path, {"mc.fast": 100.0})
+        seed_bench(db_path, {"mc.fast": 110.0})
+        report = run_pipeline(settings_path, db_path=db_path,
+                              resume=True,
+                              workdir=str(tmp_path / "out"))
+        assert report["outcome"] == "ok"
+        assert all(row["action"] == "ok" for row in report["steps"])
+
+    def test_changed_params_are_not_skipped(self, db_path, tmp_path):
+        """Resume identity is the resolved params: editing a step's
+        params (hence the settings digest) starts a new pipeline."""
+        first = tmp_path / "a.toml"
+        first.write_text(MINI)
+        workdir = str(tmp_path / "out")
+        initial = run_pipeline(str(first), db_path=db_path,
+                               workdir=workdir)
+        first.write_text(MINI.replace('ids = ["fig1", "fig10"]',
+                                      'ids = ["fig1"]'))
+        rerun = run_pipeline(str(first), db_path=db_path, resume=True,
+                             workdir=workdir)
+        assert rerun["pipeline_id"] != initial["pipeline_id"]
+        assert {row["action"] for row in rerun["steps"]} >= {"failed"}
+
+    def test_interrupt_finalizes_pipeline_row(self, db_path,
+                                              settings_path, tmp_path,
+                                              monkeypatch):
+        from repro.runs import pipeline as pipeline_module
+
+        def interrupted(step, seed, workdir, recorder, store):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(pipeline_module._EXECUTORS, "experiments",
+                            interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_pipeline(settings_path, db_path=db_path,
+                         workdir=str(tmp_path / "out"))
+        with RunStore(db_path) as store:
+            row = store.list_runs(subcommand="pipeline")[0]
+            assert row["outcome"] == "interrupted"
+            (child,) = store.children(row["id"])
+        assert child["outcome"] == "interrupted"
+
+
+class TestThreeStepEndToEnd:
+    def test_experiments_fleet_report_all_record(self, db_path,
+                                                 tmp_path):
+        seed_bench(db_path, {"mc.fast": 100.0})
+        seed_bench(db_path, {"mc.fast": 130.0})
+        settings = tmp_path / "e2e.toml"
+        settings.write_text("""\
+[pipeline]
+name = "e2e"
+seed = 5
+
+[steps.figs]
+kind = "experiments"
+ids = ["fig1"]
+
+[steps.fleet]
+kind = "fleet"
+after = ["figs"]
+shards = 2
+tenants = 4
+requests = 16
+concurrency = 4
+
+[steps.delta]
+kind = "report"
+after = ["fleet"]
+""")
+        workdir = str(tmp_path / "out")
+        report = run_pipeline(str(settings), db_path=db_path,
+                              workdir=workdir)
+        assert report["outcome"] == "ok"
+        assert [row["action"] for row in report["steps"]] == \
+            ["ok", "ok", "ok"]
+        with RunStore(db_path) as store:
+            children = store.children(report["pipeline_id"])
+            assert [c["subcommand"] for c in children] == \
+                ["experiments", "fleet", "report"]
+            assert all(c["outcome"] == "ok" for c in children)
+            assert all(c["parent_id"] == report["pipeline_id"]
+                       for c in children)
+            for child in children:
+                assert store.artifacts(child["id"]), \
+                    f"step {child['params']['step']} has no artifacts"
+            fleet_summary = children[1]["summary"]
+        assert fleet_summary["served"] > 0
+        assert fleet_summary["shards"] == 2

@@ -1,0 +1,48 @@
+"""Provenance helper tests: git facts, host facts, caching."""
+
+import subprocess
+
+from repro.runs.provenance import collect_provenance, git_provenance
+
+
+class TestGitProvenance:
+    def test_inside_a_repo(self, tmp_path):
+        subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+        (tmp_path / "file.txt").write_text("hello\n")
+        subprocess.run(["git", "-C", str(tmp_path), "add", "."],
+                       check=True)
+        subprocess.run(
+            ["git", "-C", str(tmp_path), "-c", "user.email=t@t",
+             "-c", "user.name=t", "commit", "-q", "-m", "seed"],
+            check=True)
+        clean = git_provenance(str(tmp_path), refresh=True)
+        assert clean["rev"] and len(clean["rev"]) == 40
+        assert clean["dirty"] is False
+        (tmp_path / "file.txt").write_text("changed\n")
+        assert git_provenance(str(tmp_path),
+                              refresh=True)["dirty"] is True
+
+    def test_outside_a_repo_degrades_to_none(self, tmp_path):
+        facts = git_provenance(str(tmp_path), refresh=True)
+        assert facts == {"rev": None, "dirty": None}
+
+    def test_cached_between_calls(self, tmp_path):
+        from repro.runs.provenance import _cached_git
+
+        first = git_provenance(str(tmp_path), refresh=True)
+        hits = _cached_git.cache_info().hits
+        assert git_provenance(str(tmp_path)) == first
+        assert _cached_git.cache_info().hits == hits + 1
+
+
+class TestCollectProvenance:
+    def test_has_host_and_toolchain_facts(self):
+        import numpy
+
+        facts = collect_provenance()
+        assert facts["host"]
+        assert facts["pid"]
+        assert facts["numpy"] == numpy.__version__
+        assert facts["python"].count(".") >= 1
+        assert set(facts) >= {"git_rev", "git_dirty", "platform",
+                              "machine"}

@@ -1,0 +1,109 @@
+"""RunRecorder tests: outcomes, degradation, children, declared failure."""
+
+import pytest
+
+from repro.runs.recorder import RunRecorder
+from repro.runs.store import RunStore
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "runs.db")
+
+
+def only_run(db_path, subcommand=None):
+    with RunStore(db_path) as store:
+        rows = store.list_runs(subcommand=subcommand, limit=10)
+        assert len(rows) == 1
+        return rows[0]
+
+
+class TestOutcomes:
+    def test_clean_exit_records_ok(self, db_path, tmp_path):
+        artifact = tmp_path / "out.json"
+        with RunRecorder("bench", {"scale": "tiny"}, db_path=db_path,
+                         seed=5) as run:
+            artifact.write_text("{}\n")
+            run.add_artifact(str(artifact))
+            run.set_summary({"kind": "bench"})
+        row = only_run(db_path)
+        assert row["outcome"] == "ok"
+        assert row["seed"] == 5
+        assert row["summary"] == {"kind": "bench"}
+        with RunStore(db_path) as store:
+            paths = [a["path"] for a in store.artifacts(row["id"])]
+        assert paths == [str(artifact)]
+
+    def test_exception_records_failed_and_propagates(self, db_path):
+        with pytest.raises(ValueError, match="boom"):
+            with RunRecorder("faults", {}, db_path=db_path):
+                raise ValueError("boom")
+        row = only_run(db_path)
+        assert row["outcome"] == "failed"
+        assert row["error"] == "ValueError: boom"
+
+    def test_keyboard_interrupt_records_interrupted(self, db_path):
+        with pytest.raises(KeyboardInterrupt):
+            with RunRecorder("serve", {}, db_path=db_path):
+                raise KeyboardInterrupt
+        assert only_run(db_path)["outcome"] == "interrupted"
+
+    def test_declared_failure_on_clean_exit(self, db_path):
+        with RunRecorder("faults", {}, db_path=db_path) as run:
+            run.record_failure("ceiling violated")
+        assert run.failure == "ceiling violated"
+        row = only_run(db_path)
+        assert row["outcome"] == "failed"
+        assert row["error"] == "ceiling violated"
+
+
+class TestDegradation:
+    def test_disabled_recorder_is_inert(self, db_path, tmp_path):
+        with RunRecorder("bench", {}, db_path=db_path,
+                         enabled=False) as run:
+            run.add_artifact(str(tmp_path / "absent.json"))
+            run.set_summary({"x": 1})
+        assert run.run_id is None
+        with RunStore(db_path) as store:
+            assert store.list_runs() == []
+
+    def test_unopenable_db_degrades_with_warning(self, tmp_path,
+                                                 capsys):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory\n")
+        bad = str(blocker / "runs.db")  # parent exists as a *file*
+        with RunRecorder("bench", {}, db_path=bad) as run:
+            pass
+        assert run.enabled is False
+        assert run.run_id is None
+        assert "recording disabled" in capsys.readouterr().err
+
+    def test_bad_artifact_path_warns_but_run_survives(self, db_path,
+                                                      capsys):
+        with RunRecorder("bench", {}, db_path=db_path) as run:
+            run.add_artifact("/no/such/artifact.json")
+        assert "could not register artifact" in capsys.readouterr().err
+        assert only_run(db_path)["outcome"] == "ok"
+
+
+class TestChildren:
+    def test_child_rows_link_to_parent(self, db_path):
+        with RunRecorder("experiments", {"ids": ["fig1"]},
+                         db_path=db_path) as parent:
+            with parent.child("experiment", {"id": "fig1"}) as child:
+                child.set_summary({"id": "fig1"})
+        with RunStore(db_path) as store:
+            children = store.children(parent.run_id)
+        assert len(children) == 1
+        assert children[0]["subcommand"] == "experiment"
+        assert children[0]["parent_id"] == parent.run_id
+        assert children[0]["outcome"] == "ok"
+
+    def test_child_of_disabled_parent_is_inert(self, db_path):
+        with RunRecorder("experiments", {}, db_path=db_path,
+                         enabled=False) as parent:
+            with parent.child("experiment", {"id": "fig1"}) as child:
+                pass
+        assert child.run_id is None
+        with RunStore(db_path) as store:
+            assert store.list_runs() == []

@@ -1,0 +1,178 @@
+"""Cross-run reporting tests: DB-only payloads and their renderings."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runs.report import (
+    bench_run_summary,
+    campaigns_payload,
+    compare_bench_runs,
+    pipeline_payload,
+    render_bench_delta,
+    render_campaigns,
+    render_pipeline,
+    render_runs,
+    runs_payload,
+)
+from repro.runs.store import RunStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(str(tmp_path / "runs.db")) as opened:
+        yield opened
+
+
+def seed_bench(store, throughputs, scale="tiny"):
+    run_id = store.begin_run("bench", {"scale": scale}, seed=0)
+    store.finish_run(run_id, "ok", summary={
+        "kind": "bench", "scale": scale, "date": "20260808",
+        "workloads": {name: {"throughput_per_s": value,
+                             "unit": "trials"}
+                      for name, value in throughputs.items()}})
+    time.sleep(0.01)  # started_at strictly orders the runs
+    return run_id
+
+
+class TestBenchRunSummary:
+    def test_compacts_a_full_report(self):
+        report = {"scale": "tiny", "date": "20260808",
+                  "workloads": [
+                      {"name": "mc.fast", "throughput_per_s": 100.0,
+                       "unit": "trials", "wall_s": 1.0},
+                  ]}
+        summary = bench_run_summary(report)
+        assert summary == {
+            "kind": "bench", "scale": "tiny", "date": "20260808",
+            "workloads": {"mc.fast": {"throughput_per_s": 100.0,
+                                      "unit": "trials"}}}
+
+
+class TestCompareBenchRuns:
+    def test_defaults_pick_latest_pair_same_scale(self, store):
+        base = seed_bench(store, {"mc.fast": 100.0})
+        seed_bench(store, {"mc.fast": 400.0}, scale="smoke")
+        cand = seed_bench(store, {"mc.fast": 150.0})
+        comparison = compare_bench_runs(store)
+        assert comparison["candidate"]["id"] == cand
+        assert comparison["baseline"]["id"] == base  # smoke run skipped
+        (row,) = comparison["rows"]
+        assert row["delta_pct"] == pytest.approx(50.0)
+
+    def test_explicit_prefixes(self, store):
+        base = seed_bench(store, {"mc.fast": 100.0})
+        cand = seed_bench(store, {"mc.fast": 90.0})
+        comparison = compare_bench_runs(store, baseline=base[:10],
+                                        candidate=cand[:10])
+        assert comparison["rows"][0]["delta_pct"] == pytest.approx(-10.0)
+
+    def test_workload_set_changes_reported(self, store):
+        seed_bench(store, {"mc.fast": 100.0, "old.only": 5.0})
+        seed_bench(store, {"mc.fast": 100.0, "new.only": 7.0})
+        comparison = compare_bench_runs(store)
+        assert comparison["missing_in_candidate"] == ["old.only"]
+        assert comparison["new_in_candidate"] == ["new.only"]
+        rendered = render_bench_delta(comparison)
+        assert "missing in candidate: old.only" in rendered
+        assert "new in candidate: new.only" in rendered
+
+    def test_empty_db_is_a_clear_error(self, store):
+        with pytest.raises(ConfigurationError,
+                           match="no recorded successful bench run"):
+            compare_bench_runs(store)
+
+    def test_single_run_is_a_clear_error(self, store):
+        seed_bench(store, {"mc.fast": 100.0})
+        with pytest.raises(ConfigurationError, match="no recorded"):
+            compare_bench_runs(store)
+
+    def test_non_bench_ref_rejected(self, store):
+        run_id = store.begin_run("faults", {})
+        store.finish_run(run_id, "ok")
+        with pytest.raises(ConfigurationError, match="not a bench run"):
+            compare_bench_runs(store, candidate=run_id)
+
+    def test_render_contains_both_ids_and_delta(self, store):
+        base = seed_bench(store, {"mc.fast": 100.0})
+        cand = seed_bench(store, {"mc.fast": 150.0})
+        rendered = render_bench_delta(compare_bench_runs(store))
+        assert base[:12] in rendered and cand[:12] in rendered
+        assert "+50.0%" in rendered
+        assert "scale=tiny" in rendered
+
+
+class TestRunsListing:
+    def test_payload_includes_artifacts_and_sweeps(self, store,
+                                                   tmp_path):
+        run_id = store.begin_run("bench", {}, seed=1)
+        artifact = tmp_path / "a.json"
+        artifact.write_text("{}\n")
+        store.add_artifact(run_id, str(artifact))
+        store.finish_run(run_id, "ok")
+        rows = runs_payload(store)
+        assert rows[0]["id"] == run_id
+        assert len(rows[0]["artifacts"]) == 1
+        rendered = render_runs(rows)
+        assert run_id[:12] in rendered
+        assert "bench" in rendered
+
+    def test_filters_apply(self, store):
+        ok = store.begin_run("bench", {})
+        store.finish_run(ok, "ok")
+        bad = store.begin_run("faults", {})
+        store.finish_run(bad, "failed", error="x")
+        assert [r["id"] for r in runs_payload(store,
+                                              subcommand="bench")] == [ok]
+        assert [r["id"] for r in runs_payload(store,
+                                              outcome="failed")] == [bad]
+
+
+class TestPipelinePayload:
+    def test_latest_pipeline_with_steps(self, store):
+        pipeline_id = store.begin_run("pipeline", {"pipeline": "night"})
+        step = store.begin_run("bench", {"step": "b1"},
+                               parent_id=pipeline_id)
+        store.finish_run(step, "ok")
+        store.finish_run(pipeline_id, "ok")
+        payload = pipeline_payload(store)
+        assert payload["pipeline"]["id"] == pipeline_id
+        assert [s["id"] for s in payload["steps"]] == [step]
+        rendered = render_pipeline(payload)
+        assert "night" in rendered and "b1" in rendered
+
+    def test_error_rendered(self, store):
+        pipeline_id = store.begin_run("pipeline", {"pipeline": "p"})
+        store.finish_run(pipeline_id, "failed", error="step x failed")
+        assert "error: step x failed" in \
+            render_pipeline(pipeline_payload(store))
+
+    def test_no_pipeline_is_a_clear_error(self, store):
+        with pytest.raises(ConfigurationError, match="no recorded"):
+            pipeline_payload(store)
+
+    def test_non_pipeline_ref_rejected(self, store):
+        run_id = store.begin_run("bench", {})
+        store.finish_run(run_id, "ok")
+        with pytest.raises(ConfigurationError, match="not a pipeline"):
+            pipeline_payload(store, run_id)
+
+
+class TestCampaigns:
+    def test_faults_and_chaos_rows_merge(self, store):
+        faults = store.begin_run("faults", {})
+        store.finish_run(faults, "ok", summary={
+            "kind": "fault-campaign", "trials": 4,
+            "violation_rate": 0.25, "availability": 0.9,
+            "mean_served": 50.0})
+        time.sleep(0.01)
+        chaos = store.begin_run("chaos", {})
+        store.finish_run(chaos, "failed", summary={
+            "kind": "chaos", "scenarios": ["kill-mid-batch"],
+            "passed": False, "violations": 1}, error="violated")
+        rows = campaigns_payload(store)
+        assert [row["id"] for row in rows] == [chaos, faults]
+        rendered = render_campaigns(rows)
+        assert "viol 25.00%" in rendered
+        assert "violations 1" in rendered

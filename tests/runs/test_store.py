@@ -1,0 +1,204 @@
+"""Run-registry store tests: schema, queries, concurrency, crash-safety."""
+
+import json
+import multiprocessing
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runs.store import OUTCOMES, RunStore, params_digest, sha256_file
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(str(tmp_path / "runs.db")) as opened:
+        yield opened
+
+
+class TestBasics:
+    def test_begin_finish_roundtrip(self, store):
+        run_id = store.begin_run("bench", {"scale": "tiny"}, seed=7)
+        row = store.get_run(run_id)
+        assert row["outcome"] == "running"
+        assert row["params"] == {"scale": "tiny"}
+        assert row["seed"] == 7
+        assert row["pid"] == os.getpid()
+        store.finish_run(run_id, "ok", summary={"workloads": {}})
+        row = store.get_run(run_id)
+        assert row["outcome"] == "ok"
+        assert row["summary"] == {"workloads": {}}
+        assert row["finished_at"] >= row["started_at"]
+
+    def test_run_ids_are_distinct_tokens(self, store):
+        ids = {store.begin_run("bench", {}) for _ in range(20)}
+        assert len(ids) == 20
+        assert all(len(run_id) == 32 for run_id in ids)
+
+    def test_finish_refuses_running_and_unknown(self, store):
+        run_id = store.begin_run("bench", {})
+        with pytest.raises(ConfigurationError):
+            store.finish_run(run_id, "running")
+        with pytest.raises(ConfigurationError):
+            store.finish_run("nope", "ok")
+
+    def test_outcomes_constant(self):
+        assert OUTCOMES == ("running", "ok", "failed", "interrupted")
+
+    def test_artifact_digest_and_dir(self, store, tmp_path):
+        run_id = store.begin_run("bench", {})
+        artifact = tmp_path / "report.json"
+        artifact.write_text('{"a": 1}\n')
+        record = store.add_artifact(run_id, str(artifact))
+        assert record["sha256"] == sha256_file(str(artifact))
+        assert record["bytes"] == artifact.stat().st_size
+        directory = tmp_path / "ledger"
+        directory.mkdir()
+        store.add_artifact(run_id, str(directory))
+        kinds = {a["kind"] for a in store.artifacts(run_id)}
+        assert kinds == {"file", "dir"}
+
+    def test_missing_artifact_raises(self, store):
+        run_id = store.begin_run("bench", {})
+        with pytest.raises(ConfigurationError):
+            store.add_artifact(run_id, "/no/such/file.json")
+
+    def test_find_run_prefix(self, store):
+        run_id = store.begin_run("bench", {})
+        assert store.find_run(run_id[:8])["id"] == run_id
+        with pytest.raises(ConfigurationError):
+            store.find_run("zz-no-such")
+
+    def test_latest_run_filters(self, store):
+        old = store.begin_run("bench", {"scale": "tiny"})
+        store.finish_run(old, "ok")
+        time.sleep(0.01)
+        failed = store.begin_run("bench", {"scale": "tiny"})
+        store.finish_run(failed, "failed", error="boom")
+        assert store.latest_run("bench")["id"] == old
+        assert store.latest_run("bench", outcome=None)["id"] == failed
+        assert store.latest_run("bench", exclude=old,
+                                outcome="ok") is None
+        assert store.latest_run(
+            "bench", params_subset={"scale": "smoke"}) is None
+
+    def test_params_digest_is_order_insensitive(self):
+        assert params_digest({"a": 1, "b": 2}) == \
+            params_digest({"b": 2, "a": 1})
+        assert params_digest({"a": 1}) != params_digest({"a": 2})
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        RunStore(path).close()
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE meta SET value='99' "
+                         "WHERE key='schema_version'")
+        conn.close()
+        with pytest.raises(ConfigurationError, match="newer"):
+            RunStore(path)
+
+
+def _record_one(path: str, index: int) -> None:
+    with RunStore(path) as store:
+        run_id = store.begin_run("bench", {"writer": index}, seed=index)
+        store.finish_run(run_id, "ok", summary={"writer": index})
+
+
+class TestConcurrency:
+    def test_simultaneous_writers_lose_no_rows(self, tmp_path):
+        """Two (and more) simultaneous invocations each get their own
+        row with a distinct id - the WAL + busy-timeout contract."""
+        path = str(tmp_path / "runs.db")
+        RunStore(path).close()
+        context = multiprocessing.get_context("spawn")
+        writers = 8
+        procs = [context.Process(target=_record_one, args=(path, index))
+                 for index in range(writers)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        with RunStore(path) as store:
+            rows = store.list_runs(subcommand="bench", limit=100)
+        assert len(rows) == writers
+        assert len({row["id"] for row in rows}) == writers
+        assert sorted(row["params"]["writer"] for row in rows) == \
+            list(range(writers))
+        assert all(row["outcome"] == "ok" for row in rows)
+
+
+_CRASH_CHILD = """\
+import sys
+from repro.runs.store import RunStore
+with RunStore(sys.argv[1]) as store:
+    store.begin_run("faults", {"trials": 100}, seed=3)
+print("STARTED", flush=True)
+import time
+time.sleep(60)
+"""
+
+
+class TestCrashSafety:
+    def test_sigkilled_run_is_listed_interrupted(self, tmp_path):
+        """A SIGKILL'd process can't finalize its row; the next reader
+        sweeps it to ``interrupted``."""
+        path = str(tmp_path / "runs.db")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(os.path.dirname(__file__),
+                                       "..", "..", "src"),
+                          env.get("PYTHONPATH")]))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _CRASH_CHILD, path],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            assert proc.stdout.readline().strip() == "STARTED"
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            proc.stdout.close()
+            if proc.poll() is None:
+                proc.kill()
+        with RunStore(path) as store:
+            row = store.list_runs(subcommand="faults")[0]
+            assert row["outcome"] == "running"  # crash left it dangling
+            assert store.resolve_interrupted() == 1
+            row = store.list_runs(subcommand="faults")[0]
+        assert row["outcome"] == "interrupted"
+        assert "died" in row["error"]
+
+    def test_live_running_rows_are_not_swept(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        with RunStore(path) as store:
+            store.begin_run("bench", {})  # this process: alive
+            assert store.resolve_interrupted() == 0
+            assert store.list_runs()[0]["outcome"] == "running"
+
+
+class TestRowContents:
+    def test_provenance_columns_recorded(self, store):
+        run_id = store.begin_run("bench", {}, provenance={
+            "git_rev": "abc123", "git_dirty": True, "host": "h1",
+            "pid": 42, "python": "3.12.0", "numpy": "2.0",
+            "platform": "linux"})
+        row = store.get_run(run_id)
+        assert row["git_rev"] == "abc123"
+        assert row["git_dirty"] is True
+        assert row["host"] == "h1"
+        assert row["pid"] == 42
+
+    def test_params_json_roundtrips_nested(self, store):
+        params = {"steps": ["a", "b"], "nested": {"x": 1.5},
+                  "flag": True, "none": None}
+        run_id = store.begin_run("pipeline", params)
+        assert store.get_run(run_id)["params"] == json.loads(
+            json.dumps(params))

@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.gf",
     "repro.pads",
     "repro.passwords",
+    "repro.runs",
     "repro.service",
     "repro.sim",
     "repro.targeting",
