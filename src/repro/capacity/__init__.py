@@ -1,0 +1,49 @@
+"""Capacity planning: online endurance estimation and forecasting.
+
+``repro.capacity`` closes the loop from observed wear to operational
+decisions.  The serving stack already records exact per-switch wear (the
+WAL ledger, the engine's touched state, the fleet ``metrics`` op); this
+package consumes those observations to *learn* the Weibull ``(alpha,
+beta)`` the paper assumes known (Section 2.2), forecast per-tenant
+remaining use with calibrated confidence bounds, and drive two
+consumers: predictive admission control inside the service (advisory
+renewal warnings / optional hard refusals that provably never alter
+wear or WAL bytes) and rebalancing pressure in the fleet telemetry
+plane (``fleet.capacity.*`` gauges).
+
+Layering: :mod:`~repro.capacity.estimator` adapts engine observations
+to the censored MLE in :mod:`repro.core.fitting`;
+:mod:`~repro.capacity.forecast` Monte-Carlos the fitted posterior
+through the exact engine remaining-capacity accounting;
+:mod:`~repro.capacity.policy` holds the per-tenant thresholds and the
+service-side advisor; :mod:`~repro.capacity.calibrate` scores the whole
+chain against pinned ground truth (the CI gate).
+"""
+
+from repro.capacity.calibrate import calibration_sweep, check_calibration
+from repro.capacity.estimator import (
+    CapacityEstimate,
+    estimate_endurance,
+    observations_from_state,
+    pooled_observations,
+)
+from repro.capacity.forecast import (
+    TenantForecast,
+    forecast_remaining,
+    forecast_tenants,
+)
+from repro.capacity.policy import CapacityAdvisor, CapacityPolicy
+
+__all__ = [
+    "CapacityAdvisor",
+    "CapacityEstimate",
+    "CapacityPolicy",
+    "TenantForecast",
+    "calibration_sweep",
+    "check_calibration",
+    "estimate_endurance",
+    "forecast_remaining",
+    "forecast_tenants",
+    "observations_from_state",
+    "pooled_observations",
+]

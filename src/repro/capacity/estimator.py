@@ -1,0 +1,166 @@
+"""Online endurance estimation from censored wear observations.
+
+The serving stack never observes lifetimes directly: a live switch only
+proves its lifetime *exceeds* its current wear, and a failed switch only
+locates its lifetime inside the one-cycle interval its discrete countdown
+can resolve.  This module turns the engine's touched-state observations
+(:meth:`repro.engine.state.WearState.wear_observations`, surfaced
+per-tenant by the service hub and the fleet ``metrics`` op) into the
+censored samples :func:`repro.core.fitting.fit_censored_mle` wants, and
+wraps the pooled fit + bootstrap CIs in a :class:`CapacityEstimate`.
+
+Observation dict schema (one per tenant/instance, produced by
+``WearHub.wear_observations`` and :func:`observations_from_state`)::
+
+    {"values": [...], "events": [...],        # C*n wear counts / failures
+     "bank_dead": [...], "current": int,      # reachability for forecasts
+     "copies": C, "n": n, "k": k,
+     "remaining_capacity": int, "exhausted": bool}
+
+Failure counts are interval-censored: a switch that died at count ``u``
+had its true lifetime in ``(u - 1, u]``, so :func:`pooled_observations`
+applies the midpoint correction ``u - 0.5`` before fitting - without it
+the scale estimate is biased high by up to half a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fitting import BootstrapFit, fit_bootstrap
+from repro.errors import AllCensoredError, ConfigurationError
+
+__all__ = [
+    "CapacityEstimate",
+    "estimate_endurance",
+    "observations_from_state",
+    "pooled_observations",
+]
+
+#: Interval-censoring midpoint correction applied to failure counts.
+EVENT_MIDPOINT = 0.5
+
+
+def observations_from_state(state) -> list[dict]:
+    """Per-instance observation dicts from a batched engine state.
+
+    Duck-typed over :class:`~repro.engine.state.WearState` (anything with
+    ``wear_observations`` / ``remaining_capacity`` and the geometry
+    attributes works).  The full ``C*n`` flattened rows are kept - list
+    index is switch identity - with untouched switches carried as zero
+    wear so forecasters can treat them as unconditional draws.
+    """
+    values, events, _ = state.wear_observations()
+    remaining = state.remaining_capacity()
+    exhausted = state.exhausted
+    out = []
+    for b in range(state.instances):
+        out.append({
+            "values": [float(v) for v in values[b].ravel()],
+            "events": [bool(e) for e in events[b].ravel()],
+            "bank_dead": [bool(d) for d in state.bank_dead[b]],
+            "current": int(state.current[b]),
+            "copies": int(state.copies),
+            "n": int(state.n),
+            "k": int(state.k),
+            "remaining_capacity": int(remaining[b]),
+            "exhausted": bool(exhausted[b]),
+        })
+    return out
+
+
+def pooled_observations(tenants) -> tuple[np.ndarray, np.ndarray]:
+    """Pool every informative observation across tenants, fit-ready.
+
+    ``tenants`` maps name -> observation dict (or is any iterable of
+    observation dicts).  Untouched switches (zero wear) are dropped and
+    failure counts get the interval-midpoint correction.  Returns
+    ``(values, events)`` arrays; empty arrays when nothing informative
+    has been observed yet.
+    """
+    if hasattr(tenants, "values") and not isinstance(tenants, (list, tuple)):
+        items = [tenants[name] for name in sorted(tenants)]
+    else:
+        items = list(tenants)
+    values_out: list[np.ndarray] = []
+    events_out: list[np.ndarray] = []
+    for obs in items:
+        values = np.asarray(obs["values"], dtype=float)
+        events = np.asarray(obs["events"], dtype=bool)
+        if values.shape != events.shape:
+            raise ConfigurationError(
+                "observation dict has mismatched values/events lengths")
+        touched = values > 0
+        values = np.where(events, values - EVENT_MIDPOINT, values)
+        values_out.append(values[touched])
+        events_out.append(events[touched])
+    if not values_out:
+        return (np.empty(0, dtype=float), np.empty(0, dtype=bool))
+    return np.concatenate(values_out), np.concatenate(events_out)
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """A pooled endurance fit with bootstrap uncertainty.
+
+    ``fit`` retains the full :class:`~repro.core.fitting.BootstrapFit`
+    (including the paired per-resample parameter draws the forecaster
+    propagates); the scalar fields are the JSON-friendly projection.
+    """
+
+    alpha: float
+    beta: float
+    alpha_ci: tuple[float, float]
+    beta_ci: tuple[float, float]
+    confidence: float
+    observations: int
+    failures: int
+    fit: BootstrapFit
+
+    @property
+    def censored(self) -> int:
+        return self.observations - self.failures
+
+    def to_payload(self) -> dict:
+        """JSON-safe summary (the retained draws stay in-process)."""
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "alpha_ci": list(self.alpha_ci),
+            "beta_ci": list(self.beta_ci),
+            "confidence": self.confidence,
+            "observations": self.observations,
+            "failures": self.failures,
+            "censored": self.censored,
+            "resamples": self.fit.resamples,
+        }
+
+
+def estimate_endurance(values, events, *, resamples: int = 160,
+                       confidence: float = 0.9,
+                       rng: np.random.Generator | None = None,
+                       ) -> CapacityEstimate:
+    """Fit ``(alpha, beta)`` from pooled censored observations.
+
+    Thin orchestration over :func:`repro.core.fitting.fit_bootstrap`
+    with paired censored resampling.  Raises
+    :class:`~repro.errors.AllCensoredError` when no failure has been
+    observed yet (callers surface that as "insufficient wear", not an
+    error) and :class:`~repro.errors.ConfigurationError` on fewer than
+    two informative observations.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    events = np.asarray(events, dtype=bool).ravel()
+    if values.size == 0:
+        raise AllCensoredError(
+            "no informative wear observations yet (every switch is "
+            "untouched)", observations=0)
+    boot = fit_bootstrap(values, resamples=resamples,
+                         confidence=confidence, rng=rng, events=events)
+    return CapacityEstimate(
+        alpha=boot.point.alpha, beta=boot.point.beta,
+        alpha_ci=boot.alpha_ci, beta_ci=boot.beta_ci,
+        confidence=confidence, observations=int(values.size),
+        failures=int(events.sum()), fit=boot)

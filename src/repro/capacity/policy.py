@@ -1,0 +1,196 @@
+"""Predictive admission control: renewal warnings and capacity refusals.
+
+The advisor closes the loop inside the service without ever touching the
+wear path: it periodically refits endurance from the hub's observation
+snapshot, forecasts every tenant, and then answers two read-only
+questions per request - "should this response carry a renewal warning?"
+and "should this access be refused outright?".  Warnings are annotations
+added to an already-committed response; refusals happen *before* the
+request reaches the batcher, exactly like rate-limit denials, so neither
+consumer can change wear arrays or WAL bytes by a single bit (pinned in
+``tests/service/test_capacity_service.py``).
+
+Thresholds come from :class:`CapacityPolicy` - a service-wide default
+that every tenant can override through the optional ``capacity`` key of
+its provision params (which therefore rides the WAL and snapshots like
+any other provision parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capacity.estimator import (
+    estimate_endurance,
+    pooled_observations,
+)
+from repro.capacity.forecast import TenantForecast, forecast_tenants
+from repro.errors import AllCensoredError, ConfigurationError
+
+__all__ = ["CapacityAdvisor", "CapacityPolicy"]
+
+_POLICY_KEYS = frozenset({"horizon", "warn_probability",
+                          "refuse_probability"})
+
+
+@dataclass(frozen=True)
+class CapacityPolicy:
+    """Per-tenant admission thresholds.
+
+    ``horizon`` is the look-ahead in accesses; a tenant whose predictive
+    P[remaining <= horizon] reaches ``warn_probability`` gets advisory
+    ``renewal_warning`` annotations, and one that reaches
+    ``refuse_probability`` (when non-zero) is refused before batching.
+    ``refuse_probability = 0.0`` means advisory-only.
+    """
+
+    horizon: int = 0
+    warn_probability: float = 0.5
+    refuse_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.horizon < 0:
+            raise ConfigurationError("capacity horizon must be >= 0")
+        if not 0.0 < self.warn_probability <= 1.0:
+            raise ConfigurationError(
+                "capacity warn_probability must lie in (0, 1]")
+        if not 0.0 <= self.refuse_probability <= 1.0:
+            raise ConfigurationError(
+                "capacity refuse_probability must lie in [0, 1]")
+
+    @classmethod
+    def from_params(cls, params, *, default: "CapacityPolicy | None" = None,
+                    ) -> "CapacityPolicy":
+        """Validate a provision-param ``capacity`` dict into a policy.
+
+        ``None`` returns ``default`` (or the class defaults); unknown
+        keys and malformed values raise
+        :class:`~repro.errors.ConfigurationError` so bad policies are
+        rejected at provision time, not at enforcement time.
+        """
+        base = default or cls()
+        if params is None:
+            return base
+        if not isinstance(params, dict):
+            raise ConfigurationError(
+                f"capacity policy must be an object, got "
+                f"{type(params).__name__}")
+        unknown = set(params) - _POLICY_KEYS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown capacity policy keys: {sorted(unknown)}")
+        try:
+            return cls(
+                horizon=int(params.get("horizon", base.horizon)),
+                warn_probability=float(
+                    params.get("warn_probability", base.warn_probability)),
+                refuse_probability=float(
+                    params.get("refuse_probability",
+                               base.refuse_probability)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed capacity policy: {exc}") from None
+
+
+class CapacityAdvisor:
+    """Periodically refit + forecast; answer per-request, read-only.
+
+    The advisor owns its RNG stream (``repro.sim.rng``) and refreshes at
+    most every ``refresh_every`` assessments, so the steady-state cost
+    per request is a dict lookup.  It never mutates the hub - refresh
+    consumes the observation snapshot the hub already exposes.
+    """
+
+    def __init__(self, default: CapacityPolicy, *,
+                 refresh_every: int = 64, resamples: int = 48,
+                 draws: int = 128, confidence: float = 0.9,
+                 seed: int = 0) -> None:
+        from repro.sim.rng import make_rng
+
+        if refresh_every < 1:
+            raise ConfigurationError("refresh_every must be >= 1")
+        self.default = default
+        self.refresh_every = int(refresh_every)
+        self.resamples = int(resamples)
+        self.draws = int(draws)
+        self.confidence = float(confidence)
+        self._rng = make_rng(seed)
+        self._since_refresh = refresh_every  # refresh on first assessment
+        self.estimate = None
+        self.forecasts: dict[str, TenantForecast] = {}
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    def refresh(self, observations: dict) -> None:
+        """Refit pooled endurance and re-forecast every tenant.
+
+        All-censored (or empty) observations clear the forecasts - the
+        advisor stays silent until real wear evidence exists.
+        """
+        self._since_refresh = 0
+        self.refreshes += 1
+        values, events = pooled_observations(observations)
+        try:
+            self.estimate = estimate_endurance(
+                values, events, resamples=self.resamples,
+                confidence=self.confidence, rng=self._rng)
+        except (AllCensoredError, ConfigurationError):
+            self.estimate = None
+            self.forecasts = {}
+            return
+        self.forecasts = forecast_tenants(
+            observations, self.estimate, draws=self.draws,
+            confidence=self.confidence, horizon=self.default.horizon,
+            rng=self._rng)
+
+    def maybe_refresh(self, observations_fn) -> None:
+        """Count one assessment; refresh once the interval elapsed."""
+        self._since_refresh += 1
+        if self._since_refresh > self.refresh_every:
+            self.refresh(observations_fn())
+
+    # ------------------------------------------------------------------
+    def policy_for(self, params: dict | None) -> CapacityPolicy:
+        """The effective policy for a tenant's provision params."""
+        capacity = (params or {}).get("capacity")
+        return CapacityPolicy.from_params(capacity, default=self.default)
+
+    def _risk(self, tenant: str, policy: CapacityPolicy,
+              ) -> tuple[TenantForecast | None, float]:
+        forecast = self.forecasts.get(tenant)
+        if forecast is None:
+            return None, 0.0
+        # A tenant-specific horizon re-reads the retained predictive
+        # draws; no extra Monte Carlo per request.
+        return forecast, forecast.p_exhaust_at(policy.horizon)
+
+    def renewal_warning(self, tenant: str, params: dict | None,
+                        ) -> dict | None:
+        """Advisory payload when forecast risk crosses the warn bar."""
+        policy = self.policy_for(params)
+        forecast, risk = self._risk(tenant, policy)
+        if forecast is None or risk < policy.warn_probability:
+            return None
+        return {
+            "p_exhaust": risk,
+            "horizon": policy.horizon,
+            "remaining_interval": list(forecast.interval),
+            "remaining_mean": forecast.remaining_mean,
+            "confidence": forecast.confidence,
+        }
+
+    def should_refuse(self, tenant: str, params: dict | None,
+                      ) -> dict | None:
+        """Refusal detail when risk crosses a non-zero refuse bar."""
+        policy = self.policy_for(params)
+        if policy.refuse_probability <= 0.0:
+            return None
+        forecast, risk = self._risk(tenant, policy)
+        if forecast is None or risk < policy.refuse_probability:
+            return None
+        return {
+            "p_exhaust": risk,
+            "horizon": policy.horizon,
+            "remaining_interval": list(forecast.interval),
+        }

@@ -27,6 +27,14 @@ Subcommands mirror the workflows a user of the paper's system needs:
   already recorded ok
 - ``report``      cross-run comparisons rendered from the run registry
   alone (``runs``, ``bench``, ``pipeline``, ``campaigns``)
+- ``runs``        run-registry maintenance: ``gc`` prunes old runs
+  (``--keep-days`` / ``--keep-last``) and artifact rows whose files
+  are gone; dry run by default, ``--apply`` deletes
+- ``capacity``    online endurance estimation: ``fit`` pools observed
+  wear (from ledger directories or a live fleet) into a censored
+  Weibull fit plus per-tenant remaining-use forecasts; ``calibrate``
+  replays the pinned ground-truth coverage sweep (``--gate`` exits 5
+  on failure)
 
 Every artifact-producing subcommand records itself in the SQLite run
 registry (``--runs-db`` / ``$REPRO_RUNS_DB`` / ``./runs.db``): resolved
@@ -42,7 +50,8 @@ and ``--obs-metrics`` (recorder on, no sinks - what gives the service
 Exit codes: 0 success, 1 error (or fault-campaign ceiling violations),
 2 usage / checkpoint-mismatch, 3 bench overhead regression, 4 bench
 ``--compare`` throughput regression, 5 bench ``--require-throughput``
-floor violation.
+floor violation, chaos invariant violation, or ``capacity calibrate
+--gate`` failure.
 
 Run ``python -m repro.cli <subcommand> --help`` for per-command options.
 """
@@ -633,6 +642,11 @@ def cmd_serve(args) -> int:
         snapshot_every=args.snapshot_every,
         segment_records=args.segment_records,
         ready_file=args.ready_file,
+        capacity_horizon=args.capacity_horizon,
+        capacity_warn=args.capacity_warn,
+        capacity_refuse=args.capacity_refuse,
+        capacity_refresh=args.capacity_refresh,
+        capacity_seed=args.capacity_seed,
     )
     with _recorder(args, "serve") as run, _obs_session(args):
         with OBS.span("cli.serve", ledger=args.ledger):
@@ -819,6 +833,7 @@ def _fleet_run(args) -> int:
             run.add_artifact(args.json_out)
         run.add_artifact(args.root, digest=False)
         run.set_summary(_fleet_summary(stats))
+        _record_shard_children(run, stats, list(supervisor.restarts))
         if stats["served"] == 0:
             run.record_failure("fleet served no request")
     return 0 if stats["served"] > 0 else 1
@@ -829,6 +844,17 @@ def _fleet_summary(stats: dict) -> dict:
             "requests": stats["requests"], "served": stats["served"],
             "requests_per_s": stats["requests_per_s"],
             "outcomes": stats["outcomes"]}
+
+
+def _record_shard_children(run, stats: dict,
+                           restarts: list[int] | None = None) -> None:
+    """Record one linked child row per shard under the fleet run."""
+    from repro.service.fleet import shard_summaries
+
+    for summary in shard_summaries(stats, restarts):
+        with run.child("fleet-shard",
+                       {"shard": summary["shard"]}) as child:
+            child.set_summary(summary)
 
 
 def _fleet_serve(args) -> int:
@@ -889,6 +915,7 @@ def _fleet_drive(args) -> int:
         if args.json_out:
             run.add_artifact(args.json_out)
         run.set_summary(_fleet_summary(stats))
+        _record_shard_children(run, stats)
         if stats["served"] == 0:
             run.record_failure("fleet served no request")
     return 0 if stats["served"] > 0 else 1
@@ -1001,6 +1028,10 @@ def cmd_report(args) -> int:
                 store, limit=args.limit, subcommand=args.subcommand,
                 outcome=args.outcome)
             text = runs_report.render_runs(payload)
+        elif args.what == "bench" and args.trend:
+            payload = runs_report.bench_trend(
+                store, scale=args.scale, limit=args.limit)
+            text = runs_report.render_bench_trend(payload)
         elif args.what == "bench":
             payload = runs_report.compare_bench_runs(
                 store, baseline=args.baseline, candidate=args.candidate)
@@ -1018,6 +1049,214 @@ def cmd_report(args) -> int:
     else:
         print(text)
     return 0
+
+
+def _capacity_observations(args) -> dict:
+    """Per-tenant wear observations, from ledger dirs or a live fleet."""
+    if bool(args.root) == bool(args.ledger):
+        raise ConfigurationError(
+            "capacity fit needs exactly one observation source: "
+            "--ledger DIR (offline, repeatable) or --root DIR (live "
+            "fleet)")
+    if args.root:
+        from repro.obs.aggregate import collect_fleet_metrics
+
+        snapshot = collect_fleet_metrics(_fleet_map_path(args))
+        observations = snapshot.get("observations") or {}
+        if not observations:
+            raise ConfigurationError(
+                f"no shard under {args.root} reported wear observations "
+                f"(is the fleet serving?)")
+        return observations
+    from repro.service.hub import WearHub
+    from repro.service.ledger import WearLedger
+
+    observations: dict = {}
+    for directory in args.ledger:
+        # Offline fits recover the hub from the durable history alone;
+        # the ledger flock means a live instance's directory is refused
+        # rather than double-read mid-write.
+        ledger = WearLedger(directory)
+        try:
+            hub = WearHub(ledger)
+            hub.recover()
+            shard_obs = hub.wear_observations()
+        finally:
+            ledger.close()
+        duplicates = sorted(set(shard_obs) & set(observations))
+        if duplicates:
+            raise ConfigurationError(
+                f"tenant(s) {', '.join(duplicates)} appear in more than "
+                f"one ledger; each tenant's wear history is single-homed")
+        observations.update(shard_obs)
+    if not observations:
+        raise ConfigurationError(
+            "the ledger(s) hold no provisioned tenants to fit")
+    return observations
+
+
+def _render_capacity_fit(payload: dict) -> str:
+    estimate = payload["estimate"]
+    lines = [
+        f"capacity fit: alpha={estimate['alpha']:.3f} "
+        f"[{estimate['alpha_ci'][0]:.3f}, {estimate['alpha_ci'][1]:.3f}] "
+        f"beta={estimate['beta']:.3f} "
+        f"[{estimate['beta_ci'][0]:.3f}, {estimate['beta_ci'][1]:.3f}] "
+        f"({estimate['confidence']:.0%} bootstrap CIs)",
+        f"  pooled from {estimate['observations']} switch observations "
+        f"({estimate['failures']} failures, {estimate['censored']} "
+        f"censored) across {len(payload['forecasts'])} tenant(s)",
+    ]
+    header = (f"  {'tenant':<14} {'remaining':>24} "
+              f"{'p(exhaust<=' + str(payload['horizon']) + ')':>16} "
+              f"{'engine':>8}")
+    lines.append(header)
+    for name, forecast in payload["forecasts"].items():
+        if forecast["exhausted"]:
+            remaining = "exhausted"
+            risk = "-"
+        else:
+            lo, hi = forecast["interval"]
+            remaining = (f"{forecast['remaining_mean']:.0f} "
+                         f"[{lo:.0f}, {hi:.0f}]")
+            risk = f"{forecast['p_exhaust']:.0%}"
+        lines.append(f"  {name:<14} {remaining:>24} {risk:>16} "
+                     f"{forecast['engine_remaining']:>8}")
+    return "\n".join(lines)
+
+
+def _capacity_fit(args) -> int:
+    from repro.capacity import (
+        estimate_endurance,
+        forecast_tenants,
+        pooled_observations,
+    )
+    from repro.sim.rng import make_rng
+
+    with _recorder(args, "capacity", seed=args.seed) as run, \
+            _obs_session(args):
+        started = time.perf_counter()
+        with OBS.span("cli.capacity_fit"):
+            observations = _capacity_observations(args)
+            values, events = pooled_observations(observations)
+            rng = make_rng(args.seed)
+            estimate = estimate_endurance(values, events,
+                                          resamples=args.resamples,
+                                          confidence=args.confidence,
+                                          rng=rng)
+            forecasts = forecast_tenants(observations, estimate,
+                                         draws=args.draws,
+                                         confidence=args.confidence,
+                                         horizon=args.horizon, rng=rng)
+        payload = {
+            "source": args.root or list(args.ledger),
+            "horizon": args.horizon,
+            "estimate": estimate.to_payload(),
+            "forecasts": {name: forecast.to_payload()
+                          for name, forecast in forecasts.items()},
+            "wall_s": time.perf_counter() - started,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(_render_capacity_fit(payload))
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            run.add_artifact(args.json_out)
+            if not args.json:
+                print(f"capacity fit written to {args.json_out}")
+        run.set_summary({
+            "kind": "capacity-fit",
+            "alpha": estimate.alpha,
+            "beta": estimate.beta,
+            "observations": estimate.observations,
+            "failures": estimate.failures,
+            "tenants": len(forecasts)})
+    return 0
+
+
+def _capacity_calibrate(args) -> int:
+    from repro.capacity import calibration_sweep, check_calibration
+
+    with _recorder(args, "capacity", seed=args.seed) as run, \
+            _obs_session(args):
+        with OBS.span("cli.capacity_calibrate"):
+            payload = calibration_sweep(seed=args.seed)
+        problems = check_calibration(payload)
+        payload["problems"] = problems
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            errors = " -> ".join(
+                f"{err:.4f}" for _, err in
+                sorted(payload["median_rel_err_by_length"].items(),
+                       key=lambda item: int(item[0])))
+            lo, hi = payload["coverage_bounds"]
+            print(f"capacity calibration: coverage "
+                  f"{payload['coverage']:.3f} (bounds [{lo}, {hi}]), "
+                  f"median rel err by trace length {errors}, "
+                  f"{payload['fits']} fits in {payload['wall_s']:.2f}s")
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            run.add_artifact(args.json_out)
+        run.set_summary({
+            "kind": "capacity-calibrate",
+            "coverage": payload["coverage"],
+            "gate_ok": payload["gate_ok"],
+            "fits": payload["fits"]})
+        if problems:
+            for problem in problems:
+                print(f"calibration: {problem}", file=sys.stderr)
+            run.record_failure(f"{len(problems)} calibration problem(s)")
+        elif not args.json:
+            print("calibration gate: PASS")
+    if problems and args.gate:
+        return 5
+    return 0
+
+
+def cmd_runs(args) -> int:
+    from repro.runs.store import RunStore
+
+    with RunStore(args.runs_db) as store:
+        store.resolve_interrupted()
+        report = store.gc(keep_days=args.keep_days,
+                          keep_last=args.keep_last,
+                          dry_run=not args.apply)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    mode = "applied" if args.apply else "dry run; pass --apply to delete"
+    verb = "deleted" if args.apply else "would delete"
+    print(f"runs gc ({mode}): {verb} "
+          f"{len(report['deleted_runs'])} of {report['examined']} "
+          f"run(s) and {report['deleted_artifact_rows']} artifact "
+          f"row(s); {len(report['dead_artifacts'])} dead artifact "
+          f"path(s)")
+    for run_id in report["deleted_runs"]:
+        print(f"  run {run_id[:12]}")
+    for entry in report["dead_artifacts"]:
+        print(f"  dead path {entry['path']} "
+              f"(run {entry['run_id'][:12]})")
+    return 0
+
+
+def cmd_capacity(args) -> int:
+    if args.seed is None:
+        # The calibrate gate only holds at its pinned sweep seed; fit
+        # has no such pin and defaults like every other subcommand.
+        if args.action == "calibrate":
+            from repro.capacity.calibrate import DEFAULT_SEED
+
+            args.seed = DEFAULT_SEED
+        else:
+            args.seed = 0
+    actions = {"fit": _capacity_fit, "calibrate": _capacity_calibrate}
+    return actions[args.action](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1208,6 +1447,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ready-file", metavar="FILE", default=None,
                          help="write the bound host/port to FILE once "
                               "serving")
+    p_serve.add_argument("--capacity-horizon", type=int, default=0,
+                         help="enable the capacity advisor: forecast "
+                              "exhaustion within this many accesses "
+                              "(0 disables)")
+    p_serve.add_argument("--capacity-warn", type=float, default=0.5,
+                         help="annotate ok responses with a "
+                              "renewal_warning once P[exhaustion "
+                              "within horizon] reaches this")
+    p_serve.add_argument("--capacity-refuse", type=float, default=0.0,
+                         help="refuse accesses (status 'capacity', no "
+                              "wear spent) once P[exhaustion within "
+                              "horizon] reaches this (0: advisory "
+                              "only)")
+    p_serve.add_argument("--capacity-refresh", type=int, default=64,
+                         help="accesses between advisor re-fits")
+    p_serve.add_argument("--capacity-seed", type=int, default=0,
+                         help="advisor bootstrap/forecast RNG seed")
     _add_obs_arguments(p_serve)
     _add_record_arguments(p_serve)
     p_serve.set_defaults(func=cmd_serve)
@@ -1349,7 +1605,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the payload as JSON instead of "
                                "ascii tables")
     p_report.add_argument("--limit", type=int, default=20,
-                          help="max rows for runs/campaigns")
+                          help="max rows for runs/campaigns, max runs "
+                               "charted by bench --trend")
+    p_report.add_argument("--trend", action="store_true",
+                          help="bench: chart per-workload throughput "
+                               "across the latest same-scale ok runs "
+                               "instead of diffing two")
+    p_report.add_argument("--scale", default=None,
+                          choices=("tiny", "smoke", "full"),
+                          help="bench --trend: pin the scale (default: "
+                               "the most recent bench run's)")
     p_report.add_argument("--subcommand", default=None,
                           help="runs: filter by subcommand")
     p_report.add_argument("--outcome", default=None,
@@ -1366,6 +1631,66 @@ def build_parser() -> argparse.ArgumentParser:
                           help="pipeline: run id prefix (default: the "
                                "most recent pipeline)")
     p_report.set_defaults(func=cmd_report)
+
+    p_runs = sub.add_parser(
+        "runs", help="run-registry maintenance")
+    p_runs.add_argument("action", choices=("gc",),
+                        help="gc: prune old runs and dead artifact "
+                             "rows (dry run unless --apply)")
+    p_runs.add_argument("--keep-days", type=float, default=None,
+                        metavar="DAYS",
+                        help="delete finished runs older than DAYS")
+    p_runs.add_argument("--keep-last", type=int, default=None,
+                        metavar="N",
+                        help="always keep each subcommand's newest N "
+                             "runs, whatever their age")
+    p_runs.add_argument("--apply", action="store_true",
+                        help="actually delete (default: report only)")
+    p_runs.add_argument("--json", action="store_true",
+                        help="emit the gc report as JSON")
+    p_runs.add_argument("--runs-db", metavar="FILE", default=None,
+                        help="run-registry database (default: "
+                             "$REPRO_RUNS_DB, else ./runs.db)")
+    p_runs.set_defaults(func=cmd_runs)
+
+    p_cap = sub.add_parser(
+        "capacity", help="online endurance estimation and forecasting")
+    p_cap.add_argument("action", choices=("fit", "calibrate"),
+                       help="fit: censored Weibull fit + per-tenant "
+                            "remaining-use forecasts from observed "
+                            "wear; calibrate: pinned ground-truth "
+                            "coverage sweep")
+    p_cap.add_argument("--ledger", metavar="DIR", action="append",
+                       default=[],
+                       help="fit: wear-ledger directory to recover "
+                            "observations from (repeatable; offline)")
+    p_cap.add_argument("--root", metavar="DIR", default=None,
+                       help="fit: poll a live fleet's shards for "
+                            "observations instead of reading ledgers")
+    p_cap.add_argument("--horizon", type=int, default=0,
+                       help="accesses ahead for the exhaustion "
+                            "probability (0: report intervals only)")
+    p_cap.add_argument("--resamples", type=int, default=160,
+                       help="bootstrap resamples for the parameter CIs")
+    p_cap.add_argument("--draws", type=int, default=256,
+                       help="predictive Monte Carlo draws per tenant")
+    p_cap.add_argument("--confidence", type=float, default=0.9,
+                       help="two-sided CI / forecast-interval level")
+    p_cap.add_argument("--seed", type=int, default=None,
+                       help="fit: bootstrap/forecast RNG seed "
+                            "(default 0); calibrate: sweep base seed "
+                            "(default: the pinned gate seed)")
+    p_cap.add_argument("--gate", action="store_true",
+                       help="calibrate: exit 5 unless coverage lands "
+                            "in bounds and the error curve shrinks "
+                            "with trace length")
+    p_cap.add_argument("--json", action="store_true",
+                       help="emit the payload as JSON instead of text")
+    p_cap.add_argument("--json-out", metavar="FILE", default=None,
+                       help="also write the payload to FILE")
+    _add_obs_arguments(p_cap)
+    _add_record_arguments(p_cap)
+    p_cap.set_defaults(func=cmd_capacity)
     return parser
 
 

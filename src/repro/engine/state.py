@@ -242,6 +242,23 @@ class WearState:
         return np.where(reachable, self.remaining_bank_budgets(),
                         0).sum(axis=1)
 
+    def wear_observations(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-switch censored lifetime observations for endurance fits.
+
+        Returns ``(values, events, touched)``, each shaped ``(B, C, n)``:
+        ``values`` is the accumulated cycle count of every switch as a
+        float, ``events`` marks failed switches (their count is an exact
+        lifetime up to the interval ``(used - 1, used]`` a discrete
+        countdown can resolve) and ``touched`` marks switches with any
+        wear at all.  A touched, unfailed switch is a right-censored
+        observation - its lifetime provably exceeds its current wear -
+        while untouched switches carry no information and must be
+        excluded from fits.  Pure query; nothing is mutated.
+        """
+        touched = self.used > 0
+        events = touched & (self.used >= self.lifetime)
+        return self.used.astype(np.float64), events, touched
+
     # ------------------------------------------------------------------
     # Stepped kernel
     def step_access(self, mask: np.ndarray | None = None,

@@ -100,6 +100,25 @@ class ConfigurationError(ReproError):
     """Invalid user-supplied parameters (negative counts, k > n, ...)."""
 
 
+class AllCensoredError(ConfigurationError):
+    """A censored-data fit was asked to run with zero failure events.
+
+    The censored Weibull likelihood is unbounded when every observation
+    is right-censored (any scale large enough explains "still alive"),
+    so there is no MLE to report.  Kept distinct from plain
+    :class:`ConfigurationError` so capacity estimators can tell "not
+    enough wear observed yet" apart from malformed input - and so the
+    bootstrap's degenerate-resample fallback still catches it.
+
+    ``observations`` carries how many observations were supplied (all of
+    them censored) when the raiser knows it.
+    """
+
+    def __init__(self, message: str, *, observations: int | None = None) -> None:
+        super().__init__(message)
+        self.observations = observations
+
+
 class ParallelExecutionError(ReproError):
     """A shard of a parallel campaign failed after exhausting its retries.
 

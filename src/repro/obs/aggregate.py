@@ -10,8 +10,10 @@ each holds a private recorder; this module turns that into one view:
   per-shard registry snapshots **exactly** (fleet percentiles are
   bit-identical to a single registry that saw every sample - the
   histogram-partials property pinned by the merge tests) and unions
-  the per-tenant wear gauges (tenants are hash-partitioned, so the
-  union is disjoint);
+  the per-tenant wear gauges and censored wear observations (tenants
+  are hash-partitioned, so both unions are disjoint), attaching a
+  fleet-level capacity outlook (:func:`fleet_capacity_outlook`) fitted
+  from the pooled observations;
 - :func:`render_fleet_top` renders that snapshot as the ``repro fleet
   top`` ascii dashboard (via :func:`repro.viz.ascii.table`), with
   request-rate deltas when a previous snapshot is supplied;
@@ -44,6 +46,7 @@ __all__ = [
     "poll_shard_metrics",
     "collect_fleet_metrics",
     "build_fleet_snapshot",
+    "fleet_capacity_outlook",
     "render_fleet_top",
     "fleet_timeline",
 ]
@@ -122,6 +125,7 @@ def build_fleet_snapshot(shard_reports: list[dict],
     """
     merged = MetricsRegistry()
     tenants: dict[str, dict] = {}
+    observations: dict[str, dict] = {}
     shards_out: list[dict] = []
     for report in shard_reports:
         index = report["index"]
@@ -141,10 +145,15 @@ def build_fleet_snapshot(shard_reports: list[dict],
             entry["service"] = response.get("service") or {}
             entry["tenants"] = response.get("tenants") or {}
             entry["metrics"] = response.get("metrics")
+            entry["capacity"] = response.get("capacity")
             if entry["metrics"]:
                 merged.merge(entry["metrics"])
             for name, gauges in entry["tenants"].items():
                 tenants[name] = dict(gauges, shard=index)
+            # Tenants are hash-partitioned across shards, so the union
+            # of observation dicts is disjoint, like the wear gauges.
+            for name, obs in (response.get("observations") or {}).items():
+                observations[name] = dict(obs, shard=index)
         shards_out.append(entry)
     totals = {
         "shards": len(shards_out),
@@ -168,12 +177,60 @@ def build_fleet_snapshot(shard_reports: list[dict],
         "wall_time": time.time(),
         "shards": shards_out,
         "tenants": tenants,
+        "observations": observations,
+        "capacity": fleet_capacity_outlook(observations),
         "merged": merged.snapshot(),
         "totals": totals,
     }
     if map_path is not None:
         snapshot["map_path"] = map_path
     return snapshot
+
+
+def fleet_capacity_outlook(observations: dict, *, resamples: int = 48,
+                           draws: int = 128, confidence: float = 0.9,
+                           horizon: int = 0, seed: int = 0) -> dict | None:
+    """Fleet-level endurance fit + per-tenant forecasts, as plain data.
+
+    Shards do not need to run their own advisors for the fleet to have
+    a capacity outlook: the supervisor (or an external ``repro fleet
+    top`` / ``capacity fit --live`` observer) pools the per-tenant wear
+    observations every ``metrics`` poll already carries and fits here.
+    Returns ``None`` while the fleet has no failure evidence yet (all
+    observations censored), and is deterministic given the observations
+    (pinned ``seed`` through :mod:`repro.sim.rng`).
+    """
+    if not observations:
+        return None
+    from repro.capacity import (
+        estimate_endurance,
+        forecast_tenants,
+        pooled_observations,
+    )
+    from repro.errors import AllCensoredError, ConfigurationError
+    from repro.sim.rng import make_rng
+
+    rng = make_rng(seed)
+    values, events = pooled_observations(observations)
+    try:
+        estimate = estimate_endurance(values, events, resamples=resamples,
+                                      confidence=confidence, rng=rng)
+    except (AllCensoredError, ConfigurationError):
+        return None
+    forecasts = forecast_tenants(observations, estimate, draws=draws,
+                                 confidence=confidence, horizon=horizon,
+                                 rng=rng)
+    payloads = {name: forecast.to_payload()
+                for name, forecast in forecasts.items()}
+    return {
+        "estimate": estimate.to_payload(),
+        "forecasts": payloads,
+        "horizon": horizon,
+        "at_risk": sorted(name for name, forecast in payloads.items()
+                          if forecast["p_exhaust"] >= 0.5),
+        "remaining_mean_total": float(sum(
+            forecast["remaining_mean"] for forecast in payloads.values())),
+    }
 
 
 _TOP_HISTOGRAMS = (("request latency", "svc.request_latency_s"),
@@ -208,6 +265,21 @@ def render_fleet_top(snapshot: dict, previous: dict | None = None,
                      - (previous.get("totals") or {}).get("requests", 0))
             header += f" | {delta / dt:,.0f} req/s"
     sections = [header]
+
+    capacity = snapshot.get("capacity") or {}
+    estimate = capacity.get("estimate")
+    if estimate:
+        at_risk = capacity.get("at_risk") or []
+        sections.append(
+            f"capacity outlook: alpha={estimate['alpha']:.2f} "
+            f"beta={estimate['beta']:.2f} "
+            f"({estimate['failures']}/{estimate['observations']} failures "
+            f"observed) | forecast remaining "
+            f"{capacity.get('remaining_mean_total', 0.0):,.0f} accesses | "
+            f"{len(at_risk)} tenants at risk"
+            + (f" ({', '.join(at_risk[:4])}"
+               + (", ..." if len(at_risk) > 4 else "") + ")"
+               if at_risk else ""))
 
     shard_rows = []
     for shard in snapshot.get("shards") or ():
@@ -251,15 +323,26 @@ def render_fleet_top(snapshot: dict, previous: dict | None = None,
             latency_rows, title="fleet-merged histograms (exact merge)"))
 
     tenants = snapshot.get("tenants") or {}
+    forecasts = capacity.get("forecasts") or {}
     ordered = sorted(tenants.items(),
                      key=lambda item: (-item[1].get(
                          "lifetime_used_fraction", 0.0), item[0]))
     tenant_rows = []
     for name, gauges in ordered[:max_tenants]:
+        forecast = forecasts.get(name)
+        if forecast:
+            lo, hi = forecast["interval"]
+            forecast_cell = f"{forecast['remaining_mean']:.0f} " \
+                            f"[{lo:.0f}, {hi:.0f}]"
+            risk_cell = f"{forecast['p_exhaust']:.0%}"
+        else:
+            forecast_cell = risk_cell = "-"
         tenant_rows.append((
             name,
             str(gauges.get("shard", "-")),
             _format_number(gauges.get("remaining_capacity")),
+            forecast_cell,
+            risk_cell,
             f"{gauges.get('lifetime_used_fraction', 0.0):.1%}",
             _format_number(gauges.get("wear_cycles")),
             _format_number(gauges.get("served")),
@@ -268,8 +351,8 @@ def render_fleet_top(snapshot: dict, previous: dict | None = None,
         ))
     if tenant_rows:
         sections.append(table(
-            ("tenant", "shard", "remaining", "life used", "wear",
-             "served", "copy", "exhausted"),
+            ("tenant", "shard", "remaining", "forecast", "risk",
+             "life used", "wear", "served", "copy", "exhausted"),
             tenant_rows, title="tenant wear gauges (most worn first)"))
         if len(ordered) > max_tenants:
             sections.append(f"(+{len(ordered) - max_tenants} more tenants "

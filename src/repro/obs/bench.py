@@ -43,6 +43,15 @@ by :class:`~repro.service.fleet.FleetClient`) driven end to end by
 :func:`~repro.service.fleet.run_fleet_loadgen`, recording aggregate
 throughput plus the per-shard request split.
 
+Schema 5 adds a ``capacity`` section and the ``capacity.estimate``
+workload row.  The workload times the censored-fit + forecast pipeline
+(:func:`repro.capacity.calibrate.calibration_sweep`) at a scale-sized
+instance count; the section runs the sweep at its *pinned defaults*
+regardless of scale, because its ``gate_ok`` verdict - nominal-90%
+forecast coverage inside tolerance AND median ``(alpha, beta)``
+relative error shrinking monotonically with trace length - is only
+guaranteed at those settings.  CI gates on the section, not the row.
+
 Two reports of the same scale are diffed by
 :func:`compare_bench_reports`, which flags any workload whose throughput
 regressed by more than the threshold - ``repro bench --compare`` wires
@@ -80,6 +89,7 @@ __all__ = [
     "SCALES",
     "SCALING_WORKERS",
     "compare_bench_reports",
+    "measure_capacity_calibration",
     "measure_disabled_overhead",
     "measure_engine_speedup",
     "measure_fleet_load",
@@ -93,7 +103,7 @@ __all__ = [
     "write_bench_report",
 ]
 
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: Workload sizes per scale.  "smoke" finishes in a few seconds (CI);
 #: "full" gives tighter percentiles for committed milestone reports;
@@ -119,6 +129,7 @@ SCALES: dict[str, dict] = {
         "fleet_tenants": 4,
         "fleet_requests": 16,
         "fleet_concurrency": 4,
+        "capacity_instances": 16,
     },
     "smoke": {
         "repeats": 3,
@@ -140,6 +151,7 @@ SCALES: dict[str, dict] = {
         "fleet_tenants": 6,
         "fleet_requests": 120,
         "fleet_concurrency": 8,
+        "capacity_instances": 32,
     },
     "full": {
         "repeats": 7,
@@ -161,6 +173,7 @@ SCALES: dict[str, dict] = {
         "fleet_tenants": 12,
         "fleet_requests": 600,
         "fleet_concurrency": 16,
+        "capacity_instances": 48,
     },
 }
 
@@ -328,6 +341,25 @@ def _workload_svc_fleet(params: dict, seed: int) -> tuple:
     return params["fleet_requests"], "requests", stats["elapsed_s"]
 
 
+def _workload_capacity_estimate(params: dict, seed: int) -> tuple[int, str]:
+    """Time the censored-fit + forecast pipeline on ground-truth sweeps.
+
+    The seed offset keeps the workload's substreams disjoint from the
+    section's pinned gate sweep; accuracy is NOT judged here (small
+    instance counts at tiny/smoke scales are too noisy for the gate),
+    only fit+forecast throughput.  The tight (12, 8) gate cell is
+    dropped: at 16 instances it can all-censor on unlucky seeds, and a
+    timing row must never depend on luck.
+    """
+    from repro.capacity.calibrate import calibration_sweep
+
+    payload = calibration_sweep(grid=((9.0, 5.0), (10.0, 3.5)),
+                                instances=params["capacity_instances"],
+                                resamples=40, draws=96,
+                                seed=7000 + seed)
+    return payload["fits"], "fits"
+
+
 _WORKLOADS = (
     ("mc.fast", _workload_mc_fast),
     ("mc.checkpointed", _workload_mc_checkpointed),
@@ -338,6 +370,7 @@ _WORKLOADS = (
     ("checkpoint.roundtrip", _workload_checkpoint_roundtrip),
     ("svc.loadgen", _workload_svc_loadgen),
     ("svc.fleet", _workload_svc_fleet),
+    ("capacity.estimate", _workload_capacity_estimate),
 )
 
 
@@ -567,6 +600,23 @@ def measure_service_load(params: dict, seed: int = 0) -> dict:
     }
 
 
+def measure_capacity_calibration() -> dict:
+    """The pinned estimator calibration sweep, gate verdict included.
+
+    Always runs :func:`repro.capacity.calibrate.calibration_sweep` at
+    its pinned defaults - grid, trace lengths, instance count, resample
+    and draw budgets, seed - because the coverage and error-monotonicity
+    gates are calibrated for exactly those settings; scale never changes
+    them.  The full per-cell table rides in the report so a gate
+    failure is diagnosable from the artifact alone.
+    """
+    from repro.capacity.calibrate import calibration_sweep, check_calibration
+
+    payload = calibration_sweep()
+    payload["problems"] = check_calibration(payload)
+    return payload
+
+
 def measure_fleet_load(params: dict, seed: int = 0) -> dict:
     """Multi-shard fleet throughput plus the per-shard request split.
 
@@ -708,6 +758,7 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
                                     repeats=repeats)
     service = measure_service_load(params, seed=seed)
     fleet = measure_fleet_load(params, seed=seed)
+    capacity = measure_capacity_calibration()
     memory = measure_memory_ceilings(scale, seed=seed)
     from repro.runs.provenance import collect_provenance
 
@@ -731,6 +782,7 @@ def run_bench_suite(scale: str = "smoke", seed: int = 0,
         "engine": engine,
         "service": service,
         "fleet": fleet,
+        "capacity": capacity,
         "memory": memory,
     }
 
@@ -758,16 +810,21 @@ _REQUIRED_FLEET_KEYS = ("workload", "shards", "tenants", "requests",
                         "reconnects")
 _REQUIRED_MEMORY_KEYS = ("platform", "workloads")
 _REQUIRED_MEMORY_ROW_KEYS = ("name", "peak_rss_bytes", "peak_rss_mib")
+_REQUIRED_CAPACITY_KEYS = ("schema_version", "grid", "trace_lengths",
+                           "instances", "fits", "coverage",
+                           "coverage_bounds", "median_rel_err_by_length",
+                           "error_monotone", "coverage_ok", "gate_ok")
 #: Schema versions the validator accepts; 1 predates the engine section,
-#: 2 predates the service and memory sections, 3 predates fleet.
-_ACCEPTED_SCHEMA_VERSIONS = (1, 2, 3, BENCH_SCHEMA_VERSION)
+#: 2 predates the service and memory sections, 3 predates fleet,
+#: 4 predates capacity.
+_ACCEPTED_SCHEMA_VERSIONS = (1, 2, 3, 4, BENCH_SCHEMA_VERSION)
 
 
 def validate_bench_report(payload: dict) -> None:
     """Raise :class:`ConfigurationError` unless ``payload`` is a valid
-    bench report (schema 1-4; the ``engine`` section arrived in 2, the
-    ``service`` and ``memory`` sections in 3, the ``fleet`` section
-    in 4)."""
+    bench report (schema 1-5; the ``engine`` section arrived in 2, the
+    ``service`` and ``memory`` sections in 3, the ``fleet`` section in
+    4, the ``capacity`` section in 5)."""
     if not isinstance(payload, dict):
         raise ConfigurationError("bench report must be a JSON object")
     if payload.get("schema_version") not in _ACCEPTED_SCHEMA_VERSIONS \
@@ -846,6 +903,15 @@ def validate_bench_report(payload: dict) -> None:
         if payload["fleet"]["shards"] < 2:
             raise ConfigurationError(
                 "bench fleet section must span at least 2 shards")
+    if payload["schema_version"] >= 5:
+        if "capacity" not in payload:
+            raise ConfigurationError(
+                "schema-5 bench report is missing its capacity section")
+        bad = [key for key in _REQUIRED_CAPACITY_KEYS
+               if key not in payload["capacity"]]
+        if bad:
+            raise ConfigurationError(
+                f"bench report capacity section is missing {bad}")
 
 
 def compare_bench_reports(baseline: dict, candidate: dict,
@@ -1066,6 +1132,16 @@ def render_bench_report(payload: dict) -> str:
             f"(per-shard split {fleet['per_shard_requests']}, "
             f"{fleet['busy_retries']} busy retries, "
             f"{fleet['reconnects']} reconnects); outcomes: {outcomes}")
+    capacity = payload.get("capacity")
+    if capacity:
+        curve = " -> ".join(
+            f"{capacity['median_rel_err_by_length'][str(length)]:.4f}"
+            for length in capacity["trace_lengths"])
+        verdict = "PASS" if capacity["gate_ok"] else "FAIL"
+        lines.append(
+            f"capacity calibration: coverage {capacity['coverage']:.3f} "
+            f"(bounds {capacity['coverage_bounds']}), median rel err by "
+            f"trace length {curve}, gate {verdict}")
     memory = payload.get("memory")
     if memory:
         ceilings = ", ".join(

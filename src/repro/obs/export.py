@@ -10,8 +10,9 @@ This module is the *format* half of the fleet telemetry plane (the
 - :func:`render_prometheus` - a fleet snapshot (see
   :func:`repro.obs.aggregate.build_fleet_snapshot`) as a
   Prometheus-style text exposition: per-shard liveness/RSS/restart
-  gauges, per-tenant wear gauges, and the merged registry's counters,
-  gauges and histogram summaries.
+  gauges, per-tenant wear gauges, the fleet capacity outlook
+  (``repro_fleet_capacity_*`` and per-tenant forecast gauges), and the
+  merged registry's counters, gauges and histogram summaries.
 - Timeline assembly - :func:`read_trace_events` /
   :func:`read_wal_events` / :func:`merge_timelines` /
   :func:`write_timeline` build one merged JSONL timeline out of
@@ -172,6 +173,32 @@ def render_prometheus(fleet_snapshot: dict) -> str:
             lines.append(_sample(
                 _metric_name("tenant.remaining_bank_budget"),
                 budget, copy_labels))
+    capacity = fleet_snapshot.get("capacity") or {}
+    estimate = capacity.get("estimate")
+    if estimate:
+        for key in ("alpha", "beta", "observations", "failures"):
+            line = _sample(_metric_name(f"fleet.capacity.{key}"),
+                           estimate.get(key))
+            if line:
+                lines.append(line)
+        lines.append(_sample(_metric_name("fleet.capacity.at_risk"),
+                             len(capacity.get("at_risk") or ())))
+        lines.append(_sample(
+            _metric_name("fleet.capacity.remaining_mean_total"),
+            capacity.get("remaining_mean_total")))
+    for tenant, forecast in (capacity.get("forecasts") or {}).items():
+        labels = {"tenant": tenant}
+        for key in ("remaining_mean", "remaining_median", "p_exhaust"):
+            line = _sample(_metric_name(f"tenant.forecast.{key}"),
+                           forecast.get(key), labels)
+            if line:
+                lines.append(line)
+        lo, hi = forecast.get("interval") or (None, None)
+        for key, value in (("interval_lo", lo), ("interval_hi", hi)):
+            line = _sample(_metric_name(f"tenant.forecast.{key}"),
+                           value, labels)
+            if line:
+                lines.append(line)
     merged = fleet_snapshot.get("merged")
     if merged:
         lines.extend(_registry_lines(merged))

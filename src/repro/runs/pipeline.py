@@ -187,7 +187,7 @@ def _exec_fleet(step: PipelineStep, seed: int, workdir: str,
                 recorder: RunRecorder, store: RunStore) -> dict:
     import asyncio
 
-    from repro.service.fleet import run_fleet_loadgen
+    from repro.service.fleet import run_fleet_loadgen, shard_summaries
     from repro.service.supervisor import FleetSupervisor
 
     params = step.params
@@ -214,6 +214,12 @@ def _exec_fleet(step: PipelineStep, seed: int, workdir: str,
         "outcomes": stats["outcomes"],
     }
     recorder.set_summary(summary)
+    # Per-shard breakdown rows linked under this step, so the pipeline
+    # report can expand a fleet step without opening its artifact.
+    for shard in shard_summaries(stats, list(supervisor.restarts)):
+        with recorder.child("fleet-shard",
+                            {"shard": shard["shard"]}) as child:
+            child.set_summary(shard)
     if stats["served"] == 0:
         recorder.record_failure("fleet served no request")
     return summary

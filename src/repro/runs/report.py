@@ -6,8 +6,11 @@ for, without touching any artifact file:
 - ``runs``      - what ran, when, with what outcome (and what it wrote)
 - ``bench``     - per-workload throughput deltas between two recorded
   bench runs (each bench run stores a compact per-workload summary in
-  its row, so the comparison is rendered from the database alone)
-- ``pipeline``  - one pipeline row plus its linked step runs
+  its row, so the comparison is rendered from the database alone);
+  ``--trend`` charts each workload's throughput as a sparkline across
+  the latest same-scale successful runs instead
+- ``pipeline``  - one pipeline row plus its linked step runs (fleet
+  steps expand one level further into their per-shard child rows)
 - ``campaigns`` - fault-campaign and chaos outcomes across runs
 
 Every renderer has a JSON-safe payload twin, so ``--json`` emits the
@@ -24,10 +27,12 @@ from repro.viz.ascii import table
 
 __all__ = [
     "bench_run_summary",
+    "bench_trend",
     "campaigns_payload",
     "compare_bench_runs",
     "pipeline_payload",
     "render_bench_delta",
+    "render_bench_trend",
     "render_campaigns",
     "render_pipeline",
     "render_runs",
@@ -228,6 +233,107 @@ def render_bench_delta(comparison: dict) -> str:
 
 
 # ----------------------------------------------------------------------
+# bench trend
+def bench_trend(store: RunStore, *, scale: str | None = None,
+                limit: int = 8) -> dict:
+    """Throughput series over the latest same-scale ok bench runs.
+
+    ``scale`` defaults to the most recent successful bench run's scale
+    (mixing scales in one trend would chart workload sizing, not code
+    speed).  Series are oldest-first, one slot per run; a workload
+    absent from some run gets ``None`` in that slot.
+    """
+    store.resolve_interrupted()
+    matching: list[dict] = []
+    for run in store.list_runs(subcommand="bench", outcome="ok",
+                               limit=500):
+        summary = run.get("summary") or {}
+        if not summary.get("workloads"):
+            continue
+        if scale is None:
+            scale = summary.get("scale")
+        if summary.get("scale") != scale:
+            continue
+        matching.append(run)
+        if len(matching) >= limit:
+            break
+    if not matching:
+        wanted = f" at scale {scale!r}" if scale else ""
+        raise ConfigurationError(
+            f"no recorded successful bench run{wanted} in "
+            f"{store.path!r}; run `repro bench` (with recording "
+            f"enabled) first")
+    matching.reverse()
+    names = sorted({name for run in matching
+                    for name in run["summary"]["workloads"]})
+    workloads = {}
+    for name in names:
+        series: list[float | None] = []
+        unit = ""
+        for run in matching:
+            workload = run["summary"]["workloads"].get(name)
+            series.append(None if workload is None
+                          else workload["throughput_per_s"])
+            if workload is not None:
+                unit = workload.get("unit", unit)
+        workloads[name] = {"unit": unit, "throughput_per_s": series}
+    return {
+        "kind": "bench-trend",
+        "scale": scale,
+        "runs": [{"id": run["id"], "started": _when(run["started_at"]),
+                  "date": (run["summary"] or {}).get("date"),
+                  "git_rev": run.get("git_rev")} for run in matching],
+        "workloads": workloads,
+    }
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(series: list) -> str:
+    """Min-max scaled sparkline; ``·`` marks a missing/zero slot."""
+    present = [value for value in series if value]
+    if not present:
+        return "-"
+    lo, hi = min(present), max(present)
+    chars = []
+    for value in series:
+        if not value:
+            chars.append("·")
+        elif hi == lo:
+            chars.append(_SPARK_CHARS[len(_SPARK_CHARS) // 2])
+        else:
+            index = int((value - lo) / (hi - lo)
+                        * (len(_SPARK_CHARS) - 1))
+            chars.append(_SPARK_CHARS[index])
+    return "".join(chars)
+
+
+def render_bench_trend(payload: dict) -> str:
+    """Render a ``bench_trend`` payload as a sparkline table."""
+    body = []
+    for name, workload in payload["workloads"].items():
+        series = workload["throughput_per_s"]
+        present = [value for value in series if value]
+        last = present[-1] if present else None
+        delta = None
+        if len(present) > 1 and present[0]:
+            delta = (present[-1] - present[0]) / present[0] * 100.0
+        body.append((
+            name,
+            _sparkline(series),
+            f"{last:,.0f} {workload['unit']}/s" if last else "-",
+            f"{delta:+.1f}%" if delta is not None else "-",
+        ))
+    runs = payload["runs"]
+    span = (f"{runs[0]['started']} -> {runs[-1]['started']}"
+            if len(runs) > 1 else runs[0]["started"])
+    return table(("workload", "trend", "latest", "vs first"), body,
+                 title=f"bench trend: {len(runs)} run(s) at scale "
+                       f"{payload['scale']} ({span})")
+
+
+# ----------------------------------------------------------------------
 # pipeline summary
 def pipeline_payload(store: RunStore,
                      pipeline: str | None = None) -> dict:
@@ -247,7 +353,20 @@ def pipeline_payload(store: RunStore,
     steps = store.children(row["id"])
     for step in steps:
         step["artifacts"] = store.artifacts(step["id"])
+        # One more level down: fleet steps record per-shard summaries
+        # as their own child rows, and the report shows the breakdown.
+        step["children"] = store.children(step["id"])
     return {"pipeline": row, "steps": steps}
+
+
+def _shard_detail(child: dict) -> str:
+    summary = child.get("summary") or {}
+    parts = [f"{summary.get('requests', '-')} req"]
+    if summary.get("share") is not None:
+        parts.append(f"{summary['share']:.0%}")
+    if summary.get("restarts"):
+        parts.append(f"{summary['restarts']} restart(s)")
+    return " ".join(parts)
 
 
 def render_pipeline(payload: dict) -> str:
@@ -263,6 +382,20 @@ def render_pipeline(payload: dict) -> str:
             str(len(step.get("artifacts", []))),
             _short(step["id"]),
         ))
+        for child in step.get("children", []):
+            summary = child.get("summary") or {}
+            label = (f"shard {summary['shard']}"
+                     if summary.get("shard") is not None
+                     else child["subcommand"])
+            body.append((
+                f"  - {label}",
+                _shard_detail(child),
+                child["outcome"],
+                _when(child["started_at"]),
+                _duration(child),
+                str(len(child.get("artifacts", []) or [])),
+                _short(child["id"]),
+            ))
     name = row["params"].get("pipeline", "-")
     text = table(("step", "kind", "outcome", "started", "wall",
                   "artifacts", "run"), body,

@@ -276,6 +276,100 @@ class RunStore:
                     (time.time(), run_id))
         return len(dead)
 
+    def gc(self, *, keep_days: float | None = None,
+           keep_last: int | None = None,
+           dry_run: bool = True) -> dict:
+        """Prune old runs and artifact rows whose files are gone.
+
+        Two independent sweeps, reported (and with ``dry_run=True``,
+        *only* reported) in the returned dict:
+
+        - **runs**: finished rows older than ``keep_days`` are deleted,
+          except that the newest ``keep_last`` rows of each subcommand
+          always survive.  With neither bound given no run is touched.
+          Linked trees live or die together: a parent whose any child
+          survives is kept, and a child whose parent survives is kept
+          (deleting either alone would orphan the pipeline report).
+        - **artifacts**: rows of *surviving* runs whose recorded path no
+          longer exists on disk are pruned - the registry stops
+          advertising files an operator already cleaned up.
+        """
+        if keep_days is not None and keep_days < 0:
+            raise ConfigurationError("keep_days must be >= 0")
+        if keep_last is not None and keep_last < 0:
+            raise ConfigurationError("keep_last must be >= 0")
+        now = time.time()
+        rows = self._conn.execute(
+            "SELECT id, parent_id, subcommand, outcome, started_at, "
+            "finished_at FROM runs "
+            "ORDER BY started_at DESC, id DESC").fetchall()
+        deletable: set[str] = set()
+        if keep_days is not None or keep_last is not None:
+            cutoff = (None if keep_days is None
+                      else now - keep_days * 86400.0)
+            rank: dict[str, int] = {}
+            for row in rows:
+                if row["outcome"] == "running":
+                    continue
+                seen = rank.get(row["subcommand"], 0)
+                rank[row["subcommand"]] = seen + 1
+                if keep_last is not None and seen < keep_last:
+                    continue
+                stamp = row["finished_at"] or row["started_at"]
+                if cutoff is not None and stamp >= cutoff:
+                    continue
+                deletable.add(row["id"])
+            parent_of = {row["id"]: row["parent_id"] for row in rows}
+            changed = True
+            while changed:
+                changed = False
+                for run_id, parent_id in parent_of.items():
+                    if parent_id is None or parent_id not in parent_of:
+                        continue
+                    if run_id not in deletable and parent_id in deletable:
+                        deletable.discard(parent_id)
+                        changed = True
+                    elif run_id in deletable \
+                            and parent_id not in deletable:
+                        deletable.discard(run_id)
+                        changed = True
+        dead: list[dict] = []
+        artifact_rows = self._conn.execute(
+            "SELECT rowid, run_id, path, kind FROM artifacts").fetchall()
+        for row in artifact_rows:
+            if row["run_id"] in deletable:
+                continue
+            if not os.path.exists(row["path"]):
+                dead.append({"rowid": row["rowid"], "path": row["path"],
+                             "run_id": row["run_id"]})
+        deleted_artifact_rows = 0
+        if not dry_run:
+            with self._conn:
+                for run_id in deletable:
+                    deleted_artifact_rows += self._conn.execute(
+                        "DELETE FROM artifacts WHERE run_id=?",
+                        (run_id,)).rowcount
+                    self._conn.execute("DELETE FROM runs WHERE id=?",
+                                       (run_id,))
+                for entry in dead:
+                    self._conn.execute(
+                        "DELETE FROM artifacts WHERE rowid=?",
+                        (entry["rowid"],))
+        else:
+            for run_id in deletable:
+                deleted_artifact_rows += self._conn.execute(
+                    "SELECT COUNT(*) AS n FROM artifacts WHERE run_id=?",
+                    (run_id,)).fetchone()["n"]
+        return {
+            "dry_run": dry_run,
+            "examined": len(rows),
+            "deleted_runs": sorted(deletable),
+            "deleted_artifact_rows": deleted_artifact_rows,
+            "dead_artifacts": [
+                {"path": entry["path"], "run_id": entry["run_id"]}
+                for entry in dead],
+        }
+
     # -- reads ---------------------------------------------------------
     @staticmethod
     def _decode(row: sqlite3.Row) -> dict:

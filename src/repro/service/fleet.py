@@ -38,7 +38,7 @@ from repro.service.client import (
 
 __all__ = ["FLEET_MAP_NAME", "shard_index", "write_fleet_map",
            "read_fleet_map", "FleetClient", "run_fleet_loadgen",
-           "FLEET_SCHEMA_VERSION"]
+           "shard_summaries", "FLEET_SCHEMA_VERSION"]
 
 FLEET_MAP_NAME = "fleet.json"
 
@@ -310,3 +310,26 @@ async def run_fleet_loadgen(map_path: str, *, tenants: int = 8,
     }
     await admin.close()
     return stats
+
+
+def shard_summaries(stats: dict,
+                    restarts: list[int] | None = None) -> list[dict]:
+    """Per-shard breakdown rows from a ``run_fleet_loadgen`` stats dict.
+
+    One compact summary per shard - routed requests, traffic share, and
+    (when the caller supervised the fleet itself) restart counts - in
+    the shape the run registry records as linked child rows, so
+    ``repro report pipeline`` can show a fleet step's shard breakdown
+    without reopening any artifact.
+    """
+    per_shard = stats.get("per_shard_requests") or []
+    total = sum(per_shard)
+    rows = []
+    for index, count in enumerate(per_shard):
+        row = {"kind": "fleet-shard", "shard": index,
+               "requests": int(count),
+               "share": (count / total) if total else 0.0}
+        if restarts is not None and index < len(restarts):
+            row["restarts"] = int(restarts[index])
+        rows.append(row)
+    return rows

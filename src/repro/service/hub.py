@@ -145,6 +145,7 @@ def _validate_params(request: dict) -> dict:
             "secret": str(request["secret"]),
             "scheme": str(request.get("scheme", "shamir")),
             "faults": request.get("faults"),
+            "capacity": request.get("capacity"),
         }
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"invalid provision request: {exc}")
@@ -173,6 +174,13 @@ def _validate_params(request: dict) -> dict:
             FaultCampaignConfig(**params["faults"])
         except TypeError as exc:  # unknown field names
             raise ConfigurationError(f"invalid faults: {exc}")
+    if params["capacity"] is not None:
+        # Per-tenant admission thresholds; validated here so a malformed
+        # policy is rejected before the provision enters the WAL (the
+        # record - and thus the policy - rides replay and snapshots).
+        from repro.capacity.policy import CapacityPolicy
+
+        CapacityPolicy.from_params(params["capacity"])
     return params
 
 
@@ -491,6 +499,46 @@ class WearHub:
                 "dead_banks": int(state.bank_dead[row].sum()),
             }
         return gauges
+
+    def wear_observations(self) -> dict[str, dict]:
+        """Per-tenant censored wear observations for endurance fits.
+
+        The observation-dict schema :mod:`repro.capacity.estimator`
+        documents: full per-switch ``values``/``events`` rows (list
+        index = switch identity), reachability state for forecasting,
+        the architecture geometry, and - because the service knows what
+        it provisioned - the ground-truth ``(alpha, beta)`` calibration
+        checks compare against.  Like :meth:`wear_gauges`, the
+        pool-level engine queries run once per pool; everything is a
+        pure read of live arrays.
+        """
+        per_pool: dict[tuple[int, int, int], tuple] = {}
+        for key, pool in self.pools.items():
+            if pool.state is None:
+                continue
+            values, events, _ = pool.state.wear_observations()
+            per_pool[key] = (values, events,
+                             pool.state.remaining_capacity())
+        observations: dict[str, dict] = {}
+        for tenant in self.tenants.values():
+            key = (tenant.pool.copies, tenant.pool.n, tenant.pool.k)
+            values, events, remaining = per_pool[key]
+            row = tenant.row
+            state = tenant.pool.state
+            observations[tenant.name] = {
+                "values": [float(v) for v in values[row].ravel()],
+                "events": [bool(e) for e in events[row].ravel()],
+                "bank_dead": [bool(d) for d in state.bank_dead[row]],
+                "current": int(state.current[row]),
+                "copies": tenant.pool.copies,
+                "n": tenant.pool.n,
+                "k": tenant.pool.k,
+                "remaining_capacity": int(remaining[row]),
+                "exhausted": tenant.exhausted,
+                "alpha": tenant.params["alpha"],
+                "beta": tenant.params["beta"],
+            }
+        return observations
 
     # ------------------------------------------------------------------
     # Durability

@@ -16,6 +16,11 @@ cleanly.
 
 Rate-limit denials are deliberately *not* WAL-logged: they consume no
 wear and depend on wall-clock timing, which replay cannot reproduce.
+Capacity refusals follow the same rule - predictive admission control
+(:mod:`repro.capacity.policy`) runs entirely before the batcher and its
+advisory ``renewal_warning`` annotations are added to responses after
+the hub has committed them, so enabling it changes neither wear arrays
+nor WAL bytes (pinned in ``tests/service/test_capacity_service.py``).
 """
 
 from __future__ import annotations
@@ -53,6 +58,11 @@ class ServiceConfig:
     snapshot_every: int = 0      # rounds between snapshots; 0 = drain only
     segment_records: int = 0     # rotate WAL past this size; 0 disables
     ready_file: str | None = None
+    capacity_horizon: int = 0    # forecast look-ahead; 0 disables advisor
+    capacity_warn: float = 0.5   # P(exhaust within horizon) warn bar
+    capacity_refuse: float = 0.0  # hard-refusal bar; 0 = advisory only
+    capacity_refresh: int = 64   # accesses between advisor refits
+    capacity_seed: int = 0       # advisor Monte Carlo stream
 
     def __post_init__(self) -> None:
         if self.queue_cap < 1:
@@ -68,6 +78,18 @@ class ServiceConfig:
             raise ConfigurationError(
                 "segment_records requires snapshot_every: rotation is "
                 "only legal behind a covering snapshot")
+        if self.capacity_horizon < 0:
+            raise ConfigurationError("capacity_horizon must be >= 0")
+        if self.capacity_refresh < 1:
+            raise ConfigurationError("capacity_refresh must be >= 1")
+        if self.capacity_horizon:
+            # Threshold sanity is CapacityPolicy's job; fail here so a
+            # bad flag kills `serve` at startup, not at first refresh.
+            from repro.capacity.policy import CapacityPolicy
+
+            CapacityPolicy(horizon=self.capacity_horizon,
+                           warn_probability=self.capacity_warn,
+                           refuse_probability=self.capacity_refuse)
 
 
 class _TokenBucket:
@@ -106,6 +128,17 @@ class WearService:
         self.batcher = RequestBatcher(self.hub,
                                       window_s=self.config.window_s,
                                       max_batch=self.config.max_batch)
+        self.advisor = None
+        if self.config.capacity_horizon:
+            from repro.capacity.policy import CapacityAdvisor, CapacityPolicy
+
+            self.advisor = CapacityAdvisor(
+                CapacityPolicy(
+                    horizon=self.config.capacity_horizon,
+                    warn_probability=self.config.capacity_warn,
+                    refuse_probability=self.config.capacity_refuse),
+                refresh_every=self.config.capacity_refresh,
+                seed=self.config.capacity_seed)
         self._buckets: dict[str, _TokenBucket] = {}
         self._server: asyncio.AbstractServer | None = None
         self._done: asyncio.Event | None = None
@@ -254,8 +287,34 @@ class WearService:
                               f"tenant {tenant!r} exceeded "
                               f"{self.config.rate_limit:g} requests/s",
                               tenant=tenant)
+        params = None
+        if self.advisor is not None:
+            record = self.hub.tenants.get(tenant)
+            params = record.params if record is not None else None
+            self.advisor.maybe_refresh(self.hub.wear_observations)
+            refusal = self.advisor.should_refuse(tenant, params)
+            if refusal is not None:
+                # Refusal happens before the batcher, like rate-limit
+                # denials: no wear, no WAL record.
+                if OBS.enabled:
+                    OBS.metrics.inc("svc.capacity_refused")
+                return denied(
+                    "capacity",
+                    f"tenant {tenant!r} forecast to exhaust within "
+                    f"{refusal['horizon']} accesses "
+                    f"(p={refusal['p_exhaust']:.2f}); renew before "
+                    f"retrying",
+                    tenant=tenant, **refusal)
         response = await self.batcher.submit(tenant, rid, trace)
         self._maybe_snapshot()
+        if self.advisor is not None and response.get("status") == "ok":
+            warning = self.advisor.renewal_warning(tenant, params)
+            if warning is not None:
+                # Annotate a copy: the hub retains its own response
+                # object for idempotent replay and must stay untouched.
+                if OBS.enabled:
+                    OBS.metrics.inc("svc.renewal_warnings")
+                response = dict(response, renewal_warning=warning)
         return response
 
     def _maybe_snapshot(self) -> None:
@@ -288,6 +347,16 @@ class WearService:
         recorder is on (``serve --obs-metrics``), since with it off
         nothing was recorded to merge.
         """
+        capacity = None
+        if self.advisor is not None:
+            capacity = {
+                "refreshes": self.advisor.refreshes,
+                "estimate": (self.advisor.estimate.to_payload()
+                             if self.advisor.estimate is not None else None),
+                "forecasts": {name: forecast.to_payload()
+                              for name, forecast
+                              in sorted(self.advisor.forecasts.items())},
+            }
         return ok(
             kind="shard-metrics",
             shard={
@@ -302,7 +371,9 @@ class WearService:
                          queue_depth=self.batcher.depth,
                          idempotent_replays=self.hub.idempotent_replays),
             metrics=OBS.metrics.snapshot() if OBS.enabled else None,
-            tenants=self.hub.wear_gauges())
+            tenants=self.hub.wear_gauges(),
+            observations=self.hub.wear_observations(),
+            capacity=capacity)
 
     def _drain_response(self) -> dict:
         return ok(**self.batcher.stats())

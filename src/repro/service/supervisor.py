@@ -250,6 +250,23 @@ class FleetSupervisor:
                     OBS.metrics.set_gauge(
                         f"fleet.shard{index}.peak_rss_bytes",
                         shard["peak_rss_bytes"])
+            # Rebalancing pressure: the pooled-fit outlook the snapshot
+            # carries, as gauges (`repro fleet top` and the Prometheus
+            # exposition read the same snapshot fields directly).
+            capacity = snapshot.get("capacity") or {}
+            estimate = capacity.get("estimate")
+            if estimate:
+                OBS.metrics.set_gauge("fleet.capacity.alpha",
+                                      estimate["alpha"])
+                OBS.metrics.set_gauge("fleet.capacity.beta",
+                                      estimate["beta"])
+                OBS.metrics.set_gauge("fleet.capacity.failures",
+                                      estimate["failures"])
+                OBS.metrics.set_gauge("fleet.capacity.at_risk",
+                                      len(capacity.get("at_risk") or ()))
+                OBS.metrics.set_gauge(
+                    "fleet.capacity.remaining_mean_total",
+                    capacity.get("remaining_mean_total") or 0.0)
         return snapshot
 
     def kill_shard(self, index: int,

@@ -1,0 +1,26 @@
+"""Shared fixtures for capacity tests: worn engine populations."""
+
+import pytest
+
+from repro.capacity.estimator import observations_from_state
+from repro.core.weibull import WeibullDistribution
+from repro.engine.state import WearState
+from repro.sim.rng import make_rng
+
+
+def worn_state(*, alpha=9.0, beta=5.0, instances=24, copies=3, n=6,
+               k=2, accesses=12, seed=7) -> WearState:
+    """A batch of architectures driven partway through their lifetime."""
+    model = WeibullDistribution(alpha=alpha, beta=beta)
+    state = WearState.fabricate(model, instances, copies, n, k,
+                                make_rng(seed))
+    state.run_to_exhaustion(max_accesses=accesses)
+    return state
+
+
+@pytest.fixture
+def observations() -> dict:
+    """Named per-tenant observation dicts with real failures present."""
+    state = worn_state()
+    return {f"tenant-{b:03d}": obs
+            for b, obs in enumerate(observations_from_state(state))}

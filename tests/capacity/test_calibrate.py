@@ -1,0 +1,73 @@
+"""Tests for the pinned ground-truth calibration sweep and its gate."""
+
+import pytest
+
+from repro.capacity.calibrate import (
+    DEFAULT_SEED,
+    calibration_sweep,
+    check_calibration,
+)
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def pinned_payload() -> dict:
+    """One shared pinned-sweep run (the expensive part) per module."""
+    return calibration_sweep()
+
+
+class TestPinnedSweep:
+    def test_gate_passes_at_pinned_settings(self, pinned_payload):
+        assert pinned_payload["seed"] == DEFAULT_SEED
+        assert pinned_payload["coverage_ok"], pinned_payload["coverage"]
+        assert pinned_payload["error_monotone"], \
+            pinned_payload["median_rel_err_by_length"]
+        assert pinned_payload["gate_ok"]
+        assert check_calibration(pinned_payload) == []
+
+    def test_coverage_within_acceptance_bounds(self, pinned_payload):
+        # The PR's acceptance bar, asserted directly: nominal 90%
+        # intervals at 85-95% empirical coverage.
+        assert 0.85 <= pinned_payload["coverage"] <= 0.95
+
+    def test_error_shrinks_with_trace_length(self, pinned_payload):
+        lengths = pinned_payload["trace_lengths"]
+        curve = [pinned_payload["median_rel_err_by_length"][str(length)]
+                 for length in lengths]
+        assert all(a > b for a, b in zip(curve, curve[1:])), curve
+
+    def test_payload_is_json_safe(self, pinned_payload):
+        import json
+
+        round_tripped = json.loads(json.dumps(pinned_payload))
+        assert round_tripped["fits"] == pinned_payload["fits"]
+
+
+class TestSweepMechanics:
+    def test_deterministic_given_seed(self):
+        small = dict(grid=((9.0, 5.0),), trace_lengths=(8, 14),
+                     instances=12, resamples=20, draws=60, seed=5)
+        first = calibration_sweep(**small)
+        second = calibration_sweep(**small)
+        assert first["coverage"] == second["coverage"]
+        assert first["median_rel_err_by_length"] == \
+            second["median_rel_err_by_length"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            calibration_sweep(instances=1)
+        with pytest.raises(ConfigurationError):
+            calibration_sweep(trace_lengths=(14, 8))
+
+    def test_check_calibration_names_each_problem(self):
+        payload = calibration_sweep(grid=((9.0, 5.0),),
+                                    trace_lengths=(8, 14),
+                                    instances=12, resamples=20,
+                                    draws=60, seed=5)
+        broken = dict(payload, coverage=0.5, coverage_ok=False,
+                      error_monotone=False, gate_ok=False)
+        problems = check_calibration(broken)
+        assert len(problems) == 2
+        assert any("coverage" in problem for problem in problems)

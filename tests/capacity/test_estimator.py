@@ -1,0 +1,111 @@
+"""Tests for censored observation pooling and endurance estimation."""
+
+import numpy as np
+import pytest
+
+from repro.capacity.estimator import (
+    EVENT_MIDPOINT,
+    estimate_endurance,
+    observations_from_state,
+    pooled_observations,
+)
+from repro.errors import AllCensoredError, ConfigurationError
+from repro.sim.rng import make_rng
+
+from tests.capacity.conftest import worn_state
+
+
+class TestObservationsFromState:
+    def test_schema_and_shapes(self):
+        state = worn_state(instances=4, copies=3, n=6, k=2)
+        observations = observations_from_state(state)
+        assert len(observations) == 4
+        for b, obs in enumerate(observations):
+            assert len(obs["values"]) == 3 * 6
+            assert len(obs["events"]) == 3 * 6
+            assert len(obs["bank_dead"]) == 3
+            assert obs["copies"] == 3 and obs["n"] == 6 and obs["k"] == 2
+            assert obs["remaining_capacity"] == \
+                int(state.remaining_capacity()[b])
+            assert obs["exhausted"] == bool(state.exhausted[b])
+
+    def test_json_safe(self):
+        import json
+
+        observations = observations_from_state(worn_state(instances=2))
+        json.dumps(observations)  # raises on any numpy scalar
+
+
+class TestPooledObservations:
+    def test_midpoint_correction_on_events(self):
+        obs = {"values": [4.0, 7.0, 0.0], "events": [True, False, False]}
+        values, events = pooled_observations([obs])
+        # The failure moves to the interval midpoint; the censored
+        # switch keeps its exact wear; the untouched one is dropped.
+        assert values.tolist() == [4.0 - EVENT_MIDPOINT, 7.0]
+        assert events.tolist() == [True, False]
+
+    def test_mapping_and_iterable_agree(self, observations):
+        from_map = pooled_observations(observations)
+        from_list = pooled_observations(
+            [observations[name] for name in sorted(observations)])
+        np.testing.assert_array_equal(from_map[0], from_list[0])
+        np.testing.assert_array_equal(from_map[1], from_list[1])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            pooled_observations([{"values": [1.0, 2.0],
+                                  "events": [True]}])
+
+    def test_empty_input_yields_empty_arrays(self):
+        values, events = pooled_observations([])
+        assert values.size == 0 and events.size == 0
+
+
+class TestEstimateEndurance:
+    def test_recovers_truth_from_worn_population(self, observations):
+        values, events = pooled_observations(observations)
+        estimate = estimate_endurance(values, events, resamples=60,
+                                      rng=make_rng(1))
+        assert estimate.alpha == pytest.approx(9.0, rel=0.15)
+        assert estimate.beta == pytest.approx(5.0, rel=0.5)
+        assert estimate.failures >= 1
+        assert estimate.censored == \
+            estimate.observations - estimate.failures
+        assert estimate.alpha_ci[0] < estimate.alpha < estimate.alpha_ci[1]
+
+    def test_all_censored_raises_typed_error(self):
+        values = np.array([3.0, 4.0, 5.0])
+        events = np.array([False, False, False])
+        with pytest.raises(AllCensoredError):
+            estimate_endurance(values, events, rng=make_rng(0))
+
+    def test_no_observations_raises_typed_error(self):
+        with pytest.raises(AllCensoredError):
+            estimate_endurance([], [], rng=make_rng(0))
+
+    def test_all_censored_is_a_configuration_error(self):
+        # Callers that already catch ConfigurationError keep working.
+        assert issubclass(AllCensoredError, ConfigurationError)
+
+    def test_deterministic_given_seed(self, observations):
+        values, events = pooled_observations(observations)
+        first = estimate_endurance(values, events, resamples=40,
+                                   rng=make_rng(5))
+        second = estimate_endurance(values, events, resamples=40,
+                                    rng=make_rng(5))
+        assert first.alpha == second.alpha
+        assert first.alpha_ci == second.alpha_ci
+        assert first.beta_ci == second.beta_ci
+
+    def test_payload_round_trips_to_json(self, observations):
+        import json
+
+        values, events = pooled_observations(observations)
+        estimate = estimate_endurance(values, events, resamples=30,
+                                      rng=make_rng(2))
+        payload = json.loads(json.dumps(estimate.to_payload()))
+        assert payload["observations"] == estimate.observations
+        assert payload["resamples"] == 30
+        assert payload["alpha_ci"][0] <= payload["alpha"] \
+            <= payload["alpha_ci"][1]

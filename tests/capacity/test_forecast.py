@@ -1,0 +1,111 @@
+"""Tests for conditional remaining-use forecasting."""
+
+import pytest
+
+from repro.capacity.estimator import (
+    estimate_endurance,
+    observations_from_state,
+    pooled_observations,
+)
+from repro.capacity.forecast import forecast_remaining, forecast_tenants
+from repro.sim.rng import make_rng
+
+from tests.capacity.conftest import worn_state
+
+
+@pytest.fixture
+def fitted(observations):
+    values, events = pooled_observations(observations)
+    return estimate_endurance(values, events, resamples=60,
+                              rng=make_rng(3))
+
+
+class TestForecastRemaining:
+    def test_summary_statistics_are_coherent(self, observations, fitted):
+        name = sorted(observations)[0]
+        forecast = forecast_remaining(name, observations[name], fitted,
+                                      draws=200, horizon=10,
+                                      rng=make_rng(4))
+        lo, hi = forecast.interval
+        assert 0.0 <= lo <= hi
+        assert forecast.remaining_mean >= 0.0
+        assert 0.0 <= forecast.p_exhaust <= 1.0
+        assert forecast.draws == 200
+        assert forecast.tenant == name
+        assert len(forecast.samples) == 200
+
+    def test_interval_brackets_engine_truth(self, observations, fitted):
+        # The engine knows the exact remaining capacity; a calibrated
+        # forecast interval should bracket it for most tenants (the
+        # pinned sweep asserts the precise rate; this is the smoke
+        # version).
+        hits = 0
+        forecasts = forecast_tenants(observations, fitted, draws=200,
+                                     rng=make_rng(5))
+        for name, forecast in forecasts.items():
+            lo, hi = forecast.interval
+            if lo <= observations[name]["remaining_capacity"] <= hi:
+                hits += 1
+        assert hits / len(forecasts) >= 0.6
+
+    def test_exhausted_tenant_forecasts_zero(self, fitted):
+        state = worn_state(alpha=4.0, beta=6.0, instances=3,
+                           accesses=200, seed=11)
+        observations = observations_from_state(state)
+        exhausted = [obs for obs in observations if obs["exhausted"]]
+        assert exhausted, "population did not exhaust; bump accesses"
+        forecast = forecast_remaining("dead", exhausted[0], fitted,
+                                      draws=50, horizon=5,
+                                      rng=make_rng(6))
+        assert forecast.exhausted
+        assert forecast.remaining_mean == 0.0
+        assert forecast.p_exhaust == 1.0
+
+    def test_p_exhaust_at_is_monotone_in_horizon(self, observations,
+                                                 fitted):
+        name = sorted(observations)[0]
+        forecast = forecast_remaining(name, observations[name], fitted,
+                                      draws=300, horizon=5,
+                                      rng=make_rng(7))
+        probabilities = [forecast.p_exhaust_at(h)
+                         for h in (0, 5, 10, 20, 100)]
+        assert probabilities == sorted(probabilities)
+        assert forecast.p_exhaust_at(5) == forecast.p_exhaust
+
+    def test_deterministic_given_seed(self, observations, fitted):
+        name = sorted(observations)[0]
+        first = forecast_remaining(name, observations[name], fitted,
+                                   draws=100, rng=make_rng(8))
+        second = forecast_remaining(name, observations[name], fitted,
+                                    draws=100, rng=make_rng(8))
+        assert first.interval == second.interval
+        assert first.remaining_mean == second.remaining_mean
+
+    def test_payload_is_json_safe(self, observations, fitted):
+        import json
+
+        name = sorted(observations)[0]
+        forecast = forecast_remaining(name, observations[name], fitted,
+                                      draws=50, rng=make_rng(9))
+        payload = json.loads(json.dumps(forecast.to_payload()))
+        assert payload["tenant"] == name
+        assert "samples" not in payload  # draws stay in-process
+
+
+class TestForecastTenants:
+    def test_covers_every_tenant_sorted(self, observations, fitted):
+        forecasts = forecast_tenants(observations, fitted, draws=50,
+                                     rng=make_rng(10))
+        assert list(forecasts) == sorted(observations)
+
+    def test_heavier_wear_forecasts_less(self, fitted):
+        light = observations_from_state(
+            worn_state(instances=6, accesses=4, seed=21))
+        heavy = observations_from_state(
+            worn_state(instances=6, accesses=16, seed=21))
+        light_forecast = forecast_remaining("t", light[0], fitted,
+                                            draws=300, rng=make_rng(11))
+        heavy_forecast = forecast_remaining("t", heavy[0], fitted,
+                                            draws=300, rng=make_rng(11))
+        assert heavy_forecast.remaining_mean \
+            < light_forecast.remaining_mean

@@ -1,0 +1,150 @@
+"""Tests for the capacity policy and the read-only advisor."""
+
+import pytest
+
+from repro.capacity.policy import CapacityAdvisor, CapacityPolicy
+from repro.errors import ConfigurationError
+
+
+class TestCapacityPolicy:
+    def test_defaults_are_advisory_only(self):
+        policy = CapacityPolicy()
+        assert policy.horizon == 0
+        assert policy.refuse_probability == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"horizon": -1},
+        {"warn_probability": 0.0},
+        {"warn_probability": 1.5},
+        {"refuse_probability": -0.1},
+        {"refuse_probability": 1.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CapacityPolicy(**kwargs)
+
+    def test_from_params_none_returns_default(self):
+        default = CapacityPolicy(horizon=9)
+        assert CapacityPolicy.from_params(None, default=default) \
+            is default
+
+    def test_from_params_overrides_merge_with_default(self):
+        default = CapacityPolicy(horizon=9, warn_probability=0.4)
+        policy = CapacityPolicy.from_params(
+            {"refuse_probability": 0.9}, default=default)
+        assert policy.horizon == 9
+        assert policy.warn_probability == 0.4
+        assert policy.refuse_probability == 0.9
+
+    def test_from_params_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            CapacityPolicy.from_params("not a dict")
+        with pytest.raises(ConfigurationError):
+            CapacityPolicy.from_params({"huh": 1})
+        with pytest.raises(ConfigurationError):
+            CapacityPolicy.from_params({"horizon": "soon"})
+
+
+class TestCapacityAdvisor:
+    def _advisor(self, **overrides):
+        settings = {"refresh_every": 4, "resamples": 30, "draws": 80,
+                    "seed": 0}
+        settings.update(overrides)
+        default = settings.pop("default", CapacityPolicy(
+            horizon=10, warn_probability=0.3, refuse_probability=0.9))
+        return CapacityAdvisor(default, **settings)
+
+    def test_refresh_every_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._advisor(refresh_every=0)
+
+    def test_all_censored_keeps_advisor_silent(self):
+        advisor = self._advisor()
+        advisor.refresh({"t": {"values": [3.0, 0.0],
+                               "events": [False, False]}})
+        assert advisor.estimate is None
+        assert advisor.forecasts == {}
+        assert advisor.renewal_warning("t", None) is None
+        assert advisor.should_refuse("t", None) is None
+
+    def test_refresh_builds_estimate_and_forecasts(self, observations):
+        advisor = self._advisor()
+        advisor.refresh(observations)
+        assert advisor.estimate is not None
+        assert set(advisor.forecasts) == set(observations)
+        assert advisor.refreshes == 1
+
+    def test_maybe_refresh_cadence(self, observations):
+        advisor = self._advisor(refresh_every=4)
+        calls = []
+
+        def snapshot():
+            calls.append(1)
+            return observations
+
+        # First assessment refreshes (counter starts saturated)...
+        advisor.maybe_refresh(snapshot)
+        assert len(calls) == 1
+        # ...then nothing until the interval elapses again.
+        for _ in range(4):
+            advisor.maybe_refresh(snapshot)
+        assert len(calls) == 1
+        advisor.maybe_refresh(snapshot)
+        assert len(calls) == 2
+
+    def test_warning_payload_when_risk_crosses_bar(self, observations):
+        # A huge horizon makes exhaustion within it a certainty, so
+        # every tenant crosses any warn bar.
+        advisor = self._advisor(default=CapacityPolicy(
+            horizon=10_000, warn_probability=0.5))
+        advisor.refresh(observations)
+        name = sorted(observations)[0]
+        warning = advisor.renewal_warning(name, None)
+        assert warning is not None
+        assert warning["p_exhaust"] == 1.0
+        assert warning["horizon"] == 10_000
+        lo, hi = warning["remaining_interval"]
+        assert lo <= hi
+
+    def test_refusal_disabled_at_zero_probability(self, observations):
+        advisor = self._advisor(default=CapacityPolicy(
+            horizon=10_000, warn_probability=0.5,
+            refuse_probability=0.0))
+        advisor.refresh(observations)
+        name = sorted(observations)[0]
+        assert advisor.renewal_warning(name, None) is not None
+        assert advisor.should_refuse(name, None) is None
+
+    def test_refusal_payload(self, observations):
+        advisor = self._advisor(default=CapacityPolicy(
+            horizon=10_000, warn_probability=0.5,
+            refuse_probability=0.9))
+        advisor.refresh(observations)
+        name = sorted(observations)[0]
+        refusal = advisor.should_refuse(name, None)
+        assert refusal is not None
+        assert refusal["p_exhaust"] >= 0.9
+        assert refusal["horizon"] == 10_000
+
+    def test_tenant_override_rides_provision_params(self, observations):
+        advisor = self._advisor(default=CapacityPolicy(
+            horizon=10_000, warn_probability=0.5,
+            refuse_probability=0.9))
+        advisor.refresh(observations)
+        name = sorted(observations)[0]
+        assert advisor.should_refuse(name, None) is not None
+        # The tenant opted out of hard refusals via its own policy.
+        params = {"capacity": {"refuse_probability": 0.0}}
+        assert advisor.should_refuse(name, params) is None
+        # And a tenant with a tiny horizon sees (almost) no risk.
+        params = {"capacity": {"horizon": 0}}
+        warning = advisor.renewal_warning(name, params)
+        assert warning is None or warning["horizon"] == 0
+
+    def test_unknown_tenant_has_no_forecast(self, observations):
+        advisor = self._advisor(default=CapacityPolicy(
+            horizon=10_000, warn_probability=0.1,
+            refuse_probability=0.1))
+        advisor.refresh(observations)
+        assert advisor.renewal_warning("stranger", None) is None
+        assert advisor.should_refuse("stranger", None) is None

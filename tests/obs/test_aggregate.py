@@ -9,6 +9,7 @@ subprocesses; the live-fleet path is pinned by
 from repro.obs.aggregate import (
     FLEET_SNAPSHOT_KIND,
     build_fleet_snapshot,
+    fleet_capacity_outlook,
     render_fleet_top,
 )
 from repro.obs.recorder import MetricsRegistry
@@ -121,3 +122,53 @@ class TestRenderFleetTop:
     def test_empty_fleet_renders(self):
         text = render_fleet_top(build_fleet_snapshot([]))
         assert text.startswith("fleet: 0/0 shards up")
+
+
+class TestFleetCapacityOutlook:
+    def _observations(self):
+        from repro.capacity.estimator import observations_from_state
+        from tests.capacity.conftest import worn_state
+
+        state = worn_state(instances=8)
+        return {f"tenant-{b:03d}": obs
+                for b, obs in enumerate(observations_from_state(state))}
+
+    def test_outlook_fits_and_forecasts_every_tenant(self):
+        observations = self._observations()
+        outlook = fleet_capacity_outlook(observations)
+        assert outlook is not None
+        assert outlook["estimate"]["alpha"] > 0
+        assert set(outlook["forecasts"]) == set(observations)
+        assert outlook["remaining_mean_total"] >= 0.0
+        assert all(name in observations for name in outlook["at_risk"])
+
+    def test_deterministic_given_observations(self):
+        observations = self._observations()
+        first = fleet_capacity_outlook(observations)
+        second = fleet_capacity_outlook(observations)
+        assert first == second
+
+    def test_none_without_failure_evidence(self):
+        assert fleet_capacity_outlook({}) is None
+        censored = {"t": {"values": [2.0, 3.0],
+                          "events": [False, False]}}
+        assert fleet_capacity_outlook(censored) is None
+
+    def test_snapshot_carries_the_outlook_and_top_renders_it(self):
+        observations = self._observations()
+        reports = _reports()
+        reports[0]["response"]["observations"] = observations
+        tenants = reports[0]["response"]["tenants"]
+        for name in observations:
+            tenants.setdefault(name, {"remaining_capacity": 5,
+                                      "served": 1,
+                                      "lifetime_used_fraction": 0.5,
+                                      "exhausted": False})
+        snapshot = build_fleet_snapshot(reports)
+        assert snapshot["capacity"] is not None
+        assert set(snapshot["observations"]) == set(observations)
+        assert snapshot["observations"]["tenant-000"]["shard"] == 0
+        text = render_fleet_top(snapshot)
+        assert "capacity outlook: alpha=" in text
+        assert "tenants at risk" in text
+        assert "forecast" in text and "risk" in text

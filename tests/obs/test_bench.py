@@ -43,7 +43,8 @@ class TestBenchSuite:
         assert names == {"mc.fast", "mc.checkpointed", "mc.hardware",
                          "faults.campaign", "replay.trace",
                          "pads.traverse", "checkpoint.roundtrip",
-                         "svc.loadgen", "svc.fleet"}
+                         "svc.loadgen", "svc.fleet",
+                         "capacity.estimate"}
         for workload in tiny_report["workloads"]:
             assert workload["units"] > 0
             assert workload["wall_s"]["min"] > 0
@@ -247,6 +248,41 @@ class TestFleetSection:
         broken["fleet"]["shards"] = 1
         with pytest.raises(ConfigurationError,
                            match="at least 2 shards"):
+            validate_bench_report(broken)
+
+
+class TestCapacitySection:
+    def test_report_carries_the_pinned_sweep(self, tiny_report):
+        capacity = tiny_report["capacity"]
+        assert capacity["seed"] == 2017  # pinned, never the bench seed
+        assert capacity["problems"] == []
+        assert capacity["gate_ok"] is True
+        assert 0.85 <= capacity["coverage"] <= 0.95
+        lengths = capacity["trace_lengths"]
+        curve = [capacity["median_rel_err_by_length"][str(length)]
+                 for length in lengths]
+        assert curve == sorted(curve, reverse=True)
+
+    def test_render_includes_the_calibration_line(self, tiny_report):
+        text = render_bench_report(tiny_report)
+        assert "capacity calibration" in text
+        assert "gate PASS" in text
+
+    def test_schema_4_accepted_without_the_capacity_section(
+            self, tiny_report):
+        v4 = json.loads(json.dumps(tiny_report))
+        v4["schema_version"] = 4
+        del v4["capacity"]
+        validate_bench_report(v4)
+
+    def test_schema_5_requires_the_capacity_section(self, tiny_report):
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["capacity"]
+        with pytest.raises(ConfigurationError):
+            validate_bench_report(broken)
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["capacity"]["gate_ok"]
+        with pytest.raises(ConfigurationError):
             validate_bench_report(broken)
 
 

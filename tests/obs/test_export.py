@@ -158,3 +158,38 @@ class TestMergeAndFollow:
         lines = [json.loads(line)
                  for line in out.read_text().splitlines()]
         assert lines == merged
+
+
+class TestCapacityGauges:
+    def _snapshot_with_capacity(self):
+        snapshot = _snapshot_with_samples()
+        snapshot["capacity"] = {
+            "estimate": {"alpha": 9.1, "beta": 5.2,
+                         "observations": 40, "failures": 7},
+            "forecasts": {"tenant-000": {
+                "remaining_mean": 12.5, "remaining_median": 12.0,
+                "p_exhaust": 0.75, "interval": [4.0, 21.0]}},
+            "at_risk": ["tenant-000"],
+            "remaining_mean_total": 12.5,
+            "horizon": 10,
+        }
+        return snapshot
+
+    def test_fleet_and_tenant_forecast_samples(self):
+        lines = render_prometheus(
+            self._snapshot_with_capacity()).splitlines()
+        assert "repro_fleet_capacity_alpha 9.1" in lines
+        assert "repro_fleet_capacity_failures 7" in lines
+        assert "repro_fleet_capacity_at_risk 1" in lines
+        assert "repro_fleet_capacity_remaining_mean_total 12.5" in lines
+        assert ('repro_tenant_forecast_p_exhaust'
+                '{tenant="tenant-000"} 0.75') in lines
+        assert ('repro_tenant_forecast_interval_lo'
+                '{tenant="tenant-000"} 4') in lines
+        assert ('repro_tenant_forecast_interval_hi'
+                '{tenant="tenant-000"} 21') in lines
+
+    def test_absent_capacity_emits_no_capacity_samples(self):
+        text = render_prometheus(_snapshot_with_samples())
+        assert "capacity_alpha" not in text
+        assert "forecast" not in text

@@ -318,3 +318,109 @@ class TestBenchCompareAuto:
         with RunStore(str(tmp_path / "empty.db")) as store:
             (row,) = store.list_runs(subcommand="bench")
         assert row["outcome"] == "failed"  # the gate failure is recorded
+
+
+class TestBenchTrendCLI:
+    def test_trend_table_and_json(self, capsys, tmp_path):
+        db = str(tmp_path / "runs.db")
+        seed_bench(db, {"mc.fast": 100.0})
+        seed_bench(db, {"mc.fast": 150.0})
+        code, out, _ = run_cli(capsys, "report", "bench", "--trend",
+                               "--runs-db", db)
+        assert code == 0
+        assert "mc.fast" in out
+        assert any(ch in out for ch in "▁▂▃▄▅▆▇█")
+        assert "+50.0%" in out
+        code, out, _ = run_cli(capsys, "report", "bench", "--trend",
+                               "--json", "--runs-db", db)
+        assert code == 0
+        trend = json.loads(out)
+        assert trend["workloads"]["mc.fast"]["throughput_per_s"] \
+            == [100.0, 150.0]
+
+
+class TestRunsGCCLI:
+    def test_dry_run_default_then_apply(self, capsys, tmp_path):
+        db = str(tmp_path / "runs.db")
+        with RunStore(db) as store:
+            old = store.begin_run("bench", {})
+            store.finish_run(old, "ok")
+            store._conn.execute(
+                "UPDATE runs SET started_at=started_at-864000, "
+                "finished_at=finished_at-864000 WHERE id=?", (old,))
+            store._conn.commit()
+            kept = store.begin_run("bench", {})
+            store.finish_run(kept, "ok")
+        code, out, _ = run_cli(capsys, "runs", "gc", "--keep-days", "1",
+                               "--keep-last", "1", "--runs-db", db)
+        assert code == 0
+        assert "dry run" in out
+        assert old[:12] in out
+        with RunStore(db) as store:
+            assert store.get_run(old)["outcome"] == "ok"
+        code, out, _ = run_cli(capsys, "runs", "gc", "--keep-days", "1",
+                               "--keep-last", "1", "--apply",
+                               "--runs-db", db, "--json")
+        assert code == 0
+        report = json.loads(out)
+        assert report["deleted_runs"] == [old]
+        with RunStore(db) as store:
+            with pytest.raises(Exception):
+                store.get_run(old)
+            assert store.get_run(kept)["outcome"] == "ok"
+
+
+class TestCapacityCLI:
+    def _seed_ledger(self, directory, accesses=10):
+        from repro.service.client import tenant_population
+        from repro.service.hub import WearHub
+        from repro.service.ledger import WearLedger
+
+        ledger = WearLedger(directory)
+        hub = WearHub(ledger)
+        hub.recover()
+        population = tenant_population(3, seed=17, alpha=4.0, beta=5.0)
+        for payload in population:
+            assert hub.provision(payload)["status"] == "ok"
+        for index in range(accesses * len(population)):
+            hub.serve_round([f"tenant-{index % len(population):03d}"])
+        ledger.close()
+        return [payload["tenant"] for payload in population]
+
+    def test_fit_from_ledger_records_run(self, capsys, tmp_path):
+        ledger_dir = str(tmp_path / "ledger")
+        tenants = self._seed_ledger(ledger_dir)
+        db = str(tmp_path / "runs.db")
+        code, out, _ = run_cli(capsys, "capacity", "fit",
+                               "--ledger", ledger_dir, "--json",
+                               "--runs-db", db)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["estimate"]["alpha"] > 0
+        assert set(payload["forecasts"]) == set(tenants)
+        with RunStore(db) as store:
+            row = store.latest_run(subcommand="capacity")
+            assert row["outcome"] == "ok"
+            assert row["summary"]["kind"] == "capacity-fit"
+            assert row["summary"]["tenants"] == len(tenants)
+
+    def test_fit_requires_exactly_one_source(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "capacity", "fit", "--no-record")
+        assert code == 1
+        assert "exactly one" in err
+        code, _, err = run_cli(
+            capsys, "capacity", "fit", "--no-record",
+            "--ledger", str(tmp_path / "a"),
+            "--root", str(tmp_path / "b"))
+        assert code == 1
+
+    def test_calibrate_gate_passes_at_pinned_defaults(self, capsys,
+                                                      tmp_path):
+        db = str(tmp_path / "runs.db")
+        code, out, _ = run_cli(capsys, "capacity", "calibrate",
+                               "--gate", "--runs-db", db)
+        assert code == 0
+        assert "calibration gate: PASS" in out
+        with RunStore(db) as store:
+            assert store.latest_run(
+                subcommand="capacity")["outcome"] == "ok"

@@ -7,10 +7,12 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.runs.report import (
     bench_run_summary,
+    bench_trend,
     campaigns_payload,
     compare_bench_runs,
     pipeline_payload,
     render_bench_delta,
+    render_bench_trend,
     render_campaigns,
     render_pipeline,
     render_runs,
@@ -176,3 +178,82 @@ class TestCampaigns:
         rendered = render_campaigns(rows)
         assert "viol 25.00%" in rendered
         assert "violations 1" in rendered
+
+
+class TestBenchTrend:
+    def test_oldest_first_with_missing_slots(self, store):
+        seed_bench(store, {"mc.fast": 100.0})
+        seed_bench(store, {"mc.fast": 120.0, "mc.slow": 10.0})
+        seed_bench(store, {"mc.fast": 150.0, "mc.slow": 12.0})
+        trend = bench_trend(store)
+        assert trend["kind"] == "bench-trend"
+        assert trend["scale"] == "tiny"
+        assert len(trend["runs"]) == 3
+        assert trend["workloads"]["mc.fast"]["throughput_per_s"] \
+            == [100.0, 120.0, 150.0]
+        # The workload that joined late reads None in its missing slot.
+        assert trend["workloads"]["mc.slow"]["throughput_per_s"] \
+            == [None, 10.0, 12.0]
+
+    def test_scale_filter_and_limit(self, store):
+        for value in (100.0, 110.0, 120.0):
+            seed_bench(store, {"mc.fast": value})
+        seed_bench(store, {"mc.fast": 900.0}, scale="smoke")
+        trend = bench_trend(store, scale="tiny", limit=2)
+        assert len(trend["runs"]) == 2
+        assert trend["workloads"]["mc.fast"]["throughput_per_s"] \
+            == [110.0, 120.0]
+        smoke = bench_trend(store, scale="smoke")
+        assert smoke["workloads"]["mc.fast"]["throughput_per_s"] \
+            == [900.0]
+
+    def test_default_scale_follows_latest_run(self, store):
+        seed_bench(store, {"mc.fast": 100.0}, scale="tiny")
+        seed_bench(store, {"mc.fast": 900.0}, scale="smoke")
+        assert bench_trend(store)["scale"] == "smoke"
+
+    def test_empty_db_is_a_clear_error(self, store):
+        with pytest.raises(ConfigurationError):
+            bench_trend(store)
+
+    def test_render_shows_sparkline_and_delta(self, store):
+        for value in (100.0, 130.0, 160.0):
+            seed_bench(store, {"mc.fast": value})
+        text = render_bench_trend(bench_trend(store))
+        assert "mc.fast" in text
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+        assert "+60.0%" in text
+        assert "160" in text
+
+
+class TestPipelineShardChildren:
+    def _pipeline_with_fleet_step(self, store):
+        pipeline_id = store.begin_run("pipeline", {"file": "c.toml"})
+        step_id = store.begin_run("fleet", {"shards": 2},
+                                  parent_id=pipeline_id)
+        for shard, requests in enumerate((12, 8)):
+            child = store.begin_run("fleet-shard", {"shard": shard},
+                                    parent_id=step_id)
+            store.finish_run(child, "ok", summary={
+                "kind": "fleet-shard", "shard": shard,
+                "requests": requests, "share": requests / 20,
+                "restarts": shard})
+        store.finish_run(step_id, "ok",
+                         summary={"kind": "fleet", "requests": 20})
+        store.finish_run(pipeline_id, "ok",
+                         summary={"kind": "pipeline", "steps": 1})
+        return pipeline_id
+
+    def test_payload_carries_shard_children(self, store):
+        self._pipeline_with_fleet_step(store)
+        payload = pipeline_payload(store)
+        step = payload["steps"][0]
+        assert [c["summary"]["shard"] for c in step["children"]] == [0, 1]
+        assert step["children"][0]["summary"]["requests"] == 12
+
+    def test_render_shows_shard_breakdown(self, store):
+        self._pipeline_with_fleet_step(store)
+        text = render_pipeline(pipeline_payload(store))
+        assert "shard 0" in text and "shard 1" in text
+        assert "12 req" in text
+        assert "1 restart" in text

@@ -202,3 +202,98 @@ class TestRowContents:
         run_id = store.begin_run("pipeline", params)
         assert store.get_run(run_id)["params"] == json.loads(
             json.dumps(params))
+
+
+class TestGC:
+    def _finished(self, store, subcommand="bench", *, age_days=0.0,
+                  parent_id=None):
+        run_id = store.begin_run(subcommand, {}, parent_id=parent_id)
+        store.finish_run(run_id, "ok")
+        if age_days:
+            shift = age_days * 86400.0
+            store._conn.execute(
+                "UPDATE runs SET started_at=started_at-?, "
+                "finished_at=finished_at-? WHERE id=?",
+                (shift, shift, run_id))
+            store._conn.commit()
+        return run_id
+
+    def test_no_bounds_touches_no_runs(self, store):
+        self._finished(store, age_days=400)
+        report = store.gc()
+        assert report["deleted_runs"] == []
+        assert report["dry_run"] is True
+
+    def test_dry_run_is_the_default_and_deletes_nothing(self, store):
+        old = self._finished(store, age_days=30)
+        report = store.gc(keep_days=7, keep_last=0)
+        assert report["deleted_runs"] == [old]
+        assert store.get_run(old)["outcome"] == "ok"
+
+    def test_apply_deletes_runs_and_their_artifacts(self, store,
+                                                    tmp_path):
+        old = self._finished(store, age_days=30)
+        artifact = tmp_path / "old.json"
+        artifact.write_text("{}")
+        store.add_artifact(old, str(artifact))
+        kept = self._finished(store, age_days=1)
+        report = store.gc(keep_days=7, keep_last=0, dry_run=False)
+        assert report["deleted_runs"] == [old]
+        assert report["deleted_artifact_rows"] == 1
+        with pytest.raises(ConfigurationError):
+            store.get_run(old)
+        assert store.get_run(kept)["outcome"] == "ok"
+
+    def test_keep_last_protects_newest_per_subcommand(self, store):
+        bench_runs = [self._finished(store, age_days=30 - i)
+                      for i in range(3)]
+        fleet = self._finished(store, "fleet-run", age_days=30)
+        report = store.gc(keep_days=7, keep_last=1, dry_run=False)
+        # The newest bench survives its rank; the only fleet run too.
+        assert set(report["deleted_runs"]) == set(bench_runs[:2])
+        assert store.get_run(bench_runs[2])["outcome"] == "ok"
+        assert store.get_run(fleet)["outcome"] == "ok"
+
+    def test_running_rows_are_never_deleted(self, store):
+        run_id = store.begin_run("bench", {})
+        report = store.gc(keep_days=0, keep_last=0, dry_run=False)
+        assert run_id not in report["deleted_runs"]
+        assert store.get_run(run_id)["outcome"] == "running"
+
+    def test_linked_trees_live_or_die_together(self, store):
+        # Old parent with a *young* child: both survive.
+        old_parent = self._finished(store, "fleet-run", age_days=30)
+        young_child = self._finished(store, "fleet-shard",
+                                     parent_id=old_parent)
+        # Old parent with old children: the whole tree goes.
+        dead_parent = self._finished(store, "pipeline", age_days=40)
+        dead_child = self._finished(store, "step", age_days=40,
+                                    parent_id=dead_parent)
+        report = store.gc(keep_days=7, keep_last=0, dry_run=False)
+        assert set(report["deleted_runs"]) == {dead_parent, dead_child}
+        assert store.get_run(old_parent)["outcome"] == "ok"
+        assert store.get_run(young_child)["outcome"] == "ok"
+
+    def test_dead_artifact_rows_pruned_for_survivors(self, store,
+                                                     tmp_path):
+        run_id = self._finished(store)
+        gone = tmp_path / "gone.json"
+        gone.write_text("{}")
+        kept = tmp_path / "kept.json"
+        kept.write_text("{}")
+        store.add_artifact(run_id, str(gone))
+        store.add_artifact(run_id, str(kept))
+        gone.unlink()
+        report = store.gc()
+        assert [entry["path"] for entry in report["dead_artifacts"]] \
+            == [str(gone)]
+        assert len(store.artifacts(run_id)) == 2  # dry run: reported only
+        store.gc(dry_run=False)
+        assert [row["path"] for row in store.artifacts(run_id)] \
+            == [str(kept)]
+
+    def test_validation(self, store):
+        with pytest.raises(ConfigurationError):
+            store.gc(keep_days=-1)
+        with pytest.raises(ConfigurationError):
+            store.gc(keep_last=-1)

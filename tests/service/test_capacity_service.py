@@ -1,0 +1,215 @@
+"""Predictive admission control at the service boundary.
+
+The load-bearing pin lives here: enabling the capacity advisor -
+advisory warnings or hard refusals - must change neither the wear
+arrays nor the WAL bytes of an identical workload, because the advisor
+runs entirely outside the batcher/hub commit path.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.client import ServiceClient, tenant_population
+from repro.service.server import ServiceConfig, WearService
+
+pytestmark = pytest.mark.slow
+
+TENANTS = 3
+
+
+def _config(tmp_path, tag, **overrides) -> ServiceConfig:
+    settings = {"ledger_dir": str(tmp_path / f"ledger-{tag}"),
+                "window_s": 0.001}
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+def _drive(config, *, accesses=30, seed=17, alpha=4.0, beta=5.0,
+           capacity_params=None) -> dict:
+    """Provision a population, run a fixed round-robin access schedule.
+
+    Returns the per-request responses, the closing wear observations,
+    and the raw WAL bytes, so callers can compare two runs bit for bit.
+    """
+    async def scenario() -> dict:
+        service = WearService(config)
+        host, port = await service.start()
+        try:
+            client = await ServiceClient(host, port).connect()
+            for index, payload in enumerate(
+                    tenant_population(TENANTS, seed=seed,
+                                      alpha=alpha, beta=beta)):
+                if capacity_params and index in capacity_params:
+                    payload = dict(payload,
+                                   capacity=capacity_params[index])
+                provisioned = await client.provision(**payload)
+                assert provisioned["status"] == "ok"
+            responses = []
+            for index in range(accesses):
+                responses.append(
+                    await client.access(f"tenant-{index % TENANTS:03d}"))
+            observations = service.hub.wear_observations()
+            await client.close()
+            return {"responses": responses, "observations": observations}
+        finally:
+            await service.shutdown()
+
+    result = asyncio.run(scenario())
+    with open(f"{config.ledger_dir}/wal.jsonl", "rb") as handle:
+        result["wal"] = handle.read()
+    return result
+
+
+class TestAdvisoryMode:
+    def test_wal_and_wear_bit_identical_to_disabled_run(self, tmp_path):
+        baseline = _drive(_config(tmp_path, "off"))
+        advised = _drive(_config(
+            tmp_path, "on", capacity_horizon=10_000, capacity_warn=0.5,
+            capacity_refuse=0.0, capacity_refresh=4))
+
+        # The advisor actually ran: at least one granted access carried
+        # a renewal warning (and the baseline, of course, carried none).
+        warnings = [r["renewal_warning"] for r in advised["responses"]
+                    if "renewal_warning" in r]
+        assert warnings, "advisor never warned; the comparison is vacuous"
+        assert all("renewal_warning" not in r
+                   for r in baseline["responses"])
+        for warning in warnings:
+            assert 0.0 < warning["p_exhaust"] <= 1.0
+            assert warning["horizon"] == 10_000
+
+        # The pin: identical wear arrays, identical WAL bytes.
+        assert advised["observations"] == baseline["observations"]
+        assert advised["wal"] == baseline["wal"]
+
+        # And apart from the annotation, the grants themselves agree.
+        for ours, theirs in zip(advised["responses"],
+                                baseline["responses"]):
+            ours = {k: v for k, v in ours.items()
+                    if k != "renewal_warning"}
+            assert ours == theirs
+
+
+class TestRefusals:
+    def _refusing_config(self, tmp_path):
+        return _config(tmp_path, "refuse", capacity_horizon=10_000,
+                       capacity_warn=0.9, capacity_refuse=0.5,
+                       capacity_refresh=2)
+
+    def test_refusal_is_typed_and_spends_no_wear(self, tmp_path):
+        async def scenario() -> None:
+            service = WearService(self._refusing_config(tmp_path))
+            host, port = await service.start()
+            try:
+                client = await ServiceClient(host, port).connect()
+                for payload in tenant_population(TENANTS, seed=17,
+                                                 alpha=4.0, beta=5.0):
+                    await client.provision(**payload)
+                refusal = None
+                for index in range(60):
+                    response = await client.access(
+                        f"tenant-{index % TENANTS:03d}")
+                    if response["status"] == "capacity":
+                        refusal = response
+                        break
+                assert refusal is not None, "refusal bar never crossed"
+                assert refusal["p_exhaust"] >= 0.5
+                assert refusal["horizon"] == 10_000
+                assert "renew" in refusal["message"]
+
+                # Refused accesses are free: no WAL record, no wear.
+                before_obs = service.hub.wear_observations()
+                before_seq = service.ledger.next_seq
+                for _ in range(3):
+                    repeat = await client.access(refusal["tenant"])
+                    assert repeat["status"] == "capacity"
+                assert service.hub.wear_observations() == before_obs
+                assert service.ledger.next_seq == before_seq
+                await client.close()
+            finally:
+                await service.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_tenant_can_opt_out_via_provision_params(self, tmp_path):
+        config = _config(tmp_path, "optout", capacity_horizon=10_000,
+                         capacity_warn=0.9, capacity_refuse=0.5,
+                         capacity_refresh=2)
+        opted_out = {0: {"refuse_probability": 0.0}}
+        result = _drive(config, accesses=60, capacity_params=opted_out)
+        by_tenant: dict[str, set] = {}
+        for index, response in enumerate(result["responses"]):
+            name = f"tenant-{index % TENANTS:03d}"
+            by_tenant.setdefault(name, set()).add(response["status"])
+        assert "capacity" not in by_tenant["tenant-000"]
+        others = by_tenant["tenant-001"] | by_tenant["tenant-002"]
+        assert "capacity" in others, "default policy never refused"
+
+
+class TestProvisionValidation:
+    def test_malformed_capacity_params_are_bad_requests(self, tmp_path):
+        async def scenario() -> None:
+            service = WearService(_config(tmp_path, "validate"))
+            host, port = await service.start()
+            try:
+                client = await ServiceClient(host, port).connect()
+                payload = tenant_population(1, seed=3)[0]
+                for bad in ({"horizon": -1}, {"warn_probability": 2.0},
+                            {"huh": 1}, "not a dict"):
+                    response = await client.provision(
+                        **dict(payload, capacity=bad))
+                    assert response["status"] == "bad-request"
+                # The tenant never entered the hub, so a well-formed
+                # retry under the same name still succeeds.
+                good = await client.provision(
+                    **dict(payload, capacity={"horizon": 5}))
+                assert good["status"] == "ok"
+                await client.close()
+            finally:
+                await service.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestMetricsOp:
+    def test_capacity_section_present_when_enabled(self, tmp_path):
+        async def scenario() -> dict:
+            service = WearService(_config(
+                tmp_path, "metrics", capacity_horizon=10_000,
+                capacity_warn=0.5, capacity_refresh=2))
+            host, port = await service.start()
+            try:
+                client = await ServiceClient(host, port).connect()
+                for payload in tenant_population(TENANTS, seed=17,
+                                                 alpha=4.0, beta=5.0):
+                    await client.provision(**payload)
+                for index in range(18):
+                    await client.access(f"tenant-{index % TENANTS:03d}")
+                snapshot = await client.metrics()
+                await client.close()
+                return snapshot
+            finally:
+                await service.shutdown()
+
+        snapshot = asyncio.run(scenario())
+        capacity = snapshot["capacity"]
+        assert capacity["refreshes"] >= 1
+        assert capacity["estimate"] is not None
+        assert capacity["estimate"]["alpha"] > 0
+        assert set(capacity["forecasts"]) == {
+            f"tenant-{i:03d}" for i in range(TENANTS)}
+
+    def test_capacity_section_null_when_disabled(self, tmp_path):
+        async def scenario() -> dict:
+            service = WearService(_config(tmp_path, "plain"))
+            host, port = await service.start()
+            try:
+                client = await ServiceClient(host, port).connect()
+                snapshot = await client.metrics()
+                await client.close()
+                return snapshot
+            finally:
+                await service.shutdown()
+
+        assert asyncio.run(scenario())["capacity"] is None

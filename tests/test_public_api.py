@@ -12,6 +12,7 @@ import pytest
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.capacity",
     "repro.codes",
     "repro.connection",
     "repro.core",
